@@ -1,0 +1,564 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 5) plus the ablations called out in DESIGN.md,
+   and runs bechamel micro-benchmarks of the compiler itself.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe table1     # one artifact
+     dune exec bench/main.exe -- --help  # list artifacts
+
+   Paper reference numbers are printed next to measured values; see
+   EXPERIMENTS.md for the comparison discussion. *)
+
+module Driver = Core.Driver
+module Engine = Sim.Engine
+module Area = Rtl.Area
+module Timing = Rtl.Timing
+module Stratix = Device.Stratix
+
+let elab = Front.Typecheck.parse_and_check
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let pct part whole = 100.0 *. float_of_int part /. float_of_int whole
+
+(* --- Tables 1 and 2: case-study overheads ---------------------------------- *)
+
+type paper_row = {
+  p_logic : int * int;
+  p_alut : int * int;
+  p_regs : int * int;
+  p_ram : int * int;
+  p_ic : int * int;
+  p_fmax : float * float;
+}
+
+let paper_table1 =
+  {
+    p_logic = (13677, 13851);
+    p_alut = (7929, 8025);
+    p_regs = (10019, 10055);
+    p_ram = (222912, 223488);
+    p_ic = (24657, 24878);
+    p_fmax = (145.7, 142.0);
+  }
+
+let paper_table2 =
+  {
+    p_logic = (12250, 12273);
+    p_alut = (6726, 6809);
+    p_regs = (9371, 9417);
+    p_ram = (141120, 141696);
+    p_ic = (19904, 19994);
+    p_fmax = (77.5, 79.3);
+  }
+
+let overhead_table ~title ~paper (orig : Driver.compiled) (opt : Driver.compiled) =
+  section title;
+  let cap = Stratix.ep2s180 in
+  let row name total (o, a) (po, pa) =
+    Printf.printf "  %-18s %9d %9d  %+6d (%+.2f%%)   [paper: %d -> %d, %+.2f%%]\n" name o a
+      (a - o)
+      (pct (a - o) total)
+      po pa
+      (pct (pa - po) total)
+  in
+  let ao = orig.Driver.area and aa = opt.Driver.area in
+  Printf.printf "  %-18s %9s %9s  %-16s %s\n" "" "Original" "Assert" "Overhead" "";
+  row "Logic used" cap.Stratix.aluts (ao.Area.logic, aa.Area.logic) paper.p_logic;
+  row "Comb. ALUT" cap.Stratix.aluts (ao.Area.aluts, aa.Area.aluts) paper.p_alut;
+  row "Registers" cap.Stratix.registers (ao.Area.registers, aa.Area.registers) paper.p_regs;
+  row "Block RAM bits" cap.Stratix.bram_bits (ao.Area.ram_bits, aa.Area.ram_bits) paper.p_ram;
+  row "Block interconnect" cap.Stratix.interconnect (ao.Area.interconnect, aa.Area.interconnect)
+    paper.p_ic;
+  let fo = orig.Driver.timing.Timing.fmax_mhz and fa = opt.Driver.timing.Timing.fmax_mhz in
+  let po, pa = paper.p_fmax in
+  Printf.printf "  %-18s %9.1f %9.1f  %+6.1f (%+.2f%%)   [paper: %.1f -> %.1f, %+.2f%%]\n"
+    "Frequency (MHz)" fo fa (fa -. fo)
+    (100.0 *. (fa -. fo) /. fo)
+    po pa
+    (100.0 *. (pa -. po) /. po)
+
+let table1 () =
+  let prog = elab ~file:"des3.c" (Apps.Des_src.demo_source ()) in
+  let orig = Driver.compile ~strategy:Driver.baseline prog in
+  let opt = Driver.compile ~strategy:Driver.parallelized prog in
+  overhead_table ~title:"Table 1: Triple-DES assertion overhead (EP2S180)"
+    ~paper:paper_table1 orig opt;
+  (* Section 5.2 also compares against unoptimized assertions: the
+     optimized checkers move the comparisons out of the nested loop *)
+  let unopt = Driver.compile ~strategy:Driver.unoptimized prog in
+  Printf.printf
+    "  (unoptimized assertions: %+d ALUTs and %d states vs %+d ALUTs and %d states optimized)\n"
+    (unopt.Driver.area.Area.aluts - orig.Driver.area.Area.aluts)
+    (Hls.Fsmd.num_states (List.hd unopt.Driver.fsmds))
+    (opt.Driver.area.Area.aluts - orig.Driver.area.Area.aluts)
+    (Hls.Fsmd.num_states (List.hd opt.Driver.fsmds));
+  (* prove the design still decrypts in circuit *)
+  let text = "Table one validation run." in
+  let cipher = Apps.Des_src.demo_ciphertext text in
+  let r =
+    Driver.simulate
+      ~options:
+        {
+          Driver.default_sim_options with
+          Driver.feeds = [ ("cipher_in", cipher) ];
+          drains = [ "plain_out" ];
+          params = [ ("des3", [ ("nblocks", Int64.of_int (List.length cipher)) ]) ];
+        }
+      opt
+  in
+  Printf.printf "  (validated: %d blocks decrypted to the oracle plaintext in %d cycles)\n"
+    (List.length cipher)
+    r.Driver.engine.Engine.cycles
+
+let table2 () =
+  let prog = elab ~file:"edge.c" (Apps.Edge_src.demo_source ()) in
+  let orig = Driver.compile ~strategy:Driver.baseline prog in
+  let opt = Driver.compile ~strategy:Driver.parallelized prog in
+  overhead_table ~title:"Table 2: Edge-detection assertion overhead (EP2S180)"
+    ~paper:paper_table2 orig opt;
+  let w = Apps.Edge_src.default_width and h = 16 in
+  let img = Apps.Edge_ref.test_image ~w ~h in
+  let r =
+    Driver.simulate
+      ~options:
+        {
+          Driver.default_sim_options with
+          Driver.feeds = [ ("pixels_in", Apps.Edge_ref.to_stream img) ];
+          drains = [ "pixels_out" ];
+          params = [ ("edge", [ ("width", Int64.of_int w); ("height", Int64.of_int h) ]) ];
+        }
+      opt
+  in
+  let ok =
+    List.assoc "pixels_out" r.Driver.engine.Engine.drained
+    = Array.to_list (Array.map Int64.of_int (Apps.Edge_ref.filter ~w ~h img))
+  in
+  Printf.printf "  (validated: %dx%d image filtered, matches reference: %b)\n" w h ok
+
+(* --- Tables 3 and 4: latency/rate overhead --------------------------------- *)
+
+let t3_strategy = { Driver.optimized with Driver.replicate = false; share = `Per_proc }
+let t4_strategy = { Driver.optimized with Driver.share = `Per_proc }
+
+let kernel_cycles src strategy =
+  let n = 64 in
+  let c = Driver.compile ~strategy (elab ~file:"kernel.c" src) in
+  let r =
+    Driver.simulate
+      ~options:
+        {
+          Driver.default_sim_options with
+          Driver.feeds = [ ("input", Apps.Micro_src.feed_positive n) ];
+          drains = [ "output" ];
+          params = [ ("kernel", [ ("n", Int64.of_int n) ]) ];
+        }
+      c
+  in
+  match r.Driver.engine.Engine.outcome with
+  | Engine.Finished -> (r.Driver.engine.Engine.cycles, r.Driver.engine.Engine.pipes)
+  | _ -> failwith "kernel did not finish"
+
+let table3 () =
+  section "Table 3: non-pipelined single-comparison assertion latency overhead";
+  Printf.printf "  %-24s %12s %12s   %s\n" "Assertion data" "Unoptimized" "Optimized"
+    "[paper]";
+  let row name src (paper_u, paper_o) =
+    let per strategy =
+      let total, _ = kernel_cycles src strategy in
+      total / 64
+    in
+    let base = per Driver.baseline in
+    let u = per Driver.unoptimized - base in
+    let o = per t3_strategy - base in
+    Printf.printf "  %-24s %12d %12d   [%d / %d]\n" name u o paper_u paper_o
+  in
+  row "Scalar variable" Apps.Micro_src.scalar_nonpipelined (1, 0);
+  row "Array (non-consecutive)" Apps.Micro_src.array_nonconsecutive (1, 0);
+  row "Array (consecutive)" Apps.Micro_src.array_consecutive (2, 1)
+
+let table4 () =
+  section "Table 4: pipelined single-comparison assertion overhead (latency, rate)";
+  Printf.printf "  %-16s %-18s %-18s %-18s\n" "Assertion data" "Original" "Unoptimized"
+    "Optimized";
+  let stats src strategy =
+    let _, pipes = kernel_cycles src strategy in
+    match List.filter (fun (p : Engine.pipe_stats) -> p.Engine.issues > 0) pipes with
+    | [ p ] -> (p.Engine.latency_measured, p.Engine.ii_measured)
+    | _ -> failwith "expected one pipe"
+  in
+  let row name src paper =
+    let bl, br = stats src Driver.baseline in
+    let ul, ur = stats src Driver.unoptimized in
+    let ol, or_ = stats src t4_strategy in
+    Printf.printf "  %-16s lat %d rate %-6.2f lat %d rate %-6.2f lat %d rate %-6.2f %s\n" name
+      bl br ul ur ol or_ paper
+  in
+  row "Scalar variable" Apps.Micro_src.scalar_pipelined
+    "[paper: (2,1) -> (3,2) -> (2,1)]";
+  row "Array" Apps.Micro_src.array_pipelined
+    "[paper: (2,2) -> (4,3) -> (3,2); replication hides the extract read here]"
+
+(* --- Figures 4 and 5: scalability ------------------------------------------- *)
+
+let sweep_sizes = [ 1; 2; 4; 8; 16; 32; 64; 128 ]
+
+let loopback_compile n strategy =
+  Driver.compile ~strategy (elab ~file:"loopback.c" (Apps.Loopback_src.source ~n ()))
+
+let figure4 () =
+  section "Figure 4: assertion frequency scalability (fmax in MHz vs processes)";
+  Printf.printf "  %4s %10s %12s %12s\n" "N" "original" "unoptimized" "optimized";
+  List.iter
+    (fun n ->
+      let f s = (loopback_compile n s).Driver.timing.Timing.fmax_mhz in
+      Printf.printf "  %4d %10.1f %12.1f %12.1f\n" n (f Driver.baseline)
+        (f Driver.unoptimized)
+        (f { Driver.unoptimized with Driver.share = `Shared 32 }))
+    sweep_sizes;
+  print_endline
+    "  [paper at N=128: original 190.6, unoptimized 154 (-18.8%), optimized 189.3]"
+
+let figure5 () =
+  section "Figure 5: assertion resource scalability (ALUT overhead % of EP2S180)";
+  Printf.printf "  %4s %12s %12s %9s\n" "N" "unoptimized" "optimized" "ratio";
+  List.iter
+    (fun n ->
+      let aluts s = (loopback_compile n s).Driver.area.Area.aluts in
+      let base = aluts Driver.baseline in
+      let u = pct (aluts Driver.unoptimized - base) Stratix.ep2s180.Stratix.aluts in
+      let o =
+        pct
+          (aluts { Driver.unoptimized with Driver.share = `Shared 32 } - base)
+          Stratix.ep2s180.Stratix.aluts
+      in
+      Printf.printf "  %4d %11.2f%% %11.2f%% %8.1fx\n" n u o (u /. o))
+    sweep_sizes;
+  print_endline "  [paper at N=128: unoptimized 4.07%, optimized 1.34% (>3x reduction)]"
+
+(* --- Section 5.1: in-circuit verification and debugging ------------------------ *)
+
+let sec51 () =
+  section "Section 5.1: bugs invisible to software simulation";
+  (* example 1: narrowed comparison (Figure 3) *)
+  let fig3 =
+    {| stream int32 out depth 4;
+       process hw check() {
+         int64 c1; int64 c2; int32 addr;
+         c1 = 4294967296; c2 = 4294967286; addr = 0;
+         if (c2 > c1) { addr = addr - 10; }
+         assert(addr >= 0);
+         stream_write(out, addr);
+       } |}
+  in
+  let faults =
+    [ Faults.Fault.Narrow_compare
+        { fproc = "check"; select = Faults.Fault.All; mask_bits = 5 } ]
+  in
+  let c = Driver.compile ~strategy:Driver.parallelized ~faults (elab ~file:"fig3.c" fig3) in
+  let sw = Driver.software_sim c in
+  let hw = Driver.simulate c in
+  Printf.printf "  Figure 3 (5-bit comparison fault):  software %s   in-circuit %s\n"
+    (if Interp.ok sw then "PASS" else "FAIL")
+    (match hw.Driver.engine.Engine.outcome with
+    | Engine.Aborted _ -> "CAUGHT"
+    | _ -> "missed");
+  (* example 2: hang located by assert(0) tracing *)
+  let hang_src =
+    {| stream int32 din depth 16; stream int32 dout depth 16;
+       process hw worker(int32 n) {
+         int32 flags[4]; int32 i;
+         assert(0);
+         flags[0] = 0;
+         for (i = 0; i < n; i = i + 1) {
+           int32 v; v = stream_read(din); stream_write(dout, v + 1);
+         }
+         assert(0);
+         flags[0] = 1;
+         int32 done; done = flags[0];
+         while (done == 0) { done = flags[0]; }
+         assert(0);
+       } |}
+  in
+  let faults = [ Faults.Fault.Read_for_write { fproc = "worker"; select = Faults.Fault.Nth 1 } ] in
+  let strategy = { Driver.unoptimized with Driver.nabort = true } in
+  let c = Driver.compile ~strategy ~faults (elab ~file:"worker.c" hang_src) in
+  let options =
+    {
+      Driver.default_sim_options with
+      Driver.feeds = [ ("din", [ 1L; 2L; 3L; 4L ]) ];
+      drains = [ "dout" ];
+      params = [ ("worker", [ ("n", 4L) ]) ];
+      max_cycles = 3_000;
+    }
+  in
+  let sw = Driver.software_sim ~options ~nabort:true c in
+  let hw = Driver.simulate ~options c in
+  Printf.printf
+    "  DES-style hang (write became read): software trace %d points, in-circuit trace %d \
+     points -> hang localized between points %d and %d\n"
+    (List.length sw.Interp.failures)
+    (List.length hw.Driver.failed_assertions)
+    (List.length hw.Driver.failed_assertions)
+    (List.length hw.Driver.failed_assertions + 1)
+
+(* --- Ablations ------------------------------------------------------------------- *)
+
+let ablation_sharing_width () =
+  section "Ablation: failure-channel sharing width (128-process loopback)";
+  Printf.printf "  %6s %10s %14s\n" "width" "streams" "ALUT overhead";
+  let prog = elab ~file:"loopback.c" (Apps.Loopback_src.source ~n:128 ()) in
+  let base = (Driver.compile ~strategy:Driver.baseline prog).Driver.area.Area.aluts in
+  List.iter
+    (fun bits ->
+      let c =
+        Driver.compile ~strategy:{ Driver.unoptimized with Driver.share = `Shared bits } prog
+      in
+      Printf.printf "  %6d %10d %13.2f%%\n" bits
+        (c.Driver.area.Area.streams)
+        (pct (c.Driver.area.Area.aluts - base) Stratix.ep2s180.Stratix.aluts))
+    [ 1; 2; 4; 8; 16; 32; 63 ]
+
+let ablation_replication () =
+  section "Ablation: resource replication on the pipelined array kernel";
+  let stats strategy =
+    let _, pipes = kernel_cycles Apps.Micro_src.array_pipelined strategy in
+    match List.filter (fun (p : Engine.pipe_stats) -> p.Engine.issues > 0) pipes with
+    | [ p ] -> (p.Engine.latency_measured, p.Engine.ii_measured)
+    | _ -> failwith "expected one pipe"
+  in
+  let area strategy =
+    let c = Driver.compile ~strategy (elab ~file:"kernel.c" Apps.Micro_src.array_pipelined) in
+    c.Driver.area.Area.ram_bits
+  in
+  let l1, r1 = stats { t4_strategy with Driver.replicate = false } in
+  let l2, r2 = stats t4_strategy in
+  Printf.printf "  without replication: latency %d rate %.2f (RAM %d bits)\n" l1 r1
+    (area { t4_strategy with Driver.replicate = false });
+  Printf.printf "  with replication:    latency %d rate %.2f (RAM %d bits)\n" l2 r2
+    (area t4_strategy);
+  Printf.printf "  [paper: replication traded one extra RAM for a 33%% rate improvement]\n"
+
+let ablation_binding () =
+  section "Ablation: functional-unit sharing (Triple-DES datapath)";
+  let prog = elab ~file:"des3.c" (Apps.Des_src.demo_source ()) in
+  let c = Driver.compile ~strategy:Driver.baseline prog in
+  let fsmd = List.hd c.Driver.fsmds in
+  let shared = Hls.Binding.bind ~policy:`Shared fsmd in
+  let flat = Hls.Binding.bind ~policy:`Flat fsmd in
+  Printf.printf "  operations: %d, units with sharing: %d, without: %d (%.1fx reduction)\n"
+    shared.Hls.Binding.total_ops shared.Hls.Binding.total_units flat.Hls.Binding.total_units
+    (float_of_int flat.Hls.Binding.total_units /. float_of_int shared.Hls.Binding.total_units)
+
+let ablation_checker_latency () =
+  section "Ablation: checker pipeline latency vs notification delay";
+  let src =
+    {| stream int32 input depth 16; stream int32 output depth 16;
+       process hw kernel(int32 n) {
+         int32 i;
+         #pragma pipeline
+         for (i = 0; i < n; i = i + 1) {
+           int32 x; x = stream_read(input);
+           assert(x < 1000);
+           stream_write(output, x);
+         }
+       } |}
+  in
+  Printf.printf "  %8s %16s %18s\n" "latency" "total cycles" "failure reported at";
+  List.iter
+    (fun lat ->
+      let strategy =
+        { Driver.parallelized with Driver.checker_latency = Some lat; nabort = true }
+      in
+      let c = Driver.compile ~strategy (elab ~file:"k.c" src) in
+      let n = 32 in
+      let feeds = List.init n (fun i -> if i = 10 then 5000L else Int64.of_int i) in
+      let r =
+        Driver.simulate
+          ~options:
+            {
+              Driver.default_sim_options with
+              Driver.feeds = [ ("input", feeds) ];
+              drains = [ "output" ];
+              params = [ ("kernel", [ ("n", Int64.of_int n) ]) ];
+            }
+          c
+      in
+      Printf.printf "  %8d %16d %18s\n" lat r.Driver.engine.Engine.cycles
+        (if r.Driver.failed_assertions <> [] then "yes (application unaffected)" else "MISSED"))
+    [ 1; 4; 16; 64 ]
+
+let ablation_transport () =
+  section "Ablation: failure transport (Impulse-C streams vs Carte-C DMA, Section 4.3)";
+  let prog = elab ~file:"loopback.c" (Apps.Loopback_src.source ~n:32 ()) in
+  let base = Driver.compile ~strategy:Driver.baseline prog in
+  Printf.printf "  %-28s %8s %14s %10s\n" "transport" "channels" "ALUT overhead" "fmax";
+  List.iter
+    (fun (name, strategy) ->
+      let c = Driver.compile ~strategy prog in
+      Printf.printf "  %-28s %8d %13.2f%% %9.1f\n" name
+        (List.length c.Driver.plan.Core.Share.streams)
+        (pct (c.Driver.area.Area.aluts - base.Driver.area.Area.aluts)
+           Stratix.ep2s180.Stratix.aluts)
+        c.Driver.timing.Timing.fmax_mhz)
+    [
+      ("stream per process", Driver.parallelized);
+      ("shared 32-bit streams", Driver.optimized);
+      ("DMA mailbox (Carte-C)", Driver.carte);
+    ];
+  print_endline
+    "  (DMA batches notification: the CPU polls every 32 cycles instead of per message)"
+
+(* --- Future work: timing assertions (Section 6) -------------------------------------- *)
+
+let timing_demo () =
+  section "Section 6 future work: timing assertions (cycle budgets between code points)";
+  let src =
+    {| stream int32 inp depth 4; stream int32 out depth 4;
+       process hw producer(int32 n) {
+         int32 i;
+         for (i = 0; i < n; i = i + 1) {
+           assert(true);
+           stream_write(inp, i);
+           assert(true);
+         }
+       }
+       process hw consumer(int32 n) {
+         int32 i;
+         for (i = 0; i < n; i = i + 1) {
+           int32 v; v = stream_read(inp);
+           if ((v & 7) == 7) {
+             int32 k; int32 acc; acc = v;
+             for (k = 0; k < 40; k = k + 1) { acc = acc + k; }
+             v = acc;
+           }
+           stream_write(out, v);
+         }
+       } |}
+  in
+  let c = Driver.compile ~strategy:Driver.parallelized (elab ~file:"timed.c" src) in
+  Printf.printf "  %8s %30s\n" "budget" "outcome";
+  List.iter
+    (fun budget ->
+      let r =
+        Driver.simulate
+          ~options:
+            {
+              Driver.default_sim_options with
+              Driver.drains = [ "out" ];
+              params = [ ("producer", [ ("n", 32L) ]); ("consumer", [ ("n", 32L) ]) ];
+              timing_checks =
+                [ { Sim.Engine.tc_name = "service-rate"; from_tap = 0; to_tap = 1;
+                    budget; soft = true } ];
+              max_cycles = 10_000;
+            }
+          c
+      in
+      Printf.printf "  %8d %30s\n" budget
+        (match r.Driver.engine.Engine.timing_violations with
+        | [] -> "met"
+        | vs -> Printf.sprintf "%d violations (first at cycle %d)" (List.length vs) (snd (List.hd vs))))
+    [ 4; 8; 16; 64; 300 ]
+
+(* --- Bechamel micro-benchmarks ------------------------------------------------------ *)
+
+let bechamel () =
+  section "Bechamel: compiler and simulator throughput";
+  let open Bechamel in
+  let des_prog = elab ~file:"des3.c" (Apps.Des_src.demo_source ()) in
+  let edge_prog = elab ~file:"edge.c" (Apps.Edge_src.demo_source ()) in
+  let loop_prog = elab ~file:"loopback.c" (Apps.Loopback_src.source ~n:8 ()) in
+  let micro = elab ~file:"k.c" Apps.Micro_src.array_pipelined in
+  (* lowering requires assertion synthesis (or stripping) to have run *)
+  let des_stripped = Core.Instrument.strip_asserts (List.hd des_prog.Front.Ast.procs) in
+  let des_ir = Mir.Opt.optimize (Mir.Lower.lower_proc des_prog des_stripped) in
+  let tests =
+    [
+      Test.make ~name:"parse+typecheck edge-detect"
+        (Staged.stage (fun () -> ignore (elab ~file:"edge.c" (Apps.Edge_src.demo_source ()))));
+      Test.make ~name:"lower+optimize 3DES"
+        (Staged.stage (fun () ->
+             ignore (Mir.Opt.optimize (Mir.Lower.lower_proc des_prog des_stripped))));
+      Test.make ~name:"schedule 3DES FSMD"
+        (Staged.stage (fun () -> ignore (Hls.Schedule.compile_proc des_ir)));
+      Test.make ~name:"full compile (edge, optimized)"
+        (Staged.stage (fun () ->
+             ignore (Driver.compile ~strategy:Driver.parallelized edge_prog)));
+      Test.make ~name:"modulo-schedule micro kernel"
+        (Staged.stage (fun () ->
+             ignore (Driver.compile ~strategy:Driver.baseline micro)));
+      Test.make ~name:"simulate 8-stage loopback (64 values)"
+        (Staged.stage
+           (let c = Driver.compile ~strategy:Driver.optimized loop_prog in
+            fun () ->
+              ignore
+                (Driver.simulate
+                   ~options:
+                     {
+                       Driver.default_sim_options with
+                       Driver.feeds = [ ("feed_in", Apps.Loopback_src.feed ~count:64) ];
+                       drains = [ "loop_out" ];
+                       params = Apps.Loopback_src.params ~n:8 ~count:64;
+                     }
+                   c)));
+    ]
+  in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+    let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols instance raw in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] ->
+            Printf.printf "  %-40s %12.1f ns/run\n"
+              (match String.index_opt name '/' with
+              | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+              | None -> name)
+              est
+        | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+      results
+  in
+  List.iter benchmark tests
+
+(* --- Driver ----------------------------------------------------------------------- *)
+
+let artifacts =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("table4", table4);
+    ("figure4", figure4);
+    ("figure5", figure5);
+    ("sec51", sec51);
+    ("ablation-sharing", ablation_sharing_width);
+    ("ablation-replication", ablation_replication);
+    ("ablation-binding", ablation_binding);
+    ("ablation-checker", ablation_checker_latency);
+    ("ablation-transport", ablation_transport);
+    ("timing", timing_demo);
+    ("bechamel", bechamel);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] | [ "all" ] ->
+      List.iter (fun (_, f) -> f ()) artifacts;
+      print_newline ()
+  | [ "--help" ] | [ "help" ] ->
+      print_endline "artifacts:";
+      List.iter (fun (n, _) -> Printf.printf "  %s\n" n) artifacts
+  | names ->
+      List.iter
+        (fun n ->
+          match List.assoc_opt n artifacts with
+          | Some f -> f ()
+          | None -> Printf.eprintf "unknown artifact %s (try --help)\n" n)
+        names

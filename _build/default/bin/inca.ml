@@ -1,0 +1,317 @@
+(* inca — In-Circuit Assertions for high-level synthesis.
+
+   Command-line driver around {!Core.Driver}:
+
+     inca compile app.c --strategy optimized
+     inca instrument app.c            # print the instrumented HLL (Figure 2)
+     inca vhdl app.c -o out.vhdl
+     inca simulate app.c --feed input=1,2,3 --drain output --param main:n=3
+     inca check app.c                 # scheduler invariant lint *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let strategy_of_string = function
+  | "baseline" | "none" -> Ok Core.Driver.baseline
+  | "unoptimized" -> Ok Core.Driver.unoptimized
+  | "parallelized" -> Ok Core.Driver.parallelized
+  | "optimized" -> Ok Core.Driver.optimized
+  | "carte" -> Ok Core.Driver.carte
+  | s -> Error (`Msg (Printf.sprintf "unknown strategy %s" s))
+
+let strategy_conv =
+  Arg.conv (strategy_of_string, fun ppf _ -> Format.fprintf ppf "<strategy>")
+
+let strategy_arg =
+  let doc =
+    "Assertion synthesis strategy: baseline (assertions stripped), unoptimized \
+     (if-conversion, Section 4.1), parallelized (checker tasks, Sections 3.1+3.2), or \
+     optimized (parallelized + 32-way channel sharing, Section 3.3), or carte \
+     (DMA-mailbox transport, Section 4.3)."
+  in
+  Arg.(value & opt strategy_conv Core.Driver.optimized & info [ "s"; "strategy" ] ~doc)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"InCA-C source file")
+
+let nabort_arg =
+  Arg.(value & flag & info [ "nabort" ] ~doc:"Keep running after assertion failures (NABORT).")
+
+let ndebug_arg =
+  Arg.(value & flag & info [ "ndebug" ] ~doc:"Strip all assertions (NDEBUG).")
+
+let load ~ndebug ~nabort ~strategy path =
+  let src = read_file path in
+  let prog = Front.Typecheck.parse_and_check ~file:(Filename.basename path) src in
+  let strategy =
+    if ndebug then Core.Driver.baseline else { strategy with Core.Driver.nabort }
+  in
+  Core.Driver.compile ~strategy prog
+
+let report (c : Core.Driver.compiled) =
+  let a = c.Core.Driver.area in
+  let t = c.Core.Driver.timing in
+  Printf.printf "assertions: %d\n" (List.length c.Core.Driver.asserts);
+  List.iter
+    (fun (id, (info : Core.Assertion.info)) ->
+      Printf.printf "  #%d %s:%d in %s: %s\n" id info.Core.Assertion.aloc.Front.Loc.file
+        info.Core.Assertion.aloc.Front.Loc.line info.Core.Assertion.aproc
+        info.Core.Assertion.text)
+    c.Core.Driver.table;
+  Printf.printf "failure channels: %d\n" (List.length c.Core.Driver.plan.Core.Share.streams);
+  Printf.printf "\nEP2S180 utilization:\n";
+  Printf.printf "  ALUTs        %7d (%.2f%%)\n" a.Rtl.Area.aluts
+    (100.0 *. float_of_int a.Rtl.Area.aluts /. 143520.0);
+  Printf.printf "  registers    %7d (%.2f%%)\n" a.Rtl.Area.registers
+    (100.0 *. float_of_int a.Rtl.Area.registers /. 143520.0);
+  Printf.printf "  RAM bits     %7d (%.2f%%)\n" a.Rtl.Area.ram_bits
+    (100.0 *. float_of_int a.Rtl.Area.ram_bits /. 9383040.0);
+  Printf.printf "  interconnect %7d (%.2f%%)\n" a.Rtl.Area.interconnect
+    (100.0 *. float_of_int a.Rtl.Area.interconnect /. 536440.0);
+  Printf.printf "  DSP 18x18    %7d\n" a.Rtl.Area.dsps;
+  Printf.printf "\ntiming: fmax %.1f MHz (logic %.2f ns + routing %.2f ns)\n"
+    t.Rtl.Timing.fmax_mhz t.Rtl.Timing.logic_ns t.Rtl.Timing.route_ns;
+  List.iter
+    (fun (f : Hls.Fsmd.t) ->
+      Printf.printf "process %s: %d states, %d pipelined loop(s)\n"
+        f.Hls.Fsmd.proc.Mir.Ir.name (Hls.Fsmd.num_states f)
+        (Array.length f.Hls.Fsmd.pipes);
+      Array.iter
+        (fun (p : Hls.Fsmd.pipe) ->
+          Printf.printf "  pipeline: II=%d, depth=%d\n" p.Hls.Fsmd.ii p.Hls.Fsmd.depth)
+        f.Hls.Fsmd.pipes)
+    c.Core.Driver.fsmds
+
+(* --- compile ------------------------------------------------------------------- *)
+
+let compile_cmd =
+  let run file strategy nabort ndebug =
+    let c = load ~ndebug ~nabort ~strategy file in
+    report c;
+    match Core.Driver.check_invariants c with
+    | [] -> `Ok ()
+    | errs ->
+        List.iter prerr_endline errs;
+        `Error (false, "scheduler invariant violations")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile and print an area/timing report")
+    Term.(ret (const run $ file_arg $ strategy_arg $ nabort_arg $ ndebug_arg))
+
+(* --- instrument ---------------------------------------------------------------- *)
+
+let instrument_cmd =
+  let run file strategy nabort ndebug =
+    let c = load ~ndebug ~nabort ~strategy file in
+    print_endline (Front.Pretty.program_to_string c.Core.Driver.instrumented);
+    print_endline "/* --- generated notification function --- */";
+    print_endline c.Core.Driver.notification_source
+  in
+  Cmd.v
+    (Cmd.info "instrument"
+       ~doc:"Print the instrumented HLL source and the generated notification function")
+    Term.(const run $ file_arg $ strategy_arg $ nabort_arg $ ndebug_arg)
+
+(* --- vhdl ------------------------------------------------------------------------ *)
+
+let vhdl_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  let run file strategy nabort ndebug out =
+    let c = load ~ndebug ~nabort ~strategy file in
+    match out with
+    | None -> print_string c.Core.Driver.vhdl
+    | Some path ->
+        let oc = open_out path in
+        output_string oc c.Core.Driver.vhdl;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "vhdl" ~doc:"Emit VHDL for the synthesized design")
+    Term.(const run $ file_arg $ strategy_arg $ nabort_arg $ ndebug_arg $ out_arg)
+
+(* --- simulate -------------------------------------------------------------------- *)
+
+let parse_feed s =
+  match String.index_opt s '=' with
+  | Some i ->
+      let stream = String.sub s 0 i in
+      let vals =
+        String.split_on_char ',' (String.sub s (i + 1) (String.length s - i - 1))
+        |> List.filter (fun x -> x <> "")
+        |> List.map Int64.of_string
+      in
+      (stream, vals)
+  | None -> invalid_arg (Printf.sprintf "bad feed %S (expected stream=v1,v2,...)" s)
+
+let parse_param s =
+  match String.index_opt s ':' with
+  | Some i -> (
+      let proc = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.index_opt rest '=' with
+      | Some j ->
+          let name = String.sub rest 0 j in
+          let v = Int64.of_string (String.sub rest (j + 1) (String.length rest - j - 1)) in
+          (proc, (name, v))
+      | None -> invalid_arg (Printf.sprintf "bad param %S" s))
+  | None -> invalid_arg (Printf.sprintf "bad param %S (expected proc:name=value)" s)
+
+let simulate_cmd =
+  let feeds_arg =
+    Arg.(value & opt_all string [] & info [ "feed" ] ~doc:"Testbench input: stream=v1,v2,...")
+  in
+  let drains_arg =
+    Arg.(value & opt_all string [] & info [ "drain" ] ~doc:"Stream to collect output from.")
+  in
+  let params_arg =
+    Arg.(value & opt_all string [] & info [ "param" ] ~doc:"Process parameter: proc:name=value")
+  in
+  let cycles_arg =
+    Arg.(value & opt int 1_000_000 & info [ "max-cycles" ] ~doc:"Cycle budget.")
+  in
+  let vcd_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vcd" ]
+          ~doc:"Dump a VCD waveform of every FSM state and named register (SignalTap view).")
+  in
+  let run file strategy nabort ndebug feeds drains params max_cycles vcd =
+    let c = load ~ndebug ~nabort ~strategy file in
+    let feeds = List.map parse_feed feeds in
+    let params =
+      List.fold_left
+        (fun acc p ->
+          let proc, kv = parse_param p in
+          let cur = try List.assoc proc acc with Not_found -> [] in
+          (proc, kv :: cur) :: List.remove_assoc proc acc)
+        [] params
+    in
+    let r =
+      Core.Driver.simulate
+        ~options:
+          { Core.Driver.feeds; drains; params; hw_models = []; max_cycles;
+            timing_checks = []; trace = vcd <> None }
+        c
+    in
+    let e = r.Core.Driver.engine in
+    (match (vcd, e.Sim.Engine.vcd) with
+    | Some path, Some contents ->
+        let oc = open_out path in
+        output_string oc contents;
+        close_out oc;
+        Printf.printf "wrote waveform to %s\n" path
+    | _ -> ());
+    List.iter print_endline r.Core.Driver.messages;
+    (match e.Sim.Engine.outcome with
+    | Sim.Engine.Finished -> Printf.printf "finished in %d cycles\n" e.Sim.Engine.cycles
+    | Sim.Engine.Aborted m -> Printf.printf "aborted after %d cycles: %s\n" e.Sim.Engine.cycles m
+    | Sim.Engine.Hang blocked ->
+        Printf.printf "HANG after %d cycles:\n" e.Sim.Engine.cycles;
+        List.iter (fun (p, s) -> Printf.printf "  %s blocked in state %d\n" p s) blocked
+    | Sim.Engine.Out_of_cycles ->
+        Printf.printf "still running after %d cycles\n" e.Sim.Engine.cycles
+    | Sim.Engine.Sim_error m -> Printf.printf "simulation error: %s\n" m);
+    List.iter
+      (fun (s, vs) ->
+        Printf.printf "%s: %s\n" s (String.concat " " (List.map Int64.to_string vs)))
+      e.Sim.Engine.drained;
+    List.iter
+      (fun (p : Sim.Engine.pipe_stats) ->
+        if p.Sim.Engine.issues > 0 then
+          Printf.printf "pipeline in %s: II=%d (measured %.2f), latency %d, %d iterations\n"
+            p.Sim.Engine.ps_proc p.Sim.Engine.ii_static p.Sim.Engine.ii_measured
+            p.Sim.Engine.latency_measured p.Sim.Engine.issues)
+      e.Sim.Engine.pipes
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the design in the cycle-accurate simulator")
+    Term.(
+      const run $ file_arg $ strategy_arg $ nabort_arg $ ndebug_arg $ feeds_arg $ drains_arg
+      $ params_arg $ cycles_arg $ vcd_arg)
+
+(* --- swsim ------------------------------------------------------------------------ *)
+
+let swsim_cmd =
+  let feeds_arg =
+    Arg.(value & opt_all string [] & info [ "feed" ] ~doc:"Testbench input: stream=v1,v2,...")
+  in
+  let drains_arg =
+    Arg.(value & opt_all string [] & info [ "drain" ] ~doc:"Stream to collect output from.")
+  in
+  let params_arg =
+    Arg.(value & opt_all string [] & info [ "param" ] ~doc:"Process parameter: proc:name=value")
+  in
+  let run file nabort ndebug feeds drains params =
+    let c = load ~ndebug ~nabort ~strategy:Core.Driver.baseline file in
+    let feeds = List.map parse_feed feeds in
+    let params =
+      List.fold_left
+        (fun acc p ->
+          let proc, kv = parse_param p in
+          let cur = try List.assoc proc acc with Not_found -> [] in
+          (proc, kv :: cur) :: List.remove_assoc proc acc)
+        [] params
+    in
+    let r =
+      Core.Driver.software_sim
+        ~options:
+          { Core.Driver.default_sim_options with Core.Driver.feeds; drains; params }
+        ~nabort c
+    in
+    List.iter print_endline r.Interp.log;
+    (match r.Interp.outcome with
+    | Interp.Completed -> print_endline "software simulation completed"
+    | Interp.Aborted f -> Printf.printf "aborted: %s\n" (Interp.failure_message f)
+    | Interp.Deadlocked blocked ->
+        print_endline "DEADLOCK:";
+        List.iter
+          (fun (p, loc) -> Printf.printf "  %s blocked at %s\n" p (Front.Loc.to_string loc))
+          blocked
+    | Interp.Fuel_exhausted -> print_endline "step budget exhausted (runaway loop?)"
+    | Interp.Runtime_error m -> Printf.printf "runtime error: %s\n" m);
+    List.iter
+      (fun (s, vs) ->
+        Printf.printf "%s: %s\n" s (String.concat " " (List.map Int64.to_string vs)))
+      r.Interp.drained
+  in
+  Cmd.v
+    (Cmd.info "swsim"
+       ~doc:
+         "Run the program under software simulation (untimed C semantics, the Impulse-C \
+          desktop path the paper contrasts against)")
+    Term.(const run $ file_arg $ nabort_arg $ ndebug_arg $ feeds_arg $ drains_arg $ params_arg)
+
+(* --- check ------------------------------------------------------------------------ *)
+
+let check_cmd =
+  let run file strategy =
+    let c = load ~ndebug:false ~nabort:false ~strategy file in
+    match Core.Driver.check_invariants c with
+    | [] ->
+        print_endline "ok: all scheduler invariants hold";
+        `Ok ()
+    | errs ->
+        List.iter prerr_endline errs;
+        `Error (false, "invariant violations")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Lint the scheduled design against FSMD invariants")
+    Term.(ret (const run $ file_arg $ strategy_arg))
+
+let main =
+  let doc = "in-circuit assertion synthesis for high-level synthesis" in
+  Cmd.group
+    (Cmd.info "inca" ~version:"1.0.0" ~doc)
+    [ compile_cmd; instrument_cmd; vhdl_cmd; simulate_cmd; swsim_cmd; check_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/debug_hang.ml: Core Faults Front Interp List Printf Sim

@@ -1,0 +1,1 @@
+examples/edge_detect.ml: Apps Array Core Front Int64 List Printf Rtl Sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Front Interp List Printf Rtl Sim

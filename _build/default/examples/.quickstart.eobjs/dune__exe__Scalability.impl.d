@@ -1,0 +1,1 @@
+examples/scalability.ml: Apps Core Device Front List Printf Rtl Sim

@@ -1,0 +1,1 @@
+examples/timing_assert.ml: Core Filename Front Int64 List Printf Sim String

@@ -1,0 +1,1 @@
+examples/triple_des.ml: Apps Core Device Front Int64 List Printf Rtl Sim

@@ -1,0 +1,1 @@
+examples/verify_bug.ml: Core Faults Front Int64 Interp List Printf Sim

@@ -1,0 +1,86 @@
+(* Debugging a hang with assert(0) tracing (paper Section 5.1).
+
+   A translation fault turns a block-RAM write into a read, so a
+   completion flag is never stored and the process spins forever — but
+   only in hardware: software simulation interprets the source (no
+   fault) and completes.
+
+   Following the paper's methodology, assert(0) statements are placed at
+   interesting points and NABORT keeps the application running: the set
+   of trace assertions that fired in hardware vs. software pinpoints the
+   line where the hang begins.
+
+   Run with: dune exec examples/debug_hang.exe *)
+
+let source =
+  {|
+stream int32 data_in depth 16;
+stream int32 data_out depth 16;
+
+process hw worker(int32 n) {
+  int32 flags[4];
+  int32 i;
+  assert(0);            /* trace point 1: process started */
+  flags[0] = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int32 v;
+    v = stream_read(data_in);
+    stream_write(data_out, v + 1);
+  }
+  assert(0);            /* trace point 2: loop finished */
+  flags[0] = 1;         /* the completion flag write becomes a READ in hardware */
+  int32 done;
+  done = flags[0];
+  while (done == 0) {
+    done = flags[0];    /* spins forever when the store was dropped */
+  }
+  assert(0);            /* trace point 3: completion observed */
+}
+|}
+
+let () =
+  let program = Front.Typecheck.parse_and_check ~file:"worker.c" source in
+  let faults =
+    (* the second store in the process (flags[0] = 1) becomes a read *)
+    [ Faults.Fault.Read_for_write { fproc = "worker"; select = Faults.Fault.Nth 1 } ]
+  in
+  let strategy = { Core.Driver.unoptimized with Core.Driver.nabort = true } in
+  let compiled = Core.Driver.compile ~strategy ~faults program in
+  let options =
+    {
+      Core.Driver.default_sim_options with
+      Core.Driver.feeds = [ ("data_in", [ 1L; 2L; 3L; 4L ]) ];
+      drains = [ "data_out" ];
+      params = [ ("worker", [ ("n", 4L) ]) ];
+      max_cycles = 5_000;
+    }
+  in
+
+  print_endline "--- software simulation (NABORT trace) ---";
+  let sw = Core.Driver.software_sim ~options ~nabort:true compiled in
+  List.iter print_endline sw.Interp.log;
+  Printf.printf "outcome: %s\n"
+    (match sw.Interp.outcome with
+    | Interp.Completed -> "completed"
+    | _ -> "did not complete");
+
+  print_endline "\n--- in-circuit execution (NABORT trace) ---";
+  let hw = Core.Driver.simulate ~options compiled in
+  List.iter print_endline hw.Core.Driver.messages;
+  (match hw.Core.Driver.engine.Sim.Engine.outcome with
+  | Sim.Engine.Hang blocked ->
+      print_endline "outcome: HANG";
+      List.iter
+        (fun (proc, state) -> Printf.printf "  %s stuck in state %d\n" proc state)
+        blocked
+  | Sim.Engine.Out_of_cycles -> print_endline "outcome: still spinning after max cycles"
+  | o ->
+      print_endline
+        (match o with
+        | Sim.Engine.Finished -> "outcome: finished"
+        | Sim.Engine.Aborted m -> "outcome: aborted " ^ m
+        | _ -> "outcome: other"));
+
+  print_endline
+    "\nTrace points 1 and 2 fired in both runs; trace point 3 fired only in\n\
+     software simulation — the hang is between them, at the flags[0] readback."

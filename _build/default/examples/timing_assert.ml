@@ -1,0 +1,97 @@
+(* Timing assertions (the paper's Section 6 future work) and the
+   embedded-logic-analyzer view.
+
+   "Future work includes adding the ability for assertions to check the
+   timing of the lines of code, which would be useful for verifying
+   timing properties of an application in terms of clock cycles."
+
+   Two assert(true) markers bracket a producer's loop body; a cycle
+   budget between their taps asserts the loop's service rate.  A
+   downstream consumer occasionally goes slow; once backpressure stalls
+   the producer past its budget, the timing assertion fires in circuit.
+   The same run captures a VCD waveform — what SignalTap would give you,
+   minus the source-level interpretation.
+
+   Run with: dune exec examples/timing_assert.exe *)
+
+let source =
+  {|
+stream int32 work_in depth 4;
+stream int32 work_out depth 4;
+
+process hw producer(int32 n) {
+  int32 i;
+  for (i = 0; i < n; i = i + 1) {
+    assert(true);               /* marker: iteration start (tap 0) */
+    stream_write(work_in, i);
+    assert(true);               /* marker: iteration end (tap 1) */
+  }
+}
+
+process hw consumer(int32 n) {
+  int32 i;
+  for (i = 0; i < n; i = i + 1) {
+    int32 v;
+    v = stream_read(work_in);
+    /* an occasional slow path: a burst of extra work every 8th item */
+    if ((v & 7) == 7) {
+      int32 k; int32 acc;
+      acc = v;
+      for (k = 0; k < 40; k = k + 1) {
+        acc = acc + k;
+      }
+      v = acc;
+    }
+    stream_write(work_out, v);
+  }
+}
+|}
+
+let () =
+  let program = Front.Typecheck.parse_and_check ~file:"timed.c" source in
+  let compiled = Core.Driver.compile ~strategy:Core.Driver.parallelized program in
+  let n = 32 in
+  let run ~budget =
+    Core.Driver.simulate
+      ~options:
+        {
+          Core.Driver.default_sim_options with
+          Core.Driver.drains = [ "work_out" ];
+          params = [ ("producer", [ ("n", Int64.of_int n) ]);
+                     ("consumer", [ ("n", Int64.of_int n) ]) ];
+          timing_checks =
+            [ { Sim.Engine.tc_name = "producer-service-rate"; from_tap = 0; to_tap = 1;
+                budget; soft = false } ];
+          trace = true;
+          max_cycles = 10_000;
+        }
+      compiled
+  in
+  print_endline "--- generous budget: 300 cycles per iteration ---";
+  let r = run ~budget:300 in
+  Printf.printf "outcome: %s (%d timing violations)\n"
+    (match r.Core.Driver.engine.Sim.Engine.outcome with
+    | Sim.Engine.Finished -> "finished"
+    | Sim.Engine.Aborted m -> m
+    | _ -> "other")
+    (List.length r.Core.Driver.engine.Sim.Engine.timing_violations);
+
+  print_endline "\n--- tight budget: 8 cycles per iteration ---";
+  let r = run ~budget:8 in
+  (match r.Core.Driver.engine.Sim.Engine.outcome with
+  | Sim.Engine.Aborted m -> Printf.printf "outcome: %s\n" m
+  | _ -> print_endline "outcome: unexpectedly met the budget");
+  List.iter
+    (fun (name, cycle) -> Printf.printf "  violation: %s at cycle %d\n" name cycle)
+    r.Core.Driver.engine.Sim.Engine.timing_violations;
+
+  (* the logic-analyzer view of the same run *)
+  (match r.Core.Driver.engine.Sim.Engine.vcd with
+  | Some vcd ->
+      let path = Filename.temp_file "inca_timing" ".vcd" in
+      let oc = open_out path in
+      output_string oc vcd;
+      close_out oc;
+      Printf.printf "\nwaveform (SignalTap view) written to %s (%d bytes)\n" path
+        (String.length vcd)
+  | None -> ())

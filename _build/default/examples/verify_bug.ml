@@ -1,0 +1,99 @@
+(* In-circuit verification (paper Section 5.1, Figure 3).
+
+   Two bugs that software simulation cannot see:
+
+   1. A hardware translation fault: the HLS tool compiles a 64-bit
+      comparison as a 5-bit comparison, so 4294967286 > 4294967296
+      (false in C) evaluates true in circuit and a negative array index
+      escapes.  The in-circuit assertion catches it; software simulation
+      passes.
+
+   2. An external HDL function whose C model (used by software
+      simulation) disagrees with its hardware behaviour.  Again only the
+      in-circuit assertion sees the failure.
+
+   Run with: dune exec examples/verify_bug.exe *)
+
+let source =
+  {|
+stream int32 data_out depth 16;
+extern int32 scale2(int32) latency 2;
+
+process hw check(int32 n) {
+  int32 frame[32];
+  int64 c1;
+  int64 c2;
+  int32 addr;
+  c1 = 4294967296;
+  c2 = 4294967286;
+  addr = 0;
+  if (c2 > c1) {
+    addr = addr - 10;
+  }
+  assert(addr >= 0);
+  frame[addr] = n;
+  int32 y;
+  y = scale2(n);
+  assert(y == n * 2);
+  stream_write(data_out, y);
+}
+|}
+
+let outcome_to_string = function
+  | Sim.Engine.Finished -> "finished"
+  | Sim.Engine.Aborted m -> "ABORTED: " ^ m
+  | Sim.Engine.Hang _ -> "hang"
+  | Sim.Engine.Out_of_cycles -> "out of cycles"
+  | Sim.Engine.Sim_error m -> "error: " ^ m
+
+let () =
+  let program = Front.Typecheck.parse_and_check ~file:"verify.c" source in
+  (* the C model of the external HDL function is correct... *)
+  let c_model = [ ("scale2", fun vs -> Int64.mul 2L (List.hd vs)) ] in
+  (* ...but the hardware implementation has an off-by-one bug *)
+  let hw_model = [ ("scale2", fun vs -> Int64.add 1L (Int64.mul 2L (List.hd vs))) ] in
+  let params = [ ("check", [ ("n", 21L) ]) ] in
+
+  print_endline "--- bug 1: narrowed comparison (Figure 3) ---";
+  let faults =
+    [ Faults.Fault.Narrow_compare
+        { fproc = "check"; select = Faults.Fault.All; mask_bits = 5 } ]
+  in
+  let compiled = Core.Driver.compile ~strategy:Core.Driver.parallelized ~faults program in
+  let options =
+    {
+      Core.Driver.default_sim_options with
+      Core.Driver.params;
+      drains = [ "data_out" ];
+      hw_models = c_model (* hardware model correct for this part *);
+    }
+  in
+  let sw = Core.Driver.software_sim ~options compiled in
+  Printf.printf "software simulation: %s\n"
+    (match sw.Interp.outcome with
+    | Interp.Completed -> "passes (the bug is invisible)"
+    | Interp.Aborted f -> Interp.failure_message f
+    | _ -> "unexpected outcome");
+  let hw = Core.Driver.simulate ~options compiled in
+  Printf.printf "in-circuit execution: %s\n"
+    (outcome_to_string hw.Core.Driver.engine.Sim.Engine.outcome);
+
+  print_endline "\n--- bug 2: external HDL function mismatch ---";
+  let compiled = Core.Driver.compile ~strategy:Core.Driver.parallelized program in
+  let sw =
+    Core.Driver.software_sim
+      ~options:{ options with Core.Driver.hw_models = c_model }
+      compiled
+  in
+  Printf.printf "software simulation (C model): %s\n"
+    (match sw.Interp.outcome with
+    | Interp.Completed -> "passes"
+    | Interp.Aborted f -> Interp.failure_message f
+    | _ -> "unexpected outcome");
+  let hw =
+    Core.Driver.simulate
+      ~options:{ options with Core.Driver.hw_models = hw_model }
+      compiled
+  in
+  Printf.printf "in-circuit execution (HDL): %s\n"
+    (outcome_to_string hw.Core.Driver.engine.Sim.Engine.outcome)

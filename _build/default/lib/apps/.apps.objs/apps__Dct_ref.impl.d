@@ -1,0 +1,1 @@
+lib/apps/dct_ref.ml: Array Float Int64 List

@@ -1,0 +1,1 @@
+lib/apps/dct_src.ml: Array Buffer Dct_ref Printf String

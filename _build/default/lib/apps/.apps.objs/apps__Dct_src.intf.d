@@ -1,0 +1,1 @@
+lib/apps/dct_src.mli:

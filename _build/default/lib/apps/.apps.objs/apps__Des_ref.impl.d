@@ -1,0 +1,1 @@
+lib/apps/des_ref.ml: Array Char Int64 List String

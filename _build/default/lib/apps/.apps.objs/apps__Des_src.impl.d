@@ -1,0 +1,1 @@
+lib/apps/des_src.ml: Array Buffer Des_ref Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/apps/des_src.mli:

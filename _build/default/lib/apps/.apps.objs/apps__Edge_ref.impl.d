@@ -1,0 +1,1 @@
+lib/apps/edge_ref.ml: Array Int64

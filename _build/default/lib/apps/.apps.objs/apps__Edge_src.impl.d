@@ -1,0 +1,1 @@
+lib/apps/edge_src.ml: Buffer List Printf String

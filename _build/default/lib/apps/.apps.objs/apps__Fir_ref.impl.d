@@ -1,0 +1,1 @@
+lib/apps/fir_ref.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/apps/fir_src.ml: Array Buffer Fir_ref List Printf String

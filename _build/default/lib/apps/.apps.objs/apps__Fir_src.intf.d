@@ -1,0 +1,1 @@
+lib/apps/fir_src.mli:

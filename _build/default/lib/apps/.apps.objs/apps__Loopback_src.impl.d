@@ -1,0 +1,1 @@
+lib/apps/loopback_src.ml: Buffer Int64 List Printf

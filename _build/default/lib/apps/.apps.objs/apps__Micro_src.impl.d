@@ -1,0 +1,1 @@
+lib/apps/micro_src.ml: Int64 List

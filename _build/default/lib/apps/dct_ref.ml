@@ -1,0 +1,44 @@
+(** Reference 8-point DCT-II (OCaml oracle).
+
+    Fixed-point: coefficients are [round(1024 * c(k) * cos((2n+1) k pi / 16))]
+    and outputs are scaled back by an arithmetic shift of 10.  The DCT is
+    the second of the two kernels (with the FIR) used by the related
+    work the paper cites for in-circuit checker fault coverage. *)
+
+let points = 8
+
+let scale_shift = 10
+
+(** Row-major coefficient table, [coeff.(k * points + n)]. *)
+let coeff =
+  Array.init (points * points) (fun i ->
+      let k = i / points and n = i mod points in
+      let ck = if k = 0 then sqrt (1.0 /. float_of_int points) else sqrt (2.0 /. float_of_int points) in
+      let angle =
+        float_of_int ((2 * n) + 1) *. float_of_int k *. Float.pi /. (2.0 *. float_of_int points)
+      in
+      int_of_float (Float.round (1024.0 *. ck *. cos angle)))
+
+(** Output magnitude bound for 16-bit inputs: |y| <= 8 * 1024 * 32768 >> 10. *)
+let output_bound = 8 * 32768
+
+(** Transform one 8-sample block. *)
+let transform (block : int array) : int array =
+  Array.init points (fun k ->
+      let acc = ref 0 in
+      for n = 0 to points - 1 do
+        acc := !acc + (coeff.((k * points) + n) * block.(n))
+      done;
+      !acc asr scale_shift)
+
+(** Transform a sample stream block by block (length must be a multiple
+    of 8). *)
+let transform_stream (samples : int array) : int array =
+  let nblocks = Array.length samples / points in
+  Array.concat
+    (List.init nblocks (fun b -> transform (Array.sub samples (b * points) points)))
+
+let test_blocks n =
+  Array.init (n * points) (fun i -> ((i * 97) mod 2048) - 1024 + (if i mod 8 = 0 then 512 else 0))
+
+let to_stream (samples : int array) = Array.to_list (Array.map Int64.of_int samples)

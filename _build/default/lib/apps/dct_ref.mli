@@ -1,0 +1,20 @@
+(** Reference 8-point fixed-point DCT-II (OCaml oracle) matching
+    {!Dct_src}'s ROM-driven hardware kernel. *)
+
+val points : int
+val scale_shift : int
+
+(** Row-major coefficient ROM contents, [coeff.(k * points + n)]. *)
+val coeff : int array
+
+(** Output magnitude bound asserted in circuit. *)
+val output_bound : int
+
+(** Transform one 8-sample block. *)
+val transform : int array -> int array
+
+(** Transform block by block (length must be a multiple of 8). *)
+val transform_stream : int array -> int array
+
+val test_blocks : int -> int array
+val to_stream : int array -> int64 list

@@ -1,0 +1,42 @@
+(** 8-point DCT-II in InCA-C.
+
+    The coefficient matrix lives in a block-RAM ROM (one M4K); each
+    block of eight samples is buffered into a dual-ported scratch RAM
+    and transformed by a doubly-nested multiply-accumulate loop.  An
+    in-circuit assertion bounds every output coefficient — a wrapped
+    accumulator or a mis-indexed ROM row shows up immediately. *)
+
+let source () =
+  let buf = Buffer.create 4096 in
+  let p fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  p "stream int32 dct_in depth 16;";
+  p "stream int32 dct_out depth 16;";
+  p "";
+  p "process hw dct(int32 nblocks) {";
+  p "  const int32 dctc[%d] = { %s };"
+    (Dct_ref.points * Dct_ref.points)
+    (String.concat ", " (Array.to_list (Array.map string_of_int Dct_ref.coeff)));
+  p "  int32 x[8];";
+  p "  int32 b;";
+  p "  for (b = 0; b < nblocks; b = b + 1) {";
+  p "    int32 n;";
+  p "    for (n = 0; n < 8; n = n + 1) {";
+  p "      x[n] = stream_read(dct_in);";
+  p "    }";
+  p "    int32 k;";
+  p "    for (k = 0; k < 8; k = k + 1) {";
+  p "      int32 acc;";
+  p "      acc = 0;";
+  p "      int32 m;";
+  p "      for (m = 0; m < 8; m = m + 1) {";
+  p "        acc = acc + dctc[k * 8 + m] * x[m];";
+  p "      }";
+  p "      int32 y;";
+  p "      y = acc >> %d;" Dct_ref.scale_shift;
+  p "      assert(y <= %d);" Dct_ref.output_bound;
+  p "      assert(y >= %d);" (-Dct_ref.output_bound);
+  p "      stream_write(dct_out, y);";
+  p "    }";
+  p "  }";
+  p "}";
+  Buffer.contents buf

@@ -1,0 +1,6 @@
+(** 8-point DCT-II in InCA-C: coefficient matrix in a block-RAM ROM,
+    block buffering, nested multiply-accumulate loops, and output-bound
+    assertions.  Reads [dct_in], writes [dct_out]; process [dct],
+    parameter [nblocks]. *)
+
+val source : unit -> string

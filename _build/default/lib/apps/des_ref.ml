@@ -1,0 +1,362 @@
+(** Reference DES / Triple-DES implementation (OCaml oracle).
+
+    Used to validate the InCA-C Triple-DES case study (paper Section
+    5.2, Table 1): the generated C program must produce bit-identical
+    results under both the software interpreter and the cycle-accurate
+    simulator.
+
+    Two forms of the cipher are implemented:
+    - a textbook table-driven form (IP/E/S/P/PC1/PC2), validated against
+      the classic published test vector; and
+    - the delta-swap + packed-subkey form that the generated hardware C
+      uses (no 64-entry permutation tables in the datapath).  Their
+      equivalence is established by property tests, and the subkey
+      packing is *derived* programmatically from the E expansion rather
+      than transcribed. *)
+
+(* --- Standard DES tables (FIPS 46-3 numbering, 1-indexed from MSB) ------ *)
+
+let ip =
+  [| 58; 50; 42; 34; 26; 18; 10; 2; 60; 52; 44; 36; 28; 20; 12; 4;
+     62; 54; 46; 38; 30; 22; 14; 6; 64; 56; 48; 40; 32; 24; 16; 8;
+     57; 49; 41; 33; 25; 17;  9; 1; 59; 51; 43; 35; 27; 19; 11; 3;
+     61; 53; 45; 37; 29; 21; 13; 5; 63; 55; 47; 39; 31; 23; 15; 7 |]
+
+let fp =
+  [| 40; 8; 48; 16; 56; 24; 64; 32; 39; 7; 47; 15; 55; 23; 63; 31;
+     38; 6; 46; 14; 54; 22; 62; 30; 37; 5; 45; 13; 53; 21; 61; 29;
+     36; 4; 44; 12; 52; 20; 60; 28; 35; 3; 43; 11; 51; 19; 59; 27;
+     34; 2; 42; 10; 50; 18; 58; 26; 33; 1; 41;  9; 49; 17; 57; 25 |]
+
+let e_table =
+  [| 32; 1; 2; 3; 4; 5; 4; 5; 6; 7; 8; 9;
+      8; 9; 10; 11; 12; 13; 12; 13; 14; 15; 16; 17;
+     16; 17; 18; 19; 20; 21; 20; 21; 22; 23; 24; 25;
+     24; 25; 26; 27; 28; 29; 28; 29; 30; 31; 32; 1 |]
+
+let p_table =
+  [| 16; 7; 20; 21; 29; 12; 28; 17; 1; 15; 23; 26; 5; 18; 31; 10;
+      2; 8; 24; 14; 32; 27; 3; 9; 19; 13; 30; 6; 22; 11; 4; 25 |]
+
+let pc1 =
+  [| 57; 49; 41; 33; 25; 17;  9;  1; 58; 50; 42; 34; 26; 18;
+     10;  2; 59; 51; 43; 35; 27; 19; 11;  3; 60; 52; 44; 36;
+     63; 55; 47; 39; 31; 23; 15;  7; 62; 54; 46; 38; 30; 22;
+     14;  6; 61; 53; 45; 37; 29; 21; 13;  5; 28; 20; 12;  4 |]
+
+let pc2 =
+  [| 14; 17; 11; 24;  1;  5;  3; 28; 15;  6; 21; 10;
+     23; 19; 12;  4; 26;  8; 16;  7; 27; 20; 13;  2;
+     41; 52; 31; 37; 47; 55; 30; 40; 51; 45; 33; 48;
+     44; 49; 39; 56; 34; 53; 46; 42; 50; 36; 29; 32 |]
+
+let rotations = [| 1; 1; 2; 2; 2; 2; 2; 2; 1; 2; 2; 2; 2; 2; 2; 1 |]
+
+(* S-boxes: s.(box).(row*16 + col). *)
+let sboxes =
+  [|
+    [| 14;4;13;1;2;15;11;8;3;10;6;12;5;9;0;7;
+       0;15;7;4;14;2;13;1;10;6;12;11;9;5;3;8;
+       4;1;14;8;13;6;2;11;15;12;9;7;3;10;5;0;
+       15;12;8;2;4;9;1;7;5;11;3;14;10;0;6;13 |];
+    [| 15;1;8;14;6;11;3;4;9;7;2;13;12;0;5;10;
+       3;13;4;7;15;2;8;14;12;0;1;10;6;9;11;5;
+       0;14;7;11;10;4;13;1;5;8;12;6;9;3;2;15;
+       13;8;10;1;3;15;4;2;11;6;7;12;0;5;14;9 |];
+    [| 10;0;9;14;6;3;15;5;1;13;12;7;11;4;2;8;
+       13;7;0;9;3;4;6;10;2;8;5;14;12;11;15;1;
+       13;6;4;9;8;15;3;0;11;1;2;12;5;10;14;7;
+       1;10;13;0;6;9;8;7;4;15;14;3;11;5;2;12 |];
+    [| 7;13;14;3;0;6;9;10;1;2;8;5;11;12;4;15;
+       13;8;11;5;6;15;0;3;4;7;2;12;1;10;14;9;
+       10;6;9;0;12;11;7;13;15;1;3;14;5;2;8;4;
+       3;15;0;6;10;1;13;8;9;4;5;11;12;7;2;14 |];
+    [| 2;12;4;1;7;10;11;6;8;5;3;15;13;0;14;9;
+       14;11;2;12;4;7;13;1;5;0;15;10;3;9;8;6;
+       4;2;1;11;10;13;7;8;15;9;12;5;6;3;0;14;
+       11;8;12;7;1;14;2;13;6;15;0;9;10;4;5;3 |];
+    [| 12;1;10;15;9;2;6;8;0;13;3;4;14;7;5;11;
+       10;15;4;2;7;12;9;5;6;1;13;14;0;11;3;8;
+       9;14;15;5;2;8;12;3;7;0;4;10;1;13;11;6;
+       4;3;2;12;9;5;15;10;11;14;1;7;6;0;8;13 |];
+    [| 4;11;2;14;15;0;8;13;3;12;9;7;5;10;6;1;
+       13;0;11;7;4;9;1;10;14;3;5;12;2;15;8;6;
+       1;4;11;13;12;3;7;14;10;15;6;8;0;5;9;2;
+       6;11;13;8;1;4;10;7;9;5;0;15;14;2;3;12 |];
+    [| 13;2;8;4;6;15;11;1;10;9;3;14;5;0;12;7;
+       1;15;13;8;10;3;7;4;12;5;6;11;0;14;9;2;
+       7;11;4;1;9;12;14;2;0;6;10;13;15;3;5;8;
+       2;1;14;7;4;10;8;13;15;12;9;0;3;5;6;11 |];
+  |]
+
+(* --- Bit helpers (1-indexed from MSB, as the tables are written) -------- *)
+
+let get_bit_64 v i = Int64.to_int (Int64.logand (Int64.shift_right_logical v (64 - i)) 1L)
+
+let permute_64 table width v =
+  let r = ref 0L in
+  Array.iteri
+    (fun out_idx src ->
+      let bit = get_bit_64 v src in
+      if bit = 1 then r := Int64.logor !r (Int64.shift_left 1L (width - 1 - out_idx)))
+    table;
+  !r
+
+(* permutation over a [w]-bit quantity held in an int (w <= 56) *)
+let get_bit w v i = (v lsr (w - i)) land 1
+
+let permute table in_width out_width v =
+  let r = ref 0 in
+  Array.iteri
+    (fun out_idx src ->
+      if get_bit in_width v src = 1 then r := !r lor (1 lsl (out_width - 1 - out_idx)))
+    table;
+  !r
+
+(* --- Key schedule --------------------------------------------------------- *)
+
+let mask28 = (1 lsl 28) - 1
+
+let rotl28 v n = ((v lsl n) lor (v lsr (28 - n))) land mask28
+
+(** 16 48-bit subkeys (as ints) for one 64-bit key. *)
+let key_schedule (key : int64) : int array =
+  (* [permute_64] right-aligns its [width]-bit result *)
+  let v56 = Int64.to_int (permute_64 pc1 56 key) in
+  let c = ref ((v56 lsr 28) land mask28) in
+  let d = ref (v56 land mask28) in
+  Array.map
+    (fun rot ->
+      c := rotl28 !c rot;
+      d := rotl28 !d rot;
+      let cd56 = (!c lsl 28) lor !d in
+      permute pc2 56 48 cd56)
+    rotations
+
+(* --- Round function -------------------------------------------------------- *)
+
+let mask32 = 0xFFFFFFFF
+
+(** f(R, K48): expansion, key mix, S-boxes, permutation P. *)
+let f_table (r : int) (k48 : int) : int =
+  (* E expansion of the 32-bit half *)
+  let e = ref 0 in
+  Array.iteri
+    (fun out_idx src ->
+      if get_bit 32 r src = 1 then e := !e lor (1 lsl (48 - 1 - out_idx)))
+    e_table;
+  let x = !e lxor k48 in
+  let s_out = ref 0 in
+  for box = 0 to 7 do
+    let chunk = (x lsr (42 - (6 * box))) land 0x3f in
+    let row = ((chunk lsr 4) land 2) lor (chunk land 1) in
+    let col = (chunk lsr 1) land 0xf in
+    let v = sboxes.(box).((row * 16) + col) in
+    s_out := !s_out lor (v lsl (28 - (4 * box)))
+  done;
+  permute p_table 32 32 !s_out
+
+(** One DES block operation with the given subkey order. *)
+let des_block (subkeys : int array) (block : int64) : int64 =
+  let permuted = permute_64 ip 64 block in
+  let l = ref (Int64.to_int (Int64.shift_right_logical permuted 32) land mask32) in
+  let r = ref (Int64.to_int (Int64.logand permuted 0xFFFFFFFFL)) in
+  Array.iter
+    (fun k ->
+      let nl = !r in
+      let nr = !l lxor f_table !r k in
+      l := nl;
+      r := nr land mask32)
+    subkeys;
+  (* final swap then FP *)
+  let preoutput =
+    Int64.logor (Int64.shift_left (Int64.of_int (!r land mask32)) 32)
+      (Int64.of_int (!l land mask32))
+  in
+  permute_64 fp 64 preoutput
+
+let encrypt_subkeys key = key_schedule key
+
+let decrypt_subkeys key =
+  let ks = key_schedule key in
+  Array.init 16 (fun i -> ks.(15 - i))
+
+let encrypt key block = des_block (encrypt_subkeys key) block
+let decrypt key block = des_block (decrypt_subkeys key) block
+
+(* --- Triple DES (EDE) ------------------------------------------------------- *)
+
+let encrypt3 ~k1 ~k2 ~k3 block = encrypt k3 (decrypt k2 (encrypt k1 block))
+let decrypt3 ~k1 ~k2 ~k3 block = decrypt k1 (encrypt k2 (decrypt k3 block))
+
+(* --- Packed-subkey / delta-swap form (what the hardware C uses) ----------- *)
+
+(* Delta swap: exchange the bits of [v] selected by [mask] between
+   positions i and i+delta.  The standard constant-time IP/FP kernels. *)
+let delta_swap_pair (l, r) shift mask =
+  (* work = ((l >> shift) ^ r) & mask; r ^= work; l ^= work << shift *)
+  let work = ((l lsr shift) lxor r) land mask in
+  ((l lxor (work lsl shift)) land mask32, (r lxor work) land mask32)
+
+(* IP expressed as delta swaps (Hoey/Outerbridge form).  Produces the
+   same (l, r) as the table IP; equivalence is property-tested. *)
+let ip_twiddle (block : int64) : int * int =
+  let l = Int64.to_int (Int64.shift_right_logical block 32) land mask32 in
+  let r = Int64.to_int (Int64.logand block 0xFFFFFFFFL) in
+  let l, r = delta_swap_pair (l, r) 4 0x0f0f0f0f in
+  let l, r = delta_swap_pair (l, r) 16 0x0000ffff in
+  let r, l = delta_swap_pair (r, l) 2 0x33333333 in
+  let r, l = delta_swap_pair (r, l) 8 0x00ff00ff in
+  let l, r = delta_swap_pair (l, r) 1 0x55555555 in
+  (l, r)
+
+(* Inverse of [ip_twiddle]. *)
+let fp_twiddle (l, r) : int64 =
+  let l, r = delta_swap_pair (l, r) 1 0x55555555 in
+  let r, l = delta_swap_pair (r, l) 8 0x00ff00ff in
+  let r, l = delta_swap_pair (r, l) 2 0x33333333 in
+  let l, r = delta_swap_pair (l, r) 16 0x0000ffff in
+  let l, r = delta_swap_pair (l, r) 4 0x0f0f0f0f in
+  Int64.logor
+    (Int64.shift_left (Int64.of_int (l land mask32)) 32)
+    (Int64.of_int (r land mask32))
+
+(* SP tables: S-box composed with P, with the 6-bit input taken directly
+   (bit 5..0 = E-expansion field). *)
+let sp_tables =
+  Array.init 8 (fun box ->
+      Array.init 64 (fun chunk ->
+          let row = ((chunk lsr 4) land 2) lor (chunk land 1) in
+          let col = (chunk lsr 1) land 0xf in
+          let v = sboxes.(box).((row * 16) + col) in
+          permute p_table 32 32 (v lsl (28 - (4 * box)))))
+
+let rotr32 v n = if n = 0 then v land mask32 else ((v lsr n) lor (v lsl (32 - n))) land mask32
+let rotl32 v n = rotr32 v ((32 - n) land 31)
+
+(* The E-expansion groups are stride-4 sliding windows over R, so all
+   eight 6-bit S-box inputs are byte-aligned fields of just two rotated
+   copies of R: rotr(R,3) carries the even groups (S1,S3,S5,S7) and
+   rotl(R,1) the odd ones, at offsets 24/16/8/0.  We *derive* this map
+   (and therefore the subkey packing) by checking single-bit patterns
+   against the E table rather than transcribing it. *)
+type field_src = Rot_r3 | Rot_l1
+
+let derive_field_map () =
+  let e_group r g =
+    (* 6-bit E field g of the 32-bit half r, MSB of the field first *)
+    let x = ref 0 in
+    for j = 0 to 5 do
+      let src = e_table.((6 * g) + j) in
+      if get_bit 32 r src = 1 then x := !x lor (1 lsl (5 - j))
+    done;
+    !x
+  in
+  let field src ofs v =
+    let w = match src with Rot_r3 -> rotr32 v 3 | Rot_l1 -> rotl32 v 1 in
+    (w lsr ofs) land 0x3f
+  in
+  let candidates =
+    List.concat_map (fun src -> List.map (fun ofs -> (src, ofs)) [ 0; 8; 16; 24 ])
+      [ Rot_r3; Rot_l1 ]
+  in
+  let matches g (src, ofs) =
+    let ok = ref true in
+    for bit = 0 to 31 do
+      let r = 1 lsl bit in
+      if field src ofs r <> e_group r g then ok := false
+    done;
+    !ok
+  in
+  Array.init 8 (fun g ->
+      match List.find_opt (matches g) candidates with
+      | Some c -> c
+      | None -> raise Not_found)
+
+let field_map = try Some (derive_field_map ()) with Not_found -> None
+
+(** Pack 16 48-bit subkeys into 32 32-bit words for the rotation-based
+    round function: word [2i] mixes with rotr(R,3) (even S-boxes), word
+    [2i+1] with rotl(R,1) (odd S-boxes). *)
+let pack_subkeys (subkeys : int array) : int array =
+  match field_map with
+  | None -> invalid_arg "pack_subkeys: field map underivable"
+  | Some fm ->
+      let packed = Array.make 32 0 in
+      Array.iteri
+        (fun i k48 ->
+          let even = ref 0 and odd = ref 0 in
+          Array.iteri
+            (fun g (src, ofs) ->
+              let group = (k48 lsr (42 - (6 * g))) land 0x3f in
+              match src with
+              | Rot_r3 -> even := !even lor (group lsl ofs)
+              | Rot_l1 -> odd := !odd lor (group lsl ofs))
+            fm;
+          packed.(2 * i) <- !even;
+          packed.((2 * i) + 1) <- !odd)
+        subkeys;
+      packed
+
+(** Round function in packed form; equals [f_table r k48]. *)
+let f_packed (r : int) (k_even : int) (k_odd : int) : int =
+  match field_map with
+  | None -> invalid_arg "f_packed: field map underivable"
+  | Some fm ->
+      let w_even = rotr32 r 3 lxor k_even in
+      let w_odd = rotl32 r 1 lxor k_odd in
+      let acc = ref 0 in
+      Array.iteri
+        (fun g (src, ofs) ->
+          let work = match src with Rot_r3 -> w_even | Rot_l1 -> w_odd in
+          acc := !acc lor sp_tables.(g).((work lsr ofs) land 0x3f))
+        fm;
+      !acc land mask32
+
+(** DES block using the delta-swap + packed-subkey form. *)
+let des_block_packed (packed : int array) (block : int64) : int64 =
+  let l, r = ip_twiddle block in
+  let l = ref l and r = ref r in
+  for round = 0 to 15 do
+    let fval = f_packed !r packed.(2 * round) packed.((2 * round) + 1) in
+    let nl = !r and nr = (!l lxor fval) land mask32 in
+    l := nl;
+    r := nr
+  done;
+  fp_twiddle (!r, !l)
+
+(** Packed subkeys for a whole 3DES decryption (three passes). *)
+let decrypt3_packed_keys ~k1 ~k2 ~k3 =
+  Array.concat
+    [
+      pack_subkeys (decrypt_subkeys k3);
+      pack_subkeys (encrypt_subkeys k2);
+      pack_subkeys (decrypt_subkeys k1);
+    ]
+
+let decrypt3_packed ~k1 ~k2 ~k3 block =
+  let ks = decrypt3_packed_keys ~k1 ~k2 ~k3 in
+  let pass i b = des_block_packed (Array.sub ks (32 * i) 32) b in
+  pass 2 (pass 1 (pass 0 block))
+
+(* --- Text helpers for the case study --------------------------------------- *)
+
+(** Pack 8 bytes (padded with spaces) into a big-endian 64-bit block. *)
+let block_of_string s =
+  let b = ref 0L in
+  for i = 0 to 7 do
+    let c = if i < String.length s then Char.code s.[i] else 0x20 in
+    b := Int64.logor (Int64.shift_left !b 8) (Int64.of_int c)
+  done;
+  !b
+
+let string_of_block v =
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * (7 - i))) 0xFFL)))
+
+(** Encrypt an ASCII string into 64-bit blocks (EDE 3DES). *)
+let encrypt3_string ~k1 ~k2 ~k3 text =
+  let nblocks = (String.length text + 7) / 8 in
+  List.init nblocks (fun i ->
+      let chunk = String.sub text (8 * i) (min 8 (String.length text - (8 * i))) in
+      encrypt3 ~k1 ~k2 ~k3 (block_of_string chunk))

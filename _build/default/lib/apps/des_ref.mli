@@ -1,0 +1,89 @@
+(** Reference DES / Triple-DES (OCaml oracle).
+
+    Two equivalent forms of the cipher:
+    - a textbook table-driven form (IP/E/S/P/PC1/PC2), validated against
+      the classic published test vector;
+    - the delta-swap + packed-subkey form the generated hardware C uses,
+      whose subkey packing is *derived* from the E-expansion table
+      rather than transcribed.
+
+    The Triple-DES case study (paper Section 5.2, Table 1) is validated
+    against this module. *)
+
+(** {1 Standard tables (FIPS 46-3 numbering)} *)
+
+val ip : int array
+val fp : int array
+val e_table : int array
+val p_table : int array
+val pc1 : int array
+val pc2 : int array
+val rotations : int array
+val sboxes : int array array
+
+(** Generic bit permutation of a 64-bit quantity (1-indexed from MSB);
+    the [width]-bit result is right-aligned. *)
+val permute_64 : int array -> int -> int64 -> int64
+
+(** {1 Single DES} *)
+
+(** 16 48-bit subkeys for one 64-bit key. *)
+val key_schedule : int64 -> int array
+
+val encrypt_subkeys : int64 -> int array
+val decrypt_subkeys : int64 -> int array
+
+(** One block operation with an explicit subkey order. *)
+val des_block : int array -> int64 -> int64
+
+val encrypt : int64 -> int64 -> int64
+val decrypt : int64 -> int64 -> int64
+
+(** {1 Triple DES (EDE)} *)
+
+val encrypt3 : k1:int64 -> k2:int64 -> k3:int64 -> int64 -> int64
+val decrypt3 : k1:int64 -> k2:int64 -> k3:int64 -> int64 -> int64
+
+(** {1 Delta-swap / packed-subkey form (hardware shape)} *)
+
+(** IP as delta swaps; returns the (left, right) halves. *)
+val ip_twiddle : int64 -> int * int
+
+(** Inverse of {!ip_twiddle}. *)
+val fp_twiddle : int * int -> int64
+
+(** S-boxes composed with the P permutation. *)
+val sp_tables : int array array
+
+(** Which rotated copy of R ([rotr 3] or [rotl 1]) carries each S-box's
+    E-expansion field. *)
+type field_src = Rot_r3 | Rot_l1
+
+(** Derived (S-box -> source, byte offset) map; [None] would mean the
+    derivation failed (it cannot, for real DES tables). *)
+val field_map : (field_src * int) array option
+
+(** Pack 16 48-bit subkeys into 32 32-bit words for the rotation-based
+    round function. *)
+val pack_subkeys : int array -> int array
+
+(** Round function in packed form; equals the table-driven [f]. *)
+val f_packed : int -> int -> int -> int
+
+val des_block_packed : int array -> int64 -> int64
+
+(** 96 packed words for a full 3DES decryption (three passes, already in
+    decryption order). *)
+val decrypt3_packed_keys : k1:int64 -> k2:int64 -> k3:int64 -> int array
+
+val decrypt3_packed : k1:int64 -> k2:int64 -> k3:int64 -> int64 -> int64
+
+(** {1 Text helpers} *)
+
+(** Pack up to 8 bytes (space padded) big-endian. *)
+val block_of_string : string -> int64
+
+val string_of_block : int64 -> string
+
+(** Encrypt an ASCII string into 64-bit blocks. *)
+val encrypt3_string : k1:int64 -> k2:int64 -> k3:int64 -> string -> int64 list

@@ -1,0 +1,125 @@
+(** Triple-DES decryption in InCA-C (paper Section 5.2, Table 1).
+
+    Generates the hardware process an Impulse-C user would write: S-P
+    tables and packed round keys as block-RAM ROMs, the delta-swap
+    initial/final permutations, and sixteen rotation-based rounds per
+    pass.  The round-field layout is emitted from the *derived* map in
+    {!Des_ref}, so the generated code is correct by construction against
+    the table-driven reference.
+
+    The paper's two verification assertions check that every decrypted
+    byte lies within the bounds of an ASCII text file. *)
+
+let spf = Printf.sprintf
+
+let emit_const_table buf name (values : int array) =
+  Buffer.add_string buf
+    (spf "  const uint32 %s[%d] = { %s };\n" name (Array.length values)
+       (String.concat ", "
+          (Array.to_list (Array.map (fun v -> Int64.to_string (Int64.of_int v)) values))))
+
+(* The 8 S-P lookups of one round, emitted from the derived field map. *)
+let round_lookup_exprs () =
+  match Des_ref.field_map with
+  | None -> failwith "DES field map underivable"
+  | Some fm ->
+      let parts = ref [] in
+      Array.iteri
+        (fun g (src, ofs) ->
+          let word = match src with Des_ref.Rot_r3 -> "we" | Des_ref.Rot_l1 -> "wo" in
+          let field =
+            if ofs = 0 then spf "%s & 63" word else spf "(%s >> %d) & 63" word ofs
+          in
+          parts := spf "sp%d[%s]" (g + 1) field :: !parts)
+        fm;
+      List.rev !parts
+
+(** Generate the 3DES decryption program.  [k1 k2 k3] are the EDE keys;
+    the subkey ROMs are emitted in decryption order so the hardware loop
+    always runs forward. *)
+let source ~k1 ~k2 ~k3 () =
+  let packed = Des_ref.decrypt3_packed_keys ~k1 ~k2 ~k3 in
+  let kse = Array.init 48 (fun i -> packed.(2 * i)) in
+  let kso = Array.init 48 (fun i -> packed.((2 * i) + 1)) in
+  let buf = Buffer.create 16384 in
+  let p fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  p "stream int64 cipher_in depth 16;";
+  p "stream int64 plain_out depth 16;";
+  p "";
+  p "process hw des3(int32 nblocks) {";
+  Array.iteri
+    (fun i tbl -> emit_const_table buf (spf "sp%d" (i + 1)) tbl)
+    Des_ref.sp_tables;
+  emit_const_table buf "kse" kse;
+  emit_const_table buf "kso" kso;
+  p "  int32 b;";
+  p "  for (b = 0; b < nblocks; b = b + 1) {";
+  p "    int64 blk;";
+  p "    blk = stream_read(cipher_in);";
+  p "    uint32 l; uint32 r; uint32 t;";
+  p "    l = (uint32)(blk >> 32);";
+  p "    r = (uint32)blk;";
+  p "    int32 pass;";
+  p "    for (pass = 0; pass < 3; pass = pass + 1) {";
+  p "      /* initial permutation (delta swaps) */";
+  p "      t = ((l >> 4) ^ r) & 252645135; r = r ^ t; l = l ^ (t << 4);";
+  p "      t = ((l >> 16) ^ r) & 65535; r = r ^ t; l = l ^ (t << 16);";
+  p "      t = ((r >> 2) ^ l) & 858993459; l = l ^ t; r = r ^ (t << 2);";
+  p "      t = ((r >> 8) ^ l) & 16711935; l = l ^ t; r = r ^ (t << 8);";
+  p "      t = ((l >> 1) ^ r) & 1431655765; r = r ^ t; l = l ^ (t << 1);";
+  p "      int32 round;";
+  p "      for (round = 0; round < 16; round = round + 1) {";
+  p "        uint32 ke; uint32 ko;";
+  p "        ke = kse[pass * 16 + round];";
+  p "        ko = kso[pass * 16 + round];";
+  p "        uint32 we; uint32 wo;";
+  p "        we = ((r >> 3) | (r << 29)) ^ ke;";
+  p "        wo = ((r << 1) | (r >> 31)) ^ ko;";
+  p "        uint32 f;";
+  p "        f = %s;" (String.concat "\n          | " (round_lookup_exprs ()));
+  p "        uint32 nl;";
+  p "        nl = r;";
+  p "        r = l ^ f;";
+  p "        l = nl;";
+  p "      }";
+  p "      /* undo the final swap, then final permutation */";
+  p "      t = r; r = l; l = t;";
+  p "      t = ((l >> 1) ^ r) & 1431655765; r = r ^ t; l = l ^ (t << 1);";
+  p "      t = ((r >> 8) ^ l) & 16711935; l = l ^ t; r = r ^ (t << 8);";
+  p "      t = ((r >> 2) ^ l) & 858993459; l = l ^ t; r = r ^ (t << 2);";
+  p "      t = ((l >> 16) ^ r) & 65535; r = r ^ t; l = l ^ (t << 16);";
+  p "      t = ((l >> 4) ^ r) & 252645135; r = r ^ t; l = l ^ (t << 4);";
+  p "    }";
+  p "    int64 res;";
+  p "    res = ((int64)l << 32) | (int64)r;";
+  p "    /* verification: decrypted bytes must look like ASCII text */";
+  p "    int32 k;";
+  p "    for (k = 0; k < 8; k = k + 1) {";
+  p "      int32 c;";
+  p "      c = (int32)((res >> ((7 - k) * 8)) & 255);";
+  p "      assert(c < 127);";
+  p "      assert(c >= 9);";
+  p "    }";
+  p "    stream_write(plain_out, res);";
+  p "  }";
+  p "}";
+  Buffer.contents buf
+
+(** Demo keys used throughout tests and benches. *)
+let demo_keys = (0x133457799BBCDFF1L, 0x0123456789ABCDEFL, 0xFEDCBA9876543210L)
+
+let demo_source () =
+  let k1, k2, k3 = demo_keys in
+  source ~k1 ~k2 ~k3 ()
+
+(** Ciphertext blocks for [text] under the demo keys. *)
+let demo_ciphertext text =
+  let k1, k2, k3 = demo_keys in
+  Des_ref.encrypt3_string ~k1 ~k2 ~k3 text
+
+(** Expected plaintext blocks (the oracle). *)
+let demo_plaintext_blocks text =
+  let nblocks = (String.length text + 7) / 8 in
+  List.init nblocks (fun i ->
+      let chunk = String.sub text (8 * i) (min 8 (String.length text - (8 * i))) in
+      Des_ref.block_of_string chunk)

@@ -1,0 +1,22 @@
+(** Triple-DES decryption in InCA-C (paper Section 5.2, Table 1).
+
+    Generates the hardware process an Impulse-C user would write: S-P
+    tables and packed round keys as block-RAM ROMs, delta-swap
+    initial/final permutations, sixteen rotation-based rounds per pass,
+    and the paper's two ASCII-bounds verification assertions on every
+    decrypted byte. *)
+
+(** Generate the program for EDE keys (subkey ROMs are emitted in
+    decryption order so the hardware loop always runs forward). *)
+val source : k1:int64 -> k2:int64 -> k3:int64 -> unit -> string
+
+(** Fixed keys used by tests and benches. *)
+val demo_keys : int64 * int64 * int64
+
+val demo_source : unit -> string
+
+(** Ciphertext blocks for [text] under the demo keys. *)
+val demo_ciphertext : string -> int64 list
+
+(** Expected plaintext blocks (the oracle). *)
+val demo_plaintext_blocks : string -> int64 list

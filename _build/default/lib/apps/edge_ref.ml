@@ -1,0 +1,41 @@
+(** Reference edge-detection filter (OCaml oracle).
+
+    Matches the streaming hardware implementation in {!Edge_src}: a 5x5
+    Laplacian-style kernel (center weight 24, others -1, i.e.
+    |25*center - window sum|) over a row-major pixel stream, with the
+    first four rows and columns emitting zero while the line buffers and
+    window warm up. *)
+
+let window = 5
+
+(** [filter ~w ~h pixels] where [pixels.(y * w + x)] is the input image.
+    Returns the output image in the same layout. *)
+let filter ~w ~h (pixels : int array) : int array =
+  let out = Array.make (w * h) 0 in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if y >= window - 1 && x >= window - 1 then begin
+        let sum = ref 0 in
+        for dy = 0 to window - 1 do
+          for dx = 0 to window - 1 do
+            sum := !sum + pixels.(((y - (window - 1) + dy) * w) + (x - (window - 1) + dx))
+          done
+        done;
+        let center = pixels.(((y - 2) * w) + (x - 2)) in
+        let v = (25 * center) - !sum in
+        out.((y * w) + x) <- abs v
+      end
+    done
+  done;
+  out
+
+(** Deterministic synthetic test image: a bright square on a gradient
+    (16-bit grayscale, as in the paper's bitmap input). *)
+let test_image ~w ~h : int array =
+  Array.init (w * h) (fun i ->
+      let y = i / w and x = i mod w in
+      let base = (x * 37) + (y * 11) in
+      let square = if x > w / 4 && x < w / 2 && y > h / 4 && y < h / 2 then 20000 else 0 in
+      (base + square) land 0xFFFF)
+
+let to_stream (img : int array) = Array.to_list (Array.map Int64.of_int img)

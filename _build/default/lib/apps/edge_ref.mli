@@ -1,0 +1,15 @@
+(** Reference edge-detection filter (OCaml oracle) for the paper's
+    Section 5.2 / Table 2 case study: a 5x5 Laplacian-style kernel
+    (|25*center - window sum|) over a row-major 16-bit pixel stream,
+    with zero output while the line buffers warm up. *)
+
+val window : int
+
+(** [filter ~w ~h pixels] with [pixels.(y * w + x)]; returns the output
+    image in the same layout. *)
+val filter : w:int -> h:int -> int array -> int array
+
+(** Deterministic synthetic image: a bright square on a gradient. *)
+val test_image : w:int -> h:int -> int array
+
+val to_stream : int array -> int64 list

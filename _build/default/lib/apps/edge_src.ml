@@ -1,0 +1,85 @@
+(** Edge-detection in InCA-C (paper Section 5.2, Table 2).
+
+    The hardware is configured for a fixed image geometry; pixels stream
+    in row-major order through four line buffers and a 5x5 register
+    window, and the filtered image streams back.  The paper's two
+    assertions check that the image size sent by the host matches the
+    hardware configuration — the exact bug class (host/FPGA
+    configuration mismatch) that software simulation shares and
+    therefore never exposes. *)
+
+let spf = Printf.sprintf
+
+(** Generate the program for a [width] x [height] configuration. *)
+let source ~width () =
+  let buf = Buffer.create 8192 in
+  let p fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  p "stream int32 pixels_in depth 16;";
+  p "stream int32 pixels_out depth 16;";
+  p "";
+  p "process hw edge(int32 width, int32 height) {";
+  p "  /* the FPGA bitstream is built for one geometry (Section 5.2) */";
+  p "  assert(width == %d);" width;
+  p "  assert(height > 4);";
+  for r = 0 to 3 do
+    p "  int32 lb%d[%d];" r width
+  done;
+  (* the 5x5 window registers *)
+  for r = 0 to 4 do
+    for c = 0 to 4 do
+      p "  int32 w%d%d;" r c
+    done
+  done;
+  p "  int32 x; int32 y;";
+  p "  for (y = 0; y < height; y = y + 1) {";
+  p "    #pragma pipeline";
+  p "    for (x = 0; x < width; x = x + 1) {";
+  p "      int32 pix;";
+  p "      pix = stream_read(pixels_in);";
+  (* column y-4..y-1 from the line buffers *)
+  for r = 0 to 3 do
+    p "      int32 c%d;" r;
+    p "      c%d = lb%d[x];" r r
+  done;
+  (* shift the line buffers up one row *)
+  for r = 0 to 2 do
+    p "      lb%d[x] = c%d;" r (r + 1)
+  done;
+  p "      lb3[x] = pix;";
+  (* shift the window left *)
+  for r = 0 to 4 do
+    for c = 0 to 3 do
+      p "      w%d%d = w%d%d;" r c r (c + 1)
+    done
+  done;
+  for r = 0 to 3 do
+    p "      w%d4 = c%d;" r r
+  done;
+  p "      w44 = pix;";
+  (* 5x5 kernel: |25*center - sum| *)
+  let terms =
+    List.concat_map (fun r -> List.init 5 (fun c -> spf "w%d%d" r c)) [ 0; 1; 2; 3; 4 ]
+  in
+  p "      int32 total;";
+  p "      total = %s;" (String.concat " + " terms);
+  p "      int32 v;";
+  p "      v = w22 * 25 - total;";
+  p "      int32 mag;";
+  p "      mag = v;";
+  p "      if (v < 0) {";
+  p "        mag = 0 - v;";
+  p "      }";
+  p "      int32 o;";
+  p "      o = 0;";
+  p "      if (y >= 4 && x >= 4) {";
+  p "        o = mag;";
+  p "      }";
+  p "      stream_write(pixels_out, o);";
+  p "    }";
+  p "  }";
+  p "}";
+  Buffer.contents buf
+
+let default_width = 32
+
+let demo_source () = source ~width:default_width ()

@@ -1,0 +1,12 @@
+(** Edge-detection in InCA-C (paper Section 5.2, Table 2): a pipelined
+    5x5 kernel over a row-major pixel stream with four line buffers and
+    a register window; two assertions verify the host's image geometry
+    matches the hardware configuration. *)
+
+(** Generate the program for a fixed [width] (the height stays a runtime
+    parameter checked only for plausibility). *)
+val source : width:int -> unit -> string
+
+val default_width : int
+
+val demo_source : unit -> string

@@ -1,0 +1,49 @@
+(** Reference 16-tap FIR filter (OCaml oracle).
+
+    Matches {!Fir_src}: a direct-form integer FIR with a register-window
+    delay line (initialized to zero), accumulator clipping assertions,
+    and a final arithmetic shift.  The classic DSP kernel for
+    accelerator case studies — and a natural home for in-circuit
+    overflow assertions. *)
+
+(** Low-pass-ish integer coefficient set (sums to 512). *)
+let coefficients =
+  [| 2; 6; 13; 25; 41; 58; 72; 79; 79; 72; 58; 41; 25; 13; 6; 2 |]
+
+let taps = Array.length coefficients
+
+let output_shift = 9  (* divide by the coefficient sum's magnitude *)
+
+(** Accumulator bound asserted in circuit: inputs are 16-bit audio-style
+    samples, so |acc| <= 512 * 32768. *)
+let acc_bound = 512 * 32768
+
+(** [filter samples] returns the filtered stream (same length; the
+    window starts zeroed). *)
+let filter (samples : int array) : int array =
+  let window = Array.make taps 0 in
+  Array.map
+    (fun x ->
+      (* shift the delay line *)
+      for k = taps - 1 downto 1 do
+        window.(k) <- window.(k - 1)
+      done;
+      window.(0) <- x;
+      let acc = ref 0 in
+      for k = 0 to taps - 1 do
+        acc := !acc + (coefficients.(k) * window.(k))
+      done;
+      !acc asr output_shift)
+    samples
+
+(** A synthetic test signal: two tones plus a step. *)
+let test_signal n =
+  Array.init n (fun i ->
+      let t = float_of_int i in
+      let tone =
+        (8000.0 *. sin (t /. 3.0)) +. (3000.0 *. sin (t /. 17.0))
+      in
+      let step = if i > n / 2 then 4000 else 0 in
+      int_of_float tone + step)
+
+let to_stream (samples : int array) = Array.to_list (Array.map Int64.of_int samples)

@@ -1,0 +1,17 @@
+(** Reference 16-tap integer FIR filter (OCaml oracle), matching
+    {!Fir_src}'s register-window hardware: zero-initialized delay line,
+    accumulator bound assertions, arithmetic output shift. *)
+
+val coefficients : int array
+val taps : int
+val output_shift : int
+
+(** Accumulator bound asserted in circuit. *)
+val acc_bound : int
+
+val filter : int array -> int array
+
+(** Synthetic test signal: two tones plus a step. *)
+val test_signal : int -> int array
+
+val to_stream : int array -> int64 list

@@ -1,0 +1,42 @@
+(** 16-tap FIR filter in InCA-C.
+
+    A pipelined direct-form FIR with the delay line held in registers
+    (shift every cycle, II = 1) and constant coefficients folded into
+    the multiply tree.  Two in-circuit assertions guard the accumulator
+    against overflow — the property a designer cannot check from the
+    output alone once the final shift has discarded the high bits. *)
+
+let spf = Printf.sprintf
+
+let source () =
+  let taps = Fir_ref.taps in
+  let buf = Buffer.create 4096 in
+  let p fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  p "stream int32 samples_in depth 16;";
+  p "stream int32 samples_out depth 16;";
+  p "";
+  p "process hw fir(int32 n) {";
+  for k = 0 to taps - 1 do
+    p "  int32 w%d;" k
+  done;
+  p "  int32 i;";
+  p "  #pragma pipeline";
+  p "  for (i = 0; i < n; i = i + 1) {";
+  p "    int32 x;";
+  p "    x = stream_read(samples_in);";
+  for k = taps - 1 downto 1 do
+    p "    w%d = w%d;" k (k - 1)
+  done;
+  p "    w0 = x;";
+  let products =
+    List.init taps (fun k -> spf "w%d * %d" k Fir_ref.coefficients.(k))
+  in
+  p "    int32 acc;";
+  p "    acc = %s;" (String.concat " + " products);
+  p "    /* overflow guards: the output shift would hide a wrapped accumulator */";
+  p "    assert(acc <= %d);" Fir_ref.acc_bound;
+  p "    assert(acc >= %d);" (-Fir_ref.acc_bound);
+  p "    stream_write(samples_out, acc >> %d);" Fir_ref.output_shift;
+  p "  }";
+  p "}";
+  Buffer.contents buf

@@ -1,0 +1,7 @@
+(** 16-tap FIR filter in InCA-C: a pipelined direct-form filter (delay
+    line in registers, II = 1) with two in-circuit assertions guarding
+    the accumulator against overflow — the property the output shift
+    hides.  Reads [samples_in], writes [samples_out]; process [fir],
+    parameter [n]. *)
+
+val source : unit -> string

@@ -1,0 +1,48 @@
+(** Streaming-loopback scalability application (paper Section 5.3,
+    Figures 4 and 5).
+
+    A chain of [n] identical hardware processes: each stage receives a
+    value, stores it into a local block RAM, reads it back, asserts it
+    is positive, and forwards it.  Every stage therefore adds one
+    application stream — and, unoptimized, one assertion failure stream,
+    which is exactly the channel pressure the resource-sharing
+    optimization removes (one 32-bit channel per 32 assertions). *)
+
+let spf = Printf.sprintf
+
+let stage_stream k = if k = 0 then "feed_in" else spf "link%d" k
+
+(** Generate the [n]-process loopback chain. *)
+let source ~n () =
+  let buf = Buffer.create 4096 in
+  let p fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  for k = 0 to n - 1 do
+    p "stream int32 %s depth 16;" (stage_stream k)
+  done;
+  p "stream int32 loop_out depth 16;";
+  p "";
+  for k = 0 to n - 1 do
+    let inp = stage_stream k in
+    let out = if k = n - 1 then "loop_out" else stage_stream (k + 1) in
+    p "process hw stage%d(int32 count) {" k;
+    p "  int32 buf[4];";
+    p "  int32 i;";
+    p "  for (i = 0; i < count; i = i + 1) {";
+    p "    int32 v;";
+    p "    v = stream_read(%s);" inp;
+    p "    buf[i & 3] = v;";
+    p "    int32 w;";
+    p "    w = buf[i & 3];";
+    p "    assert(w > 0);";
+    p "    stream_write(%s, w);" out;
+    p "  }";
+    p "}";
+    p ""
+  done;
+  Buffer.contents buf
+
+(** Simulation parameters: all stages run [count] iterations. *)
+let params ~n ~count =
+  List.init n (fun k -> (spf "stage%d" k, [ ("count", Int64.of_int count) ]))
+
+let feed ~count = List.init count (fun i -> Int64.of_int (i + 1))

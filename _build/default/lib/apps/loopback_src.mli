@@ -1,0 +1,15 @@
+(** Streaming-loopback scalability application (paper Section 5.3,
+    Figures 4-5): a chain of [n] identical processes, each storing,
+    re-reading, asserting and forwarding every value — one application
+    stream and (unoptimized) one failure stream per stage. *)
+
+(** Input stream of stage [k] ([feed_in] for stage 0). *)
+val stage_stream : int -> string
+
+val source : n:int -> unit -> string
+
+(** Parameter bindings running every stage for [count] iterations. *)
+val params : n:int -> count:int -> (string * (string * int64) list) list
+
+(** [count] strictly positive values (the stage assertions require > 0). *)
+val feed : count:int -> int64 list

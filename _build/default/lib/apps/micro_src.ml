@@ -1,0 +1,125 @@
+(** Micro-kernels for the paper's Section 5.4 performance analysis
+    (Tables 3 and 4): single-comparison assertions over scalars and
+    arrays, in non-pipelined and pipelined loops.
+
+    Each kernel is written so the *application's* schedule matches the
+    paper's baseline (latency/rate before assertions), and the assertion
+    exercises the exact contention scenario of its table row. *)
+
+(* --- Table 3: non-pipelined loops --------------------------------------- *)
+
+(** Scalar-variable assertion in a plain loop. *)
+let scalar_nonpipelined =
+  {|
+stream int32 input depth 16;
+stream int32 output depth 16;
+
+process hw kernel(int32 n) {
+  int32 i;
+  for (i = 0; i < n; i = i + 1) {
+    int32 x;
+    x = stream_read(input);
+    int32 y;
+    y = x + 1;
+    assert(x > 0);
+    stream_write(output, y);
+  }
+}
+|}
+
+(** Array assertion, non-consecutive access: the application's only use
+    of the block RAM is early in the iteration, so a later state has a
+    free port for the assertion's read. *)
+let array_nonconsecutive =
+  {|
+stream int32 input depth 16;
+stream int32 output depth 16;
+
+process hw kernel(int32 n) {
+  int32 a[16];
+  int32 i;
+  for (i = 0; i < n; i = i + 1) {
+    int32 j;
+    j = i & 15;
+    int32 x;
+    x = stream_read(input);
+    a[j] = x;
+    int32 y;
+    y = x + 5;
+    int32 z;
+    z = y * y;
+    assert(a[j] > 0);
+    stream_write(output, z);
+  }
+}
+|}
+
+(** Array assertion, consecutive access: the application occupies the
+    RAM port in back-to-back states, so the assertion's read needs a
+    state of its own. *)
+let array_consecutive =
+  {|
+stream int32 input depth 16;
+stream int32 output depth 16;
+
+process hw kernel(int32 n) {
+  int32 a[16];
+  int32 i;
+  for (i = 0; i < n; i = i + 1) {
+    int32 x;
+    x = stream_read(input);
+    a[i & 15] = x;
+    int32 y;
+    y = a[(i ^ 1) & 15];
+    assert(a[(i + 4) & 15] >= 0);
+    stream_write(output, y);
+  }
+}
+|}
+
+(* --- Table 4: pipelined loops -------------------------------------------- *)
+
+(** Scalar assertion in a pipelined loop: baseline latency 2, rate 1. *)
+let scalar_pipelined =
+  {|
+stream int32 input depth 16;
+stream int32 output depth 16;
+
+process hw kernel(int32 n) {
+  int32 i;
+  #pragma pipeline
+  for (i = 0; i < n; i = i + 1) {
+    int32 x;
+    x = stream_read(input);
+    assert(x > 0);
+    stream_write(output, x);
+  }
+}
+|}
+
+(** Array assertion in a pipelined loop: the application performs one
+    read and one write per iteration on a single-ported RAM (baseline
+    latency 2, rate 2); the assertion adds a third access. *)
+let array_pipelined =
+  {|
+stream int32 input depth 16;
+stream int32 output depth 16;
+
+process hw kernel(int32 n) {
+  int32 a[16];
+  int32 i;
+  #pragma pipeline
+  for (i = 0; i < n; i = i + 1) {
+    int32 x;
+    x = stream_read(input);
+    int32 y;
+    y = a[(i + 8) & 15];
+    assert(a[(i + 4) & 15] >= 0);
+    a[i & 15] = x;
+    stream_write(output, y);
+  }
+}
+|}
+
+(** Inputs that keep every assertion true for [n] iterations. *)
+let feed_positive n = List.init n (fun i -> Int64.of_int (i + 1))

@@ -1,0 +1,27 @@
+(** Micro-kernels for the paper's Section 5.4 performance analysis
+    (Tables 3 and 4): single-comparison assertions over scalars and
+    arrays, in non-pipelined and pipelined loops.  Each kernel's
+    baseline schedule matches the paper's (latency/rate before
+    assertions), and the assertion exercises the exact contention
+    scenario of its table row.  All kernels read [input], write
+    [output], and take an iteration-count parameter [n] on process
+    [kernel]. *)
+
+val scalar_nonpipelined : string
+
+(** The application's only RAM use is early in the iteration: a later
+    state has a free port for the assertion's read. *)
+val array_nonconsecutive : string
+
+(** The application occupies the RAM port in back-to-back states. *)
+val array_consecutive : string
+
+(** Baseline latency 2, rate 1. *)
+val scalar_pipelined : string
+
+(** One read + one write per iteration on a single-ported RAM: baseline
+    latency 2, rate 2. *)
+val array_pipelined : string
+
+(** Inputs that keep every assertion true for [n] iterations. *)
+val feed_positive : int -> int64 list

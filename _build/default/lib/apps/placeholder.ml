@@ -1,0 +1,3 @@
+(** Placeholder module so the library is non-empty while applications
+    are being added. *)
+let ready = true

@@ -1,0 +1,1 @@
+lib/core/assertion.ml: Array Front Interp List Printf String

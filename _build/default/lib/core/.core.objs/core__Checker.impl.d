@@ -1,0 +1,1 @@
+lib/core/checker.ml: Assertion Front Hls List Mir Parallelize Printf Share Sim Stdlib

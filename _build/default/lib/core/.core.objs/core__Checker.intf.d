@@ -1,0 +1,1 @@
+lib/core/checker.mli: Front Hls Parallelize Share Sim

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Assertion Checker Faults Front Hls Instrument Interp List Mir Notify Parallelize Replicate Rtl Share Sim Stdlib

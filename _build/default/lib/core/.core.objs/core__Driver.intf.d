@@ -1,0 +1,1 @@
+lib/core/driver.mli: Assertion Checker Faults Front Hls Interp Mir Rtl Share Sim

@@ -1,0 +1,1 @@
+lib/core/instrument.mli: Front Share

@@ -1,0 +1,1 @@
+lib/core/notify.ml: Assertion Buffer Front List Printf Sim String

@@ -1,0 +1,1 @@
+lib/core/parallelize.ml: Assertion Front List

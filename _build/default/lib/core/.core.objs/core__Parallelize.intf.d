@@ -1,0 +1,1 @@
+lib/core/parallelize.mli: Assertion Front

@@ -1,0 +1,1 @@
+lib/core/replicate.ml: Front List

@@ -1,0 +1,1 @@
+lib/core/share.ml: Assertion Front Int64 List Printf Rtl Stdlib

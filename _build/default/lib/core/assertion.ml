@@ -1,0 +1,75 @@
+(** Assertion extraction and condition evaluation.
+
+    Every ANSI-C [assert] in a hardware process receives a unique
+    identifier (the paper's error code, derived from file name and line
+    number) recorded in a code table used by the notification function
+    to print the standard [file:line: function: Assertion `expr'
+    failed.] message. *)
+
+open Front.Ast
+module Loc = Front.Loc
+module Value = Interp.Value
+
+type info = {
+  id : int;
+  aproc : string;       (** enclosing process *)
+  aloc : Loc.t;
+  text : string;        (** source text of the condition *)
+  cond : expr;          (** elaborated condition *)
+}
+
+(** ANSI-C assert(3) failure message for a failed assertion. *)
+let message (i : info) =
+  Printf.sprintf "%s:%d: %s: Assertion `%s' failed." i.aloc.Loc.file i.aloc.Loc.line
+    i.aproc i.text
+
+(** Extract all assertions from the hardware processes of [prog], in
+    process order then source order, numbering them from 0. *)
+let extract (prog : program) : info list =
+  let next = ref 0 in
+  List.concat_map
+    (fun (p : proc) ->
+      if p.kind <> Hardware then []
+      else
+        List.map
+          (fun (aloc, cond, text) ->
+            let id = !next in
+            incr next;
+            { id; aproc = p.pname; aloc; text; cond })
+          (assertions_of p.body))
+    prog.procs
+
+(** Name of the k-th data slot of a parallelized assertion checker. *)
+let slot_name k = Printf.sprintf "__slot%d" k
+
+let slot_index name =
+  if String.length name > 6 && String.sub name 0 6 = "__slot" then
+    int_of_string_opt (String.sub name 6 (String.length name - 6))
+  else None
+
+(** Pure evaluation of an elaborated expression whose only free
+    variables are checker slots ([__slotN]).  Used as the behavioural
+    model of a hardware assertion checker. *)
+let rec eval_slots (slots : int64 array) (x : expr) : int64 =
+  match x.e with
+  | Int n -> Value.wrap_ty x.ety n
+  | Bool b -> Value.of_bool b
+  | Var name -> (
+      match slot_index name with
+      | Some k when k < Array.length slots -> slots.(k)
+      | _ -> invalid_arg (Printf.sprintf "eval_slots: free variable %s" name))
+  | Index _ -> invalid_arg "eval_slots: array access must be a slot"
+  | Unop (op, a) -> Value.unop op a.ety (eval_slots slots a)
+  | Binop (Land, a, b) ->
+      if Value.to_bool (eval_slots slots a) then eval_slots slots b else 0L
+  | Binop (Lor, a, b) ->
+      if Value.to_bool (eval_slots slots a) then 1L else eval_slots slots b
+  | Binop (op, a, b) -> (
+      match Value.binop op a.ety (eval_slots slots a) (eval_slots slots b) with
+      | v -> v
+      | exception Value.Division_by_zero -> 0L)
+  | Cast (ty, a) -> Value.cast ~from_ty:a.ety ~to_ty:ty (eval_slots slots a)
+  | Call _ -> invalid_arg "eval_slots: external calls must be slots"
+
+(** True when the assertion holds for the given slot values. *)
+let holds (cond : expr) (slots : int64 array) = Value.to_bool (eval_slots slots cond)

@@ -1,0 +1,32 @@
+(** Hardware assertion checkers for parallelized assertions (paper
+    Figure 1): each checker is its own small process that latches the
+    tapped data, evaluates the condition as a pipeline accepting a new
+    assertion every cycle, and reports failures on its channel.
+    Synthesized like any other process to obtain area and notification
+    latency — latency only delays reporting, never the application. *)
+
+type t = {
+  spec : Parallelize.checker_spec;
+  proc_ast : Front.Ast.proc;    (** the checker as generated HLS source *)
+  fsmd : Hls.Fsmd.t;            (** synthesized checker (area / latency) *)
+  engine : Sim.Engine.checker;  (** behavioural model for the simulator *)
+}
+
+val checker_name : int -> string
+
+(** The checker process AST for a spec: slot parameters, the rewritten
+    condition, and the failure write of [word] to [channel]. *)
+val build_ast :
+  Parallelize.checker_spec ->
+  channel:string ->
+  word:int64 ->
+  elem:Front.Ast.ty ->
+  Front.Ast.proc
+
+(** Synthesize one checker against the program's channel plan. *)
+val build :
+  prog:Front.Ast.program ->
+  plan:Share.plan ->
+  ?latency_override:int ->
+  Parallelize.checker_spec ->
+  t

@@ -1,0 +1,233 @@
+(** End-to-end compilation driver.
+
+    Mirrors the paper's framework (Section 4): take an InCA-C program
+    with ANSI-C assertions, pick an assertion synthesis strategy, and
+    produce everything downstream — instrumented HLL source, IR, FSMDs,
+    checker processes, a structural netlist with EP2S180 area and fmax
+    estimates, VHDL, the generated notification function, and a
+    ready-to-run cycle-accurate simulation. *)
+
+open Front.Ast
+module Ir = Mir.Ir
+module Loc = Front.Loc
+
+type mode =
+  | Baseline     (** assertions stripped — the tables' "Original" column *)
+  | Unoptimized  (** direct if-conversion in the application (Section 4.1) *)
+  | Optimized    (** parallelized checkers (Section 3.1) + optional 3.2/3.3 *)
+
+type strategy = {
+  mode : mode;
+  replicate : bool;        (** Section 3.2: replicate tapped arrays *)
+  share : Share.mode;      (** Section 3.3/4.2: failure channel sharing *)
+  nabort : bool;           (** continue after failures (assert(0) tracing) *)
+  mem_ports : int;         (** block-RAM ports exposed to the application *)
+  checker_latency : int option;
+}
+
+let baseline =
+  { mode = Baseline; replicate = false; share = `Per_proc; nabort = false;
+    mem_ports = 1; checker_latency = None }
+
+let unoptimized = { baseline with mode = Unoptimized }
+
+(** The paper's full optimization stack: parallelization + replication +
+    32-way channel sharing. *)
+let optimized = { baseline with mode = Optimized; replicate = true; share = `Shared 32 }
+
+(** Parallelization only, with dedicated channels (the configuration of
+    the Tables 1-2 case studies). *)
+let parallelized = { baseline with mode = Optimized; replicate = true; share = `Per_proc }
+
+(** The Carte-C portability flavour (Section 4.3): parallelized checkers
+    reporting through one DMA mailbox the CPU polls. *)
+let carte = { baseline with mode = Optimized; replicate = true; share = `Dma }
+
+type compiled = {
+  strategy : strategy;
+  source : program;             (** the original (elaborated) program *)
+  instrumented : program;       (** after assertion synthesis *)
+  asserts : Assertion.info list;
+  table : (int * Assertion.info) list;
+  plan : Share.plan;
+  ir : Ir.program_ir;
+  fsmds : Hls.Fsmd.t list;
+  checkers : Checker.t list;
+  netlist : Rtl.Netlist.t;
+  area : Rtl.Area.usage;
+  timing : Rtl.Timing.estimate;
+  vhdl : string;
+  notification_source : string;
+}
+
+let hw_procs prog = List.filter (fun p -> p.kind = Hardware) prog.procs
+
+(** Compile an elaborated program under [strategy], optionally injecting
+    hardware-translation [faults] (Section 5.1). *)
+let compile ?(strategy = optimized) ?(faults : Faults.Fault.t list = [])
+    (prog : program) : compiled =
+  let asserts = Assertion.extract prog in
+  let plan =
+    match strategy.mode with
+    | Baseline -> Share.empty
+    | Unoptimized | Optimized -> Share.plan strategy.share asserts
+  in
+  let instrumented, specs, mirrors =
+    match strategy.mode with
+    | Baseline ->
+        ( { prog with procs = List.map Instrument.strip_asserts prog.procs }, [], [] )
+    | Unoptimized -> (Instrument.transform plan prog, [], [])
+    | Optimized ->
+        let prog', specs = Parallelize.transform prog in
+        let procs, mirrors =
+          List.fold_left
+            (fun (ps, ms) p ->
+              if strategy.replicate then
+                let p', m = Replicate.transform_proc p in
+                (p' :: ps, (p.pname, m) :: ms)
+              else (p :: ps, ms))
+            ([], []) prog'.procs
+        in
+        ( { prog' with procs = List.rev procs; streams = prog.streams @ plan.Share.streams },
+          specs,
+          mirrors )
+  in
+  let ir_procs =
+    List.map
+      (fun p ->
+        let mirrors = try List.assoc p.pname mirrors with Not_found -> [] in
+        Mir.Opt.optimize
+          (Mir.Lower.lower_proc ~mirrors ~mem_ports:strategy.mem_ports instrumented p))
+      (hw_procs instrumented)
+  in
+  let ir =
+    Faults.Fault.apply_all faults
+      { Ir.streams = instrumented.streams; externs = instrumented.externs; procs = ir_procs }
+  in
+  let fsmds = List.map Hls.Schedule.compile_proc ir.Ir.procs in
+  let checkers =
+    List.map
+      (fun spec ->
+        Checker.build ~prog:instrumented ~plan ?latency_override:strategy.checker_latency
+          spec)
+      specs
+  in
+  let checker_modules =
+    List.map (fun (c : Checker.t) -> Rtl.Gen.of_fsmd c.Checker.fsmd) checkers
+  in
+  let top_name =
+    match hw_procs prog with p :: _ -> p.pname | [] -> "design"
+  in
+  let netlist =
+    Rtl.Gen.design ~top_name fsmds instrumented.streams
+      ~extra_modules:(checker_modules @ plan.Share.collector_modules)
+      ()
+  in
+  let area = Rtl.Area.of_design netlist in
+  let max_chain =
+    List.fold_left
+      (fun acc (f : Hls.Fsmd.t) -> Stdlib.max acc f.Hls.Fsmd.max_chain_ns)
+      0.0
+      (fsmds @ List.map (fun (c : Checker.t) -> c.Checker.fsmd) checkers)
+  in
+  let timing = Rtl.Timing.estimate ~name:top_name ~max_chain_ns:max_chain area in
+  let vhdl =
+    Rtl.Vhdl.emit_design
+      (fsmds @ List.map (fun (c : Checker.t) -> c.Checker.fsmd) checkers)
+      instrumented.streams
+  in
+  let table = List.map (fun (a : Assertion.info) -> (a.Assertion.id, a)) asserts in
+  let notification_source =
+    Notify.c_source
+      ~dma:(strategy.share = `Dma)
+      ~table
+      ~streams:(List.map (fun (s : stream_decl) -> s.sname) plan.Share.streams)
+      ~nabort:strategy.nabort
+  in
+  {
+    strategy; source = prog; instrumented; asserts; table; plan; ir; fsmds; checkers;
+    netlist; area; timing; vhdl; notification_source;
+  }
+
+(** Parse, type-check and compile from source text. *)
+let compile_source ?strategy ?faults ?file src =
+  compile ?strategy ?faults (Front.Typecheck.parse_and_check ?file src)
+
+(* --- Simulation ------------------------------------------------------------- *)
+
+type sim_options = {
+  feeds : (string * int64 list) list;
+  drains : string list;
+  params : (string * (string * int64) list) list;
+  hw_models : (string * (int64 list -> int64)) list;
+  max_cycles : int;
+  timing_checks : Sim.Engine.timing_check list;
+      (** cycle-budget assertions between assertion-site taps (the
+          paper's Section 6 future work); anchor code points with
+          [assert(true)] markers under the Optimized strategy *)
+  trace : bool;  (** capture a VCD waveform (the SignalTap view) *)
+}
+
+let default_sim_options =
+  { feeds = []; drains = []; params = []; hw_models = []; max_cycles = 1_000_000;
+    timing_checks = []; trace = false }
+
+type sim_result = {
+  engine : Sim.Engine.result;
+  messages : string list;        (** notification output, ANSI format *)
+  failed_assertions : int list;  (** assertion ids in failure order *)
+}
+
+(** Run the compiled design in the cycle-accurate simulator with the
+    notification function attached to the failure channels. *)
+let simulate ?(options = default_sim_options) (c : compiled) : sim_result =
+  let notify =
+    Notify.make ~table:c.table ~decode:c.plan.Share.decode ~nabort:c.strategy.nabort
+  in
+  let cfg =
+    {
+      Sim.Engine.max_cycles = options.max_cycles;
+      feeds = options.feeds;
+      drains = options.drains;
+      handlers = notify.Notify.handlers;
+      hw_models = options.hw_models;
+      params = options.params;
+      timing_checks = options.timing_checks;
+      trace = options.trace;
+      host_poll_interval =
+        (match c.strategy.share with `Dma -> 32 | `Per_proc | `Shared _ -> 1);
+    }
+  in
+  let engine =
+    Sim.Engine.simulate ~cfg ~streams:c.ir.Ir.streams ~fsmds:c.fsmds
+      ~checkers:(List.map (fun (ck : Checker.t) -> ck.Checker.engine) c.checkers)
+      ()
+  in
+  {
+    engine;
+    messages = Notify.messages notify;
+    failed_assertions = Notify.failures notify;
+  }
+
+(** Software simulation of the *original* program (assertions run as
+    plain ANSI-C asserts on the CPU) — the Impulse-C desktop-simulation
+    path the paper contrasts against. *)
+let software_sim ?(options = default_sim_options) ?(nabort = false) (c : compiled) :
+    Interp.result =
+  let cfg =
+    {
+      Interp.default_config with
+      Interp.params = options.params;
+      feeds = options.feeds;
+      drains = options.drains;
+      nabort;
+      extern_models = options.hw_models;
+    }
+  in
+  Interp.run ~cfg c.source
+
+(** Check an FSMD set against the scheduler invariants; returns all
+    violations (used by tests and the CLI's lint mode). *)
+let check_invariants (c : compiled) : string list =
+  List.concat_map Hls.Fsmd.check
+    (c.fsmds @ List.map (fun (ck : Checker.t) -> ck.Checker.fsmd) c.checkers)

@@ -1,0 +1,110 @@
+(** End-to-end compilation driver.
+
+    Mirrors the paper's framework (Section 4): take an InCA-C program
+    with ANSI-C assertions, pick an assertion synthesis strategy, and
+    produce everything downstream — instrumented HLL source, IR, FSMDs,
+    checker processes, a structural netlist with EP2S180 area and fmax
+    estimates, VHDL, the generated notification function, and a
+    ready-to-run cycle-accurate simulation. *)
+
+module Ir = Mir.Ir
+
+type mode =
+  | Baseline     (** assertions stripped — the tables' "Original" column *)
+  | Unoptimized  (** direct if-conversion in the application (Section 4.1) *)
+  | Optimized    (** parallelized checkers (Section 3.1) + optional 3.2/3.3 *)
+
+type strategy = {
+  mode : mode;
+  replicate : bool;        (** Section 3.2: replicate tapped arrays *)
+  share : Share.mode;      (** Section 3.3/4.2: failure channel sharing *)
+  nabort : bool;           (** continue after failures (assert(0) tracing) *)
+  mem_ports : int;         (** block-RAM ports exposed to the application *)
+  checker_latency : int option;  (** override the synthesized latency *)
+}
+
+(** Assertions stripped (NDEBUG). *)
+val baseline : strategy
+
+(** If-conversion in the application, one failure stream per process. *)
+val unoptimized : strategy
+
+(** Parallelization + replication, dedicated channels (the Tables 1-2
+    case-study configuration). *)
+val parallelized : strategy
+
+(** The paper's full stack: parallelization + replication + 32-way
+    channel sharing. *)
+val optimized : strategy
+
+(** The Carte-C portability flavour (Section 4.3): parallelized checkers
+    reporting through one DMA mailbox the CPU polls every 32 cycles. *)
+val carte : strategy
+
+type compiled = {
+  strategy : strategy;
+  source : Front.Ast.program;        (** the original (elaborated) program *)
+  instrumented : Front.Ast.program;  (** after assertion synthesis *)
+  asserts : Assertion.info list;
+  table : (int * Assertion.info) list;  (** the error code table *)
+  plan : Share.plan;
+  ir : Ir.program_ir;
+  fsmds : Hls.Fsmd.t list;
+  checkers : Checker.t list;
+  netlist : Rtl.Netlist.t;
+  area : Rtl.Area.usage;
+  timing : Rtl.Timing.estimate;
+  vhdl : string;
+  notification_source : string;      (** generated C (Figure 2) *)
+}
+
+val hw_procs : Front.Ast.program -> Front.Ast.proc list
+
+(** Compile an elaborated program, optionally injecting
+    hardware-translation [faults] (Section 5.1). *)
+val compile :
+  ?strategy:strategy ->
+  ?faults:Faults.Fault.t list ->
+  Front.Ast.program ->
+  compiled
+
+(** Parse, type-check and compile from source text. *)
+val compile_source :
+  ?strategy:strategy ->
+  ?faults:Faults.Fault.t list ->
+  ?file:string ->
+  string ->
+  compiled
+
+type sim_options = {
+  feeds : (string * int64 list) list;
+  drains : string list;
+  params : (string * (string * int64) list) list;
+  hw_models : (string * (int64 list -> int64)) list;
+  max_cycles : int;
+  timing_checks : Sim.Engine.timing_check list;
+      (** cycle-budget assertions between assertion-site taps (the
+          paper's Section 6 future work); anchor code points with
+          [assert(true)] markers *)
+  trace : bool;  (** capture a VCD waveform *)
+}
+
+val default_sim_options : sim_options
+
+type sim_result = {
+  engine : Sim.Engine.result;
+  messages : string list;        (** notification output, ANSI format *)
+  failed_assertions : int list;  (** assertion ids in failure order *)
+}
+
+(** Run the compiled design in the cycle-accurate simulator with the
+    notification function attached to the failure channels. *)
+val simulate : ?options:sim_options -> compiled -> sim_result
+
+(** Software simulation of the *original* program (assertions run as
+    plain ANSI-C asserts on the CPU) — the Impulse-C desktop-simulation
+    path the paper contrasts against. *)
+val software_sim : ?options:sim_options -> ?nabort:bool -> compiled -> Interp.result
+
+(** All FSMD invariant violations of the compiled design (empty = ok). *)
+val check_invariants : compiled -> string list

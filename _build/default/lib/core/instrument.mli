@@ -1,0 +1,20 @@
+(** Unoptimized assertion instrumentation (paper Section 4.1, Figure 2):
+    each [assert(c)] becomes [if (!(c)) stream_write(err, code);] inside
+    the application process — valid HLS input, at the cost of the
+    latency/rate overheads of Tables 3-4. *)
+
+(** Remove every assertion (the paper's NDEBUG build and the tables'
+    "Original" configurations). *)
+val strip_asserts : Front.Ast.proc -> Front.Ast.proc
+
+(** Boolean negation node (elaborated). *)
+val mk_not : Front.Ast.expr -> Front.Ast.expr
+
+(** Rewrite one hardware process's assertions into failure-stream
+    writes, using [plan] for channel routing.  [next_id] must enumerate
+    assertions in {!Assertion.extract} order. *)
+val transform_proc : Share.plan -> int ref -> Front.Ast.proc -> Front.Ast.proc
+
+(** Instrument a whole program: hardware processes rewritten, failure
+    streams appended. *)
+val transform : Share.plan -> Front.Ast.program -> Front.Ast.program

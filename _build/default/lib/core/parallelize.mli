@@ -1,0 +1,22 @@
+(** Assertion parallelization (paper Section 3.1): each assertion moves
+    into a separate checker task; the application only *extracts* the
+    condition's leaf data (register taps, block-RAM reads) and raises a
+    fire pulse, leaving its control-flow graph unchanged. *)
+
+type checker_spec = {
+  info : Assertion.info;
+  slots : Front.Ast.expr list;
+      (** leaf expressions the application evaluates and taps, in slot
+          order (structurally identical leaves share a slot) *)
+  cond : Front.Ast.expr;
+      (** the condition rewritten over [__slotN] variables *)
+}
+
+(** Rewrite one hardware process's assertions into taps; returns the
+    checker specifications.  [next_id] must enumerate assertions in
+    {!Assertion.extract} order. *)
+val transform_proc : int ref -> Front.Ast.proc -> Front.Ast.proc * checker_spec list
+
+(** Parallelize a whole program (failure streams are added separately by
+    the driver from the channel plan). *)
+val transform : Front.Ast.program -> Front.Ast.program * checker_spec list

@@ -1,0 +1,71 @@
+(** Resource replication (paper Section 3.2).
+
+    When a parallelized assertion taps an array element, the extraction
+    load competes with the application for the block RAM's ports
+    (Table 3's "consecutive" row, Table 4's array rate loss).  This
+    optimization gives every such array a replica: the application's
+    stores are mirrored into the replica on its own write port (inserted
+    by {!Mir.Lower} from the mirror table), and the tap reads the
+    replica's dedicated read port — removing the contention at the cost
+    of a second RAM. *)
+
+open Front.Ast
+
+let replica_name arr = arr ^ "__rep"
+
+(* Arrays tapped by assertions in [p]'s body. *)
+let tapped_arrays (p : proc) : string list =
+  let acc = ref [] in
+  iter_stmts
+    (fun st ->
+      match st.s with
+      | Tapstmt (_, args) ->
+          List.iter
+            (fun (a : expr) ->
+              let rec scan (x : expr) =
+                match x.e with
+                | Index (arr, idx) ->
+                    if not (List.mem arr !acc) then acc := arr :: !acc;
+                    scan idx
+                | Unop (_, y) | Cast (_, y) -> scan y
+                | Binop (_, y, z) -> scan y; scan z
+                | Call (_, args') -> List.iter scan args'
+                | Int _ | Bool _ | Var _ -> ()
+              in
+              scan a)
+            args
+      | _ -> ())
+    p.body;
+  List.rev !acc
+
+(* Redirect array reads inside tap arguments to the replica. *)
+let rec redirect (arrays : string list) (x : expr) : expr =
+  match x.e with
+  | Index (arr, idx) when List.mem arr arrays ->
+      { x with e = Index (replica_name arr, redirect arrays idx) }
+  | Index (arr, idx) -> { x with e = Index (arr, redirect arrays idx) }
+  | Unop (op, a) -> { x with e = Unop (op, redirect arrays a) }
+  | Binop (op, a, b) -> { x with e = Binop (op, redirect arrays a, redirect arrays b) }
+  | Cast (ty, a) -> { x with e = Cast (ty, redirect arrays a) }
+  | Call (f, args) -> { x with e = Call (f, List.map (redirect arrays) args) }
+  | Int _ | Bool _ | Var _ -> x
+
+(** Apply replication to a parallelized process: tap reads move to the
+    replicas; returns the process and the [(array, replica)] mirror
+    table for {!Mir.Lower.lower_proc}. *)
+let transform_proc (p : proc) : proc * (string * string) list =
+  if p.kind <> Hardware then (p, [])
+  else
+    let arrays = tapped_arrays p in
+    if arrays = [] then (p, [])
+    else
+      let body =
+        map_stmts
+          (fun st ->
+            match st.s with
+            | Tapstmt (id, args) ->
+                [ { st with s = Tapstmt (id, List.map (redirect arrays) args) } ]
+            | _ -> [ st ])
+          p.body
+      in
+      ({ p with body }, List.map (fun a -> (a, replica_name a)) arrays)

@@ -1,0 +1,14 @@
+(** Resource replication (paper Section 3.2): arrays tapped by
+    parallelized assertions get a replica block RAM — stores are
+    mirrored onto the replica's own write port, the tap reads its
+    dedicated read port — removing the port contention behind Table 3's
+    "consecutive" overhead and Table 4's rate loss. *)
+
+val replica_name : string -> string
+
+(** Arrays referenced by tap arguments in the process body. *)
+val tapped_arrays : Front.Ast.proc -> string list
+
+(** Redirect tapped array reads to the replicas and return the
+    [(array, replica)] mirror table for {!Mir.Lower.lower_proc}. *)
+val transform_proc : Front.Ast.proc -> Front.Ast.proc * (string * string) list

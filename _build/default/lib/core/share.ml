@@ -1,0 +1,153 @@
+(** Failure-channel planning — the resource-sharing optimization of
+    Sections 3.3 and 4.2 applied to communication channels.
+
+    - [`Per_proc]: the baseline instrumentation — one streaming channel
+      per process containing assertions; the failure word is the
+      assertion's error code.
+    - [`Shared n]: one n-bit channel carries failure *bits* for up to n
+      assertions (32 in the paper); a small collector gathers the
+      failure signals (HDL instrumentation in the paper's framework) and
+      sends the bit mask.  This cut the 128-process ALUT overhead by
+      more than 3x and recovered 18% fmax (Figures 4 and 5). *)
+
+open Front.Ast
+
+type mode = [ `Per_proc | `Shared of int | `Dma ]
+(** [`Dma] is the Carte-C portability path (Section 4.3): instead of
+    per-process Impulse-C streams, all failure codes funnel through one
+    DMA mailbox that the CPU polls — the notification function monitors
+    FPGA function calls rather than stream messages. *)
+
+type plan = {
+  streams : stream_decl list;             (** failure streams to create *)
+  route : (int * (string * int64)) list;  (** assertion id -> (stream, word) *)
+  decode : (string * (int64 -> int list)) list;
+      (** per stream: failure word -> failing assertion ids *)
+  collector_modules : Rtl.Netlist.module_ list;
+      (** extra logic of shared collectors *)
+}
+
+let empty = { streams = []; route = []; decode = []; collector_modules = [] }
+
+let err_stream_name proc = Printf.sprintf "__err_%s" proc
+
+let shared_stream_name k = Printf.sprintf "__err_shared%d" k
+
+let fifo_depth = 16  (* 32-bit x 16 = one M4K in x36 mode = 576 bits *)
+
+let per_proc (asserts : Assertion.info list) : plan =
+  let procs =
+    List.sort_uniq compare (List.map (fun (a : Assertion.info) -> a.Assertion.aproc) asserts)
+  in
+  let streams =
+    List.map
+      (fun p -> { sname = err_stream_name p; elem = int32_t; depth = fifo_depth })
+      procs
+  in
+  let route =
+    List.map
+      (fun (a : Assertion.info) ->
+        (a.Assertion.id, (err_stream_name a.Assertion.aproc, Int64.of_int a.Assertion.id)))
+      asserts
+  in
+  let decode =
+    List.map
+      (fun (s : stream_decl) -> (s.sname, fun (word : int64) -> [ Int64.to_int word ]))
+      streams
+  in
+  { streams; route; decode; collector_modules = [] }
+
+(* A collector: one small process worth of logic per shared channel —
+   failure-signal synchronizers, a bit-OR accumulator, and the stream
+   write FSM (the paper's "separate process ... can handle failure
+   signals from up to 32 assertions"). *)
+let collector_module k n_bits : Rtl.Netlist.module_ =
+  {
+    Rtl.Netlist.mod_name = Printf.sprintf "__err_collector%d" k;
+    prims =
+      [
+        Rtl.Netlist.Regbank { width = 1; count = n_bits * 2; purpose = "failure sync" };
+        Rtl.Netlist.Fu { fu_op = `Bin Bor; fu_width = n_bits; fu_count = 1 };
+        Rtl.Netlist.Fsm { states = 3; transitions = 4 };
+      ];
+  }
+
+let shared ~(bits : int) (asserts : Assertion.info list) : plan =
+  if bits <= 0 || bits > 63 then invalid_arg "Share.shared: bits must be in [1,63]";
+  let groups =
+    List.mapi (fun i (a : Assertion.info) -> (i / bits, i mod bits, a)) asserts
+  in
+  let ngroups =
+    List.fold_left (fun acc (g, _, _) -> Stdlib.max acc (g + 1)) 0 groups
+  in
+  let streams =
+    List.init ngroups (fun k ->
+        { sname = shared_stream_name k; elem = Tint (Unsigned, W32); depth = fifo_depth })
+  in
+  let route =
+    List.map
+      (fun (g, bit, (a : Assertion.info)) ->
+        (a.Assertion.id, (shared_stream_name g, Int64.shift_left 1L bit)))
+      groups
+  in
+  let decode =
+    List.init ngroups (fun k ->
+        let members =
+          List.filter_map
+            (fun (g, bit, (a : Assertion.info)) ->
+              if g = k then Some (bit, a.Assertion.id) else None)
+            groups
+        in
+        ( shared_stream_name k,
+          fun (word : int64) ->
+            List.filter_map
+              (fun (bit, id) ->
+                if Int64.logand word (Int64.shift_left 1L bit) <> 0L then Some id else None)
+              members ))
+  in
+  let collector_modules = List.init ngroups (fun k -> collector_module k bits) in
+  { streams; route; decode; collector_modules }
+
+let dma_stream_name = "__err_dma"
+
+(* The DMA engine: address generation, burst control, and the handshake
+   into the host bridge — one instance regardless of assertion count. *)
+let dma_engine_module : Rtl.Netlist.module_ =
+  {
+    Rtl.Netlist.mod_name = "__err_dma_engine";
+    prims =
+      [
+        Rtl.Netlist.Regbank { width = 1; count = 96; purpose = "dma address/burst" };
+        Rtl.Netlist.Fu { fu_op = `Bin Add; fu_width = 32; fu_count = 1 };
+        Rtl.Netlist.Fsm { states = 6; transitions = 9 };
+      ];
+  }
+
+(* Carte-C style transport: one mailbox channel for every assertion; the
+   failure word is the error code itself. *)
+let dma (asserts : Assertion.info list) : plan =
+  let stream = { sname = dma_stream_name; elem = Tint (Unsigned, W32); depth = 64 } in
+  {
+    streams = [ stream ];
+    route =
+      List.map
+        (fun (a : Assertion.info) ->
+          (a.Assertion.id, (dma_stream_name, Int64.of_int a.Assertion.id)))
+        asserts;
+    decode = [ (dma_stream_name, fun word -> [ Int64.to_int word ]) ];
+    collector_modules = [ dma_engine_module ];
+  }
+
+let plan (mode : mode) (asserts : Assertion.info list) : plan =
+  if asserts = [] then empty
+  else
+    match mode with
+    | `Per_proc -> per_proc asserts
+    | `Shared bits -> shared ~bits asserts
+    | `Dma -> dma asserts
+
+(** Stream and word for assertion [id]. *)
+let route_of (p : plan) id =
+  match List.assoc_opt id p.route with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Share.route_of: unknown assertion %d" id)

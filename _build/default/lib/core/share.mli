@@ -1,0 +1,44 @@
+(** Failure-channel planning — the resource-sharing optimization of
+    Sections 3.3 and 4.2 applied to communication channels.
+
+    [`Per_proc] gives every process with assertions its own failure
+    stream (the baseline instrumentation); [`Shared n] packs failure
+    bits for up to [n] assertions onto one n-bit channel behind a small
+    collector, the optimization that cut the paper's 128-process ALUT
+    overhead by more than 3x (Figures 4-5). *)
+
+type mode = [ `Per_proc | `Shared of int | `Dma ]
+(** [`Dma] is the Carte-C portability path (Section 4.3): all failure
+    codes funnel through one DMA mailbox that the CPU polls; the
+    notification function monitors FPGA function calls rather than
+    stream messages. *)
+
+type plan = {
+  streams : Front.Ast.stream_decl list;   (** failure streams to create *)
+  route : (int * (string * int64)) list; (** assertion id -> (stream, word) *)
+  decode : (string * (int64 -> int list)) list;
+      (** per stream: failure word -> failing assertion ids *)
+  collector_modules : Rtl.Netlist.module_ list;
+      (** extra logic of shared collectors *)
+}
+
+(** The plan for zero assertions. *)
+val empty : plan
+
+val err_stream_name : string -> string
+val shared_stream_name : int -> string
+
+(** The DMA mailbox channel name used by [`Dma]. *)
+val dma_stream_name : string
+
+(** Failure-stream FIFO depth: 16 x 36 bits = one M4K (the paper's
+    observed +576 RAM bits per channel). *)
+val fifo_depth : int
+
+(** Build the channel plan for the given assertions.
+    @raise Invalid_argument when a shared width is outside [1, 63]. *)
+val plan : mode -> Assertion.info list -> plan
+
+(** Stream and failure word for one assertion id.
+    @raise Invalid_argument for unknown ids. *)
+val route_of : plan -> int -> string * int64

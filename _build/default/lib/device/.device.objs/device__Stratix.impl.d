@@ -1,0 +1,1 @@
+lib/device/stratix.ml: Front Value_width

@@ -1,0 +1,1 @@
+lib/device/stratix.mli: Front

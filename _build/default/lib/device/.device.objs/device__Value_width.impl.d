@@ -1,0 +1,1 @@
+lib/device/value_width.ml: Front

@@ -1,0 +1,118 @@
+(** Altera Stratix-II EP2S180 device model.
+
+    Capacities are the figures the paper's Tables 1-2 are normalized
+    against.  Operator delay and area tables are calibrated to
+    publicly-documented Stratix-II characteristics (ALUT-based ALMs,
+    M4K block RAMs, ~2.5 ns 32-bit carry chain); they drive both the
+    scheduler's operator chaining and the area/fmax estimates. *)
+
+open Front.Ast
+
+(** Device capacities (EP2S180). *)
+type capacity = {
+  aluts : int;
+  registers : int;
+  bram_bits : int;
+  interconnect : int;
+  m4k_bits : int;  (** bits per M4K block (with parity) *)
+  dsp_18x18 : int;
+}
+
+let ep2s180 =
+  {
+    aluts = 143_520;
+    registers = 143_520;
+    bram_bits = 9_383_040;
+    interconnect = 536_440;
+    m4k_bits = 4_608;
+    dsp_18x18 = 384;
+  }
+
+(** Scheduling target: operator chains in one state must fit in
+    [target_period_ns] minus register overhead. *)
+let target_period_ns = 5.0
+
+(** Register clock-to-out + setup margin consumed in every state. *)
+let register_overhead_ns = 0.65
+
+let chain_budget_ns = target_period_ns -. register_overhead_ns
+
+(* --- Operator delay model (combinational, ns) --------------------------- *)
+
+let bits ty = match ty with Tbool -> 1 | _ -> bits_of_width (Value_width.width_of ty)
+
+(** Combinational delay of a binary operator at operand type [ty]. *)
+let binop_delay_ns op ty =
+  let w = float_of_int (bits ty) in
+  match op with
+  | Add | Sub -> 0.9 +. (0.045 *. w)          (* carry chain *)
+  | Lt | Le | Gt | Ge -> 0.9 +. (0.045 *. w)  (* subtract-based compare *)
+  | Eq | Ne -> 0.5 +. (0.02 *. w)             (* AND-tree compare *)
+  | Band | Bor | Bxor | Land | Lor -> 0.38
+  | Mul -> 2.6 +. (0.03 *. w)                 (* DSP block *)
+  | Div | Mod -> 1.5 +. (0.35 *. w)           (* restoring divider array *)
+  | Shl | Shr -> 0.7 +. (0.025 *. w)          (* barrel shifter *)
+
+let binop_delay_const_shift = 0.0  (* constant shifts are wiring *)
+
+let unop_delay_ns op ty =
+  match op with
+  | Neg -> binop_delay_ns Sub ty
+  | Bnot -> 0.2
+  | Lnot -> 0.2
+
+(* --- Operator area model (ALUTs / DSPs) --------------------------------- *)
+
+(** ALUTs of one functional unit for a binary operator. *)
+let binop_aluts op ty =
+  let w = bits ty in
+  match op with
+  | Add | Sub -> w
+  | Lt | Le | Gt | Ge -> (w / 4) + 2   (* carry-chain compare packs 2 bits/ALUT pair *)
+  | Eq | Ne -> (w / 4) + 1
+  | Band | Bor | Bxor | Land | Lor -> (w + 1) / 2
+  | Mul -> if w <= 18 then 0 else w / 4     (* mostly in DSP blocks *)
+  | Div | Mod -> 3 * w
+  | Shl | Shr -> w * 3 / 2                  (* barrel shifter *)
+
+let binop_dsps op ty =
+  let w = bits ty in
+  match op with
+  | Mul -> if w <= 9 then 1 else if w <= 18 then 1 else 4
+  | _ -> 0
+
+let unop_aluts op ty =
+  let w = bits ty in
+  match op with Neg -> w | Bnot -> (w + 1) / 2 | Lnot -> 1
+
+(** ALUTs for a 2-input multiplexer of width [w]. *)
+let mux2_aluts w = (w + 1) / 2
+
+(* --- Stream FIFO cost ----------------------------------------------------
+   A stream is an M4K-based FIFO.  M4K data widths are 9/18/36; a 32-bit
+   stream at the default depth of 16 therefore costs 16 x 36 = 576 RAM
+   bits — exactly the per-stream overhead visible in the paper's
+   Tables 1 and 2. *)
+
+let m4k_data_width w = if w <= 9 then 9 else if w <= 18 then 18 else 36
+
+let stream_ram_bits ~width ~depth = depth * m4k_data_width width
+
+(** FIFO control logic (pointers, full/empty flags, handshake, plus the
+    Impulse-C stream wrapper glue). *)
+let stream_ctrl_aluts = 36
+let stream_ctrl_registers = 26
+
+(** Interconnect lines used per resource (empirical fit to the paper's
+    block-interconnect columns). *)
+let interconnect_per_alut = 1.85
+let interconnect_per_register = 0.55
+let interconnect_per_stream = 160.0
+let interconnect_per_m4k = 35.0
+
+(* --- Memory geometry ------------------------------------------------------ *)
+
+(** Block RAM bits consumed by a memory, padded to M4K data widths. *)
+let mem_ram_bits ~width ~length = length * m4k_data_width width
+
+let m4k_blocks_of_bits bits = (bits + ep2s180.m4k_bits - 1) / ep2s180.m4k_bits

@@ -1,0 +1,70 @@
+(** Altera Stratix-II EP2S180 device model.
+
+    Capacities are the figures the paper's Tables 1-2 are normalized
+    against.  Operator delay/area tables are calibrated to documented
+    Stratix-II characteristics and drive both the scheduler's operator
+    chaining and the area/fmax estimates. *)
+
+type capacity = {
+  aluts : int;
+  registers : int;
+  bram_bits : int;
+  interconnect : int;
+  m4k_bits : int;  (** bits per M4K block (with parity) *)
+  dsp_18x18 : int;
+}
+
+val ep2s180 : capacity
+
+(** Scheduling target clock period (ns). *)
+val target_period_ns : float
+
+(** Register clock-to-out + setup margin consumed in every state (ns). *)
+val register_overhead_ns : float
+
+(** Combinational chain budget per state:
+    [target_period_ns - register_overhead_ns]. *)
+val chain_budget_ns : float
+
+(** Bit count of a scalar type. *)
+val bits : Front.Ast.ty -> int
+
+(** {1 Operator delays (combinational, ns)} *)
+
+val binop_delay_ns : Front.Ast.binop -> Front.Ast.ty -> float
+
+(** Constant shifts are wiring. *)
+val binop_delay_const_shift : float
+
+val unop_delay_ns : Front.Ast.unop -> Front.Ast.ty -> float
+
+(** {1 Operator area (ALUTs / DSPs)} *)
+
+val binop_aluts : Front.Ast.binop -> Front.Ast.ty -> int
+val binop_dsps : Front.Ast.binop -> Front.Ast.ty -> int
+val unop_aluts : Front.Ast.unop -> Front.Ast.ty -> int
+
+(** ALUTs for a 2-input multiplexer of the given bit width. *)
+val mux2_aluts : int -> int
+
+(** {1 Stream FIFO and memory geometry} *)
+
+(** M4K data widths are 9/18/36 bits. *)
+val m4k_data_width : int -> int
+
+(** RAM bits of a stream FIFO: a 32-bit stream, 16 deep = 576 bits — the
+    paper's observed per-channel overhead. *)
+val stream_ram_bits : width:int -> depth:int -> int
+
+val stream_ctrl_aluts : int
+val stream_ctrl_registers : int
+
+val interconnect_per_alut : float
+val interconnect_per_register : float
+val interconnect_per_stream : float
+val interconnect_per_m4k : float
+
+(** Block RAM bits consumed by a memory, padded to M4K data widths. *)
+val mem_ram_bits : width:int -> length:int -> int
+
+val m4k_blocks_of_bits : int -> int

@@ -1,0 +1,10 @@
+(** Width helpers shared by the device tables. *)
+
+open Front.Ast
+
+let width_of = function
+  | Tint (_, w) -> w
+  | Tbool -> W1
+  | Tarray (t, _) -> (
+      match t with Tint (_, w) -> w | _ -> W32)
+  | Tvoid -> W32

@@ -1,0 +1,1 @@
+lib/faults/fault.ml: Front Int64 List Mir Stdlib

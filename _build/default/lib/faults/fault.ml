@@ -1,0 +1,137 @@
+(** Fault injection: reproduce the hardware-translation bugs of the
+    paper's Section 5.1 as IR-to-IR rewrites applied between lowering
+    and scheduling.
+
+    The software-simulation path ({!Interp}) interprets the *source*, so
+    it never sees these faults — recreating the paper's headline
+    scenario: assertions pass in software simulation and fail (or expose
+    a hang) only in circuit.
+
+    - {!narrow_compare} reproduces the erroneous narrow comparison of
+      Figure 3: Impulse-C compiled a 64-bit comparison of two counters
+      as a 5-bit comparison, turning [4294967286 > 4294967296] (false)
+      into [22 > 0] (true).
+    - {!read_for_write} reproduces the Triple-DES hang: a memory write
+      is translated as a read, so a flag never lands in block RAM and a
+      dependent loop spins forever in hardware. *)
+
+module Ir = Mir.Ir
+open Front.Ast
+
+type selector = All | Nth of int  (** which matching site to corrupt (0-based) *)
+
+type t =
+  | Narrow_compare of { fproc : string; select : selector; mask_bits : int }
+  | Read_for_write of { fproc : string; select : selector }
+
+(* Rewrite instruction streams with a stateful site counter and a fresh
+   register allocator. *)
+type rewriter = {
+  mutable counter : int;
+  mutable next_reg : int;
+  mutable new_regs : (Ir.reg * Ir.reg_info) list;
+  select : selector;
+}
+
+let selected rw =
+  let n = rw.counter in
+  rw.counter <- n + 1;
+  match rw.select with All -> true | Nth k -> n = k
+
+let fresh rw rty =
+  let r = rw.next_reg in
+  rw.next_reg <- r + 1;
+  rw.new_regs <- (r, { Ir.rty; origin = None }) :: rw.new_regs;
+  r
+
+let rec map_segments f (body : Ir.body) : Ir.body =
+  List.map
+    (function
+      | Ir.Straight insts -> Ir.Straight (f insts)
+      | Ir.If_else r ->
+          Ir.If_else
+            {
+              r with
+              cond_insts = f r.cond_insts;
+              then_ = map_segments f r.then_;
+              else_ = map_segments f r.else_;
+            }
+      | Ir.Loop r ->
+          Ir.Loop
+            {
+              r with
+              cond_insts = f r.cond_insts;
+              body = map_segments f r.body;
+              step_insts = f r.step_insts;
+            })
+    body
+
+let apply_to_proc (p : Ir.proc_ir) rewrite : Ir.proc_ir =
+  let next_reg = List.fold_left (fun acc (r, _) -> Stdlib.max acc (r + 1)) 0 p.Ir.regs in
+  let rw = { counter = 0; next_reg; new_regs = []; select = All } in
+  let rw, f = rewrite rw in
+  let body = map_segments f p.Ir.body in
+  { p with Ir.body; regs = p.Ir.regs @ List.rev rw.new_regs }
+
+let is_wide_compare (i : Ir.inst) =
+  match i with
+  | Ir.Bin { op = (Lt | Le | Gt | Ge); ty = Tint (_, W64); _ } -> true
+  | _ -> false
+
+(* 4294967286 & 31 = 22 and 4294967296 & 31 = 0: the Figure 3 numbers. *)
+let narrow_compare_proc ~select ~mask_bits (p : Ir.proc_ir) : Ir.proc_ir =
+  apply_to_proc p (fun rw ->
+      let rw = { rw with select } in
+      let mask = Int64.sub (Int64.shift_left 1L mask_bits) 1L in
+      let narrow_ty = Tint (Unsigned, W64) in
+      let f insts =
+        List.concat_map
+          (fun (g : Ir.ginst) ->
+            match g.Ir.i with
+            | Ir.Bin { dst; op; a; b; ty = _ } when is_wide_compare g.Ir.i && selected rw ->
+                let ta = fresh rw narrow_ty and tb = fresh rw narrow_ty in
+                [
+                  { g with Ir.i = Ir.Bin { dst = ta; op = Band; a; b = Ir.Imm mask; ty = narrow_ty } };
+                  { g with Ir.i = Ir.Bin { dst = tb; op = Band; a = b; b = Ir.Imm mask; ty = narrow_ty } };
+                  { g with Ir.i = Ir.Bin { dst; op; a = Ir.Reg ta; b = Ir.Reg tb; ty = narrow_ty } };
+                ]
+            | _ -> [ g ])
+          insts
+      in
+      (rw, f))
+
+let read_for_write_proc ~select (p : Ir.proc_ir) : Ir.proc_ir =
+  apply_to_proc p (fun rw ->
+      let rw = { rw with select } in
+      let f insts =
+        List.map
+          (fun (g : Ir.ginst) ->
+            match g.Ir.i with
+            | Ir.Store { mem; addr; v = _ } when selected rw ->
+                let dst =
+                  let elem =
+                    match Ir.find_mem p mem with Some m -> m.Ir.elem | None -> int32_t
+                  in
+                  fresh rw elem
+                in
+                { g with Ir.i = Ir.Load { dst; mem; addr } }
+            | _ -> g)
+          insts
+      in
+      (rw, f))
+
+(** Apply one fault to a whole program IR. *)
+let apply (fault : t) (prog : Ir.program_ir) : Ir.program_ir =
+  let on_proc name f =
+    {
+      prog with
+      Ir.procs =
+        List.map (fun (p : Ir.proc_ir) -> if p.Ir.name = name then f p else p) prog.Ir.procs;
+    }
+  in
+  match fault with
+  | Narrow_compare { fproc; select; mask_bits } ->
+      on_proc fproc (narrow_compare_proc ~select ~mask_bits)
+  | Read_for_write { fproc; select } -> on_proc fproc (read_for_write_proc ~select)
+
+let apply_all faults prog = List.fold_left (fun p f -> apply f p) prog faults

@@ -1,0 +1,22 @@
+(** Fault injection: the hardware-translation bugs of the paper's
+    Section 5.1 as IR-to-IR rewrites applied between lowering and
+    scheduling.  The software-simulation path interprets the *source*,
+    so it never sees these faults — recreating the paper's headline
+    scenario: assertions pass in software simulation and fail (or expose
+    a hang) only in circuit. *)
+
+(** Which matching site to corrupt (0-based occurrence index). *)
+type selector = All | Nth of int
+
+type t =
+  | Narrow_compare of { fproc : string; select : selector; mask_bits : int }
+      (** Figure 3: a 64-bit comparison compiled as a [mask_bits]-bit
+          comparison, so 4294967286 > 4294967296 becomes 22 > 0 *)
+  | Read_for_write of { fproc : string; select : selector }
+      (** the Triple-DES hang: a block-RAM store translated as a read *)
+
+(** Apply one fault to a program IR (processes other than the target are
+    untouched). *)
+val apply : t -> Mir.Ir.program_ir -> Mir.Ir.program_ir
+
+val apply_all : t list -> Mir.Ir.program_ir -> Mir.Ir.program_ir

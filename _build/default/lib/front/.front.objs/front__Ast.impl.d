@@ -1,0 +1,1 @@
+lib/front/ast.pp.ml: List Loc Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/front/lexer.pp.ml: Int64 List Loc Ppx_deriving_runtime Printf String

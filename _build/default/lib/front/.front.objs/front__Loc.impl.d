@@ -1,0 +1,1 @@
+lib/front/loc.pp.ml: Fmt Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/front/loc.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/front/parser.pp.ml: Array Ast Int64 Lexer List Loc Printf String

@@ -1,0 +1,1 @@
+lib/front/pretty.pp.ml: Ast Fmt Int64 List String

@@ -1,0 +1,1 @@
+lib/front/pretty.pp.mli: Ast Format

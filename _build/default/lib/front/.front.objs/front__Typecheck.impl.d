@@ -1,0 +1,1 @@
+lib/front/typecheck.pp.ml: Ast Format Int32 Int64 List Loc Parser

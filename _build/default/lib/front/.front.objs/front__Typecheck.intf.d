@@ -1,0 +1,1 @@
+lib/front/typecheck.pp.mli: Ast Loc

@@ -1,0 +1,189 @@
+(** Hand-written lexer for the InCA C subset.
+
+    Tokens carry their location and byte span so the parser can recover
+    the exact source text of assertion conditions — the ANSI-C [assert]
+    failure message quotes the original expression text. *)
+
+type token =
+  | IDENT of string
+  | INT of int64
+  | KW of string            (** keyword, see [keywords] *)
+  | PRAGMA of string        (** [#pragma <text>] up to end of line *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACK | RBRACK
+  | SEMI | COMMA
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | SHL | SHR
+  | LT | LE | GT | GE | EQ | NE
+  | AMP | PIPE | CARET | AMPAMP | PIPEPIPE | BANG | TILDE
+  | EOF
+[@@deriving show, eq]
+
+type lexed = {
+  tok : token;
+  loc : Loc.t;
+  start_ofs : int;  (** byte offset of first char *)
+  end_ofs : int;    (** byte offset one past last char *)
+}
+
+exception Error of string * Loc.t
+
+let keywords =
+  [ "process"; "hw"; "sw"; "stream"; "extern"; "latency"; "depth"; "const";
+    "int8"; "int16"; "int32"; "int64"; "uint8"; "uint16"; "uint32"; "uint64";
+    "bool"; "void"; "true"; "false";
+    "if"; "else"; "while"; "for"; "return"; "assert";
+    "stream_read"; "stream_write" ]
+
+let is_keyword s = List.mem s keywords
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of beginning of current line *)
+}
+
+let loc_of st = Loc.make ~file:st.file ~line:st.line ~col:(st.pos - st.bol + 1)
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let peek2 st = if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let rec skip_ws_and_comments st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '/' ->
+      while peek st <> None && peek st <> Some '\n' do advance st done;
+      skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '*' ->
+      let start = loc_of st in
+      advance st; advance st;
+      let rec close () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' -> advance st; advance st
+        | Some _, _ -> advance st; close ()
+        | None, _ -> raise (Error ("unterminated comment", start))
+      in
+      close ();
+      skip_ws_and_comments st
+  | _ -> ()
+
+let lex_number st =
+  let start = st.pos in
+  let loc = loc_of st in
+  if peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X') then begin
+    advance st; advance st;
+    while (match peek st with Some c -> is_hex_digit c | None -> false) do advance st done;
+    let text = String.sub st.src start (st.pos - start) in
+    match Int64.of_string_opt text with
+    | Some n -> (INT n, loc, start)
+    | None -> raise (Error ("bad hex literal " ^ text, loc))
+  end
+  else begin
+    while (match peek st with Some c -> is_digit c | None -> false) do advance st done;
+    let text = String.sub st.src start (st.pos - start) in
+    (* [Int64.of_string] handles values up to 2^63-1; literals such as
+       4294967296 from the paper's Figure 3 must lex. *)
+    match Int64.of_string_opt text with
+    | Some n -> (INT n, loc, start)
+    | None ->
+        (* Values in [2^63, 2^64) wrap like C unsigned constants. *)
+        (match Int64.of_string_opt ("0u" ^ text) with
+        | Some n -> (INT n, loc, start)
+        | None -> raise (Error ("integer literal out of range: " ^ text, loc)))
+  end
+
+let lex_ident st =
+  let start = st.pos in
+  let loc = loc_of st in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do advance st done;
+  let text = String.sub st.src start (st.pos - start) in
+  let tok = if is_keyword text then KW text else IDENT text in
+  (tok, loc, start)
+
+let lex_pragma st =
+  let loc = loc_of st in
+  let start = st.pos in
+  advance st (* '#' *);
+  while peek st <> None && peek st <> Some '\n' do advance st done;
+  let text = String.sub st.src start (st.pos - start) in
+  let text =
+    if String.length text > 7 && String.sub text 0 7 = "#pragma" then
+      String.trim (String.sub text 7 (String.length text - 7))
+    else raise (Error ("unknown directive " ^ text, loc))
+  in
+  (PRAGMA text, loc, start)
+
+let next_token st =
+  skip_ws_and_comments st;
+  let loc = loc_of st in
+  let start = st.pos in
+  let simple tok n =
+    for _ = 1 to n do advance st done;
+    (tok, loc, start)
+  in
+  match peek st with
+  | None -> (EOF, loc, start)
+  | Some c ->
+      if is_ident_start c then lex_ident st
+      else if is_digit c then lex_number st
+      else if c = '#' then lex_pragma st
+      else
+        let two = peek2 st in
+        (match (c, two) with
+        | '<', Some '<' -> simple SHL 2
+        | '>', Some '>' -> simple SHR 2
+        | '<', Some '=' -> simple LE 2
+        | '>', Some '=' -> simple GE 2
+        | '=', Some '=' -> simple EQ 2
+        | '!', Some '=' -> simple NE 2
+        | '&', Some '&' -> simple AMPAMP 2
+        | '|', Some '|' -> simple PIPEPIPE 2
+        | '<', _ -> simple LT 1
+        | '>', _ -> simple GT 1
+        | '=', _ -> simple ASSIGN 1
+        | '!', _ -> simple BANG 1
+        | '&', _ -> simple AMP 1
+        | '|', _ -> simple PIPE 1
+        | '^', _ -> simple CARET 1
+        | '~', _ -> simple TILDE 1
+        | '+', _ -> simple PLUS 1
+        | '-', _ -> simple MINUS 1
+        | '*', _ -> simple STAR 1
+        | '/', _ -> simple SLASH 1
+        | '%', _ -> simple PERCENT 1
+        | '(', _ -> simple LPAREN 1
+        | ')', _ -> simple RPAREN 1
+        | '{', _ -> simple LBRACE 1
+        | '}', _ -> simple RBRACE 1
+        | '[', _ -> simple LBRACK 1
+        | ']', _ -> simple RBRACK 1
+        | ';', _ -> simple SEMI 1
+        | ',', _ -> simple COMMA 1
+        | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, loc)))
+
+(** Tokenize the whole [src].  The result always ends with [EOF]. *)
+let tokenize ?(file = "<string>") src =
+  let st = { src; file; pos = 0; line = 1; bol = 0 } in
+  let rec go acc =
+    let tok, loc, start = next_token st in
+    let lexed = { tok; loc; start_ofs = start; end_ofs = st.pos } in
+    if tok = EOF then List.rev (lexed :: acc) else go (lexed :: acc)
+  in
+  go []

@@ -1,0 +1,16 @@
+(** Source locations for error reporting and ANSI-C assertion messages. *)
+
+type t = {
+  file : string;  (** source file name *)
+  line : int;     (** 1-based line number *)
+  col : int;      (** 1-based column number *)
+}
+[@@deriving show, eq]
+
+let none = { file = "<builtin>"; line = 0; col = 0 }
+
+let make ~file ~line ~col = { file; line; col }
+
+let pp ppf { file; line; col } = Fmt.pf ppf "%s:%d:%d" file line col
+
+let to_string l = Fmt.str "%a" pp l

@@ -1,0 +1,17 @@
+(** Source locations for error reporting and ANSI-C assertion messages. *)
+
+type t = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;   (** 1-based *)
+}
+
+val equal : t -> t -> bool
+val show : t -> string
+val pp : Format.formatter -> t -> unit
+
+val none : t
+val make : file:string -> line:int -> col:int -> t
+
+(** [file:line:col]. *)
+val to_string : t -> string

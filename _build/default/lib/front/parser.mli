@@ -1,0 +1,13 @@
+(** Recursive-descent parser for the InCA C subset.
+
+    Produces an untyped {!Ast.program} (every expression carries
+    [Tvoid]); {!Typecheck.elaborate} fills in types and inserts casts.
+    Assertion conditions keep their raw source text for the ANSI-C
+    failure message. *)
+
+exception Error of string * Loc.t
+
+(** Parse a whole program.
+    @raise Error on syntax errors.
+    @raise Lexer.Error on lexical errors. *)
+val parse : ?file:string -> string -> Ast.program

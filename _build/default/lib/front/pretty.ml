@@ -1,0 +1,145 @@
+(** Pretty-printer producing parseable InCA-C source.
+
+    Used to emit the instrumented HLL code (paper, Figure 2) and in
+    round-trip property tests: [parse (print p)] re-yields [p] up to
+    types and locations. *)
+
+open Ast
+
+let rec string_of_ty = function
+  | Tint (Signed, W8) -> "int8"
+  | Tint (Signed, W16) -> "int16"
+  | Tint (Signed, W32) -> "int32"
+  | Tint (Signed, W64) -> "int64"
+  | Tint (Unsigned, W8) -> "uint8"
+  | Tint (Unsigned, W16) -> "uint16"
+  | Tint (Unsigned, W32) -> "uint32"
+  | Tint (Unsigned, W64) -> "uint64"
+  | Tint (_, W1) | Tbool -> "bool"
+  | Tvoid -> "void"
+  | Tarray (t, _) ->
+      (* arrays are printed at the declaration site *)
+      (match t with Tarray _ -> "?" | _ -> string_of_ty_scalar t)
+
+and string_of_ty_scalar t =
+  match t with
+  | Tarray _ -> invalid_arg "string_of_ty_scalar"
+  | _ -> string_of_ty t
+
+let string_of_binop = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Shl -> "<<" | Shr -> ">>"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | Band -> "&" | Bor -> "|" | Bxor -> "^"
+  | Land -> "&&" | Lor -> "||"
+
+let string_of_unop = function Neg -> "-" | Lnot -> "!" | Bnot -> "~"
+
+let prec_of_binop = function
+  | Lor -> 1 | Land -> 2 | Bor -> 3 | Bxor -> 4 | Band -> 5
+  | Eq | Ne -> 6
+  | Lt | Le | Gt | Ge -> 7
+  | Shl | Shr -> 8
+  | Add | Sub -> 9
+  | Mul | Div | Mod -> 10
+
+let rec pp_expr ?(prec = 0) ppf (x : expr) =
+  match x.e with
+  | Int n ->
+      if Int64.compare n 0L < 0 then Fmt.pf ppf "(%Ld)" n else Fmt.pf ppf "%Ld" n
+  | Bool true -> Fmt.string ppf "true"
+  | Bool false -> Fmt.string ppf "false"
+  | Var v -> Fmt.string ppf v
+  | Index (a, i) -> Fmt.pf ppf "%s[%a]" a (pp_expr ~prec:0) i
+  | Unop (op, a) -> Fmt.pf ppf "%s%a" (string_of_unop op) (pp_expr ~prec:11) a
+  | Binop (op, a, b) ->
+      let p = prec_of_binop op in
+      let body ppf () =
+        Fmt.pf ppf "%a %s %a" (pp_expr ~prec:p) a (string_of_binop op)
+          (pp_expr ~prec:(p + 1)) b
+      in
+      if p < prec then Fmt.pf ppf "(%a)" body () else body ppf ()
+  | Cast (ty, a) -> Fmt.pf ppf "(%s)%a" (string_of_ty ty) (pp_expr ~prec:11) a
+  | Call (f, args) ->
+      Fmt.pf ppf "%s(%a)" f (Fmt.list ~sep:(Fmt.any ", ") (pp_expr ~prec:0)) args
+
+let expr_to_string e = Fmt.str "%a" (pp_expr ~prec:0) e
+
+let pp_lvalue ppf = function
+  | Lvar v -> Fmt.string ppf v
+  | Lindex (a, i) -> Fmt.pf ppf "%s[%a]" a (pp_expr ~prec:0) i
+
+let rec pp_stmt ~indent ppf st =
+  let pad = String.make indent ' ' in
+  match st.s with
+  | Decl (Tarray (elt, n), name, _) ->
+      Fmt.pf ppf "%s%s %s[%d];" pad (string_of_ty_scalar elt) name n
+  | Decl (ty, name, None) -> Fmt.pf ppf "%s%s %s;" pad (string_of_ty ty) name
+  | Decl (ty, name, Some e) ->
+      Fmt.pf ppf "%s%s %s = %a;" pad (string_of_ty ty) name (pp_expr ~prec:0) e
+  | Assign (lv, e) -> Fmt.pf ppf "%s%a = %a;" pad pp_lvalue lv (pp_expr ~prec:0) e
+  | If (c, t, []) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a@\n%s}" pad (pp_expr ~prec:0) c
+        (pp_stmts ~indent:(indent + 2)) t pad
+  | If (c, t, f) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a@\n%s} else {@\n%a@\n%s}" pad (pp_expr ~prec:0) c
+        (pp_stmts ~indent:(indent + 2)) t pad (pp_stmts ~indent:(indent + 2)) f pad
+  | While (c, b) ->
+      Fmt.pf ppf "%swhile (%a) {@\n%a@\n%s}" pad (pp_expr ~prec:0) c
+        (pp_stmts ~indent:(indent + 2)) b pad
+  | For (h, b) ->
+      if h.pipelined then Fmt.pf ppf "%s#pragma pipeline@\n" pad;
+      let pp_opt ppf = function
+        | Some { s = Assign (lv, e); _ } ->
+            Fmt.pf ppf "%a = %a" pp_lvalue lv (pp_expr ~prec:0) e
+        | Some { s = Decl (ty, name, Some e); _ } ->
+            Fmt.pf ppf "%s %s = %a" (string_of_ty ty) name (pp_expr ~prec:0) e
+        | Some _ | None -> ()
+      in
+      Fmt.pf ppf "%sfor (%a; %a; %a) {@\n%a@\n%s}" pad pp_opt h.init
+        (pp_expr ~prec:0) h.cond pp_opt h.step (pp_stmts ~indent:(indent + 2)) b pad
+  | Assert (c, _) -> Fmt.pf ppf "%sassert(%a);" pad (pp_expr ~prec:0) c
+  | Stream_read (lv, s) -> Fmt.pf ppf "%s%a = stream_read(%s);" pad pp_lvalue lv s
+  | Stream_write (s, e) ->
+      Fmt.pf ppf "%sstream_write(%s, %a);" pad s (pp_expr ~prec:0) e
+  | Return None -> Fmt.pf ppf "%sreturn;" pad
+  | Return (Some e) -> Fmt.pf ppf "%sreturn %a;" pad (pp_expr ~prec:0) e
+  | Block b -> Fmt.pf ppf "%s{@\n%a@\n%s}" pad (pp_stmts ~indent:(indent + 2)) b pad
+  | Tapstmt (id, args) ->
+      Fmt.pf ppf "%s/* tap#%d(%a) */" pad id
+        (Fmt.list ~sep:(Fmt.any ", ") (pp_expr ~prec:0))
+        args
+  | Const_array (elem, name, values) ->
+      Fmt.pf ppf "%sconst %s %s[%d] = { %s };" pad (string_of_ty elem) name
+        (List.length values)
+        (String.concat ", " (List.map Int64.to_string values))
+
+and pp_stmts ~indent ppf stmts =
+  Fmt.pf ppf "%a" (Fmt.list ~sep:(Fmt.any "@\n") (pp_stmt ~indent)) stmts
+
+let pp_proc ppf (p : proc) =
+  let kind = match p.kind with Hardware -> "hw" | Software -> "sw" in
+  let pp_param ppf (n, t) = Fmt.pf ppf "%s %s" (string_of_ty t) n in
+  Fmt.pf ppf "process %s %s(%a) {@\n%a@\n}" kind p.pname
+    (Fmt.list ~sep:(Fmt.any ", ") pp_param)
+    p.params
+    (pp_stmts ~indent:2)
+    p.body
+
+let pp_stream ppf (s : stream_decl) =
+  Fmt.pf ppf "stream %s %s depth %d;" (string_of_ty s.elem) s.sname s.depth
+
+let pp_extern ppf (x : extern_decl) =
+  Fmt.pf ppf "extern %s %s(%a) latency %d;" (string_of_ty x.xret) x.xname
+    (Fmt.list ~sep:(Fmt.any ", ") (Fmt.of_to_string string_of_ty))
+    x.xargs x.xlatency
+
+let pp_program ppf (prog : program) =
+  let sections =
+    List.map (fun s -> Fmt.str "%a" pp_stream s) prog.streams
+    @ List.map (fun x -> Fmt.str "%a" pp_extern x) prog.externs
+    @ List.map (fun p -> Fmt.str "%a" pp_proc p) prog.procs
+  in
+  Fmt.pf ppf "%s" (String.concat "\n\n" sections)
+
+let program_to_string prog = Fmt.str "%a@." pp_program prog

@@ -1,0 +1,21 @@
+(** Pretty-printer producing parseable InCA-C source.
+
+    Used to emit the instrumented HLL code (paper, Figure 2) and in
+    round-trip property tests: [parse (print p)] re-yields [p] up to
+    types and locations. *)
+
+val string_of_ty : Ast.ty -> string
+val string_of_binop : Ast.binop -> string
+val string_of_unop : Ast.unop -> string
+
+val pp_expr : ?prec:int -> Format.formatter -> Ast.expr -> unit
+val expr_to_string : Ast.expr -> string
+
+val pp_stmt : indent:int -> Format.formatter -> Ast.stmt -> unit
+val pp_stmts : indent:int -> Format.formatter -> Ast.stmt list -> unit
+val pp_proc : Format.formatter -> Ast.proc -> unit
+val pp_stream : Format.formatter -> Ast.stream_decl -> unit
+val pp_extern : Format.formatter -> Ast.extern_decl -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val program_to_string : Ast.program -> string

@@ -1,0 +1,1 @@
+lib/hls/binding.ml: Array Front Fsmd List Map Mir Stdlib

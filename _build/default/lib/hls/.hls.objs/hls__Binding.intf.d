@@ -1,0 +1,1 @@
+lib/hls/binding.mli: Front Fsmd Mir

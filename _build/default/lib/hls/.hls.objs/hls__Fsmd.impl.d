@@ -1,0 +1,1 @@
+lib/hls/fsmd.ml: Array Format Hashtbl List Mir Stdlib

@@ -1,0 +1,1 @@
+lib/hls/fsmd.mli: Mir

@@ -1,0 +1,1 @@
+lib/hls/pipeline.ml: Array Device Front Hashtbl List Mir Stdlib

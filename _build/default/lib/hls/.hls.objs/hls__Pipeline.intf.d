@@ -1,0 +1,1 @@
+lib/hls/pipeline.mli: Mir

@@ -1,0 +1,1 @@
+lib/hls/schedule.ml: Array Device Fsmd Hashtbl List Logs Mir Pipeline Stdlib

@@ -1,0 +1,122 @@
+(** Functional-unit binding: map scheduled operations onto shared
+    hardware units (Section 3.3's "resource sharing is a common
+    high-level synthesis optimization [16]").
+
+    Two operations can share a unit when they never execute in the same
+    state (or, inside a pipelined loop, in the same cycle class modulo
+    the II).  Sharing trades multiplexers for functional units; the
+    returned statistics feed the RTL generator and the area model, and
+    the diminishing-returns ablation bench sweeps the sharing policy. *)
+
+module Ir = Mir.Ir
+open Front.Ast
+
+(** Functional-unit class: operator kind at a given operand type. *)
+type fu_class =
+  | Fbin of binop * width
+  | Fun_ of unop * width
+
+let compare_fu_class (a : fu_class) (b : fu_class) = Stdlib.compare a b
+
+let width_of_ty = function
+  | Tint (_, w) -> w
+  | Tbool -> W1
+  | Tarray (Tint (_, w), _) -> w
+  | Tarray _ | Tvoid -> W32
+
+(* Copies, casts and constant shifts are wiring, not functional units. *)
+let fu_of_inst (i : Ir.inst) : fu_class option =
+  match i with
+  | Ir.Bin { op = (Shl | Shr); b = Ir.Imm _; _ } -> None
+  | Ir.Bin { op; ty; _ } -> Some (Fbin (op, width_of_ty ty))
+  | Ir.Un { op = Lnot; _ } -> None
+  | Ir.Un { op; ty; _ } -> Some (Fun_ (op, width_of_ty ty))
+  | Ir.Copy _ | Ir.Castop _ | Ir.Load _ | Ir.Store _ | Ir.Sread _ | Ir.Swrite _
+  | Ir.Extcall _ | Ir.Tap _ ->
+      None
+
+(** Sharing policy: [`Shared] is the normal HLS behaviour (units are
+    reused across states); [`Flat] instantiates one unit per operation
+    (used by the ablation bench to show what sharing buys). *)
+type policy = [ `Shared | `Flat ]
+
+type fu_usage = {
+  cls : fu_class;
+  units : int;      (** hardware units instantiated *)
+  ops : int;        (** operations mapped onto them *)
+  mux_ways : int;   (** total operand-mux ways added by sharing *)
+}
+
+type t = {
+  fus : fu_usage list;
+  total_ops : int;
+  total_units : int;
+}
+
+module ClassMap = Map.Make (struct
+  type t = fu_class
+
+  let compare = compare_fu_class
+end)
+
+(* Count concurrent uses of each class per state / per pipe cycle class. *)
+let concurrency_profile (f : Fsmd.t) =
+  let bump map cls =
+    ClassMap.update cls (function None -> Some 1 | Some n -> Some (n + 1)) map
+  in
+  let per_state ops =
+    List.fold_left
+      (fun map (g : Ir.ginst) ->
+        match fu_of_inst g.Ir.i with Some cls -> bump map cls | None -> map)
+      ClassMap.empty ops
+  in
+  let profiles =
+    Array.to_list (Array.map (fun (s : Fsmd.state) -> per_state s.Fsmd.ops) f.Fsmd.states)
+    @ (Array.to_list f.Fsmd.pipes
+      |> List.concat_map (fun (p : Fsmd.pipe) ->
+             (* cycle classes modulo II execute concurrently *)
+             let classes = Array.make p.Fsmd.ii [] in
+             Array.iteri
+               (fun c ops -> classes.(c mod p.Fsmd.ii) <- classes.(c mod p.Fsmd.ii) @ ops)
+               p.Fsmd.cycle_ops;
+             per_state (p.Fsmd.cond_insts @ p.Fsmd.step_insts)
+             :: Array.to_list (Array.map per_state classes)))
+  in
+  (* max concurrency and total ops per class *)
+  List.fold_left
+    (fun (maxes, totals) profile ->
+      ClassMap.fold
+        (fun cls n (maxes, totals) ->
+          let maxes =
+            ClassMap.update cls
+              (function None -> Some n | Some m -> Some (Stdlib.max m n))
+              maxes
+          in
+          let totals =
+            ClassMap.update cls (function None -> Some n | Some t -> Some (t + n)) totals
+          in
+          (maxes, totals))
+        profile (maxes, totals))
+    (ClassMap.empty, ClassMap.empty) profiles
+
+(** Bind the FSMD's operations to functional units under [policy]. *)
+let bind ?(policy : policy = `Shared) (f : Fsmd.t) : t =
+  let maxes, totals = concurrency_profile f in
+  let fus =
+    ClassMap.fold
+      (fun cls total acc ->
+        let concurrent = try ClassMap.find cls maxes with Not_found -> total in
+        let units = match policy with `Shared -> concurrent | `Flat -> total in
+        let mux_ways =
+          (* each shared unit muxes the operand sources of the ops mapped
+             to it: ops beyond one per unit add a mux way on both inputs *)
+          if units >= total then 0 else 2 * (total - units)
+        in
+        { cls; units; ops = total; mux_ways } :: acc)
+      totals []
+  in
+  {
+    fus;
+    total_ops = List.fold_left (fun a u -> a + u.ops) 0 fus;
+    total_units = List.fold_left (fun a u -> a + u.units) 0 fus;
+  }

@@ -1,0 +1,37 @@
+(** Functional-unit binding: map scheduled operations onto shared
+    hardware units (the classic HLS resource-sharing optimization the
+    paper's Section 3.3 builds on).
+
+    Two operations can share a unit when they never execute in the same
+    state (or, inside a pipelined loop, the same cycle class modulo the
+    II).  Sharing trades multiplexers for functional units; the
+    statistics feed the RTL generator and the area model. *)
+
+(** Functional-unit class: operator kind at a given operand width. *)
+type fu_class =
+  | Fbin of Front.Ast.binop * Front.Ast.width
+  | Fun_ of Front.Ast.unop * Front.Ast.width
+
+val compare_fu_class : fu_class -> fu_class -> int
+
+(** Copies, casts and constant shifts are wiring, not functional units. *)
+val fu_of_inst : Mir.Ir.inst -> fu_class option
+
+(** [`Shared] reuses units across states (normal HLS behaviour);
+    [`Flat] instantiates one unit per operation (ablation baseline). *)
+type policy = [ `Flat | `Shared ]
+
+type fu_usage = {
+  cls : fu_class;
+  units : int;      (** hardware units instantiated *)
+  ops : int;        (** operations mapped onto them *)
+  mux_ways : int;   (** operand-mux ways added by sharing *)
+}
+
+type t = {
+  fus : fu_usage list;
+  total_ops : int;
+  total_units : int;
+}
+
+val bind : ?policy:policy -> Fsmd.t -> t

@@ -1,0 +1,200 @@
+(** Finite-state machine with datapath (FSMD): the output of scheduling.
+
+    Semantics (shared with the cycle-accurate simulator):
+    - all register writes of a state commit at the end of its cycle;
+    - block-RAM loads issue in a state and deliver their data for use in
+      strictly later states (synchronous read) — guaranteed by the
+      scheduler, so the simulator may commit them like other writes;
+    - a state containing a stream operation is exclusive to it (the
+      Impulse-C handshake state) and may block;
+    - [Branch] consumes a condition register computed in that state or
+      earlier and selects the next state;
+    - a pipelined loop is a special construct executed with overlapped
+      iterations at a fixed initiation interval. *)
+
+module Ir = Mir.Ir
+
+type next =
+  | Goto of int
+  | Branch of Ir.reg * int * int  (** if cond then first else second *)
+  | Enter_pipe of int             (** start pipelined loop [pipe id] *)
+  | Done
+
+type state = {
+  ops : Ir.ginst list;
+  next : next;
+  chain_ns : float;  (** worst combinational chain in this state *)
+}
+
+(** A modulo-scheduled loop.  Per iteration: the condition instructions
+    evaluate combinationally at issue; if the condition holds, the
+    iteration's context is snapshotted, the body operations execute at
+    their cycle offsets, and the step instructions update the issue
+    registers for the next iteration, launched [ii] cycles later. *)
+type pipe = {
+  ii : int;                           (** initiation interval (the paper's "rate") *)
+  depth : int;                        (** iteration latency in cycles *)
+  cond_insts : Ir.ginst list;
+  cond : Ir.reg;
+  step_insts : Ir.ginst list;
+  cycle_ops : Ir.ginst list array;    (** body ops by cycle offset; length [depth] *)
+  exit_to : int;
+  pipe_chain_ns : float;
+}
+
+type t = {
+  proc : Ir.proc_ir;
+  states : state array;
+  pipes : pipe array;
+  entry : int;
+  max_chain_ns : float;
+}
+
+let num_states f = Array.length f.states
+
+(** All instructions of the FSMD (states and pipes). *)
+let all_ops (f : t) : Ir.ginst list =
+  let from_states = Array.to_list f.states |> List.concat_map (fun s -> s.ops) in
+  let from_pipes =
+    Array.to_list f.pipes
+    |> List.concat_map (fun p ->
+           p.cond_insts @ p.step_insts @ List.concat (Array.to_list p.cycle_ops))
+  in
+  from_states @ from_pipes
+
+(** Longest acyclic path length (in states) through the FSM, treating a
+    pipe as [depth] cycles — an upper bound used only in reports. *)
+let static_path_bound (f : t) =
+  Array.length f.states
+  + Array.fold_left (fun acc p -> acc + p.depth) 0 f.pipes
+
+(* --- Invariant checking (used by tests and the driver) ------------------- *)
+
+type violation = string
+
+let check (f : t) : violation list =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun m -> errs := m :: !errs) fmt in
+  let n = Array.length f.states in
+  let valid_target ?(what = "state") i =
+    if i < 0 || i >= n then err "%s target %d out of range [0,%d)" what i n
+  in
+  Array.iteri
+    (fun si st ->
+      (* stream ops are exclusive *)
+      let has_stream = List.exists (fun g -> Ir.is_stream_op g.Ir.i) st.ops in
+      let non_tap_ops =
+        List.filter (fun (g : Ir.ginst) -> match g.Ir.i with Ir.Tap _ -> false | _ -> true) st.ops
+      in
+      if has_stream && List.length non_tap_ops > 1 then
+        err "state %d mixes a stream op with other ops" si;
+      (* port limits *)
+      let port_use = Hashtbl.create 4 in
+      List.iter
+        (fun g ->
+          match Ir.mem_access g.Ir.i with
+          | Some m ->
+              let c = try Hashtbl.find port_use m with Not_found -> 0 in
+              Hashtbl.replace port_use m (c + 1)
+          | None -> ())
+        st.ops;
+      Hashtbl.iter
+        (fun m c ->
+          match Ir.find_mem f.proc m with
+          | Some mem when c > mem.Ir.ports ->
+              err "state %d uses %d ports of %s (has %d)" si c m mem.Ir.ports
+          | Some _ -> ()
+          | None -> err "state %d accesses unknown memory %s" si m)
+        port_use;
+      (* a load's result must not feed a program-later op in the same
+         state (same-state reads *before* the load legally see the old
+         register value) *)
+      let loaded_so_far = ref [] in
+      List.iter
+        (fun g ->
+          List.iter
+            (fun r ->
+              if List.mem r !loaded_so_far then
+                err "state %d uses load result r%d in the load's own state" si r)
+            (Ir.uses_of_g g);
+          match g.Ir.i with
+          | Ir.Load { dst; _ } -> loaded_so_far := dst :: !loaded_so_far
+          | _ -> ())
+        st.ops;
+      match st.next with
+      | Goto t -> valid_target t
+      | Branch (_, a, b) -> valid_target a; valid_target b
+      | Enter_pipe p ->
+          if p < 0 || p >= Array.length f.pipes then err "bad pipe id %d" p
+      | Done -> ())
+    f.states;
+  Array.iteri
+    (fun pi p ->
+      if p.ii < 1 then err "pipe %d has ii < 1" pi;
+      if Array.length p.cycle_ops <> p.depth then
+        err "pipe %d depth %d but %d cycle slots" pi p.depth (Array.length p.cycle_ops);
+      if p.exit_to < 0 || p.exit_to >= n then err "pipe %d exit out of range" pi;
+      (* modulo resource check: memory ports per cycle class *)
+      let classes = Hashtbl.create 8 in
+      Array.iteri
+        (fun c ops ->
+          List.iter
+            (fun g ->
+              match Ir.mem_access g.Ir.i with
+              | Some m ->
+                  let key = (m, c mod p.ii) in
+                  let cnt = try Hashtbl.find classes key with Not_found -> 0 in
+                  Hashtbl.replace classes key (cnt + 1)
+              | None -> ())
+            ops)
+        p.cycle_ops;
+      Hashtbl.iter
+        (fun (m, _) c ->
+          match Ir.find_mem f.proc m with
+          | Some mem when c > mem.Ir.ports ->
+              err "pipe %d over-subscribes %s modulo ii" pi m
+          | _ -> ())
+        classes;
+      (* one handshake per stream per cycle class *)
+      let stream_classes = Hashtbl.create 8 in
+      Array.iteri
+        (fun c ops ->
+          List.iter
+            (fun (g : Ir.ginst) ->
+              match g.Ir.i with
+              | Ir.Sread { stream; _ } | Ir.Swrite { stream; _ } ->
+                  let key = (stream, c mod p.ii) in
+                  let cnt = try Hashtbl.find stream_classes key with Not_found -> 0 in
+                  Hashtbl.replace stream_classes key (cnt + 1)
+              | _ -> ())
+            ops)
+        p.cycle_ops;
+      Hashtbl.iter
+        (fun (s, _) c ->
+          if c > 1 then err "pipe %d schedules %d handshakes on %s in one cycle class" pi c s)
+        stream_classes;
+      (* written memories must confine their accesses to one ii window
+         (cross-iteration program order) *)
+      let spans = Hashtbl.create 8 in
+      Array.iteri
+        (fun c ops ->
+          List.iter
+            (fun (g : Ir.ginst) ->
+              match g.Ir.i with
+              | Ir.Load { mem; _ } | Ir.Store { mem; _ } ->
+                  let lo, hi, written =
+                    try Hashtbl.find spans mem with Not_found -> (max_int, min_int, false)
+                  in
+                  let is_store = match g.Ir.i with Ir.Store _ -> true | _ -> false in
+                  Hashtbl.replace spans mem
+                    (Stdlib.min lo c, Stdlib.max hi c, written || is_store)
+              | _ -> ())
+            ops)
+        p.cycle_ops;
+      Hashtbl.iter
+        (fun m (lo, hi, written) ->
+          if written && hi - lo >= p.ii then
+            err "pipe %d spreads accesses to written memory %s across ii windows" pi m)
+        spans)
+    f.pipes;
+  List.rev !errs

@@ -1,0 +1,68 @@
+(** Finite-state machine with datapath (FSMD): the output of scheduling.
+
+    Semantics (shared with the cycle-accurate simulator):
+    - all register writes of a state commit at the end of its cycle;
+    - block-RAM loads issue in a state and deliver their data for use in
+      strictly later states (synchronous read) — guaranteed by the
+      scheduler;
+    - a state containing a stream operation is exclusive to it (the
+      Impulse-C handshake state) and may block; pure tap latches may
+      share it;
+    - [Branch] consumes a condition register computed in that state or
+      earlier;
+    - a pipelined loop is a special construct executed with overlapped
+      iterations at a fixed initiation interval. *)
+
+module Ir = Mir.Ir
+
+type next =
+  | Goto of int
+  | Branch of Ir.reg * int * int  (** if cond then first else second *)
+  | Enter_pipe of int             (** start pipelined loop [pipe id] *)
+  | Done
+
+type state = {
+  ops : Ir.ginst list;
+  next : next;
+  chain_ns : float;  (** worst combinational chain in this state *)
+}
+
+(** A modulo-scheduled loop.  Per iteration: the condition instructions
+    evaluate combinationally at issue; if the condition holds, the
+    iteration's context is snapshotted, the body operations execute at
+    their cycle offsets, and the step instructions update the issue
+    registers for the next iteration, launched [ii] cycles later. *)
+type pipe = {
+  ii : int;                         (** initiation interval (the paper's "rate") *)
+  depth : int;                      (** iteration latency in cycles *)
+  cond_insts : Ir.ginst list;
+  cond : Ir.reg;
+  step_insts : Ir.ginst list;
+  cycle_ops : Ir.ginst list array;  (** body ops by cycle offset; length [depth] *)
+  exit_to : int;
+  pipe_chain_ns : float;
+}
+
+type t = {
+  proc : Ir.proc_ir;
+  states : state array;
+  pipes : pipe array;
+  entry : int;
+  max_chain_ns : float;
+}
+
+val num_states : t -> int
+
+(** All instructions (states and pipes). *)
+val all_ops : t -> Ir.ginst list
+
+(** Upper bound on acyclic path length in cycles (reports only). *)
+val static_path_bound : t -> int
+
+type violation = string
+
+(** Check the scheduler's invariants: stream-state exclusivity, memory
+    port limits (including modulo the II inside pipes), load-use
+    separation, branch-target validity.  Returns all violations; the
+    empty list means the FSMD is well formed. *)
+val check : t -> violation list

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Effect Filename Front Hashtbl Int64 List Printf Queue Value

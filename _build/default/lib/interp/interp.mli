@@ -1,0 +1,61 @@
+(** Software simulation of an InCA program (the "CPU simulation" path).
+
+    The analogue of Impulse-C's thread-based software simulation (paper,
+    Section 1): every process is interpreted with plain C semantics,
+    *untimed*, on cooperatively scheduled fibers built from OCaml 5
+    effect handlers.  Differences between this path and the
+    cycle-accurate circuit ({!Sim.Engine}) are exactly the discrepancies
+    the paper's in-circuit assertions exist to catch.
+
+    Stream FIFOs are unbounded here by default (software simulation does
+    not model backpressure) — one documented source of "passes in
+    simulation, hangs in hardware" behaviour. *)
+
+module Value = Value
+
+type failure = {
+  floc : Front.Loc.t;
+  fproc : string;
+  ftext : string;  (** source text of the failed condition *)
+}
+
+(** ANSI-C assert(3) message format. *)
+val failure_message : failure -> string
+
+type outcome =
+  | Completed                            (** every process ran to completion *)
+  | Aborted of failure                   (** first failure halted the app *)
+  | Deadlocked of (string * Front.Loc.t) list
+      (** blocked processes and where they block *)
+  | Fuel_exhausted                       (** step budget exceeded *)
+  | Runtime_error of string
+
+type result = {
+  outcome : outcome;
+  failures : failure list;   (** all failures, in order (NABORT keeps going) *)
+  drained : (string * int64 list) list;  (** collected stream outputs *)
+  log : string list;         (** notification messages, ANSI format *)
+}
+
+type config = {
+  params : (string * (string * int64) list) list;
+      (** per-process scalar parameter bindings *)
+  feeds : (string * int64 list) list;
+      (** testbench values pre-loaded into streams *)
+  drains : string list;
+  nabort : bool;             (** paper's NABORT: don't halt on failure *)
+  ndebug : bool;             (** paper's NDEBUG: disable all assertions *)
+  unbounded_fifos : bool;
+  extern_models : (string * (int64 list -> int64)) list;
+      (** C models of external HDL functions *)
+  max_steps : int;
+}
+
+val default_config : config
+
+(** Run a program.  Deterministic: processes are scheduled round-robin
+    in declaration order. *)
+val run : ?cfg:config -> Front.Ast.program -> result
+
+(** True when the run completed with no assertion failure. *)
+val ok : result -> bool

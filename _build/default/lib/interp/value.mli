@@ -1,0 +1,39 @@
+(** Fixed-width two's-complement arithmetic.
+
+    A value of type [Tint (s, w)] is represented as an [int64] in
+    canonical form: truncated to [w] bits, then sign-extended when [s]
+    is [Signed] and zero-extended when [s] is [Unsigned].  Every
+    operation re-canonicalizes, so C's wrapping semantics hold at every
+    width.  This module is the single definition of scalar semantics
+    shared by the software interpreter and the hardware simulator —
+    except where a fault is injected (paper, Section 5.1). *)
+
+exception Division_by_zero
+
+(** [wrap s w v] canonicalizes [v] as a value of signedness [s] and
+    width [w]. *)
+val wrap : Front.Ast.signedness -> Front.Ast.width -> int64 -> int64
+
+(** [wrap_ty ty v] canonicalizes [v] at scalar type [ty].
+    @raise Invalid_argument on array or void types. *)
+val wrap_ty : Front.Ast.ty -> int64 -> int64
+
+val of_bool : bool -> int64
+val to_bool : int64 -> bool
+
+(** Signedness of a scalar type ([Tbool] counts as unsigned). *)
+val signedness_of : Front.Ast.ty -> Front.Ast.signedness
+
+val width_of : Front.Ast.ty -> Front.Ast.width
+
+(** [binop op ty a b] evaluates [a op b] where both operands have the
+    common type [ty] produced by elaboration.  Comparison and logical
+    results are booleans (0/1).
+    @raise Division_by_zero on zero divisors of [Div]/[Mod]. *)
+val binop : Front.Ast.binop -> Front.Ast.ty -> int64 -> int64 -> int64
+
+val unop : Front.Ast.unop -> Front.Ast.ty -> int64 -> int64
+
+(** [cast ~from_ty ~to_ty v] reinterprets [v] (C cast: truncate or
+    extend the bit pattern). *)
+val cast : from_ty:Front.Ast.ty -> to_ty:Front.Ast.ty -> int64 -> int64

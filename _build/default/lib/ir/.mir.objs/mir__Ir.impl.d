@@ -1,0 +1,1 @@
+lib/ir/ir.pp.ml: Fmt Front List Ppx_deriving_runtime Printf String

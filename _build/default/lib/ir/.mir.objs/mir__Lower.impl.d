@@ -1,0 +1,1 @@
+lib/ir/lower.pp.ml: Front Hashtbl Interp Ir List Printf

@@ -1,0 +1,1 @@
+lib/ir/lower.pp.mli: Front Ir

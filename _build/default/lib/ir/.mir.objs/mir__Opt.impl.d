@@ -1,0 +1,1 @@
+lib/ir/opt.pp.ml: Front Hashtbl Interp Ir List

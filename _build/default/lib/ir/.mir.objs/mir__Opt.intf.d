@@ -1,0 +1,1 @@
+lib/ir/opt.pp.mli: Ir

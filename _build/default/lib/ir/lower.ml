@@ -1,0 +1,393 @@
+(** Lowering from the typed AST to the structured IR.
+
+    Every source variable gets a dedicated virtual register (a datapath
+    register in the FSMD); expression trees allocate temporaries.
+    Arrays become memories.  Logical [&&]/[||] are evaluated eagerly as
+    1-bit bitwise operations — hardware evaluates both sides; the
+    expressions are pure so only timing differs from C's short-circuit.
+
+    [mirrors] implements the resource-replication optimization
+    (Section 3.2): for each [(orig, copy)] pair, a [copy] memory is
+    created and every store to [orig] is duplicated into [copy] on the
+    replica's own write port. *)
+
+open Front.Ast
+module Value = Interp.Value
+
+exception Unsupported of string * Front.Loc.t
+
+type binding = Vreg of Ir.reg | Vmem of string
+
+type st = {
+  mutable next_reg : int;
+  mutable regs : (Ir.reg * Ir.reg_info) list;  (* reverse order *)
+  mutable mems : Ir.mem list;                  (* reverse order *)
+  mutable scopes : (string, binding) Hashtbl.t list;
+  prog : program;
+  mirrors : (string * string) list;
+  mem_ports : int;
+}
+
+let fresh st ?origin rty =
+  let r = st.next_reg in
+  st.next_reg <- r + 1;
+  st.regs <- (r, { Ir.rty; origin }) :: st.regs;
+  r
+
+let push_scope st = st.scopes <- Hashtbl.create 8 :: st.scopes
+let pop_scope st = st.scopes <- List.tl st.scopes
+
+let bind st name b =
+  match st.scopes with
+  | sc :: _ -> Hashtbl.replace sc name b
+  | [] -> assert false
+
+let rec lookup_scopes scopes name =
+  match scopes with
+  | [] -> None
+  | sc :: rest -> (
+      match Hashtbl.find_opt sc name with Some b -> Some b | None -> lookup_scopes rest name)
+
+let lookup st loc name =
+  match lookup_scopes st.scopes name with
+  | Some b -> b
+  | None -> raise (Unsupported (Printf.sprintf "unbound %s (lowering)" name, loc))
+
+(* Unique memory names: arrays re-declared in nested scopes or loops get
+   a numeric suffix so each memory is a distinct block RAM. *)
+let uniquify_mem st base =
+  let taken n = List.exists (fun (m : Ir.mem) -> m.Ir.mname = n) st.mems in
+  if not (taken base) then base
+  else
+    let rec go i =
+      let n = Printf.sprintf "%s__%d" base i in
+      if taken n then go (i + 1) else n
+    in
+    go 2
+
+let declare_mem st ?(mirror_of = None) ?(rom_init = None) name elem length =
+  let mname = uniquify_mem st name in
+  (* a replica carries an extra port: the hidden write port that mirrors
+     the original array's stores (resource replication, Section 3.2) *)
+  let ports = st.mem_ports + (match mirror_of with Some _ -> 1 | None -> 0) in
+  let mem = { Ir.mname; elem; length; ports; mirror_of; rom_init } in
+  st.mems <- mem :: st.mems;
+  mname
+
+(* --- Expressions -------------------------------------------------------- *)
+
+(* Returns (instructions, result operand). *)
+let rec lower_expr st (x : expr) : Ir.ginst list * Ir.operand =
+  match x.e with
+  | Int n -> ([], Ir.Imm (Value.wrap_ty x.ety n))
+  | Bool b -> ([], Ir.Imm (Value.of_bool b))
+  | Var name -> (
+      match lookup st x.eloc name with
+      | Vreg r -> ([], Ir.Reg r)
+      | Vmem m -> raise (Unsupported (Printf.sprintf "array %s as scalar" m, x.eloc)))
+  | Index (name, idx) -> (
+      match lookup st x.eloc name with
+      | Vmem m ->
+          let insts, addr = lower_expr st idx in
+          let dst = fresh st x.ety in
+          (insts @ [ Ir.unguarded (Ir.Load { dst; mem = m; addr }) ], Ir.Reg dst)
+      | Vreg _ -> raise (Unsupported (Printf.sprintf "%s is not an array" name, x.eloc)))
+  | Unop (op, a) ->
+      let insts, va = lower_expr st a in
+      (match va with
+      | Ir.Imm n -> (insts, Ir.Imm (Value.unop op a.ety n))
+      | _ ->
+          let dst = fresh st x.ety in
+          (insts @ [ Ir.unguarded (Ir.Un { dst; op; a = va; ty = a.ety }) ], Ir.Reg dst))
+  | Binop (op, a, b) ->
+      let op = match op with Land -> Band | Lor -> Bor | other -> other in
+      let insts_a, va = lower_expr st a in
+      let insts_b, vb = lower_expr st b in
+      let operand_ty = a.ety in
+      (match (va, vb) with
+      | Ir.Imm na, Ir.Imm nb when op <> Div && op <> Mod ->
+          (insts_a @ insts_b, Ir.Imm (Value.binop op operand_ty na nb))
+      | Ir.Imm na, Ir.Imm nb when nb <> 0L ->
+          (insts_a @ insts_b, Ir.Imm (Value.binop op operand_ty na nb))
+      | _ ->
+          let dst = fresh st x.ety in
+          ( insts_a @ insts_b
+            @ [ Ir.unguarded (Ir.Bin { dst; op; a = va; b = vb; ty = operand_ty }) ],
+            Ir.Reg dst ))
+  | Cast (to_ty, a) ->
+      let insts, va = lower_expr st a in
+      (match va with
+      | Ir.Imm n -> (insts, Ir.Imm (Value.cast ~from_ty:a.ety ~to_ty n))
+      | _ ->
+          let dst = fresh st to_ty in
+          ( insts @ [ Ir.unguarded (Ir.Castop { dst; src = va; from_ty = a.ety; to_ty }) ],
+            Ir.Reg dst ))
+  | Call (func, args) ->
+      let latency =
+        match find_extern st.prog func with Some x' -> x'.xlatency | None -> 1
+      in
+      let parts = List.map (lower_expr st) args in
+      let insts = List.concat_map fst parts in
+      let operands = List.map snd parts in
+      let dst = fresh st x.ety in
+      (insts @ [ Ir.unguarded (Ir.Extcall { dst; func; args = operands; latency }) ], Ir.Reg dst)
+
+(* Lower an expression into a specific destination register, avoiding a
+   trailing temporary-to-variable copy when possible. *)
+let lower_expr_into st (x : expr) (dst : Ir.reg) : Ir.ginst list =
+  let insts, v = lower_expr st x in
+  match (List.rev insts, v) with
+  | last :: before, Ir.Reg r when Ir.dst_of last.Ir.i = Some r && last.Ir.guard = None ->
+      let retarget =
+        match last.Ir.i with
+        | Ir.Bin b -> Ir.Bin { b with dst }
+        | Ir.Un u -> Ir.Un { u with dst }
+        | Ir.Copy c -> Ir.Copy { c with dst }
+        | Ir.Castop c -> Ir.Castop { c with dst }
+        | Ir.Load l -> Ir.Load { l with dst }
+        | Ir.Sread s -> Ir.Sread { s with dst }
+        | Ir.Extcall e -> Ir.Extcall { e with dst }
+        | (Ir.Store _ | Ir.Swrite _ | Ir.Tap _) as i -> i
+      in
+      List.rev (Ir.unguarded retarget :: before)
+  | _ ->
+      let ty = match x.ety with Tvoid -> int32_t | t -> t in
+      insts @ [ Ir.unguarded (Ir.Copy { dst; src = v; ty }) ]
+
+(* --- Statements --------------------------------------------------------- *)
+
+(* Mirrored store: duplicate stores into every replica of [m]. *)
+let mirror_stores st m addr v =
+  List.filter_map
+    (fun (orig, copy) ->
+      if orig = m then Some (Ir.unguarded (Ir.Store { mem = copy; addr; v })) else None)
+    st.mirrors
+
+type acc = { mutable items : Ir.item list; mutable pending : Ir.ginst list }
+
+let flush acc =
+  if acc.pending <> [] then begin
+    acc.items <- Ir.Straight (List.rev acc.pending) :: acc.items;
+    acc.pending <- []
+  end
+
+let emit acc insts = acc.pending <- List.rev_append insts acc.pending
+
+let emit_item acc item =
+  flush acc;
+  acc.items <- item :: acc.items
+
+let finish acc =
+  flush acc;
+  List.rev acc.items
+
+let rec lower_stmts st stmts : Ir.body =
+  let acc = { items = []; pending = [] } in
+  List.iter (lower_stmt st acc) stmts;
+  finish acc
+
+and lower_stmt st acc (stmt : stmt) =
+  let loc = stmt.sloc in
+  match stmt.s with
+  | Decl (Tarray (elem, n), name, _) ->
+      let mirror_of =
+        List.fold_left (fun found (o, c) -> if c = name then Some o else found) None st.mirrors
+      in
+      let mname = declare_mem st ~mirror_of name elem n in
+      bind st name (Vmem mname)
+  | Decl (ty, name, init) ->
+      let r = fresh st ~origin:name ty in
+      bind st name (Vreg r);
+      (match init with
+      | Some e -> emit acc (lower_expr_into st e r)
+      | None -> ())
+  | Assign (Lvar name, e) -> (
+      match lookup st loc name with
+      | Vreg r -> emit acc (lower_expr_into st e r)
+      | Vmem _ -> raise (Unsupported ("assign to array", loc)))
+  | Assign (Lindex (name, idx), e) -> (
+      match lookup st loc name with
+      | Vmem m ->
+          let ia, addr = lower_expr st idx in
+          let iv, v = lower_expr st e in
+          emit acc (ia @ iv);
+          emit acc [ Ir.unguarded (Ir.Store { mem = m; addr; v }) ];
+          emit acc (mirror_stores st m addr v)
+      | Vreg _ -> raise (Unsupported (name ^ " is not an array", loc)))
+  | If (c, then_, else_) ->
+      let ic, vc = lower_expr st c in
+      let cond, cond_insts = materialize_cond st ic vc in
+      (* Data fetches feeding the condition (loads, external calls) are
+         hoisted into the enclosing straight segment, where the
+         scheduler may fold them into existing states when a memory
+         port is free — the paper's Table 3 "non-consecutive" case.
+         Only the pure comparison logic stays with the branch. *)
+      let cond_insts, hoisted =
+        let rec last_fetch idx best = function
+          | [] -> best
+          | (g : Ir.ginst) :: rest ->
+              let best =
+                match g.Ir.i with
+                | Ir.Load _ | Ir.Extcall _ -> idx + 1
+                | _ -> best
+              in
+              last_fetch (idx + 1) best rest
+        in
+        let cut = last_fetch 0 0 cond_insts in
+        let rec split i = function
+          | [] -> ([], [])
+          | x :: rest ->
+              if i < cut then
+                let pre, post = split (i + 1) rest in
+                (x :: pre, post)
+              else ([], x :: rest)
+        in
+        let pre, post = split 0 cond_insts in
+        (post, pre)
+      in
+      emit acc hoisted;
+      push_scope st;
+      let then_b = lower_stmts st then_ in
+      pop_scope st;
+      push_scope st;
+      let else_b = lower_stmts st else_ in
+      pop_scope st;
+      emit_item acc (Ir.If_else { cond_insts; cond; then_ = then_b; else_ = else_b })
+  | While (c, body) ->
+      push_scope st;
+      let ic, vc = lower_expr st c in
+      let cond, cond_insts = materialize_cond st ic vc in
+      let body_b = lower_stmts st body in
+      pop_scope st;
+      emit_item acc (Ir.Loop { cond_insts; cond; body = body_b; step_insts = []; pipelined = false })
+  | For (h, body) ->
+      push_scope st;
+      (match h.init with
+      | Some s -> lower_stmt st acc s
+      | None -> ());
+      let ic, vc = lower_expr st h.cond in
+      let cond, cond_insts = materialize_cond st ic vc in
+      let body_b = lower_stmts st body in
+      let step_insts =
+        match h.step with
+        | None -> []
+        | Some { s = Assign (Lvar name, e); sloc; _ } -> (
+            match lookup st sloc name with
+            | Vreg r -> lower_expr_into st e r
+            | Vmem _ -> raise (Unsupported ("array step", sloc)))
+        | Some { sloc; _ } -> raise (Unsupported ("complex for-step", sloc))
+      in
+      pop_scope st;
+      emit_item acc
+        (Ir.Loop { cond_insts; cond; body = body_b; step_insts; pipelined = h.pipelined })
+  | Assert (_, txt) ->
+      raise
+        (Unsupported
+           ( Printf.sprintf
+               "assert(%s) reached lowering: run assertion synthesis (or strip) first" txt,
+             loc ))
+  | Stream_read (lv, s) -> (
+      match lv with
+      | Lvar name -> (
+          match lookup st loc name with
+          | Vreg dst -> emit acc [ Ir.unguarded (Ir.Sread { dst; stream = s }) ]
+          | Vmem _ -> raise (Unsupported ("stream_read into array", loc)))
+      | Lindex (name, idx) -> (
+          match lookup st loc name with
+          | Vmem m ->
+              let elem =
+                match find_stream st.prog s with Some sd -> sd.elem | None -> int32_t
+              in
+              let tmp = fresh st elem in
+              let ia, addr = lower_expr st idx in
+              emit acc (ia @ [ Ir.unguarded (Ir.Sread { dst = tmp; stream = s }) ]);
+              emit acc [ Ir.unguarded (Ir.Store { mem = m; addr; v = Ir.Reg tmp }) ];
+              emit acc (mirror_stores st m addr (Ir.Reg tmp))
+          | Vreg _ -> raise (Unsupported (name ^ " is not an array", loc))))
+  | Stream_write (s, e) ->
+      let insts, v = lower_expr st e in
+      emit acc (insts @ [ Ir.unguarded (Ir.Swrite { stream = s; v }) ])
+  | Return None -> ()  (* structured bodies: return at end is a no-op *)
+  | Return (Some _) -> raise (Unsupported ("return with value", loc))
+  | Block b ->
+      push_scope st;
+      let inner = lower_stmts st b in
+      pop_scope st;
+      flush acc;
+      acc.items <- List.rev_append inner acc.items
+  | Tapstmt (id, args) ->
+      let parts = List.map (lower_expr st) args in
+      emit acc (List.concat_map fst parts);
+      emit acc [ Ir.unguarded (Ir.Tap { id; args = List.map snd parts }) ]
+  | Const_array (elem, name, values) ->
+      let values = List.map (Value.wrap_ty elem) values in
+      let mname =
+        declare_mem st ~rom_init:(Some values) name elem (List.length values)
+      in
+      bind st name (Vmem mname)
+
+and materialize_cond st insts v =
+  match v with
+  | Ir.Reg r -> (r, insts)
+  | Ir.Imm n ->
+      let r = fresh st Tbool in
+      (r, insts @ [ Ir.unguarded (Ir.Copy { dst = r; src = Ir.Imm n; ty = Tbool }) ])
+
+(* --- Processes and programs --------------------------------------------- *)
+
+(** Lower one process.  [mirrors] lists [(array, replica)] pairs: the
+    replica memory is created next to the original and all stores are
+    duplicated (resource replication, Section 3.2).  [mem_ports] is the
+    number of block-RAM ports available to the process (the paper's
+    platform behaves like single-port-per-client RAM; see DESIGN.md). *)
+let lower_proc ?(mirrors = []) ?(mem_ports = 1) (prog : program) (p : proc) : Ir.proc_ir =
+  let st =
+    {
+      next_reg = 0;
+      regs = [];
+      mems = [];
+      scopes = [];
+      prog;
+      mirrors = [];
+      mem_ports;
+    }
+  in
+  push_scope st;
+  (* parameters become registers initialized by the runtime *)
+  List.iter
+    (fun (name, ty) ->
+      let r = fresh st ~origin:name ty in
+      bind st name (Vreg r))
+    p.params;
+  (* pre-declare replica memories so stores can be mirrored; the replica
+     is created on first sight of the original array's declaration *)
+  let st = { st with mirrors } in
+  (* find array declarations to create replicas eagerly *)
+  let body_with_mirrors =
+    if mirrors = [] then p.body
+    else
+      map_stmts
+        (fun stmt ->
+          match stmt.s with
+          | Decl (Tarray (elem, n), name, _) when List.mem_assoc name mirrors ->
+              let copy = List.assoc name mirrors in
+              [ stmt; { stmt with s = Decl (Tarray (elem, n), copy, None) } ]
+          | _ -> [ stmt ])
+        p.body
+  in
+  let body = lower_stmts st body_with_mirrors in
+  pop_scope st;
+  {
+    Ir.name = p.pname;
+    kind = p.kind;
+    regs = List.rev st.regs;
+    mems = List.rev st.mems;
+    body;
+  }
+
+let lower_program ?(mem_ports = 1) (prog : program) : Ir.program_ir =
+  {
+    Ir.streams = prog.streams;
+    externs = prog.externs;
+    procs = List.map (lower_proc ~mem_ports prog) prog.procs;
+  }

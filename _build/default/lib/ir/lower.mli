@@ -1,0 +1,33 @@
+(** Lowering from the typed AST to the structured IR.
+
+    Every source variable gets a dedicated virtual register (a datapath
+    register in the FSMD); expression trees allocate temporaries;
+    arrays become memories.  Logical [&&]/[||] evaluate eagerly as
+    1-bit bitwise operations (hardware evaluates both sides; the
+    language's expressions are pure, so only timing differs from C's
+    short-circuit).
+
+    Assertions must have been synthesized (or stripped) before lowering:
+    an [assert] reaching this pass raises {!Unsupported}. *)
+
+exception Unsupported of string * Front.Loc.t
+
+(** Lower one process.
+
+    [mirrors] implements resource replication (Section 3.2): for each
+    [(array, replica)] pair a replica memory is declared next to the
+    original — with one extra (hidden) write port — and every store to
+    the original is duplicated into it.
+
+    [mem_ports] is the number of block-RAM ports the application's
+    accesses compete for (default 1, the Impulse-C-like behaviour behind
+    the paper's Tables 3-4). *)
+val lower_proc :
+  ?mirrors:(string * string) list ->
+  ?mem_ports:int ->
+  Front.Ast.program ->
+  Front.Ast.proc ->
+  Ir.proc_ir
+
+(** Lower every hardware process of a program. *)
+val lower_program : ?mem_ports:int -> Front.Ast.program -> Ir.program_ir

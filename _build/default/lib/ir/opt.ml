@@ -1,0 +1,155 @@
+(** Classic HLS front-end cleanups on the structured IR: constant
+    folding, per-segment copy propagation, and dead-code elimination.
+    These run before scheduling so that assertion instrumentation does
+    not pay for temporaries the original application would not have. *)
+
+module Value = Interp.Value
+open Front.Ast
+
+(* --- Constant folding ---------------------------------------------------- *)
+
+(* Fold instructions whose operands are immediates.  Division keeps its
+   trap semantics: a constant zero divisor is left in place so the
+   hardware (and simulator) still traps. *)
+let fold_inst (i : Ir.inst) : Ir.inst =
+  match i with
+  | Ir.Bin { dst; op; a = Imm na; b = Imm nb; ty }
+    when (op <> Div && op <> Mod) || nb <> 0L ->
+      let v = Value.binop op ty na nb in
+      let result_ty = if is_comparison op then Tbool else ty in
+      Ir.Copy { dst; src = Imm v; ty = result_ty }
+  | Ir.Un { dst; op; a = Imm n; ty } ->
+      Ir.Copy { dst; src = Imm (Value.unop op ty n); ty }
+  | Ir.Castop { dst; src = Imm n; from_ty; to_ty } ->
+      Ir.Copy { dst; src = Imm (Value.cast ~from_ty ~to_ty n); ty = to_ty }
+  | other -> other
+
+let rec map_body f (body : Ir.body) : Ir.body =
+  List.map
+    (function
+      | Ir.Straight insts -> Ir.Straight (f insts)
+      | Ir.If_else r ->
+          Ir.If_else
+            {
+              r with
+              cond_insts = f r.cond_insts;
+              then_ = map_body f r.then_;
+              else_ = map_body f r.else_;
+            }
+      | Ir.Loop r ->
+          Ir.Loop
+            {
+              r with
+              cond_insts = f r.cond_insts;
+              body = map_body f r.body;
+              step_insts = f r.step_insts;
+            })
+    body
+
+let const_fold (p : Ir.proc_ir) : Ir.proc_ir =
+  let fold_seg insts = List.map (fun g -> { g with Ir.i = fold_inst g.Ir.i }) insts in
+  { p with Ir.body = map_body fold_seg p.body }
+
+(* --- Copy propagation (within straight segments) ------------------------- *)
+
+(* Within one segment, after [r = src] every later use of [r] can read
+   [src] instead, until either side is redefined.  Registers written by
+   guarded instructions are never propagated (the write may not happen). *)
+let propagate_segment (insts : Ir.ginst list) : Ir.ginst list =
+  let env : (Ir.reg, Ir.operand) Hashtbl.t = Hashtbl.create 8 in
+  let invalidate r =
+    Hashtbl.remove env r;
+    (* drop any mapping whose source was r *)
+    let stale =
+      Hashtbl.fold (fun k v acc -> if v = Ir.Reg r then k :: acc else acc) env []
+    in
+    List.iter (Hashtbl.remove env) stale
+  in
+  let subst op = match op with Ir.Reg r -> (try Hashtbl.find env r with Not_found -> op) | Ir.Imm _ -> op in
+  let rewrite (i : Ir.inst) : Ir.inst =
+    match i with
+    | Ir.Bin b -> Ir.Bin { b with a = subst b.a; b = subst b.b }
+    | Ir.Un u -> Ir.Un { u with a = subst u.a }
+    | Ir.Copy c -> Ir.Copy { c with src = subst c.src }
+    | Ir.Castop c -> Ir.Castop { c with src = subst c.src }
+    | Ir.Load l -> Ir.Load { l with addr = subst l.addr }
+    | Ir.Store s -> Ir.Store { s with addr = subst s.addr; v = subst s.v }
+    | Ir.Sread _ -> i
+    | Ir.Swrite w -> Ir.Swrite { w with v = subst w.v }
+    | Ir.Extcall e -> Ir.Extcall { e with args = List.map subst e.args }
+    | Ir.Tap t -> Ir.Tap { t with args = List.map subst t.args }
+  in
+  List.map
+    (fun (g : Ir.ginst) ->
+      let i = rewrite g.Ir.i in
+      (match Ir.dst_of i with
+      | Some d ->
+          invalidate d;
+          (match (i, g.Ir.guard) with
+          | Ir.Copy { dst; src; _ }, None -> Hashtbl.replace env dst src
+          | _ -> ())
+      | None -> ());
+      { g with Ir.i })
+    insts
+
+let copy_prop (p : Ir.proc_ir) : Ir.proc_ir =
+  { p with Ir.body = map_body propagate_segment p.body }
+
+(* --- Dead code elimination ------------------------------------------------ *)
+
+(* A pure instruction whose destination register is never read anywhere
+   in the process (registers are global to the FSMD) is dead.  Iterates
+   to a fixpoint. *)
+let has_side_effect = function
+  | Ir.Store _ | Ir.Swrite _ | Ir.Sread _ | Ir.Tap _ | Ir.Extcall _ -> true
+  | Ir.Bin { op = Div; b = Imm 0L; _ } | Ir.Bin { op = Mod; b = Imm 0L; _ } -> true
+  | Ir.Bin { op = Div | Mod; b = Reg _; _ } -> true  (* may trap *)
+  | Ir.Bin _ | Ir.Un _ | Ir.Copy _ | Ir.Castop _ | Ir.Load _ -> false
+
+let dce (p : Ir.proc_ir) : Ir.proc_ir =
+  let live_regs body =
+    let live = Hashtbl.create 32 in
+    Ir.iter_segments
+      (fun insts -> List.iter (fun g -> List.iter (fun r -> Hashtbl.replace live r ()) (Ir.uses_of_g g)) insts)
+      body;
+    (* loop conditions are always live *)
+    let rec conds (b : Ir.body) =
+      List.iter
+        (function
+          | Ir.Straight _ -> ()
+          | Ir.If_else { cond; then_; else_; _ } ->
+              Hashtbl.replace live cond ();
+              conds then_;
+              conds else_
+          | Ir.Loop { cond; body; _ } ->
+              Hashtbl.replace live cond ();
+              conds body)
+        b
+    in
+    conds body;
+    live
+  in
+  let sweep live body =
+    map_body
+      (List.filter (fun (g : Ir.ginst) ->
+           has_side_effect g.Ir.i
+           ||
+           match Ir.dst_of g.Ir.i with
+           | Some d -> Hashtbl.mem live d
+           | None -> true))
+      body
+  in
+  let rec fix body n =
+    if n = 0 then body
+    else
+      let live = live_regs body in
+      let body' = sweep live body in
+      if body' = body then body else fix body' (n - 1)
+  in
+  { p with Ir.body = fix p.body 10 }
+
+(** Standard pass pipeline. *)
+let optimize (p : Ir.proc_ir) : Ir.proc_ir = dce (copy_prop (const_fold p))
+
+let optimize_program (p : Ir.program_ir) : Ir.program_ir =
+  { p with Ir.procs = List.map optimize p.procs }

@@ -1,0 +1,25 @@
+(** Classic HLS front-end cleanups on the structured IR: constant
+    folding, per-segment copy propagation, and dead-code elimination.
+    They run before scheduling so assertion instrumentation does not pay
+    for temporaries the original application would not have.
+
+    Correctness contract: the passes never change observable behaviour
+    (stream traffic, memory contents, trap behaviour) — property-tested
+    against the cycle-accurate simulator. *)
+
+(** Fold instructions whose operands are immediates (division keeps its
+    trap semantics: constant zero divisors are left in place). *)
+val fold_inst : Ir.inst -> Ir.inst
+
+val const_fold : Ir.proc_ir -> Ir.proc_ir
+
+(** Propagate copies within straight-line segments. *)
+val copy_prop : Ir.proc_ir -> Ir.proc_ir
+
+(** Remove pure instructions whose results are never read. *)
+val dce : Ir.proc_ir -> Ir.proc_ir
+
+(** The standard pipeline: [dce (copy_prop (const_fold p))]. *)
+val optimize : Ir.proc_ir -> Ir.proc_ir
+
+val optimize_program : Ir.program_ir -> Ir.program_ir

@@ -1,0 +1,1 @@
+lib/rtl/area.ml: Device Front Netlist Stdlib

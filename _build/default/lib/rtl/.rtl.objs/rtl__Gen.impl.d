@@ -1,0 +1,1 @@
+lib/rtl/gen.ml: Array Device Front Hls List Mir Netlist

@@ -1,0 +1,1 @@
+lib/rtl/gen.mli: Front Hls Netlist

@@ -1,0 +1,1 @@
+lib/rtl/timing.ml: Area Device Hashtbl

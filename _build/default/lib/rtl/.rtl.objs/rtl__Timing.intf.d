@@ -1,0 +1,1 @@
+lib/rtl/timing.mli: Area

@@ -1,0 +1,1 @@
+lib/rtl/vhdl.ml: Array Buffer Front Hls List Mir Printf String

@@ -1,0 +1,113 @@
+(** Area estimation: map the structural netlist onto EP2S180 resources.
+
+    The output columns are the ones in the paper's Tables 1 and 2:
+    logic (ALMs expressed as "logic used"), combinational ALUTs,
+    dedicated registers, block-RAM bits, and block interconnect. *)
+
+module Stratix = Device.Stratix
+open Front.Ast
+
+type usage = {
+  logic : int;          (** "Logic Used" (ALUT/register pairing) *)
+  aluts : int;          (** combinational ALUTs *)
+  registers : int;
+  ram_bits : int;
+  interconnect : int;
+  dsps : int;
+  m4k_blocks : int;
+  streams : int;        (** stream FIFOs in the design (for timing) *)
+}
+
+let zero =
+  { logic = 0; aluts = 0; registers = 0; ram_bits = 0; interconnect = 0; dsps = 0;
+    m4k_blocks = 0; streams = 0 }
+
+(* Representative scalar type for the width, to index the device tables. *)
+let ty_of_width w : ty =
+  let width =
+    if w <= 1 then W1 else if w <= 8 then W8 else if w <= 16 then W16
+    else if w <= 32 then W32 else W64
+  in
+  if w <= 1 then Tbool else Tint (Signed, width)
+
+let of_prim (p : Netlist.prim) =
+  match p with
+  | Netlist.Fu { fu_op; fu_width; fu_count } ->
+      let ty = ty_of_width fu_width in
+      let aluts, dsps =
+        match fu_op with
+        | `Bin op -> (Stratix.binop_aluts op ty, Stratix.binop_dsps op ty)
+        | `Un op -> (Stratix.unop_aluts op ty, 0)
+      in
+      { zero with aluts = aluts * fu_count; dsps = dsps * fu_count }
+  | Netlist.Regbank { width; count; _ } -> { zero with registers = width * count }
+  | Netlist.Mux { width; ways; count } ->
+      { zero with aluts = Stratix.mux2_aluts width * ways * count }
+  | Netlist.Fsm { states; transitions } ->
+      (* one-hot state register + next-state decode *)
+      { zero with registers = states; aluts = transitions }
+  | Netlist.Bram { width; depth; ports; _ } ->
+      let bits = Stratix.mem_ram_bits ~width ~length:depth in
+      {
+        zero with
+        ram_bits = bits;
+        m4k_blocks = Stratix.m4k_blocks_of_bits bits;
+        aluts = 3 * ports;      (* address/write-enable steering *)
+        registers = 2 * ports;  (* registered address/data *)
+      }
+  | Netlist.Fifo { width; depth; _ } ->
+      let bits = Stratix.stream_ram_bits ~width ~depth in
+      {
+        zero with
+        ram_bits = bits;
+        m4k_blocks = Stratix.m4k_blocks_of_bits bits;
+        aluts = Stratix.stream_ctrl_aluts;
+        registers = Stratix.stream_ctrl_registers;
+        streams = 1;
+      }
+  | Netlist.Pipe_ctrl { ii; depth } ->
+      { zero with aluts = 6 + (2 * depth) + ii; registers = 4 + depth }
+
+let add a b =
+  {
+    logic = a.logic + b.logic;
+    aluts = a.aluts + b.aluts;
+    registers = a.registers + b.registers;
+    ram_bits = a.ram_bits + b.ram_bits;
+    interconnect = a.interconnect + b.interconnect;
+    dsps = a.dsps + b.dsps;
+    m4k_blocks = a.m4k_blocks + b.m4k_blocks;
+    streams = a.streams + b.streams;
+  }
+
+(** Estimate the whole design.  Interconnect and "logic used" are
+    derived from the raw counts with empirical Stratix-II factors
+    (see DESIGN.md). *)
+let of_design (d : Netlist.t) : usage =
+  let raw = Netlist.fold (fun acc p -> add acc (of_prim p)) zero d in
+  let interconnect =
+    int_of_float
+      ((Stratix.interconnect_per_alut *. float_of_int raw.aluts)
+      +. (Stratix.interconnect_per_register *. float_of_int raw.registers)
+      +. (Stratix.interconnect_per_stream *. float_of_int raw.streams)
+      +. (Stratix.interconnect_per_m4k *. float_of_int raw.m4k_blocks))
+  in
+  let logic =
+    (* ALUT/register pairing into ALMs: unpaired majority + partial pairs *)
+    let hi = Stdlib.max raw.aluts raw.registers
+    and lo = Stdlib.min raw.aluts raw.registers in
+    hi + int_of_float (0.45 *. float_of_int lo)
+  in
+  { raw with interconnect; logic }
+
+(** Percentage of the EP2S180 consumed, for the paper-style columns. *)
+let pct_of_device (u : usage) =
+  let c = Stratix.ep2s180 in
+  let pct a b = 100.0 *. float_of_int a /. float_of_int b in
+  [
+    ("Logic", pct u.logic c.Stratix.aluts);
+    ("ALUT", pct u.aluts c.Stratix.aluts);
+    ("Registers", pct u.registers c.Stratix.registers);
+    ("RAM bits", pct u.ram_bits c.Stratix.bram_bits);
+    ("Interconnect", pct u.interconnect c.Stratix.interconnect);
+  ]

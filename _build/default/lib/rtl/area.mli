@@ -1,0 +1,30 @@
+(** Area estimation: map the structural netlist onto EP2S180 resources.
+
+    The output columns are the ones in the paper's Tables 1 and 2:
+    logic (ALUT/register pairing), combinational ALUTs, dedicated
+    registers, block-RAM bits, and block interconnect. *)
+
+type usage = {
+  logic : int;          (** "Logic Used" (ALM pairing estimate) *)
+  aluts : int;          (** combinational ALUTs *)
+  registers : int;
+  ram_bits : int;
+  interconnect : int;
+  dsps : int;
+  m4k_blocks : int;
+  streams : int;        (** stream FIFOs in the design (drives timing) *)
+}
+
+val zero : usage
+
+(** Resources of one primitive. *)
+val of_prim : Netlist.prim -> usage
+
+val add : usage -> usage -> usage
+
+(** Estimate a whole design; interconnect and logic pairing are derived
+    with empirical Stratix-II factors (see DESIGN.md). *)
+val of_design : Netlist.t -> usage
+
+(** Paper-style percentage columns against the EP2S180 capacities. *)
+val pct_of_device : usage -> (string * float) list

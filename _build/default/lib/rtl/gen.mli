@@ -1,0 +1,20 @@
+(** Netlist generation: lower an FSMD (with its functional-unit binding)
+    to structural primitives.  One module per hardware process; stream
+    FIFOs are program-level. *)
+
+(** Lower one process FSMD. *)
+val of_fsmd : ?policy:Hls.Binding.policy -> Hls.Fsmd.t -> Netlist.module_
+
+(** The FIFO primitive for one stream declaration. *)
+val fifo_of_stream : Front.Ast.stream_decl -> Netlist.prim
+
+(** Assemble a whole design: process modules, extra modules (assertion
+    checkers, collectors), and the stream FIFOs. *)
+val design :
+  ?policy:Hls.Binding.policy ->
+  top_name:string ->
+  Hls.Fsmd.t list ->
+  Front.Ast.stream_decl list ->
+  ?extra_modules:Netlist.module_ list ->
+  unit ->
+  Netlist.t

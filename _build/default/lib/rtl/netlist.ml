@@ -1,0 +1,44 @@
+(** Structural register-transfer netlist.
+
+    The netlist is the contract between high-level synthesis and the
+    device model: {!Gen} lowers an FSMD into these primitives, and
+    {!Device}'s area/timing estimators count them.  It is deliberately
+    coarse (one primitive per functional unit, register bank, RAM, FIFO,
+    FSM) — the granularity Quartus' fitter report aggregates to in the
+    paper's Tables 1 and 2. *)
+
+open Front.Ast
+
+type fu_prim = {
+  fu_op : [ `Bin of binop | `Un of unop ];
+  fu_width : int;
+  fu_count : int;       (** identical units instantiated *)
+}
+
+type prim =
+  | Fu of fu_prim
+  | Regbank of { width : int; count : int; purpose : string }
+  | Mux of { width : int; ways : int; count : int }
+  | Fsm of { states : int; transitions : int }
+  | Bram of { width : int; depth : int; ports : int; name : string }
+  | Fifo of { width : int; depth : int; name : string }
+  | Pipe_ctrl of { ii : int; depth : int }
+      (** issue counter, stage-valid chain, stall logic of one pipelined loop *)
+
+type module_ = {
+  mod_name : string;
+  prims : prim list;
+}
+
+type t = {
+  top_name : string;
+  modules : module_ list;   (** one per hardware process (+ checkers) *)
+  fifos : prim list;        (** program-level stream FIFOs *)
+}
+
+let count_prims (m : module_) = List.length m.prims
+
+(** Fold over every primitive in the design, FIFOs included. *)
+let fold f acc (d : t) =
+  let acc = List.fold_left (fun acc m -> List.fold_left f acc m.prims) acc d.modules in
+  List.fold_left f acc d.fifos

@@ -1,0 +1,37 @@
+(** Structural register-transfer netlist: the contract between
+    high-level synthesis and the device model.  {!Gen} lowers an FSMD
+    into these primitives; {!Area} and {!Timing} count them.  The
+    granularity is deliberately coarse — what Quartus' fitter report
+    aggregates to in the paper's Tables 1 and 2. *)
+
+type fu_prim = {
+  fu_op : [ `Bin of Front.Ast.binop | `Un of Front.Ast.unop ];
+  fu_width : int;
+  fu_count : int;  (** identical units instantiated *)
+}
+
+type prim =
+  | Fu of fu_prim
+  | Regbank of { width : int; count : int; purpose : string }
+  | Mux of { width : int; ways : int; count : int }
+  | Fsm of { states : int; transitions : int }
+  | Bram of { width : int; depth : int; ports : int; name : string }
+  | Fifo of { width : int; depth : int; name : string }
+  | Pipe_ctrl of { ii : int; depth : int }
+      (** issue counter, stage-valid chain, stall logic of one pipelined loop *)
+
+type module_ = {
+  mod_name : string;  (** one per hardware process (or checker) *)
+  prims : prim list;
+}
+
+type t = {
+  top_name : string;
+  modules : module_ list;
+  fifos : prim list;  (** program-level stream FIFOs *)
+}
+
+val count_prims : module_ -> int
+
+(** Fold over every primitive in the design, FIFOs included. *)
+val fold : ('a -> prim -> 'a) -> 'a -> t -> 'a

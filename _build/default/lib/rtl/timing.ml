@@ -1,0 +1,56 @@
+(** Maximum clock frequency estimation.
+
+    The achieved period is the worst combinational chain the scheduler
+    produced, plus register overhead, plus a routing term that grows
+    with interconnect utilization and — dominantly, for the paper's
+    scalability study (Figure 4) — with the number of stream FIFOs
+    competing for M4K columns and global routing.  A small deterministic
+    jitter models place-and-route variance: the paper observes
+    non-monotone fmax below 32 processes.
+
+    Model (ns):
+      period = max_chain + t_reg
+             + route_base
+             + a * streams + b * streams^2
+             + c * interconnect_utilization^2
+      fmax = 1000 / period * (1 + jitter),   jitter in [-2%, +2%]. *)
+
+module Stratix = Device.Stratix
+
+let route_base_ns = 1.6
+let stream_linear_ns = 0.003
+let stream_quadratic_ns = 0.00002
+let congestion_ns = 6.0
+
+(* Deterministic pseudo-jitter from a design fingerprint. *)
+let jitter ~seed =
+  let h = Hashtbl.hash seed in
+  let unit = float_of_int (h mod 1000) /. 1000.0 in
+  (unit -. 0.5) *. 0.04
+
+type estimate = {
+  fmax_mhz : float;
+  period_ns : float;
+  logic_ns : float;
+  route_ns : float;
+}
+
+(** Estimate fmax for a design with worst chain [max_chain_ns] and area
+    [usage].  [name] seeds the place-and-route jitter. *)
+let estimate ~name ~(max_chain_ns : float) (usage : Area.usage) : estimate =
+  let streams = float_of_int usage.Area.streams in
+  let util =
+    float_of_int usage.Area.interconnect
+    /. float_of_int Stratix.ep2s180.Stratix.interconnect
+  in
+  let route_ns =
+    route_base_ns
+    +. (stream_linear_ns *. streams)
+    +. (stream_quadratic_ns *. streams *. streams)
+    +. (congestion_ns *. util *. util)
+  in
+  let logic_ns = max_chain_ns +. Stratix.register_overhead_ns in
+  let period_ns = logic_ns +. route_ns in
+  let j = jitter ~seed:(name, usage.Area.aluts, usage.Area.registers) in
+  let fmax_mhz = 1000.0 /. period_ns *. (1.0 +. j) in
+  { fmax_mhz; period_ns; logic_ns; route_ns }

@@ -1,0 +1,25 @@
+(** Maximum clock frequency estimation.
+
+    The achieved period is the worst combinational chain the scheduler
+    produced, plus register overhead, plus a routing term that grows
+    with interconnect utilization and — dominantly, for the paper's
+    Figure 4 — with the number of stream FIFOs competing for M4K columns
+    and global routing.  A deterministic hash-seeded jitter of up to
+    ±2% models place-and-route variance (the paper's fmax is
+    non-monotone below 32 processes). *)
+
+val route_base_ns : float
+val stream_linear_ns : float
+val stream_quadratic_ns : float
+val congestion_ns : float
+
+type estimate = {
+  fmax_mhz : float;
+  period_ns : float;
+  logic_ns : float;   (** worst chain + register overhead *)
+  route_ns : float;   (** routing model contribution *)
+}
+
+(** [estimate ~name ~max_chain_ns usage]: [name] seeds the jitter, so
+    equal designs get equal estimates. *)
+val estimate : name:string -> max_chain_ns:float -> Area.usage -> estimate

@@ -1,0 +1,12 @@
+(** VHDL emission: a readable, synthesizable-style rendering of each
+    process FSMD — entity with clock/reset and stream handshake ports, a
+    state machine with one [when] arm per FSMD state, registered
+    datapath assignments, and tap latch-enables for assertion checkers.
+    This is the artifact a developer would hand to Quartus. *)
+
+(** Emit one process. *)
+val emit_fsmd : Buffer.t -> Hls.Fsmd.t -> unit
+
+(** Emit the whole design (stream FIFO summaries + one entity per
+    process) as a single VHDL string. *)
+val emit_design : Hls.Fsmd.t list -> Front.Ast.stream_decl list -> string

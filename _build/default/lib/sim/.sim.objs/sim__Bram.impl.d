@@ -1,0 +1,1 @@
+lib/sim/bram.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Bram Fifo Front Hashtbl Hls Int64 Interp List Mir Option Printf Stdlib Trace

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Buffer Bytes Char Int64 List Printf String

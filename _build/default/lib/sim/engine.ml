@@ -1,0 +1,830 @@
+(** Cycle-accurate simulation of a synthesized design.
+
+    Executes the FSMDs of all hardware processes cycle by cycle against
+    registered stream FIFOs and port-limited block RAMs, runs
+    modulo-scheduled pipelined loops with overlapped iterations and
+    rigid stalling, delivers assertion tap events to checker processes,
+    and models the CPU side (testbench feeds/drains and the software
+    assertion notification function) as end-of-cycle host handlers.
+
+    This is the "in-circuit" execution of the paper: the behaviours that
+    distinguish it from {!Interp} (software simulation) — bounded FIFOs,
+    port contention, pipeline rates, injected translation faults, wild
+    BRAM addresses — are exactly what in-circuit assertions catch. *)
+
+module Ir = Mir.Ir
+module Fsmd = Hls.Fsmd
+module Value = Interp.Value
+open Front.Ast
+
+(* --- Configuration -------------------------------------------------------- *)
+
+(** An assertion checker: a small pipelined process fed by a tap.  The
+    condition is evaluated [latency] cycles after the tap fires; on
+    failure the [code] word is sent on [channel] (a failure stream). *)
+type checker = {
+  cid : int;          (** assertion id (also the tap id it listens to) *)
+  latency : int;
+  eval : int64 array -> bool;  (** true = assertion holds *)
+  channel : string;
+  code : int64;       (** word pushed on failure (id, or bit mask when shared) *)
+}
+
+type host_action = [ `Ok | `Abort of string ]
+
+(** Timing assertion (the paper's future work, Section 6): whenever tap
+    [from_tap] fires, tap [to_tap] must fire within [budget] cycles.
+    Checked in circuit like any other assertion; violations are reported
+    through the result (and halt the run unless [soft]). *)
+type timing_check = {
+  tc_name : string;
+  from_tap : int;
+  to_tap : int;
+  budget : int;
+  soft : bool;  (** record but do not halt (NABORT-style) *)
+}
+
+type config = {
+  max_cycles : int;
+  feeds : (string * int64 list) list;  (** testbench input, one value/cycle *)
+  drains : string list;                (** streams collected by the testbench *)
+  handlers : (string * (int64 -> host_action)) list;
+      (** CPU-side stream consumers (e.g. the assertion notification
+          function); run at end of cycle, drain everything available *)
+  hw_models : (string * (int64 list -> int64)) list;
+      (** hardware behaviour of external HDL functions *)
+  params : (string * (string * int64) list) list;
+      (** per-process initial values of named registers *)
+  timing_checks : timing_check list;
+  trace : bool;
+      (** capture a waveform of every FSM state and source-named
+          register (the SignalTap/ChipScope view; see {!Trace}) *)
+  host_poll_interval : int;
+      (** cycles between host handler runs: 1 models an Impulse-C
+          streaming bridge, larger values model a Carte-C style DMA
+          mailbox the CPU polls (paper Section 4.3) *)
+}
+
+let default_config =
+  { max_cycles = 1_000_000; feeds = []; drains = []; handlers = []; hw_models = [];
+    params = []; timing_checks = []; trace = false; host_poll_interval = 1 }
+
+(* --- Results ---------------------------------------------------------------- *)
+
+type pipe_stats = {
+  ps_proc : string;
+  ii_static : int;
+  depth_static : int;
+  issues : int;
+  ii_measured : float;
+  latency_measured : int;
+}
+
+type outcome =
+  | Finished
+  | Hang of (string * int) list  (** blocked processes and their state ids *)
+  | Aborted of string
+  | Out_of_cycles
+  | Sim_error of string
+
+type result = {
+  outcome : outcome;
+  cycles : int;
+  drained : (string * int64 list) list;
+  host_log : string list;
+  pipes : pipe_stats list;
+  port_violations : (string * int) list;
+  wild_accesses : (string * int) list;
+  fifo_stats : (string * int * int * int) list;  (** name, pushes, pops, max occupancy *)
+  tap_events : int;
+  timing_violations : (string * int) list;
+      (** timing-assertion name and the cycle at which it expired *)
+  vcd : string option;  (** waveform dump when [trace] was enabled *)
+}
+
+(* --- Runtime state ----------------------------------------------------------- *)
+
+type iter = {
+  snapshot : int64 array;
+  ctx : (Ir.reg, int64) Hashtbl.t;
+  mutable cyc : int;
+  issued_at : int;
+  mutable pending : (Ir.reg * int64 * int) list;  (** extcall results: due iteration cycle *)
+}
+
+type pipe_rt = {
+  pipe : Fsmd.pipe;
+  mutable countdown : int;
+  mutable done_issuing : bool;
+  mutable inflight : iter list;  (** oldest first *)
+  mutable issue_times : int list;  (** reverse order *)
+  mutable latencies : int list;
+  final_writes : (Ir.reg, int64) Hashtbl.t;
+      (** last-retired value per register, applied when the pipe drains:
+          late (non-loop-carried) writes must not clobber the issue-time
+          architectural state while younger iterations are in flight *)
+  stats_idx : int;
+}
+
+type mode = Seq | Pipe of pipe_rt | Halted
+
+type pr = {
+  fsmd : Fsmd.t;
+  regs : int64 array;
+  reg_ty : ty array;
+  mutable state : int;
+  mutable mode : mode;
+  brams : (string, Bram.t) Hashtbl.t;
+  mutable ext_pending : (Ir.reg * int64 * int) list;  (** due absolute cycle *)
+  mutable entry_taps_fired : bool;
+      (** operand-less marker taps of the current state already fired
+          (they fire on state entry, even while a handshake stalls) *)
+}
+
+exception Abort_sim of string
+exception Sim_failure of string
+
+(* --- Instruction evaluation --------------------------------------------------- *)
+
+(* Evaluate with an overlay: reads prefer overlay, then base; writes go
+   to the overlay (committed by the caller). *)
+let eval_operand ~read = function
+  | Ir.Imm n -> n
+  | Ir.Reg r -> read r
+
+let guard_passes ~read (g : Ir.ginst) =
+  match g.Ir.guard with
+  | None -> true
+  | Some (r, want) -> Value.to_bool (read r) = want
+
+(* Execute one non-stream instruction.  Stream instructions are handled
+   by the callers (they involve stall logic). *)
+let exec_plain ~read ~write ~write_delayed ~bram ~tap ~models (g : Ir.ginst) =
+  let ev = eval_operand ~read in
+  match g.Ir.i with
+  | Ir.Bin { dst; op; a; b; ty } -> (
+      match Value.binop op ty (ev a) (ev b) with
+      | v -> write dst v
+      | exception Value.Division_by_zero ->
+          raise (Sim_failure (Printf.sprintf "division by zero (r%d)" dst)))
+  | Ir.Un { dst; op; a; ty } -> write dst (Value.unop op ty (ev a))
+  | Ir.Copy { dst; src; ty } -> write dst (Value.wrap_ty ty (ev src))
+  | Ir.Castop { dst; src; from_ty; to_ty } ->
+      write dst (Value.cast ~from_ty ~to_ty (ev src))
+  | Ir.Load { dst; mem; addr } -> write dst (Bram.read (bram mem) (ev addr))
+  | Ir.Store { mem; addr; v } ->
+      let b : Bram.t = bram mem in
+      Bram.write b (ev addr) (ev v)
+  | Ir.Extcall { dst; func; args; latency } -> (
+      match List.assoc_opt func models with
+      | Some f -> write_delayed dst (f (List.map ev args)) latency
+      | None -> raise (Sim_failure (Printf.sprintf "no hardware model for extern %s" func)))
+  | Ir.Tap { id; args } -> tap id (Array.of_list (List.map ev args))
+  | Ir.Sread _ | Ir.Swrite _ -> invalid_arg "exec_plain: stream op"
+
+(* --- The engine ------------------------------------------------------------- *)
+
+type t = {
+  cfg : config;
+  fifos : (string, Fifo.t) Hashtbl.t;
+  stream_elems : (string, ty) Hashtbl.t;
+  procs : pr list;
+  checkers : checker list;
+  mutable cycle : int;
+  mutable activity : bool;
+  mutable tap_count : int;
+  (* failure words awaiting their channel (after checker latency) *)
+  mutable pending_failures : (int * string * int64) list;  (** due cycle, channel, word *)
+  mutable host_log : string list;
+  drained : (string, int64 list ref) Hashtbl.t;
+  feeds_left : (string, int64 list ref) Hashtbl.t;
+  mutable pipe_stats : pipe_stats array;
+  (* timing assertions: outstanding deadlines per check, oldest first *)
+  mutable deadlines : (timing_check * int) list;  (** check, expiry cycle *)
+  mutable timing_violations : (string * int) list;
+  tracer : (Trace.t * (pr * Trace.signal * (Ir.reg * Trace.signal) list) list) option;
+      (** per process: FSM-state signal and one signal per named register *)
+}
+
+let make_proc cfg (fsmd : Fsmd.t) : pr =
+  let proc = fsmd.Fsmd.proc in
+  let nregs =
+    List.fold_left (fun acc (r, _) -> Stdlib.max acc (r + 1)) 0 proc.Ir.regs
+  in
+  let regs = Array.make (Stdlib.max nregs 1) 0L in
+  let reg_ty = Array.make (Stdlib.max nregs 1) int32_t in
+  List.iter (fun (r, info) -> reg_ty.(r) <- info.Ir.rty) proc.Ir.regs;
+  (* parameter initialization by origin name *)
+  (match List.assoc_opt proc.Ir.name cfg.params with
+  | Some bindings ->
+      List.iter
+        (fun (r, info) ->
+          match info.Ir.origin with
+          | Some name -> (
+              match List.assoc_opt name bindings with
+              | Some v -> regs.(r) <- Value.wrap_ty info.Ir.rty v
+              | None -> ())
+          | None -> ())
+        proc.Ir.regs
+  | None -> ());
+  let brams = Hashtbl.create 4 in
+  List.iter
+    (fun (m : Ir.mem) ->
+      Hashtbl.replace brams m.Ir.mname
+        (Bram.create
+           ?init:(Option.map (fun l -> l) m.Ir.rom_init)
+           ~name:(proc.Ir.name ^ "." ^ m.Ir.mname) ~length:m.Ir.length
+           ~ports:m.Ir.ports ()))
+    proc.Ir.mems;
+  { fsmd; regs; reg_ty; state = fsmd.Fsmd.entry; mode = Seq; brams; ext_pending = [];
+    entry_taps_fired = false }
+
+let create ?(cfg = default_config) ~(streams : stream_decl list)
+    ~(fsmds : Fsmd.t list) ~(checkers : checker list) () : t =
+  let fifos = Hashtbl.create 16 and stream_elems = Hashtbl.create 16 in
+  List.iter
+    (fun (s : stream_decl) ->
+      Hashtbl.replace fifos s.sname (Fifo.create ~name:s.sname ~depth:s.depth);
+      Hashtbl.replace stream_elems s.sname s.elem)
+    streams;
+  let drained = Hashtbl.create 4 in
+  List.iter (fun s -> Hashtbl.replace drained s (ref [])) cfg.drains;
+  let feeds_left = Hashtbl.create 4 in
+  List.iter (fun (s, vs) -> Hashtbl.replace feeds_left s (ref vs)) cfg.feeds;
+  let procs = List.map (make_proc cfg) fsmds in
+  let tracer =
+    if not cfg.trace then None
+    else begin
+      let tr = Trace.create () in
+      let per_proc =
+        List.map
+          (fun (p : pr) ->
+            let pname = p.fsmd.Fsmd.proc.Ir.name in
+            let state_sig = Trace.declare tr ~name:(pname ^ ".state") ~width:16 in
+            let reg_sigs =
+              List.filter_map
+                (fun (r, (info : Ir.reg_info)) ->
+                  match info.Ir.origin with
+                  | Some v ->
+                      let width =
+                        match info.Ir.rty with
+                        | Tint (_, w) -> bits_of_width w
+                        | Tbool -> 1
+                        | _ -> 32
+                      in
+                      Some (r, Trace.declare tr ~name:(pname ^ "." ^ v) ~width)
+                  | None -> None)
+                p.fsmd.Fsmd.proc.Ir.regs
+            in
+            (p, state_sig, reg_sigs))
+          procs
+      in
+      Some (tr, per_proc)
+    end
+  in
+  {
+    cfg;
+    fifos;
+    stream_elems;
+    procs;
+    checkers;
+    cycle = 0;
+    activity = false;
+    tap_count = 0;
+    pending_failures = [];
+    host_log = [];
+    drained;
+    feeds_left;
+    pipe_stats = [||];
+    deadlines = [];
+    timing_violations = [];
+    tracer;
+  }
+
+let fifo t name =
+  match Hashtbl.find_opt t.fifos name with
+  | Some f -> f
+  | None -> raise (Sim_failure (Printf.sprintf "unknown stream %s" name))
+
+let wrap_stream t name v =
+  match Hashtbl.find_opt t.stream_elems name with
+  | Some ty -> Value.wrap_ty ty v
+  | None -> v
+
+(* Tap event: run the checkers listening on this tap id, and arm /
+   discharge timing assertions anchored at it. *)
+let deliver_tap t (id : int) (values : int64 array) =
+  t.tap_count <- t.tap_count + 1;
+  List.iter
+    (fun c ->
+      if c.cid = id then
+        if not (c.eval values) then
+          t.pending_failures <-
+            (t.cycle + c.latency, c.channel, c.code) :: t.pending_failures)
+    t.checkers;
+  (* a to-tap firing discharges the oldest outstanding deadline of each
+     matching check; discharge before arming so a self-referential check
+     (from = to) measures the interval between consecutive firings *)
+  let discharged = ref [] in
+  t.deadlines <-
+    List.filter
+      (fun ((tc : timing_check), _) ->
+        if tc.to_tap = id && not (List.memq tc !discharged) then begin
+          discharged := tc :: !discharged;
+          false
+        end
+        else true)
+      t.deadlines;
+  List.iter
+    (fun (tc : timing_check) ->
+      if tc.from_tap = id then t.deadlines <- t.deadlines @ [ (tc, t.cycle + tc.budget) ])
+    t.cfg.timing_checks
+
+(* --- Sequential state execution ---------------------------------------------- *)
+
+let commit_overlay (p : pr) overlay =
+  Hashtbl.iter
+    (fun r v -> p.regs.(r) <- Value.wrap_ty p.reg_ty.(r) v)
+    overlay
+
+(* Returns true if the process advanced (activity). *)
+let step_seq t (p : pr) =
+  let st = p.fsmd.Fsmd.states.(p.state) in
+  let overlay : (Ir.reg, int64) Hashtbl.t = Hashtbl.create 8 in
+  let read r = match Hashtbl.find_opt overlay r with Some v -> v | None -> p.regs.(r) in
+  let write r v = Hashtbl.replace overlay r v in
+  let write_delayed r v latency =
+    p.ext_pending <- (r, v, t.cycle + latency - 1) :: p.ext_pending
+  in
+  let bram m =
+    match Hashtbl.find_opt p.brams m with
+    | Some b -> b
+    | None -> raise (Sim_failure (Printf.sprintf "unknown memory %s" m))
+  in
+  (* stream states are exclusive: check stall *)
+  let stream_op =
+    List.find_opt (fun (g : Ir.ginst) -> Ir.is_stream_op g.Ir.i) st.Fsmd.ops
+  in
+  let advance () =
+    match st.Fsmd.next with
+    | Fsmd.Goto n -> p.state <- n; true
+    | Fsmd.Branch (c, a, b) ->
+        p.state <- (if Value.to_bool (read c) then a else b);
+        true
+    | Fsmd.Enter_pipe pid ->
+        let pipe = p.fsmd.Fsmd.pipes.(pid) in
+        let stats_idx =
+          (* position of this pipe in the global stats table *)
+          let rec find i acc (ps : pr list) =
+            match ps with
+            | [] -> acc
+            | q :: rest ->
+                if q == p then acc + pid
+                else find i (acc + Array.length q.fsmd.Fsmd.pipes) rest
+          in
+          find 0 0 t.procs
+        in
+        p.mode <-
+          Pipe
+            {
+              pipe;
+              countdown = 0;
+              done_issuing = false;
+              inflight = [];
+              issue_times = [];
+              latencies = [];
+              final_writes = Hashtbl.create 16;
+              stats_idx;
+            };
+        true
+    | Fsmd.Done ->
+        p.mode <- Halted;
+        true
+  in
+  (* taps may share a stream handshake state (they are pure latches).
+     Operand-less markers that precede the stream op in program order
+     mark a point reached on state *entry* — they fire even while the
+     handshake stalls; markers after it, and data taps, fire only once
+     the handshake succeeds. *)
+  let stream_pos =
+    let rec go i = function
+      | [] -> max_int
+      | (g : Ir.ginst) :: rest -> if Ir.is_stream_op g.Ir.i then i else go (i + 1) rest
+    in
+    go 0 st.Fsmd.ops
+  in
+  let run_taps ~phase =
+    List.iteri
+      (fun pos (g : Ir.ginst) ->
+        let fire =
+          match g.Ir.i with
+          | Ir.Tap { args; _ } when guard_passes ~read g -> (
+              let entry_marker = args = [] && pos < stream_pos in
+              match phase with
+              | `Stall -> entry_marker && not p.entry_taps_fired
+              | `Success -> (not entry_marker) || not p.entry_taps_fired)
+          | _ -> false
+        in
+        if fire then
+          exec_plain ~read ~write ~write_delayed ~bram ~tap:(deliver_tap t)
+            ~models:t.cfg.hw_models g)
+      st.Fsmd.ops
+  in
+  let note_advanced () = p.entry_taps_fired <- false in
+  match stream_op with
+  | Some g -> (
+      match g.Ir.i with
+      | Ir.Sread { dst; stream } ->
+          let f = fifo t stream in
+          if Fifo.can_pop f then begin
+            write dst (Fifo.pop f);
+            run_taps ~phase:`Success;
+            commit_overlay p overlay;
+            ignore (advance ());
+            note_advanced ();
+            true
+          end
+          else begin
+            (* stalled: marker taps still fire once on entry *)
+            run_taps ~phase:`Stall;
+            p.entry_taps_fired <- true;
+            false
+          end
+      | Ir.Swrite { stream; v } ->
+          let f = fifo t stream in
+          if Fifo.can_push f then begin
+            if guard_passes ~read g then
+              Fifo.push f (wrap_stream t stream (eval_operand ~read v));
+            run_taps ~phase:`Success;
+            commit_overlay p overlay;
+            ignore (advance ());
+            note_advanced ();
+            true
+          end
+          else begin
+            run_taps ~phase:`Stall;
+            p.entry_taps_fired <- true;
+            false
+          end
+      | _ -> assert false)
+  | None ->
+      List.iter
+        (fun (g : Ir.ginst) ->
+          if guard_passes ~read g then
+            exec_plain ~read ~write ~write_delayed ~bram ~tap:(deliver_tap t)
+              ~models:t.cfg.hw_models g)
+        st.Fsmd.ops;
+      commit_overlay p overlay;
+      ignore (advance ());
+      true
+
+(* --- Pipelined loop execution -------------------------------------------------- *)
+
+(* Evaluate issue-time instructions (cond or step) directly on the
+   architectural registers: they are pure ALU by construction. *)
+let eval_issue_insts (p : pr) (insts : Ir.ginst list) =
+  let overlay = Hashtbl.create 8 in
+  let read r = match Hashtbl.find_opt overlay r with Some v -> v | None -> p.regs.(r) in
+  let write r v = Hashtbl.replace overlay r v in
+  List.iter
+    (fun (g : Ir.ginst) ->
+      if guard_passes ~read g then
+        exec_plain ~read ~write
+          ~write_delayed:(fun _ _ _ -> ())
+          ~bram:(fun m -> raise (Sim_failure ("memory op at issue: " ^ m)))
+          ~tap:(fun _ _ -> ())
+          ~models:[] g)
+    insts;
+  commit_overlay p overlay;
+  read
+
+(* Stream requirements of one iteration at its current cycle (guard-aware). *)
+let iter_stream_needs (pipe : Fsmd.pipe) (it : iter) =
+  if it.cyc >= pipe.Fsmd.depth then []
+  else
+    let read r =
+      match Hashtbl.find_opt it.ctx r with
+      | Some v -> v
+      | None -> it.snapshot.(r)
+    in
+    List.filter_map
+      (fun (g : Ir.ginst) ->
+        if not (guard_passes ~read g) then None
+        else
+          match g.Ir.i with
+          | Ir.Sread { stream; _ } -> Some (`Read stream)
+          | Ir.Swrite { stream; _ } -> Some (`Write stream)
+          | _ -> None)
+      pipe.Fsmd.cycle_ops.(it.cyc)
+
+let step_pipe t (p : pr) (rt : pipe_rt) =
+  let pipe = rt.pipe in
+  (* 1. stall check: every stream op due this cycle must be ready *)
+  let needs = List.concat_map (fun it -> iter_stream_needs pipe it) rt.inflight in
+  let satisfied =
+    List.for_all
+      (function
+        | `Read s -> Fifo.can_pop (fifo t s)
+        | `Write s -> Fifo.can_push (fifo t s))
+      needs
+  in
+  if not satisfied then false
+  else begin
+    let ii = pipe.Fsmd.ii in
+    (* 2. advance in-flight iterations, oldest first *)
+    List.iter
+      (fun it ->
+        (* deliver pending extcall results due at this iteration cycle *)
+        it.pending <-
+          List.filter
+            (fun (r, v, due) ->
+              if due <= it.cyc then begin
+                Hashtbl.replace it.ctx r v;
+                if it.cyc <= ii - 1 then p.regs.(r) <- Value.wrap_ty p.reg_ty.(r) v;
+                false
+              end
+              else true)
+            it.pending;
+        let read r =
+          match Hashtbl.find_opt it.ctx r with
+          | Some v -> v
+          | None -> it.snapshot.(r)
+        in
+        let write r v =
+          let v' = Value.wrap_ty p.reg_ty.(r) v in
+          Hashtbl.replace it.ctx r v';
+          if it.cyc <= ii - 1 then p.regs.(r) <- v'
+        in
+        let write_delayed r v latency = it.pending <- (r, v, it.cyc + latency) :: it.pending in
+        let bram m =
+          match Hashtbl.find_opt p.brams m with
+          | Some b -> b
+          | None -> raise (Sim_failure (Printf.sprintf "unknown memory %s" m))
+        in
+        List.iter
+          (fun (g : Ir.ginst) ->
+            if guard_passes ~read g then
+              match g.Ir.i with
+              | Ir.Sread { dst; stream } -> write dst (Fifo.pop (fifo t stream))
+              | Ir.Swrite { stream; v } ->
+                  Fifo.push (fifo t stream)
+                    (wrap_stream t stream (eval_operand ~read v))
+              | _ ->
+                  exec_plain ~read ~write ~write_delayed ~bram ~tap:(deliver_tap t)
+                    ~models:t.cfg.hw_models g)
+          pipe.Fsmd.cycle_ops.(it.cyc);
+        it.cyc <- it.cyc + 1)
+      rt.inflight;
+    (* 3. retire completed iterations (oldest first), flushing contexts *)
+    let retired, live = List.partition (fun it -> it.cyc >= pipe.Fsmd.depth) rt.inflight in
+    List.iter
+      (fun it ->
+        Hashtbl.iter (fun r v -> Hashtbl.replace rt.final_writes r v) it.ctx;
+        rt.latencies <- (t.cycle - it.issued_at) :: rt.latencies)
+      retired;
+    rt.inflight <- live;
+    (* 4. issue a new iteration when the slot opens *)
+    if rt.countdown > 0 then rt.countdown <- rt.countdown - 1;
+    if (not rt.done_issuing) && rt.countdown = 0 then begin
+      let read = eval_issue_insts p pipe.Fsmd.cond_insts in
+      if Value.to_bool (read pipe.Fsmd.cond) then begin
+        let it =
+          {
+            snapshot = Array.copy p.regs;
+            ctx = Hashtbl.create 8;
+            cyc = 0;
+            issued_at = t.cycle;
+            pending = [];
+          }
+        in
+        rt.inflight <- rt.inflight @ [ it ];
+        rt.issue_times <- t.cycle :: rt.issue_times;
+        let (_ : Ir.reg -> int64) = eval_issue_insts p pipe.Fsmd.step_insts in
+        rt.countdown <- ii
+      end
+      else rt.done_issuing <- true
+    end;
+    (* 5. drained? *)
+    if rt.done_issuing && rt.inflight = [] then begin
+      Hashtbl.iter (fun r v -> p.regs.(r) <- Value.wrap_ty p.reg_ty.(r) v) rt.final_writes;
+      (* record stats *)
+      let issues = List.length rt.issue_times in
+      let times = List.rev rt.issue_times in
+      let ii_measured =
+        match times with
+        | [] | [ _ ] -> float_of_int ii
+        | first :: _ ->
+            let last = List.nth times (issues - 1) in
+            float_of_int (last - first) /. float_of_int (issues - 1)
+      in
+      let latency_measured =
+        List.fold_left Stdlib.max 0 rt.latencies
+      in
+      if rt.stats_idx < Array.length t.pipe_stats then
+        t.pipe_stats.(rt.stats_idx) <-
+          {
+            ps_proc = p.fsmd.Fsmd.proc.Ir.name;
+            ii_static = ii;
+            depth_static = pipe.Fsmd.depth;
+            issues;
+            ii_measured;
+            latency_measured;
+          };
+      p.mode <- Seq;
+      p.state <- pipe.Fsmd.exit_to
+    end;
+    true
+  end
+
+(* --- Main loop ------------------------------------------------------------------ *)
+
+let total_pipes t =
+  List.fold_left (fun acc p -> acc + Array.length p.fsmd.Fsmd.pipes) 0 t.procs
+
+let blocked_info t =
+  List.filter_map
+    (fun p -> match p.mode with Halted -> None | _ -> Some (p.fsmd.Fsmd.proc.Ir.name, p.state))
+    t.procs
+
+let run (t : t) : result =
+  t.pipe_stats <-
+    Array.make (total_pipes t)
+      { ps_proc = ""; ii_static = 0; depth_static = 0; issues = 0; ii_measured = 0.0;
+        latency_measured = 0 };
+  let outcome = ref None in
+  (try
+     while !outcome = None do
+       if t.cycle >= t.cfg.max_cycles then outcome := Some Out_of_cycles
+       else begin
+         t.activity <- false;
+         (* 1. testbench feeds: at most one value per stream per cycle *)
+         Hashtbl.iter
+           (fun s vs ->
+             match !vs with
+             | [] -> ()
+             | v :: rest ->
+                 let f = fifo t s in
+                 if Fifo.can_push f then begin
+                   Fifo.push f (wrap_stream t s v);
+                   vs := rest;
+                   t.activity <- true
+                 end)
+           t.feeds_left;
+         (* 2. hardware processes *)
+         List.iter
+           (fun p ->
+             (* deliver due extcall results *)
+             p.ext_pending <-
+               List.filter
+                 (fun (r, v, due) ->
+                   if due <= t.cycle then begin
+                     p.regs.(r) <- Value.wrap_ty p.reg_ty.(r) v;
+                     false
+                   end
+                   else true)
+                 p.ext_pending;
+             match p.mode with
+             | Halted -> ()
+             | Seq -> if step_seq t p then t.activity <- true
+             | Pipe rt -> if step_pipe t p rt then t.activity <- true)
+           t.procs;
+         (* 3. checker failure words whose latency elapsed *)
+         let due, later =
+           List.partition (fun (d, _, _) -> d <= t.cycle) t.pending_failures
+         in
+         t.pending_failures <- later;
+         List.iter
+           (fun (_, channel, word) ->
+             let f = fifo t channel in
+             if Fifo.can_push f then begin
+               Fifo.push f word;
+               t.activity <- true
+             end
+             else (* channel busy: retry next cycle (round-robin backpressure) *)
+               t.pending_failures <- (t.cycle + 1, channel, word) :: t.pending_failures)
+           due;
+         (* 3b. expired timing assertions *)
+         let expired, live =
+           List.partition (fun (_, expiry) -> expiry <= t.cycle) t.deadlines
+         in
+         t.deadlines <- live;
+         List.iter
+           (fun ((tc : timing_check), _) ->
+             t.timing_violations <- (tc.tc_name, t.cycle) :: t.timing_violations;
+             if not tc.soft && !outcome = None then
+               outcome :=
+                 Some
+                   (Aborted
+                      (Printf.sprintf
+                         "timing assertion `%s' failed: tap %d not reached within %d cycles"
+                         tc.tc_name tc.to_tap tc.budget)))
+           expired;
+         (* 4. end of cycle: commit fifos and brams *)
+         Hashtbl.iter (fun _ f -> Fifo.commit f) t.fifos;
+         List.iter (fun p -> Hashtbl.iter (fun _ b -> Bram.commit b) p.brams) t.procs;
+         (* 4b. waveform sampling *)
+         (match t.tracer with
+         | Some (tr, per_proc) ->
+             List.iter
+               (fun ((p : pr), state_sig, reg_sigs) ->
+                 Trace.sample tr state_sig ~cycle:t.cycle (Int64.of_int p.state);
+                 List.iter
+                   (fun (r, s) -> Trace.sample tr s ~cycle:t.cycle p.regs.(r))
+                   reg_sigs)
+               per_proc
+         | None -> ());
+         (* 5. CPU side: notification handlers (every poll interval,
+            modelling streaming vs DMA-mailbox transports), then
+            testbench drains *)
+         if t.cycle mod Stdlib.max 1 t.cfg.host_poll_interval = 0 then
+           List.iter
+             (fun (s, handler) ->
+               let f = fifo t s in
+               while Fifo.can_pop f && !outcome = None do
+                 t.activity <- true;
+                 match handler (Fifo.pop f) with
+                 | `Ok -> ()
+                 | `Abort msg ->
+                     t.host_log <- msg :: t.host_log;
+                     outcome := Some (Aborted msg)
+               done)
+             t.cfg.handlers;
+         Hashtbl.iter
+           (fun s acc ->
+             let f = fifo t s in
+             while Fifo.can_pop f do
+               t.activity <- true;
+               acc := Fifo.pop f :: !acc
+             done)
+           t.drained;
+         (* 6. termination / hang detection *)
+         if !outcome = None then begin
+           let all_halted = List.for_all (fun p -> p.mode = Halted) t.procs in
+           let handler_data_pending =
+             t.cfg.host_poll_interval > 1
+             && List.exists (fun (s, _) -> Fifo.can_pop (fifo t s)) t.cfg.handlers
+           in
+           if all_halted && t.pending_failures = [] && not handler_data_pending then
+             outcome := Some Finished
+           else if
+             (not t.activity) && t.pending_failures = [] && t.deadlines = []
+             && not handler_data_pending
+           then
+             (* outstanding timing assertions keep the clock running so a
+                hang is reported as the timing failure it is *)
+             outcome := Some (Hang (blocked_info t))
+         end;
+         t.cycle <- t.cycle + 1
+       end
+     done
+   with
+  | Sim_failure msg -> outcome := Some (Sim_error msg)
+  | Abort_sim msg -> outcome := Some (Aborted msg));
+  let drained =
+    Hashtbl.fold (fun s acc l -> (s, List.rev !acc) :: l) t.drained []
+    |> List.sort compare
+  in
+  let port_violations =
+    List.concat_map
+      (fun p ->
+        Hashtbl.fold
+          (fun _ (b : Bram.t) acc ->
+            if b.Bram.port_violations > 0 then (b.Bram.name, b.Bram.port_violations) :: acc
+            else acc)
+          p.brams [])
+      t.procs
+  in
+  let wild =
+    List.concat_map
+      (fun p ->
+        Hashtbl.fold
+          (fun _ (b : Bram.t) acc ->
+            if b.Bram.wild_accesses > 0 then (b.Bram.name, b.Bram.wild_accesses) :: acc
+            else acc)
+          p.brams [])
+      t.procs
+  in
+  let fifo_stats =
+    Hashtbl.fold
+      (fun _ (f : Fifo.t) acc ->
+        (f.Fifo.name, f.Fifo.pushes, f.Fifo.pops, f.Fifo.max_occupancy) :: acc)
+      t.fifos []
+    |> List.sort compare
+  in
+  {
+    outcome = (match !outcome with Some o -> o | None -> Finished);
+    cycles = t.cycle;
+    drained;
+    host_log = List.rev t.host_log;
+    pipes = Array.to_list t.pipe_stats;
+    port_violations;
+    wild_accesses = wild;
+    fifo_stats;
+    tap_events = t.tap_count;
+    timing_violations = List.rev t.timing_violations;
+    vcd = (match t.tracer with Some (tr, _) -> Some (Trace.to_vcd tr) | None -> None);
+  }
+
+(** Convenience: build and run in one call. *)
+let simulate ?cfg ~streams ~fsmds ?(checkers = []) () =
+  run (create ?cfg ~streams ~fsmds ~checkers ())

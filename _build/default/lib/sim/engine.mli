@@ -1,0 +1,117 @@
+(** Cycle-accurate simulation of a synthesized design.
+
+    Executes the FSMDs of all hardware processes cycle by cycle against
+    registered stream FIFOs and port-limited block RAMs, runs
+    modulo-scheduled pipelined loops with overlapped iterations and
+    rigid stalling, delivers assertion tap events to checker processes,
+    and models the CPU side (testbench feeds/drains and the software
+    assertion notification function) as end-of-cycle host handlers.
+
+    This is the "in-circuit" execution of the paper: the behaviours that
+    distinguish it from {!Interp} (software simulation) — bounded FIFOs,
+    port contention, pipeline rates, injected translation faults, wild
+    BRAM addresses — are exactly what in-circuit assertions catch. *)
+
+module Ir = Mir.Ir
+
+(** An assertion checker: a small pipelined process fed by a tap.  The
+    condition is evaluated [latency] cycles after the tap fires; on
+    failure the [code] word is sent on [channel] (a failure stream). *)
+type checker = {
+  cid : int;          (** assertion id (also the tap id it listens to) *)
+  latency : int;
+  eval : int64 array -> bool;  (** true = assertion holds *)
+  channel : string;
+  code : int64;       (** word pushed on failure (id, or bit mask when shared) *)
+}
+
+type host_action = [ `Abort of string | `Ok ]
+
+(** Timing assertion (the paper's future work, Section 6): whenever tap
+    [from_tap] fires, tap [to_tap] must fire within [budget] cycles.
+    With [from_tap = to_tap] it bounds the interval between consecutive
+    firings.  Violations halt the run unless [soft]. *)
+type timing_check = {
+  tc_name : string;
+  from_tap : int;
+  to_tap : int;
+  budget : int;
+  soft : bool;
+}
+
+type config = {
+  max_cycles : int;
+  feeds : (string * int64 list) list;  (** testbench input, one value/cycle *)
+  drains : string list;                (** streams collected by the testbench *)
+  handlers : (string * (int64 -> host_action)) list;
+      (** CPU-side stream consumers, run at end of cycle *)
+  hw_models : (string * (int64 list -> int64)) list;
+      (** hardware behaviour of external HDL functions *)
+  params : (string * (string * int64) list) list;
+      (** per-process initial values of named registers *)
+  timing_checks : timing_check list;
+  trace : bool;  (** capture a VCD waveform (the SignalTap view) *)
+  host_poll_interval : int;
+      (** cycles between host handler runs: 1 models an Impulse-C
+          streaming bridge; larger values model a Carte-C style DMA
+          mailbox the CPU polls (paper Section 4.3) *)
+}
+
+val default_config : config
+
+type pipe_stats = {
+  ps_proc : string;
+  ii_static : int;
+  depth_static : int;
+  issues : int;
+  ii_measured : float;        (** mean issue distance, measured *)
+  latency_measured : int;     (** worst iteration latency, measured *)
+}
+
+type outcome =
+  | Finished
+  | Hang of (string * int) list  (** blocked processes and their state ids *)
+  | Aborted of string
+  | Out_of_cycles
+  | Sim_error of string
+
+type result = {
+  outcome : outcome;
+  cycles : int;
+  drained : (string * int64 list) list;
+  host_log : string list;
+  pipes : pipe_stats list;
+  port_violations : (string * int) list;
+  wild_accesses : (string * int) list;
+  fifo_stats : (string * int * int * int) list;
+      (** name, pushes, pops, max occupancy *)
+  tap_events : int;
+  timing_violations : (string * int) list;
+      (** timing-assertion name and expiry cycle *)
+  vcd : string option;  (** waveform dump when [trace] was enabled *)
+}
+
+type t
+
+exception Abort_sim of string
+exception Sim_failure of string
+
+val create :
+  ?cfg:config ->
+  streams:Front.Ast.stream_decl list ->
+  fsmds:Hls.Fsmd.t list ->
+  checkers:checker list ->
+  unit ->
+  t
+
+(** Run to completion (or hang / abort / cycle budget). *)
+val run : t -> result
+
+(** [simulate] = {!create} + {!run}. *)
+val simulate :
+  ?cfg:config ->
+  streams:Front.Ast.stream_decl list ->
+  fsmds:Hls.Fsmd.t list ->
+  ?checkers:checker list ->
+  unit ->
+  result

@@ -1,0 +1,55 @@
+(** Cycle-accurate stream FIFO.
+
+    Writes performed during a cycle become visible to readers one cycle
+    later (the FIFO is registered, as an M4K-based scfifo is): [push]
+    stages the value and [commit] — called once at the end of every
+    simulation cycle — moves staged values into the visible queue.
+    Occupancy statistics feed the paper-style overhead reports. *)
+
+type t = {
+  name : string;
+  depth : int;
+  q : int64 Queue.t;
+  staged : int64 Queue.t;
+  mutable pushes : int;
+  mutable pops : int;
+  mutable max_occupancy : int;
+}
+
+let create ~name ~depth =
+  {
+    name;
+    depth;
+    q = Queue.create ();
+    staged = Queue.create ();
+    pushes = 0;
+    pops = 0;
+    max_occupancy = 0;
+  }
+
+let occupancy f = Queue.length f.q + Queue.length f.staged
+
+let can_push f = occupancy f < f.depth
+
+let can_pop f = not (Queue.is_empty f.q)
+
+let push f v =
+  if not (can_push f) then invalid_arg (Printf.sprintf "Fifo.push: %s full" f.name);
+  Queue.add v f.staged;
+  f.pushes <- f.pushes + 1
+
+let pop f =
+  if Queue.is_empty f.q then invalid_arg (Printf.sprintf "Fifo.pop: %s empty" f.name);
+  f.pops <- f.pops + 1;
+  Queue.pop f.q
+
+let peek f = Queue.peek_opt f.q
+
+(** End-of-cycle: staged values become visible. *)
+let commit f =
+  Queue.transfer f.staged f.q;
+  let occ = Queue.length f.q in
+  if occ > f.max_occupancy then f.max_occupancy <- occ
+
+(** Values still enqueued (visible ones first). *)
+let contents f = List.of_seq (Queue.to_seq f.q) @ List.of_seq (Queue.to_seq f.staged)

@@ -1,0 +1,24 @@
+(** Waveform capture — the embedded-logic-analyzer (SignalTap/ChipScope)
+    view of a simulation, rendered as a standard change-compressed VCD
+    file.  The paper positions in-circuit assertions against exactly
+    these tools: they show raw signals, not source-level messages. *)
+
+type signal
+
+type t
+
+val create : unit -> t
+
+(** Declare a signal; all declarations must precede the first sample. *)
+val declare : t -> name:string -> width:int -> signal
+
+(** Record a value at a cycle; only changes are stored. *)
+val sample : t -> signal -> cycle:int -> int64 -> unit
+
+(** Render the complete VCD file (header + events). *)
+val to_vcd : ?timescale:string -> t -> string
+
+val num_signals : t -> int
+
+(** Number of change events recorded. *)
+val num_samples : t -> int

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Core Device Float Fmt Front Int64 Interp Lazy List QCheck QCheck_alcotest Rtl Sim String Typecheck

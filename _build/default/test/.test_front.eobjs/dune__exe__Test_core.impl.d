@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Apps Ast Core Device Faults Front Hls Int64 Interp List Loc Mir Pretty Printf QCheck QCheck_alcotest Rtl Sim String Typecheck

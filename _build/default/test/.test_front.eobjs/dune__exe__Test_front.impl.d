@@ -1,0 +1,1 @@
+test/test_front.ml: Alcotest Ast Front Int64 Lexer List Loc Option Parser Pretty Printf QCheck QCheck_alcotest String Typecheck

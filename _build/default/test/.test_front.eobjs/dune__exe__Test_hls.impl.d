@@ -1,0 +1,1 @@
+test/test_hls.ml: Alcotest Array Ast Device Front Hls List Mir Printf QCheck QCheck_alcotest Stdlib String Typecheck

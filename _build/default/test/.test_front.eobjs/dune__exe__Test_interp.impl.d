@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Ast Fmt Front Int32 Int64 Interp List Loc Printf QCheck QCheck_alcotest String Typecheck

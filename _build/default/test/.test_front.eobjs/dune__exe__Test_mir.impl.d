@@ -1,0 +1,1 @@
+test/test_mir.ml: Alcotest Ast Core Faults Front Hls List Mir Printf QCheck QCheck_alcotest Sim String Typecheck

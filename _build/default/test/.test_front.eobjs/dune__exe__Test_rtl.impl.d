@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Ast Core Device Float Front Hls Int64 List Mir Printf Rtl String Typecheck

@@ -1,0 +1,1 @@
+test/test_scalability.ml: Alcotest Apps Core Float Front Lazy List Rtl Sim Typecheck

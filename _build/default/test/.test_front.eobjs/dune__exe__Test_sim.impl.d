@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Core Front Int64 Interp List Mir Printf QCheck QCheck_alcotest Sim String Typecheck

@@ -1,0 +1,431 @@
+(* Frontend tests: lexer, parser, type checker, pretty-printer. *)
+
+open Front
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstr = Alcotest.string
+
+let parse src = Parser.parse ~file:"test.c" src
+let elab src = Typecheck.parse_and_check ~file:"test.c" src
+
+(* --- Lexer -------------------------------------------------------------- *)
+
+let toks src = List.map (fun l -> l.Lexer.tok) (Lexer.tokenize src)
+
+let test_lex_basic () =
+  check tbool "idents and ints" true
+    (toks "x 42 0x2A"
+    = [ Lexer.IDENT "x"; Lexer.INT 42L; Lexer.INT 42L; Lexer.EOF ]);
+  check tbool "operators" true
+    (toks "<< >> <= >= == != && ||"
+    = Lexer.[ SHL; SHR; LE; GE; EQ; NE; AMPAMP; PIPEPIPE; EOF ])
+
+let test_lex_keywords () =
+  check tbool "keywords lex as KW" true
+    (toks "process hw int32 assert"
+    = Lexer.[ KW "process"; KW "hw"; KW "int32"; KW "assert"; EOF ])
+
+let test_lex_comments () =
+  check tbool "line comment skipped" true (toks "a // comment\n b" = Lexer.[ IDENT "a"; IDENT "b"; EOF ]);
+  check tbool "block comment skipped" true (toks "a /* x\ny */ b" = Lexer.[ IDENT "a"; IDENT "b"; EOF ])
+
+let test_lex_pragma () =
+  check tbool "pragma token" true (toks "#pragma pipeline\nfor" = Lexer.[ PRAGMA "pipeline"; KW "for"; EOF ])
+
+let test_lex_positions () =
+  let lexed = Lexer.tokenize ~file:"f.c" "x\n  y" in
+  match lexed with
+  | [ a; b; _eof ] ->
+      check tint "x line" 1 a.Lexer.loc.Loc.line;
+      check tint "y line" 2 b.Lexer.loc.Loc.line;
+      check tint "y col" 3 b.Lexer.loc.Loc.col
+  | _ -> Alcotest.fail "expected 3 tokens"
+
+let test_lex_big_literal () =
+  (* Figure 3 of the paper uses 4294967296, which exceeds int32. *)
+  check tbool "big literal" true (toks "4294967296" = Lexer.[ INT 4294967296L; EOF ])
+
+let test_lex_error () =
+  Alcotest.check_raises "bad char" (Lexer.Error ("unexpected character '@'", Loc.make ~file:"<string>" ~line:1 ~col:1))
+    (fun () -> ignore (Lexer.tokenize "@"))
+
+(* --- Parser ------------------------------------------------------------- *)
+
+let simple_proc body = Printf.sprintf "process hw main() { %s }" body
+
+let first_proc src =
+  match (parse src).Ast.procs with p :: _ -> p | [] -> Alcotest.fail "no proc"
+
+let test_parse_empty_proc () =
+  let p = first_proc "process hw main() { }" in
+  check tstr "name" "main" p.Ast.pname;
+  check tbool "kind" true (p.Ast.kind = Ast.Hardware);
+  check tint "body" 0 (List.length p.Ast.body)
+
+let test_parse_streams () =
+  let prog = parse "stream int32 a; stream uint16 b depth 4; process sw t() { }" in
+  (match prog.Ast.streams with
+  | [ a; b ] ->
+      check tstr "a name" "a" a.Ast.sname;
+      check tint "a default depth" 16 a.Ast.depth;
+      check tint "b depth" 4 b.Ast.depth;
+      check tbool "b elem" true (b.Ast.elem = Ast.Tint (Ast.Unsigned, Ast.W16))
+  | _ -> Alcotest.fail "expected 2 streams");
+  match prog.Ast.procs with
+  | [ p ] -> check tbool "sw kind" true (p.Ast.kind = Ast.Software)
+  | _ -> Alcotest.fail "expected 1 proc"
+
+let test_parse_extern () =
+  let prog = parse "extern int64 f(int32, int32 b) latency 3; process hw m() { }" in
+  match prog.Ast.externs with
+  | [ x ] ->
+      check tstr "name" "f" x.Ast.xname;
+      check tint "arity" 2 (List.length x.Ast.xargs);
+      check tint "latency" 3 x.Ast.xlatency
+  | _ -> Alcotest.fail "expected 1 extern"
+
+let test_parse_precedence () =
+  let p = first_proc (simple_proc "int32 x; x = 1 + 2 * 3;") in
+  match List.rev p.Ast.body with
+  | { Ast.s = Ast.Assign (_, { e = Ast.Binop (Ast.Add, _, { e = Ast.Binop (Ast.Mul, _, _); _ }); _ }); _ } :: _ ->
+      ()
+  | _ -> Alcotest.fail "wrong precedence tree"
+
+let test_parse_cmp_vs_shift () =
+  let p = first_proc (simple_proc "int32 x; x = 1 << 2 + 3;") in
+  (* + binds tighter than << *)
+  match List.rev p.Ast.body with
+  | { Ast.s = Ast.Assign (_, { e = Ast.Binop (Ast.Shl, _, { e = Ast.Binop (Ast.Add, _, _); _ }); _ }); _ } :: _ ->
+      ()
+  | _ -> Alcotest.fail "wrong shift/add precedence"
+
+let test_parse_assert_text () =
+  let p = first_proc (simple_proc "int32 j; j = 1; assert(j >  0);") in
+  let asserts = Ast.assertions_of p.Ast.body in
+  match asserts with
+  | [ (_, _, txt) ] -> check tstr "raw source text" "j >  0" txt
+  | _ -> Alcotest.fail "expected one assertion"
+
+let test_parse_pipeline_pragma () =
+  let p = first_proc (simple_proc "int32 i; #pragma pipeline\nfor (i = 0; i < 8; i = i + 1) { }") in
+  let found = ref false in
+  Ast.iter_stmts
+    (fun st -> match st.Ast.s with Ast.For (h, _) -> found := h.Ast.pipelined | _ -> ())
+    p.Ast.body;
+  check tbool "pipelined flag" true !found
+
+let test_parse_if_else_chain () =
+  let p = first_proc (simple_proc "int32 x; if (x > 0) { x = 1; } else if (x < 0) { x = 2; } else { x = 3; }") in
+  match List.rev p.Ast.body with
+  | { Ast.s = Ast.If (_, _, [ { Ast.s = Ast.If (_, _, [ _ ]); _ } ]); _ } :: _ -> ()
+  | _ -> Alcotest.fail "wrong if/else chain shape"
+
+let test_parse_stream_ops () =
+  let p =
+    first_proc (simple_proc "int32 v; v = stream_read(inp); stream_write(outp, v + 1);")
+  in
+  check tbool "streams used" true (Ast.streams_used p.Ast.body = [ "inp"; "outp" ])
+
+let test_parse_decl_with_stream_read () =
+  let p = first_proc (simple_proc "int32 v = stream_read(inp);") in
+  let reads = ref 0 in
+  Ast.iter_stmts (fun st -> match st.Ast.s with Ast.Stream_read _ -> incr reads | _ -> ()) p.Ast.body;
+  check tint "desugared to decl + read" 1 !reads
+
+let test_parse_error_reports_location () =
+  (try
+     ignore (parse "process hw main() { int32 }");
+     Alcotest.fail "should not parse"
+   with Parser.Error (_, loc) -> check tint "error line" 1 loc.Loc.line)
+
+let test_parse_array_decl_and_index () =
+  let p = first_proc (simple_proc "int32 a[8]; a[0] = 1; a[1] = a[0] + 1;") in
+  check tbool "array recorded" true
+    (Ast.arrays_declared p.Ast.body = [ ("a", Ast.int32_t, 8) ])
+
+let test_parse_const_array () =
+  let p = first_proc (simple_proc "const int32 t[3] = { 1, -2, 3 }; int32 v; v = t[1];") in
+  let found = ref None in
+  Ast.iter_stmts
+    (fun st ->
+      match st.Ast.s with
+      | Ast.Const_array (elt, name, vals) -> found := Some (elt, name, vals)
+      | _ -> ())
+    p.Ast.body;
+  match !found with
+  | Some (elt, name, vals) ->
+      check tbool "element type" true (elt = Ast.int32_t);
+      check tstr "name" "t" name;
+      check tbool "values" true (vals = [ 1L; -2L; 3L ])
+  | None -> Alcotest.fail "const array not parsed"
+
+let test_parse_const_array_size_mismatch () =
+  try
+    ignore (parse (simple_proc "const int32 t[2] = { 1, 2, 3 };"));
+    Alcotest.fail "size mismatch should be rejected"
+  with Parser.Error _ -> ()
+
+let test_const_array_roundtrip () =
+  let src = simple_proc "const int32 t[4] = { 9, 8, 7, 6 }; int32 v; v = t[0];" in
+  let printed = Pretty.program_to_string (parse src) in
+  let reparsed = parse printed in
+  check tint "reparsed" 1 (List.length reparsed.Ast.procs)
+
+let test_parse_cast () =
+  let p = first_proc (simple_proc "int64 x; int32 y; y = (int32)x;") in
+  match List.rev p.Ast.body with
+  | { Ast.s = Ast.Assign (_, { e = Ast.Cast (Ast.Tint (Ast.Signed, Ast.W32), _); _ }); _ } :: _ -> ()
+  | _ -> Alcotest.fail "expected cast node"
+
+(* --- Typecheck ---------------------------------------------------------- *)
+
+let test_type_promotion () =
+  let prog = elab (simple_proc "int32 a; int64 b; int64 c; c = a + b;") in
+  let p = List.hd prog.Ast.procs in
+  let ok = ref false in
+  Ast.iter_stmts
+    (fun st ->
+      match st.Ast.s with
+      | Ast.Assign (Ast.Lvar "c", rhs) ->
+          (* a is widened to int64 by an inserted cast *)
+          (match rhs.Ast.e with
+          | Ast.Binop (Ast.Add, l, r) ->
+              ok :=
+                Ast.equal_ty rhs.Ast.ety Ast.int64_t
+                && Ast.equal_ty l.Ast.ety Ast.int64_t
+                && Ast.equal_ty r.Ast.ety Ast.int64_t
+          | _ -> ())
+      | _ -> ())
+    p.Ast.body;
+  check tbool "promoted to int64" true !ok
+
+let test_type_unsigned_wins_at_equal_width () =
+  let prog = elab (simple_proc "int32 a; uint32 b; bool c; c = a < b;") in
+  let p = List.hd prog.Ast.procs in
+  let ok = ref false in
+  Ast.iter_stmts
+    (fun st ->
+      match st.Ast.s with
+      | Ast.Assign (Ast.Lvar "c", { e = Ast.Cast (_, { e = Ast.Binop (Ast.Lt, l, _); _ }); _ })
+      | Ast.Assign (Ast.Lvar "c", { e = Ast.Binop (Ast.Lt, l, _); _ }) ->
+          ok := Ast.equal_ty l.Ast.ety Ast.uint32_t
+      | _ -> ())
+    p.Ast.body;
+  check tbool "unsigned comparison" true !ok
+
+let test_type_condition_boolified () =
+  let prog = elab (simple_proc "int32 x; if (x) { x = 1; }") in
+  let p = List.hd prog.Ast.procs in
+  let ok = ref false in
+  Ast.iter_stmts
+    (fun st ->
+      match st.Ast.s with
+      | Ast.If (c, _, _) -> ok := Ast.equal_ty c.Ast.ety Ast.Tbool
+      | _ -> ())
+    p.Ast.body;
+  check tbool "int condition becomes bool" true !ok
+
+let expect_type_error src =
+  try
+    ignore (elab src);
+    Alcotest.fail "expected type error"
+  with Typecheck.Error _ -> ()
+
+let test_type_errors () =
+  expect_type_error (simple_proc "x = 1;");
+  expect_type_error (simple_proc "int32 a[4]; int32 x; x = a;");
+  expect_type_error (simple_proc "int32 x; x = stream_read(nosuch);");
+  expect_type_error (simple_proc "int32 x; x = f(1);");
+  expect_type_error (simple_proc "return 3;");
+  expect_type_error "process hw a() { } process hw a() { }"
+
+let test_type_literal_width () =
+  let prog = elab (simple_proc "int64 c; c = 4294967296;") in
+  let p = List.hd prog.Ast.procs in
+  let ok = ref false in
+  Ast.iter_stmts
+    (fun st ->
+      match st.Ast.s with
+      | Ast.Assign (_, rhs) -> ok := Ast.equal_ty rhs.Ast.ety Ast.int64_t
+      | _ -> ())
+    p.Ast.body;
+  check tbool "big literal is int64" true !ok
+
+let test_type_extern_call () =
+  let prog =
+    elab "extern int32 fir(int32, int32) latency 2; process hw m() { int32 y; y = fir(1, 2); }"
+  in
+  check tint "elaborated" 1 (List.length prog.Ast.procs)
+
+(* --- Pretty-printer round trip ------------------------------------------ *)
+
+(* Strip types and locations so parse (print p) can be compared to p. *)
+let rec strip_expr (e : Ast.expr) : Ast.expr =
+  let node =
+    match e.Ast.e with
+    | Ast.Int n -> Ast.Int n
+    | Ast.Bool b -> Ast.Bool b
+    | Ast.Var v -> Ast.Var v
+    | Ast.Index (a, i) -> Ast.Index (a, strip_expr i)
+    | Ast.Unop (Ast.Neg, { Ast.e = Ast.Int n; _ }) ->
+        (* the parser folds negated literals; normalize for comparison *)
+        Ast.Int (Int64.neg n)
+    | Ast.Unop (op, a) -> (
+        match (strip_expr a).Ast.e with
+        | Ast.Int n when op = Ast.Neg -> Ast.Int (Int64.neg n)
+        | node -> Ast.Unop (op, { Ast.e = node; ety = Ast.Tvoid; eloc = Loc.none }))
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, strip_expr a, strip_expr b)
+    | Ast.Cast (t, a) -> Ast.Cast (t, strip_expr a)
+    | Ast.Call (f, args) -> Ast.Call (f, List.map strip_expr args)
+  in
+  { Ast.e = node; ety = Ast.Tvoid; eloc = Loc.none }
+
+let rec strip_lv = function
+  | Ast.Lvar v -> Ast.Lvar v
+  | Ast.Lindex (a, i) -> Ast.Lindex (a, strip_expr i)
+
+and strip_stmt (st : Ast.stmt) : Ast.stmt =
+  let s =
+    match st.Ast.s with
+    | Ast.Decl (t, n, i) -> Ast.Decl (t, n, Option.map strip_expr i)
+    | Ast.Assign (lv, e) -> Ast.Assign (strip_lv lv, strip_expr e)
+    | Ast.If (c, t, f) -> Ast.If (strip_expr c, List.map strip_stmt t, List.map strip_stmt f)
+    | Ast.While (c, b) -> Ast.While (strip_expr c, List.map strip_stmt b)
+    | Ast.For (h, b) ->
+        Ast.For
+          ( {
+              Ast.init = Option.map strip_stmt h.Ast.init;
+              cond = strip_expr h.Ast.cond;
+              step = Option.map strip_stmt h.Ast.step;
+              pipelined = h.Ast.pipelined;
+            },
+            List.map strip_stmt b )
+    | Ast.Assert (c, _) -> Ast.Assert (strip_expr c, "")
+    | Ast.Stream_read (lv, s) -> Ast.Stream_read (strip_lv lv, s)
+    | Ast.Stream_write (s, e) -> Ast.Stream_write (s, strip_expr e)
+    | Ast.Return e -> Ast.Return (Option.map strip_expr e)
+    | Ast.Block b -> Ast.Block (List.map strip_stmt b)
+    | Ast.Tapstmt (id, args) -> Ast.Tapstmt (id, List.map strip_expr args)
+    | Ast.Const_array _ as c -> c
+  in
+  { Ast.s; sloc = Loc.none }
+
+let strip_prog (p : Ast.program) : Ast.program =
+  {
+    p with
+    Ast.procs =
+      List.map
+        (fun (pr : Ast.proc) ->
+          { pr with Ast.body = List.map strip_stmt pr.Ast.body; ploc = Loc.none })
+        p.Ast.procs;
+  }
+
+let roundtrip src =
+  let p1 = parse src in
+  let printed = Pretty.program_to_string p1 in
+  let p2 =
+    try parse printed
+    with Parser.Error (msg, loc) ->
+      Alcotest.fail
+        (Printf.sprintf "reparse failed at %s: %s\n--- printed ---\n%s" (Loc.to_string loc) msg printed)
+  in
+  let a = Ast.show_program (strip_prog p1) and b = Ast.show_program (strip_prog p2) in
+  check tstr "roundtrip AST" a b
+
+let test_roundtrip_cases () =
+  roundtrip "process hw main() { int32 x; x = (1 + 2) * 3; }";
+  roundtrip "stream int32 s depth 4;\nprocess hw m() { int32 v; v = stream_read(s); stream_write(s, v); }";
+  roundtrip (simple_proc "int32 a[16]; int32 i; #pragma pipeline\nfor (i = 0; i < 16; i = i + 1) { a[i] = i * i; }");
+  roundtrip (simple_proc "int32 x; if (x > 0 && x < 10 || x == 42) { x = -x; } else { x = ~x; }");
+  roundtrip (simple_proc "int64 c; c = (int64)4294967286 > (int64)4294967296;");
+  roundtrip "extern int32 ext(int32) latency 2; process hw m() { int32 y; y = ext(7); assert(y != 0); }"
+
+(* QCheck: random expressions round-trip through print/parse. *)
+let gen_expr =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun n -> Ast.mk_int (Int64.of_int n)) (int_range (-100) 1000);
+        map (fun c -> Ast.mk_var (String.make 1 c)) (char_range 'a' 'e');
+      ]
+  in
+  let op =
+    oneofl
+      Ast.[ Add; Sub; Mul; Div; Band; Bor; Bxor; Shl; Shr; Lt; Le; Gt; Ge; Eq; Ne ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            ( 3,
+              map3
+                (fun op a b -> Ast.mk_expr Ast.Tvoid (Ast.Binop (op, a, b)))
+                op (self (depth - 1)) (self (depth - 1)) );
+            (1, map (fun a -> Ast.mk_expr Ast.Tvoid (Ast.Unop (Ast.Neg, a))) (self (depth - 1)));
+          ])
+    4
+
+let expr_roundtrip_prop =
+  QCheck.Test.make ~count:200 ~name:"pretty/parse expression roundtrip"
+    (QCheck.make gen_expr ~print:Pretty.expr_to_string)
+    (fun e ->
+      let src = Printf.sprintf "process hw m() { int32 r; r = %s; }" (Pretty.expr_to_string e) in
+      let p = parse src in
+      match List.rev (List.hd p.Ast.procs).Ast.body with
+      | { Ast.s = Ast.Assign (_, e2); _ } :: _ ->
+          Ast.show_expr (strip_expr e) = Ast.show_expr (strip_expr e2)
+      | _ -> false)
+
+let () =
+  Alcotest.run "front"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basic tokens" `Quick test_lex_basic;
+          Alcotest.test_case "keywords" `Quick test_lex_keywords;
+          Alcotest.test_case "comments" `Quick test_lex_comments;
+          Alcotest.test_case "pragma" `Quick test_lex_pragma;
+          Alcotest.test_case "positions" `Quick test_lex_positions;
+          Alcotest.test_case "big literal" `Quick test_lex_big_literal;
+          Alcotest.test_case "lex error" `Quick test_lex_error;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "empty process" `Quick test_parse_empty_proc;
+          Alcotest.test_case "streams" `Quick test_parse_streams;
+          Alcotest.test_case "extern" `Quick test_parse_extern;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "shift precedence" `Quick test_parse_cmp_vs_shift;
+          Alcotest.test_case "assert source text" `Quick test_parse_assert_text;
+          Alcotest.test_case "pipeline pragma" `Quick test_parse_pipeline_pragma;
+          Alcotest.test_case "if/else chain" `Quick test_parse_if_else_chain;
+          Alcotest.test_case "stream ops" `Quick test_parse_stream_ops;
+          Alcotest.test_case "decl = stream_read" `Quick test_parse_decl_with_stream_read;
+          Alcotest.test_case "error location" `Quick test_parse_error_reports_location;
+          Alcotest.test_case "arrays" `Quick test_parse_array_decl_and_index;
+          Alcotest.test_case "const arrays" `Quick test_parse_const_array;
+          Alcotest.test_case "const array size mismatch" `Quick test_parse_const_array_size_mismatch;
+          Alcotest.test_case "const array roundtrip" `Quick test_const_array_roundtrip;
+          Alcotest.test_case "cast" `Quick test_parse_cast;
+        ] );
+      ( "typecheck",
+        [
+          Alcotest.test_case "width promotion" `Quick test_type_promotion;
+          Alcotest.test_case "unsigned at equal width" `Quick test_type_unsigned_wins_at_equal_width;
+          Alcotest.test_case "condition boolified" `Quick test_type_condition_boolified;
+          Alcotest.test_case "rejects bad programs" `Quick test_type_errors;
+          Alcotest.test_case "literal widths" `Quick test_type_literal_width;
+          Alcotest.test_case "extern call" `Quick test_type_extern_call;
+        ] );
+      ( "pretty",
+        [
+          Alcotest.test_case "roundtrip programs" `Quick test_roundtrip_cases;
+          QCheck_alcotest.to_alcotest expr_roundtrip_prop;
+        ] );
+    ]

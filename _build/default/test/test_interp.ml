@@ -1,0 +1,465 @@
+(* Software-simulation interpreter tests: C semantics, streams,
+   assertions (NABORT/NDEBUG), deadlock detection, extern models. *)
+
+open Front
+module I = Interp
+module V = Interp.Value
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstr = Alcotest.string
+let ti64 = Alcotest.testable (fun ppf v -> Fmt.pf ppf "%Ld" v) Int64.equal
+
+let elab = Typecheck.parse_and_check ~file:"test.c"
+
+let run ?cfg src = I.run ?cfg (elab src)
+
+(* --- Value module ------------------------------------------------------- *)
+
+let test_wrap () =
+  check ti64 "u8 wrap" 44L (V.wrap Ast.Unsigned Ast.W8 300L);
+  check ti64 "i8 wrap" (-56L) (V.wrap Ast.Signed Ast.W8 200L);
+  check ti64 "i32 wrap" Int64.(of_int32 Int32.min_int) (V.wrap Ast.Signed Ast.W32 2147483648L);
+  check ti64 "w64 identity" (-1L) (V.wrap Ast.Signed Ast.W64 (-1L))
+
+let test_value_div_unsigned () =
+  let u32 = Ast.uint32_t in
+  (* 4294967286 / 2 as u32 *)
+  let a = V.wrap_ty u32 4294967286L in
+  check ti64 "unsigned div" 2147483643L (V.binop Ast.Div u32 a 2L)
+
+let test_value_shr () =
+  check ti64 "arith shr" (-1L) (V.binop Ast.Shr Ast.int32_t (-2L) 1L);
+  check ti64 "logical shr" 2147483647L (V.binop Ast.Shr Ast.uint32_t (V.wrap_ty Ast.uint32_t 0xFFFFFFFFL) 1L)
+
+let test_value_compare_signedness () =
+  (* the paper's Figure 3: 4294967286 > 4294967296 must be false at 64 bits *)
+  check ti64 "64-bit compare" 0L (V.binop Ast.Gt Ast.int64_t 4294967286L 4294967296L);
+  (* but is true if bits are truncated to 5 bits: 22 > 0 *)
+  let t5 a = V.wrap Ast.Unsigned Ast.W8 (Int64.logand a 31L) in
+  check tbool "5-bit truncation inverts it" true (Int64.compare (t5 4294967286L) (t5 4294967296L) > 0)
+
+let wrap_prop =
+  QCheck.Test.make ~count:500 ~name:"wrap is idempotent and in range"
+    QCheck.(pair int64 (oneofl Ast.[ W8; W16; W32; W64 ]))
+    (fun (v, w) ->
+      let u = V.wrap Ast.Unsigned w v in
+      let s = V.wrap Ast.Signed w v in
+      let n = Ast.bits_of_width w in
+      V.wrap Ast.Unsigned w u = u && V.wrap Ast.Signed w s = s
+      && (n = 64 || (Int64.compare u 0L >= 0 && Int64.compare u (Int64.shift_left 1L n) < 0)))
+
+let add_assoc_prop =
+  QCheck.Test.make ~count:500 ~name:"wrapped add matches Int64 add at W64"
+    QCheck.(pair int64 int64)
+    (fun (a, b) -> V.binop Ast.Add Ast.int64_t a b = Int64.add a b)
+
+let cast_roundtrip_prop =
+  QCheck.Test.make ~count:500 ~name:"widening then narrowing cast is identity"
+    QCheck.(int64)
+    (fun v ->
+      let v8 = V.wrap Ast.Signed Ast.W8 v in
+      let wide = V.cast ~from_ty:(Ast.Tint (Ast.Signed, Ast.W8)) ~to_ty:Ast.int64_t v8 in
+      V.cast ~from_ty:Ast.int64_t ~to_ty:(Ast.Tint (Ast.Signed, Ast.W8)) wide = v8)
+
+(* --- Basic interpretation ----------------------------------------------- *)
+
+let test_straightline () =
+  let r =
+    run
+      {| stream int32 o depth 64;
+         process hw m() {
+           int32 x; int32 y;
+           x = 6; y = 7;
+           stream_write(o, x * y);
+         } |}
+      ~cfg:{ I.default_config with drains = [ "o" ] }
+  in
+  check tbool "completed" true (r.I.outcome = I.Completed);
+  check tbool "output" true (r.I.drained = [ ("o", [ 42L ]) ])
+
+let test_loop_sum () =
+  let r =
+    run
+      {| stream int64 o depth 4;
+         process hw m() {
+           int32 i; int64 acc;
+           acc = 0;
+           for (i = 1; i <= 100; i = i + 1) { acc = acc + i; }
+           stream_write(o, acc);
+         } |}
+      ~cfg:{ I.default_config with drains = [ "o" ] }
+  in
+  check tbool "sum 1..100" true (r.I.drained = [ ("o", [ 5050L ]) ])
+
+let test_while_and_arrays () =
+  let r =
+    run
+      {| stream int32 o depth 64;
+         process hw m() {
+           int32 a[10]; int32 i;
+           i = 0;
+           while (i < 10) { a[i] = i * i; i = i + 1; }
+           stream_write(o, a[7]);
+         } |}
+      ~cfg:{ I.default_config with drains = [ "o" ] }
+  in
+  check tbool "a[7]=49" true (r.I.drained = [ ("o", [ 49L ]) ])
+
+let test_producer_consumer () =
+  let r =
+    run
+      {| stream int32 c depth 2;
+         stream int32 o depth 64;
+         process hw producer() {
+           int32 i;
+           for (i = 0; i < 5; i = i + 1) { stream_write(c, i * 10); }
+         }
+         process hw consumer() {
+           int32 i; int32 v;
+           for (i = 0; i < 5; i = i + 1) { v = stream_read(c); stream_write(o, v + 1); }
+         } |}
+      ~cfg:{ I.default_config with drains = [ "o" ] }
+  in
+  check tbool "completed" true (r.I.outcome = I.Completed);
+  check tbool "pipeline data" true (r.I.drained = [ ("o", [ 1L; 11L; 21L; 31L; 41L ]) ])
+
+let test_feeds () =
+  let r =
+    run
+      {| stream int32 i depth 8; stream int32 o depth 8;
+         process hw m() {
+           int32 k; int32 v;
+           for (k = 0; k < 3; k = k + 1) { v = stream_read(i); stream_write(o, v * v); }
+         } |}
+      ~cfg:{ I.default_config with feeds = [ ("i", [ 2L; 3L; 4L ]) ]; drains = [ "o" ] }
+  in
+  check tbool "squares" true (r.I.drained = [ ("o", [ 4L; 9L; 16L ]) ])
+
+let test_params () =
+  let r =
+    run
+      {| stream int32 o depth 8;
+         process hw m(int32 n) { stream_write(o, n + 1); } |}
+      ~cfg:{ I.default_config with params = [ ("m", [ ("n", 41L) ]) ]; drains = [ "o" ] }
+  in
+  check tbool "param" true (r.I.drained = [ ("o", [ 42L ]) ])
+
+let test_c_semantics_wrap () =
+  (* int8 overflow wraps *)
+  let r =
+    run
+      {| stream int32 o depth 8;
+         process hw m() { int8 x; x = 127; x = x + 1; stream_write(o, (int32)x); } |}
+      ~cfg:{ I.default_config with drains = [ "o" ] }
+  in
+  check tbool "int8 overflow wraps to -128" true (r.I.drained = [ ("o", [ -128L ]) ])
+
+let test_figure3_compare_is_correct_in_software () =
+  (* Paper Figure 3: the comparison is correct in software simulation. *)
+  let r =
+    run
+      {| stream int32 o depth 8;
+         process hw m() {
+           int64 c1; int64 c2; int32 addr;
+           c1 = 4294967296;
+           c2 = 4294967286;
+           addr = 0;
+           if (c2 > c1) { addr = addr - 10; }
+           assert(addr >= 0);
+           stream_write(o, addr);
+         } |}
+      ~cfg:{ I.default_config with drains = [ "o" ] }
+  in
+  check tbool "no failure in software" true (I.ok r);
+  check tbool "addr stays 0" true (r.I.drained = [ ("o", [ 0L ]) ])
+
+let test_const_array () =
+  let r =
+    run
+      {| stream int32 o depth 8;
+         process hw m() {
+           const int32 t[5] = { 3, 1, 4, 1, 5 };
+           int32 i; int32 s;
+           s = 0;
+           for (i = 0; i < 5; i = i + 1) { s = s + t[i]; }
+           stream_write(o, s);
+         } |}
+      ~cfg:{ I.default_config with drains = [ "o" ] }
+  in
+  check tbool "sum of ROM" true (r.I.drained = [ ("o", [ 14L ]) ])
+
+let test_short_circuit_guards_division () =
+  (* C's && must not evaluate the division when the guard is false *)
+  let r =
+    run
+      {| stream int32 o depth 8;
+         process hw m() {
+           int32 d; int32 x; bool ok;
+           d = 0; x = 10;
+           ok = d != 0 && x / d > 1;
+           if (ok) { stream_write(o, 1); } else { stream_write(o, 0); }
+         } |}
+      ~cfg:{ I.default_config with drains = [ "o" ] }
+  in
+  check tbool "no division trap" true (r.I.drained = [ ("o", [ 0L ]) ])
+
+let test_nested_loops () =
+  let r =
+    run
+      {| stream int32 o depth 8;
+         process hw m() {
+           int32 i; int32 j; int32 s;
+           s = 0;
+           for (i = 0; i < 5; i = i + 1) {
+             for (j = 0; j < i; j = j + 1) { s = s + 1; }
+           }
+           stream_write(o, s);
+         } |}
+      ~cfg:{ I.default_config with drains = [ "o" ] }
+  in
+  check tbool "triangular count" true (r.I.drained = [ ("o", [ 10L ]) ])
+
+let test_shadowing_scopes () =
+  let r =
+    run
+      {| stream int32 o depth 8;
+         process hw m() {
+           int32 x;
+           x = 1;
+           {
+             int32 x;
+             x = 99;
+           }
+           stream_write(o, x);
+         } |}
+      ~cfg:{ I.default_config with drains = [ "o" ] }
+  in
+  check tbool "outer x unchanged" true (r.I.drained = [ ("o", [ 1L ]) ])
+
+(* --- Assertions --------------------------------------------------------- *)
+
+let test_assert_failure_aborts () =
+  let r =
+    run
+      {| stream int32 o depth 8;
+         process hw m() {
+           int32 x;
+           x = 3;
+           assert(x > 5);
+           stream_write(o, x);
+         } |}
+      ~cfg:{ I.default_config with drains = [ "o" ] }
+  in
+  (match r.I.outcome with
+  | I.Aborted f ->
+      check tstr "failed text" "x > 5" f.I.ftext;
+      check tstr "proc" "m" f.I.fproc
+  | _ -> Alcotest.fail "expected abort");
+  check tbool "no output after abort" true (r.I.drained = [ ("o", []) ]);
+  match r.I.log with
+  | [ msg ] ->
+      check tbool "ANSI message format" true
+        (msg = Printf.sprintf "test.c:%d: m: Assertion `x > 5' failed." 5)
+  | _ -> Alcotest.fail "expected one log line"
+
+let test_assert_nabort_continues () =
+  let r =
+    run
+      {| stream int32 o depth 8;
+         process hw m() {
+           int32 i;
+           for (i = 0; i < 4; i = i + 1) { assert(i % 2 == 0); }
+           stream_write(o, 1);
+         } |}
+      ~cfg:{ I.default_config with nabort = true; drains = [ "o" ] }
+  in
+  check tbool "completed under NABORT" true (r.I.outcome = I.Completed);
+  check tint "two failures recorded" 2 (List.length r.I.failures);
+  check tbool "program ran to the end" true (r.I.drained = [ ("o", [ 1L ]) ])
+
+let test_assert_ndebug_disables () =
+  let r =
+    run {| process hw m() { assert(false); } |}
+      ~cfg:{ I.default_config with ndebug = true }
+  in
+  check tbool "NDEBUG disables assertions" true (I.ok r)
+
+let test_assert_zero_trace () =
+  (* Section 5.1: assert(0) as positive execution indicator under NABORT. *)
+  let r =
+    run
+      {| stream int32 c depth 8;
+         process hw a() { assert(0); stream_write(c, 1); assert(0); }
+         process hw b() { int32 v; v = stream_read(c); assert(0); } |}
+      ~cfg:{ I.default_config with nabort = true }
+  in
+  check tint "three trace points hit" 3 (List.length r.I.failures);
+  let lines = List.map (fun f -> (f.I.fproc, f.I.floc.Loc.line)) r.I.failures in
+  check tbool "trace identifies processes" true
+    (List.mem ("a", 2) lines && List.mem ("b", 3) lines)
+
+(* --- Deadlock / hang detection ------------------------------------------ *)
+
+let test_deadlock_detected () =
+  let r =
+    run
+      {| stream int32 c depth 2;
+         process hw m() { int32 v; v = stream_read(c); } |}
+  in
+  match r.I.outcome with
+  | I.Deadlocked [ ("m", loc) ] -> check tint "blocked at read line" 2 loc.Loc.line
+  | _ -> Alcotest.fail "expected deadlock"
+
+let test_bounded_fifo_can_hang_where_unbounded_completes () =
+  (* The software-sim vs hardware discrepancy in miniature: a producer
+     writing 8 values into a depth-2 FIFO with no consumer completes when
+     FIFOs are unbounded (software simulation) but hangs when bounded. *)
+  let src =
+    {| stream int32 c depth 2;
+       process hw producer() {
+         int32 i;
+         for (i = 0; i < 8; i = i + 1) { stream_write(c, i); }
+       } |}
+  in
+  let soft = run src in
+  check tbool "unbounded completes" true (soft.I.outcome = I.Completed);
+  let hard = run src ~cfg:{ I.default_config with unbounded_fifos = false } in
+  match hard.I.outcome with
+  | I.Deadlocked [ ("producer", _) ] -> ()
+  | _ -> Alcotest.fail "expected bounded-FIFO hang"
+
+let test_fuel_exhaustion () =
+  let r =
+    run {| process hw m() { int32 x; x = 0; while (x == 0) { x = 0; } } |}
+      ~cfg:{ I.default_config with max_steps = 1000 }
+  in
+  check tbool "fuel exhausted" true
+    (match r.I.outcome with I.Fuel_exhausted | I.Runtime_error _ -> true | _ -> false)
+
+(* --- Runtime errors ------------------------------------------------------ *)
+
+let test_out_of_bounds_reported () =
+  let r = run {| process hw m() { int32 a[4]; int32 i; i = 9; a[i] = 1; } |} in
+  match r.I.outcome with
+  | I.Runtime_error msg -> check tbool "mentions bounds" true (String.length msg > 0)
+  | _ -> Alcotest.fail "expected runtime error"
+
+let test_division_by_zero_reported () =
+  let r = run {| process hw m() { int32 x; int32 y; y = 0; x = 5 / y; } |} in
+  match r.I.outcome with
+  | I.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected division error"
+
+(* --- External functions -------------------------------------------------- *)
+
+let test_extern_model () =
+  let cfg =
+    {
+      I.default_config with
+      extern_models = [ ("triple", fun vs -> Int64.mul 3L (List.hd vs)) ];
+      drains = [ "o" ];
+    }
+  in
+  let r =
+    run ~cfg
+      {| stream int32 o depth 8;
+         extern int32 triple(int32) latency 2;
+         process hw m() { int32 y; y = triple(14); stream_write(o, y); } |}
+  in
+  check tbool "extern model used" true (r.I.drained = [ ("o", [ 42L ]) ])
+
+let test_extern_missing_model () =
+  let r =
+    run
+      {| extern int32 f(int32) latency 1;
+         process hw m() { int32 y; y = f(1); } |}
+  in
+  match r.I.outcome with
+  | I.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected missing-model error"
+
+(* Interpreter agrees with a native OCaml oracle on random arithmetic. *)
+let interp_matches_oracle =
+  QCheck.Test.make ~count:200 ~name:"interp arithmetic matches OCaml int32 oracle"
+    QCheck.(triple int32 int32 (oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ]))
+    (fun (a, b, op) ->
+      let src =
+        Printf.sprintf
+          {| stream int64 o depth 4;
+             process hw m() {
+               int32 x; int32 y; int32 z;
+               x = (%ld); y = (%ld); z = x %s y;
+               stream_write(o, (int64)z);
+             } |}
+          a b op
+      in
+      let r = run src ~cfg:{ I.default_config with drains = [ "o" ] } in
+      let expected =
+        let f =
+          match op with
+          | "+" -> Int32.add
+          | "-" -> Int32.sub
+          | "*" -> Int32.mul
+          | "&" -> Int32.logand
+          | "|" -> Int32.logor
+          | _ -> Int32.logxor
+        in
+        Int64.of_int32 (f a b)
+      in
+      r.I.drained = [ ("o", [ expected ]) ])
+
+let () =
+  Alcotest.run "interp"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "wrap" `Quick test_wrap;
+          Alcotest.test_case "unsigned div" `Quick test_value_div_unsigned;
+          Alcotest.test_case "shift right" `Quick test_value_shr;
+          Alcotest.test_case "figure 3 comparison" `Quick test_value_compare_signedness;
+          QCheck_alcotest.to_alcotest wrap_prop;
+          QCheck_alcotest.to_alcotest add_assoc_prop;
+          QCheck_alcotest.to_alcotest cast_roundtrip_prop;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "straight line" `Quick test_straightline;
+          Alcotest.test_case "loop sum" `Quick test_loop_sum;
+          Alcotest.test_case "while + arrays" `Quick test_while_and_arrays;
+          Alcotest.test_case "producer/consumer" `Quick test_producer_consumer;
+          Alcotest.test_case "feeds" `Quick test_feeds;
+          Alcotest.test_case "params" `Quick test_params;
+          Alcotest.test_case "C wrap semantics" `Quick test_c_semantics_wrap;
+          Alcotest.test_case "figure 3 software run" `Quick test_figure3_compare_is_correct_in_software;
+          Alcotest.test_case "const arrays" `Quick test_const_array;
+          Alcotest.test_case "short-circuit guards" `Quick test_short_circuit_guards_division;
+          Alcotest.test_case "nested loops" `Quick test_nested_loops;
+          Alcotest.test_case "scope shadowing" `Quick test_shadowing_scopes;
+          QCheck_alcotest.to_alcotest interp_matches_oracle;
+        ] );
+      ( "assertions",
+        [
+          Alcotest.test_case "failure aborts" `Quick test_assert_failure_aborts;
+          Alcotest.test_case "NABORT continues" `Quick test_assert_nabort_continues;
+          Alcotest.test_case "NDEBUG disables" `Quick test_assert_ndebug_disables;
+          Alcotest.test_case "assert(0) tracing" `Quick test_assert_zero_trace;
+        ] );
+      ( "hangs",
+        [
+          Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+          Alcotest.test_case "bounded vs unbounded FIFO" `Quick test_bounded_fifo_can_hang_where_unbounded_completes;
+          Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "out of bounds" `Quick test_out_of_bounds_reported;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero_reported;
+        ] );
+      ( "externs",
+        [
+          Alcotest.test_case "model used" `Quick test_extern_model;
+          Alcotest.test_case "missing model" `Quick test_extern_missing_model;
+        ] );
+    ]

@@ -1,0 +1,345 @@
+(* Middle-IR tests: lowering, optimization passes, fault injection. *)
+
+open Front
+module Ir = Mir.Ir
+module Lower = Mir.Lower
+module Opt = Mir.Opt
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let elab = Typecheck.parse_and_check ~file:"test.c"
+
+let lower_first ?mirrors ?mem_ports src =
+  let prog = elab src in
+  Lower.lower_proc ?mirrors ?mem_ports prog (List.hd prog.Ast.procs)
+
+let proc_body body = Printf.sprintf "process hw main() { %s }" body
+
+(* --- Lowering ------------------------------------------------------------- *)
+
+let test_lower_straightline () =
+  let p = lower_first (proc_body "int32 x; int32 y; x = 1; y = x + 2;") in
+  let insts = Ir.all_insts p.Ir.body in
+  check tbool "has instructions" true (insts <> []);
+  (* variables got registers with origins *)
+  let origins = List.filter_map (fun (_, i) -> i.Ir.origin) p.Ir.regs in
+  check tbool "x and y named" true (List.mem "x" origins && List.mem "y" origins)
+
+let test_lower_array () =
+  let p = lower_first (proc_body "int32 a[8]; a[0] = 5; int32 v; v = a[0];") in
+  (match p.Ir.mems with
+  | [ m ] ->
+      check tbool "array name" true (m.Ir.mname = "a");
+      check tint "length" 8 m.Ir.length
+  | _ -> Alcotest.fail "expected one memory");
+  let insts = Ir.all_insts p.Ir.body in
+  let stores = List.filter (fun g -> match g.Ir.i with Ir.Store _ -> true | _ -> false) insts in
+  let loads = List.filter (fun g -> match g.Ir.i with Ir.Load _ -> true | _ -> false) insts in
+  check tint "one store" 1 (List.length stores);
+  check tint "one load" 1 (List.length loads)
+
+let test_lower_const_array () =
+  let p = lower_first (proc_body "const int32 t[4] = { 10, 20, 30, 40 }; int32 v; v = t[2];") in
+  match p.Ir.mems with
+  | [ m ] -> (
+      match m.Ir.rom_init with
+      | Some vals -> check tbool "rom contents" true (vals = [ 10L; 20L; 30L; 40L ])
+      | None -> Alcotest.fail "expected ROM init")
+  | _ -> Alcotest.fail "expected one memory"
+
+let test_lower_shadowed_arrays_unique () =
+  let p =
+    lower_first
+      (proc_body "int32 a[4]; a[0] = 1; { int32 a[8]; a[0] = 2; } a[1] = 3;")
+  in
+  check tint "two memories" 2 (List.length p.Ir.mems);
+  let names = List.map (fun m -> m.Ir.mname) p.Ir.mems in
+  check tbool "unique names" true (List.sort_uniq compare names = List.sort compare names)
+
+let test_lower_mirror () =
+  let p =
+    lower_first
+      ~mirrors:[ ("a", "a__rep") ]
+      (proc_body "int32 a[4]; a[0] = 1; int32 v; v = a[0];")
+  in
+  check tint "original + replica" 2 (List.length p.Ir.mems);
+  (match Ir.find_mem p "a__rep" with
+  | Some m ->
+      check tbool "marked as mirror" true (m.Ir.mirror_of = Some "a");
+      check tint "replica has an extra write port" 2 m.Ir.ports
+  | None -> Alcotest.fail "replica not declared");
+  (* every store to a is mirrored *)
+  let stores mem =
+    List.length
+      (List.filter
+         (fun g -> match g.Ir.i with Ir.Store { mem = m; _ } -> m = mem | _ -> false)
+         (Ir.all_insts p.Ir.body))
+  in
+  check tint "store mirrored" (stores "a") (stores "a__rep")
+
+let test_lower_if_hoists_loads () =
+  let p =
+    lower_first (proc_body "int32 a[4]; a[0] = 1; if (a[0] > 0) { a[1] = 2; }")
+  in
+  (* the load feeding the condition must be in the straight segment, not
+     in the branch's cond_insts *)
+  let rec find_if = function
+    | [] -> None
+    | Ir.If_else { cond_insts; _ } :: _ -> Some cond_insts
+    | _ :: rest -> find_if rest
+  in
+  match find_if p.Ir.body with
+  | Some cond_insts ->
+      check tbool "no loads in cond_insts" true
+        (List.for_all
+           (fun g -> match g.Ir.i with Ir.Load _ -> false | _ -> true)
+           cond_insts)
+  | None -> Alcotest.fail "expected an if"
+
+let test_lower_loop_structure () =
+  let p = lower_first (proc_body "int32 i; int32 s; s = 0; for (i = 0; i < 10; i = i + 1) { s = s + i; }") in
+  let rec find_loop = function
+    | [] -> None
+    | Ir.Loop { cond_insts; step_insts; pipelined; _ } :: _ ->
+        Some (cond_insts, step_insts, pipelined)
+    | _ :: rest -> find_loop rest
+  in
+  match find_loop p.Ir.body with
+  | Some (cond_insts, step_insts, pipelined) ->
+      check tbool "has condition insts" true (cond_insts <> []);
+      check tbool "has step insts" true (step_insts <> []);
+      check tbool "not pipelined" true (not pipelined)
+  | None -> Alcotest.fail "expected a loop"
+
+let test_lower_pipelined_flag () =
+  let p =
+    lower_first
+      (proc_body "int32 i; #pragma pipeline\nfor (i = 0; i < 10; i = i + 1) { int32 x; x = i; }")
+  in
+  let rec find_loop = function
+    | [] -> None
+    | Ir.Loop { pipelined; _ } :: _ -> Some pipelined
+    | _ :: rest -> find_loop rest
+  in
+  match find_loop p.Ir.body with
+  | Some pipelined -> check tbool "pipelined" true pipelined
+  | None -> Alcotest.fail "expected a loop"
+
+let test_lower_rejects_assert () =
+  try
+    ignore (lower_first (proc_body "assert(true);"));
+    Alcotest.fail "assert must not reach lowering"
+  with Lower.Unsupported _ -> ()
+
+let test_lower_tap () =
+  let prog = elab (proc_body "int32 x; x = 3; assert(x > 0);") in
+  let prog', specs = Core.Parallelize.transform prog in
+  check tint "one checker" 1 (List.length specs);
+  let p = Lower.lower_proc prog' (List.hd prog'.Ast.procs) in
+  let taps =
+    List.filter (fun g -> match g.Ir.i with Ir.Tap _ -> true | _ -> false)
+      (Ir.all_insts p.Ir.body)
+  in
+  check tint "one tap" 1 (List.length taps)
+
+let test_lower_folds_constants () =
+  let p = lower_first (proc_body "int32 x; x = 2 + 3 * 4;") in
+  let insts = Ir.all_insts p.Ir.body in
+  (* all arithmetic folded: only a copy of the immediate remains *)
+  check tbool "folded to immediate" true
+    (List.exists
+       (fun g -> match g.Ir.i with Ir.Copy { src = Ir.Imm 14L; _ } -> true | _ -> false)
+       insts)
+
+(* --- Optimization passes ---------------------------------------------------- *)
+
+let test_opt_copy_prop_dce () =
+  let prog = elab "stream int32 out depth 4; process hw main() { int32 x; int32 y; int32 z; x = 7; y = x; z = y; stream_write(out, z); }" in
+  let p = Lower.lower_proc prog (List.hd prog.Ast.procs) in
+  let opt = Opt.optimize p in
+  let insts = Ir.all_insts opt.Ir.body in
+  (* after copy-prop + dce the chain collapses to the stream write *)
+  let swrites =
+    List.filter (fun g -> match g.Ir.i with Ir.Swrite _ -> true | _ -> false) insts
+  in
+  check tint "swrite kept" 1 (List.length swrites);
+  check tbool "chain shrunk" true (List.length insts <= 2)
+
+let test_opt_preserves_side_effects () =
+  let prog =
+    elab
+      "stream int32 out depth 4; process hw main() { int32 a[4]; a[0] = 1; int32 dead; dead = 5; stream_write(out, 1); }"
+  in
+  let p = Opt.optimize (Lower.lower_proc prog (List.hd prog.Ast.procs)) in
+  let insts = Ir.all_insts p.Ir.body in
+  check tbool "store kept" true
+    (List.exists (fun g -> match g.Ir.i with Ir.Store _ -> true | _ -> false) insts);
+  check tbool "dead value removed" true
+    (not
+       (List.exists
+          (fun g -> match g.Ir.i with Ir.Copy { src = Ir.Imm 5L; _ } -> true | _ -> false)
+          insts))
+
+let test_opt_keeps_loop_condition () =
+  let prog = elab (proc_body "int32 i; for (i = 0; i < 3; i = i + 1) { int32 x; x = i; }") in
+  let p = Opt.optimize (Lower.lower_proc prog (List.hd prog.Ast.procs)) in
+  let rec find_loop = function
+    | [] -> None
+    | Ir.Loop { cond_insts; _ } :: _ -> Some cond_insts
+    | _ :: rest -> find_loop rest
+  in
+  match find_loop p.Ir.body with
+  | Some cond_insts -> check tbool "condition computed" true (cond_insts <> [])
+  | None -> Alcotest.fail "loop disappeared"
+
+(* Optimization must preserve behaviour: run random programs through the
+   simulator with and without Opt and compare outputs. *)
+let gen_prog_src =
+  let open QCheck.Gen in
+  let var = oneofl [ "a"; "b"; "c" ] in
+  let op = oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ] in
+  let atom = oneof [ map (Printf.sprintf "%d") (int_range 0 100); var ] in
+  let expr2 =
+    map3 (fun a o b -> Printf.sprintf "(%s %s %s)" a o b) atom op atom
+  in
+  let stmt =
+    oneof
+      [
+        map2 (fun v e -> Printf.sprintf "%s = %s;" v e) var expr2;
+        map2 (fun v e -> Printf.sprintf "%s = %s; m[%s & 7] = %s;" v e v v) var expr2;
+        map (fun e -> Printf.sprintf "if (%s > 20) { a = a + 1; } else { b = b - 1; }" e) expr2;
+      ]
+  in
+  let stmts = list_size (int_range 1 8) stmt in
+  map
+    (fun body ->
+      Printf.sprintf
+        {| stream int32 inp depth 8; stream int32 out depth 64;
+           process hw main() {
+             int32 a; int32 b; int32 c; int32 m[8];
+             a = stream_read(inp); b = stream_read(inp); c = 3;
+             %s
+             stream_write(out, a); stream_write(out, b);
+             stream_write(out, c + m[0]);
+           } |}
+        (String.concat "\n" body))
+    stmts
+
+let run_sim_ir (ir : Ir.proc_ir) prog feeds =
+  let fsmd = Hls.Schedule.compile_proc ir in
+  let cfg =
+    {
+      Sim.Engine.default_config with
+      Sim.Engine.feeds;
+      drains = [ "out" ];
+      max_cycles = 50_000;
+    }
+  in
+  let r = Sim.Engine.simulate ~cfg ~streams:prog.Ast.streams ~fsmds:[ fsmd ] () in
+  (r.Sim.Engine.outcome, r.Sim.Engine.drained)
+
+let opt_equivalence =
+  QCheck.Test.make ~count:60 ~name:"Opt passes preserve simulated behaviour"
+    (QCheck.make gen_prog_src ~print:(fun s -> s))
+    (fun src ->
+      let prog = elab src in
+      let p = Lower.lower_proc prog (List.hd prog.Ast.procs) in
+      let feeds = [ ("inp", [ 17L; 42L ]) ] in
+      let r1 = run_sim_ir p prog feeds in
+      let r2 = run_sim_ir (Opt.optimize p) prog feeds in
+      r1 = r2)
+
+(* --- Fault injection --------------------------------------------------------- *)
+
+let test_fault_narrow_compare () =
+  let prog = elab (proc_body "int64 a; int64 b; bool r; a = 4294967286; b = 4294967296; r = a > b;") in
+  let ir = Lower.lower_proc prog (List.hd prog.Ast.procs) in
+  let faulted =
+    Faults.Fault.apply
+      (Faults.Fault.Narrow_compare
+         { fproc = "main"; select = Faults.Fault.All; mask_bits = 5 })
+      { Ir.streams = []; externs = []; procs = [ ir ] }
+  in
+  let p = List.hd faulted.Ir.procs in
+  let masks =
+    List.filter
+      (fun g ->
+        match g.Ir.i with Ir.Bin { op = Ast.Band; b = Ir.Imm 31L; _ } -> true | _ -> false)
+      (Ir.all_insts p.Ir.body)
+  in
+  check tint "two mask instructions" 2 (List.length masks)
+
+let test_fault_read_for_write () =
+  let prog = elab (proc_body "int32 a[4]; a[0] = 1; a[1] = 2;") in
+  let ir = Lower.lower_proc prog (List.hd prog.Ast.procs) in
+  let faulted =
+    Faults.Fault.apply
+      (Faults.Fault.Read_for_write { fproc = "main"; select = Faults.Fault.Nth 1 })
+      { Ir.streams = []; externs = []; procs = [ ir ] }
+  in
+  let p = List.hd faulted.Ir.procs in
+  let insts = Ir.all_insts p.Ir.body in
+  let stores = List.filter (fun g -> match g.Ir.i with Ir.Store _ -> true | _ -> false) insts in
+  let loads = List.filter (fun g -> match g.Ir.i with Ir.Load _ -> true | _ -> false) insts in
+  check tint "one store left" 1 (List.length stores);
+  check tint "one store became a load" 1 (List.length loads)
+
+let test_fault_only_targets_named_proc () =
+  let prog =
+    elab
+      "process hw first() { int32 a[2]; a[0] = 1; } process hw second() { int32 b[2]; b[0] = 1; }"
+  in
+  let ir =
+    {
+      Ir.streams = [];
+      externs = [];
+      procs = List.map (fun p -> Lower.lower_proc prog p) prog.Ast.procs;
+    }
+  in
+  let faulted =
+    Faults.Fault.apply
+      (Faults.Fault.Read_for_write { fproc = "second"; select = Faults.Fault.All })
+      ir
+  in
+  let stores name =
+    let p = List.find (fun (p : Ir.proc_ir) -> p.Ir.name = name) faulted.Ir.procs in
+    List.length
+      (List.filter (fun g -> match g.Ir.i with Ir.Store _ -> true | _ -> false)
+         (Ir.all_insts p.Ir.body))
+  in
+  check tint "first untouched" 1 (stores "first");
+  check tint "second faulted" 0 (stores "second")
+
+let () =
+  Alcotest.run "mir"
+    [
+      ( "lowering",
+        [
+          Alcotest.test_case "straight line" `Quick test_lower_straightline;
+          Alcotest.test_case "arrays" `Quick test_lower_array;
+          Alcotest.test_case "const arrays (ROM)" `Quick test_lower_const_array;
+          Alcotest.test_case "shadowed arrays" `Quick test_lower_shadowed_arrays_unique;
+          Alcotest.test_case "replication mirrors" `Quick test_lower_mirror;
+          Alcotest.test_case "if hoists loads" `Quick test_lower_if_hoists_loads;
+          Alcotest.test_case "loop structure" `Quick test_lower_loop_structure;
+          Alcotest.test_case "pipeline flag" `Quick test_lower_pipelined_flag;
+          Alcotest.test_case "rejects assert" `Quick test_lower_rejects_assert;
+          Alcotest.test_case "taps" `Quick test_lower_tap;
+          Alcotest.test_case "constant folding at lowering" `Quick test_lower_folds_constants;
+        ] );
+      ( "opt",
+        [
+          Alcotest.test_case "copy-prop + dce" `Quick test_opt_copy_prop_dce;
+          Alcotest.test_case "keeps side effects" `Quick test_opt_preserves_side_effects;
+          Alcotest.test_case "keeps loop condition" `Quick test_opt_keeps_loop_condition;
+          QCheck_alcotest.to_alcotest opt_equivalence;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "narrow compare" `Quick test_fault_narrow_compare;
+          Alcotest.test_case "read for write" `Quick test_fault_read_for_write;
+          Alcotest.test_case "targets named proc" `Quick test_fault_only_targets_named_proc;
+        ] );
+    ]

@@ -6,6 +6,7 @@
      inca instrument app.c            # print the instrumented HLL (Figure 2)
      inca vhdl app.c -o out.vhdl
      inca simulate app.c --feed input=1,2,3 --drain output --param main:n=3
+     inca campaign [app.c]            # fault-injection sweep + coverage report
      inca check app.c                 # scheduler invariant lint *)
 
 open Cmdliner
@@ -185,7 +186,16 @@ let simulate_cmd =
       & info [ "vcd" ]
           ~doc:"Dump a VCD waveform of every FSM state and named register (SignalTap view).")
   in
-  let run file strategy nabort ndebug feeds drains params max_cycles vcd =
+  let watchdog_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "watchdog" ]
+          ~doc:
+            "Live-lock watchdog window: stop after N cycles without forward progress \
+             (stream push/pop, tap event, or a register/memory value change).")
+  in
+  let run file strategy nabort ndebug feeds drains params max_cycles vcd watchdog =
     let c = load ~ndebug ~nabort ~strategy file in
     let feeds = List.map parse_feed feeds in
     let params =
@@ -200,7 +210,7 @@ let simulate_cmd =
       Core.Driver.simulate
         ~options:
           { Core.Driver.feeds; drains; params; hw_models = []; max_cycles;
-            timing_checks = []; trace = vcd <> None }
+            timing_checks = []; trace = vcd <> None; watchdog }
         c
     in
     let e = r.Core.Driver.engine in
@@ -218,6 +228,9 @@ let simulate_cmd =
     | Sim.Engine.Hang blocked ->
         Printf.printf "HANG after %d cycles:\n" e.Sim.Engine.cycles;
         List.iter (fun (p, s) -> Printf.printf "  %s blocked in state %d\n" p s) blocked
+    | Sim.Engine.Livelock spinning ->
+        Printf.printf "LIVELOCK detected by watchdog after %d cycles:\n" e.Sim.Engine.cycles;
+        List.iter (fun (p, s) -> Printf.printf "  %s spinning in state %d\n" p s) spinning
     | Sim.Engine.Out_of_cycles ->
         Printf.printf "still running after %d cycles\n" e.Sim.Engine.cycles
     | Sim.Engine.Sim_error m -> Printf.printf "simulation error: %s\n" m);
@@ -237,7 +250,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run the design in the cycle-accurate simulator")
     Term.(
       const run $ file_arg $ strategy_arg $ nabort_arg $ ndebug_arg $ feeds_arg $ drains_arg
-      $ params_arg $ cycles_arg $ vcd_arg)
+      $ params_arg $ cycles_arg $ vcd_arg $ watchdog_arg)
 
 (* --- swsim ------------------------------------------------------------------------ *)
 
@@ -291,6 +304,166 @@ let swsim_cmd =
           desktop path the paper contrasts against)")
     Term.(const run $ file_arg $ nabort_arg $ ndebug_arg $ feeds_arg $ drains_arg $ params_arg)
 
+(* --- campaign --------------------------------------------------------------------- *)
+
+(* Derive a usable testbench when the user gives none: feed every
+   purely-read stream a ramp, drain every purely-written stream, and
+   default every unset process parameter to 32 (sized to the ramp). *)
+let auto_stimulus prog feeds drains params =
+  let c = Core.Driver.compile ~strategy:Core.Driver.baseline prog in
+  let reads = ref [] and writes = ref [] in
+  List.iter
+    (fun (p : Mir.Ir.proc_ir) ->
+      List.iter
+        (fun (g : Mir.Ir.ginst) ->
+          match g.Mir.Ir.i with
+          | Mir.Ir.Sread { stream; _ } ->
+              if not (List.mem stream !reads) then reads := stream :: !reads
+          | Mir.Ir.Swrite { stream; _ } ->
+              if not (List.mem stream !writes) then writes := stream :: !writes
+          | _ -> ())
+        (Mir.Ir.all_insts p.Mir.Ir.body))
+    c.Core.Driver.ir.Mir.Ir.procs;
+  let feeds =
+    if feeds <> [] then feeds
+    else
+      List.filter_map
+        (fun s ->
+          if List.mem s !writes then None
+          else Some (s, List.init 48 (fun i -> Int64.of_int (i + 1))))
+        (List.rev !reads)
+  in
+  let drains =
+    if drains <> [] then drains
+    else List.filter (fun s -> not (List.mem s !reads)) (List.rev !writes)
+  in
+  let params =
+    List.map
+      (fun (p : Front.Ast.proc) ->
+        let given = try List.assoc p.Front.Ast.pname params with Not_found -> [] in
+        ( p.Front.Ast.pname,
+          List.map
+            (fun (n, _) -> (n, try List.assoc n given with Not_found -> 32L))
+            p.Front.Ast.params ))
+      (Core.Driver.hw_procs prog)
+  in
+  (feeds, drains, params)
+
+let campaign_cmd =
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "InCA-C source file to campaign.  Omit to sweep the bundled case-study \
+             applications (FIR, DCT, Triple-DES, edge detection).")
+  in
+  let feeds_arg =
+    Arg.(value & opt_all string [] & info [ "feed" ] ~doc:"Testbench input: stream=v1,v2,...")
+  in
+  let drains_arg =
+    Arg.(value & opt_all string [] & info [ "drain" ] ~doc:"Stream to collect output from.")
+  in
+  let params_arg =
+    Arg.(value & opt_all string [] & info [ "param" ] ~doc:"Process parameter: proc:name=value")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ]
+          ~doc:"Per-mutant cycle budget (default: 4x the unfaulted run, plus slack).")
+  in
+  let watchdog_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "watchdog" ]
+          ~doc:"Live-lock watchdog window in cycles (default: budget / 20, floor 200).")
+  in
+  let max_mutants_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-mutants" ]
+          ~doc:
+            "Per-workload mutant cap, taken round-robin across fault kinds; the report \
+             counts dropped sites.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~doc:"Also write the report as JSON to $(docv)." ~docv:"PATH")
+  in
+  let runs_arg =
+    Arg.(value & flag & info [ "runs" ] ~doc:"Print the classification of every mutant run.")
+  in
+  let run file feeds drains params budget watchdog max_mutants json_out show_runs =
+    let workloads =
+      match file with
+      | None -> Campaign.bundled ()
+      | Some path ->
+          let src = read_file path in
+          let name = Filename.remove_extension (Filename.basename path) in
+          let prog = Front.Typecheck.parse_and_check ~file:(Filename.basename path) src in
+          let feeds = List.map parse_feed feeds in
+          let params =
+            List.fold_left
+              (fun acc p ->
+                let proc, kv = parse_param p in
+                let cur = try List.assoc proc acc with Not_found -> [] in
+                (proc, kv :: cur) :: List.remove_assoc proc acc)
+              [] params
+          in
+          let feeds, drains, params = auto_stimulus prog feeds drains params in
+          [
+            {
+              Campaign.wname = name;
+              program = prog;
+              options =
+                { Core.Driver.default_sim_options with Core.Driver.feeds; drains; params };
+            };
+          ]
+    in
+    let config =
+      { Campaign.default_config with Campaign.budget; watchdog; max_mutants }
+    in
+    let r = Campaign.run ~config workloads in
+    print_endline (Campaign.render r);
+    if show_runs then begin
+      print_endline "\nper-mutant classification:";
+      List.iter
+        (fun (run : Campaign.run) ->
+          Printf.printf "  %-10s %-13s %-42s %-9s %6d cyc%s%s\n" run.Campaign.workload
+            run.Campaign.strategy
+            (Faults.Fault.describe run.Campaign.fault)
+            (Campaign.class_name run.Campaign.outcome)
+            run.Campaign.cycles
+            (if run.Campaign.detail <> "" then "  " ^ run.Campaign.detail else "")
+            (if run.Campaign.retried then "  [retried]" else ""))
+        r.Campaign.runs
+    end;
+    match json_out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Campaign.render_json r);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Fault-injection campaign: enumerate every candidate fault site, run one mutant \
+          per site under each assertion-synthesis strategy, and print the \
+          assertion-coverage report")
+    Term.(
+      const run $ file_arg $ feeds_arg $ drains_arg $ params_arg $ budget_arg $ watchdog_arg
+      $ max_mutants_arg $ json_arg $ runs_arg)
+
 (* --- check ------------------------------------------------------------------------ *)
 
 let check_cmd =
@@ -312,6 +485,6 @@ let main =
   let doc = "in-circuit assertion synthesis for high-level synthesis" in
   Cmd.group
     (Cmd.info "inca" ~version:"1.0.0" ~doc)
-    [ compile_cmd; instrument_cmd; vhdl_cmd; simulate_cmd; swsim_cmd; check_cmd ]
+    [ compile_cmd; instrument_cmd; vhdl_cmd; simulate_cmd; swsim_cmd; campaign_cmd; check_cmd ]
 
 let () = exit (Cmd.eval main)

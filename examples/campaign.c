@@ -1,0 +1,76 @@
+/* Fault-injection campaign demo: a two-stage smoothing pipeline
+   deliberately rich in fault sites — block-RAM stores, 64-bit
+   comparisons, several loops, and five output-stream write sites — so
+   the campaign engine has every fault kind to mutate:
+
+     narrow-compare      each 64-bit comparison compiled too narrow
+     read-for-write      each block-RAM store translated as a read
+     stuck-stream-bit    each stream write with a datapath bit stuck
+     drop-stream-write   each stream write whose enable never asserts
+     loop-off-by-one     each loop bound off by one, both directions
+
+   Run with:
+
+     dune exec bin/inca.exe -- campaign examples/campaign.c
+
+   With no --feed/--param flags the campaign feeds every input stream
+   the ramp 1,2,...,48 and sets every process parameter to 32. */
+
+stream int32 raw_in depth 16;
+stream int32 mid depth 16;
+stream int32 peaks depth 16;
+stream int32 packed depth 16;
+stream int32 stats depth 16;
+
+process hw smooth(int32 n) {
+  int32 hist[8];
+  int32 i;
+  int64 total;
+  total = 0;
+  for (i = 0; i < 8; i = i + 1) {
+    hist[i] = 0;
+  }
+  for (i = 0; i < n; i = i + 1) {
+    int32 x;
+    x = stream_read(raw_in);
+    assert(x > 0);
+    hist[i % 8] = x;
+    total = total + x;
+    if (total > 1000000) {      /* 64-bit compare: a narrow-compare site */
+      total = 0;
+    }
+    int32 y;
+    y = (hist[i % 8] + x) / 2;
+    assert(y < 100);            /* range check: catches stuck datapath bits */
+    if (y > 24) {
+      stream_write(peaks, y);
+    }
+    stream_write(mid, y);
+  }
+  assert(total >= 0);
+}
+
+process hw pack(int32 n) {
+  int32 win[4];
+  int32 j;
+  int64 sum;
+  sum = 0;
+  for (j = 0; j < 4; j = j + 1) {
+    win[j] = 0;
+  }
+  for (j = 0; j < n; j = j + 1) {
+    int32 v;
+    v = stream_read(mid);
+    assert(v >= 0);
+    assert(v < 100);            /* corrupted upstream values trip here */
+    win[j % 4] = v;
+    sum = sum + v;
+    if (sum > 2000000) {        /* 64-bit compare: a narrow-compare site */
+      sum = 0;
+    }
+    stream_write(packed, win[j % 4] + 1);
+  }
+  stream_write(stats, j);
+  stream_write(stats, 7);
+  stream_write(stats, 99);
+}

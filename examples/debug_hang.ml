@@ -81,6 +81,25 @@ let () =
         | Sim.Engine.Aborted m -> "outcome: aborted " ^ m
         | _ -> "outcome: other"));
 
+  (* The spin keeps the FSM busy, so the no-activity hang detector never
+     fires and the run above burns the whole cycle budget.  The live-lock
+     watchdog spots the lack of forward progress in a few hundred cycles
+     and names the spinning process and state. *)
+  print_endline "\n--- in-circuit execution with live-lock watchdog (window 200) ---";
+  let wd =
+    Core.Driver.simulate
+      ~options:{ options with Core.Driver.watchdog = Some 200 }
+      compiled
+  in
+  (match wd.Core.Driver.engine.Sim.Engine.outcome with
+  | Sim.Engine.Livelock spinning ->
+      Printf.printf "outcome: LIVELOCK after only %d cycles (budget was %d)\n"
+        wd.Core.Driver.engine.Sim.Engine.cycles options.Core.Driver.max_cycles;
+      List.iter
+        (fun (proc, state) -> Printf.printf "  %s spinning in state %d\n" proc state)
+        spinning
+  | _ -> print_endline "outcome: watchdog did not trip (unexpected)");
+
   print_endline
     "\nTrace points 1 and 2 fired in both runs; trace point 3 fired only in\n\
      software simulation — the hang is between them, at the flags[0] readback."

@@ -58,6 +58,7 @@ let () =
   | Sim.Engine.Aborted msg -> Printf.printf "application halted: %s\n" msg
   | Sim.Engine.Finished -> print_endline "application finished"
   | Sim.Engine.Hang _ -> print_endline "application hung"
+  | Sim.Engine.Livelock _ -> print_endline "application live-locked"
   | Sim.Engine.Out_of_cycles -> print_endline "out of cycles"
   | Sim.Engine.Sim_error e -> Printf.printf "simulation error: %s\n" e);
   Printf.printf "cycles: %d\n" result.Core.Driver.engine.Sim.Engine.cycles;

@@ -43,6 +43,7 @@ let outcome_to_string = function
   | Sim.Engine.Finished -> "finished"
   | Sim.Engine.Aborted m -> "ABORTED: " ^ m
   | Sim.Engine.Hang _ -> "hang"
+  | Sim.Engine.Livelock _ -> "livelock"
   | Sim.Engine.Out_of_cycles -> "out of cycles"
   | Sim.Engine.Sim_error m -> "error: " ^ m
 

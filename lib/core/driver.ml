@@ -140,6 +140,7 @@ let compile ?(strategy = optimized) ?(faults : Faults.Fault.t list = [])
   let notification_source =
     Notify.c_source
       ~dma:(strategy.share = `Dma)
+      ~route:plan.Share.route
       ~table
       ~streams:(List.map (fun (s : stream_decl) -> s.sname) plan.Share.streams)
       ~nabort:strategy.nabort
@@ -166,11 +167,14 @@ type sim_options = {
           paper's Section 6 future work); anchor code points with
           [assert(true)] markers under the Optimized strategy *)
   trace : bool;  (** capture a VCD waveform (the SignalTap view) *)
+  watchdog : int option;
+      (** live-lock watchdog window in cycles (see {!Sim.Engine.config});
+          [None] disables it *)
 }
 
 let default_sim_options =
   { feeds = []; drains = []; params = []; hw_models = []; max_cycles = 1_000_000;
-    timing_checks = []; trace = false }
+    timing_checks = []; trace = false; watchdog = None }
 
 type sim_result = {
   engine : Sim.Engine.result;
@@ -196,6 +200,7 @@ let simulate ?(options = default_sim_options) (c : compiled) : sim_result =
       trace = options.trace;
       host_poll_interval =
         (match c.strategy.share with `Dma -> 32 | `Per_proc | `Shared _ -> 1);
+      watchdog = options.watchdog;
     }
   in
   let engine =

@@ -87,6 +87,9 @@ type sim_options = {
           paper's Section 6 future work); anchor code points with
           [assert(true)] markers *)
   trace : bool;  (** capture a VCD waveform *)
+  watchdog : int option;
+      (** live-lock watchdog window in cycles (see {!Sim.Engine.config});
+          [None] disables it *)
 }
 
 val default_sim_options : sim_options

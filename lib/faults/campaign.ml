@@ -1,0 +1,491 @@
+(** Fault-injection campaign engine (paper Section 5).
+
+    The paper validates in-circuit assertions by injecting the
+    hardware-translation bugs its authors met in practice and checking
+    that the synthesized assertions catch them.  This module turns that
+    spot check into a campaign: enumerate {e every} candidate fault site
+    of a lowered program ({!Fault.sites}), compile one mutant per site
+    under each assertion-synthesis strategy, run it in the cycle-accurate
+    simulator under a per-mutant cycle budget with the live-lock watchdog
+    armed, and classify the outcome against the software-simulation
+    golden output.  The aggregated table is an {e assertion-coverage
+    report}: which translation faults does each strategy actually
+    detect, and how many cycles does detection take? *)
+
+module Ir = Mir.Ir
+module Driver = Core.Driver
+module Engine = Sim.Engine
+module Fault = Faults.Fault
+
+(* --- workloads ---------------------------------------------------------- *)
+
+type workload = {
+  wname : string;
+  program : Front.Ast.program;
+  options : Driver.sim_options;  (** feeds / drains / params for one run *)
+}
+
+let workload ~name ?file ~feeds ~drains ~params source =
+  let file = match file with Some f -> f | None -> name ^ ".c" in
+  let program = Front.Typecheck.parse_and_check ~file source in
+  {
+    wname = name;
+    program;
+    options = { Driver.default_sim_options with Driver.feeds; drains; params };
+  }
+
+(** The four bundled case-study applications, sized so a full sweep
+    stays interactive. *)
+let bundled () =
+  let fir =
+    let n = 32 in
+    let signal = Apps.Fir_ref.test_signal n in
+    workload ~name:"fir"
+      ~feeds:[ ("samples_in", Apps.Fir_ref.to_stream signal) ]
+      ~drains:[ "samples_out" ]
+      ~params:[ ("fir", [ ("n", Int64.of_int n) ]) ]
+      (Apps.Fir_src.source ())
+  in
+  let dct =
+    let blocks = 2 in
+    let samples = Apps.Dct_ref.test_blocks blocks in
+    workload ~name:"dct"
+      ~feeds:[ ("dct_in", Apps.Dct_ref.to_stream samples) ]
+      ~drains:[ "dct_out" ]
+      ~params:[ ("dct", [ ("nblocks", Int64.of_int blocks) ]) ]
+      (Apps.Dct_src.source ())
+  in
+  let des =
+    let text = "IN-CIRCUIT ABV!!" in
+    let cipher = Apps.Des_src.demo_ciphertext text in
+    workload ~name:"des3"
+      ~feeds:[ ("cipher_in", cipher) ]
+      ~drains:[ "plain_out" ]
+      ~params:[ ("des3", [ ("nblocks", Int64.of_int (List.length cipher)) ]) ]
+      (Apps.Des_src.demo_source ())
+  in
+  let edge =
+    let w = Apps.Edge_src.default_width and h = 8 in
+    let img = Apps.Edge_ref.test_image ~w ~h in
+    workload ~name:"edge"
+      ~feeds:[ ("pixels_in", Apps.Edge_ref.to_stream img) ]
+      ~drains:[ "pixels_out" ]
+      ~params:
+        [ ("edge", [ ("width", Int64.of_int w); ("height", Int64.of_int h) ]) ]
+      (Apps.Edge_src.demo_source ())
+  in
+  [ fir; dct; des; edge ]
+
+(* --- configuration ------------------------------------------------------ *)
+
+type config = {
+  strategies : (string * Driver.strategy) list;
+  budget : int option;
+      (** per-mutant cycle budget; [None] = 4x the unfaulted baseline
+          cycle count of the workload, plus slack *)
+  watchdog : int option;
+      (** live-lock watchdog window; [None] = budget / 20, floor 200 *)
+  max_mutants : int option;
+      (** per-workload cap, taken round-robin across fault kinds so a
+          truncated campaign still exercises every kind; the report
+          records how many sites were dropped *)
+}
+
+let default_strategies =
+  [
+    ("baseline", Driver.baseline);
+    ("unoptimized", Driver.unoptimized);
+    ("parallelized", Driver.parallelized);
+    ("optimized", Driver.optimized);
+  ]
+
+let default_config =
+  { strategies = default_strategies; budget = None; watchdog = None; max_mutants = None }
+
+(* --- classification ----------------------------------------------------- *)
+
+type outcome_class =
+  | Detected_by_assertion  (** a synthesized assertion aborted the run *)
+  | Hang_detected  (** deadlock detector or live-lock watchdog fired *)
+  | Silent_corruption
+      (** the run finished with wrong output, or crashed the toolchain *)
+  | Benign  (** finished with output equal to the golden run *)
+  | Budget_exceeded  (** still running at the cycle budget *)
+
+let class_name = function
+  | Detected_by_assertion -> "assertion"
+  | Hang_detected -> "hang"
+  | Silent_corruption -> "silent"
+  | Benign -> "benign"
+  | Budget_exceeded -> "budget"
+
+(** Detection means the platform raised a flag the engineer can act on:
+    an assertion notification or a hang/live-lock report. *)
+let detected = function
+  | Detected_by_assertion | Hang_detected -> true
+  | Silent_corruption | Benign | Budget_exceeded -> false
+
+type run = {
+  workload : string;
+  strategy : string;
+  fault : Fault.t;
+  outcome : outcome_class;
+  detail : string;  (** assertion message, spin site, or output diff *)
+  cycles : int;  (** cycles consumed (cycles to detection when detected) *)
+  retried : bool;  (** first attempt crashed; this is the retry's result *)
+}
+
+type strategy_summary = {
+  strategy : string;
+  mutants : int;
+  by_assertion : int;
+  by_hang : int;
+  silent : int;
+  benign : int;
+  over_budget : int;
+  mean_detection_cycles : float option;
+      (** mean cycles-to-detection over detected mutants *)
+}
+
+type report = {
+  workloads : string list;
+  site_count : int;  (** mutants swept per strategy (after any cap) *)
+  dropped : int;  (** sites dropped by [max_mutants] *)
+  kind_counts : (string * int) list;  (** sites per fault kind *)
+  runs : run list;
+  summaries : strategy_summary list;
+}
+
+(* --- campaign ----------------------------------------------------------- *)
+
+let enumerate (w : workload) : Fault.t list =
+  let c = Driver.compile ~strategy:Driver.baseline w.program in
+  Fault.sites c.Driver.ir
+
+(* Take [n] sites round-robin across fault kinds, preserving order
+   within a kind, so a capped campaign still exercises every kind. *)
+let cap_round_robin n faults =
+  let kinds =
+    List.fold_left
+      (fun acc f ->
+        let k = Fault.kind_name f in
+        if List.mem_assoc k acc then acc else acc @ [ (k, ref []) ])
+      [] faults
+  in
+  List.iter (fun f -> let q = List.assoc (Fault.kind_name f) kinds in q := f :: !q) faults;
+  let queues = List.map (fun (k, q) -> (k, ref (List.rev !q))) kinds in
+  let out = ref [] and left = ref n and progress = ref true in
+  while !left > 0 && !progress do
+    progress := false;
+    List.iter
+      (fun (_, q) ->
+        if !left > 0 then
+          match !q with
+          | [] -> ()
+          | f :: tl ->
+              q := tl;
+              out := f :: !out;
+              decr left;
+              progress := true)
+      queues
+  done;
+  List.rev !out
+
+let spin_sites blocked =
+  String.concat ", "
+    (List.map (fun (p, st) -> Printf.sprintf "%s@%d" p st) blocked)
+
+let drained_equal ~drains golden actual =
+  List.for_all
+    (fun s ->
+      let get l = try List.assoc s l with Not_found -> [] in
+      get golden = get actual)
+    drains
+
+let diff_detail ~drains golden actual =
+  let bad =
+    List.filter
+      (fun s ->
+        let get l = try List.assoc s l with Not_found -> [] in
+        get golden <> get actual)
+      drains
+  in
+  Printf.sprintf "output differs on %s" (String.concat ", " bad)
+
+(* The golden run: software simulation of the unfaulted program — the
+   desktop-simulation path the paper contrasts against, which never sees
+   translation faults. *)
+let golden_drained (w : workload) =
+  let c = Driver.compile ~strategy:Driver.baseline w.program in
+  let r = Driver.software_sim ~options:w.options c in
+  match r.Interp.outcome with
+  | Interp.Completed -> r.Interp.drained
+  | _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Campaign: workload %s does not complete under software simulation \
+            (check feeds/params)"
+           w.wname)
+
+let unfaulted_cycles (w : workload) =
+  let c = Driver.compile ~strategy:Driver.baseline w.program in
+  let r = Driver.simulate ~options:w.options c in
+  match r.Driver.engine.Engine.outcome with
+  | Engine.Finished -> r.Driver.engine.Engine.cycles
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Campaign: unfaulted baseline of workload %s does not finish"
+           w.wname)
+
+let run_mutant ~budget ~watchdog ~golden (w : workload) (sname, strategy) fault =
+  let options =
+    { w.options with Driver.max_cycles = budget; watchdog = Some watchdog }
+  in
+  let attempt () =
+    let c = Driver.compile ~strategy ~faults:[ fault ] w.program in
+    Driver.simulate ~options c
+  in
+  (* Graceful degradation: a mutant may break an invariant the
+     compiler or simulator relies on.  Isolate the crash, retry once,
+     and record a classified result either way. *)
+  let result, retried =
+    match attempt () with
+    | r -> (Ok r, false)
+    | exception e -> (
+        match attempt () with
+        | r -> (Ok r, true)
+        | exception _ -> (Error (Printexc.to_string e), true))
+  in
+  let outcome, detail, cycles =
+    match result with
+    | Error msg -> (Silent_corruption, "toolchain crash: " ^ msg, 0)
+    | Ok r -> (
+        let cycles = r.Driver.engine.Engine.cycles in
+        match r.Driver.engine.Engine.outcome with
+        | Engine.Aborted m -> (Detected_by_assertion, m, cycles)
+        | Engine.Livelock spinning ->
+            (Hang_detected, "live-lock: " ^ spin_sites spinning, cycles)
+        | Engine.Hang blocked ->
+            (Hang_detected, "deadlock: " ^ spin_sites blocked, cycles)
+        | Engine.Out_of_cycles -> (Budget_exceeded, "", cycles)
+        | Engine.Sim_error m -> (Silent_corruption, "simulator error: " ^ m, cycles)
+        | Engine.Finished ->
+            let actual = r.Driver.engine.Engine.drained in
+            let drains = w.options.Driver.drains in
+            if drained_equal ~drains golden actual then (Benign, "", cycles)
+            else (Silent_corruption, diff_detail ~drains golden actual, cycles))
+  in
+  { workload = w.wname; strategy = sname; fault; outcome; detail; cycles; retried }
+
+let summarize strategies runs =
+  List.map
+    (fun (sname, _) ->
+      let rs = List.filter (fun (r : run) -> r.strategy = sname) runs in
+      let count c = List.length (List.filter (fun (r : run) -> r.outcome = c) rs) in
+      let det = List.filter (fun (r : run) -> detected r.outcome) rs in
+      let mean_detection_cycles =
+        match det with
+        | [] -> None
+        | _ ->
+            Some
+              (List.fold_left (fun acc r -> acc +. float_of_int r.cycles) 0.0 det
+              /. float_of_int (List.length det))
+      in
+      {
+        strategy = sname;
+        mutants = List.length rs;
+        by_assertion = count Detected_by_assertion;
+        by_hang = count Hang_detected;
+        silent = count Silent_corruption;
+        benign = count Benign;
+        over_budget = count Budget_exceeded;
+        mean_detection_cycles;
+      })
+    strategies
+
+(** Sweep every enumerated fault site of every workload under every
+    strategy.  [progress] (if given) is called once per completed mutant
+    run — hook for CLI progress output. *)
+let run ?(config = default_config) ?progress (workloads : workload list) : report =
+  let all_runs = ref [] in
+  let dropped = ref 0 in
+  let site_count = ref 0 in
+  let kind_tbl = Hashtbl.create 8 in
+  List.iter
+    (fun w ->
+      let sites = enumerate w in
+      let sites, d =
+        match config.max_mutants with
+        | Some n when List.length sites > n ->
+            (cap_round_robin n sites, List.length sites - n)
+        | _ -> (sites, 0)
+      in
+      dropped := !dropped + d;
+      site_count := !site_count + List.length sites;
+      List.iter
+        (fun f ->
+          let k = Fault.kind_name f in
+          Hashtbl.replace kind_tbl k (1 + (try Hashtbl.find kind_tbl k with Not_found -> 0)))
+        sites;
+      let golden = golden_drained w in
+      let base_cycles = unfaulted_cycles w in
+      let budget =
+        match config.budget with Some b -> b | None -> (4 * base_cycles) + 2000
+      in
+      let watchdog =
+        match config.watchdog with Some n -> n | None -> Stdlib.max 200 (budget / 20)
+      in
+      List.iter
+        (fun strat ->
+          List.iter
+            (fun fault ->
+              let r = run_mutant ~budget ~watchdog ~golden w strat fault in
+              (match progress with Some f -> f r | None -> ());
+              all_runs := r :: !all_runs)
+            sites)
+        config.strategies)
+    workloads;
+  let runs = List.rev !all_runs in
+  let kind_counts =
+    List.filter_map
+      (fun k ->
+        match Hashtbl.find_opt kind_tbl k with Some n -> Some (k, n) | None -> None)
+      [ "narrow-compare"; "read-for-write"; "stuck-stream-bit"; "drop-stream-write";
+        "loop-off-by-one" ]
+  in
+  {
+    workloads = List.map (fun w -> w.wname) workloads;
+    site_count = !site_count;
+    dropped = !dropped;
+    kind_counts;
+    runs;
+    summaries = summarize config.strategies runs;
+  }
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let detected_of_summary s = s.by_assertion + s.by_hang
+
+(** Per fault kind, detections per strategy (the coverage matrix). *)
+let kind_matrix (r : report) =
+  List.map
+    (fun (kind, sites) ->
+      let per_strategy =
+        List.map
+          (fun s ->
+            let det =
+              List.length
+                (List.filter
+                   (fun (run : run) ->
+                     run.strategy = s.strategy
+                     && Fault.kind_name run.fault = kind
+                     && detected run.outcome)
+                   r.runs)
+            in
+            (s.strategy, det))
+          r.summaries
+      in
+      (kind, sites, per_strategy))
+    r.kind_counts
+
+let render (r : report) : string =
+  let b = Buffer.create 4096 in
+  let p fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  p "=== fault-injection campaign: %s ===" (String.concat ", " r.workloads);
+  p "sites: %d mutants per strategy (%s)%s" r.site_count
+    (String.concat ", "
+       (List.map (fun (k, n) -> Printf.sprintf "%s %d" k n) r.kind_counts))
+    (if r.dropped > 0 then Printf.sprintf "; %d sites dropped by cap" r.dropped else "");
+  p "";
+  p "%-14s %7s %7s %6s %7s %7s %7s %9s %14s" "strategy" "mutants" "assert" "hang"
+    "silent" "benign" "budget" "detected" "mean-det-cyc";
+  List.iter
+    (fun s ->
+      p "%-14s %7d %7d %6d %7d %7d %7d %9d %14s" s.strategy s.mutants s.by_assertion
+        s.by_hang s.silent s.benign s.over_budget (detected_of_summary s)
+        (match s.mean_detection_cycles with
+        | Some m -> Printf.sprintf "%.1f" m
+        | None -> "-"))
+    r.summaries;
+  p "";
+  p "assertion coverage by fault kind (detected/sites):";
+  let strategies = List.map (fun s -> s.strategy) r.summaries in
+  p "%-18s %s" "kind"
+    (String.concat " " (List.map (Printf.sprintf "%12s") strategies));
+  List.iter
+    (fun (kind, sites, per_strategy) ->
+      p "%-18s %s" kind
+        (String.concat " "
+           (List.map
+              (fun (_, det) -> Printf.sprintf "%12s" (Printf.sprintf "%d/%d" det sites))
+              per_strategy)))
+    (kind_matrix r);
+  Buffer.contents b
+
+(* Hand-rolled JSON (no JSON library in the dependency set). *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render_json (r : report) : string =
+  let b = Buffer.create 8192 in
+  let str s = Printf.sprintf "\"%s\"" (json_escape s) in
+  let obj fields = "{" ^ String.concat ", " fields ^ "}" in
+  let fld k v = Printf.sprintf "%s: %s" (str k) v in
+  let arr items = "[" ^ String.concat ", " items ^ "]" in
+  Buffer.add_string b
+    (obj
+       [
+         fld "workloads" (arr (List.map str r.workloads));
+         fld "sites" (string_of_int r.site_count);
+         fld "dropped" (string_of_int r.dropped);
+         fld "kinds"
+           (obj (List.map (fun (k, n) -> fld k (string_of_int n)) r.kind_counts));
+         fld "strategies"
+           (arr
+              (List.map
+                 (fun s ->
+                   obj
+                     [
+                       fld "strategy" (str s.strategy);
+                       fld "mutants" (string_of_int s.mutants);
+                       fld "detected_by_assertion" (string_of_int s.by_assertion);
+                       fld "hang_detected" (string_of_int s.by_hang);
+                       fld "silent_corruption" (string_of_int s.silent);
+                       fld "benign" (string_of_int s.benign);
+                       fld "budget_exceeded" (string_of_int s.over_budget);
+                       fld "detected" (string_of_int (detected_of_summary s));
+                       fld "mean_detection_cycles"
+                         (match s.mean_detection_cycles with
+                         | Some m -> Printf.sprintf "%.1f" m
+                         | None -> "null");
+                     ])
+                 r.summaries));
+         fld "runs"
+           (arr
+              (List.map
+                 (fun run ->
+                   obj
+                     [
+                       fld "workload" (str run.workload);
+                       fld "strategy" (str run.strategy);
+                       fld "fault" (str (Fault.describe run.fault));
+                       fld "kind" (str (Fault.kind_name run.fault));
+                       fld "class" (str (class_name run.outcome));
+                       fld "detail" (str run.detail);
+                       fld "cycles" (string_of_int run.cycles);
+                       fld "retried" (if run.retried then "true" else "false");
+                     ])
+                 r.runs));
+       ]);
+  Buffer.contents b

@@ -1,0 +1,109 @@
+(** Fault-injection campaign engine (paper Section 5).
+
+    Enumerate every candidate fault site of a lowered program
+    ({!Faults.Fault.sites}), compile one mutant per site under each
+    assertion-synthesis strategy, run it in the cycle-accurate simulator
+    under a per-mutant cycle budget with the live-lock watchdog armed,
+    and classify the outcome against the software-simulation golden
+    output.  The aggregated table is an assertion-coverage report. *)
+
+(** One application plus the stimulus needed to run it. *)
+type workload = {
+  wname : string;
+  program : Front.Ast.program;
+  options : Core.Driver.sim_options;
+}
+
+(** Build a workload from InCA-C source text. *)
+val workload :
+  name:string ->
+  ?file:string ->
+  feeds:(string * int64 list) list ->
+  drains:string list ->
+  params:(string * (string * int64) list) list ->
+  string ->
+  workload
+
+(** The four bundled case-study applications (FIR, DCT, Triple-DES,
+    edge detection), sized so a full sweep stays interactive. *)
+val bundled : unit -> workload list
+
+type config = {
+  strategies : (string * Core.Driver.strategy) list;
+  budget : int option;
+      (** per-mutant cycle budget; [None] = 4x the unfaulted baseline
+          cycle count of the workload, plus slack *)
+  watchdog : int option;
+      (** live-lock watchdog window; [None] = budget / 20, floor 200 *)
+  max_mutants : int option;
+      (** per-workload site cap, taken round-robin across fault kinds;
+          the report records how many sites were dropped *)
+}
+
+(** baseline / unoptimized / parallelized / optimized. *)
+val default_strategies : (string * Core.Driver.strategy) list
+
+val default_config : config
+
+type outcome_class =
+  | Detected_by_assertion  (** a synthesized assertion aborted the run *)
+  | Hang_detected  (** deadlock detector or live-lock watchdog fired *)
+  | Silent_corruption
+      (** the run finished with wrong output, or crashed the toolchain *)
+  | Benign  (** finished with output equal to the golden run *)
+  | Budget_exceeded  (** still running at the cycle budget *)
+
+val class_name : outcome_class -> string
+
+(** Detection means the platform raised a flag the engineer can act on:
+    an assertion notification or a hang/live-lock report. *)
+val detected : outcome_class -> bool
+
+type run = {
+  workload : string;
+  strategy : string;
+  fault : Faults.Fault.t;
+  outcome : outcome_class;
+  detail : string;  (** assertion message, spin site, or output diff *)
+  cycles : int;  (** cycles consumed (cycles to detection when detected) *)
+  retried : bool;  (** first attempt crashed; this is the retry's result *)
+}
+
+type strategy_summary = {
+  strategy : string;
+  mutants : int;
+  by_assertion : int;
+  by_hang : int;
+  silent : int;
+  benign : int;
+  over_budget : int;
+  mean_detection_cycles : float option;
+}
+
+type report = {
+  workloads : string list;
+  site_count : int;  (** mutants swept per strategy (after any cap) *)
+  dropped : int;  (** sites dropped by [max_mutants] *)
+  kind_counts : (string * int) list;  (** sites per fault kind *)
+  runs : run list;
+  summaries : strategy_summary list;
+}
+
+(** Fault sites of a workload's baseline-compiled IR. *)
+val enumerate : workload -> Faults.Fault.t list
+
+(** Sweep every enumerated fault site of every workload under every
+    strategy.  [progress] (if given) is called once per completed mutant
+    run — hook for CLI progress output. *)
+val run : ?config:config -> ?progress:(run -> unit) -> workload list -> report
+
+val detected_of_summary : strategy_summary -> int
+
+(** Per fault kind: (kind, sites, detections per strategy). *)
+val kind_matrix : report -> (string * int * (string * int) list) list
+
+(** The human-readable coverage table. *)
+val render : report -> string
+
+(** The same report as a JSON document (machine-readable). *)
+val render_json : report -> string

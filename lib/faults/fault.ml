@@ -23,6 +23,38 @@ type selector = All | Nth of int  (** which matching site to corrupt (0-based) *
 type t =
   | Narrow_compare of { fproc : string; select : selector; mask_bits : int }
   | Read_for_write of { fproc : string; select : selector }
+  | Stuck_stream_bit of { fproc : string; stream : string; select : selector; bit : int; stuck_to : bool }
+  | Drop_stream_write of { fproc : string; stream : string; select : selector }
+  | Loop_bound_off_by_one of { fproc : string; select : selector; delta : int64 }
+
+(** Human-readable fault-kind name (campaign report rows). *)
+let kind_name = function
+  | Narrow_compare _ -> "narrow-compare"
+  | Read_for_write _ -> "read-for-write"
+  | Stuck_stream_bit _ -> "stuck-stream-bit"
+  | Drop_stream_write _ -> "drop-stream-write"
+  | Loop_bound_off_by_one _ -> "loop-off-by-one"
+
+let describe = function
+  | Narrow_compare { fproc; select; mask_bits } ->
+      Printf.sprintf "narrow-compare(%s%s, %d bits)" fproc
+        (match select with All -> "" | Nth k -> Printf.sprintf "#%d" k)
+        mask_bits
+  | Read_for_write { fproc; select } ->
+      Printf.sprintf "read-for-write(%s%s)" fproc
+        (match select with All -> "" | Nth k -> Printf.sprintf "#%d" k)
+  | Stuck_stream_bit { fproc; stream; select; bit; stuck_to } ->
+      Printf.sprintf "stuck-bit(%s.%s%s, bit %d = %d)" fproc stream
+        (match select with All -> "" | Nth k -> Printf.sprintf "#%d" k)
+        bit
+        (if stuck_to then 1 else 0)
+  | Drop_stream_write { fproc; stream; select } ->
+      Printf.sprintf "drop-write(%s.%s%s)" fproc stream
+        (match select with All -> "" | Nth k -> Printf.sprintf "#%d" k)
+  | Loop_bound_off_by_one { fproc; select; delta } ->
+      Printf.sprintf "loop-off-by-one(%s%s, %+Ld)" fproc
+        (match select with All -> "" | Nth k -> Printf.sprintf "#%d" k)
+        delta
 
 (* Rewrite instruction streams with a stateful site counter and a fresh
    register allocator. *)
@@ -100,6 +132,15 @@ let narrow_compare_proc ~select ~mask_bits (p : Ir.proc_ir) : Ir.proc_ir =
       in
       (rw, f))
 
+(* Stores into replica memories (Section 3.2 mirrors) are assertion
+   plumbing added by the optimizer, not application stores: skip them
+   without counting so [Nth k] names the same application store under
+   every synthesis strategy. *)
+let is_app_store p mem =
+  match Ir.find_mem p mem with
+  | Some m -> m.Ir.mirror_of = None
+  | None -> true
+
 let read_for_write_proc ~select (p : Ir.proc_ir) : Ir.proc_ir =
   apply_to_proc p (fun rw ->
       let rw = { rw with select } in
@@ -107,7 +148,7 @@ let read_for_write_proc ~select (p : Ir.proc_ir) : Ir.proc_ir =
         List.map
           (fun (g : Ir.ginst) ->
             match g.Ir.i with
-            | Ir.Store { mem; addr; v = _ } when selected rw ->
+            | Ir.Store { mem; addr; v = _ } when is_app_store p mem && selected rw ->
                 let dst =
                   let elem =
                     match Ir.find_mem p mem with Some m -> m.Ir.elem | None -> int32_t
@@ -119,6 +160,97 @@ let read_for_write_proc ~select (p : Ir.proc_ir) : Ir.proc_ir =
           insts
       in
       (rw, f))
+
+(* A stream-write datapath bit wired to a constant: the written value
+   passes through an OR (stuck at 1) or AND (stuck at 0) with a one-hot
+   mask — the classic routing/synthesis fault a software model of the
+   same C never exhibits. *)
+let stuck_stream_bit_proc ~stream ~select ~bit ~stuck_to ~elem (p : Ir.proc_ir) :
+    Ir.proc_ir =
+  apply_to_proc p (fun rw ->
+      let rw = { rw with select } in
+      let one_hot = Int64.shift_left 1L bit in
+      let f insts =
+        List.concat_map
+          (fun (g : Ir.ginst) ->
+            match g.Ir.i with
+            | Ir.Swrite { stream = s; v } when s = stream && selected rw ->
+                let tv = fresh rw elem in
+                let op, mask =
+                  if stuck_to then (Bor, one_hot) else (Band, Int64.lognot one_hot)
+                in
+                [
+                  { g with Ir.i = Ir.Bin { dst = tv; op; a = v; b = Ir.Imm mask; ty = elem } };
+                  { g with Ir.i = Ir.Swrite { stream = s; v = Ir.Reg tv } };
+                ]
+            | _ -> [ g ])
+          insts
+      in
+      (rw, f))
+
+(* A dropped stream write: the FIFO write-enable never asserts (the
+   handshake still advances), modelled by guarding the push on a fresh
+   register that is never written and therefore stays 0. *)
+let drop_stream_write_proc ~stream ~select (p : Ir.proc_ir) : Ir.proc_ir =
+  apply_to_proc p (fun rw ->
+      let rw = { rw with select } in
+      let f insts =
+        List.map
+          (fun (g : Ir.ginst) ->
+            match g.Ir.i with
+            | Ir.Swrite { stream = s; v = _ } when s = stream && selected rw ->
+                let never = fresh rw Tbool in
+                { g with Ir.guard = Some (never, true) }
+            | _ -> g)
+          insts
+      in
+      (rw, f))
+
+(* Pre-order traversal over loop nodes, rewriting each loop's condition
+   instructions; shared counting order with {!sites} so [Nth k] names
+   the same loop in both. *)
+let rec map_loop_conds f (body : Ir.body) : Ir.body =
+  List.map
+    (function
+      | Ir.Straight _ as it -> it
+      | Ir.If_else r ->
+          Ir.If_else
+            { r with then_ = map_loop_conds f r.then_; else_ = map_loop_conds f r.else_ }
+      | Ir.Loop r ->
+          let cond_insts = f r.cond r.cond_insts in
+          Ir.Loop { r with cond_insts; body = map_loop_conds f r.body })
+    body
+
+(* A mistranslated loop bound: the trip-count comparison sees a bound
+   off by [delta] (one extra or one missing iteration in hardware). *)
+let loop_bound_off_by_one_proc ~select ~delta (p : Ir.proc_ir) : Ir.proc_ir =
+  let next_reg = List.fold_left (fun acc (r, _) -> Stdlib.max acc (r + 1)) 0 p.Ir.regs in
+  let rw = { counter = 0; next_reg; new_regs = []; select } in
+  let f cond cond_insts =
+    if not (selected rw) then cond_insts
+    else
+      let rewritten = ref false in
+      List.concat_map
+        (fun (g : Ir.ginst) ->
+          match g.Ir.i with
+          | Ir.Bin { dst; op = (Lt | Le | Gt | Ge) as op; a; b; ty }
+            when (not !rewritten) && dst = cond ->
+              rewritten := true;
+              let pre, b' =
+                match b with
+                | Ir.Imm n -> ([], Ir.Imm (Int64.add n delta))
+                | Ir.Reg r ->
+                    let tb = fresh rw ty in
+                    ( [ { g with
+                          Ir.i = Ir.Bin { dst = tb; op = Add; a = Ir.Reg r; b = Ir.Imm delta; ty } } ],
+                      Ir.Reg tb )
+              in
+              pre @ [ { g with Ir.i = Ir.Bin { dst; op; a; b = b'; ty } } ]
+          | _ -> [ g ])
+        cond_insts
+  in
+  let body = map_loop_conds f p.Ir.body in
+  { p with Ir.body; regs = p.Ir.regs @ List.rev rw.new_regs }
 
 (** Apply one fault to a whole program IR. *)
 let apply (fault : t) (prog : Ir.program_ir) : Ir.program_ir =
@@ -133,5 +265,125 @@ let apply (fault : t) (prog : Ir.program_ir) : Ir.program_ir =
   | Narrow_compare { fproc; select; mask_bits } ->
       on_proc fproc (narrow_compare_proc ~select ~mask_bits)
   | Read_for_write { fproc; select } -> on_proc fproc (read_for_write_proc ~select)
+  | Stuck_stream_bit { fproc; stream; select; bit; stuck_to } ->
+      let elem =
+        match List.find_opt (fun (d : stream_decl) -> d.sname = stream) prog.Ir.streams with
+        | Some d -> d.elem
+        | None -> int32_t
+      in
+      on_proc fproc (stuck_stream_bit_proc ~stream ~select ~bit ~stuck_to ~elem)
+  | Drop_stream_write { fproc; stream; select } ->
+      on_proc fproc (drop_stream_write_proc ~stream ~select)
+  | Loop_bound_off_by_one { fproc; select; delta } ->
+      on_proc fproc (loop_bound_off_by_one_proc ~select ~delta)
 
 let apply_all faults prog = List.fold_left (fun p f -> apply f p) prog faults
+
+(* Counting helpers reuse the exact rewrite traversals, so a site index
+   found here is the same [Nth k] the rewriters select. *)
+let count_matches (p : Ir.proc_ir) matches =
+  let n = ref 0 in
+  let f insts =
+    List.iter (fun (g : Ir.ginst) -> if matches g then incr n) insts;
+    insts
+  in
+  ignore (map_segments f p.Ir.body);
+  !n
+
+let rewriteable_loop_indices (p : Ir.proc_ir) =
+  let acc = ref [] and n = ref 0 in
+  let f cond cond_insts =
+    let k = !n in
+    incr n;
+    if
+      List.exists
+        (fun (g : Ir.ginst) ->
+          match g.Ir.i with
+          | Ir.Bin { dst; op = Lt | Le | Gt | Ge; _ } -> dst = cond
+          | _ -> false)
+        cond_insts
+    then acc := k :: !acc;
+    cond_insts
+  in
+  ignore (map_loop_conds f p.Ir.body);
+  List.rev !acc
+
+let range n = List.init n (fun k -> k)
+
+(** Enumerate every candidate fault site of a lowered program as a list
+    of concrete single-site faults ([Nth]-selected), one per matching
+    instruction or loop, across all hardware processes.
+
+    Enumerate against the {e baseline}-strategy IR: the counting rules
+    above (application stores only, per-stream anchoring, loops-only
+    pre-order) keep each ordinal naming the same source construct under
+    the instrumented strategies, so one site list drives the whole
+    campaign. *)
+let sites (prog : Ir.program_ir) : t list =
+  let stream_width s =
+    match List.find_opt (fun (d : stream_decl) -> d.sname = s) prog.Ir.streams with
+    | Some { elem = Tint (_, w); _ } -> bits_of_width w
+    | Some { elem = Tbool; _ } -> 1
+    | Some _ | None -> 32
+  in
+  List.concat_map
+    (fun (p : Ir.proc_ir) ->
+      if p.Ir.kind <> Hardware then []
+      else
+        let fproc = p.Ir.name in
+        let compares =
+          count_matches p (fun g -> is_wide_compare g.Ir.i)
+        in
+        let app_stores =
+          count_matches p (fun g ->
+              match g.Ir.i with
+              | Ir.Store { mem; _ } -> is_app_store p mem
+              | _ -> false)
+        in
+        let narrow =
+          List.map
+            (fun k -> Narrow_compare { fproc; select = Nth k; mask_bits = 5 })
+            (range compares)
+        in
+        let rfw =
+          List.map (fun k -> Read_for_write { fproc; select = Nth k }) (range app_stores)
+        in
+        let stream_faults =
+          List.concat_map
+            (fun (d : stream_decl) ->
+              let writes =
+                count_matches p (fun g ->
+                    match g.Ir.i with
+                    | Ir.Swrite { stream; _ } -> stream = d.sname
+                    | _ -> false)
+              in
+              List.concat_map
+                (fun k ->
+                  (* a mid-range bit stuck at 1 (corrupts any plausible
+                     payload) and a low bit stuck at 0: the two stuck-at
+                     polarities fail differently downstream *)
+                  let bit = Stdlib.max 1 (stream_width d.sname / 2) - 1 in
+                  [
+                    Stuck_stream_bit
+                      { fproc; stream = d.sname; select = Nth k; bit; stuck_to = true };
+                    Stuck_stream_bit
+                      { fproc; stream = d.sname; select = Nth k; bit = 0; stuck_to = false };
+                    Drop_stream_write { fproc; stream = d.sname; select = Nth k };
+                  ])
+                (range writes))
+            prog.Ir.streams
+        in
+        let loops =
+          List.concat_map
+            (fun k ->
+              (* one extra and one missing iteration are distinct bugs:
+                 the former over-reads (often a hang), the latter
+                 silently truncates *)
+              [
+                Loop_bound_off_by_one { fproc; select = Nth k; delta = 1L };
+                Loop_bound_off_by_one { fproc; select = Nth k; delta = -1L };
+              ])
+            (rewriteable_loop_indices p)
+        in
+        narrow @ rfw @ stream_faults @ loops)
+    prog.Ir.procs

@@ -14,9 +14,39 @@ type t =
           comparison, so 4294967286 > 4294967296 becomes 22 > 0 *)
   | Read_for_write of { fproc : string; select : selector }
       (** the Triple-DES hang: a block-RAM store translated as a read *)
+  | Stuck_stream_bit of {
+      fproc : string;
+      stream : string;
+      select : selector;
+      bit : int;
+      stuck_to : bool;
+    }
+      (** a stream-write datapath bit wired to a constant: the value
+          written to [stream] has [bit] forced to [stuck_to] *)
+  | Drop_stream_write of { fproc : string; stream : string; select : selector }
+      (** the FIFO write-enable never asserts: the selected write to
+          [stream] is silently dropped while the FSM still advances *)
+  | Loop_bound_off_by_one of { fproc : string; select : selector; delta : int64 }
+      (** a mistranslated trip count: the selected loop's bound
+          comparison sees the bound shifted by [delta] *)
+
+(** Short kind name ("narrow-compare", "read-for-write", …) for campaign
+    report rows. *)
+val kind_name : t -> string
+
+(** One-line human-readable description of a concrete fault. *)
+val describe : t -> string
 
 (** Apply one fault to a program IR (processes other than the target are
     untouched). *)
 val apply : t -> Mir.Ir.program_ir -> Mir.Ir.program_ir
 
 val apply_all : t list -> Mir.Ir.program_ir -> Mir.Ir.program_ir
+
+(** Enumerate every candidate fault site of a lowered program as
+    concrete single-site ([Nth]-selected) faults: every wide comparison,
+    every application store, every stream write (as both a stuck bit and
+    a dropped write), and every loop with a rewriteable bound, across
+    all hardware processes.  Enumerate on the baseline-strategy IR — the
+    ordinals are stable under the instrumented strategies. *)
+val sites : Mir.Ir.program_ir -> t list

@@ -63,11 +63,20 @@ type config = {
       (** cycles between host handler runs: 1 models an Impulse-C
           streaming bridge, larger values model a Carte-C style DMA
           mailbox the CPU polls (paper Section 4.3) *)
+  watchdog : int option;
+      (** live-lock watchdog: when [Some n], the run is stopped with
+          {!Livelock} after [n] consecutive cycles without forward
+          progress — no stream push/pop, no tap event, no register or
+          memory value actually changing, no process halting.  A
+          spinning loop (the Triple-DES hang of Section 5.1) keeps the
+          FSM busy, so it never trips the no-activity {!Hang} detector
+          and would otherwise burn the whole cycle budget. *)
 }
 
 let default_config =
   { max_cycles = 1_000_000; feeds = []; drains = []; handlers = []; hw_models = [];
-    params = []; timing_checks = []; trace = false; host_poll_interval = 1 }
+    params = []; timing_checks = []; trace = false; host_poll_interval = 1;
+    watchdog = None }
 
 (* --- Results ---------------------------------------------------------------- *)
 
@@ -83,6 +92,11 @@ type pipe_stats = {
 type outcome =
   | Finished
   | Hang of (string * int) list  (** blocked processes and their state ids *)
+  | Livelock of (string * int) list
+      (** watchdog verdict: the named processes kept cycling through
+          these states with no forward progress for the configured
+          window — a spin that {!Out_of_cycles} would only surface
+          after the whole budget *)
   | Aborted of string
   | Out_of_cycles
   | Sim_error of string
@@ -192,6 +206,12 @@ type t = {
   checkers : checker list;
   mutable cycle : int;
   mutable activity : bool;
+  mutable progressed : bool;
+      (** forward progress this cycle: some architectural value actually
+          changed (register, FIFO contents, tap event, process halting).
+          Distinct from [activity], which a spinning FSM also produces;
+          the watchdog consumes the difference. *)
+  mutable last_progress : int;  (** cycle of the last forward progress *)
   mutable tap_count : int;
   (* failure words awaiting their channel (after checker latency) *)
   mutable pending_failures : (int * string * int64) list;  (** due cycle, channel, word *)
@@ -290,6 +310,8 @@ let create ?(cfg = default_config) ~(streams : stream_decl list)
     checkers;
     cycle = 0;
     activity = false;
+    progressed = false;
+    last_progress = 0;
     tap_count = 0;
     pending_failures = [];
     host_log = [];
@@ -342,10 +364,19 @@ let deliver_tap t (id : int) (values : int64 array) =
 
 (* --- Sequential state execution ---------------------------------------------- *)
 
+(* Returns true when some register actually changed value — the forward
+   progress signal the live-lock watchdog relies on. *)
 let commit_overlay (p : pr) overlay =
+  let changed = ref false in
   Hashtbl.iter
-    (fun r v -> p.regs.(r) <- Value.wrap_ty p.reg_ty.(r) v)
-    overlay
+    (fun r v ->
+      let v' = Value.wrap_ty p.reg_ty.(r) v in
+      if p.regs.(r) <> v' then begin
+        p.regs.(r) <- v';
+        changed := true
+      end)
+    overlay;
+  !changed
 
 (* Returns true if the process advanced (activity). *)
 let step_seq t (p : pr) =
@@ -399,6 +430,7 @@ let step_seq t (p : pr) =
         true
     | Fsmd.Done ->
         p.mode <- Halted;
+        t.progressed <- true;
         true
   in
   (* taps may share a stream handshake state (they are pure latches).
@@ -438,8 +470,9 @@ let step_seq t (p : pr) =
           let f = fifo t stream in
           if Fifo.can_pop f then begin
             write dst (Fifo.pop f);
+            t.progressed <- true;
             run_taps ~phase:`Success;
-            commit_overlay p overlay;
+            if commit_overlay p overlay then t.progressed <- true;
             ignore (advance ());
             note_advanced ();
             true
@@ -453,10 +486,12 @@ let step_seq t (p : pr) =
       | Ir.Swrite { stream; v } ->
           let f = fifo t stream in
           if Fifo.can_push f then begin
-            if guard_passes ~read g then
+            if guard_passes ~read g then begin
               Fifo.push f (wrap_stream t stream (eval_operand ~read v));
+              t.progressed <- true
+            end;
             run_taps ~phase:`Success;
-            commit_overlay p overlay;
+            if commit_overlay p overlay then t.progressed <- true;
             ignore (advance ());
             note_advanced ();
             true
@@ -474,7 +509,15 @@ let step_seq t (p : pr) =
             exec_plain ~read ~write ~write_delayed ~bram ~tap:(deliver_tap t)
               ~models:t.cfg.hw_models g)
         st.Fsmd.ops;
-      commit_overlay p overlay;
+      (* memory writes bypass the overlay; count them as progress rather
+         than comparing staged BRAM contents *)
+      if
+        List.exists
+          (fun (g : Ir.ginst) ->
+            match g.Ir.i with Ir.Store _ -> guard_passes ~read g | _ -> false)
+          st.Fsmd.ops
+      then t.progressed <- true;
+      if commit_overlay p overlay then t.progressed <- true;
       ignore (advance ());
       true
 
@@ -482,7 +525,7 @@ let step_seq t (p : pr) =
 
 (* Evaluate issue-time instructions (cond or step) directly on the
    architectural registers: they are pure ALU by construction. *)
-let eval_issue_insts (p : pr) (insts : Ir.ginst list) =
+let eval_issue_insts t (p : pr) (insts : Ir.ginst list) =
   let overlay = Hashtbl.create 8 in
   let read r = match Hashtbl.find_opt overlay r with Some v -> v | None -> p.regs.(r) in
   let write r v = Hashtbl.replace overlay r v in
@@ -495,7 +538,7 @@ let eval_issue_insts (p : pr) (insts : Ir.ginst list) =
           ~tap:(fun _ _ -> ())
           ~models:[] g)
     insts;
-  commit_overlay p overlay;
+  if commit_overlay p overlay then t.progressed <- true;
   read
 
 (* Stream requirements of one iteration at its current cycle (guard-aware). *)
@@ -552,6 +595,7 @@ let step_pipe t (p : pr) (rt : pipe_rt) =
         in
         let write r v =
           let v' = Value.wrap_ty p.reg_ty.(r) v in
+          if read r <> v' then t.progressed <- true;
           Hashtbl.replace it.ctx r v';
           if it.cyc <= ii - 1 then p.regs.(r) <- v'
         in
@@ -565,10 +609,13 @@ let step_pipe t (p : pr) (rt : pipe_rt) =
           (fun (g : Ir.ginst) ->
             if guard_passes ~read g then
               match g.Ir.i with
-              | Ir.Sread { dst; stream } -> write dst (Fifo.pop (fifo t stream))
+              | Ir.Sread { dst; stream } ->
+                  write dst (Fifo.pop (fifo t stream));
+                  t.progressed <- true
               | Ir.Swrite { stream; v } ->
                   Fifo.push (fifo t stream)
-                    (wrap_stream t stream (eval_operand ~read v))
+                    (wrap_stream t stream (eval_operand ~read v));
+                  t.progressed <- true
               | _ ->
                   exec_plain ~read ~write ~write_delayed ~bram ~tap:(deliver_tap t)
                     ~models:t.cfg.hw_models g)
@@ -586,7 +633,7 @@ let step_pipe t (p : pr) (rt : pipe_rt) =
     (* 4. issue a new iteration when the slot opens *)
     if rt.countdown > 0 then rt.countdown <- rt.countdown - 1;
     if (not rt.done_issuing) && rt.countdown = 0 then begin
-      let read = eval_issue_insts p pipe.Fsmd.cond_insts in
+      let read = eval_issue_insts t p pipe.Fsmd.cond_insts in
       if Value.to_bool (read pipe.Fsmd.cond) then begin
         let it =
           {
@@ -599,7 +646,7 @@ let step_pipe t (p : pr) (rt : pipe_rt) =
         in
         rt.inflight <- rt.inflight @ [ it ];
         rt.issue_times <- t.cycle :: rt.issue_times;
-        let (_ : Ir.reg -> int64) = eval_issue_insts p pipe.Fsmd.step_insts in
+        let (_ : Ir.reg -> int64) = eval_issue_insts t p pipe.Fsmd.step_insts in
         rt.countdown <- ii
       end
       else rt.done_issuing <- true
@@ -631,7 +678,8 @@ let step_pipe t (p : pr) (rt : pipe_rt) =
             latency_measured;
           };
       p.mode <- Seq;
-      p.state <- pipe.Fsmd.exit_to
+      p.state <- pipe.Fsmd.exit_to;
+      t.progressed <- true
     end;
     true
   end
@@ -657,6 +705,8 @@ let run (t : t) : result =
        if t.cycle >= t.cfg.max_cycles then outcome := Some Out_of_cycles
        else begin
          t.activity <- false;
+         t.progressed <- false;
+         let taps_before = t.tap_count in
          (* 1. testbench feeds: at most one value per stream per cycle *)
          Hashtbl.iter
            (fun s vs ->
@@ -667,7 +717,8 @@ let run (t : t) : result =
                  if Fifo.can_push f then begin
                    Fifo.push f (wrap_stream t s v);
                    vs := rest;
-                   t.activity <- true
+                   t.activity <- true;
+                   t.progressed <- true
                  end)
            t.feeds_left;
          (* 2. hardware processes *)
@@ -678,7 +729,9 @@ let run (t : t) : result =
                List.filter
                  (fun (r, v, due) ->
                    if due <= t.cycle then begin
-                     p.regs.(r) <- Value.wrap_ty p.reg_ty.(r) v;
+                     let v' = Value.wrap_ty p.reg_ty.(r) v in
+                     if p.regs.(r) <> v' then t.progressed <- true;
+                     p.regs.(r) <- v';
                      false
                    end
                    else true)
@@ -698,7 +751,8 @@ let run (t : t) : result =
              let f = fifo t channel in
              if Fifo.can_push f then begin
                Fifo.push f word;
-               t.activity <- true
+               t.activity <- true;
+               t.progressed <- true
              end
              else (* channel busy: retry next cycle (round-robin backpressure) *)
                t.pending_failures <- (t.cycle + 1, channel, word) :: t.pending_failures)
@@ -742,6 +796,7 @@ let run (t : t) : result =
                let f = fifo t s in
                while Fifo.can_pop f && !outcome = None do
                  t.activity <- true;
+                 t.progressed <- true;
                  match handler (Fifo.pop f) with
                  | `Ok -> ()
                  | `Abort msg ->
@@ -754,6 +809,7 @@ let run (t : t) : result =
              let f = fifo t s in
              while Fifo.can_pop f do
                t.activity <- true;
+               t.progressed <- true;
                acc := Fifo.pop f :: !acc
              done)
            t.drained;
@@ -773,6 +829,19 @@ let run (t : t) : result =
              (* outstanding timing assertions keep the clock running so a
                 hang is reported as the timing failure it is *)
              outcome := Some (Hang (blocked_info t))
+           else begin
+             (* live-lock watchdog: the FSMs are busy (activity) but no
+                architectural value has changed for a whole window — a
+                spin that would otherwise only surface as Out_of_cycles
+                after the full budget.  Outstanding deadlines keep it at
+                bay so timing assertions report first. *)
+             if t.progressed || t.tap_count > taps_before then
+               t.last_progress <- t.cycle;
+             match t.cfg.watchdog with
+             | Some n when t.deadlines = [] && t.cycle - t.last_progress >= n ->
+                 outcome := Some (Livelock (blocked_info t))
+             | _ -> ()
+           end
          end;
          t.cycle <- t.cycle + 1
        end

@@ -55,6 +55,12 @@ type config = {
       (** cycles between host handler runs: 1 models an Impulse-C
           streaming bridge; larger values model a Carte-C style DMA
           mailbox the CPU polls (paper Section 4.3) *)
+  watchdog : int option;
+      (** live-lock watchdog: when [Some n], stop with {!Livelock} after
+          [n] consecutive cycles of no forward progress — no stream
+          push/pop, no tap event, no register/memory value change, no
+          process halting.  Catches spinning loops (the Triple-DES hang)
+          in thousands rather than millions of cycles. *)
 }
 
 val default_config : config
@@ -71,6 +77,9 @@ type pipe_stats = {
 type outcome =
   | Finished
   | Hang of (string * int) list  (** blocked processes and their state ids *)
+  | Livelock of (string * int) list
+      (** watchdog verdict: these processes kept cycling with no forward
+          progress for the configured window (spinning process, state) *)
   | Aborted of string
   | Out_of_cycles
   | Sim_error of string

@@ -1,0 +1,530 @@
+(* Fault-injection tests: selector semantics of Fault.apply, each fault
+   kind round-tripped through the cycle-accurate simulator, the
+   live-lock watchdog, the campaign engine, and the per-stream routing
+   of the generated notification function. *)
+
+open Front
+module Ir = Mir.Ir
+module Engine = Sim.Engine
+module Driver = Core.Driver
+module Fault = Faults.Fault
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let elab = Typecheck.parse_and_check ~file:"test.c"
+
+let has_sub ~sub s =
+  let n = String.length sub and l = String.length s in
+  let rec go i = i + n <= l && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* A kernel with two stores and two stream writes, so the Nth selector
+   has distinguishable sites to pick between. *)
+let two_site_source =
+  {|
+stream int32 data_in depth 16;
+stream int32 data_out depth 16;
+
+process hw worker(int32 n) {
+  int32 buf[4];
+  int32 i;
+  buf[0] = 11;
+  buf[1] = 22;
+  for (i = 0; i < n; i = i + 1) {
+    int32 x;
+    x = stream_read(data_in);
+    stream_write(data_out, x + buf[0]);
+    stream_write(data_out, x + buf[1]);
+  }
+}
+|}
+
+let run ?(faults = []) ?(strategy = Driver.baseline) ?(watchdog = None)
+    ?(max_cycles = 20_000) ~feeds ~drains ~params source =
+  let prog = elab source in
+  let c = Driver.compile ~strategy ~faults prog in
+  Driver.simulate
+    ~options:
+      {
+        Driver.default_sim_options with
+        Driver.feeds;
+        drains;
+        params;
+        max_cycles;
+        watchdog;
+      }
+    c
+
+let worker_opts =
+  ( [ ("data_in", [ 1L; 2L; 3L ]) ],
+    [ "data_out" ],
+    [ ("worker", [ ("n", 3L) ]) ] )
+
+let run_worker ?faults ?watchdog () =
+  let feeds, drains, params = worker_opts in
+  run ?faults ?watchdog ~feeds ~drains ~params two_site_source
+
+let drained r = List.assoc "data_out" r.Driver.engine.Engine.drained
+
+(* --- selector semantics ------------------------------------------------------- *)
+
+let test_selector_all_hits_every_site () =
+  (* dropping ALL writes to data_out leaves nothing to drain *)
+  let r =
+    run_worker
+      ~faults:
+        [ Fault.Drop_stream_write
+            { fproc = "worker"; stream = "data_out"; select = Fault.All } ]
+      ()
+  in
+  check tbool "finished" true (r.Driver.engine.Engine.outcome = Engine.Finished);
+  check tint "no outputs at all" 0 (List.length (drained r))
+
+let test_selector_nth_hits_one_site () =
+  (* dropping only write #1 halves the outputs; write #0 still flows *)
+  let r =
+    run_worker
+      ~faults:
+        [ Fault.Drop_stream_write
+            { fproc = "worker"; stream = "data_out"; select = Fault.Nth 1 } ]
+      ()
+  in
+  check tbool "finished" true (r.Driver.engine.Engine.outcome = Engine.Finished);
+  check tbool "only the buf[0] writes survive" true
+    (drained r = [ 12L; 13L; 14L ])
+
+let test_selector_nth_out_of_range_is_noop () =
+  let clean = run_worker () in
+  let r =
+    run_worker
+      ~faults:
+        [
+          Fault.Drop_stream_write
+            { fproc = "worker"; stream = "data_out"; select = Fault.Nth 99 };
+          Fault.Read_for_write { fproc = "worker"; select = Fault.Nth 99 };
+          Fault.Narrow_compare { fproc = "worker"; select = Fault.Nth 99; mask_bits = 5 };
+          Fault.Loop_bound_off_by_one
+            { fproc = "worker"; select = Fault.Nth 99; delta = 1L };
+          Fault.Stuck_stream_bit
+            { fproc = "worker"; stream = "data_out"; select = Fault.Nth 99; bit = 3;
+              stuck_to = true };
+        ]
+      ()
+  in
+  check tbool "finished" true (r.Driver.engine.Engine.outcome = Engine.Finished);
+  check tbool "output identical to the clean run" true (drained r = drained clean)
+
+let test_apply_other_procs_untouched () =
+  let r =
+    run_worker
+      ~faults:
+        [ Fault.Drop_stream_write
+            { fproc = "not_worker"; stream = "data_out"; select = Fault.All } ]
+      ()
+  in
+  check tbool "wrong proc name is a no-op" true (drained r = drained (run_worker ()))
+
+(* --- new fault kinds round-trip through the simulator ------------------------- *)
+
+let test_stuck_bit_sets_bit_in_output () =
+  let r =
+    run_worker
+      ~faults:
+        [ Fault.Stuck_stream_bit
+            { fproc = "worker"; stream = "data_out"; select = Fault.All; bit = 7;
+              stuck_to = true } ]
+      ()
+  in
+  check tbool "finished" true (r.Driver.engine.Engine.outcome = Engine.Finished);
+  check tbool "every drained value has bit 7 set" true
+    (List.for_all (fun v -> Int64.logand v 128L = 128L) (drained r));
+  check tbool "values differ from clean run" true (drained r <> drained (run_worker ()))
+
+let test_stuck_bit_clears_bit_in_output () =
+  let r =
+    run_worker
+      ~faults:
+        [ Fault.Stuck_stream_bit
+            { fproc = "worker"; stream = "data_out"; select = Fault.All; bit = 2;
+              stuck_to = false } ]
+      ()
+  in
+  check tbool "finished" true (r.Driver.engine.Engine.outcome = Engine.Finished);
+  check tbool "every drained value has bit 2 clear" true
+    (List.for_all (fun v -> Int64.logand v 4L = 0L) (drained r))
+
+let test_drop_write_advances_without_pushing () =
+  (* the dropped write must not stall the FSM: the loop still runs to
+     completion and the process halts *)
+  let r =
+    run_worker
+      ~faults:
+        [ Fault.Drop_stream_write
+            { fproc = "worker"; stream = "data_out"; select = Fault.All } ]
+      ()
+  in
+  check tbool "process halts despite dropped writes" true
+    (r.Driver.engine.Engine.outcome = Engine.Finished)
+
+let test_loop_bound_plus_one_over_reads () =
+  (* one extra iteration reads a 4th value from a 3-element feed: the
+     process blocks on the empty input and the hang detector fires *)
+  let r =
+    run_worker
+      ~faults:
+        [ Fault.Loop_bound_off_by_one
+            { fproc = "worker"; select = Fault.Nth 0; delta = 1L } ]
+      ()
+  in
+  match r.Driver.engine.Engine.outcome with
+  | Engine.Hang blocked ->
+      check tbool "worker named" true (List.exists (fun (p, _) -> p = "worker") blocked)
+  | o ->
+      Alcotest.failf "expected hang, got %s"
+        (match o with
+        | Engine.Finished -> "finished"
+        | Engine.Aborted m -> "aborted " ^ m
+        | Engine.Livelock _ -> "livelock"
+        | Engine.Out_of_cycles -> "out of cycles"
+        | _ -> "other")
+
+let test_loop_bound_minus_one_truncates () =
+  let r =
+    run_worker
+      ~faults:
+        [ Fault.Loop_bound_off_by_one
+            { fproc = "worker"; select = Fault.Nth 0; delta = -1L } ]
+      ()
+  in
+  check tbool "finished" true (r.Driver.engine.Engine.outcome = Engine.Finished);
+  check tint "one iteration (two writes) missing" 4 (List.length (drained r))
+
+let test_faulted_software_sim_still_clean () =
+  (* the software path interprets the source, so the fault is invisible
+     there — the paper's headline scenario *)
+  let prog = elab two_site_source in
+  let faults =
+    [ Fault.Stuck_stream_bit
+        { fproc = "worker"; stream = "data_out"; select = Fault.All; bit = 7;
+          stuck_to = true } ]
+  in
+  let c = Driver.compile ~strategy:Driver.baseline ~faults prog in
+  let feeds, drains, params = worker_opts in
+  let sw =
+    Driver.software_sim
+      ~options:{ Driver.default_sim_options with Driver.feeds; drains; params }
+      c
+  in
+  check tbool "software simulation completes" true (sw.Interp.outcome = Interp.Completed);
+  check tbool "software output is the clean output" true
+    (List.assoc "data_out" sw.Interp.drained = drained (run_worker ()))
+
+(* --- site enumeration --------------------------------------------------------- *)
+
+let test_sites_cover_all_kinds () =
+  let prog =
+    elab
+      {|
+stream int32 s_in depth 16;
+stream int32 s_out depth 16;
+
+process hw kern(int32 n) {
+  int32 buf[4];
+  int32 i;
+  int64 acc;
+  acc = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int32 x;
+    x = stream_read(s_in);
+    buf[i % 4] = x;
+    acc = acc + x;
+    if (acc > 1000000) {
+      acc = 0;
+    }
+    stream_write(s_out, buf[i % 4]);
+  }
+}
+|}
+  in
+  let c = Driver.compile ~strategy:Driver.baseline prog in
+  let sites = Fault.sites c.Driver.ir in
+  let count k = List.length (List.filter (fun f -> Fault.kind_name f = k) sites) in
+  check tbool "narrow-compare sites" true (count "narrow-compare" >= 1);
+  check tbool "read-for-write sites" true (count "read-for-write" >= 1);
+  check tint "stuck-bit: two polarities per write site" 2 (count "stuck-stream-bit");
+  check tint "drop-write: one per write site" 1 (count "drop-stream-write");
+  check tint "loop: both deltas" 2 (count "loop-off-by-one");
+  check tbool "at least the acceptance kinds" true
+    (List.length (List.sort_uniq compare (List.map Fault.kind_name sites)) >= 4)
+
+let test_sites_skip_software_procs () =
+  let prog =
+    elab
+      {|
+stream int32 s_out depth 16;
+
+process sw host(int32 n) {
+  int32 mem[4];
+  mem[0] = n;
+  stream_write(s_out, mem[0]);
+}
+|}
+  in
+  let c = Driver.compile ~strategy:Driver.baseline prog in
+  check tint "software processes contribute no sites" 0
+    (List.length (Fault.sites c.Driver.ir))
+
+(* --- live-lock watchdog ------------------------------------------------------- *)
+
+let spin_source =
+  {|
+stream int32 data_in depth 16;
+stream int32 data_out depth 16;
+
+process hw worker(int32 n) {
+  int32 flags[4];
+  int32 i;
+  flags[0] = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int32 v;
+    v = stream_read(data_in);
+    stream_write(data_out, v + 1);
+  }
+  flags[0] = 1;
+  int32 done;
+  done = flags[0];
+  while (done == 0) {
+    done = flags[0];
+  }
+}
+|}
+
+let run_spin ?watchdog () =
+  run
+    ~faults:[ Fault.Read_for_write { fproc = "worker"; select = Fault.Nth 1 } ]
+    ?watchdog
+    ~feeds:[ ("data_in", [ 1L; 2L; 3L; 4L ]) ]
+    ~drains:[ "data_out" ]
+    ~params:[ ("worker", [ ("n", 4L) ]) ]
+    ~max_cycles:5_000 spin_source
+
+let test_watchdog_classifies_livelock () =
+  (* without the watchdog the spin burns the whole budget... *)
+  let free = run_spin () in
+  check tbool "no watchdog: out of cycles" true
+    (free.Driver.engine.Engine.outcome = Engine.Out_of_cycles);
+  (* ...with it, the spin is named in well under 10% of that budget *)
+  let wd = run_spin ~watchdog:(Some 200) () in
+  match wd.Driver.engine.Engine.outcome with
+  | Engine.Livelock spinning ->
+      check tbool "spinning process named" true
+        (List.exists (fun (p, _) -> p = "worker") spinning);
+      check tbool "detected in <10% of the budget" true
+        (wd.Driver.engine.Engine.cycles * 10 < free.Driver.engine.Engine.cycles)
+  | _ -> Alcotest.fail "watchdog did not classify the spin as live-lock"
+
+let test_watchdog_quiet_on_clean_run () =
+  let r = run_worker ~watchdog:(Some 200) () in
+  check tbool "clean run unaffected by watchdog" true
+    (r.Driver.engine.Engine.outcome = Engine.Finished)
+
+let test_watchdog_waits_for_real_hang () =
+  (* a genuine deadlock (empty feed) should still be reported as Hang,
+     not Livelock: no activity at all trips the stronger detector *)
+  let r =
+    run ~watchdog:(Some 200)
+      ~feeds:[ ("data_in", []) ]
+      ~drains:[ "data_out" ]
+      ~params:[ ("worker", [ ("n", 3L) ]) ]
+      two_site_source
+  in
+  match r.Driver.engine.Engine.outcome with
+  | Engine.Hang _ -> ()
+  | Engine.Livelock _ -> Alcotest.fail "starved read misclassified as live-lock"
+  | _ -> Alcotest.fail "expected a hang"
+
+(* --- campaign ------------------------------------------------------------------ *)
+
+let micro_workload () =
+  Campaign.workload ~name:"micro"
+    ~feeds:[ ("s_in", [ 5L; 9L; 13L; 17L ]) ]
+    ~drains:[ "s_out" ]
+    ~params:[ ("kern", [ ("n", 4L) ]) ]
+    {|
+stream int32 s_in depth 16;
+stream int32 s_out depth 16;
+
+process hw kern(int32 n) {
+  int32 buf[4];
+  int32 i;
+  for (i = 0; i < n; i = i + 1) {
+    int32 x;
+    x = stream_read(s_in);
+    assert(x < 1000);
+    buf[i % 4] = x;
+    stream_write(s_out, buf[i % 4] * 2);
+  }
+}
+|}
+
+let test_campaign_classifies_all_mutants () =
+  let w = micro_workload () in
+  let sites = Campaign.enumerate w in
+  check tbool "several sites" true (List.length sites >= 5);
+  let r = Campaign.run [ w ] in
+  check tint "every site ran under every strategy"
+    (List.length sites * List.length Campaign.default_strategies)
+    (List.length r.Campaign.runs);
+  check tint "nothing dropped" 0 r.Campaign.dropped;
+  (* summaries partition the runs *)
+  List.iter
+    (fun (s : Campaign.strategy_summary) ->
+      check tint
+        ("summary total for " ^ s.Campaign.strategy)
+        (List.length sites)
+        (s.Campaign.by_assertion + s.Campaign.by_hang + s.Campaign.silent
+       + s.Campaign.benign + s.Campaign.over_budget))
+    r.Campaign.summaries
+
+let test_campaign_detection_monotone () =
+  (* instrumented strategies must detect at least as much as baseline —
+     the acceptance criterion for the bundled sweep is strict *)
+  let r = Campaign.run [ micro_workload () ] in
+  let det name =
+    Campaign.detected_of_summary
+      (List.find (fun (s : Campaign.strategy_summary) -> s.Campaign.strategy = name)
+         r.Campaign.summaries)
+  in
+  check tbool "optimized >= baseline" true (det "optimized" >= det "baseline")
+
+let test_campaign_cap_round_robin () =
+  let w = micro_workload () in
+  let config = { Campaign.default_config with Campaign.max_mutants = Some 4 } in
+  let r = Campaign.run ~config [ w ] in
+  check tint "capped" (4 * List.length Campaign.default_strategies)
+    (List.length r.Campaign.runs);
+  check tbool "drop count recorded" true
+    (r.Campaign.dropped = List.length (Campaign.enumerate w) - 4);
+  (* round-robin: with 4 slots and >=4 kinds available, no kind hogs *)
+  check tbool "multiple kinds survive the cap" true
+    (List.length r.Campaign.kind_counts >= 3)
+
+let test_campaign_render_and_json () =
+  let r =
+    Campaign.run
+      ~config:{ Campaign.default_config with Campaign.max_mutants = Some 3 }
+      [ micro_workload () ]
+  in
+  let table = Campaign.render r in
+  check tbool "table names strategies" true
+    (has_sub ~sub:"baseline" table && has_sub ~sub:"optimized" table);
+  check tbool "table has the kind matrix" true
+    (has_sub ~sub:"assertion coverage by fault kind" table);
+  let json = Campaign.render_json r in
+  check tbool "json has runs" true (has_sub ~sub:"\"runs\"" json);
+  check tbool "json has strategies" true (has_sub ~sub:"\"strategies\"" json);
+  check tbool "json quotes classes" true
+    (has_sub ~sub:"\"class\"" json)
+
+(* --- notification routing ------------------------------------------------------ *)
+
+let two_proc_source =
+  {|
+stream int32 a_out depth 16;
+stream int32 b_out depth 16;
+
+process hw p0(int32 n) {
+  int32 x;
+  x = n;
+  assert(x > 0);
+  stream_write(a_out, x);
+}
+
+process hw p1(int32 n) {
+  int32 y;
+  y = n;
+  assert(y < 100);
+  stream_write(b_out, y);
+}
+|}
+
+let test_notify_per_stream_cases () =
+  let c = Driver.compile ~strategy:Driver.parallelized (elab two_proc_source) in
+  let src = c.Driver.notification_source in
+  (* split the generated C at the second drain loop *)
+  let idx =
+    let sub = "co_stream_read(__err_p1" in
+    let n = String.length sub and l = String.length src in
+    let rec go i =
+      if i + n > l then Alcotest.fail "no __err_p1 drain loop"
+      else if String.sub src i n = sub then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let first = String.sub src 0 idx in
+  let second = String.sub src idx (String.length src - idx) in
+  check tbool "p0's loop reports p0's assertion" true (has_sub ~sub:"`x > 0'" first);
+  check tbool "p0's loop omits p1's assertion" false (has_sub ~sub:"`y < 100'" first);
+  check tbool "p1's loop reports p1's assertion" true (has_sub ~sub:"`y < 100'" second);
+  check tbool "p1's loop omits p0's assertion" false (has_sub ~sub:"`x > 0'" second)
+
+let test_notify_shared_channel_words () =
+  (* under 32-way sharing both assertions ride one stream: its single
+     drain loop must carry both, keyed by distinct failure words *)
+  let c = Driver.compile ~strategy:Driver.optimized (elab two_proc_source) in
+  let src = c.Driver.notification_source in
+  check tbool "both assertions in the shared loop" true
+    (has_sub ~sub:"`x > 0'" src && has_sub ~sub:"`y < 100'" src)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "selector",
+        [
+          Alcotest.test_case "All hits every site" `Quick test_selector_all_hits_every_site;
+          Alcotest.test_case "Nth hits one site" `Quick test_selector_nth_hits_one_site;
+          Alcotest.test_case "out-of-range Nth is a no-op" `Quick
+            test_selector_nth_out_of_range_is_noop;
+          Alcotest.test_case "other procs untouched" `Quick test_apply_other_procs_untouched;
+        ] );
+      ( "kinds",
+        [
+          Alcotest.test_case "stuck bit set" `Quick test_stuck_bit_sets_bit_in_output;
+          Alcotest.test_case "stuck bit cleared" `Quick test_stuck_bit_clears_bit_in_output;
+          Alcotest.test_case "dropped write advances" `Quick
+            test_drop_write_advances_without_pushing;
+          Alcotest.test_case "loop +1 over-reads" `Quick test_loop_bound_plus_one_over_reads;
+          Alcotest.test_case "loop -1 truncates" `Quick test_loop_bound_minus_one_truncates;
+          Alcotest.test_case "software sim stays clean" `Quick
+            test_faulted_software_sim_still_clean;
+        ] );
+      ( "sites",
+        [
+          Alcotest.test_case "all kinds enumerated" `Quick test_sites_cover_all_kinds;
+          Alcotest.test_case "software procs skipped" `Quick test_sites_skip_software_procs;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "live-lock classified fast" `Quick
+            test_watchdog_classifies_livelock;
+          Alcotest.test_case "quiet on clean run" `Quick test_watchdog_quiet_on_clean_run;
+          Alcotest.test_case "real hang stays Hang" `Quick test_watchdog_waits_for_real_hang;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "classifies all mutants" `Quick
+            test_campaign_classifies_all_mutants;
+          Alcotest.test_case "detection monotone" `Quick test_campaign_detection_monotone;
+          Alcotest.test_case "cap is round-robin" `Quick test_campaign_cap_round_robin;
+          Alcotest.test_case "render + json" `Quick test_campaign_render_and_json;
+        ] );
+      ( "notify",
+        [
+          Alcotest.test_case "per-stream cases" `Quick test_notify_per_stream_cases;
+          Alcotest.test_case "shared channel carries all" `Quick
+            test_notify_shared_channel_words;
+        ] );
+    ]

@@ -115,7 +115,7 @@ let compile src strategy = Core.Driver.compile ~strategy (elab src)
 let run ?(feeds = []) ?(drains = []) ?(params = []) ?(hw_models = [])
     ?(max_cycles = 100_000) compiled =
   Core.Driver.simulate
-    ~options:{ Core.Driver.feeds; drains; params; hw_models; max_cycles; timing_checks = []; trace = false }
+    ~options:{ Core.Driver.feeds; drains; params; hw_models; max_cycles; timing_checks = []; trace = false; watchdog = None }
     compiled
 
 let test_engine_basic_dataflow () =

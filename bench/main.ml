@@ -483,6 +483,53 @@ let campaign_bench () =
   close_out oc;
   print_endline "  wrote BENCH_campaign.json"
 
+(* --- Assertion mining ---------------------------------------------------------------- *)
+
+(* Sweep the miner over the four bundled case studies with the bundled
+   campaign stimuli as base, capped so the artifact stays interactive:
+   each workload traces 5 stimuli, keeps at most 8 candidates, and
+   ranks each against at most 10 mutants. *)
+let mine_bench () =
+  section "Assertion mining: invariants ranked by mutant kills";
+  let t0 = Unix.gettimeofday () in
+  let config =
+    {
+      Mine.Rank.default_config with
+      Mine.Rank.max_candidates = 8;
+      max_mutants = Some 10;
+    }
+  in
+  let results =
+    List.map
+      (fun (w : Campaign.workload) ->
+        let r =
+          Mine.Rank.mine ~config ~name:w.Campaign.wname ~options:w.Campaign.options
+            w.Campaign.program
+        in
+        print_string (Mine.Rank.render ~top:5 r);
+        print_newline ();
+        r)
+      (Campaign.bundled ())
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let total_survivors = List.fold_left (fun acc r -> acc + r.Mine.Rank.survivors) 0 results in
+  let total_marginal =
+    List.fold_left
+      (fun acc (r : Mine.Rank.result) ->
+        acc + List.fold_left (fun a s -> a + s.Mine.Rank.marginal) 0 r.Mine.Rank.scored)
+      0 results
+  in
+  Printf.printf "  %d survivors across %d workloads, %d marginal detections, %.2fs\n"
+    total_survivors (List.length results) total_marginal dt;
+  let oc = open_out "BENCH_mine.json" in
+  Printf.fprintf oc
+    "{\"elapsed_seconds\": %.3f, \"survivors\": %d, \"marginal_detections\": %d, \
+     \"workloads\": [%s]}\n"
+    dt total_survivors total_marginal
+    (String.concat ", " (List.map (Mine.Rank.render_json ~top:5) results));
+  close_out oc;
+  print_endline "  wrote BENCH_mine.json"
+
 (* --- Bechamel micro-benchmarks ------------------------------------------------------ *)
 
 let bechamel () =
@@ -566,6 +613,7 @@ let artifacts =
     ("ablation-transport", ablation_transport);
     ("timing", timing_demo);
     ("campaign", campaign_bench);
+    ("mine", mine_bench);
     ("bechamel", bechamel);
   ]
 

@@ -7,7 +7,12 @@
      inca vhdl app.c -o out.vhdl
      inca simulate app.c --feed input=1,2,3 --drain output --param main:n=3
      inca campaign [app.c]            # fault-injection sweep + coverage report
-     inca check app.c                 # scheduler invariant lint *)
+     inca mine app.c --top 5          # mine invariants, rank by mutant kills
+     inca check app.c                 # scheduler invariant lint
+
+   Exit status is meaningful for scripting: [simulate] exits 1 when the
+   run fails (assertion failure, hang, or budget), [campaign] exits 1
+   when any mutant silently escapes a non-baseline strategy. *)
 
 open Cmdliner
 
@@ -96,7 +101,7 @@ let compile_cmd =
     let c = load ~ndebug ~nabort ~strategy file in
     report c;
     match Core.Driver.check_invariants c with
-    | [] -> `Ok ()
+    | [] -> `Ok 0
     | errs ->
         List.iter prerr_endline errs;
         `Error (false, "scheduler invariant violations")
@@ -112,7 +117,8 @@ let instrument_cmd =
     let c = load ~ndebug ~nabort ~strategy file in
     print_endline (Front.Pretty.program_to_string c.Core.Driver.instrumented);
     print_endline "/* --- generated notification function --- */";
-    print_endline c.Core.Driver.notification_source
+    print_endline c.Core.Driver.notification_source;
+    0
   in
   Cmd.v
     (Cmd.info "instrument"
@@ -127,13 +133,14 @@ let vhdl_cmd =
   in
   let run file strategy nabort ndebug out =
     let c = load ~ndebug ~nabort ~strategy file in
-    match out with
+    (match out with
     | None -> print_string c.Core.Driver.vhdl
     | Some path ->
         let oc = open_out path in
         output_string oc c.Core.Driver.vhdl;
         close_out oc;
-        Printf.printf "wrote %s\n" path
+        Printf.printf "wrote %s\n" path);
+    0
   in
   Cmd.v
     (Cmd.info "vhdl" ~doc:"Emit VHDL for the synthesized design")
@@ -244,10 +251,18 @@ let simulate_cmd =
           Printf.printf "pipeline in %s: II=%d (measured %.2f), latency %d, %d iterations\n"
             p.Sim.Engine.ps_proc p.Sim.Engine.ii_static p.Sim.Engine.ii_measured
             p.Sim.Engine.latency_measured p.Sim.Engine.issues)
-      e.Sim.Engine.pipes
+      e.Sim.Engine.pipes;
+    (* scripting contract: nonzero when the run raised any flag — an
+       assertion failure (even under NABORT), a hang, or the budget *)
+    match (e.Sim.Engine.outcome, r.Core.Driver.failed_assertions) with
+    | Sim.Engine.Finished, [] -> 0
+    | _ -> 1
   in
   Cmd.v
-    (Cmd.info "simulate" ~doc:"Run the design in the cycle-accurate simulator")
+    (Cmd.info "simulate"
+       ~doc:
+         "Run the design in the cycle-accurate simulator.  Exits 1 when the run fails: \
+          an assertion fires, the design hangs, or the cycle budget is exceeded.")
     Term.(
       const run $ file_arg $ strategy_arg $ nabort_arg $ ndebug_arg $ feeds_arg $ drains_arg
       $ params_arg $ cycles_arg $ vcd_arg $ watchdog_arg)
@@ -295,7 +310,8 @@ let swsim_cmd =
     List.iter
       (fun (s, vs) ->
         Printf.printf "%s: %s\n" s (String.concat " " (List.map Int64.to_string vs)))
-      r.Interp.drained
+      r.Interp.drained;
+    if Interp.ok r then 0 else 1
   in
   Cmd.v
     (Cmd.info "swsim"
@@ -308,46 +324,20 @@ let swsim_cmd =
 
 (* Derive a usable testbench when the user gives none: feed every
    purely-read stream a ramp, drain every purely-written stream, and
-   default every unset process parameter to 32 (sized to the ramp). *)
+   default every unset process parameter to 32 (sized to the ramp).
+   The policy lives in {!Mine.Trace} so mining and campaigning share
+   the same default stimulus. *)
 let auto_stimulus prog feeds drains params =
-  let c = Core.Driver.compile ~strategy:Core.Driver.baseline prog in
-  let reads = ref [] and writes = ref [] in
-  List.iter
-    (fun (p : Mir.Ir.proc_ir) ->
-      List.iter
-        (fun (g : Mir.Ir.ginst) ->
-          match g.Mir.Ir.i with
-          | Mir.Ir.Sread { stream; _ } ->
-              if not (List.mem stream !reads) then reads := stream :: !reads
-          | Mir.Ir.Swrite { stream; _ } ->
-              if not (List.mem stream !writes) then writes := stream :: !writes
-          | _ -> ())
-        (Mir.Ir.all_insts p.Mir.Ir.body))
-    c.Core.Driver.ir.Mir.Ir.procs;
-  let feeds =
-    if feeds <> [] then feeds
-    else
-      List.filter_map
-        (fun s ->
-          if List.mem s !writes then None
-          else Some (s, List.init 48 (fun i -> Int64.of_int (i + 1))))
-        (List.rev !reads)
-  in
-  let drains =
-    if drains <> [] then drains
-    else List.filter (fun s -> not (List.mem s !reads)) (List.rev !writes)
-  in
-  let params =
-    List.map
-      (fun (p : Front.Ast.proc) ->
-        let given = try List.assoc p.Front.Ast.pname params with Not_found -> [] in
-        ( p.Front.Ast.pname,
-          List.map
-            (fun (n, _) -> (n, try List.assoc n given with Not_found -> 32L))
-            p.Front.Ast.params ))
-      (Core.Driver.hw_procs prog)
-  in
-  (feeds, drains, params)
+  let o = Mine.Trace.auto_options ~feeds ~drains ~params prog in
+  (o.Core.Driver.feeds, o.Core.Driver.drains, o.Core.Driver.params)
+
+let collect_params raw =
+  List.fold_left
+    (fun acc p ->
+      let proc, kv = parse_param p in
+      let cur = try List.assoc proc acc with Not_found -> [] in
+      (proc, kv :: cur) :: List.remove_assoc proc acc)
+    [] raw
 
 let campaign_cmd =
   let file_arg =
@@ -409,14 +399,7 @@ let campaign_cmd =
           let name = Filename.remove_extension (Filename.basename path) in
           let prog = Front.Typecheck.parse_and_check ~file:(Filename.basename path) src in
           let feeds = List.map parse_feed feeds in
-          let params =
-            List.fold_left
-              (fun acc p ->
-                let proc, kv = parse_param p in
-                let cur = try List.assoc proc acc with Not_found -> [] in
-                (proc, kv :: cur) :: List.remove_assoc proc acc)
-              [] params
-          in
+          let params = collect_params params in
           let feeds, drains, params = auto_stimulus prog feeds drains params in
           [
             {
@@ -445,24 +428,141 @@ let campaign_cmd =
             (if run.Campaign.retried then "  [retried]" else ""))
         r.Campaign.runs
     end;
-    match json_out with
+    (match json_out with
     | Some path ->
         let oc = open_out path in
         output_string oc (Campaign.render_json r);
         output_char oc '\n';
         close_out oc;
         Printf.printf "wrote %s\n" path
-    | None -> ()
+    | None -> ());
+    (* scripting contract: nonzero when a mutant silently escaped an
+       instrumented strategy (the baseline control has no assertions, so
+       its silent corruptions are expected and don't count) *)
+    let escapes =
+      List.filter
+        (fun (run : Campaign.run) ->
+          run.Campaign.strategy <> "baseline"
+          && run.Campaign.outcome = Campaign.Silent_corruption)
+        r.Campaign.runs
+    in
+    if escapes = [] then 0
+    else begin
+      Printf.eprintf "%d mutant(s) silently escaped an instrumented strategy\n"
+        (List.length escapes);
+      1
+    end
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
          "Fault-injection campaign: enumerate every candidate fault site, run one mutant \
           per site under each assertion-synthesis strategy, and print the \
-          assertion-coverage report")
+          assertion-coverage report.  Exits 1 when any mutant silently escapes an \
+          instrumented (non-baseline) strategy.")
     Term.(
       const run $ file_arg $ feeds_arg $ drains_arg $ params_arg $ budget_arg $ watchdog_arg
       $ max_mutants_arg $ json_arg $ runs_arg)
+
+(* --- mine ------------------------------------------------------------------------- *)
+
+let mine_cmd =
+  let strategy_name_arg =
+    let doc =
+      "Synthesis strategy the mined assertions are compiled and ranked under: \
+       unoptimized, parallelized, optimized, or carte."
+    in
+    Arg.(value & opt string "parallelized" & info [ "s"; "strategy" ] ~doc)
+  in
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top" ] ~doc:"Report the $(docv) best candidates." ~docv:"N")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the ranking as JSON instead of text.")
+  in
+  let emit_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "emit" ]
+          ~doc:
+            "Print the InCA-C source instrumented with the top candidates (after the \
+             report).")
+  in
+  let feeds_arg =
+    Arg.(value & opt_all string [] & info [ "feed" ] ~doc:"Testbench input: stream=v1,v2,...")
+  in
+  let drains_arg =
+    Arg.(value & opt_all string [] & info [ "drain" ] ~doc:"Stream to collect output from.")
+  in
+  let params_arg =
+    Arg.(value & opt_all string [] & info [ "param" ] ~doc:"Process parameter: proc:name=value")
+  in
+  let max_candidates_arg =
+    Arg.(
+      value
+      & opt int 12
+      & info [ "max-candidates" ]
+          ~doc:"Candidate cap after inference, taken round-robin across template kinds.")
+  in
+  let max_mutants_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-mutants" ] ~doc:"Fault-site cap per ranking sweep.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~doc:"Per-mutant cycle budget (default: auto).")
+  in
+  let run file sname top json emit feeds drains params max_candidates max_mutants budget =
+    match strategy_of_string sname with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok strategy -> (
+        let src = read_file file in
+        let name = Filename.remove_extension (Filename.basename file) in
+        let prog = Front.Typecheck.parse_and_check ~file:(Filename.basename file) src in
+        let options =
+          Mine.Trace.auto_options ~feeds:(List.map parse_feed feeds) ~drains
+            ~params:(collect_params params) prog
+        in
+        let config =
+          {
+            Mine.Rank.strategy = (sname, strategy);
+            max_candidates;
+            max_mutants;
+            budget;
+            watchdog = None;
+          }
+        in
+        match Mine.Rank.mine ~config ~name ~options prog with
+        | r ->
+            if json then print_endline (Mine.Rank.render_json ~top r)
+            else print_string (Mine.Rank.render ~top r);
+            if emit then begin
+              match Mine.Infer.inject prog (Mine.Rank.top_candidates ~top r) with
+              | Some (instrumented, _) ->
+                  print_endline "\n/* --- source instrumented with mined assertions --- */";
+                  print_string instrumented
+              | None ->
+                  prerr_endline "could not inject the top candidates together"
+            end;
+            `Ok 0
+        | exception Invalid_argument m -> `Error (false, m))
+  in
+  Cmd.v
+    (Cmd.info "mine"
+       ~doc:
+         "Mine candidate invariants from software-simulation traces (Daikon-style \
+          templates over multiple derived stimuli), inject the survivors as in-circuit \
+          assertions, and rank them by fault-detection power with area/fmax cost")
+    Term.(
+      ret
+        (const run $ file_arg $ strategy_name_arg $ top_arg $ json_arg $ emit_arg
+       $ feeds_arg $ drains_arg $ params_arg $ max_candidates_arg $ max_mutants_arg
+       $ budget_arg))
 
 (* --- check ------------------------------------------------------------------------ *)
 
@@ -472,7 +572,7 @@ let check_cmd =
     match Core.Driver.check_invariants c with
     | [] ->
         print_endline "ok: all scheduler invariants hold";
-        `Ok ()
+        `Ok 0
     | errs ->
         List.iter prerr_endline errs;
         `Error (false, "invariant violations")
@@ -485,6 +585,9 @@ let main =
   let doc = "in-circuit assertion synthesis for high-level synthesis" in
   Cmd.group
     (Cmd.info "inca" ~version:"1.0.0" ~doc)
-    [ compile_cmd; instrument_cmd; vhdl_cmd; simulate_cmd; swsim_cmd; campaign_cmd; check_cmd ]
+    [
+      compile_cmd; instrument_cmd; vhdl_cmd; simulate_cmd; swsim_cmd; campaign_cmd;
+      mine_cmd; check_cmd;
+    ]
 
-let () = exit (Cmd.eval main)
+let () = exit (Cmd.eval' main)

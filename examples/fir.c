@@ -1,0 +1,57 @@
+/* The paper's 16-tap FIR filter (the bundled Apps.Fir_src program,
+   written out so the CLI can chew on it).  Its hand-written assertions
+   are overflow guards on the accumulator -- good against stuck-at and
+   narrowed-compare faults, blind to trip-count bugs.  Mine it:
+
+     dune exec bin/inca.exe -- mine examples/fir.c --top 5
+*/
+
+stream int32 samples_in depth 16;
+stream int32 samples_out depth 16;
+
+process hw fir(int32 n) {
+  int32 w0;
+  int32 w1;
+  int32 w2;
+  int32 w3;
+  int32 w4;
+  int32 w5;
+  int32 w6;
+  int32 w7;
+  int32 w8;
+  int32 w9;
+  int32 w10;
+  int32 w11;
+  int32 w12;
+  int32 w13;
+  int32 w14;
+  int32 w15;
+  int32 i;
+  #pragma pipeline
+  for (i = 0; i < n; i = i + 1) {
+    int32 x;
+    x = stream_read(samples_in);
+    w15 = w14;
+    w14 = w13;
+    w13 = w12;
+    w12 = w11;
+    w11 = w10;
+    w10 = w9;
+    w9 = w8;
+    w8 = w7;
+    w7 = w6;
+    w6 = w5;
+    w5 = w4;
+    w4 = w3;
+    w3 = w2;
+    w2 = w1;
+    w1 = w0;
+    w0 = x;
+    int32 acc;
+    acc = w0 * 2 + w1 * 6 + w2 * 13 + w3 * 25 + w4 * 41 + w5 * 58 + w6 * 72 + w7 * 79 + w8 * 79 + w9 * 72 + w10 * 58 + w11 * 41 + w12 * 25 + w13 * 13 + w14 * 6 + w15 * 2;
+    /* overflow guards: the output shift would hide a wrapped accumulator */
+    assert(acc <= 16777216);
+    assert(acc >= -16777216);
+    stream_write(samples_out, acc >> 9);
+  }
+}

@@ -1,0 +1,45 @@
+/* Assertion-mining demo: a windowed accumulator whose hand-written
+   assertion is too weak to notice a trip-count bug.
+
+   The only assertion the developer wrote — assert(acc >= 0) — holds no
+   matter how many samples the loop consumes, so a loop-off-by-one
+   translation fault (the campaign's loop-off-by-one mutants, paper
+   Section 5.1) is SILENT: the circuit finishes with 31 or 33 outputs
+   instead of 32 and nobody is told.
+
+   Mining fixes that.  The software-simulation traces pin down the
+   structure the developer never asserted:
+
+     i in [0, 31]              (value-range on the induction variable)
+     trip count == 32          (loop-bound, checked by injected counter)
+     writes to win_out == 32   (stream-length, checked at process end)
+     writes to win_out nondecreasing  (the ramp keeps acc growing)
+
+   Rank any of those and the off-by-one mutants move from "silent" to
+   "detected by assertion".  Try it:
+
+     dune exec bin/inca.exe -- mine examples/mine_demo.c --top 5
+
+   With no --feed/--param flags the miner feeds win_in the ramp
+   1,2,...,48 and sets n to 32 — so the +1 mutant silently reads a
+   spare 33rd sample rather than hanging, exactly the case the
+   hand-written assertion cannot see. */
+
+stream int32 win_in depth 16;
+stream int32 win_out depth 16;
+
+process hw window(int32 n) {
+  int32 acc;
+  int32 i;
+  acc = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int32 v;
+    v = stream_read(win_in);
+    acc = acc + v;
+    if (acc > 9000) {
+      acc = 9000;
+    }
+    assert(acc >= 0);
+    stream_write(win_out, acc);
+  }
+}

@@ -216,9 +216,11 @@ let simulate ?(options = default_sim_options) (c : compiled) : sim_result =
 
 (** Software simulation of the *original* program (assertions run as
     plain ANSI-C asserts on the CPU) — the Impulse-C desktop-simulation
-    path the paper contrasts against. *)
-let software_sim ?(options = default_sim_options) ?(nabort = false) (c : compiled) :
-    Interp.result =
+    path the paper contrasts against.  [observer] (if given) receives
+    every {!Interp.obs_event}; the assertion-mining subsystem uses it to
+    record per-statement traces. *)
+let software_sim ?(options = default_sim_options) ?(nabort = false)
+    ?(observer : (Interp.obs_event -> unit) option) (c : compiled) : Interp.result =
   let cfg =
     {
       Interp.default_config with
@@ -227,6 +229,7 @@ let software_sim ?(options = default_sim_options) ?(nabort = false) (c : compile
       drains = options.drains;
       nabort;
       extern_models = options.hw_models;
+      observer;
     }
   in
   Interp.run ~cfg c.source

@@ -106,8 +106,15 @@ val simulate : ?options:sim_options -> compiled -> sim_result
 
 (** Software simulation of the *original* program (assertions run as
     plain ANSI-C asserts on the CPU) — the Impulse-C desktop-simulation
-    path the paper contrasts against. *)
-val software_sim : ?options:sim_options -> ?nabort:bool -> compiled -> Interp.result
+    path the paper contrasts against.  [observer] (if given) receives
+    every {!Interp.obs_event}; the assertion-mining subsystem uses it to
+    record per-statement traces. *)
+val software_sim :
+  ?options:sim_options ->
+  ?nabort:bool ->
+  ?observer:(Interp.obs_event -> unit) ->
+  compiled ->
+  Interp.result
 
 (** All FSMD invariant violations of the compiled design (empty = ok). *)
 val check_invariants : compiled -> string list

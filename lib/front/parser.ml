@@ -174,8 +174,18 @@ let rec parse_block st =
   stmts []
 
 and parse_simple_assign st =
-  (* used for for-loop init/step: IDENT = expr  or  IDENT[expr] = expr *)
+  (* used for for-loop init/step: IDENT = expr, IDENT[expr] = expr, or
+     (init only) TYPE IDENT = expr — the declaration form the
+     pretty-printer emits for programmatically built loops *)
   let loc = cur_loc st in
+  match peek_scalar_type st with
+  | Some ty ->
+      bump st;
+      let name = expect_ident st "declaration name" in
+      expect st Lexer.ASSIGN "=";
+      let rhs = parse_expr st in
+      mk_stmt ~loc (Decl (ty, name, Some rhs))
+  | None ->
   let name = expect_ident st "assignment target" in
   let lv =
     if Lexer.equal_token (cur_tok st) Lexer.LBRACK then begin

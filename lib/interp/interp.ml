@@ -40,6 +40,13 @@ type result = {
   log : string list;                (** notification messages, ANSI format *)
 }
 
+(** One observation emitted during execution when an [observer] is
+    installed — the raw material of trace-based invariant mining. *)
+type obs_event =
+  | Obs_scalar of { oproc : string; oloc : Loc.t; ovar : string; value : int64 }
+  | Obs_loop of { oproc : string; oloc : Loc.t; iters : int }
+  | Obs_stream of { oproc : string; stream : string; written : int64 }
+
 type config = {
   params : (string * (string * int64) list) list;
       (** per-process scalar parameter bindings *)
@@ -52,6 +59,8 @@ type config = {
   extern_models : (string * (int64 list -> int64)) list;
       (** C models of external HDL functions *)
   max_steps : int;
+  observer : (obs_event -> unit) option;
+      (** trace hook: called synchronously for every observation *)
 }
 
 let default_config =
@@ -64,6 +73,7 @@ let default_config =
     unbounded_fifos = true;
     extern_models = [];
     max_steps = 10_000_000;
+    observer = None;
   }
 
 exception Abort_all of failure
@@ -97,6 +107,9 @@ type rt = {
   mutable steps : int;
   mutable failures : failure list;
   mutable log : string list;
+  mutable obs : (obs_event -> unit) option;
+      (** active observer; cleared around for-header init/step execution
+          so loop bookkeeping is not reported as an ordinary assignment *)
 }
 
 let check_fuel rt =
@@ -167,6 +180,16 @@ let lvalue_type scopes lv loc =
   ignore scopes;
   ignore lv
 
+let observe rt ev = match rt.obs with Some f -> f ev | None -> ()
+
+(* Induction variable of a for-header, when it has the canonical shape. *)
+let header_var (h : for_header) =
+  match (h.init, h.step) with
+  | Some { s = Assign (Lvar v, _); _ }, _
+  | Some { s = Decl (_, v, _); _ }, _
+  | None, Some { s = Assign (Lvar v, _); _ } -> Some v
+  | _ -> None
+
 let rec exec_stmts rt pname scopes stmts = List.iter (exec_stmt rt pname scopes) stmts
 
 and exec_stmt rt pname scopes st =
@@ -178,24 +201,56 @@ and exec_stmt rt pname scopes st =
       | Tarray (_, n) -> Hashtbl.replace top name (Arr (Array.make n 0L))
       | _ ->
           let v = match init with Some e -> eval rt scopes e | None -> 0L in
-          Hashtbl.replace top name (Scalar (ref v)))
-  | Assign (lv, e) -> assign rt scopes lv (eval rt scopes e)
+          Hashtbl.replace top name (Scalar (ref v));
+          if init <> None then
+            observe rt (Obs_scalar { oproc = pname; oloc = st.sloc; ovar = name; value = v }))
+  | Assign (lv, e) ->
+      let v = eval rt scopes e in
+      assign rt scopes lv v;
+      (match lv with
+      | Lvar name ->
+          observe rt (Obs_scalar { oproc = pname; oloc = st.sloc; ovar = name; value = v })
+      | Lindex _ -> ())
   | If (c, t, f) ->
       let branch = if Value.to_bool (eval rt scopes c) then t else f in
       exec_stmts rt pname (new_scope () :: scopes) branch
   | While (c, b) ->
+      let iters = ref 0 in
       while Value.to_bool (eval rt scopes c) do
         check_fuel rt;
+        incr iters;
         exec_stmts rt pname (new_scope () :: scopes) b
-      done
+      done;
+      observe rt (Obs_loop { oproc = pname; oloc = st.sloc; iters = !iters })
   | For (h, b) ->
       let scopes' = new_scope () :: scopes in
-      (match h.init with Some s -> exec_stmt rt pname scopes' s | None -> ());
+      (* header init/step run unobserved: the induction variable is
+         reported once per iteration below, anchored at the loop itself,
+         so mined invariants can be injected at the top of the body *)
+      let unobserved s =
+        let saved = rt.obs in
+        rt.obs <- None;
+        Fun.protect ~finally:(fun () -> rt.obs <- saved) (fun () ->
+            exec_stmt rt pname scopes' s)
+      in
+      (match h.init with Some s -> unobserved s | None -> ());
+      let ivar = header_var h in
+      let iters = ref 0 in
       while Value.to_bool (eval rt scopes' h.cond) do
         check_fuel rt;
+        incr iters;
+        (match ivar with
+        | Some v -> (
+            match (try Some (lookup scopes' v) with Runtime _ -> None) with
+            | Some (Scalar r) ->
+                observe rt
+                  (Obs_scalar { oproc = pname; oloc = st.sloc; ovar = v; value = !r })
+            | Some (Arr _) | None -> ())
+        | None -> ());
         exec_stmts rt pname (new_scope () :: scopes') b;
-        match h.step with Some s -> exec_stmt rt pname scopes' s | None -> ()
-      done
+        match h.step with Some s -> unobserved s | None -> ()
+      done;
+      observe rt (Obs_loop { oproc = pname; oloc = st.sloc; iters = !iters })
   | Assert (c, txt) ->
       if not rt.cfg.ndebug then
         if not (Value.to_bool (eval rt scopes c)) then begin
@@ -206,9 +261,14 @@ and exec_stmt rt pname scopes st =
         end
   | Stream_read (lv, s) ->
       let v = Effect.perform (Sread (s, pname, st.sloc)) in
-      assign rt scopes lv v
+      assign rt scopes lv v;
+      (match lv with
+      | Lvar name ->
+          observe rt (Obs_scalar { oproc = pname; oloc = st.sloc; ovar = name; value = v })
+      | Lindex _ -> ())
   | Stream_write (s, e) ->
       let v = eval rt scopes e in
+      observe rt (Obs_stream { oproc = pname; stream = s; written = v });
       Effect.perform (Swrite (s, v, pname, st.sloc))
   | Return _ -> raise Proc_return
   | Block b -> exec_stmts rt pname (new_scope () :: scopes) b
@@ -248,7 +308,7 @@ let run ?(cfg = default_config) (prog : program) : result =
           List.iter (fun v -> Queue.add (Value.wrap_ty elem v) f.q) vs
       | None -> invalid_arg (Printf.sprintf "feed: unknown stream %s" sname))
     cfg.feeds;
-  let rt = { cfg; prog; steps = 0; failures = []; log = [] } in
+  let rt = { cfg; prog; steps = 0; failures = []; log = []; obs = cfg.observer } in
   let runnable : (unit -> unit) Queue.t = Queue.create () in
   let blocked : blocked list ref = ref [] in
   let abort : failure option ref = ref None in

@@ -37,6 +37,24 @@ type result = {
   log : string list;         (** notification messages, ANSI format *)
 }
 
+(** One observation emitted during execution when an [observer] is
+    installed — the raw material of trace-based invariant mining
+    ({!Mine.Trace}).  Events carry the source location of the statement
+    that produced them so mined invariants can be injected back at the
+    same program point. *)
+type obs_event =
+  | Obs_scalar of { oproc : string; oloc : Front.Loc.t; ovar : string; value : int64 }
+      (** a scalar's value right after it is assigned (declaration
+          initializer, assignment, or stream read into a variable).  For
+          a [for] loop the induction variable is also observed at the
+          top of every iteration, anchored at the loop statement's
+          location — header init/step assignments themselves are not
+          reported. *)
+  | Obs_loop of { oproc : string; oloc : Front.Loc.t; iters : int }
+      (** completed trip count of one execution of a [for]/[while] loop *)
+  | Obs_stream of { oproc : string; stream : string; written : int64 }
+      (** a value written to a stream, in program order *)
+
 type config = {
   params : (string * (string * int64) list) list;
       (** per-process scalar parameter bindings *)
@@ -49,6 +67,8 @@ type config = {
   extern_models : (string * (int64 list -> int64)) list;
       (** C models of external HDL functions *)
   max_steps : int;
+  observer : (obs_event -> unit) option;
+      (** trace hook: called synchronously for every observation *)
 }
 
 val default_config : config

@@ -1,0 +1,450 @@
+(** Invariant inference and re-injection (the Daikon-style back half).
+
+    Inference merges every passing run's observations into per-site
+    statistics and instantiates six templates over them.  Injection goes
+    the long way round on purpose — build the AST, pretty-print it,
+    re-parse and re-typecheck — so every instrumented program is genuine
+    InCA-C source the whole toolchain accepts, and candidates that
+    cannot be expressed at their anchor (a peer variable out of scope, a
+    width clash) are discarded by the type checker rather than
+    special-cased here. *)
+
+module Ast = Front.Ast
+module Loc = Front.Loc
+module Driver = Core.Driver
+open Ast
+
+type template =
+  | Const_value of { var : string; value : int64 }
+  | Value_range of { var : string; lo : int64; hi : int64 }
+  | Var_ordering of { lhs : string; rhs : string }
+  | Loop_bound of { iters : int }
+  | Stream_length of { stream : string; len : int }
+  | Stream_monotonic of { stream : string; nondecreasing : bool }
+
+type candidate = {
+  uid : int;
+  cproc : string;
+  cloc : Loc.t;
+  template : template;
+  text : string;
+}
+
+let template_kind = function
+  | Const_value _ -> "const-value"
+  | Value_range _ -> "value-range"
+  | Var_ordering _ -> "var-ordering"
+  | Loop_bound _ -> "loop-bound"
+  | Stream_length _ -> "stream-length"
+  | Stream_monotonic _ -> "stream-monotonic"
+
+let text_of_template = function
+  | Const_value { var; value } -> Printf.sprintf "%s == %Ld" var value
+  | Value_range { var; lo; hi } -> Printf.sprintf "%s in [%Ld, %Ld]" var lo hi
+  | Var_ordering { lhs; rhs } -> Printf.sprintf "%s <= %s" lhs rhs
+  | Loop_bound { iters } -> Printf.sprintf "trip count == %d" iters
+  | Stream_length { stream; len } -> Printf.sprintf "writes to %s == %d" stream len
+  | Stream_monotonic { stream; nondecreasing } ->
+      Printf.sprintf "writes to %s %s" stream
+        (if nondecreasing then "nondecreasing" else "nonincreasing")
+
+let describe c =
+  if Loc.equal c.cloc Loc.none then Printf.sprintf "%s: %s" c.cproc c.text
+  else Printf.sprintf "%s: %s at %s:%d" c.cproc c.text c.cloc.Loc.file c.cloc.Loc.line
+
+(* --- inference ----------------------------------------------------------- *)
+
+(* Minimum observations before a template is trusted: constants need a
+   repeat, bounds and orderings need enough samples not to be noise. *)
+let min_const = 2
+let min_range = 4
+let min_pair = 4
+let min_loop = 2
+let min_mono = 4
+
+type scal = { mutable scount : int; mutable lo : int64; mutable hi : int64 }
+type pair = { mutable pcount : int; mutable le_ok : bool; mutable ge_ok : bool }
+type loopst = { mutable lcount : int; mutable llo : int; mutable lhi : int }
+
+type streamst = {
+  mutable runs_seen : int;
+  mutable len_ok : bool;  (** every run wrote the same number of values *)
+  len : int;  (** write count of the first run seen *)
+  mutable nondec : bool;
+  mutable noninc : bool;
+  mutable writes_total : int;
+}
+
+(* Hash tables keyed structurally, with a side list recording first-seen
+   key order so candidate emission (and thus [uid]) is deterministic. *)
+let get tbl order key fresh =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      let v = fresh () in
+      Hashtbl.add tbl key v;
+      order := key :: !order;
+      v
+
+let infer (prog : Ast.program) (traces : Trace.run_trace list) : candidate list =
+  let scalars = Hashtbl.create 64 and scalar_order = ref [] in
+  let pairs = Hashtbl.create 64 and pair_order = ref [] in
+  let loops = Hashtbl.create 16 and loop_order = ref [] in
+  let streams = Hashtbl.create 16 and stream_order = ref [] in
+  List.iter
+    (fun (t : Trace.run_trace) ->
+      (* per-run scalar environment: proc -> var -> current value,
+         seeded with the stimulus' process parameters so invariants can
+         relate variables to parameters (e.g. [i <= n]) *)
+      let env : (string * string, int64) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun (pname, bindings) ->
+          List.iter (fun (v, x) -> Hashtbl.replace env (pname, v) x) bindings)
+        t.Trace.tr_options.Driver.params;
+      (* per-run stream write state: (proc, stream) -> count, last, monotone *)
+      let swr : (string * string, int ref * int64 ref * bool ref * bool ref) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      List.iter
+        (fun (ev : Interp.obs_event) ->
+          match ev with
+          | Interp.Obs_scalar { oproc; oloc; ovar; value } ->
+              let s =
+                get scalars scalar_order (oproc, oloc, ovar) (fun () ->
+                    { scount = 0; lo = value; hi = value })
+              in
+              s.scount <- s.scount + 1;
+              if Int64.compare value s.lo < 0 then s.lo <- value;
+              if Int64.compare value s.hi > 0 then s.hi <- value;
+              (* ordering against every other variable currently bound
+                 in this process, checked at [ovar]'s anchor *)
+              Hashtbl.iter
+                (fun (p, w) wv ->
+                  if p = oproc && w <> ovar then begin
+                    let pr =
+                      get pairs pair_order (oproc, oloc, ovar, w) (fun () ->
+                          { pcount = 0; le_ok = true; ge_ok = true })
+                    in
+                    pr.pcount <- pr.pcount + 1;
+                    if Int64.compare value wv > 0 then pr.le_ok <- false;
+                    if Int64.compare value wv < 0 then pr.ge_ok <- false
+                  end)
+                env;
+              Hashtbl.replace env (oproc, ovar) value
+          | Interp.Obs_loop { oproc; oloc; iters } ->
+              let l =
+                get loops loop_order (oproc, oloc) (fun () ->
+                    { lcount = 0; llo = iters; lhi = iters })
+              in
+              l.lcount <- l.lcount + 1;
+              if iters < l.llo then l.llo <- iters;
+              if iters > l.lhi then l.lhi <- iters
+          | Interp.Obs_stream { oproc; stream; written } ->
+              let count, last, nondec, noninc =
+                match Hashtbl.find_opt swr (oproc, stream) with
+                | Some s -> s
+                | None ->
+                    let s = (ref 0, ref written, ref true, ref true) in
+                    Hashtbl.add swr (oproc, stream) s;
+                    s
+              in
+              if !count > 0 then begin
+                if Int64.compare written !last < 0 then nondec := false;
+                if Int64.compare written !last > 0 then noninc := false
+              end;
+              incr count;
+              last := written)
+        t.Trace.events;
+      (* merge this run's per-stream facts into the global table *)
+      Hashtbl.iter
+        (fun key (count, _, nondec, noninc) ->
+          let g =
+            get streams stream_order key (fun () ->
+                {
+                  runs_seen = 0;
+                  len_ok = true;
+                  len = !count;
+                  nondec = true;
+                  noninc = true;
+                  writes_total = 0;
+                })
+          in
+          g.runs_seen <- g.runs_seen + 1;
+          if !count <> g.len then g.len_ok <- false;
+          g.nondec <- g.nondec && !nondec;
+          g.noninc <- g.noninc && !noninc;
+          g.writes_total <- g.writes_total + !count)
+        swr)
+    traces;
+  (* emission, in first-observation order per table *)
+  let out = ref [] in
+  let emit cproc cloc template =
+    out := { uid = 0; cproc; cloc; template; text = text_of_template template } :: !out
+  in
+  List.iter
+    (fun ((proc, loc, var) as key) ->
+      let s : scal = Hashtbl.find scalars key in
+      if s.scount >= min_const && Int64.equal s.lo s.hi then
+        emit proc loc (Const_value { var; value = s.lo })
+      else if s.scount >= min_range then
+        emit proc loc (Value_range { var; lo = s.lo; hi = s.hi }))
+    (List.rev !scalar_order);
+  List.iter
+    (fun ((proc, loc, v, w) as key) ->
+      let p : pair = Hashtbl.find pairs key in
+      if p.pcount >= min_pair then
+        (* both directions holding means equality throughout — almost
+           always two constants, already covered by const-value *)
+        if p.le_ok && not p.ge_ok then emit proc loc (Var_ordering { lhs = v; rhs = w })
+        else if p.ge_ok && not p.le_ok then
+          emit proc loc (Var_ordering { lhs = w; rhs = v }))
+    (List.rev !pair_order);
+  List.iter
+    (fun ((proc, loc) as key) ->
+      let l : loopst = Hashtbl.find loops key in
+      if l.lcount >= min_loop && l.llo = l.lhi && l.llo > 0 then
+        emit proc loc (Loop_bound { iters = l.llo }))
+    (List.rev !loop_order);
+  List.iter
+    (fun ((proc, stream) as key) ->
+      let g : streamst = Hashtbl.find streams key in
+      if g.runs_seen >= 2 && g.len_ok && g.len > 0 then
+        emit proc Loc.none (Stream_length { stream; len = g.len });
+      if g.writes_total >= min_mono && not (g.nondec && g.noninc) then begin
+        if g.nondec then
+          emit proc Loc.none (Stream_monotonic { stream; nondecreasing = true });
+        if g.noninc then
+          emit proc Loc.none (Stream_monotonic { stream; nondecreasing = false })
+      end)
+    (List.rev !stream_order);
+  ignore prog;
+  List.mapi (fun i c -> { c with uid = i }) (List.rev !out)
+
+(* Take [n] candidates round-robin across template kinds, preserving
+   order within a kind, so a capped mining run exercises every kind. *)
+let cap_round_robin n cands =
+  if List.length cands <= n then cands
+  else begin
+    let kinds =
+      List.fold_left
+        (fun acc c ->
+          let k = template_kind c.template in
+          if List.mem_assoc k acc then acc else acc @ [ (k, ref []) ])
+        [] cands
+    in
+    List.iter
+      (fun c -> let q = List.assoc (template_kind c.template) kinds in q := c :: !q)
+      cands;
+    let queues = List.map (fun (k, q) -> (k, ref (List.rev !q))) kinds in
+    let out = ref [] and left = ref n and progress = ref true in
+    while !left > 0 && !progress do
+      progress := false;
+      List.iter
+        (fun (_, q) ->
+          if !left > 0 then
+            match !q with
+            | [] -> ()
+            | c :: tl ->
+                q := tl;
+                out := c :: !out;
+                decr left;
+                progress := true)
+        queues
+    done;
+    List.sort (fun a b -> compare a.uid b.uid) !out
+  end
+
+(* --- injection ----------------------------------------------------------- *)
+
+let i32 = Ast.int32_t
+
+let lit n =
+  let fits =
+    Int64.compare n (Int64.of_int32 Int32.min_int) >= 0
+    && Int64.compare n (Int64.of_int32 Int32.max_int) <= 0
+  in
+  Ast.mk_int ~ty:(if fits then i32 else Ast.int64_t) n
+
+let evar v = Ast.mk_var v
+let ebin op a b ty = Ast.mk_expr ty (Binop (op, a, b))
+
+let mk_assert cond =
+  Ast.mk_stmt (Assert (cond, Front.Pretty.expr_to_string cond))
+
+let counter_name uid = Printf.sprintf "__mine_c%d" uid
+let prev_name uid = Printf.sprintf "__mine_p%d" uid
+let first_name uid = Printf.sprintf "__mine_f%d" uid
+
+let cond_of_scalar_template = function
+  | Const_value { var; value } -> ebin Eq (evar var) (lit value) Tbool
+  | Value_range { var; lo; hi } ->
+      ebin Land
+        (ebin Le (lit lo) (evar var) Tbool)
+        (ebin Le (evar var) (lit hi) Tbool)
+        Tbool
+  | Var_ordering { lhs; rhs } -> ebin Le (evar lhs) (evar rhs) Tbool
+  | Loop_bound _ | Stream_length _ | Stream_monotonic _ ->
+      invalid_arg "cond_of_scalar_template"
+
+(* The observation that anchored a scalar candidate came from a specific
+   statement shape; insert the assert only after a statement that can
+   have produced it (the loc alone is ambiguous — the parser desugars
+   [int32 x = stream_read(s)] into two statements sharing one loc). *)
+let produces_var st var =
+  match st.s with
+  | Decl (_, v, Some _) -> v = var
+  | Assign (Lvar v, _) -> v = var
+  | Stream_read (Lvar v, _) -> v = var
+  | For _ | While _ -> true  (* induction variable, anchored at the loop *)
+  | _ -> false
+
+let scalar_anchor_var = function
+  | Const_value { var; _ } | Value_range { var; _ } -> var
+  | Var_ordering { lhs; _ } -> lhs
+  | Loop_bound _ | Stream_length _ | Stream_monotonic _ ->
+      invalid_arg "scalar_anchor_var"
+
+(* Append at process end, but before a trailing return. *)
+let append_at_end body extra =
+  match List.rev body with
+  | ({ s = Return _; _ } as r) :: rev_rest -> List.rev (r :: List.rev_append extra rev_rest)
+  | _ -> body @ extra
+
+(* The declared type of the values written to [stream] in [body] (used
+   to type the previous-value register of the monotonicity check). *)
+let written_ty body stream =
+  let found = ref None in
+  Ast.iter_stmts
+    (fun st ->
+      match st.s with
+      | Stream_write (s, e) when s = stream && !found = None -> found := Some e.ety
+      | _ -> ())
+    body;
+  match !found with Some t -> t | None -> i32
+
+let inject_one (prog : Ast.program) (c : candidate) : Ast.program =
+  let rewrite_body body =
+    match c.template with
+    | Const_value _ | Value_range _ | Var_ordering _ ->
+        let a = mk_assert (cond_of_scalar_template c.template) in
+        let var = scalar_anchor_var c.template in
+        Ast.map_stmts
+          (fun st ->
+            if Loc.equal st.sloc c.cloc && produces_var st var then
+              match st.s with
+              | For (h, b) -> [ { st with s = For (h, a :: b) } ]
+              | While (w, b) -> [ { st with s = While (w, a :: b) } ]
+              | _ -> [ st; a ]
+            else [ st ])
+          body
+    | Loop_bound { iters } ->
+        let cnt = counter_name c.uid in
+        let decl = Ast.mk_stmt (Decl (i32, cnt, Some (lit 0L))) in
+        let incr =
+          Ast.mk_stmt (Assign (Lvar cnt, ebin Add (evar cnt) (lit 1L) i32))
+        in
+        let post = mk_assert (ebin Eq (evar cnt) (lit (Int64.of_int iters)) Tbool) in
+        Ast.map_stmts
+          (fun st ->
+            if Loc.equal st.sloc c.cloc then
+              match st.s with
+              | For (h, b) -> [ decl; { st with s = For (h, incr :: b) }; post ]
+              | While (w, b) -> [ decl; { st with s = While (w, incr :: b) }; post ]
+              | _ -> [ st ]
+            else [ st ])
+          body
+    | Stream_length { stream; len } ->
+        let cnt = counter_name c.uid in
+        let decl = Ast.mk_stmt (Decl (i32, cnt, Some (lit 0L))) in
+        let incr =
+          Ast.mk_stmt (Assign (Lvar cnt, ebin Add (evar cnt) (lit 1L) i32))
+        in
+        let post = mk_assert (ebin Eq (evar cnt) (lit (Int64.of_int len)) Tbool) in
+        let body =
+          Ast.map_stmts
+            (fun st ->
+              match st.s with
+              | Stream_write (s, _) when s = stream -> [ st; incr ]
+              | _ -> [ st ])
+            body
+        in
+        append_at_end (decl :: body) [ post ]
+    | Stream_monotonic { stream; nondecreasing } ->
+        let pty = written_ty body stream in
+        let prev = prev_name c.uid and first = first_name c.uid in
+        let decls =
+          [
+            Ast.mk_stmt (Decl (pty, prev, Some (Ast.mk_int ~ty:pty 0L)));
+            Ast.mk_stmt (Decl (i32, first, Some (lit 1L)));
+          ]
+        in
+        let body =
+          Ast.map_stmts
+            (fun st ->
+              match st.s with
+              | Stream_write (s, e) when s = stream ->
+                  let op = if nondecreasing then Le else Ge in
+                  let check =
+                    Ast.mk_stmt
+                      (If
+                         ( ebin Eq (evar first) (lit 0L) Tbool,
+                           [ mk_assert (ebin op (evar prev) e Tbool) ],
+                           [] ))
+                  in
+                  [
+                    check;
+                    Ast.mk_stmt (Assign (Lvar first, lit 0L));
+                    Ast.mk_stmt (Assign (Lvar prev, e));
+                    st;
+                  ]
+              | _ -> [ st ])
+            body
+        in
+        decls @ body
+  in
+  {
+    prog with
+    procs =
+      List.map
+        (fun p -> if p.pname = c.cproc then { p with body = rewrite_body p.body } else p)
+        prog.procs;
+  }
+
+let inject_ast (prog : Ast.program) (cands : candidate list) : Ast.program =
+  List.fold_left inject_one prog
+    (List.sort (fun a b -> compare a.uid b.uid) cands)
+
+let inject (prog : Ast.program) (cands : candidate list) :
+    (string * Ast.program) option =
+  match
+    let ast = inject_ast prog cands in
+    let src = Front.Pretty.program_to_string ast in
+    (src, Front.Typecheck.parse_and_check ~file:"mined.c" src)
+  with
+  | src, p -> Some (src, p)
+  | exception _ -> None
+
+(* --- falsification ------------------------------------------------------- *)
+
+let survivors (prog : Ast.program) ~(stimuli : Trace.stimulus list) cands =
+  List.filter
+    (fun c ->
+      match inject prog [ c ] with
+      | None -> false
+      | Some (_, instrumented) ->
+          List.for_all
+            (fun (st : Trace.stimulus) ->
+              let cfg =
+                {
+                  Interp.default_config with
+                  Interp.params = st.Trace.options.Driver.params;
+                  feeds = st.Trace.options.Driver.feeds;
+                  drains = st.Trace.options.Driver.drains;
+                  extern_models = st.Trace.options.Driver.hw_models;
+                }
+              in
+              match Interp.run ~cfg instrumented with
+              | r -> Interp.ok r
+              | exception _ -> false)
+            stimuli)
+    cands

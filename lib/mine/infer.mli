@@ -1,0 +1,74 @@
+(** Invariant inference and re-injection (the Daikon-style back half).
+
+    Six templates are instantiated over the merged passing-run traces of
+    {!Trace.collect}; a candidate survives inference only if no passing
+    run falsifies it.  Surviving candidates are injected back into the
+    program as ordinary [assert] statements — via pretty-print and
+    re-parse, so every instrumented program is genuine InCA-C source —
+    and {!Rank} scores them by mutant-kill power. *)
+
+type template =
+  | Const_value of { var : string; value : int64 }
+      (** the variable held one value at this statement, every run *)
+  | Value_range of { var : string; lo : int64; hi : int64 }
+      (** observed bounds at this statement across all runs *)
+  | Var_ordering of { lhs : string; rhs : string }
+      (** [lhs <= rhs] held whenever [lhs] was assigned here ([rhs] is
+          another in-scope variable or a process parameter) *)
+  | Loop_bound of { iters : int }
+      (** the loop at the anchor completed exactly [iters] iterations in
+          every execution — checked post-loop via an injected counter *)
+  | Stream_length of { stream : string; len : int }
+      (** the anchor process wrote exactly [len] values to [stream] per
+          run — checked at process end via an injected counter *)
+  | Stream_monotonic of { stream : string; nondecreasing : bool }
+      (** successive writes to [stream] from the anchor process were
+          monotone — checked at each write via an injected
+          previous-value register *)
+
+type candidate = {
+  uid : int;  (** deterministic: position in canonical inference order *)
+  cproc : string;
+  cloc : Front.Loc.t;
+      (** anchor statement ({!Front.Loc.none} for the stream templates,
+          which are process-scoped) *)
+  template : template;
+  text : string;  (** human-readable invariant, e.g. ["i in [0, 31]"] *)
+}
+
+(** Short kind name ("const-value", "value-range", "var-ordering",
+    "loop-bound", "stream-length", "stream-monotonic"). *)
+val template_kind : template -> string
+
+(** One-line description with anchor, for reports. *)
+val describe : candidate -> string
+
+(** Instantiate every template over the merged traces.  Deterministic:
+    candidates appear in first-observation order with [uid] numbered
+    from 0. *)
+val infer : Front.Ast.program -> Trace.run_trace list -> candidate list
+
+(** Keep at most [n] candidates, taken round-robin across template
+    kinds so a capped mining run still exercises every kind. *)
+val cap_round_robin : int -> candidate list -> candidate list
+
+(** Pure AST injection of the candidates' checks (asserts, plus counter
+    / previous-value bookkeeping for the loop and stream templates). *)
+val inject_ast : Front.Ast.program -> candidate list -> Front.Ast.program
+
+(** [inject prog cands] injects, pretty-prints, and re-parses, returning
+    the instrumented source and its checked program — or [None] when
+    the candidate cannot be expressed at its anchor (out-of-scope
+    variable, width clash): inexpressible candidates are discarded, not
+    errors. *)
+val inject :
+  Front.Ast.program -> candidate list -> (string * Front.Ast.program) option
+
+(** Falsification filter: keep the candidates whose singly-instrumented
+    program still passes software simulation under every [stimuli]
+    entry (callers pass the stimuli whose uninstrumented run passed). *)
+val survivors :
+  Front.Ast.program ->
+  stimuli:Trace.stimulus list ->
+  candidate list ->
+  candidate list

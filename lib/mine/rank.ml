@@ -1,0 +1,244 @@
+(** Mutant-kill ranking of mined invariants.
+
+    The scoring loop closes the paper's argument: an invariant mined
+    from the software-simulation traces is re-synthesized as an
+    in-circuit assertion and judged by the translation faults it
+    actually catches in the cycle-accurate circuit — with its EP2S180
+    area and fmax price printed next to the kill count, the same
+    cost/coverage trade the paper's tables make for hand-written
+    assertions. *)
+
+module Driver = Core.Driver
+module Fault = Faults.Fault
+
+type config = {
+  strategy : string * Driver.strategy;
+  max_candidates : int;
+  max_mutants : int option;
+  budget : int option;
+  watchdog : int option;
+}
+
+let default_config =
+  {
+    strategy = ("parallelized", Driver.parallelized);
+    max_candidates = 12;
+    max_mutants = None;
+    budget = None;
+    watchdog = None;
+  }
+
+type scored = {
+  candidate : Infer.candidate;
+  kills : int;
+  marginal : int;
+  newly_detected : string list;
+  mutants : int;
+  alut_delta : int;
+  reg_delta : int;
+  fmax_delta_mhz : float;
+  source : string;
+}
+
+type result = {
+  rname : string;
+  strategy_name : string;
+  stimuli : string list;
+  inferred : int;
+  capped : int;
+  survivors : int;
+  mutants : int;
+  base_detected : int;
+  scored : scored list;
+}
+
+(* Faults a campaign sweep detected, as stable description strings
+   (ordinals are enumerated on the baseline IR, so descriptions align
+   between the base and instrumented sweeps). *)
+let detected_set (r : Campaign.report) =
+  List.filter_map
+    (fun (run : Campaign.run) ->
+      if Campaign.detected run.Campaign.outcome then
+        Some (Fault.describe run.Campaign.fault)
+      else None)
+    r.Campaign.runs
+  |> List.sort_uniq compare
+
+let mine ?(config = default_config) ~name ?options (prog : Front.Ast.program) : result =
+  let base_options =
+    match options with Some o -> o | None -> Trace.auto_options prog
+  in
+  let stimuli = Trace.variants base_options in
+  let traces = Trace.collect prog stimuli in
+  if not (List.exists (fun (t : Trace.run_trace) -> t.Trace.tr_stimulus = "base") traces)
+  then
+    invalid_arg
+      (Printf.sprintf
+         "Mine: %s does not pass software simulation under the base stimulus (check \
+          feeds/params)"
+         name);
+  let passing =
+    List.filter
+      (fun (st : Trace.stimulus) ->
+        List.exists (fun (t : Trace.run_trace) -> t.Trace.tr_stimulus = st.Trace.label) traces)
+      stimuli
+  in
+  let inferred = Infer.infer prog traces in
+  let kept = Infer.cap_round_robin config.max_candidates inferred in
+  let survivors = Infer.survivors prog ~stimuli:passing kept in
+  let ccfg =
+    {
+      Campaign.strategies = [ config.strategy ];
+      budget = config.budget;
+      watchdog = config.watchdog;
+      max_mutants = config.max_mutants;
+    }
+  in
+  let sweep p nm =
+    Campaign.run ~config:ccfg
+      [ { Campaign.wname = nm; program = p; options = base_options } ]
+  in
+  let base_report = sweep prog name in
+  let base_set = detected_set base_report in
+  let base_c = Driver.compile ~strategy:(snd config.strategy) prog in
+  let scored =
+    List.filter_map
+      (fun (c : Infer.candidate) ->
+        match Infer.inject prog [ c ] with
+        | None -> None
+        | Some (src, p') -> (
+            match
+              let rep = sweep p' (name ^ "+" ^ string_of_int c.Infer.uid) in
+              let comp = Driver.compile ~strategy:(snd config.strategy) p' in
+              (rep, comp)
+            with
+            | rep, comp ->
+                let det = detected_set rep in
+                let newly = List.filter (fun d -> not (List.mem d base_set)) det in
+                Some
+                  {
+                    candidate = c;
+                    kills = List.length det;
+                    marginal = List.length newly;
+                    newly_detected = newly;
+                    mutants = rep.Campaign.site_count;
+                    alut_delta =
+                      comp.Driver.area.Rtl.Area.aluts
+                      - base_c.Driver.area.Rtl.Area.aluts;
+                    reg_delta =
+                      comp.Driver.area.Rtl.Area.registers
+                      - base_c.Driver.area.Rtl.Area.registers;
+                    fmax_delta_mhz =
+                      comp.Driver.timing.Rtl.Timing.fmax_mhz
+                      -. base_c.Driver.timing.Rtl.Timing.fmax_mhz;
+                    source = src;
+                  }
+            | exception _ -> None))
+      survivors
+  in
+  let ranked =
+    List.sort
+      (fun a b ->
+        if a.marginal <> b.marginal then compare b.marginal a.marginal
+        else if a.kills <> b.kills then compare b.kills a.kills
+        else
+          let aa = a.alut_delta + a.reg_delta and bb = b.alut_delta + b.reg_delta in
+          if aa <> bb then compare aa bb
+          else compare a.candidate.Infer.uid b.candidate.Infer.uid)
+      scored
+  in
+  {
+    rname = name;
+    strategy_name = fst config.strategy;
+    stimuli = List.map (fun (t : Trace.run_trace) -> t.Trace.tr_stimulus) traces;
+    inferred = List.length inferred;
+    capped = List.length kept;
+    survivors = List.length scored;
+    mutants = base_report.Campaign.site_count;
+    base_detected = List.length base_set;
+    scored = ranked;
+  }
+
+let take n l =
+  let rec go n = function x :: tl when n > 0 -> x :: go (n - 1) tl | _ -> [] in
+  go n l
+
+let top_candidates ?(top = max_int) (r : result) =
+  List.map (fun s -> s.candidate) (take top r.scored)
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let render ?(top = max_int) (r : result) : string =
+  let b = Buffer.create 2048 in
+  let p fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt
+  in
+  p "=== assertion mining: %s (strategy %s) ===" r.rname r.strategy_name;
+  p "traces: %d passing stimuli (%s)" (List.length r.stimuli)
+    (String.concat ", " r.stimuli);
+  p "candidates: %d inferred, %d kept, %d survive injection + falsification"
+    r.inferred r.capped r.survivors;
+  p "fault sites: %d mutants; base program detects %d" r.mutants r.base_detected;
+  p "";
+  p "%4s %5s %4s %8s %8s %10s  %s" "rank" "kills" "new" "aluts" "regs" "fmax(MHz)"
+    "invariant";
+  List.iteri
+    (fun i s ->
+      p "%4d %5d %4d %+8d %+8d %+10.1f  %s  [%s]" (i + 1) s.kills s.marginal
+        s.alut_delta s.reg_delta s.fmax_delta_mhz
+        (Infer.describe s.candidate)
+        (Infer.template_kind s.candidate.Infer.template);
+      List.iter (fun d -> p "%38s newly detects: %s" "" d) s.newly_detected)
+    (take top r.scored);
+  if r.scored = [] then p "(no candidate survived)";
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render_json ?(top = max_int) (r : result) : string =
+  let str s = Printf.sprintf "\"%s\"" (json_escape s) in
+  let obj fields = "{" ^ String.concat ", " fields ^ "}" in
+  let fld k v = Printf.sprintf "%s: %s" (str k) v in
+  let arr items = "[" ^ String.concat ", " items ^ "]" in
+  obj
+    [
+      fld "name" (str r.rname);
+      fld "strategy" (str r.strategy_name);
+      fld "stimuli" (arr (List.map str r.stimuli));
+      fld "inferred" (string_of_int r.inferred);
+      fld "kept" (string_of_int r.capped);
+      fld "survivors" (string_of_int r.survivors);
+      fld "mutants" (string_of_int r.mutants);
+      fld "base_detected" (string_of_int r.base_detected);
+      fld "ranking"
+        (arr
+           (List.map
+              (fun s ->
+                obj
+                  [
+                    fld "uid" (string_of_int s.candidate.Infer.uid);
+                    fld "invariant" (str (Infer.describe s.candidate));
+                    fld "kind" (str (Infer.template_kind s.candidate.Infer.template));
+                    fld "kills" (string_of_int s.kills);
+                    fld "marginal" (string_of_int s.marginal);
+                    fld "newly_detected" (arr (List.map str s.newly_detected));
+                    fld "mutants" (string_of_int s.mutants);
+                    fld "alut_delta" (string_of_int s.alut_delta);
+                    fld "reg_delta" (string_of_int s.reg_delta);
+                    fld "fmax_delta_mhz" (Printf.sprintf "%.2f" s.fmax_delta_mhz);
+                  ])
+              (take top r.scored)));
+    ]

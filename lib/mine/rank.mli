@@ -1,0 +1,66 @@
+(** Mutant-kill ranking of mined invariants (the selection half).
+
+    A mined invariant is only worth its area if it detects translation
+    faults the existing assertions miss.  Each surviving candidate is
+    injected on its own, compiled under the chosen synthesis strategy,
+    and swept through the fault-injection campaign; candidates are
+    ranked by newly-detected faults (faults the uninstrumented program
+    misses), then total kills, then area cost. *)
+
+type config = {
+  strategy : string * Core.Driver.strategy;
+      (** synthesis strategy candidates are compiled and swept under *)
+  max_candidates : int;  (** cap after inference, round-robin per kind *)
+  max_mutants : int option;  (** per-sweep fault-site cap *)
+  budget : int option;  (** per-mutant cycle budget (None = auto) *)
+  watchdog : int option;  (** live-lock window (None = auto) *)
+}
+
+(** parallelized strategy, 12 candidates, no mutant cap. *)
+val default_config : config
+
+type scored = {
+  candidate : Infer.candidate;
+  kills : int;  (** faults detected with this invariant injected *)
+  marginal : int;  (** of those, faults the base program does not detect *)
+  newly_detected : string list;  (** {!Faults.Fault.describe} of each *)
+  mutants : int;  (** fault sites swept *)
+  alut_delta : int;  (** ALUT cost of the synthesized checker *)
+  reg_delta : int;
+  fmax_delta_mhz : float;  (** negative = the checker slowed the clock *)
+  source : string;  (** the singly-instrumented InCA-C source *)
+}
+
+type result = {
+  rname : string;
+  strategy_name : string;
+  stimuli : string list;  (** labels of the passing trace stimuli *)
+  inferred : int;  (** candidates instantiated from the traces *)
+  capped : int;  (** after [max_candidates] *)
+  survivors : int;  (** after injection + falsification *)
+  mutants : int;  (** fault sites of the base sweep *)
+  base_detected : int;  (** faults the uninstrumented program detects *)
+  scored : scored list;  (** every survivor, ranked best-first *)
+}
+
+(** Trace, infer, filter, score, rank.  [options] is the base stimulus
+    (defaults to {!Trace.auto_options}); it must pass software
+    simulation, else [Invalid_argument] is raised.
+
+    Ranking is deterministic: marginal kills desc, total kills desc,
+    area delta asc, uid asc. *)
+val mine :
+  ?config:config ->
+  name:string ->
+  ?options:Core.Driver.sim_options ->
+  Front.Ast.program ->
+  result
+
+(** The [top] best candidates (all survivors if [top] exceeds them). *)
+val top_candidates : ?top:int -> result -> Infer.candidate list
+
+(** Human-readable ranking table, trimmed to [top] rows. *)
+val render : ?top:int -> result -> string
+
+(** The same report as a JSON document. *)
+val render_json : ?top:int -> result -> string

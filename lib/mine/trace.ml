@@ -1,0 +1,106 @@
+(** Trace recording for assertion mining (the Daikon-style front half).
+
+    Mining learns from the *software-simulation* path — the same
+    desktop-simulation runs an Impulse-C developer already has — so the
+    candidate invariants describe behaviour the developer believes
+    correct.  The value comes later, in circuit: a mined invariant
+    synthesized as an in-circuit assertion catches translation faults
+    the software path never sees (paper, Section 5.1). *)
+
+module Ast = Front.Ast
+module Driver = Core.Driver
+
+type stimulus = {
+  label : string;
+  options : Driver.sim_options;
+}
+
+type run_trace = {
+  tr_stimulus : string;
+  tr_options : Driver.sim_options;
+  events : Interp.obs_event list;
+}
+
+(* --- stimulus derivation ------------------------------------------------- *)
+
+(* Same policy as [inca campaign] without flags: feed every purely-read
+   stream a ramp, drain every purely-written stream, and default every
+   process parameter to 32 (sized to the ramp). *)
+let auto_options ?(feeds = []) ?(drains = []) ?(params = []) (prog : Ast.program) :
+    Driver.sim_options =
+  let reads = ref [] and writes = ref [] in
+  List.iter
+    (fun (p : Ast.proc) ->
+      Ast.iter_stmts
+        (fun st ->
+          match st.Ast.s with
+          | Ast.Stream_read (_, s) ->
+              if not (List.mem s !reads) then reads := s :: !reads
+          | Ast.Stream_write (s, _) ->
+              if not (List.mem s !writes) then writes := s :: !writes
+          | _ -> ())
+        p.Ast.body)
+    prog.Ast.procs;
+  let feeds =
+    if feeds <> [] then feeds
+    else
+      List.filter_map
+        (fun s ->
+          if List.mem s !writes then None
+          else Some (s, List.init 48 (fun i -> Int64.of_int (i + 1))))
+        (List.rev !reads)
+  in
+  let drains =
+    if drains <> [] then drains
+    else List.filter (fun s -> not (List.mem s !reads)) (List.rev !writes)
+  in
+  let params =
+    List.map
+      (fun (p : Ast.proc) ->
+        let given = try List.assoc p.Ast.pname params with Not_found -> [] in
+        ( p.Ast.pname,
+          List.map
+            (fun (n, _) -> (n, try List.assoc n given with Not_found -> 32L))
+            p.Ast.params ))
+      (Driver.hw_procs prog)
+  in
+  { Driver.default_sim_options with Driver.feeds; drains; params }
+
+let map_feeds f (o : Driver.sim_options) =
+  { o with Driver.feeds = List.map (fun (s, vs) -> (s, f vs)) o.Driver.feeds }
+
+(* Deterministic transformations of the base feeds.  The family is
+   deliberately varied enough to falsify stimulus-specific accidents
+   (exact input constants, input orderings) while preserving genuine
+   structural invariants (trip counts, output cardinalities).  Variants
+   whose run fails an existing assertion are simply dropped by
+   [collect]. *)
+let variants (base : Driver.sim_options) : stimulus list =
+  [
+    { label = "base"; options = base };
+    { label = "reversed"; options = map_feeds List.rev base };
+    { label = "shifted"; options = map_feeds (List.map (Int64.add 7L)) base };
+    { label = "scaled"; options = map_feeds (List.map (Int64.mul 3L)) base };
+    { label = "halved"; options = map_feeds (List.map (fun v -> Int64.div v 2L)) base };
+  ]
+
+(* --- collection ---------------------------------------------------------- *)
+
+let collect (prog : Ast.program) (stimuli : stimulus list) : run_trace list =
+  (* One baseline compile serves every stimulus: [software_sim] runs the
+     *source* program (assertions intact), only the options differ. *)
+  let c = Driver.compile ~strategy:Driver.baseline prog in
+  List.filter_map
+    (fun st ->
+      let events = ref [] in
+      match
+        Driver.software_sim ~options:st.options
+          ~observer:(fun e -> events := e :: !events)
+          c
+      with
+      | r when Interp.ok r ->
+          Some
+            { tr_stimulus = st.label; tr_options = st.options; events = List.rev !events }
+      | _ -> None
+      | exception _ -> None)
+    stimuli

@@ -1,0 +1,45 @@
+(** Trace recording for assertion mining (the Daikon-style front half).
+
+    Runs a program repeatedly under the software-simulation path
+    ({!Core.Driver.software_sim}) with the {!Interp} observer hook
+    installed, across a family of deterministically derived stimuli, and
+    keeps the observation streams of the runs that pass.  {!Infer} turns
+    the merged traces into candidate invariants. *)
+
+(** One named testbench: a label plus the feeds/drains/params to run. *)
+type stimulus = {
+  label : string;
+  options : Core.Driver.sim_options;
+}
+
+(** The observations of one passing run, in emission order. *)
+type run_trace = {
+  tr_stimulus : string;            (** label of the stimulus that produced it *)
+  tr_options : Core.Driver.sim_options;
+      (** the stimulus itself — {!Infer} seeds process parameters from
+          it so invariants can relate variables to parameters *)
+  events : Interp.obs_event list;
+}
+
+(** Derive a usable testbench from the program alone (same policy as
+    [inca campaign] without flags): feed every purely-read stream the
+    ramp 1..48, drain every purely-written stream, default every
+    process parameter to 32.  Explicit [feeds]/[drains]/[params]
+    override the derived ones. *)
+val auto_options :
+  ?feeds:(string * int64 list) list ->
+  ?drains:string list ->
+  ?params:(string * (string * int64) list) list ->
+  Front.Ast.program ->
+  Core.Driver.sim_options
+
+(** The stimulus family mined over: the base testbench plus
+    deterministic feed transformations (reversed, shifted, scaled,
+    halved).  The base stimulus is always first and labelled "base". *)
+val variants : Core.Driver.sim_options -> stimulus list
+
+(** Run every stimulus under software simulation with the observer
+    installed; return the traces of the runs that completed with no
+    assertion failure.  Failing or crashing runs are dropped — mining
+    only learns from passing behaviour. *)
+val collect : Front.Ast.program -> stimulus list -> run_trace list

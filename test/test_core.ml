@@ -233,6 +233,46 @@ let test_notify_nabort_source () =
   check tbool "NABORT continues" true (contains "NABORT");
   check tbool "no abort" false (contains "abort();")
 
+(* Under the Carte-C flavour (share = `Dma) the notification function
+   polls the DMA mailbox instead of reading Impulse-C streams: one
+   drain loop over head/tail, switching directly on assertion ids. *)
+let test_notify_dma_source () =
+  let prog = elab two_assert_src in
+  let c = Driver.compile ~strategy:Driver.carte prog in
+  let src = c.Driver.notification_source in
+  let contains needle =
+    let n = String.length needle and m = String.length src in
+    let rec go i = i + n <= m && (String.sub src i n = needle || go (i + 1)) in
+    go 0
+  in
+  check tbool "mailbox signature" true
+    (contains "assertion_notification(uint32_t *mailbox, int *head, int *tail)");
+  check tbool "head/tail drain loop" true (contains "while (*head != *tail)");
+  check tbool "ring-buffer pop" true (contains "mailbox[(*head)++ & 63]");
+  check tbool "no stream reads" false (contains "co_stream_read");
+  check tbool "case per assertion id" true (contains "case 0:" && contains "case 1:");
+  check tbool "prints ANSI message" true (contains "Assertion `x > 0' failed")
+
+(* The DMA drain loop is keyed by assertion id: any per-stream routing
+   (failure words from the channel-sharing plan) must be ignored. *)
+let test_notify_dma_ignores_route () =
+  let prog = elab two_assert_src in
+  let table =
+    List.mapi (fun i a -> (i, a)) (Core.Assertion.extract prog)
+  in
+  let route = List.map (fun (id, _) -> (id, ("err0", Int64.of_int (100 + id)))) table in
+  let src =
+    Core.Notify.c_source ~dma:true ~route ~table ~streams:[ "err0" ] ~nabort:false
+  in
+  let contains needle =
+    let n = String.length needle and m = String.length src in
+    let rec go i = i + n <= m && (String.sub src i n = needle || go (i + 1)) in
+    go 0
+  in
+  check tbool "keyed by id, not routed word" true
+    (contains "case 0:" && contains "case 1:");
+  check tbool "routed words absent" false (contains "case 100:" || contains "case 101:")
+
 (* --- Checker ------------------------------------------------------------------------ *)
 
 let test_checker_synthesized () =
@@ -584,6 +624,9 @@ let () =
         [
           Alcotest.test_case "generated C" `Quick test_notify_c_source;
           Alcotest.test_case "NABORT variant" `Quick test_notify_nabort_source;
+          Alcotest.test_case "DMA mailbox drain loop" `Quick test_notify_dma_source;
+          Alcotest.test_case "DMA ignores stream routing" `Quick
+            test_notify_dma_ignores_route;
         ] );
       ( "checker", [ Alcotest.test_case "synthesis" `Quick test_checker_synthesized ] );
       ( "driver",

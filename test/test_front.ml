@@ -342,6 +342,43 @@ let test_roundtrip_cases () =
   roundtrip (simple_proc "int64 c; c = (int64)4294967286 > (int64)4294967296;");
   roundtrip "extern int32 ext(int32) latency 2; process hw m() { int32 y; y = ext(7); assert(y != 0); }"
 
+(* Round-trip property over the bundled applications: every real
+   program ships through print/parse unchanged.  The assertion-mining
+   subsystem depends on this — injection pretty-prints and re-parses
+   the instrumented program, so the printer must be total over
+   arbitrary app-sized ASTs, not just the toy cases above. *)
+let bundled_app_sources () =
+  [
+    ("fir", Apps.Fir_src.source ());
+    ("dct", Apps.Dct_src.source ());
+    ("des3", Apps.Des_src.demo_source ());
+    ("edge", Apps.Edge_src.demo_source ());
+  ]
+
+let test_roundtrip_bundled_apps () =
+  List.iter (fun (_name, src) -> roundtrip src) (bundled_app_sources ())
+
+(* And the instrumented forms: compile each app under every synthesis
+   strategy and round-trip the instrumented AST's printed source. *)
+let test_roundtrip_instrumented () =
+  let strategies =
+    Core.Driver.
+      [
+        ("baseline", baseline); ("unoptimized", unoptimized);
+        ("parallelized", parallelized); ("optimized", optimized);
+        ("carte", carte);
+      ]
+  in
+  List.iter
+    (fun (name, src) ->
+      let prog = Typecheck.parse_and_check ~file:(name ^ ".c") src in
+      List.iter
+        (fun (_sname, strategy) ->
+          let c = Core.Driver.compile ~strategy prog in
+          roundtrip (Pretty.program_to_string c.Core.Driver.instrumented))
+        strategies)
+    (bundled_app_sources ())
+
 (* QCheck: random expressions round-trip through print/parse. *)
 let gen_expr =
   let open QCheck.Gen in
@@ -426,6 +463,9 @@ let () =
       ( "pretty",
         [
           Alcotest.test_case "roundtrip programs" `Quick test_roundtrip_cases;
+          Alcotest.test_case "roundtrip bundled apps" `Quick test_roundtrip_bundled_apps;
+          Alcotest.test_case "roundtrip instrumented apps" `Quick
+            test_roundtrip_instrumented;
           QCheck_alcotest.to_alcotest expr_roundtrip_prop;
         ] );
     ]

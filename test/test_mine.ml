@@ -1,0 +1,311 @@
+(* Assertion-mining tests: template inference over recorded traces,
+   cross-stimulus falsification filtering, injection round-trip through
+   the pretty-printer and type checker, and determinism of the
+   mutant-kill ranking. *)
+
+open Front
+module Driver = Core.Driver
+module Trace = Mine.Trace
+module Infer = Mine.Infer
+module Rank = Mine.Rank
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstr = Alcotest.string
+
+let elab src = Typecheck.parse_and_check ~file:"test.c" src
+
+let has_sub ~sub s =
+  let n = String.length sub and l = String.length s in
+  let rec go i = i + n <= l && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* A windowed accumulator (same shape as examples/mine_demo.c): every
+   template kind has something to latch onto under the auto stimulus
+   (ramp feed, n = 32). *)
+let demo_source =
+  {|
+stream int32 m_in depth 16;
+stream int32 m_out depth 16;
+
+process hw window(int32 n) {
+  int32 acc;
+  int32 i;
+  acc = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int32 v;
+    v = stream_read(m_in);
+    acc = acc + v;
+    assert(acc >= 0);
+    stream_write(m_out, acc);
+  }
+}
+|}
+
+let demo_prog () = elab demo_source
+
+let demo_traces prog =
+  let stimuli = Trace.variants (Trace.auto_options prog) in
+  (stimuli, Trace.collect prog stimuli)
+
+let kinds cands =
+  List.sort_uniq compare
+    (List.map (fun c -> Infer.template_kind c.Infer.template) cands)
+
+(* --- Inference ------------------------------------------------------------------ *)
+
+let test_infer_templates () =
+  let prog = demo_prog () in
+  let _, traces = demo_traces prog in
+  check tbool "all stimuli pass" true (List.length traces = 5);
+  let cands = Infer.infer prog traces in
+  let ks = kinds cands in
+  List.iter
+    (fun k -> check tbool (k ^ " inferred") true (List.mem k ks))
+    [
+      "const-value"; "value-range"; "var-ordering"; "loop-bound";
+      "stream-length"; "stream-monotonic";
+    ];
+  (* the structural invariants carry the exact workload size *)
+  check tbool "loop bound is 32" true
+    (List.exists
+       (fun c -> c.Infer.template = Infer.Loop_bound { iters = 32 })
+       cands);
+  check tbool "stream length is 32" true
+    (List.exists
+       (fun c ->
+         c.Infer.template = Infer.Stream_length { stream = "m_out"; len = 32 })
+       cands);
+  (* the ramp feed keeps acc growing, so the output stream is monotone *)
+  check tbool "m_out nondecreasing" true
+    (List.exists
+       (fun c ->
+         c.Infer.template
+         = Infer.Stream_monotonic { stream = "m_out"; nondecreasing = true })
+       cands);
+  (* uids number the canonical order from 0 *)
+  List.iteri (fun i c -> check tint "uid order" i c.Infer.uid) cands
+
+(* A constant input feed makes the loop-read value look constant under
+   the base stimulus, but the shifted/scaled/halved feed variants move
+   it — the falsification filter must kill the const-value candidate
+   once the variant traces are merged. *)
+let const_feed_source =
+  {|
+stream int32 f_in depth 8;
+stream int32 f_out depth 8;
+
+process hw probe(int32 n) {
+  int32 v;
+  int32 i;
+  for (i = 0; i < n; i = i + 1) {
+    v = stream_read(f_in);
+    stream_write(f_out, v + i);
+  }
+}
+|}
+
+let test_falsification_across_stimuli () =
+  let prog = elab const_feed_source in
+  let base =
+    Trace.auto_options ~feeds:[ ("f_in", List.init 48 (fun _ -> 5L)) ] prog
+  in
+  let stimuli = Trace.variants base in
+  let traces = Trace.collect prog stimuli in
+  let base_only =
+    List.filter (fun t -> t.Trace.tr_stimulus = "base") traces
+  in
+  check tint "base trace present" 1 (List.length base_only);
+  let const_on_v cands =
+    List.exists
+      (fun c ->
+        match c.Infer.template with
+        | Infer.Const_value { var = "v"; value = 5L } -> true
+        | _ -> false)
+      cands
+  in
+  (* seen only the base run, v = 5 looks constant... *)
+  check tbool "const holds on base alone" true
+    (const_on_v (Infer.infer prog base_only));
+  (* ...but the shifted/scaled/halved feeds falsify it *)
+  check tbool "variants falsify the constant" false
+    (const_on_v (Infer.infer prog traces));
+  (* the weaker range invariant survives the merge instead *)
+  check tbool "range on v survives" true
+    (List.exists
+       (fun c ->
+         match c.Infer.template with
+         | Infer.Value_range { var = "v"; _ } -> true
+         | _ -> false)
+       (Infer.infer prog traces))
+
+let test_survivors_drop_false_candidate () =
+  let prog = demo_prog () in
+  let stimuli, traces = demo_traces prog in
+  let cands = Infer.infer prog traces in
+  let good =
+    List.find
+      (fun c -> c.Infer.template = Infer.Loop_bound { iters = 32 })
+      cands
+  in
+  (* same anchor, wrong bound: injectable, but every run falsifies it *)
+  let bad =
+    {
+      good with
+      Infer.uid = good.Infer.uid + 1000;
+      template = Infer.Loop_bound { iters = 7 };
+      text = "trip count == 7";
+    }
+  in
+  let kept = Infer.survivors prog ~stimuli [ good; bad ] in
+  check tbool "true bound survives" true (List.mem good kept);
+  check tbool "false bound filtered" false (List.mem bad kept)
+
+let test_cap_round_robin () =
+  let prog = demo_prog () in
+  let _, traces = demo_traces prog in
+  let cands = Infer.infer prog traces in
+  let capped = Infer.cap_round_robin 6 cands in
+  check tint "capped size" 6 (List.length capped);
+  (* round-robin keeps the kind diversity of the full set *)
+  check tbool "kind diversity preserved" true
+    (List.length (kinds capped) >= min 6 (List.length (kinds cands)));
+  (* order stays canonical (by uid) after capping *)
+  let uids = List.map (fun c -> c.Infer.uid) capped in
+  check tbool "uids sorted" true (List.sort compare uids = uids)
+
+(* --- Injection ------------------------------------------------------------------ *)
+
+let test_inject_roundtrip () =
+  let prog = demo_prog () in
+  let _, traces = demo_traces prog in
+  let cands = Infer.cap_round_robin 12 (Infer.infer prog traces) in
+  match Infer.inject prog cands with
+  | None -> Alcotest.fail "injection of inferred candidates returned None"
+  | Some (src, inst) ->
+      (* the instrumented text is genuine InCA-C: it re-elaborates *)
+      let reparsed = Typecheck.parse_and_check ~file:"mined.c" src in
+      check tint "reparse preserves procs"
+        (List.length inst.Ast.procs)
+        (List.length reparsed.Ast.procs);
+      (* counters / previous-value registers made it into the source *)
+      check tbool "has mine counter" true (has_sub ~sub:"__mine_" src);
+      (* strictly more assertions than the original program *)
+      let n_orig = List.length (Core.Assertion.extract prog) in
+      let n_inst = List.length (Core.Assertion.extract inst) in
+      check tbool "asserts added" true (n_inst > n_orig);
+      (* and the instrumented program still passes software simulation
+         under the stimulus that produced the invariants *)
+      let c = Driver.compile inst in
+      let r = Driver.software_sim ~options:(Trace.auto_options prog) c in
+      check tbool "instrumented sim passes" true (Interp.ok r)
+
+let test_inject_out_of_scope () =
+  let prog = demo_prog () in
+  let _, traces = demo_traces prog in
+  let cands = Infer.infer prog traces in
+  (* anchor on a statement that really produces a variable, so the
+     assert IS injected — then its unknown right-hand side must be
+     caught by the re-parse type check and the whole injection
+     discarded as None, not raised *)
+  let anchor =
+    List.find
+      (fun c ->
+        match c.Infer.template with Infer.Const_value _ -> true | _ -> false)
+      cands
+  in
+  let var =
+    match anchor.Infer.template with
+    | Infer.Const_value { var; _ } -> var
+    | _ -> assert false
+  in
+  let bogus =
+    {
+      anchor with
+      Infer.uid = 999;
+      template = Infer.Var_ordering { lhs = var; rhs = "no_such_var" };
+      text = var ^ " <= no_such_var";
+    }
+  in
+  check tbool "out-of-scope candidate rejected" true
+    (Infer.inject prog [ bogus ] = None)
+
+(* --- Ranking -------------------------------------------------------------------- *)
+
+let small_config =
+  {
+    Rank.strategy = ("parallelized", Driver.parallelized);
+    max_candidates = 6;
+    max_mutants = Some 6;
+    budget = None;
+    watchdog = None;
+  }
+
+let scored_key (s : Rank.scored) =
+  (s.Rank.candidate.Infer.uid, s.Rank.kills, s.Rank.marginal, s.Rank.newly_detected)
+
+let test_rank_deterministic () =
+  let prog = demo_prog () in
+  let r1 = Rank.mine ~config:small_config ~name:"demo" prog in
+  let r2 = Rank.mine ~config:small_config ~name:"demo" prog in
+  check tbool "same ranking" true
+    (List.map scored_key r1.Rank.scored = List.map scored_key r2.Rank.scored);
+  check tstr "same rendering" (Rank.render r1) (Rank.render r2);
+  (* ranked best-first: marginal kills never increase down the list *)
+  let margins = List.map (fun s -> s.Rank.marginal) r1.Rank.scored in
+  check tbool "sorted by marginal" true
+    (List.sort (fun a b -> compare b a) margins = margins)
+
+let test_rank_fir_acceptance () =
+  let w =
+    List.find (fun w -> w.Campaign.wname = "fir") (Campaign.bundled ())
+  in
+  let r =
+    Rank.mine ~name:w.Campaign.wname ~options:w.Campaign.options
+      w.Campaign.program
+  in
+  check tbool "at least 5 survivors" true (r.Rank.survivors >= 5);
+  check tint "every survivor scored" r.Rank.survivors (List.length r.Rank.scored);
+  match r.Rank.scored with
+  | [] -> Alcotest.fail "no scored candidates"
+  | top :: _ ->
+      (* the top-ranked invariant detects a fault the FIR's own
+         assertions miss (the ISSUE acceptance criterion) *)
+      check tbool "top candidate detects a new fault" true (top.Rank.marginal >= 1);
+      check tbool "newly-detected faults are named" true
+        (List.length top.Rank.newly_detected = top.Rank.marginal)
+
+let test_rank_rejects_failing_base () =
+  let prog = elab "process hw bad() { int32 x; x = 1; assert(x == 2); }" in
+  check tbool "failing base stimulus raises" true
+    (match Rank.mine ~name:"bad" prog with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "mine"
+    [
+      ( "infer",
+        [
+          Alcotest.test_case "templates inferred" `Quick test_infer_templates;
+          Alcotest.test_case "cross-stimulus falsification" `Quick
+            test_falsification_across_stimuli;
+          Alcotest.test_case "survivors filter" `Quick
+            test_survivors_drop_false_candidate;
+          Alcotest.test_case "round-robin cap" `Quick test_cap_round_robin;
+        ] );
+      ( "inject",
+        [
+          Alcotest.test_case "round-trip" `Quick test_inject_roundtrip;
+          Alcotest.test_case "out-of-scope rejected" `Quick
+            test_inject_out_of_scope;
+        ] );
+      ( "rank",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rank_deterministic;
+          Alcotest.test_case "fir acceptance" `Quick test_rank_fir_acceptance;
+          Alcotest.test_case "failing base rejected" `Quick
+            test_rank_rejects_failing_base;
+        ] );
+    ]

@@ -463,25 +463,73 @@ let timing_demo () =
 
 (* --- Fault-injection campaign -------------------------------------------------------- *)
 
-let campaign_bench () =
-  section "Fault-injection campaign: assertion coverage and sweep throughput";
+(* One timed sweep at a given job count, from a cold compile cache so
+   the hit/miss split is a property of the sweep and not of whoever ran
+   before us. *)
+let timed_campaign ~jobs workloads =
+  Exec.Cache.reset ();
   let t0 = Unix.gettimeofday () in
   let n = ref 0 in
-  let report = Campaign.run ~progress:(fun _ -> incr n) (Campaign.bundled ()) in
+  let config = { Campaign.default_config with Campaign.jobs = Some jobs } in
+  let report = Campaign.run ~config ~progress:(fun _ -> incr n) workloads in
   let dt = Unix.gettimeofday () -. t0 in
+  (report, !n, dt, Exec.Cache.stats ())
+
+let campaign_bench () =
+  section "Fault-injection campaign: assertion coverage and sweep throughput";
+  let workloads = Campaign.bundled () in
+  let jobs = Exec.Pool.default_jobs () in
+  let serial_report, n, serial_dt, _serial_stats = timed_campaign ~jobs:1 workloads in
+  let report, _, dt, stats = timed_campaign ~jobs workloads in
   print_endline (Campaign.render report);
-  let mps = float_of_int !n /. dt in
-  Printf.printf "  %d mutant runs in %.2fs: %.1f mutants/sec\n" !n dt mps;
-  (* machine-readable artifact: throughput plus the full report
-     (per-strategy detection counts and mean cycles-to-detection) *)
+  if Campaign.render_json report <> Campaign.render_json serial_report then begin
+    Printf.eprintf "  DETERMINISM VIOLATION: %d-domain report differs from serial\n" jobs;
+    exit 1
+  end;
+  let mps = float_of_int n /. dt in
+  let speedup = serial_dt /. dt in
+  Printf.printf "  %d mutant runs: serial %.2fs, %d domain(s) %.2fs (%.2fx), %.1f mutants/sec\n"
+    n serial_dt jobs dt speedup mps;
+  Printf.printf "  compile cache: %d hits / %d misses per sweep (reports byte-identical)\n"
+    stats.Exec.Cache.hits stats.Exec.Cache.misses;
+  (* machine-readable artifact: throughput, parallel speedup and cache
+     effectiveness plus the full report (per-strategy detection counts
+     and mean cycles-to-detection) *)
   let oc = open_out "BENCH_campaign.json" in
   Printf.fprintf oc
-    "{\"mutant_runs\": %d, \"elapsed_seconds\": %.3f, \"mutants_per_second\": %.1f, \
-     \"report\": %s}\n"
-    !n dt mps
+    "{\"mutant_runs\": %d, \"elapsed_seconds\": %.3f, \"serial_wall_seconds\": %.3f, \
+     \"wall_seconds\": %.3f, \"jobs\": %d, \"speedup\": %.3f, \"mutants_per_second\": %.1f, \
+     \"cache_hits\": %d, \"cache_misses\": %d, \"report\": %s}\n"
+    n dt serial_dt dt jobs speedup mps stats.Exec.Cache.hits stats.Exec.Cache.misses
     (Campaign.render_json report);
   close_out oc;
   print_endline "  wrote BENCH_campaign.json"
+
+(* CI smoke: a single bundled workload, capped, asserting the compile
+   cache actually absorbed the per-mutant front-end work. *)
+let campaign_smoke () =
+  section "Campaign smoke: FIR sweep, compile-cache effectiveness";
+  let workloads =
+    List.filter (fun (w : Campaign.workload) -> w.Campaign.wname = "fir")
+      (Campaign.bundled ())
+  in
+  if workloads = [] then begin
+    prerr_endline "  no bundled FIR workload";
+    exit 1
+  end;
+  Exec.Cache.reset ();
+  let config =
+    { Campaign.default_config with Campaign.max_mutants = Some 8; jobs = None }
+  in
+  let report = Campaign.run ~config workloads in
+  let stats = Exec.Cache.stats () in
+  Printf.printf "  %d mutants swept, cache: %d hits / %d misses\n"
+    (List.length report.Campaign.runs) stats.Exec.Cache.hits stats.Exec.Cache.misses;
+  if stats.Exec.Cache.hits = 0 then begin
+    prerr_endline "  FAIL: compile cache recorded no hits across a mutant sweep";
+    exit 1
+  end;
+  print_endline "  ok: cache_hits > 0"
 
 (* --- Assertion mining ---------------------------------------------------------------- *)
 
@@ -491,12 +539,15 @@ let campaign_bench () =
    ranks each against at most 10 mutants. *)
 let mine_bench () =
   section "Assertion mining: invariants ranked by mutant kills";
+  Exec.Cache.reset ();
+  let jobs = Exec.Pool.default_jobs () in
   let t0 = Unix.gettimeofday () in
   let config =
     {
       Mine.Rank.default_config with
       Mine.Rank.max_candidates = 8;
       max_mutants = Some 10;
+      jobs = Some jobs;
     }
   in
   let results =
@@ -519,13 +570,16 @@ let mine_bench () =
         acc + List.fold_left (fun a s -> a + s.Mine.Rank.marginal) 0 r.Mine.Rank.scored)
       0 results
   in
+  let stats = Exec.Cache.stats () in
   Printf.printf "  %d survivors across %d workloads, %d marginal detections, %.2fs\n"
     total_survivors (List.length results) total_marginal dt;
+  Printf.printf "  compile cache: %d hits / %d misses (%d sweep domain(s))\n"
+    stats.Exec.Cache.hits stats.Exec.Cache.misses jobs;
   let oc = open_out "BENCH_mine.json" in
   Printf.fprintf oc
     "{\"elapsed_seconds\": %.3f, \"survivors\": %d, \"marginal_detections\": %d, \
-     \"workloads\": [%s]}\n"
-    dt total_survivors total_marginal
+     \"jobs\": %d, \"cache_hits\": %d, \"cache_misses\": %d, \"workloads\": [%s]}\n"
+    dt total_survivors total_marginal jobs stats.Exec.Cache.hits stats.Exec.Cache.misses
     (String.concat ", " (List.map (Mine.Rank.render_json ~top:5) results));
   close_out oc;
   print_endline "  wrote BENCH_mine.json"
@@ -613,6 +667,7 @@ let artifacts =
     ("ablation-transport", ablation_transport);
     ("timing", timing_demo);
     ("campaign", campaign_bench);
+    ("campaign-smoke", campaign_smoke);
     ("mine", mine_bench);
     ("bechamel", bechamel);
   ]

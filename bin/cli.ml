@@ -1,0 +1,202 @@
+(* Shared command-line plumbing for the inca subcommands.
+
+   Every subcommand used to carry its own copy of the feed/drain/param
+   parsing and the strategy/NABORT/NDEBUG flags; they live here once so
+   [simulate], [swsim], [campaign] and [mine] cannot drift apart.  The
+   strategy converter is driven by {!Core.Driver.all_strategies}, so a
+   new strategy registered there is accepted everywhere at once. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* --- strategy selection --------------------------------------------------- *)
+
+(* "none" is a scripting-friendly alias for the canonical "baseline". *)
+let strategy_of_string = function
+  | "none" -> Ok ("baseline", Core.Driver.baseline)
+  | s -> (
+      match List.assoc_opt s Core.Driver.all_strategies with
+      | Some st -> Ok (s, st)
+      | None ->
+          Error
+            (`Msg
+              (Printf.sprintf "unknown strategy %s (expected one of %s)" s
+                 (String.concat ", " (List.map fst Core.Driver.all_strategies)))))
+
+let strategy_conv : (string * Core.Driver.strategy) Arg.conv =
+  Arg.conv (strategy_of_string, fun ppf (name, _) -> Format.pp_print_string ppf name)
+
+let strategy_doc =
+  "Assertion synthesis strategy: baseline (assertions stripped), unoptimized \
+   (if-conversion, Section 4.1), parallelized (checker tasks, Sections 3.1+3.2), \
+   optimized (parallelized + 32-way channel sharing, Section 3.3), or carte \
+   (DMA-mailbox transport, Section 4.3)."
+
+let strategy_opt ?(default = ("optimized", Core.Driver.optimized)) ?(doc = strategy_doc) () =
+  Arg.(value & opt strategy_conv default & info [ "s"; "strategy" ] ~doc)
+
+type strategy_sel = {
+  sname : string;
+  strategy : Core.Driver.strategy;
+  nabort : bool;
+  ndebug : bool;
+}
+
+let strategy_args ?default () =
+  let nabort_arg =
+    Arg.(
+      value & flag & info [ "nabort" ] ~doc:"Keep running after assertion failures (NABORT).")
+  in
+  let ndebug_arg =
+    Arg.(value & flag & info [ "ndebug" ] ~doc:"Strip all assertions (NDEBUG).")
+  in
+  let mk (sname, strategy) nabort ndebug = { sname; strategy; nabort; ndebug } in
+  Term.(const mk $ strategy_opt ?default () $ nabort_arg $ ndebug_arg)
+
+(* NDEBUG wins over everything; NABORT is folded into the strategy. *)
+let apply_sel sel =
+  if sel.ndebug then ("baseline", Core.Driver.baseline)
+  else (sel.sname, { sel.strategy with Core.Driver.nabort = sel.nabort })
+
+let load sel path =
+  let src = read_file path in
+  let prog = Front.Typecheck.parse_and_check ~file:(Filename.basename path) src in
+  let _, strategy = apply_sel sel in
+  Core.Driver.compile ~strategy prog
+
+(* --- testbench stimulus --------------------------------------------------- *)
+
+let parse_feed s =
+  match String.index_opt s '=' with
+  | Some i ->
+      let stream = String.sub s 0 i in
+      let vals =
+        String.split_on_char ',' (String.sub s (i + 1) (String.length s - i - 1))
+        |> List.filter (fun x -> x <> "")
+        |> List.map Int64.of_string
+      in
+      (stream, vals)
+  | None -> invalid_arg (Printf.sprintf "bad feed %S (expected stream=v1,v2,...)" s)
+
+let parse_param s =
+  match String.index_opt s ':' with
+  | Some i -> (
+      let proc = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.index_opt rest '=' with
+      | Some j ->
+          let name = String.sub rest 0 j in
+          let v = Int64.of_string (String.sub rest (j + 1) (String.length rest - j - 1)) in
+          (proc, (name, v))
+      | None -> invalid_arg (Printf.sprintf "bad param %S" s))
+  | None -> invalid_arg (Printf.sprintf "bad param %S (expected proc:name=value)" s)
+
+let collect_params raw =
+  List.fold_left
+    (fun acc p ->
+      let proc, kv = parse_param p in
+      let cur = try List.assoc proc acc with Not_found -> [] in
+      (proc, kv :: cur) :: List.remove_assoc proc acc)
+    [] raw
+
+type stimulus = {
+  feeds : (string * int64 list) list;
+  drains : string list;
+  params : (string * (string * int64) list) list;
+}
+
+let stimulus_args =
+  let feeds_arg =
+    Arg.(value & opt_all string [] & info [ "feed" ] ~doc:"Testbench input: stream=v1,v2,...")
+  in
+  let drains_arg =
+    Arg.(value & opt_all string [] & info [ "drain" ] ~doc:"Stream to collect output from.")
+  in
+  let params_arg =
+    Arg.(
+      value & opt_all string [] & info [ "param" ] ~doc:"Process parameter: proc:name=value")
+  in
+  let mk feeds drains params =
+    { feeds = List.map parse_feed feeds; drains; params = collect_params params }
+  in
+  Term.(const mk $ feeds_arg $ drains_arg $ params_arg)
+
+type testbench = {
+  stimulus : stimulus;
+  max_cycles : int;
+  vcd : string option;
+  watchdog : int option;
+}
+
+let testbench_args =
+  let cycles_arg =
+    Arg.(value & opt int 1_000_000 & info [ "max-cycles" ] ~doc:"Cycle budget.")
+  in
+  let vcd_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vcd" ]
+          ~doc:"Dump a VCD waveform of every FSM state and named register (SignalTap view).")
+  in
+  let watchdog_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "watchdog" ]
+          ~doc:
+            "Live-lock watchdog window: stop after N cycles without forward progress \
+             (stream push/pop, tap event, or a register/memory value change).")
+  in
+  let mk stimulus max_cycles vcd watchdog = { stimulus; max_cycles; vcd; watchdog } in
+  Term.(const mk $ stimulus_args $ cycles_arg $ vcd_arg $ watchdog_arg)
+
+let sim_options_of (tb : testbench) =
+  {
+    Core.Driver.feeds = tb.stimulus.feeds;
+    drains = tb.stimulus.drains;
+    params = tb.stimulus.params;
+    hw_models = [];
+    max_cycles = tb.max_cycles;
+    timing_checks = [];
+    trace = tb.vcd <> None;
+    watchdog = tb.watchdog;
+  }
+
+(* --- sweep flags shared by campaign and mine ------------------------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"InCA-C source file")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget" ]
+        ~doc:"Per-mutant cycle budget (default: 4x the unfaulted run, plus slack).")
+
+let sweep_watchdog_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "watchdog" ]
+        ~doc:"Live-lock watchdog window in cycles (default: budget / 20, floor 200).")
+
+let max_mutants_arg ~doc = Arg.(value & opt (some int) None & info [ "max-mutants" ] ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the mutant sweep ($(docv)=1 runs serially without spawning \
+     any domain).  Defaults to $(env) or every core.  The report is byte-identical \
+     for every job count."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~env:(Cmd.Env.info "INCA_JOBS") ~docv:"N" ~doc)

@@ -6,59 +6,18 @@
      inca instrument app.c            # print the instrumented HLL (Figure 2)
      inca vhdl app.c -o out.vhdl
      inca simulate app.c --feed input=1,2,3 --drain output --param main:n=3
-     inca campaign [app.c]            # fault-injection sweep + coverage report
+     inca campaign [app.c] --jobs 4   # fault-injection sweep + coverage report
      inca mine app.c --top 5          # mine invariants, rank by mutant kills
      inca check app.c                 # scheduler invariant lint
+
+   Flag plumbing shared between subcommands (strategy selection,
+   testbench stimulus, sweep caps, --jobs) lives in {!Cli}.
 
    Exit status is meaningful for scripting: [simulate] exits 1 when the
    run fails (assertion failure, hang, or budget), [campaign] exits 1
    when any mutant silently escapes a non-baseline strategy. *)
 
 open Cmdliner
-
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let strategy_of_string = function
-  | "baseline" | "none" -> Ok Core.Driver.baseline
-  | "unoptimized" -> Ok Core.Driver.unoptimized
-  | "parallelized" -> Ok Core.Driver.parallelized
-  | "optimized" -> Ok Core.Driver.optimized
-  | "carte" -> Ok Core.Driver.carte
-  | s -> Error (`Msg (Printf.sprintf "unknown strategy %s" s))
-
-let strategy_conv =
-  Arg.conv (strategy_of_string, fun ppf _ -> Format.fprintf ppf "<strategy>")
-
-let strategy_arg =
-  let doc =
-    "Assertion synthesis strategy: baseline (assertions stripped), unoptimized \
-     (if-conversion, Section 4.1), parallelized (checker tasks, Sections 3.1+3.2), or \
-     optimized (parallelized + 32-way channel sharing, Section 3.3), or carte \
-     (DMA-mailbox transport, Section 4.3)."
-  in
-  Arg.(value & opt strategy_conv Core.Driver.optimized & info [ "s"; "strategy" ] ~doc)
-
-let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"InCA-C source file")
-
-let nabort_arg =
-  Arg.(value & flag & info [ "nabort" ] ~doc:"Keep running after assertion failures (NABORT).")
-
-let ndebug_arg =
-  Arg.(value & flag & info [ "ndebug" ] ~doc:"Strip all assertions (NDEBUG).")
-
-let load ~ndebug ~nabort ~strategy path =
-  let src = read_file path in
-  let prog = Front.Typecheck.parse_and_check ~file:(Filename.basename path) src in
-  let strategy =
-    if ndebug then Core.Driver.baseline else { strategy with Core.Driver.nabort }
-  in
-  Core.Driver.compile ~strategy prog
 
 let report (c : Core.Driver.compiled) =
   let a = c.Core.Driver.area in
@@ -97,8 +56,8 @@ let report (c : Core.Driver.compiled) =
 (* --- compile ------------------------------------------------------------------- *)
 
 let compile_cmd =
-  let run file strategy nabort ndebug =
-    let c = load ~ndebug ~nabort ~strategy file in
+  let run file sel =
+    let c = Cli.load sel file in
     report c;
     match Core.Driver.check_invariants c with
     | [] -> `Ok 0
@@ -108,13 +67,13 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile and print an area/timing report")
-    Term.(ret (const run $ file_arg $ strategy_arg $ nabort_arg $ ndebug_arg))
+    Term.(ret (const run $ Cli.file_arg $ Cli.strategy_args ()))
 
 (* --- instrument ---------------------------------------------------------------- *)
 
 let instrument_cmd =
-  let run file strategy nabort ndebug =
-    let c = load ~ndebug ~nabort ~strategy file in
+  let run file sel =
+    let c = Cli.load sel file in
     print_endline (Front.Pretty.program_to_string c.Core.Driver.instrumented);
     print_endline "/* --- generated notification function --- */";
     print_endline c.Core.Driver.notification_source;
@@ -123,7 +82,7 @@ let instrument_cmd =
   Cmd.v
     (Cmd.info "instrument"
        ~doc:"Print the instrumented HLL source and the generated notification function")
-    Term.(const run $ file_arg $ strategy_arg $ nabort_arg $ ndebug_arg)
+    Term.(const run $ Cli.file_arg $ Cli.strategy_args ())
 
 (* --- vhdl ------------------------------------------------------------------------ *)
 
@@ -131,8 +90,8 @@ let vhdl_cmd =
   let out_arg =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
   in
-  let run file strategy nabort ndebug out =
-    let c = load ~ndebug ~nabort ~strategy file in
+  let run file sel out =
+    let c = Cli.load sel file in
     (match out with
     | None -> print_string c.Core.Driver.vhdl
     | Some path ->
@@ -144,84 +103,16 @@ let vhdl_cmd =
   in
   Cmd.v
     (Cmd.info "vhdl" ~doc:"Emit VHDL for the synthesized design")
-    Term.(const run $ file_arg $ strategy_arg $ nabort_arg $ ndebug_arg $ out_arg)
+    Term.(const run $ Cli.file_arg $ Cli.strategy_args () $ out_arg)
 
 (* --- simulate -------------------------------------------------------------------- *)
 
-let parse_feed s =
-  match String.index_opt s '=' with
-  | Some i ->
-      let stream = String.sub s 0 i in
-      let vals =
-        String.split_on_char ',' (String.sub s (i + 1) (String.length s - i - 1))
-        |> List.filter (fun x -> x <> "")
-        |> List.map Int64.of_string
-      in
-      (stream, vals)
-  | None -> invalid_arg (Printf.sprintf "bad feed %S (expected stream=v1,v2,...)" s)
-
-let parse_param s =
-  match String.index_opt s ':' with
-  | Some i -> (
-      let proc = String.sub s 0 i in
-      let rest = String.sub s (i + 1) (String.length s - i - 1) in
-      match String.index_opt rest '=' with
-      | Some j ->
-          let name = String.sub rest 0 j in
-          let v = Int64.of_string (String.sub rest (j + 1) (String.length rest - j - 1)) in
-          (proc, (name, v))
-      | None -> invalid_arg (Printf.sprintf "bad param %S" s))
-  | None -> invalid_arg (Printf.sprintf "bad param %S (expected proc:name=value)" s)
-
 let simulate_cmd =
-  let feeds_arg =
-    Arg.(value & opt_all string [] & info [ "feed" ] ~doc:"Testbench input: stream=v1,v2,...")
-  in
-  let drains_arg =
-    Arg.(value & opt_all string [] & info [ "drain" ] ~doc:"Stream to collect output from.")
-  in
-  let params_arg =
-    Arg.(value & opt_all string [] & info [ "param" ] ~doc:"Process parameter: proc:name=value")
-  in
-  let cycles_arg =
-    Arg.(value & opt int 1_000_000 & info [ "max-cycles" ] ~doc:"Cycle budget.")
-  in
-  let vcd_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "vcd" ]
-          ~doc:"Dump a VCD waveform of every FSM state and named register (SignalTap view).")
-  in
-  let watchdog_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "watchdog" ]
-          ~doc:
-            "Live-lock watchdog window: stop after N cycles without forward progress \
-             (stream push/pop, tap event, or a register/memory value change).")
-  in
-  let run file strategy nabort ndebug feeds drains params max_cycles vcd watchdog =
-    let c = load ~ndebug ~nabort ~strategy file in
-    let feeds = List.map parse_feed feeds in
-    let params =
-      List.fold_left
-        (fun acc p ->
-          let proc, kv = parse_param p in
-          let cur = try List.assoc proc acc with Not_found -> [] in
-          (proc, kv :: cur) :: List.remove_assoc proc acc)
-        [] params
-    in
-    let r =
-      Core.Driver.simulate
-        ~options:
-          { Core.Driver.feeds; drains; params; hw_models = []; max_cycles;
-            timing_checks = []; trace = vcd <> None; watchdog }
-        c
-    in
+  let run file sel (tb : Cli.testbench) =
+    let c = Cli.load sel file in
+    let r = Core.Driver.simulate ~options:(Cli.sim_options_of tb) c in
     let e = r.Core.Driver.engine in
-    (match (vcd, e.Sim.Engine.vcd) with
+    (match (tb.Cli.vcd, e.Sim.Engine.vcd) with
     | Some path, Some contents ->
         let oc = open_out path in
         output_string oc contents;
@@ -263,37 +154,32 @@ let simulate_cmd =
        ~doc:
          "Run the design in the cycle-accurate simulator.  Exits 1 when the run fails: \
           an assertion fires, the design hangs, or the cycle budget is exceeded.")
-    Term.(
-      const run $ file_arg $ strategy_arg $ nabort_arg $ ndebug_arg $ feeds_arg $ drains_arg
-      $ params_arg $ cycles_arg $ vcd_arg $ watchdog_arg)
+    Term.(const run $ Cli.file_arg $ Cli.strategy_args () $ Cli.testbench_args)
 
 (* --- swsim ------------------------------------------------------------------------ *)
 
 let swsim_cmd =
-  let feeds_arg =
-    Arg.(value & opt_all string [] & info [ "feed" ] ~doc:"Testbench input: stream=v1,v2,...")
+  let nabort_arg =
+    Arg.(
+      value & flag & info [ "nabort" ] ~doc:"Keep running after assertion failures (NABORT).")
   in
-  let drains_arg =
-    Arg.(value & opt_all string [] & info [ "drain" ] ~doc:"Stream to collect output from.")
+  let ndebug_arg =
+    Arg.(value & flag & info [ "ndebug" ] ~doc:"Strip all assertions (NDEBUG).")
   in
-  let params_arg =
-    Arg.(value & opt_all string [] & info [ "param" ] ~doc:"Process parameter: proc:name=value")
-  in
-  let run file nabort ndebug feeds drains params =
-    let c = load ~ndebug ~nabort ~strategy:Core.Driver.baseline file in
-    let feeds = List.map parse_feed feeds in
-    let params =
-      List.fold_left
-        (fun acc p ->
-          let proc, kv = parse_param p in
-          let cur = try List.assoc proc acc with Not_found -> [] in
-          (proc, kv :: cur) :: List.remove_assoc proc acc)
-        [] params
+  let run file nabort ndebug (st : Cli.stimulus) =
+    let sel =
+      { Cli.sname = "baseline"; strategy = Core.Driver.baseline; nabort; ndebug }
     in
+    let c = Cli.load sel file in
     let r =
       Core.Driver.software_sim
         ~options:
-          { Core.Driver.default_sim_options with Core.Driver.feeds; drains; params }
+          {
+            Core.Driver.default_sim_options with
+            Core.Driver.feeds = st.Cli.feeds;
+            drains = st.Cli.drains;
+            params = st.Cli.params;
+          }
         ~nabort c
     in
     List.iter print_endline r.Interp.log;
@@ -318,7 +204,7 @@ let swsim_cmd =
        ~doc:
          "Run the program under software simulation (untimed C semantics, the Impulse-C \
           desktop path the paper contrasts against)")
-    Term.(const run $ file_arg $ nabort_arg $ ndebug_arg $ feeds_arg $ drains_arg $ params_arg)
+    Term.(const run $ Cli.file_arg $ nabort_arg $ ndebug_arg $ Cli.stimulus_args)
 
 (* --- campaign --------------------------------------------------------------------- *)
 
@@ -327,17 +213,12 @@ let swsim_cmd =
    default every unset process parameter to 32 (sized to the ramp).
    The policy lives in {!Mine.Trace} so mining and campaigning share
    the same default stimulus. *)
-let auto_stimulus prog feeds drains params =
-  let o = Mine.Trace.auto_options ~feeds ~drains ~params prog in
+let auto_stimulus prog (st : Cli.stimulus) =
+  let o =
+    Mine.Trace.auto_options ~feeds:st.Cli.feeds ~drains:st.Cli.drains ~params:st.Cli.params
+      prog
+  in
   (o.Core.Driver.feeds, o.Core.Driver.drains, o.Core.Driver.params)
-
-let collect_params raw =
-  List.fold_left
-    (fun acc p ->
-      let proc, kv = parse_param p in
-      let cur = try List.assoc proc acc with Not_found -> [] in
-      (proc, kv :: cur) :: List.remove_assoc proc acc)
-    [] raw
 
 let campaign_cmd =
   let file_arg =
@@ -349,37 +230,11 @@ let campaign_cmd =
             "InCA-C source file to campaign.  Omit to sweep the bundled case-study \
              applications (FIR, DCT, Triple-DES, edge detection).")
   in
-  let feeds_arg =
-    Arg.(value & opt_all string [] & info [ "feed" ] ~doc:"Testbench input: stream=v1,v2,...")
-  in
-  let drains_arg =
-    Arg.(value & opt_all string [] & info [ "drain" ] ~doc:"Stream to collect output from.")
-  in
-  let params_arg =
-    Arg.(value & opt_all string [] & info [ "param" ] ~doc:"Process parameter: proc:name=value")
-  in
-  let budget_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "budget" ]
-          ~doc:"Per-mutant cycle budget (default: 4x the unfaulted run, plus slack).")
-  in
-  let watchdog_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "watchdog" ]
-          ~doc:"Live-lock watchdog window in cycles (default: budget / 20, floor 200).")
-  in
   let max_mutants_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "max-mutants" ]
-          ~doc:
-            "Per-workload mutant cap, taken round-robin across fault kinds; the report \
-             counts dropped sites.")
+    Cli.max_mutants_arg
+      ~doc:
+        "Per-workload mutant cap, taken round-robin across fault kinds; the report \
+         counts dropped sites."
   in
   let json_arg =
     Arg.(
@@ -390,17 +245,15 @@ let campaign_cmd =
   let runs_arg =
     Arg.(value & flag & info [ "runs" ] ~doc:"Print the classification of every mutant run.")
   in
-  let run file feeds drains params budget watchdog max_mutants json_out show_runs =
+  let run file stimulus budget watchdog max_mutants jobs json_out show_runs =
     let workloads =
       match file with
       | None -> Campaign.bundled ()
       | Some path ->
-          let src = read_file path in
+          let src = Cli.read_file path in
           let name = Filename.remove_extension (Filename.basename path) in
           let prog = Front.Typecheck.parse_and_check ~file:(Filename.basename path) src in
-          let feeds = List.map parse_feed feeds in
-          let params = collect_params params in
-          let feeds, drains, params = auto_stimulus prog feeds drains params in
+          let feeds, drains, params = auto_stimulus prog stimulus in
           [
             {
               Campaign.wname = name;
@@ -411,7 +264,7 @@ let campaign_cmd =
           ]
     in
     let config =
-      { Campaign.default_config with Campaign.budget; watchdog; max_mutants }
+      { Campaign.default_config with Campaign.budget; watchdog; max_mutants; jobs }
     in
     let r = Campaign.run ~config workloads in
     print_endline (Campaign.render r);
@@ -419,12 +272,13 @@ let campaign_cmd =
       print_endline "\nper-mutant classification:";
       List.iter
         (fun (run : Campaign.run) ->
+          let detail = Campaign.detail_string run.Campaign.detail in
           Printf.printf "  %-10s %-13s %-42s %-9s %6d cyc%s%s\n" run.Campaign.workload
             run.Campaign.strategy
             (Faults.Fault.describe run.Campaign.fault)
             (Campaign.class_name run.Campaign.outcome)
             run.Campaign.cycles
-            (if run.Campaign.detail <> "" then "  " ^ run.Campaign.detail else "")
+            (if detail <> "" then "  " ^ detail else "")
             (if run.Campaign.retried then "  [retried]" else ""))
         r.Campaign.runs
     end;
@@ -461,18 +315,19 @@ let campaign_cmd =
           assertion-coverage report.  Exits 1 when any mutant silently escapes an \
           instrumented (non-baseline) strategy.")
     Term.(
-      const run $ file_arg $ feeds_arg $ drains_arg $ params_arg $ budget_arg $ watchdog_arg
-      $ max_mutants_arg $ json_arg $ runs_arg)
+      const run $ file_arg $ Cli.stimulus_args $ Cli.budget_arg $ Cli.sweep_watchdog_arg
+      $ max_mutants_arg $ Cli.jobs_arg $ json_arg $ runs_arg)
 
 (* --- mine ------------------------------------------------------------------------- *)
 
 let mine_cmd =
-  let strategy_name_arg =
-    let doc =
-      "Synthesis strategy the mined assertions are compiled and ranked under: \
-       unoptimized, parallelized, optimized, or carte."
-    in
-    Arg.(value & opt string "parallelized" & info [ "s"; "strategy" ] ~doc)
+  let strategy_arg =
+    Cli.strategy_opt
+      ~default:("parallelized", Core.Driver.parallelized)
+      ~doc:
+        "Synthesis strategy the mined assertions are compiled and ranked under: \
+         baseline, unoptimized, parallelized, optimized, or carte."
+      ()
   in
   let top_arg =
     Arg.(value & opt int 10 & info [ "top" ] ~doc:"Report the $(docv) best candidates." ~docv:"N")
@@ -489,15 +344,6 @@ let mine_cmd =
             "Print the InCA-C source instrumented with the top candidates (after the \
              report).")
   in
-  let feeds_arg =
-    Arg.(value & opt_all string [] & info [ "feed" ] ~doc:"Testbench input: stream=v1,v2,...")
-  in
-  let drains_arg =
-    Arg.(value & opt_all string [] & info [ "drain" ] ~doc:"Stream to collect output from.")
-  in
-  let params_arg =
-    Arg.(value & opt_all string [] & info [ "param" ] ~doc:"Process parameter: proc:name=value")
-  in
   let max_candidates_arg =
     Arg.(
       value
@@ -505,52 +351,31 @@ let mine_cmd =
       & info [ "max-candidates" ]
           ~doc:"Candidate cap after inference, taken round-robin across template kinds.")
   in
-  let max_mutants_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "max-mutants" ] ~doc:"Fault-site cap per ranking sweep.")
-  in
-  let budget_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "budget" ] ~doc:"Per-mutant cycle budget (default: auto).")
-  in
-  let run file sname top json emit feeds drains params max_candidates max_mutants budget =
-    match strategy_of_string sname with
-    | Error (`Msg m) -> `Error (false, m)
-    | Ok strategy -> (
-        let src = read_file file in
-        let name = Filename.remove_extension (Filename.basename file) in
-        let prog = Front.Typecheck.parse_and_check ~file:(Filename.basename file) src in
-        let options =
-          Mine.Trace.auto_options ~feeds:(List.map parse_feed feeds) ~drains
-            ~params:(collect_params params) prog
-        in
-        let config =
-          {
-            Mine.Rank.strategy = (sname, strategy);
-            max_candidates;
-            max_mutants;
-            budget;
-            watchdog = None;
-          }
-        in
-        match Mine.Rank.mine ~config ~name ~options prog with
-        | r ->
-            if json then print_endline (Mine.Rank.render_json ~top r)
-            else print_string (Mine.Rank.render ~top r);
-            if emit then begin
-              match Mine.Infer.inject prog (Mine.Rank.top_candidates ~top r) with
-              | Some (instrumented, _) ->
-                  print_endline "\n/* --- source instrumented with mined assertions --- */";
-                  print_string instrumented
-              | None ->
-                  prerr_endline "could not inject the top candidates together"
-            end;
-            `Ok 0
-        | exception Invalid_argument m -> `Error (false, m))
+  let max_mutants_arg = Cli.max_mutants_arg ~doc:"Fault-site cap per ranking sweep." in
+  let run file strategy top json emit stimulus max_candidates max_mutants budget jobs =
+    let src = Cli.read_file file in
+    let name = Filename.remove_extension (Filename.basename file) in
+    let prog = Front.Typecheck.parse_and_check ~file:(Filename.basename file) src in
+    let options =
+      Mine.Trace.auto_options ~feeds:stimulus.Cli.feeds ~drains:stimulus.Cli.drains
+        ~params:stimulus.Cli.params prog
+    in
+    let config =
+      { Mine.Rank.strategy; max_candidates; max_mutants; budget; watchdog = None; jobs }
+    in
+    match Mine.Rank.mine ~config ~name ~options prog with
+    | r ->
+        if json then print_endline (Mine.Rank.render_json ~top r)
+        else print_string (Mine.Rank.render ~top r);
+        if emit then begin
+          match Mine.Infer.inject prog (Mine.Rank.top_candidates ~top r) with
+          | Some (instrumented, _) ->
+              print_endline "\n/* --- source instrumented with mined assertions --- */";
+              print_string instrumented
+          | None -> prerr_endline "could not inject the top candidates together"
+        end;
+        `Ok 0
+    | exception Invalid_argument m -> `Error (false, m)
   in
   Cmd.v
     (Cmd.info "mine"
@@ -560,15 +385,15 @@ let mine_cmd =
           assertions, and rank them by fault-detection power with area/fmax cost")
     Term.(
       ret
-        (const run $ file_arg $ strategy_name_arg $ top_arg $ json_arg $ emit_arg
-       $ feeds_arg $ drains_arg $ params_arg $ max_candidates_arg $ max_mutants_arg
-       $ budget_arg))
+        (const run $ Cli.file_arg $ strategy_arg $ top_arg $ json_arg $ emit_arg
+       $ Cli.stimulus_args $ max_candidates_arg $ max_mutants_arg $ Cli.budget_arg
+       $ Cli.jobs_arg))
 
 (* --- check ------------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run file strategy =
-    let c = load ~ndebug:false ~nabort:false ~strategy file in
+  let run file sel =
+    let c = Cli.load sel file in
     match Core.Driver.check_invariants c with
     | [] ->
         print_endline "ok: all scheduler invariants hold";
@@ -579,7 +404,7 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Lint the scheduled design against FSMD invariants")
-    Term.(ret (const run $ file_arg $ strategy_arg))
+    Term.(ret (const run $ Cli.file_arg $ Cli.strategy_args ()))
 
 let main =
   let doc = "in-circuit assertion synthesis for high-level synthesis" in

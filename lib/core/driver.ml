@@ -43,6 +43,36 @@ let parallelized = { baseline with mode = Optimized; replicate = true; share = `
     reporting through one DMA mailbox the CPU polls. *)
 let carte = { baseline with mode = Optimized; replicate = true; share = `Dma }
 
+(** The canonical (name, strategy) table.  Every consumer that needs a
+    strategy by name — the CLI converter, the campaign sweep, the
+    mining ranker, the bench harness — reads this list, so names cannot
+    drift between them. *)
+let all_strategies =
+  [
+    ("baseline", baseline);
+    ("unoptimized", unoptimized);
+    ("parallelized", parallelized);
+    ("optimized", optimized);
+    ("carte", carte);
+  ]
+
+let mode_id = function
+  | Baseline -> "baseline"
+  | Unoptimized -> "unoptimized"
+  | Optimized -> "optimized"
+
+let share_id = function
+  | `Per_proc -> "per-proc"
+  | `Shared n -> "shared:" ^ string_of_int n
+  | `Dma -> "dma"
+
+(** A stable textual identity of a strategy covering every field —
+    the strategy half of {!Exec.Cache}'s compile-cache key. *)
+let strategy_id s =
+  Printf.sprintf "%s;replicate=%b;share=%s;nabort=%b;ports=%d;latency=%s"
+    (mode_id s.mode) s.replicate (share_id s.share) s.nabort s.mem_ports
+    (match s.checker_latency with Some l -> string_of_int l | None -> "auto")
+
 type compiled = {
   strategy : strategy;
   source : program;             (** the original (elaborated) program *)
@@ -62,10 +92,26 @@ type compiled = {
 
 let hw_procs prog = List.filter (fun p -> p.kind = Hardware) prog.procs
 
-(** Compile an elaborated program under [strategy], optionally injecting
-    hardware-translation [faults] (Section 5.1). *)
-let compile ?(strategy = optimized) ?(faults : Faults.Fault.t list = [])
-    (prog : program) : compiled =
+(* The fault-independent prefix of a compile: everything from assertion
+   extraction through lowering and checker synthesis.  Injected faults
+   (Section 5.1) only rewrite the lowered IR, so a fault-injection sweep
+   of hundreds of mutants shares one [front] per (program, strategy) —
+   {!Exec.Cache} memoizes exactly this value. *)
+type front = {
+  f_strategy : strategy;
+  f_source : program;
+  f_instrumented : program;
+  f_asserts : Assertion.info list;
+  f_table : (int * Assertion.info) list;
+  f_plan : Share.plan;
+  f_ir : Ir.program_ir;  (* lowered + optimized, before fault injection *)
+  f_checkers : Checker.t list;
+  f_notification_source : string;
+}
+
+(** Run the fault-independent compile prefix: assertion synthesis,
+    lowering, IR optimization, and checker synthesis. *)
+let front ?(strategy = optimized) (prog : program) : front =
   let asserts = Assertion.extract prog in
   let plan =
     match strategy.mode with
@@ -101,40 +147,14 @@ let compile ?(strategy = optimized) ?(faults : Faults.Fault.t list = [])
       (hw_procs instrumented)
   in
   let ir =
-    Faults.Fault.apply_all faults
-      { Ir.streams = instrumented.streams; externs = instrumented.externs; procs = ir_procs }
+    { Ir.streams = instrumented.streams; externs = instrumented.externs; procs = ir_procs }
   in
-  let fsmds = List.map Hls.Schedule.compile_proc ir.Ir.procs in
   let checkers =
     List.map
       (fun spec ->
         Checker.build ~prog:instrumented ~plan ?latency_override:strategy.checker_latency
           spec)
       specs
-  in
-  let checker_modules =
-    List.map (fun (c : Checker.t) -> Rtl.Gen.of_fsmd c.Checker.fsmd) checkers
-  in
-  let top_name =
-    match hw_procs prog with p :: _ -> p.pname | [] -> "design"
-  in
-  let netlist =
-    Rtl.Gen.design ~top_name fsmds instrumented.streams
-      ~extra_modules:(checker_modules @ plan.Share.collector_modules)
-      ()
-  in
-  let area = Rtl.Area.of_design netlist in
-  let max_chain =
-    List.fold_left
-      (fun acc (f : Hls.Fsmd.t) -> Stdlib.max acc f.Hls.Fsmd.max_chain_ns)
-      0.0
-      (fsmds @ List.map (fun (c : Checker.t) -> c.Checker.fsmd) checkers)
-  in
-  let timing = Rtl.Timing.estimate ~name:top_name ~max_chain_ns:max_chain area in
-  let vhdl =
-    Rtl.Vhdl.emit_design
-      (fsmds @ List.map (fun (c : Checker.t) -> c.Checker.fsmd) checkers)
-      instrumented.streams
   in
   let table = List.map (fun (a : Assertion.info) -> (a.Assertion.id, a)) asserts in
   let notification_source =
@@ -146,9 +166,73 @@ let compile ?(strategy = optimized) ?(faults : Faults.Fault.t list = [])
       ~nabort:strategy.nabort
   in
   {
-    strategy; source = prog; instrumented; asserts; table; plan; ir; fsmds; checkers;
-    netlist; area; timing; vhdl; notification_source;
+    f_strategy = strategy;
+    f_source = prog;
+    f_instrumented = instrumented;
+    f_asserts = asserts;
+    f_table = table;
+    f_plan = plan;
+    f_ir = ir;
+    f_checkers = checkers;
+    f_notification_source = notification_source;
   }
+
+(** Finish a compile from a (possibly cached, possibly shared) [front]:
+    inject [faults] into the lowered IR, then schedule, generate RTL and
+    estimate area/timing.  Never mutates the front, so one front value
+    is safely shared by concurrent mutant compiles across domains. *)
+let finish ?(faults : Faults.Fault.t list = []) (f : front) : compiled =
+  let strategy = f.f_strategy in
+  let instrumented = f.f_instrumented in
+  let plan = f.f_plan in
+  let checkers = f.f_checkers in
+  let ir = Faults.Fault.apply_all faults f.f_ir in
+  let fsmds = List.map Hls.Schedule.compile_proc ir.Ir.procs in
+  let checker_modules =
+    List.map (fun (c : Checker.t) -> Rtl.Gen.of_fsmd c.Checker.fsmd) checkers
+  in
+  let top_name =
+    match hw_procs f.f_source with p :: _ -> p.pname | [] -> "design"
+  in
+  let netlist =
+    Rtl.Gen.design ~top_name fsmds instrumented.streams
+      ~extra_modules:(checker_modules @ plan.Share.collector_modules)
+      ()
+  in
+  let area = Rtl.Area.of_design netlist in
+  let max_chain =
+    List.fold_left
+      (fun acc (fd : Hls.Fsmd.t) -> Stdlib.max acc fd.Hls.Fsmd.max_chain_ns)
+      0.0
+      (fsmds @ List.map (fun (c : Checker.t) -> c.Checker.fsmd) checkers)
+  in
+  let timing = Rtl.Timing.estimate ~name:top_name ~max_chain_ns:max_chain area in
+  let vhdl =
+    Rtl.Vhdl.emit_design
+      (fsmds @ List.map (fun (c : Checker.t) -> c.Checker.fsmd) checkers)
+      instrumented.streams
+  in
+  {
+    strategy;
+    source = f.f_source;
+    instrumented;
+    asserts = f.f_asserts;
+    table = f.f_table;
+    plan;
+    ir;
+    fsmds;
+    checkers;
+    netlist;
+    area;
+    timing;
+    vhdl;
+    notification_source = f.f_notification_source;
+  }
+
+(** Compile an elaborated program under [strategy], optionally injecting
+    hardware-translation [faults] (Section 5.1). *)
+let compile ?strategy ?faults (prog : program) : compiled =
+  finish ?faults (front ?strategy prog)
 
 (** Parse, type-check and compile from source text. *)
 let compile_source ?strategy ?faults ?file src =

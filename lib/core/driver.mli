@@ -41,6 +41,16 @@ val optimized : strategy
     reporting through one DMA mailbox the CPU polls every 32 cycles. *)
 val carte : strategy
 
+(** The canonical (name, strategy) table — baseline, unoptimized,
+    parallelized, optimized, carte.  Every consumer that resolves a
+    strategy by name (CLI converter, campaign, mining ranker, bench)
+    reads this list, so names cannot drift. *)
+val all_strategies : (string * strategy) list
+
+(** A stable textual identity of a strategy covering every field; used
+    as the strategy half of the {!Exec.Cache} compile-cache key. *)
+val strategy_id : strategy -> string
+
 type compiled = {
   strategy : strategy;
   source : Front.Ast.program;        (** the original (elaborated) program *)
@@ -60,8 +70,34 @@ type compiled = {
 
 val hw_procs : Front.Ast.program -> Front.Ast.proc list
 
+(** The fault-independent prefix of a compile: assertion synthesis,
+    lowering, IR optimization and checker synthesis — everything before
+    fault injection.  A fault-injection sweep shares one front per
+    (program, strategy); {!Exec.Cache} memoizes exactly this value. *)
+type front = {
+  f_strategy : strategy;
+  f_source : Front.Ast.program;
+  f_instrumented : Front.Ast.program;
+  f_asserts : Assertion.info list;
+  f_table : (int * Assertion.info) list;
+  f_plan : Share.plan;
+  f_ir : Ir.program_ir;  (** lowered + optimized, before fault injection *)
+  f_checkers : Checker.t list;
+  f_notification_source : string;
+}
+
+(** Run the fault-independent compile prefix. *)
+val front : ?strategy:strategy -> Front.Ast.program -> front
+
+(** Finish a compile from a (possibly cached, possibly shared) front:
+    inject [faults] into the lowered IR, then schedule, generate RTL and
+    estimate area/timing.  Never mutates the front, so one front value
+    is safely shared by concurrent mutant compiles across domains. *)
+val finish : ?faults:Faults.Fault.t list -> front -> compiled
+
 (** Compile an elaborated program, optionally injecting
-    hardware-translation [faults] (Section 5.1). *)
+    hardware-translation [faults] (Section 5.1).
+    Equivalent to [finish ?faults (front ?strategy prog)]. *)
 val compile :
   ?strategy:strategy ->
   ?faults:Faults.Fault.t list ->

@@ -1,0 +1,78 @@
+(** Content-hash compile cache.
+
+    A fault-injection sweep compiles hundreds of mutants that differ
+    only in the injected IR rewrite; everything before fault injection —
+    assertion synthesis, lowering, IR optimization, checker synthesis —
+    is identical per (program, strategy).  This cache memoizes exactly
+    that prefix ({!Core.Driver.front}), keyed by a digest of the
+    pretty-printed program and the strategy identity, so the ~5
+    strategies x hundreds-of-mutants sweep stops recompiling identical
+    baselines.
+
+    Concurrency: the table is mutex-guarded and safe to hit from every
+    worker domain; fronts are immutable, so one cached value is shared
+    by concurrent {!Core.Driver.finish} calls.  A compile on miss runs
+    {e outside} the lock — two domains racing on the same key may
+    duplicate work, but the first insert wins and both observe the same
+    value.  {!Faults.Campaign.run} pre-warms the cache serially per
+    (workload, strategy), which also keeps the hit/miss counters
+    deterministic regardless of the worker count. *)
+
+module Driver = Core.Driver
+
+type stats = { hits : int; misses : int }
+
+let lock = Mutex.create ()
+let table : (string, Driver.front) Hashtbl.t = Hashtbl.create 64
+let hit_count = Atomic.make 0
+let miss_count = Atomic.make 0
+
+(** The cache key: a digest of the pretty-printed program and
+    {!Core.Driver.strategy_id} — content identity, not physical
+    identity, so re-parsed or re-instrumented copies of the same
+    program still hit. *)
+let key ~(strategy : Driver.strategy) (prog : Front.Ast.program) =
+  Digest.to_hex
+    (Digest.string
+       (Driver.strategy_id strategy ^ "\x00" ^ Front.Pretty.program_to_string prog))
+
+(** Memoized {!Core.Driver.front}. *)
+let front ?(strategy = Driver.optimized) (prog : Front.Ast.program) : Driver.front =
+  let k = key ~strategy prog in
+  let cached =
+    Mutex.lock lock;
+    let r = Hashtbl.find_opt table k in
+    Mutex.unlock lock;
+    r
+  in
+  match cached with
+  | Some f ->
+      Atomic.incr hit_count;
+      f
+  | None ->
+      Atomic.incr miss_count;
+      let f = Driver.front ~strategy prog in
+      Mutex.lock lock;
+      let f =
+        match Hashtbl.find_opt table k with
+        | Some winner -> winner (* another domain inserted first *)
+        | None ->
+            Hashtbl.add table k f;
+            f
+      in
+      Mutex.unlock lock;
+      f
+
+(** [Driver.compile] through the cache: the fault-independent prefix is
+    memoized, fault injection and scheduling run per call. *)
+let compile ?strategy ?faults (prog : Front.Ast.program) : Driver.compiled =
+  Driver.finish ?faults (front ?strategy prog)
+
+let stats () = { hits = Atomic.get hit_count; misses = Atomic.get miss_count }
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset table;
+  Mutex.unlock lock;
+  Atomic.set hit_count 0;
+  Atomic.set miss_count 0

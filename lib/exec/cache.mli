@@ -1,0 +1,33 @@
+(** Content-hash compile cache over {!Core.Driver.front}.
+
+    Memoizes the fault-independent prefix of a compile, keyed by a
+    digest of (pretty-printed program, strategy identity).  Safe to hit
+    from every worker domain; cached fronts are immutable and shared.
+    The process-wide instance deliberately spans campaign and mining
+    sweeps — a ranking run re-evaluates the same base program dozens of
+    times and hits across sweeps. *)
+
+type stats = { hits : int; misses : int }
+
+(** The cache key for a (program, strategy) pair (exposed for tests). *)
+val key : strategy:Core.Driver.strategy -> Front.Ast.program -> string
+
+(** Memoized {!Core.Driver.front}: physically the same front for equal
+    (program, strategy) content. *)
+val front :
+  ?strategy:Core.Driver.strategy -> Front.Ast.program -> Core.Driver.front
+
+(** [Driver.compile] through the cache: the fault-independent prefix is
+    memoized, fault injection and scheduling run per call. *)
+val compile :
+  ?strategy:Core.Driver.strategy ->
+  ?faults:Faults.Fault.t list ->
+  Front.Ast.program ->
+  Core.Driver.compiled
+
+(** Cumulative hit/miss counters since start or the last {!reset}. *)
+val stats : unit -> stats
+
+(** Drop every cached front and zero the counters (bench harness
+    resets between timed runs so each run is measured cold). *)
+val reset : unit -> unit

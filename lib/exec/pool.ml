@@ -1,0 +1,164 @@
+(** Work-stealing parallel job executor on OCaml 5 domains.
+
+    The fault-injection campaign and the mining ranker evaluate hundreds
+    of near-identical mutants whose runs are pure and independent — the
+    textbook embarrassingly-parallel sweep.  This pool runs a fixed
+    array of jobs over N worker domains with per-job crash isolation
+    and bounded retry, and returns the outcomes {e indexed by job}, so
+    parallel output is byte-identical to serial output regardless of
+    completion order.
+
+    Determinism rules (see DESIGN.md):
+    - jobs must be pure up to their own allocations — no shared mutable
+      state, no wall-clock reads, no ambient RNG (derive any seed from
+      the job index the caller closes over);
+    - results are collected by job index, never by completion order;
+    - [jobs = 1] bypasses domains entirely and runs inline, so the
+      serial fallback exercises the exact same code path as the caller
+      would have written by hand.
+
+    Timeouts are logical, not preemptive: a domain cannot be killed, so
+    runaway jobs must bound themselves (the campaign's per-mutant cycle
+    budget and live-lock watchdog do exactly that). *)
+
+(** The result of one job: [value] is [Error msg] when every attempt
+    raised ([msg] is the first attempt's exception, matching the
+    diagnostics of an unretried run); [attempts] counts executions, so
+    [attempts > 1] means the first attempt crashed and the job was
+    retried. *)
+type 'a outcome = { value : ('a, string) result; attempts : int }
+
+let env_jobs () =
+  match Sys.getenv_opt "INCA_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> None)
+
+(** Worker-domain count used when the caller does not pick one: the
+    [INCA_JOBS] environment variable if set to a positive integer, else
+    [Domain.recommended_domain_count ()]. *)
+let default_jobs () =
+  match env_jobs () with
+  | Some n -> n
+  | None -> Domain.recommended_domain_count ()
+
+(* One deque per worker, mutex-guarded: the owner pops from the front,
+   thieves steal from the back.  Jobs are only ever enqueued once, before
+   the workers start, so a worker that sees every deque empty is done. *)
+type deque = {
+  lock : Mutex.t;
+  slots : int array;
+  mutable head : int;  (* next index the owner pops *)
+  mutable tail : int;  (* one past the last stealable index *)
+}
+
+let pop_front d =
+  Mutex.lock d.lock;
+  let r =
+    if d.head < d.tail then (
+      let j = d.slots.(d.head) in
+      d.head <- d.head + 1;
+      Some j)
+    else None
+  in
+  Mutex.unlock d.lock;
+  r
+
+let steal_back d =
+  Mutex.lock d.lock;
+  let r =
+    if d.head < d.tail then (
+      let j = d.slots.(d.tail - 1) in
+      d.tail <- d.tail - 1;
+      Some j)
+    else None
+  in
+  Mutex.unlock d.lock;
+  r
+
+(* Crash isolation: catch everything, retry up to [retries] extra times,
+   and report the first exception when all attempts fail. *)
+let run_attempts ~retries fn =
+  let rec go attempt first_err =
+    match fn () with
+    | v -> { value = Ok v; attempts = attempt }
+    | exception e ->
+        let msg =
+          match first_err with Some m -> m | None -> Printexc.to_string e
+        in
+        if attempt > retries then { value = Error msg; attempts = attempt }
+        else go (attempt + 1) (Some msg)
+  in
+  go 1 None
+
+(** Run every job of [fns] and return the outcomes in job order.
+    [jobs] worker domains (default {!default_jobs}; clamped to the job
+    count; [1] runs inline on the calling domain without spawning).
+    [retries] is the number of extra attempts after a crash (default 1,
+    the campaign's historical crash-isolation policy). *)
+let run ?jobs ?(retries = 1) (fns : (unit -> 'a) array) : 'a outcome array =
+  let n = Array.length fns in
+  let jobs =
+    let requested = match jobs with Some j -> Stdlib.max 1 j | None -> default_jobs () in
+    Stdlib.min requested (Stdlib.max 1 n)
+  in
+  if n = 0 then [||]
+  else if jobs = 1 then Array.map (fun fn -> run_attempts ~retries fn) fns
+  else begin
+    let results : 'a outcome option array = Array.make n None in
+    (* deal each worker a contiguous block; stealing rebalances the tail *)
+    let deques =
+      Array.init jobs (fun w ->
+          let lo = w * n / jobs and hi = (w + 1) * n / jobs in
+          {
+            lock = Mutex.create ();
+            slots = Array.init (hi - lo) (fun i -> lo + i);
+            head = 0;
+            tail = hi - lo;
+          })
+    in
+    let exec j = results.(j) <- Some (run_attempts ~retries fns.(j)) in
+    let worker w =
+      let rec steal k =
+        if k >= jobs then None
+        else
+          match steal_back deques.((w + k) mod jobs) with
+          | Some j -> Some j
+          | None -> steal (k + 1)
+      in
+      let rec loop () =
+        match pop_front deques.(w) with
+        | Some j ->
+            exec j;
+            loop ()
+        | None -> (
+            match steal 1 with
+            | Some j ->
+                exec j;
+                loop ()
+            | None -> ())
+      in
+      loop ()
+    in
+    let spawned =
+      Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+    in
+    worker 0;
+    Array.iter Domain.join spawned;
+    Array.map
+      (function
+        | Some o -> o
+        | None ->
+            (* unreachable: every enqueued index is popped exactly once
+               and executed before its worker exits *)
+            assert false)
+      results
+  end
+
+(** [map f items] = {!run} over [fun () -> f item], outcomes in input
+    order. *)
+let map ?jobs ?retries f items =
+  Array.to_list
+    (run ?jobs ?retries (Array.of_list (List.map (fun x () -> f x) items)))

@@ -12,7 +12,6 @@
     report}: which translation faults does each strategy actually
     detect, and how many cycles does detection take? *)
 
-module Ir = Mir.Ir
 module Driver = Core.Driver
 module Engine = Sim.Engine
 module Fault = Faults.Fault
@@ -89,18 +88,22 @@ type config = {
       (** per-workload cap, taken round-robin across fault kinds so a
           truncated campaign still exercises every kind; the report
           records how many sites were dropped *)
+  jobs : int option;
+      (** worker domains for the mutant sweep; [None] =
+          {!Exec.Pool.default_jobs} ([INCA_JOBS] or all cores);
+          [Some 1] runs serially without spawning any domain.  The
+          report is byte-identical for every job count. *)
 }
 
+(** Every canonical strategy except the carte transport flavour (the
+    DMA mailbox changes reporting, not detection — the sweep covers it
+    on demand). *)
 let default_strategies =
-  [
-    ("baseline", Driver.baseline);
-    ("unoptimized", Driver.unoptimized);
-    ("parallelized", Driver.parallelized);
-    ("optimized", Driver.optimized);
-  ]
+  List.filter (fun (name, _) -> name <> "carte") Driver.all_strategies
 
 let default_config =
-  { strategies = default_strategies; budget = None; watchdog = None; max_mutants = None }
+  { strategies = default_strategies; budget = None; watchdog = None;
+    max_mutants = None; jobs = None }
 
 (* --- classification ----------------------------------------------------- *)
 
@@ -125,12 +128,23 @@ let detected = function
   | Detected_by_assertion | Hang_detected -> true
   | Silent_corruption | Benign | Budget_exceeded -> false
 
+(** Structured outcome diagnostics.  Runs keep the raw data (spin
+    sites, differing drains) and the report renders it on demand —
+    classification no longer formats strings inside the sweep's hot
+    loop. *)
+type detail =
+  | No_detail
+  | Message of string  (** assertion text, toolchain crash, sim error *)
+  | Spin of { label : string; sites : (string * int) list }
+      (** "live-lock" or "deadlock", with (process, state) spin sites *)
+  | Output_diff of string list  (** drains whose output differs from golden *)
+
 type run = {
   workload : string;
   strategy : string;
   fault : Fault.t;
   outcome : outcome_class;
-  detail : string;  (** assertion message, spin site, or output diff *)
+  detail : detail;  (** assertion message, spin sites, or output diff *)
   cycles : int;  (** cycles consumed (cycles to detection when detected) *)
   retried : bool;  (** first attempt crashed; this is the retry's result *)
 }
@@ -159,8 +173,9 @@ type report = {
 (* --- campaign ----------------------------------------------------------- *)
 
 let enumerate (w : workload) : Fault.t list =
-  let c = Driver.compile ~strategy:Driver.baseline w.program in
-  Fault.sites c.Driver.ir
+  (* sites live in the pre-fault lowered IR, so the cached compile
+     front is all that is needed *)
+  Fault.sites (Exec.Cache.front ~strategy:Driver.baseline w.program).Driver.f_ir
 
 (* Take [n] sites round-robin across fault kinds, preserving order
    within a kind, so a capped campaign still exercises every kind. *)
@@ -191,9 +206,25 @@ let cap_round_robin n faults =
   done;
   List.rev !out
 
-let spin_sites blocked =
-  String.concat ", "
-    (List.map (fun (p, st) -> Printf.sprintf "%s@%d" p st) blocked)
+(* Rendering of structured diagnostics, run once per displayed row (not
+   inside the sweep's hot loop). *)
+let detail_string = function
+  | No_detail -> ""
+  | Message m -> m
+  | Spin { label; sites } ->
+      let b = Buffer.create 64 in
+      Buffer.add_string b label;
+      Buffer.add_string b ": ";
+      List.iteri
+        (fun i (p, st) ->
+          if i > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b p;
+          Buffer.add_char b '@';
+          Buffer.add_string b (string_of_int st))
+        sites;
+      Buffer.contents b
+  | Output_diff drains ->
+      "output differs on " ^ String.concat ", " drains
 
 let drained_equal ~drains golden actual =
   List.for_all
@@ -202,21 +233,18 @@ let drained_equal ~drains golden actual =
       get golden = get actual)
     drains
 
-let diff_detail ~drains golden actual =
-  let bad =
-    List.filter
-      (fun s ->
-        let get l = try List.assoc s l with Not_found -> [] in
-        get golden <> get actual)
-      drains
-  in
-  Printf.sprintf "output differs on %s" (String.concat ", " bad)
+let differing_drains ~drains golden actual =
+  List.filter
+    (fun s ->
+      let get l = try List.assoc s l with Not_found -> [] in
+      get golden <> get actual)
+    drains
 
 (* The golden run: software simulation of the unfaulted program — the
    desktop-simulation path the paper contrasts against, which never sees
    translation faults. *)
 let golden_drained (w : workload) =
-  let c = Driver.compile ~strategy:Driver.baseline w.program in
+  let c = Exec.Cache.compile ~strategy:Driver.baseline w.program in
   let r = Driver.software_sim ~options:w.options c in
   match r.Interp.outcome with
   | Interp.Completed -> r.Interp.drained
@@ -228,7 +256,7 @@ let golden_drained (w : workload) =
            w.wname)
 
 let unfaulted_cycles (w : workload) =
-  let c = Driver.compile ~strategy:Driver.baseline w.program in
+  let c = Exec.Cache.compile ~strategy:Driver.baseline w.program in
   let r = Driver.simulate ~options:w.options c in
   match r.Driver.engine.Engine.outcome with
   | Engine.Finished -> r.Driver.engine.Engine.cycles
@@ -237,45 +265,53 @@ let unfaulted_cycles (w : workload) =
         (Printf.sprintf "Campaign: unfaulted baseline of workload %s does not finish"
            w.wname)
 
-let run_mutant ~budget ~watchdog ~golden (w : workload) (sname, strategy) fault =
+(* One mutant attempt, run on a worker domain: compile through the
+   shared front cache, then simulate under the cycle budget with the
+   watchdog armed.  Crash isolation and the single retry live in
+   {!Exec.Pool}. *)
+let attempt_mutant ~budget ~watchdog (w : workload) strategy fault =
   let options =
     { w.options with Driver.max_cycles = budget; watchdog = Some watchdog }
   in
-  let attempt () =
-    let c = Driver.compile ~strategy ~faults:[ fault ] w.program in
-    Driver.simulate ~options c
-  in
-  (* Graceful degradation: a mutant may break an invariant the
-     compiler or simulator relies on.  Isolate the crash, retry once,
-     and record a classified result either way. *)
-  let result, retried =
-    match attempt () with
-    | r -> (Ok r, false)
-    | exception e -> (
-        match attempt () with
-        | r -> (Ok r, true)
-        | exception _ -> (Error (Printexc.to_string e), true))
-  in
+  let c = Exec.Cache.compile ~strategy ~faults:[ fault ] w.program in
+  Driver.simulate ~options c
+
+(* Classify a pool outcome against the golden output; pure bookkeeping,
+   run on the coordinating domain in job order. *)
+let classify ~golden (w : workload) sname fault
+    (o : Driver.sim_result Exec.Pool.outcome) : run =
   let outcome, detail, cycles =
-    match result with
-    | Error msg -> (Silent_corruption, "toolchain crash: " ^ msg, 0)
+    match o.Exec.Pool.value with
+    | Error msg -> (Silent_corruption, Message ("toolchain crash: " ^ msg), 0)
     | Ok r -> (
         let cycles = r.Driver.engine.Engine.cycles in
         match r.Driver.engine.Engine.outcome with
-        | Engine.Aborted m -> (Detected_by_assertion, m, cycles)
+        | Engine.Aborted m -> (Detected_by_assertion, Message m, cycles)
         | Engine.Livelock spinning ->
-            (Hang_detected, "live-lock: " ^ spin_sites spinning, cycles)
+            (Hang_detected, Spin { label = "live-lock"; sites = spinning }, cycles)
         | Engine.Hang blocked ->
-            (Hang_detected, "deadlock: " ^ spin_sites blocked, cycles)
-        | Engine.Out_of_cycles -> (Budget_exceeded, "", cycles)
-        | Engine.Sim_error m -> (Silent_corruption, "simulator error: " ^ m, cycles)
+            (Hang_detected, Spin { label = "deadlock"; sites = blocked }, cycles)
+        | Engine.Out_of_cycles -> (Budget_exceeded, No_detail, cycles)
+        | Engine.Sim_error m ->
+            (Silent_corruption, Message ("simulator error: " ^ m), cycles)
         | Engine.Finished ->
             let actual = r.Driver.engine.Engine.drained in
             let drains = w.options.Driver.drains in
-            if drained_equal ~drains golden actual then (Benign, "", cycles)
-            else (Silent_corruption, diff_detail ~drains golden actual, cycles))
+            if drained_equal ~drains golden actual then (Benign, No_detail, cycles)
+            else
+              ( Silent_corruption,
+                Output_diff (differing_drains ~drains golden actual),
+                cycles ))
   in
-  { workload = w.wname; strategy = sname; fault; outcome; detail; cycles; retried }
+  {
+    workload = w.wname;
+    strategy = sname;
+    fault;
+    outcome;
+    detail;
+    cycles;
+    retried = o.Exec.Pool.attempts > 1;
+  }
 
 let summarize strategies runs =
   List.map
@@ -304,48 +340,79 @@ let summarize strategies runs =
     strategies
 
 (** Sweep every enumerated fault site of every workload under every
-    strategy.  [progress] (if given) is called once per completed mutant
-    run — hook for CLI progress output. *)
+    strategy.  Mutant runs execute on an {!Exec.Pool} of worker domains
+    ([config.jobs]); results are collected by job index, so the report
+    is byte-identical for every job count.  [progress] (if given) is
+    called once per classified mutant run, on the calling domain, in
+    deterministic (serial) order. *)
 let run ?(config = default_config) ?progress (workloads : workload list) : report =
-  let all_runs = ref [] in
   let dropped = ref 0 in
   let site_count = ref 0 in
   let kind_tbl = Hashtbl.create 8 in
-  List.iter
-    (fun w ->
-      let sites = enumerate w in
-      let sites, d =
-        match config.max_mutants with
-        | Some n when List.length sites > n ->
-            (cap_round_robin n sites, List.length sites - n)
-        | _ -> (sites, 0)
-      in
-      dropped := !dropped + d;
-      site_count := !site_count + List.length sites;
-      List.iter
-        (fun f ->
-          let k = Fault.kind_name f in
-          Hashtbl.replace kind_tbl k (1 + (try Hashtbl.find kind_tbl k with Not_found -> 0)))
-        sites;
-      let golden = golden_drained w in
-      let base_cycles = unfaulted_cycles w in
-      let budget =
-        match config.budget with Some b -> b | None -> (4 * base_cycles) + 2000
-      in
-      let watchdog =
-        match config.watchdog with Some n -> n | None -> Stdlib.max 200 (budget / 20)
-      in
-      List.iter
-        (fun strat ->
-          List.iter
-            (fun fault ->
-              let r = run_mutant ~budget ~watchdog ~golden w strat fault in
-              (match progress with Some f -> f r | None -> ());
-              all_runs := r :: !all_runs)
-            sites)
-        config.strategies)
-    workloads;
-  let runs = List.rev !all_runs in
+  (* Serial per-workload prep: warm the compile cache for every
+     strategy (so worker domains only ever hit), enumerate and cap the
+     fault sites, record the golden output and derive the cycle
+     budget. *)
+  let prepped =
+    List.map
+      (fun w ->
+        List.iter
+          (fun (_, strategy) -> ignore (Exec.Cache.front ~strategy w.program))
+          config.strategies;
+        let sites = enumerate w in
+        let sites, d =
+          match config.max_mutants with
+          | Some n when List.length sites > n ->
+              (cap_round_robin n sites, List.length sites - n)
+          | _ -> (sites, 0)
+        in
+        dropped := !dropped + d;
+        site_count := !site_count + List.length sites;
+        List.iter
+          (fun f ->
+            let k = Fault.kind_name f in
+            Hashtbl.replace kind_tbl k (1 + (try Hashtbl.find kind_tbl k with Not_found -> 0)))
+          sites;
+        let golden = golden_drained w in
+        let base_cycles = unfaulted_cycles w in
+        let budget =
+          match config.budget with Some b -> b | None -> (4 * base_cycles) + 2000
+        in
+        let watchdog =
+          match config.watchdog with Some n -> n | None -> Stdlib.max 200 (budget / 20)
+        in
+        (w, sites, golden, budget, watchdog))
+      workloads
+  in
+  (* One job per (workload, strategy, site), flattened in the serial
+     sweep order: workload outermost, then strategy, then site. *)
+  let mutant_jobs =
+    List.concat_map
+      (fun (w, sites, golden, budget, watchdog) ->
+        List.concat_map
+          (fun (sname, strategy) ->
+            List.map
+              (fun fault -> (w, sname, strategy, fault, golden, budget, watchdog))
+              sites)
+          config.strategies)
+      prepped
+  in
+  let fns =
+    Array.of_list
+      (List.map
+         (fun (w, _, strategy, fault, _, budget, watchdog) () ->
+           attempt_mutant ~budget ~watchdog w strategy fault)
+         mutant_jobs)
+  in
+  let outcomes = Exec.Pool.run ?jobs:config.jobs ~retries:1 fns in
+  let runs =
+    List.mapi
+      (fun i (w, sname, _, fault, golden, _, _) ->
+        let r = classify ~golden w sname fault outcomes.(i) in
+        (match progress with Some f -> f r | None -> ());
+        r)
+      mutant_jobs
+  in
   let kind_counts =
     List.filter_map
       (fun k ->
@@ -482,7 +549,7 @@ let render_json (r : report) : string =
                        fld "fault" (str (Fault.describe run.fault));
                        fld "kind" (str (Fault.kind_name run.fault));
                        fld "class" (str (class_name run.outcome));
-                       fld "detail" (str run.detail);
+                       fld "detail" (str (detail_string run.detail));
                        fld "cycles" (string_of_int run.cycles);
                        fld "retried" (if run.retried then "true" else "false");
                      ])

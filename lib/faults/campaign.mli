@@ -38,9 +38,16 @@ type config = {
   max_mutants : int option;
       (** per-workload site cap, taken round-robin across fault kinds;
           the report records how many sites were dropped *)
+  jobs : int option;
+      (** worker domains for the mutant sweep; [None] =
+          {!Exec.Pool.default_jobs} ([INCA_JOBS] or all cores);
+          [Some 1] runs serially without spawning any domain.  The
+          report is byte-identical for every job count. *)
 }
 
-(** baseline / unoptimized / parallelized / optimized. *)
+(** Every strategy of {!Core.Driver.all_strategies} except the carte
+    transport flavour: baseline / unoptimized / parallelized /
+    optimized. *)
 val default_strategies : (string * Core.Driver.strategy) list
 
 val default_config : config
@@ -59,12 +66,25 @@ val class_name : outcome_class -> string
     an assertion notification or a hang/live-lock report. *)
 val detected : outcome_class -> bool
 
+(** Structured outcome diagnostics: runs keep the raw data and the
+    report renders it on demand via {!detail_string}, so classification
+    does not format strings inside the sweep's hot loop. *)
+type detail =
+  | No_detail
+  | Message of string  (** assertion text, toolchain crash, sim error *)
+  | Spin of { label : string; sites : (string * int) list }
+      (** "live-lock" or "deadlock", with (process, state) spin sites *)
+  | Output_diff of string list  (** drains whose output differs from golden *)
+
+(** Human-readable rendering of a {!detail} ([""] for [No_detail]). *)
+val detail_string : detail -> string
+
 type run = {
   workload : string;
   strategy : string;
   fault : Faults.Fault.t;
   outcome : outcome_class;
-  detail : string;  (** assertion message, spin site, or output diff *)
+  detail : detail;  (** assertion message, spin sites, or output diff *)
   cycles : int;  (** cycles consumed (cycles to detection when detected) *)
   retried : bool;  (** first attempt crashed; this is the retry's result *)
 }
@@ -93,8 +113,12 @@ type report = {
 val enumerate : workload -> Faults.Fault.t list
 
 (** Sweep every enumerated fault site of every workload under every
-    strategy.  [progress] (if given) is called once per completed mutant
-    run — hook for CLI progress output. *)
+    strategy.  Mutant runs execute on an {!Exec.Pool} of worker domains
+    ([config.jobs]); compiles go through the shared {!Exec.Cache}, and
+    results are collected by job index, so the report is byte-identical
+    for every job count.  [progress] (if given) is called once per
+    classified mutant run, on the calling domain, in deterministic
+    (serial sweep) order. *)
 val run : ?config:config -> ?progress:(run -> unit) -> workload list -> report
 
 val detected_of_summary : strategy_summary -> int

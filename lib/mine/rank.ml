@@ -17,6 +17,11 @@ type config = {
   max_mutants : int option;
   budget : int option;
   watchdog : int option;
+  jobs : int option;
+      (** worker domains for each ranking sweep; [None] =
+          {!Exec.Pool.default_jobs}, [Some 1] = serial.  Candidates are
+          scored serially — parallelism lives inside each campaign
+          sweep, so domains never nest. *)
 }
 
 let default_config =
@@ -26,6 +31,7 @@ let default_config =
     max_mutants = None;
     budget = None;
     watchdog = None;
+    jobs = None;
   }
 
 type scored = {
@@ -92,6 +98,7 @@ let mine ?(config = default_config) ~name ?options (prog : Front.Ast.program) : 
       budget = config.budget;
       watchdog = config.watchdog;
       max_mutants = config.max_mutants;
+      jobs = config.jobs;
     }
   in
   let sweep p nm =
@@ -100,7 +107,7 @@ let mine ?(config = default_config) ~name ?options (prog : Front.Ast.program) : 
   in
   let base_report = sweep prog name in
   let base_set = detected_set base_report in
-  let base_c = Driver.compile ~strategy:(snd config.strategy) prog in
+  let base_c = Exec.Cache.compile ~strategy:(snd config.strategy) prog in
   let scored =
     List.filter_map
       (fun (c : Infer.candidate) ->
@@ -109,7 +116,7 @@ let mine ?(config = default_config) ~name ?options (prog : Front.Ast.program) : 
         | Some (src, p') -> (
             match
               let rep = sweep p' (name ^ "+" ^ string_of_int c.Infer.uid) in
-              let comp = Driver.compile ~strategy:(snd config.strategy) p' in
+              let comp = Exec.Cache.compile ~strategy:(snd config.strategy) p' in
               (rep, comp)
             with
             | rep, comp ->

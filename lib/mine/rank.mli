@@ -14,9 +14,14 @@ type config = {
   max_mutants : int option;  (** per-sweep fault-site cap *)
   budget : int option;  (** per-mutant cycle budget (None = auto) *)
   watchdog : int option;  (** live-lock window (None = auto) *)
+  jobs : int option;
+      (** worker domains for each ranking sweep; [None] =
+          {!Exec.Pool.default_jobs}, [Some 1] = serial.  Candidates are
+          scored serially — parallelism lives inside each campaign
+          sweep, so domains never nest. *)
 }
 
-(** parallelized strategy, 12 candidates, no mutant cap. *)
+(** parallelized strategy, 12 candidates, no mutant cap, auto jobs. *)
 val default_config : config
 
 type scored = {

@@ -1,0 +1,203 @@
+(* Executor tests: the work-stealing pool (job order, crash isolation,
+   retry accounting, serial fallback), the content-hash compile cache
+   (physical sharing, per-strategy keys, hit/miss counters), and the
+   end-to-end determinism contract — a campaign swept on 4 domains must
+   render byte-identically to the same sweep on 1. *)
+
+open Front
+module Driver = Core.Driver
+module Pool = Exec.Pool
+module Cache = Exec.Cache
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstr = Alcotest.string
+
+let elab = Typecheck.parse_and_check ~file:"test.c"
+
+(* --- pool ---------------------------------------------------------------- *)
+
+let test_pool_drains_all_jobs_despite_crashes () =
+  (* every 3rd job always raises; the pool must still deliver every
+     outcome, in job order, with the failures isolated as [Error] *)
+  let n = 16 in
+  let fns =
+    Array.init n (fun i () ->
+        if i mod 3 = 0 then failwith (Printf.sprintf "boom %d" i) else i * 10)
+  in
+  let out = Pool.run ~jobs:4 ~retries:1 fns in
+  check tint "one outcome per job" n (Array.length out);
+  Array.iteri
+    (fun i (o : int Pool.outcome) ->
+      if i mod 3 = 0 then begin
+        (match o.Pool.value with
+        | Error msg ->
+            check tbool (Printf.sprintf "job %d error names itself" i) true
+              (let sub = Printf.sprintf "boom %d" i in
+               let ls = String.length sub and lm = String.length msg in
+               let rec go j = j + ls <= lm && (String.sub msg j ls = sub || go (j + 1)) in
+               go 0)
+        | Ok _ -> Alcotest.failf "job %d should have failed" i);
+        check tint (Printf.sprintf "job %d retried once" i) 2 o.Pool.attempts
+      end
+      else
+        match o.Pool.value with
+        | Ok v ->
+            check tint (Printf.sprintf "job %d value in order" i) (i * 10) v;
+            check tint (Printf.sprintf "job %d ran once" i) 1 o.Pool.attempts
+        | Error m -> Alcotest.failf "job %d unexpectedly failed: %s" i m)
+    out
+
+let test_pool_retry_recovers_transient_crash () =
+  (* jobs that crash on their first attempt and succeed on the second:
+     the retry must recover them and the accounting must show it *)
+  let n = 8 in
+  let tries = Array.init n (fun _ -> Atomic.make 0) in
+  let fns =
+    Array.init n (fun i () ->
+        if Atomic.fetch_and_add tries.(i) 1 = 0 then failwith "transient" else i)
+  in
+  let out = Pool.run ~jobs:4 ~retries:1 fns in
+  Array.iteri
+    (fun i (o : int Pool.outcome) ->
+      (match o.Pool.value with
+      | Ok v -> check tint (Printf.sprintf "job %d recovered" i) i v
+      | Error m -> Alcotest.failf "job %d not recovered: %s" i m);
+      check tint (Printf.sprintf "job %d took two attempts" i) 2 o.Pool.attempts)
+    out
+
+let test_pool_serial_matches_parallel () =
+  let fns = Array.init 32 (fun i () -> i * i) in
+  let unwrap (o : int Pool.outcome) =
+    match o.Pool.value with Ok v -> v | Error m -> Alcotest.failf "job failed: %s" m
+  in
+  let serial = Array.map unwrap (Pool.run ~jobs:1 fns) in
+  let par = Array.map unwrap (Pool.run ~jobs:4 fns) in
+  check (Alcotest.array tint) "serial = parallel, in job order" serial par
+
+(* --- cache --------------------------------------------------------------- *)
+
+let cache_source =
+  {|
+stream int32 data_in depth 16;
+stream int32 data_out depth 16;
+
+process hw worker(int32 n) {
+  int32 i;
+  for (i = 0; i < n; i = i + 1) {
+    int32 x;
+    x = stream_read(data_in);
+    assert(x < 1000);
+    stream_write(data_out, x + 1);
+  }
+}
+|}
+
+let test_cache_returns_shared_front () =
+  let prog = elab cache_source in
+  Cache.reset ();
+  let a = Cache.front ~strategy:Driver.optimized prog in
+  let b = Cache.front ~strategy:Driver.optimized prog in
+  check tbool "same (program, strategy) shares one front" true (a == b);
+  let s = Cache.stats () in
+  check tint "one miss" 1 s.Cache.misses;
+  check tint "one hit" 1 s.Cache.hits
+
+let test_cache_distinct_fronts_per_strategy () =
+  let prog = elab cache_source in
+  Cache.reset ();
+  let fronts =
+    List.map (fun (_, st) -> Cache.front ~strategy:st prog) Driver.all_strategies
+  in
+  (* every strategy gets its own slot: distinct keys, no cross-strategy
+     physical sharing, and a second lookup hits every slot *)
+  let keys = List.map (fun (_, st) -> Cache.key ~strategy:st prog) Driver.all_strategies in
+  check tint "one key per strategy"
+    (List.length Driver.all_strategies)
+    (List.length (List.sort_uniq compare keys));
+  List.iteri
+    (fun i fi ->
+      List.iteri
+        (fun j fj ->
+          if i < j then
+            check tbool (Printf.sprintf "fronts %d and %d distinct" i j) false (fi == fj))
+        fronts)
+    fronts;
+  let s = Cache.stats () in
+  check tint "all first lookups miss" (List.length Driver.all_strategies) s.Cache.misses;
+  List.iter
+    (fun (_, st) -> ignore (Cache.front ~strategy:st prog))
+    Driver.all_strategies;
+  let s = Cache.stats () in
+  check tint "all second lookups hit" (List.length Driver.all_strategies) s.Cache.hits
+
+let test_cache_compile_equals_driver_compile () =
+  let prog = elab cache_source in
+  Cache.reset ();
+  let direct = Driver.compile ~strategy:Driver.parallelized prog in
+  let cached = Cache.compile ~strategy:Driver.parallelized prog in
+  check tstr "identical VHDL through the cache" direct.Driver.vhdl cached.Driver.vhdl;
+  check tint "identical ALUTs" direct.Driver.area.Rtl.Area.aluts
+    cached.Driver.area.Rtl.Area.aluts
+
+(* --- end-to-end determinism ---------------------------------------------- *)
+
+(* dune runtest runs tests from the test dir; dune exec from the root —
+   probe both prefixes for the shared example sources *)
+let example path =
+  List.find Sys.file_exists
+    [ Filename.concat ".." path; path; Filename.concat "../.." path ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_campaign_parallel_byte_identical () =
+  (* the acceptance contract: examples/campaign.c swept on 4 domains
+     renders byte-identically (text and JSON) to the serial sweep *)
+  let src = read_file (example "examples/campaign.c") in
+  let prog = Typecheck.parse_and_check ~file:"campaign.c" src in
+  let options = Mine.Trace.auto_options prog in
+  let workloads = [ { Campaign.wname = "campaign"; program = prog; options } ] in
+  let sweep jobs =
+    let config =
+      { Campaign.default_config with Campaign.max_mutants = Some 6; jobs = Some jobs }
+    in
+    let r = Campaign.run ~config workloads in
+    (Campaign.render r, Campaign.render_json r)
+  in
+  let ser_txt, ser_json = sweep 1 in
+  let par_txt, par_json = sweep 4 in
+  check tstr "text report byte-identical" ser_txt par_txt;
+  check tstr "json report byte-identical" ser_json par_json
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "drains all jobs despite crashes" `Quick
+            test_pool_drains_all_jobs_despite_crashes;
+          Alcotest.test_case "retry recovers transient crash" `Quick
+            test_pool_retry_recovers_transient_crash;
+          Alcotest.test_case "serial matches parallel" `Quick
+            test_pool_serial_matches_parallel;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "shared front per key" `Quick test_cache_returns_shared_front;
+          Alcotest.test_case "distinct fronts per strategy" `Quick
+            test_cache_distinct_fronts_per_strategy;
+          Alcotest.test_case "compile equals Driver.compile" `Quick
+            test_cache_compile_equals_driver_compile;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "campaign --jobs 4 = --jobs 1" `Quick
+            test_campaign_parallel_byte_identical;
+        ] );
+    ]

@@ -240,6 +240,7 @@ let small_config =
     max_mutants = Some 6;
     budget = None;
     watchdog = None;
+    jobs = Some 1;
   }
 
 let scored_key (s : Rank.scored) =

@@ -584,6 +584,74 @@ let mine_bench () =
   close_out oc;
   print_endline "  wrote BENCH_mine.json"
 
+(* --- Static assertion verification --------------------------------------------------- *)
+
+(* Classify every bundled app's assertions with the abstract
+   interpreter and price the --prune-proved dividend: the area and fmax
+   a design gives back when checkers for statically proved assertions
+   are not synthesized.  Self-gating: at least one assertion must be
+   proved across the bundle and pruning it must save both ALUTs and
+   registers, else the artifact exits 1. *)
+let check_bench () =
+  section "Static verification: assertion classes and the --prune-proved dividend";
+  let strategy = Driver.parallelized in
+  Printf.printf "  %-8s %9s %7s %9s %8s %7s %7s %11s\n" "app" "asserts" "proved"
+    "violated" "unknown" "aluts" "regs" "fmax(MHz)";
+  let rows =
+    List.map
+      (fun (w : Campaign.workload) ->
+        let name = w.Campaign.wname and prog = w.Campaign.program in
+        let r = Analysis.Absint.analyze prog in
+        let p, v, u =
+          List.fold_left
+            (fun (p, v, u) (vd : Analysis.Absint.verdict) ->
+              match vd.Analysis.Absint.vclass with
+              | Analysis.Absint.Proved -> (p + 1, v, u)
+              | Analysis.Absint.Violated _ -> (p, v + 1, u)
+              | Analysis.Absint.Unknown -> (p, v, u + 1))
+            (0, 0, 0) r.Analysis.Absint.verdicts
+        in
+        let base = Driver.compile ~strategy prog in
+        let pruned = Driver.compile ~strategy ~prune_proved:true prog in
+        let alut_d = base.Driver.area.Area.aluts - pruned.Driver.area.Area.aluts in
+        let reg_d = base.Driver.area.Area.registers - pruned.Driver.area.Area.registers in
+        let fmax_d =
+          pruned.Driver.timing.Timing.fmax_mhz -. base.Driver.timing.Timing.fmax_mhz
+        in
+        Printf.printf "  %-8s %9d %7d %9d %8d %+7d %+7d %+11.1f\n" name (p + v + u) p v u
+          alut_d reg_d fmax_d;
+        (name, p + v + u, p, v, u, alut_d, reg_d, fmax_d))
+      (Campaign.bundled ())
+  in
+  let total_proved = List.fold_left (fun acc (_, _, p, _, _, _, _, _) -> acc + p) 0 rows in
+  let dividend =
+    List.exists (fun (_, _, p, _, _, a, rg, _) -> p > 0 && a > 0 && rg > 0) rows
+  in
+  let oc = open_out "BENCH_check.json" in
+  Printf.fprintf oc
+    "{\"strategy\": \"parallelized\", \"total_proved\": %d, \"apps\": [%s]}\n" total_proved
+    (String.concat ", "
+       (List.map
+          (fun (name, n, p, v, u, a, rg, f) ->
+            Printf.sprintf
+              "{\"name\": \"%s\", \"assertions\": %d, \"proved\": %d, \"violated\": %d, \
+               \"unknown\": %d, \"alut_delta\": %d, \"reg_delta\": %d, \
+               \"fmax_delta_mhz\": %.2f}"
+              name n p v u a rg f)
+          rows));
+  close_out oc;
+  print_endline "  wrote BENCH_check.json";
+  if total_proved = 0 then begin
+    prerr_endline "  FAIL: no bundled assertion was statically proved";
+    exit 1
+  end;
+  if not dividend then begin
+    prerr_endline "  FAIL: pruning the proved assertions saved no ALUTs/registers";
+    exit 1
+  end;
+  Printf.printf "  ok: %d proved, pruning pays a positive ALUT and register dividend\n"
+    total_proved
+
 (* --- Bechamel micro-benchmarks ------------------------------------------------------ *)
 
 let bechamel () =
@@ -669,6 +737,7 @@ let artifacts =
     ("campaign", campaign_bench);
     ("campaign-smoke", campaign_smoke);
     ("mine", mine_bench);
+    ("check", check_bench);
     ("bechamel", bechamel);
   ]
 

@@ -64,11 +64,36 @@ let apply_sel sel =
   if sel.ndebug then ("baseline", Core.Driver.baseline)
   else (sel.sname, { sel.strategy with Core.Driver.nabort = sel.nabort })
 
-let load sel path =
+let prune_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "prune-proved" ]
+        ~doc:
+          "Run the static assertion verifier first and drop every statically proved \
+           assertion before instrumentation, so no checker hardware is synthesized for \
+           it.  A statically violated assertion aborts the compile with a witness.")
+
+let load ?(prune_proved = false) sel path =
   let src = read_file path in
   let prog = Front.Typecheck.parse_and_check ~file:(Filename.basename path) src in
   let _, strategy = apply_sel sel in
-  Core.Driver.compile ~strategy prog
+  Core.Driver.compile ~strategy ~prune_proved prog
+
+(* Shared wrapper for subcommands that compile under [--prune-proved]:
+   a statically violated assertion becomes a readable witness trace and
+   exit code 1 instead of an unhandled exception. *)
+let or_static_violation f =
+  match f () with
+  | r -> r
+  | exception Core.Driver.Static_violation vs ->
+      List.iter
+        (fun v ->
+          match Analysis.Check.diag_of_verdict v with
+          | Some d -> prerr_endline (Analysis.Diag.to_string d)
+          | None -> ())
+        vs;
+      `Error (false, "statically violated assertion(s); compile aborted")
 
 (* --- testbench stimulus --------------------------------------------------- *)
 

@@ -56,18 +56,19 @@ let report (c : Core.Driver.compiled) =
 (* --- compile ------------------------------------------------------------------- *)
 
 let compile_cmd =
-  let run file sel =
-    let c = Cli.load sel file in
+  let run file sel prune =
+    Cli.or_static_violation @@ fun () ->
+    let c = Cli.load ~prune_proved:prune sel file in
     report c;
-    match Core.Driver.check_invariants c with
+    match Core.Driver.static_diags c with
     | [] -> `Ok 0
-    | errs ->
-        List.iter prerr_endline errs;
+    | diags ->
+        List.iter (fun d -> prerr_endline (Analysis.Diag.to_string d)) diags;
         `Error (false, "scheduler invariant violations")
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile and print an area/timing report")
-    Term.(ret (const run $ Cli.file_arg $ Cli.strategy_args ()))
+    Term.(ret (const run $ Cli.file_arg $ Cli.strategy_args () $ Cli.prune_arg))
 
 (* --- instrument ---------------------------------------------------------------- *)
 
@@ -90,8 +91,9 @@ let vhdl_cmd =
   let out_arg =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
   in
-  let run file sel out =
-    let c = Cli.load sel file in
+  let run file sel prune out =
+    Cli.or_static_violation @@ fun () ->
+    let c = Cli.load ~prune_proved:prune sel file in
     (match out with
     | None -> print_string c.Core.Driver.vhdl
     | Some path ->
@@ -99,17 +101,18 @@ let vhdl_cmd =
         output_string oc c.Core.Driver.vhdl;
         close_out oc;
         Printf.printf "wrote %s\n" path);
-    0
+    `Ok 0
   in
   Cmd.v
     (Cmd.info "vhdl" ~doc:"Emit VHDL for the synthesized design")
-    Term.(const run $ Cli.file_arg $ Cli.strategy_args () $ out_arg)
+    Term.(ret (const run $ Cli.file_arg $ Cli.strategy_args () $ Cli.prune_arg $ out_arg))
 
 (* --- simulate -------------------------------------------------------------------- *)
 
 let simulate_cmd =
-  let run file sel (tb : Cli.testbench) =
-    let c = Cli.load sel file in
+  let run file sel prune (tb : Cli.testbench) =
+    Cli.or_static_violation @@ fun () ->
+    let c = Cli.load ~prune_proved:prune sel file in
     let r = Core.Driver.simulate ~options:(Cli.sim_options_of tb) c in
     let e = r.Core.Driver.engine in
     (match (tb.Cli.vcd, e.Sim.Engine.vcd) with
@@ -146,15 +149,16 @@ let simulate_cmd =
     (* scripting contract: nonzero when the run raised any flag — an
        assertion failure (even under NABORT), a hang, or the budget *)
     match (e.Sim.Engine.outcome, r.Core.Driver.failed_assertions) with
-    | Sim.Engine.Finished, [] -> 0
-    | _ -> 1
+    | Sim.Engine.Finished, [] -> `Ok 0
+    | _ -> `Ok 1
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:
          "Run the design in the cycle-accurate simulator.  Exits 1 when the run fails: \
           an assertion fires, the design hangs, or the cycle budget is exceeded.")
-    Term.(const run $ Cli.file_arg $ Cli.strategy_args () $ Cli.testbench_args)
+    Term.(
+      ret (const run $ Cli.file_arg $ Cli.strategy_args () $ Cli.prune_arg $ Cli.testbench_args))
 
 (* --- swsim ------------------------------------------------------------------------ *)
 
@@ -375,7 +379,15 @@ let mine_cmd =
           | None -> prerr_endline "could not inject the top candidates together"
         end;
         `Ok 0
-    | exception Invalid_argument m -> `Error (false, m)
+    | exception Invalid_argument m ->
+        (* keep the --json contract on the failure path too: scripted
+           consumers always get a parseable document on stdout *)
+        if json then begin
+          Printf.printf "{\"name\": \"%s\", \"error\": \"%s\"}\n"
+            (Analysis.Diag.json_escape name) (Analysis.Diag.json_escape m);
+          `Ok 1
+        end
+        else `Error (false, m)
   in
   Cmd.v
     (Cmd.info "mine"
@@ -392,19 +404,86 @@ let mine_cmd =
 (* --- check ------------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run file sel =
-    let c = Cli.load sel file in
-    match Core.Driver.check_invariants c with
-    | [] ->
-        print_endline "ok: all scheduler invariants hold";
-        `Ok 0
-    | errs ->
-        List.iter prerr_endline errs;
-        `Error (false, "invariant violations")
+  let paths_arg =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"PATH"
+          ~doc:
+            "InCA-C source files or directories (a directory expands to its *.c files, \
+             sorted).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit each report as a JSON document (one line per file).  The output is \
+             valid JSON even when parsing or compilation fails.")
+  in
+  let run paths sel json =
+    let files =
+      List.concat_map
+        (fun p ->
+          if Sys.is_directory p then
+            Sys.readdir p |> Array.to_list
+            |> List.filter (fun f -> Filename.check_suffix f ".c")
+            |> List.sort compare
+            |> List.map (Filename.concat p)
+          else [ p ])
+        paths
+    in
+    let _, strategy = Cli.apply_sel sel in
+    let share_bits =
+      match strategy.Core.Driver.share with
+      | `Shared n -> Some n
+      | `Per_proc | `Dma -> None
+    in
+    let check_file path =
+      let file = Filename.basename path in
+      let rep =
+        match Front.Typecheck.parse_and_check ~file (Cli.read_file path) with
+        | prog -> (
+            let rep =
+              Analysis.Check.report_of ?share_bits
+                ~replicate:strategy.Core.Driver.replicate prog
+            in
+            (* the compiler-side half: FSMD scheduler invariants and
+               lowered-IR well-formedness under the selected strategy *)
+            match Core.Driver.compile ~strategy prog with
+            | c -> Analysis.Check.add_diags rep (Core.Driver.static_diags c)
+            | exception e ->
+                Analysis.Check.add_diags rep
+                  [
+                    Analysis.Diag.error ~code:"INCA-S003" Front.Loc.none
+                      ("compilation failed: " ^ Printexc.to_string e);
+                  ])
+        | exception Front.Typecheck.Error (m, loc) ->
+            Analysis.Check.failure_report ~code:"INCA-P002" loc m
+        | exception Front.Parser.Error (m, loc) ->
+            Analysis.Check.failure_report ~code:"INCA-P001" loc m
+        | exception Front.Lexer.Error (m, loc) ->
+            Analysis.Check.failure_report ~code:"INCA-P001" loc m
+        | exception Sys_error m ->
+            Analysis.Check.failure_report ~code:"INCA-P001" Front.Loc.none m
+      in
+      if json then print_endline (Analysis.Check.render_json ~file rep)
+      else print_string (Analysis.Check.render ~file rep);
+      Analysis.Check.failed rep
+    in
+    let failed = List.fold_left (fun acc f -> check_file f || acc) false files in
+    `Ok (if failed then 1 else 0)
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Lint the scheduled design against FSMD invariants")
-    Term.(ret (const run $ Cli.file_arg $ Cli.strategy_args ()))
+    (Cmd.info "check"
+       ~doc:
+         "Statically verify and lint the program: classify every assertion as \
+          proved/violated/unknown by abstract interpretation, run the InCA-C lint suite \
+          (BRAM port contention, status-channel overflow, uninitialized reads, undrained \
+          streams, dead assertions), and check the scheduled design against FSMD and IR \
+          invariants.  Exits 1 when any error-severity finding is reported.")
+    Term.(ret (const run $ paths_arg $ Cli.strategy_args () $ json_arg))
 
 let main =
   let doc = "in-circuit assertion synthesis for high-level synthesis" in

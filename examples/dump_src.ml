@@ -1,0 +1,13 @@
+(* Dump a bundled application's InCA-C source to stdout:
+     dune exec examples/dump_src.exe -- dct > dct.c
+   Handy for pointing `inca check` / `inca mine` at the case-study
+   programs without copying their generators. *)
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "" with
+  | "fir" -> print_string (Apps.Fir_src.source ())
+  | "dct" -> print_string (Apps.Dct_src.source ())
+  | "des" -> print_string (Apps.Des_src.demo_source ())
+  | "edge" -> print_string (Apps.Edge_src.demo_source ())
+  | a ->
+      prerr_endline ("usage: dump_src (fir|dct|des|edge); got " ^ a);
+      exit 2

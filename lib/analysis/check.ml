@@ -1,0 +1,105 @@
+module Loc = Front.Loc
+
+type report = {
+  verdicts : Absint.verdict list;
+  diags : Diag.t list;
+}
+
+let witness_string w =
+  String.concat ", " (List.map (fun (x, v) -> Printf.sprintf "%s = %Ld" x v) w)
+
+let diag_of_verdict (v : Absint.verdict) =
+  match v.Absint.vclass with
+  | Absint.Violated w ->
+      let suffix = if w = [] then "" else Printf.sprintf " (witness: %s)" (witness_string w) in
+      Some
+        (Diag.error ~code:"INCA-A001" ~proc:v.Absint.vproc v.Absint.vloc
+           (Printf.sprintf "assertion \"%s\" fails on every reaching execution%s"
+              v.Absint.vtext suffix))
+  | Absint.Proved ->
+      Some
+        (Diag.info ~code:"INCA-A002" ~proc:v.Absint.vproc v.Absint.vloc
+           (Printf.sprintf "assertion \"%s\" always holds; --prune-proved removes its checker"
+              v.Absint.vtext))
+  | Absint.Unknown -> None
+
+let report_of ?share_bits ?replicate prog =
+  let r = Absint.analyze prog in
+  let diags =
+    List.filter_map diag_of_verdict r.Absint.verdicts @ Lint.run ?share_bits ?replicate prog r
+  in
+  { verdicts = r.Absint.verdicts; diags = Diag.order diags }
+
+let add_diags rep diags = { rep with diags = Diag.order (rep.diags @ diags) }
+
+let tally rep =
+  List.fold_left
+    (fun (p, v, u) (vd : Absint.verdict) ->
+      match vd.Absint.vclass with
+      | Absint.Proved -> (p + 1, v, u)
+      | Absint.Violated _ -> (p, v + 1, u)
+      | Absint.Unknown -> (p, v, u + 1))
+    (0, 0, 0) rep.verdicts
+
+let failed rep = Diag.has_errors rep.diags
+
+let render ~file rep =
+  let b = Buffer.create 512 in
+  let p, v, u = tally rep in
+  List.iter
+    (fun (vd : Absint.verdict) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s:%d:%d: %s [%s]: assert(%s)\n" vd.Absint.vloc.Loc.file
+           vd.Absint.vloc.Loc.line vd.Absint.vloc.Loc.col
+           (Absint.class_name vd.Absint.vclass)
+           vd.Absint.vproc vd.Absint.vtext))
+    rep.verdicts;
+  List.iter (fun d -> Buffer.add_string b (Diag.to_string d ^ "\n")) rep.diags;
+  Buffer.add_string b
+    (Printf.sprintf "%s: %d assertion%s: %d proved, %d violated, %d unknown; %s\n" file
+       (p + v + u)
+       (if p + v + u = 1 then "" else "s")
+       p v u
+       (if failed rep then "check FAILED" else "check passed"));
+  Buffer.contents b
+
+let render_json ~file rep =
+  let str s = Printf.sprintf "\"%s\"" (Diag.json_escape s) in
+  let assertion (vd : Absint.verdict) =
+    let loc = vd.Absint.vloc in
+    let base =
+      [
+        Printf.sprintf "\"proc\": %s" (str vd.Absint.vproc);
+        Printf.sprintf "\"line\": %d" loc.Loc.line;
+        Printf.sprintf "\"col\": %d" loc.Loc.col;
+        Printf.sprintf "\"text\": %s" (str vd.Absint.vtext);
+        Printf.sprintf "\"class\": %s" (str (Absint.class_name vd.Absint.vclass));
+      ]
+    in
+    let witness =
+      match vd.Absint.vclass with
+      | Absint.Violated ((_ :: _) as w) ->
+          [
+            Printf.sprintf "\"witness\": {%s}"
+              (String.concat ", "
+                 (List.map (fun (x, v) -> Printf.sprintf "%s: \"%Ld\"" (str x) v) w));
+          ]
+      | _ -> []
+    in
+    "{" ^ String.concat ", " (base @ witness) ^ "}"
+  in
+  let p, v, u = tally rep in
+  let errors = List.length (List.filter (fun d -> d.Diag.severity = Diag.Error) rep.diags) in
+  let warnings =
+    List.length (List.filter (fun d -> d.Diag.severity = Diag.Warning) rep.diags)
+  in
+  Printf.sprintf
+    "{\"file\": %s, \"ok\": %b, \"assertions\": [%s], \"diagnostics\": [%s], \"summary\": \
+     {\"proved\": %d, \"violated\": %d, \"unknown\": %d, \"errors\": %d, \"warnings\": %d}}"
+    (str file) (not (failed rep))
+    (String.concat ", " (List.map assertion rep.verdicts))
+    (String.concat ", " (List.map Diag.json_of rep.diags))
+    p v u errors warnings
+
+let failure_report ~code loc message =
+  { verdicts = []; diags = [ Diag.error ~code loc message ] }

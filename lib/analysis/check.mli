@@ -1,0 +1,36 @@
+(** The [inca check] report: assertion verdicts from {!Absint} plus the
+    {!Lint} findings, rendered as text or JSON.  Callers with extra
+    diagnostics (e.g. the compiler's FSMD invariant checks) append them
+    to [diags] before rendering. *)
+
+type report = {
+  verdicts : Absint.verdict list;
+  diags : Diag.t list;
+}
+
+(** Analyze and lint one program.  [share_bits]/[replicate] describe the
+    instrumentation strategy (see {!Lint.run}). *)
+val report_of : ?share_bits:int -> ?replicate:bool -> Front.Ast.program -> report
+
+val add_diags : report -> Diag.t list -> report
+
+(** INCA-A001 (error) for a violated verdict with its witness, INCA-A002
+    (info) for a proved one, [None] for unknown. *)
+val diag_of_verdict : Absint.verdict -> Diag.t option
+
+(** Verdict counts: proved, violated, unknown. *)
+val tally : report -> int * int * int
+
+(** [true] when the report contains an error-severity diagnostic (a
+    violated assertion always does). *)
+val failed : report -> bool
+
+val render : file:string -> report -> string
+
+(** Valid JSON whatever the report contents.  Assertion objects carry
+    ["text"] directly followed by ["class"]. *)
+val render_json : file:string -> report -> string
+
+(** A report for a source that failed to parse or typecheck: one
+    error-severity diagnostic with [code] (INCA-P001 / INCA-P002). *)
+val failure_report : code:string -> Front.Loc.t -> string -> report

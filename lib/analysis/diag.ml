@@ -1,0 +1,79 @@
+module Loc = Front.Loc
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;
+  loc : Loc.t;
+  dproc : string option;
+  message : string;
+}
+
+let mk severity ~code ?proc loc message =
+  { severity; code; loc; dproc = proc; message }
+
+let error = mk Error
+let warning = mk Warning
+let info = mk Info
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let order diags =
+  List.stable_sort
+    (fun a b ->
+      let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+      if c <> 0 then c
+      else
+        let c = compare a.loc.Loc.file b.loc.Loc.file in
+        if c <> 0 then c
+        else
+          let c = compare (a.loc.Loc.line, a.loc.Loc.col) (b.loc.Loc.line, b.loc.Loc.col) in
+          if c <> 0 then c else compare a.code b.code)
+    diags
+
+let has_errors diags = List.exists (fun d -> d.severity = Error) diags
+
+let to_string d =
+  let proc = match d.dproc with Some p -> Printf.sprintf " [%s]" p | None -> "" in
+  if d.loc = Loc.none then
+    Printf.sprintf "%s %s%s: %s" (severity_name d.severity) d.code proc d.message
+  else
+    Printf.sprintf "%s:%d:%d: %s %s%s: %s" d.loc.Loc.file d.loc.Loc.line d.loc.Loc.col
+      (severity_name d.severity) d.code proc d.message
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_of d =
+  let str s = Printf.sprintf "\"%s\"" (json_escape s) in
+  let fields =
+    [
+      Printf.sprintf "\"severity\": %s" (str (severity_name d.severity));
+      Printf.sprintf "\"code\": %s" (str d.code);
+    ]
+    @ (if d.loc = Loc.none then []
+       else
+         [
+           Printf.sprintf "\"file\": %s" (str d.loc.Loc.file);
+           Printf.sprintf "\"line\": %d" d.loc.Loc.line;
+           Printf.sprintf "\"col\": %d" d.loc.Loc.col;
+         ])
+    @ (match d.dproc with Some p -> [ Printf.sprintf "\"proc\": %s" (str p) ] | None -> [])
+    @ [ Printf.sprintf "\"message\": %s" (str d.message) ]
+  in
+  "{" ^ String.concat ", " fields ^ "}"

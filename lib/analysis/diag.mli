@@ -1,0 +1,49 @@
+(** Diagnostics shared by the abstract interpreter, the lint suite and
+    the post-compile invariant checks.
+
+    Every finding carries a stable code so scripts can filter on it:
+
+    - [INCA-A001]  assertion statically violated (with a value witness)
+    - [INCA-A002]  assertion statically proved (prunable hardware)
+    - [INCA-L101]  assertion taps a block RAM through the application port
+    - [INCA-L102]  shared failure channel overflow (Section 3.3 capacity)
+    - [INCA-L103]  variable read before initialization
+    - [INCA-L104]  stream written but never read by any process
+    - [INCA-L105]  dead assertion (subsumed by an earlier one)
+    - [INCA-S001]  FSMD invariant violation (post-schedule)
+    - [INCA-S002]  IR well-formedness violation (post-lowering)
+    - [INCA-P001]  parse/lex error
+    - [INCA-P002]  type error *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;          (** stable code, e.g. ["INCA-L103"] *)
+  loc : Front.Loc.t;      (** [Loc.none] for design-wide findings *)
+  dproc : string option;  (** enclosing process, when known *)
+  message : string;
+}
+
+val error : code:string -> ?proc:string -> Front.Loc.t -> string -> t
+val warning : code:string -> ?proc:string -> Front.Loc.t -> string -> t
+val info : code:string -> ?proc:string -> Front.Loc.t -> string -> t
+
+val severity_name : severity -> string
+
+(** Errors first, then warnings, then infos; same severity sorts by
+    file/line/column then code.  Stable across job counts. *)
+val order : t list -> t list
+
+val has_errors : t list -> bool
+
+(** [file:line:col: severity CODE [proc]: message] — [Loc.none]
+    renders as the design-wide form [severity CODE: message]. *)
+val to_string : t -> string
+
+(** Minimal JSON string escaping (shared by every JSON renderer in the
+    analysis layer). *)
+val json_escape : string -> string
+
+(** One finding as a JSON object. *)
+val json_of : t -> string

@@ -1,0 +1,449 @@
+(** Interval x constant x parity reduced product over canonical [int64]
+    scalars (see domain.mli for the soundness contract). *)
+
+open Front.Ast
+module Value = Interp.Value
+
+type parity = Peven | Podd | Ptop
+
+type itv = { lo : int64; hi : int64; parity : parity }
+
+type t = Bot | Itv of itv
+
+type truth = True | False | Maybe
+
+(* --- parity helpers ------------------------------------------------------- *)
+
+let parity_of_int64 v = if Int64.logand v 1L = 0L then Peven else Podd
+
+let parity_join a b = if a = b then a else Ptop
+
+let parity_meet a b =
+  match (a, b) with
+  | Ptop, p | p, Ptop -> Some p
+  | Peven, Peven -> Some Peven
+  | Podd, Podd -> Some Podd
+  | Peven, Podd | Podd, Peven -> None
+
+let parity_leq a b = b = Ptop || a = b
+
+let matches_parity p v = p = Ptop || parity_of_int64 v = p
+
+(* --- construction --------------------------------------------------------- *)
+
+(* Normalize: clip endpoints inward to the parity, empty interval = Bot.
+   Reduction between the components lives here: a singleton refines the
+   parity, a parity tightens the bounds. *)
+let mk lo hi parity =
+  if Int64.compare lo hi > 0 then Bot
+  else
+    let lo = if matches_parity parity lo then lo else Int64.add lo 1L in
+    let hi = if matches_parity parity hi then hi else Int64.sub hi 1L in
+    if Int64.compare lo hi > 0 then Bot
+    else
+      let parity = if lo = hi then parity_of_int64 lo else parity in
+      Itv { lo; hi; parity }
+
+let top = Itv { lo = Int64.min_int; hi = Int64.max_int; parity = Ptop }
+
+(* Canonical range of a scalar type as a signed-int64 pair.  Canonical
+   unsigned 64-bit values occupy the whole [int64] bit-pattern space. *)
+let range_of_ty = function
+  | Tbool -> (0L, 1L)
+  | Tint (_, W64) -> (Int64.min_int, Int64.max_int)
+  | Tint (Unsigned, w) -> (0L, Int64.sub (Int64.shift_left 1L (bits_of_width w)) 1L)
+  | Tint (Signed, w) ->
+      let h = Int64.shift_left 1L (bits_of_width w - 1) in
+      (Int64.neg h, Int64.sub h 1L)
+  | Tarray _ | Tvoid -> (Int64.min_int, Int64.max_int)
+
+let top_of_ty ty =
+  let lo, hi = range_of_ty ty in
+  Itv { lo; hi; parity = Ptop }
+
+let const v = Itv { lo = v; hi = v; parity = parity_of_int64 v }
+
+let const_of ty v = const (Value.wrap_ty ty v)
+
+let is_bot d = d = Bot
+
+let const_value = function
+  | Itv { lo; hi; _ } when lo = hi -> Some lo
+  | Itv _ | Bot -> None
+
+(* --- lattice -------------------------------------------------------------- *)
+
+let join a b =
+  match (a, b) with
+  | Bot, d | d, Bot -> d
+  | Itv a, Itv b ->
+      Itv
+        {
+          lo = (if Int64.compare a.lo b.lo <= 0 then a.lo else b.lo);
+          hi = (if Int64.compare a.hi b.hi >= 0 then a.hi else b.hi);
+          parity = parity_join a.parity b.parity;
+        }
+
+let meet a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv a, Itv b -> (
+      match parity_meet a.parity b.parity with
+      | None -> Bot
+      | Some p ->
+          mk
+            (if Int64.compare a.lo b.lo >= 0 then a.lo else b.lo)
+            (if Int64.compare a.hi b.hi <= 0 then a.hi else b.hi)
+            p)
+
+let leq a b =
+  match (a, b) with
+  | Bot, _ -> true
+  | _, Bot -> false
+  | Itv a, Itv b ->
+      Int64.compare b.lo a.lo <= 0
+      && Int64.compare a.hi b.hi <= 0
+      && parity_leq a.parity b.parity
+
+let equal a b = leq a b && leq b a
+
+(* Threshold widening: an unstable bound jumps to the nearest of 0, the
+   type's canonical bound, or the int64 bound (feed data can exceed the
+   canonical range), so loop-head iteration terminates in a few steps. *)
+let widen ty old_ next =
+  match (old_, next) with
+  | Bot, d | d, Bot -> d
+  | Itv o, Itv n ->
+      let rlo, rhi = range_of_ty ty in
+      let lo =
+        if Int64.compare n.lo o.lo >= 0 then o.lo
+        else if Int64.compare n.lo 0L >= 0 then 0L
+        else if Int64.compare n.lo rlo >= 0 then rlo
+        else Int64.min_int
+      in
+      let hi =
+        if Int64.compare n.hi o.hi <= 0 then o.hi
+        else if Int64.compare n.hi 0L <= 0 then 0L
+        else if Int64.compare n.hi rhi <= 0 then rhi
+        else Int64.max_int
+      in
+      Itv { lo; hi; parity = parity_join o.parity n.parity }
+
+(* --- checked int64 arithmetic --------------------------------------------- *)
+
+let add_exact a b =
+  let s = Int64.add a b in
+  (* overflow iff operands share a sign the sum lacks *)
+  if Int64.logand (Int64.logxor a s) (Int64.logxor b s) < 0L then None else Some s
+
+let sub_exact a b =
+  let s = Int64.sub a b in
+  if Int64.logand (Int64.logxor a b) (Int64.logxor a s) < 0L then None else Some s
+
+let mul_exact a b =
+  if a = 0L || b = 0L then Some 0L
+  else
+    let p = Int64.mul a b in
+    if Int64.div p b = a && not (a = Int64.min_int && b = -1L) then Some p else None
+
+(* Hull of [f x y] over the four endpoint combinations; [None] when any
+   combination overflows int64. *)
+let hull4 f (alo, ahi) (blo, bhi) =
+  let cs = [ f alo blo; f alo bhi; f ahi blo; f ahi bhi ] in
+  List.fold_left
+    (fun acc c ->
+      match (acc, c) with
+      | Some (lo, hi), Some v ->
+          Some
+            ( (if Int64.compare v lo < 0 then v else lo),
+              if Int64.compare v hi > 0 then v else hi )
+      | _ -> None)
+    (match cs with Some v :: _ -> Some (v, v) | _ -> None)
+    cs
+
+(* Keep an exact-arithmetic hull only when it fits the canonical range
+   of the operation type — then [Value.wrap] was the identity on every
+   concrete result.  Otherwise fall back to the type's full range; the
+   parity is kept regardless because wrapping preserves bit 0. *)
+let clamp ty parity = function
+  | None -> (
+      match top_of_ty ty with Itv i -> mk i.lo i.hi parity | Bot -> Bot)
+  | Some (lo, hi) ->
+      let rlo, rhi = range_of_ty ty in
+      if Int64.compare rlo lo <= 0 && Int64.compare hi rhi <= 0 then mk lo hi parity
+      else match top_of_ty ty with Itv i -> mk i.lo i.hi parity | Bot -> Bot
+
+(* --- truth ---------------------------------------------------------------- *)
+
+let truth = function
+  | Bot -> Maybe (* unreachable; caller handles Bot before trusting this *)
+  | Itv { lo; hi; parity } ->
+      if lo = 0L && hi = 0L then False
+      else if Int64.compare lo 0L > 0 || Int64.compare hi 0L < 0 then True
+      else if parity = Podd then True (* odd values are never 0 *)
+      else Maybe
+
+let of_truth = function
+  | True -> const 1L
+  | False -> const 0L
+  | Maybe -> Itv { lo = 0L; hi = 1L; parity = Ptop }
+
+let truth_not = function True -> False | False -> True | Maybe -> Maybe
+
+(* --- comparisons ---------------------------------------------------------- *)
+
+(* Signed interval order is only meaningful for unsigned operands when
+   every bit pattern involved is non-negative (where the two orders
+   agree); otherwise refuse to decide. *)
+let order_usable ty a b =
+  match Value.signedness_of ty with
+  | Signed -> true
+  | Unsigned -> Int64.compare a.lo 0L >= 0 && Int64.compare b.lo 0L >= 0
+  | exception Invalid_argument _ -> false
+
+let compare_truth op ty (a : itv) (b : itv) =
+  (* Eq/Ne are raw bit-pattern (dis)equality: signedness-independent. *)
+  let disjoint =
+    Int64.compare a.hi b.lo < 0
+    || Int64.compare b.hi a.lo < 0
+    || (a.parity <> Ptop && b.parity <> Ptop && a.parity <> b.parity)
+  in
+  let same_singleton = a.lo = a.hi && b.lo = b.hi && a.lo = b.lo in
+  match op with
+  | Eq -> if same_singleton then True else if disjoint then False else Maybe
+  | Ne -> if same_singleton then False else if disjoint then True else Maybe
+  | Lt | Le | Gt | Ge ->
+      if not (order_usable ty a b) then Maybe
+      else (
+        match op with
+        | Lt ->
+            if Int64.compare a.hi b.lo < 0 then True
+            else if Int64.compare a.lo b.hi >= 0 then False
+            else Maybe
+        | Le ->
+            if Int64.compare a.hi b.lo <= 0 then True
+            else if Int64.compare a.lo b.hi > 0 then False
+            else Maybe
+        | Gt ->
+            if Int64.compare a.lo b.hi > 0 then True
+            else if Int64.compare a.hi b.lo <= 0 then False
+            else Maybe
+        | Ge ->
+            if Int64.compare a.lo b.hi >= 0 then True
+            else if Int64.compare a.hi b.lo < 0 then False
+            else Maybe
+        | _ -> Maybe)
+  | _ -> Maybe
+
+(* --- transfer functions --------------------------------------------------- *)
+
+let parity_add a b =
+  match (a, b) with
+  | Ptop, _ | _, Ptop -> Ptop
+  | Peven, Peven | Podd, Podd -> Peven
+  | Peven, Podd | Podd, Peven -> Podd
+
+let parity_mul a b =
+  match (a, b) with
+  | Peven, _ | _, Peven -> Peven
+  | Podd, Podd -> Podd
+  | _ -> Ptop
+
+let parity_and a b =
+  match (a, b) with
+  | Peven, _ | _, Peven -> Peven
+  | Podd, Podd -> Podd
+  | _ -> Ptop
+
+let parity_or a b =
+  match (a, b) with
+  | Podd, _ | _, Podd -> Podd
+  | Peven, Peven -> Peven
+  | _ -> Ptop
+
+let nonneg a = Int64.compare a.lo 0L >= 0
+
+let in_range ty a =
+  let rlo, rhi = range_of_ty ty in
+  Int64.compare rlo a.lo <= 0 && Int64.compare a.hi rhi <= 0
+
+let binop op ty da db =
+  match (da, db) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv a, Itv b -> (
+      match (const_value da, const_value db) with
+      | Some va, Some vb -> (
+          (* exact fold; a zero divisor concretely aborts the run, so
+             any abstraction of the "result" is sound *)
+          try const (Value.binop op ty va vb)
+          with Value.Division_by_zero | Invalid_argument _ -> top_of_ty ty)
+      | _ -> (
+          match op with
+          | Add -> clamp ty (parity_add a.parity b.parity) (hull4 add_exact (a.lo, a.hi) (b.lo, b.hi))
+          | Sub -> clamp ty (parity_add a.parity b.parity) (hull4 sub_exact (a.lo, a.hi) (b.lo, b.hi))
+          | Mul -> clamp ty (parity_mul a.parity b.parity) (hull4 mul_exact (a.lo, a.hi) (b.lo, b.hi))
+          | Div ->
+              (* monotone for a constant positive divisor; unsigned
+                 division matches signed on non-negative bit patterns *)
+              (match const_value db with
+              | Some k
+                when Int64.compare k 0L > 0
+                     && (Value.signedness_of ty = Signed || nonneg a) ->
+                  clamp ty Ptop (Some (Int64.div a.lo k, Int64.div a.hi k))
+              | _ -> top_of_ty ty)
+          | Mod ->
+              (* non-negative dividend, strictly positive divisor:
+                 the result lies in [0, max divisor - 1] *)
+              if nonneg a && Int64.compare b.lo 0L > 0 then
+                clamp ty Ptop (Some (0L, Int64.sub b.hi 1L))
+              else top_of_ty ty
+          | Band ->
+              if nonneg a && nonneg b then
+                clamp ty
+                  (parity_and a.parity b.parity)
+                  (Some (0L, if Int64.compare a.hi b.hi <= 0 then a.hi else b.hi))
+              else clamp ty (parity_and a.parity b.parity) None
+          | Bor ->
+              (* for non-negative x, y: max(x,y) <= x|y <= x+y *)
+              if nonneg a && nonneg b then
+                let lo = if Int64.compare a.lo b.lo >= 0 then a.lo else b.lo in
+                clamp ty (parity_or a.parity b.parity)
+                  (match add_exact a.hi b.hi with Some hi -> Some (lo, hi) | None -> None)
+              else clamp ty (parity_or a.parity b.parity) None
+          | Bxor ->
+              if nonneg a && nonneg b then
+                clamp ty (parity_add a.parity b.parity)
+                  (match add_exact a.hi b.hi with Some hi -> Some (0L, hi) | None -> None)
+              else clamp ty (parity_add a.parity b.parity) None
+          | Shl -> (
+              match const_value db with
+              | Some k ->
+                  let k = Int64.to_int (Int64.logand k 63L) in
+                  let parity = if k >= 1 then Peven else a.parity in
+                  if nonneg a && Int64.compare a.hi (Int64.shift_right Int64.max_int k) <= 0
+                  then clamp ty parity (Some (Int64.shift_left a.lo k, Int64.shift_left a.hi k))
+                  else clamp ty parity None
+              | None -> top_of_ty ty)
+          | Shr -> (
+              match const_value db with
+              | Some k ->
+                  let k = Int64.to_int (Int64.logand k 63L) in
+                  let ok =
+                    match Value.signedness_of ty with
+                    | Signed -> true (* arithmetic shift of the raw value: monotone *)
+                    | Unsigned -> nonneg a && in_range ty a
+                    | exception Invalid_argument _ -> false
+                  in
+                  if ok then
+                    clamp ty Ptop
+                      (Some (Int64.shift_right a.lo k, Int64.shift_right a.hi k))
+                  else top_of_ty ty
+              | None -> top_of_ty ty)
+          | Lt | Le | Gt | Ge | Eq | Ne -> of_truth (compare_truth op ty a b)
+          | Land -> (
+              match (truth da, truth db) with
+              | False, _ | _, False -> const 0L
+              | True, True -> const 1L
+              | _ -> of_truth Maybe)
+          | Lor -> (
+              match (truth da, truth db) with
+              | True, _ | _, True -> const 1L
+              | False, False -> const 0L
+              | _ -> of_truth Maybe)))
+
+let unop op ty d =
+  match d with
+  | Bot -> Bot
+  | Itv a -> (
+      match const_value d with
+      | Some v -> ( try const (Value.unop op ty v) with Invalid_argument _ -> top_of_ty ty)
+      | None -> (
+          match op with
+          | Neg ->
+              (* -x = 0 - x; negation preserves parity *)
+              clamp ty a.parity (hull4 sub_exact (0L, 0L) (a.lo, a.hi))
+          | Bnot ->
+              (* lognot x = -x - 1 exactly: anti-monotone *)
+              let p =
+                match a.parity with Peven -> Podd | Podd -> Peven | Ptop -> Ptop
+              in
+              clamp ty p
+                (match (sub_exact (-1L) a.hi, sub_exact (-1L) a.lo) with
+                | Some lo, Some hi -> Some (lo, hi)
+                | _ -> None)
+          | Lnot -> of_truth (truth_not (truth d))))
+
+let cast ~to_ty d =
+  match d with
+  | Bot -> Bot
+  | Itv a -> (
+      match const_value d with
+      | Some v -> (
+          (* [cast] ignores the source type of canonical values *)
+          try const (Value.cast ~from_ty:(Tint (Signed, W64)) ~to_ty v)
+          with Invalid_argument _ -> top_of_ty to_ty)
+      | None -> (
+          match to_ty with
+          | Tbool -> of_truth (truth d)
+          | _ ->
+              (* wrap is the identity on values already canonical at the
+                 target type; bit 0 survives truncation/extension *)
+              if in_range to_ty a then d
+              else (
+                match top_of_ty to_ty with
+                | Itv i -> mk i.lo i.hi a.parity
+                | Bot -> Bot)))
+
+(* --- condition refinement ------------------------------------------------- *)
+
+let refine_cmp op ty keep lhs rhs =
+  match (lhs, rhs) with
+  | Bot, _ -> Bot
+  | _, Bot -> lhs
+  | Itv a, Itv b ->
+      let op =
+        if keep then op
+        else
+          match op with
+          | Lt -> Ge | Le -> Gt | Gt -> Le | Ge -> Lt | Eq -> Ne | Ne -> Eq
+          | o -> o
+      in
+      let ok = order_usable ty a b in
+      let refined =
+        match op with
+        | Eq -> meet lhs rhs
+        | Ne -> (
+            match const_value rhs with
+            | Some v when a.lo = v && a.hi = v -> Bot
+            | Some v when a.lo = v -> mk (Int64.add a.lo 1L) a.hi a.parity
+            | Some v when a.hi = v -> mk a.lo (Int64.sub a.hi 1L) a.parity
+            | _ -> lhs)
+        | Lt when ok && Int64.compare b.hi Int64.min_int > 0 ->
+            meet lhs (Itv { lo = Int64.min_int; hi = Int64.sub b.hi 1L; parity = Ptop })
+        | Le when ok -> meet lhs (Itv { lo = Int64.min_int; hi = b.hi; parity = Ptop })
+        | Gt when ok && Int64.compare b.lo Int64.max_int < 0 ->
+            meet lhs (Itv { lo = Int64.add b.lo 1L; hi = Int64.max_int; parity = Ptop })
+        | Ge when ok -> meet lhs (Itv { lo = b.lo; hi = Int64.max_int; parity = Ptop })
+        | _ -> lhs
+      in
+      refined
+
+(* --- witnesses ------------------------------------------------------------ *)
+
+let representative = function
+  | Bot -> None
+  | Itv { lo; hi; parity } ->
+      if
+        Int64.compare lo 0L <= 0
+        && Int64.compare 0L hi <= 0
+        && matches_parity parity 0L
+      then Some 0L
+      else Some lo (* mk keeps endpoints on the parity *)
+
+let to_string = function
+  | Bot -> "_|_"
+  | Itv { lo; hi; parity } ->
+      let p = match parity with Peven -> " even" | Podd -> " odd" | Ptop -> "" in
+      if lo = hi then Printf.sprintf "{%Ld}" lo
+      else if lo = Int64.min_int && hi = Int64.max_int && parity = Ptop then "T"
+      else Printf.sprintf "[%Ld, %Ld]%s" lo hi p

@@ -1,0 +1,79 @@
+(** The abstract value domain: a reduced product of intervals, constants
+    and parity over the canonical [int64] scalar representation of
+    {!Interp.Value}.
+
+    A constant is a singleton interval, so the constant component is the
+    [lo = hi] case of the interval; parity tracks bit 0, which every
+    [Value.wrap] preserves (truncation and sign/zero-extension never
+    touch the low bit).  All transfer functions over-approximate the
+    concrete semantics of {!Interp.Value} — including C wrapping: a
+    result interval is kept only when the exact-arithmetic hull fits the
+    canonical range of the operation type, otherwise the result widens
+    to the type's full range. *)
+
+type parity = Peven | Podd | Ptop
+
+type itv = { lo : int64; hi : int64; parity : parity }
+
+type t =
+  | Bot          (** unreachable / empty *)
+  | Itv of itv
+      (** all values v with lo <= v <= hi (signed [int64] order) and
+          matching parity *)
+
+type truth = True | False | Maybe
+
+(** The unconstrained value: the full [int64] range.  Used for testbench
+    feed data, which enters streams without canonicalization. *)
+val top : t
+
+(** The full canonical range of a scalar type ([Tbool] is [0, 1]). *)
+val top_of_ty : Front.Ast.ty -> t
+
+(** Singleton (exact) value. *)
+val const : int64 -> t
+
+(** Singleton of [Value.wrap_ty ty v] — an [Int] literal's semantics. *)
+val const_of : Front.Ast.ty -> int64 -> t
+
+val is_bot : t -> bool
+
+(** [Some v] when the domain element is the singleton [v]. *)
+val const_value : t -> int64 option
+
+val join : t -> t -> t
+val meet : t -> t -> t
+val leq : t -> t -> bool
+val equal : t -> t -> bool
+
+(** Widening with thresholds at 0 and the canonical range bounds of
+    [ty]; guarantees termination of loop-head iteration. *)
+val widen : Front.Ast.ty -> t -> t -> t
+
+(** Abstract {!Interp.Value.binop} at operation type [ty] (the common
+    operand type produced by elaboration).  Division by a possibly-zero
+    divisor concretely raises, so any over-approximation is sound there.
+    [Land]/[Lor] follow the interpreter's short-circuit truth tables. *)
+val binop : Front.Ast.binop -> Front.Ast.ty -> t -> t -> t
+
+(** Abstract {!Interp.Value.unop} at operand type [ty]. *)
+val unop : Front.Ast.unop -> Front.Ast.ty -> t -> t
+
+(** Abstract {!Interp.Value.cast}. *)
+val cast : to_ty:Front.Ast.ty -> t -> t
+
+(** Three-valued truthiness ([v <> 0]). *)
+val truth : t -> truth
+
+(** [refine_cmp op ty keep lhs rhs] shrinks [lhs] assuming the
+    comparison [lhs op rhs] evaluated to [keep] at operand type [ty].
+    Conservative: returns [lhs] unchanged whenever the ordering cannot
+    be reasoned about soundly (e.g. possibly-negative unsigned bit
+    patterns). *)
+val refine_cmp : Front.Ast.binop -> Front.Ast.ty -> bool -> t -> t -> t
+
+(** A concrete representative contained in the domain element (used to
+    build violation witnesses); [None] for [Bot]. *)
+val representative : t -> int64 option
+
+val to_string : t -> string

@@ -1,0 +1,32 @@
+(** InCA-C lint suite: structural checks on the elaborated program,
+    informed by the abstract-interpretation {!Absint.result}.
+
+    Codes (stable; see DESIGN.md section 8):
+    - [INCA-L101] (warning) — an assertion condition reads an array held
+      in a process-local block RAM while the chosen strategy shares the
+      RAM with the datapath instead of replicating it: the checker
+      update steals a read port from the computation (paper section 3.2).
+    - [INCA-L102] (error) — more hardware assertions than the shared
+      status channel has bits, so flag words alias and a firing
+      assertion becomes unattributable (paper section 3.3).
+    - [INCA-L103] (warning) — a scalar is read before any assignment on
+      some path; the interpreter zero-fills, synthesized hardware may
+      not.
+    - [INCA-L104] — a stream is written but never read by any process
+      (info), escalated to a warning when a static bound on the number
+      of writes exceeds the FIFO depth, which deadlocks the producer.
+    - [INCA-L105] (warning) — an assertion is implied by an earlier
+      still-active assertion on every path, so it can never be the
+      first to fire.
+
+    [share_bits] is the width of the shared status stream when the
+    compile strategy shares one channel across assertions ([None]
+    disables L102).  [replicate] states whether the strategy replicates
+    checker BRAMs ([true] silences L101). *)
+
+val run :
+  ?share_bits:int ->
+  ?replicate:bool ->
+  Front.Ast.program ->
+  Absint.result ->
+  Diag.t list

@@ -29,6 +29,8 @@ let source () =
   p "      acc = 0;";
   p "      int32 m;";
   p "      for (m = 0; m < 8; m = m + 1) {";
+  p "        /* ROM-index guard: statically true, so --prune-proved drops it */";
+  p "        assert(k * 8 + m < 64);";
   p "        acc = acc + dctc[k * 8 + m] * x[m];";
   p "      }";
   p "      int32 y;";

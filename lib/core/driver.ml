@@ -109,9 +109,59 @@ type front = {
   f_notification_source : string;
 }
 
+exception Static_violation of Analysis.Absint.verdict list
+
+(* Drop assertions the abstract interpreter proved can never fire, so
+   no checker hardware is synthesized for them (the [--prune-proved]
+   path).  Statically violated assertions abort the compile instead:
+   building hardware whose checker fires on every execution is a source
+   bug, and the verdict carries a concrete witness. *)
+let prune_statically_proved (prog : program) : program =
+  let r = Analysis.Absint.analyze prog in
+  let violated =
+    List.filter
+      (fun (v : Analysis.Absint.verdict) ->
+        match v.Analysis.Absint.vclass with Analysis.Absint.Violated _ -> true | _ -> false)
+      r.Analysis.Absint.verdicts
+  in
+  if violated <> [] then raise (Static_violation violated);
+  let proved =
+    List.filter_map
+      (fun (v : Analysis.Absint.verdict) ->
+        match v.Analysis.Absint.vclass with
+        | Analysis.Absint.Proved ->
+            Some (v.Analysis.Absint.vproc, v.Analysis.Absint.vloc, v.Analysis.Absint.vtext)
+        | _ -> None)
+      r.Analysis.Absint.verdicts
+  in
+  if proved = [] then prog
+  else
+    {
+      prog with
+      procs =
+        List.map
+          (fun (p : proc) ->
+            if p.kind <> Hardware then p
+            else
+              {
+                p with
+                body =
+                  map_stmts
+                    (fun st ->
+                      match st.s with
+                      | Assert (_, text)
+                        when List.mem (p.pname, st.sloc, text) proved ->
+                          []
+                      | _ -> [ st ])
+                    p.body;
+              })
+          prog.procs;
+    }
+
 (** Run the fault-independent compile prefix: assertion synthesis,
     lowering, IR optimization, and checker synthesis. *)
-let front ?(strategy = optimized) (prog : program) : front =
+let front ?(strategy = optimized) ?(prune_proved = false) (prog : program) : front =
+  let prog = if prune_proved then prune_statically_proved prog else prog in
   let asserts = Assertion.extract prog in
   let plan =
     match strategy.mode with
@@ -231,12 +281,12 @@ let finish ?(faults : Faults.Fault.t list = []) (f : front) : compiled =
 
 (** Compile an elaborated program under [strategy], optionally injecting
     hardware-translation [faults] (Section 5.1). *)
-let compile ?strategy ?faults (prog : program) : compiled =
-  finish ?faults (front ?strategy prog)
+let compile ?strategy ?prune_proved ?faults (prog : program) : compiled =
+  finish ?faults (front ?strategy ?prune_proved prog)
 
 (** Parse, type-check and compile from source text. *)
-let compile_source ?strategy ?faults ?file src =
-  compile ?strategy ?faults (Front.Typecheck.parse_and_check ?file src)
+let compile_source ?strategy ?prune_proved ?faults ?file src =
+  compile ?strategy ?prune_proved ?faults (Front.Typecheck.parse_and_check ?file src)
 
 (* --- Simulation ------------------------------------------------------------- *)
 
@@ -323,3 +373,14 @@ let software_sim ?(options = default_sim_options) ?(nabort = false)
 let check_invariants (c : compiled) : string list =
   List.concat_map Hls.Fsmd.check
     (c.fsmds @ List.map (fun (ck : Checker.t) -> ck.Checker.fsmd) c.checkers)
+
+(** The compiler-side findings of [inca check], as diagnostics sharing
+    the {!Analysis.Diag} codes: INCA-S001 for FSMD scheduler-invariant
+    violations, INCA-S002 for lowered-IR well-formedness complaints. *)
+let static_diags (c : compiled) : Analysis.Diag.t list =
+  List.map
+    (fun m -> Analysis.Diag.error ~code:"INCA-S001" Front.Loc.none m)
+    (check_invariants c)
+  @ List.map
+      (fun m -> Analysis.Diag.error ~code:"INCA-S002" Front.Loc.none m)
+      (Ir.validate c.ir)

@@ -86,8 +86,19 @@ type front = {
   f_notification_source : string;
 }
 
-(** Run the fault-independent compile prefix. *)
-val front : ?strategy:strategy -> Front.Ast.program -> front
+(** Raised (only under [~prune_proved:true]) when the abstract
+    interpreter classifies an assertion as failing on every reaching
+    execution; the verdicts carry concrete witnesses. *)
+exception Static_violation of Analysis.Absint.verdict list
+
+(** Run the fault-independent compile prefix.  [prune_proved] (default
+    [false]) first runs the {!Analysis.Absint} verifier and drops every
+    statically proved assertion before instrumentation, so no checker
+    hardware is synthesized for it; a statically violated assertion
+    raises {!Static_violation} instead.  The compile cache never passes
+    this flag — a pruned front must not be served for an unpruned
+    request. *)
+val front : ?strategy:strategy -> ?prune_proved:bool -> Front.Ast.program -> front
 
 (** Finish a compile from a (possibly cached, possibly shared) front:
     inject [faults] into the lowered IR, then schedule, generate RTL and
@@ -100,6 +111,7 @@ val finish : ?faults:Faults.Fault.t list -> front -> compiled
     Equivalent to [finish ?faults (front ?strategy prog)]. *)
 val compile :
   ?strategy:strategy ->
+  ?prune_proved:bool ->
   ?faults:Faults.Fault.t list ->
   Front.Ast.program ->
   compiled
@@ -107,6 +119,7 @@ val compile :
 (** Parse, type-check and compile from source text. *)
 val compile_source :
   ?strategy:strategy ->
+  ?prune_proved:bool ->
   ?faults:Faults.Fault.t list ->
   ?file:string ->
   string ->
@@ -154,3 +167,8 @@ val software_sim :
 
 (** All FSMD invariant violations of the compiled design (empty = ok). *)
 val check_invariants : compiled -> string list
+
+(** The compiler-side findings of [inca check] as diagnostics:
+    INCA-S001 wraps each {!check_invariants} violation, INCA-S002 each
+    {!Mir.Ir.validate} complaint about the lowered IR. *)
+val static_diags : compiled -> Analysis.Diag.t list

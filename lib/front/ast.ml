@@ -211,6 +211,38 @@ let streams_used body =
     body;
   List.rev !acc
 
+(** Scalar variables read by an expression, in first-occurrence order
+    (array names indexed into are excluded — see {!arrays_read}). *)
+let free_vars expr =
+  let acc = ref [] in
+  let add x = if not (List.mem x !acc) then acc := x :: !acc in
+  let rec go x =
+    match x.e with
+    | Int _ | Bool _ -> ()
+    | Var v -> add v
+    | Index (_, i) -> go i
+    | Unop (_, a) | Cast (_, a) -> go a
+    | Binop (_, a, b) -> go a; go b
+    | Call (_, args) -> List.iter go args
+  in
+  go expr;
+  List.rev !acc
+
+(** Array names indexed into by an expression, in first-occurrence order. *)
+let arrays_read expr =
+  let acc = ref [] in
+  let add x = if not (List.mem x !acc) then acc := x :: !acc in
+  let rec go x =
+    match x.e with
+    | Int _ | Bool _ | Var _ -> ()
+    | Index (a, i) -> add a; go i
+    | Unop (_, a) | Cast (_, a) -> go a
+    | Binop (_, a, b) -> go a; go b
+    | Call (_, args) -> List.iter go args
+  in
+  go expr;
+  List.rev !acc
+
 (** Arrays declared in [body] with their element type and length. *)
 let arrays_declared body =
   let acc = ref [] in

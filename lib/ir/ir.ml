@@ -232,3 +232,88 @@ let pp_proc ppf p =
   pp_body ~indent:2 ppf p.body
 
 let proc_to_string p = Fmt.str "%a" pp_proc p
+
+(* --- Well-formedness ------------------------------------------------------ *)
+
+(** Structural invariants every lowered program must satisfy.  Returns
+    human-readable complaints (empty = well-formed): registers resolve,
+    memory accesses name declared memories with in-range immediate
+    addresses, stream operations name declared streams, tap identifiers
+    are unique program-wide, replica memories resolve their originals,
+    and ROM images fit their memory. *)
+let validate (prog : program_ir) : string list =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  let tap_ids = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let have_reg r = List.mem_assoc r p.regs in
+      let check_inst g =
+        (match g.guard with
+        | Some (r, _) when not (have_reg r) ->
+            err "%s: guard reads undeclared register %d" p.name r
+        | _ -> ());
+        (match dst_of g.i with
+        | Some d when not (have_reg d) ->
+            err "%s: instruction defines undeclared register %d" p.name d
+        | _ -> ());
+        List.iter
+          (fun r -> if not (have_reg r) then err "%s: instruction reads undeclared register %d" p.name r)
+          (uses_of g.i);
+        (match mem_access g.i with
+        | Some m -> (
+            match find_mem p m with
+            | None -> err "%s: access to undeclared memory %s" p.name m
+            | Some mem -> (
+                let addr =
+                  match g.i with
+                  | Load { addr; _ } -> Some addr
+                  | Store { addr; _ } -> Some addr
+                  | _ -> None
+                in
+                match addr with
+                | Some (Imm a) when Int64.compare a 0L < 0 || Int64.compare a (Int64.of_int mem.length) >= 0 ->
+                    err "%s: constant address %Ld outside memory %s[0..%d]" p.name a m (mem.length - 1)
+                | _ -> ()))
+        | None -> ());
+        (match g.i with
+        | Sread { stream; _ } | Swrite { stream; _ } ->
+            if not (List.exists (fun (s : stream_decl) -> s.sname = stream) prog.streams) then
+              err "%s: stream operation on undeclared stream %s" p.name stream
+        | Tap { id; _ } ->
+            (match Hashtbl.find_opt tap_ids id with
+            | Some owner -> err "%s: tap id %d already used in %s" p.name id owner
+            | None -> Hashtbl.replace tap_ids id p.name)
+        | _ -> ())
+      in
+      let rec check_body body =
+        List.iter
+          (function
+            | Straight insts -> List.iter check_inst insts
+            | If_else { cond_insts; cond; then_; else_ } ->
+                List.iter check_inst cond_insts;
+                if not (have_reg cond) then err "%s: if condition reads undeclared register %d" p.name cond;
+                check_body then_;
+                check_body else_
+            | Loop { cond_insts; cond; body; step_insts; _ } ->
+                List.iter check_inst cond_insts;
+                if not (have_reg cond) then err "%s: loop condition reads undeclared register %d" p.name cond;
+                check_body body;
+                List.iter check_inst step_insts)
+          body
+      in
+      List.iter
+        (fun m ->
+          (match m.mirror_of with
+          | Some o when find_mem p o = None ->
+              err "%s: memory %s mirrors undeclared memory %s" p.name m.mname o
+          | _ -> ());
+          match m.rom_init with
+          | Some image when List.length image > m.length ->
+              err "%s: ROM image of %s has %d elements for %d slots" p.name m.mname
+                (List.length image) m.length
+          | _ -> ())
+        p.mems;
+      check_body p.body)
+    prog.procs;
+  List.rev !errs

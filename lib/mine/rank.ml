@@ -52,6 +52,7 @@ type result = {
   stimuli : string list;
   inferred : int;
   capped : int;
+  static_proved : int;
   survivors : int;
   mutants : int;
   base_detected : int;
@@ -92,6 +93,49 @@ let mine ?(config = default_config) ~name ?options (prog : Front.Ast.program) : 
   let inferred = Infer.infer prog traces in
   let kept = Infer.cap_round_robin config.max_candidates inferred in
   let survivors = Infer.survivors prog ~stimuli:passing kept in
+  (* Static pre-filter: a candidate the abstract interpreter already
+     proves is the hardware twin of an assertion that can never fire on
+     correct silicon for a *trivial* reason (e.g. subsumed by the loop
+     bounds) — spending a campaign sweep on it buys nothing a cheaper
+     proved hand-written assertion would not.  Injected copies are
+     identified by (proc, text) multiset difference against the base
+     program, since injection pretty-prints and re-parses (locations
+     shift). *)
+  let base_assert_counts =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (p : Front.Ast.proc) ->
+        List.iter
+          (fun (_, _, text) ->
+            let k = (p.Front.Ast.pname, text) in
+            Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+          (Front.Ast.assertions_of p.Front.Ast.body))
+      prog.Front.Ast.procs;
+    tbl
+  in
+  let statically_proved (c : Infer.candidate) =
+    match Infer.inject prog [ c ] with
+    | None | (exception _) -> false
+    | Some (_, p') ->
+        let remaining = Hashtbl.copy base_assert_counts in
+        let injected =
+          List.filter
+            (fun (v : Analysis.Absint.verdict) ->
+              let k = (v.Analysis.Absint.vproc, v.Analysis.Absint.vtext) in
+              match Hashtbl.find_opt remaining k with
+              | Some n when n > 0 ->
+                  Hashtbl.replace remaining k (n - 1);
+                  false
+              | _ -> true)
+            (Analysis.Absint.analyze p').Analysis.Absint.verdicts
+        in
+        injected <> []
+        && List.for_all
+             (fun (v : Analysis.Absint.verdict) ->
+               v.Analysis.Absint.vclass = Analysis.Absint.Proved)
+             injected
+  in
+  let static_dropped, survivors = List.partition statically_proved survivors in
   let ccfg =
     {
       Campaign.strategies = [ config.strategy ];
@@ -160,6 +204,7 @@ let mine ?(config = default_config) ~name ?options (prog : Front.Ast.program) : 
     stimuli = List.map (fun (t : Trace.run_trace) -> t.Trace.tr_stimulus) traces;
     inferred = List.length inferred;
     capped = List.length kept;
+    static_proved = List.length static_dropped;
     survivors = List.length scored;
     mutants = base_report.Campaign.site_count;
     base_detected = List.length base_set;
@@ -183,8 +228,9 @@ let render ?(top = max_int) (r : result) : string =
   p "=== assertion mining: %s (strategy %s) ===" r.rname r.strategy_name;
   p "traces: %d passing stimuli (%s)" (List.length r.stimuli)
     (String.concat ", " r.stimuli);
-  p "candidates: %d inferred, %d kept, %d survive injection + falsification"
-    r.inferred r.capped r.survivors;
+  p "candidates: %d inferred, %d kept, %d statically proved (dropped), %d survive \
+     injection + falsification"
+    r.inferred r.capped r.static_proved r.survivors;
   p "fault sites: %d mutants; base program detects %d" r.mutants r.base_detected;
   p "";
   p "%4s %5s %4s %8s %8s %10s  %s" "rank" "kills" "new" "aluts" "regs" "fmax(MHz)"
@@ -227,6 +273,7 @@ let render_json ?(top = max_int) (r : result) : string =
       fld "stimuli" (arr (List.map str r.stimuli));
       fld "inferred" (string_of_int r.inferred);
       fld "kept" (string_of_int r.capped);
+      fld "static_proved" (string_of_int r.static_proved);
       fld "survivors" (string_of_int r.survivors);
       fld "mutants" (string_of_int r.mutants);
       fld "base_detected" (string_of_int r.base_detected);

@@ -42,6 +42,10 @@ type result = {
   stimuli : string list;  (** labels of the passing trace stimuli *)
   inferred : int;  (** candidates instantiated from the traces *)
   capped : int;  (** after [max_candidates] *)
+  static_proved : int;
+      (** dropped before scoring: the {!Analysis.Absint} verifier proves
+          the injected assertion from the program text alone, so its
+          fault-detection sweep is not worth running *)
   survivors : int;  (** after injection + falsification *)
   mutants : int;  (** fault sites of the base sweep *)
   base_detected : int;  (** faults the uninstrumented program detects *)

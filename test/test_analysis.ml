@@ -1,0 +1,473 @@
+(* Static assertion verifier and lint suite tests: domain soundness
+   against the concrete Value semantics, the Proved/Violated/Unknown
+   classifier, witness replay through the interpreter, whole-corpus
+   "proved assertions never fire" sweeps, the five lints, and the
+   --prune-proved compile path. *)
+
+open Front
+module A = Analysis.Absint
+module D = Analysis.Domain
+module Diag = Analysis.Diag
+module Check = Analysis.Check
+module Driver = Core.Driver
+module V = Interp.Value
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let elab = Typecheck.parse_and_check ~file:"test.c"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Source files live in examples/; dune runs tests from _build subdirs. *)
+let example path =
+  List.find Sys.file_exists
+    [ Filename.concat ".." path; path; Filename.concat "../.." path ]
+
+(* --- abstract domain vs the concrete Value module ----------------------- *)
+
+(* Every concrete result of Value.binop must be contained in the
+   abstract result for every pair of intervals containing the operands.
+   This is the soundness statement that makes Proved trustworthy. *)
+let test_domain_binop_sound () =
+  let tys = Ast.[ Tint (Signed, W8); Tint (Unsigned, W8); Tint (Signed, W32); Tbool ] in
+  let samples = [ -3L; -1L; 0L; 1L; 2L; 7L; 127L; 255L ] in
+  let ops =
+    Ast.
+      [
+        Add; Sub; Mul; Div; Mod; Shl; Shr; Lt; Le; Gt; Ge; Eq; Ne; Band; Bor; Bxor;
+        Land; Lor;
+      ]
+  in
+  let abstractions ty v =
+    [ D.const v; D.join (D.const v) (D.const 0L); D.top_of_ty ty; D.top ]
+  in
+  List.iter
+    (fun ty ->
+      List.iter
+        (fun op ->
+          List.iter
+            (fun a ->
+              List.iter
+                (fun b ->
+                  let wa = V.wrap_ty ty a and wb = V.wrap_ty ty b in
+                  match V.binop op ty wa wb with
+                  | exception _ -> () (* concrete division by zero etc. *)
+                  | r ->
+                      List.iter
+                        (fun da ->
+                          List.iter
+                            (fun db ->
+                              if not (D.leq (D.const r) (D.binop op ty da db)) then
+                                Alcotest.failf
+                                  "binop unsound: %s at %Ld,%Ld -> %Ld not in %s"
+                                  (Ast.show_binop op) wa wb r
+                                  (D.to_string (D.binop op ty da db)))
+                            (abstractions ty wb))
+                        (abstractions ty wa))
+                samples)
+            samples)
+        ops)
+    tys
+
+let test_domain_unop_sound () =
+  let tys = Ast.[ Tint (Signed, W8); Tint (Unsigned, W16); Tbool ] in
+  let samples = [ -2L; -1L; 0L; 1L; 5L; 200L ] in
+  List.iter
+    (fun ty ->
+      List.iter
+        (fun op ->
+          List.iter
+            (fun a ->
+              let wa = V.wrap_ty ty a in
+              match V.unop op ty wa with
+              | exception _ -> ()
+              | r ->
+                  List.iter
+                    (fun da ->
+                      check tbool
+                        (Printf.sprintf "unop %s %Ld" (Ast.show_unop op) wa)
+                        true
+                        (D.leq (D.const r) (D.unop op ty da)))
+                    [ D.const wa; D.top_of_ty ty; D.top ])
+            samples)
+        Ast.[ Neg; Lnot; Bnot ])
+    tys
+
+(* refine_cmp keeps every concrete lhs for which the comparison really
+   evaluated to the assumed branch. *)
+let test_refine_cmp_sound () =
+  let ty = Ast.Tint (Ast.Signed, Ast.W32) in
+  let samples = [ -5L; -1L; 0L; 1L; 3L; 10L ] in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              let keep = V.binop op ty a b <> 0L in
+              List.iter
+                (fun da ->
+                  List.iter
+                    (fun db ->
+                      let refined = D.refine_cmp op ty keep da db in
+                      check tbool
+                        (Printf.sprintf "refine %s %Ld %Ld" (Ast.show_binop op) a b)
+                        true
+                        (D.leq (D.const a) refined))
+                    [ D.const b; D.join (D.const b) (D.const 0L); D.top_of_ty ty ])
+                [ D.const a; D.join (D.const a) (D.const (-5L)); D.top_of_ty ty ])
+            samples)
+        samples)
+    Ast.[ Lt; Le; Gt; Ge; Eq; Ne ]
+
+(* Widening must reach a fixpoint on a strictly growing chain. *)
+let test_widen_terminates () =
+  let ty = Ast.Tint (Ast.Signed, Ast.W32) in
+  let x = ref (D.const 0L) in
+  let stable = ref false in
+  for i = 1 to 100 do
+    if not !stable then begin
+      let grown = D.join !x (D.const (Int64.of_int (i * 3))) in
+      let w = D.widen ty !x grown in
+      if D.equal w !x then stable := true else x := w
+    end
+  done;
+  check tbool "widening chain stabilizes" true !stable
+
+(* --- the classifier ----------------------------------------------------- *)
+
+let verdicts src = (A.analyze (elab src)).A.verdicts
+
+let class_of v = A.class_name v.A.vclass
+
+let test_classifier_proved () =
+  let vs =
+    verdicts
+      "stream int32 out depth 16;\n\
+       process hw p() {\n\
+      \  int32 i;\n\
+      \  int32 s;\n\
+      \  s = 0;\n\
+      \  for (i = 0; i < 10; i = i + 1) {\n\
+      \    assert(i < 10);\n\
+      \    assert(i >= 0);\n\
+      \    s = s + i;\n\
+      \  }\n\
+      \  assert(i == 10);\n\
+      \  stream_write(out, s);\n\
+       }\n"
+  in
+  check tint "three verdicts" 3 (List.length vs);
+  List.iteri
+    (fun k v -> check Alcotest.string (Printf.sprintf "verdict %d" k) "proved" (class_of v))
+    vs
+
+let violated_src =
+  "stream int32 out depth 16;\n\
+   process hw p() {\n\
+  \  int32 i;\n\
+  \  i = 3;\n\
+  \  assert(i > 5);\n\
+  \  stream_write(out, i);\n\
+   }\n"
+
+let test_classifier_violated () =
+  match verdicts violated_src with
+  | [ v ] -> (
+      match v.A.vclass with
+      | A.Violated witness ->
+          check tbool "witness binds i = 3" true (List.mem ("i", 3L) witness)
+      | _ -> Alcotest.failf "expected violated, got %s" (class_of v))
+  | vs -> Alcotest.failf "expected 1 verdict, got %d" (List.length vs)
+
+let test_classifier_unknown () =
+  (* A process parameter is unconstrained; the latent mine_demo bug must
+     stay Unknown (never Proved) — the CI gate depends on this. *)
+  let vs =
+    verdicts
+      "stream int32 out depth 16;\n\
+       process hw p(int32 n) {\n\
+      \  assert(n < 100);\n\
+      \  stream_write(out, n);\n\
+       }\n"
+  in
+  check tint "one verdict" 1 (List.length vs);
+  check Alcotest.string "param compare unknown" "unknown" (class_of (List.hd vs));
+  let demo = elab (read_file (example "examples/mine_demo.c")) in
+  List.iter
+    (fun v ->
+      if v.A.vtext = "acc >= 0" then
+        check Alcotest.string "mine_demo latent bug" "unknown" (class_of v))
+    (A.analyze demo).A.verdicts
+
+(* --- witness replay through the interpreter ----------------------------- *)
+
+let test_witness_replays () =
+  let prog = elab violated_src in
+  match (A.analyze prog).A.verdicts with
+  | [ v ] ->
+      check Alcotest.string "violated" "violated" (class_of v);
+      let compiled = Driver.compile ~strategy:Driver.parallelized prog in
+      let options = { Driver.default_sim_options with drains = [ "out" ] } in
+      let r = Driver.software_sim ~options ~nabort:true compiled in
+      let fired =
+        List.exists
+          (fun (f : Interp.failure) ->
+            f.Interp.fproc = v.A.vproc && Loc.equal f.Interp.floc v.A.vloc)
+          r.Interp.failures
+      in
+      check tbool "violated assertion fires in the interpreter" true fired
+  | vs -> Alcotest.failf "expected 1 verdict, got %d" (List.length vs)
+
+let test_static_violation_aborts_compile () =
+  let prog = elab violated_src in
+  match Driver.compile ~strategy:Driver.parallelized ~prune_proved:true prog with
+  | _ -> Alcotest.fail "expected Static_violation"
+  | exception Driver.Static_violation [ v ] ->
+      check Alcotest.string "aborts with the verdict" "violated" (class_of v)
+  | exception Driver.Static_violation vs ->
+      Alcotest.failf "expected 1 violation, got %d" (List.length vs)
+
+(* --- soundness sweep: proved assertions never fire ----------------------- *)
+
+(* For every program in the corpus, every assertion the verifier proves
+   must stay silent across the whole derived-stimulus family (the same
+   family the miner traces over), run under NABORT so later failures
+   are visible too. *)
+let sweep name prog =
+  let proved =
+    List.filter (fun v -> v.A.vclass = A.Proved) (A.analyze prog).A.verdicts
+  in
+  if proved <> [] then begin
+    let compiled = Driver.compile ~strategy:Driver.parallelized prog in
+    List.iter
+      (fun (st : Mine.Trace.stimulus) ->
+        let r = Driver.software_sim ~options:st.Mine.Trace.options ~nabort:true compiled in
+        List.iter
+          (fun (f : Interp.failure) ->
+            if
+              List.exists
+                (fun v ->
+                  v.A.vproc = f.Interp.fproc && Loc.equal v.A.vloc f.Interp.floc)
+                proved
+            then
+              Alcotest.failf "%s/%s: proved assertion fired (%s)" name
+                st.Mine.Trace.label f.Interp.ftext)
+          r.Interp.failures)
+      (Mine.Trace.variants (Mine.Trace.auto_options prog))
+  end
+
+let test_soundness_examples () =
+  List.iter
+    (fun file -> sweep file (Typecheck.parse_and_check ~file (read_file (example file))))
+    [ "examples/fir.c"; "examples/mine_demo.c"; "examples/campaign.c" ]
+
+let test_soundness_bundled () =
+  List.iter
+    (fun (w : Campaign.workload) -> sweep w.Campaign.wname w.Campaign.program)
+    (Campaign.bundled ())
+
+(* --- lint suite ---------------------------------------------------------- *)
+
+let diags ?share_bits ?replicate src =
+  (Check.report_of ?share_bits ?replicate (elab src)).Check.diags
+
+let has_code c ds = List.exists (fun d -> d.Diag.code = c) ds
+
+let severity_of c ds =
+  (List.find (fun d -> d.Diag.code = c) ds).Diag.severity
+
+let test_lint_bram_contention () =
+  let src =
+    "stream int32 out depth 16;\n\
+     process hw p() {\n\
+    \  int32 a[4];\n\
+    \  int32 i;\n\
+    \  for (i = 0; i < 4; i = i + 1) {\n\
+    \    a[i] = i;\n\
+    \  }\n\
+    \  assert(a[0] >= 0);\n\
+    \  stream_write(out, a[0]);\n\
+     }\n"
+  in
+  check tbool "L101 when BRAMs are shared" true
+    (has_code "INCA-L101" (diags ~replicate:false src));
+  check tbool "silent when replicated" false
+    (has_code "INCA-L101" (diags ~replicate:true src))
+
+let test_lint_channel_overflow () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "stream int32 out depth 16;\nprocess hw p(int32 n) {\n";
+  for k = 1 to 33 do
+    Buffer.add_string b (Printf.sprintf "  assert(n != %d);\n" (10_000 + k))
+  done;
+  Buffer.add_string b "  stream_write(out, n);\n}\n";
+  let src = Buffer.contents b in
+  let ds = diags ~share_bits:32 src in
+  check tbool "L102 at 33 asserts on a 32-bit channel" true (has_code "INCA-L102" ds);
+  check tbool "L102 is an error" true (severity_of "INCA-L102" ds = Diag.Error);
+  check tbool "no L102 when the channel fits" false
+    (has_code "INCA-L102" (diags ~share_bits:64 src))
+
+let test_lint_uninit_read () =
+  let ds =
+    diags
+      "stream int32 out depth 16;\n\
+       process hw p() {\n\
+      \  int32 x;\n\
+      \  int32 y;\n\
+      \  y = x + 1;\n\
+      \  assert(y > 0);\n\
+      \  stream_write(out, y);\n\
+       }\n"
+  in
+  check tbool "L103 on read-before-write" true (has_code "INCA-L103" ds)
+
+let test_lint_undrained_stream () =
+  let src depth =
+    Printf.sprintf
+      "stream int32 sink depth %d;\n\
+       process hw p() {\n\
+      \  int32 i;\n\
+      \  for (i = 0; i < 8; i = i + 1) {\n\
+      \    stream_write(sink, i);\n\
+      \  }\n\
+       }\n"
+      depth
+  in
+  let shallow = diags (src 4) and deep = diags (src 16) in
+  check tbool "L104 present" true (has_code "INCA-L104" shallow);
+  check tbool "overflowing writer is a warning" true
+    (severity_of "INCA-L104" shallow = Diag.Warning);
+  check tbool "fitting writer is informational" true
+    (has_code "INCA-L104" deep && severity_of "INCA-L104" deep = Diag.Info)
+
+let test_lint_dead_assertion () =
+  let ds =
+    diags
+      "stream int32 out depth 16;\n\
+       process hw p(int32 n) {\n\
+      \  assert(n < 100);\n\
+      \  assert(n < 200);\n\
+      \  stream_write(out, n);\n\
+       }\n"
+  in
+  check tbool "L105 on the subsumed assertion" true (has_code "INCA-L105" ds)
+
+(* --- report rendering ---------------------------------------------------- *)
+
+let test_render_json_shape () =
+  let r = Check.report_of (elab violated_src) in
+  let js = Check.render_json ~file:"test.c" r in
+  check tbool "json has class violated" true
+    (let needle = "\"class\": \"violated\"" in
+     let rec find i =
+       i + String.length needle <= String.length js
+       && (String.sub js i (String.length needle) = needle || find (i + 1))
+     in
+     find 0);
+  check tbool "json carries witness" true
+    (let needle = "\"witness\"" in
+     let rec find i =
+       i + String.length needle <= String.length js
+       && (String.sub js i (String.length needle) = needle || find (i + 1))
+     in
+     find 0);
+  check tbool "report failed" true (Check.failed r)
+
+(* --- --prune-proved on the bundled DCT ----------------------------------- *)
+
+let test_prune_dct () =
+  let w =
+    List.find
+      (fun (w : Campaign.workload) -> w.Campaign.wname = "dct")
+      (Campaign.bundled ())
+  in
+  let prog = w.Campaign.program in
+  let base = Driver.compile ~strategy:Driver.parallelized prog in
+  let pruned = Driver.compile ~strategy:Driver.parallelized ~prune_proved:true prog in
+  let nb = List.length base.Driver.asserts and np = List.length pruned.Driver.asserts in
+  check tbool "pruning removes at least one assertion" true (np < nb);
+  check tbool "pruning saves ALUTs" true
+    (pruned.Driver.area.Rtl.Area.aluts < base.Driver.area.Rtl.Area.aluts);
+  check tbool "pruning saves registers" true
+    (pruned.Driver.area.Rtl.Area.registers < base.Driver.area.Rtl.Area.registers);
+  (* The pruned circuit still runs clean: dropped guards were true. *)
+  let r = Driver.simulate ~options:w.Campaign.options pruned in
+  check tint "pruned hardware sim has no failures" 0
+    (List.length r.Driver.failed_assertions)
+
+(* --- mining pre-filter ---------------------------------------------------- *)
+
+let test_rank_static_discard () =
+  (* Every invariant minable from this program is a compile-time fact,
+     so the verifier discards it before the (expensive) fault sweep. *)
+  let src =
+    "stream int32 kout depth 16;\n\
+     process hw konst() {\n\
+    \  int32 c;\n\
+    \  c = 7;\n\
+    \  assert(c > 0);\n\
+    \  stream_write(kout, c);\n\
+     }\n"
+  in
+  let config =
+    {
+      Mine.Rank.strategy = ("parallelized", Driver.parallelized);
+      max_candidates = 6;
+      max_mutants = Some 4;
+      budget = None;
+      watchdog = None;
+      jobs = Some 1;
+    }
+  in
+  let r = Mine.Rank.mine ~config ~name:"konst" (elab src) in
+  check tbool "statically proved candidates are dropped" true
+    (r.Mine.Rank.static_proved >= 1)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "domain",
+        [
+          Alcotest.test_case "binop soundness grid" `Quick test_domain_binop_sound;
+          Alcotest.test_case "unop soundness grid" `Quick test_domain_unop_sound;
+          Alcotest.test_case "refine_cmp soundness" `Quick test_refine_cmp_sound;
+          Alcotest.test_case "widening terminates" `Quick test_widen_terminates;
+        ] );
+      ( "classify",
+        [
+          Alcotest.test_case "proved" `Quick test_classifier_proved;
+          Alcotest.test_case "violated with witness" `Quick test_classifier_violated;
+          Alcotest.test_case "unknown" `Quick test_classifier_unknown;
+        ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "witness replays" `Quick test_witness_replays;
+          Alcotest.test_case "violation aborts compile" `Quick
+            test_static_violation_aborts_compile;
+          Alcotest.test_case "examples corpus" `Slow test_soundness_examples;
+          Alcotest.test_case "bundled apps" `Slow test_soundness_bundled;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "L101 bram contention" `Quick test_lint_bram_contention;
+          Alcotest.test_case "L102 channel overflow" `Quick test_lint_channel_overflow;
+          Alcotest.test_case "L103 uninit read" `Quick test_lint_uninit_read;
+          Alcotest.test_case "L104 undrained stream" `Quick test_lint_undrained_stream;
+          Alcotest.test_case "L105 dead assertion" `Quick test_lint_dead_assertion;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "json shape" `Quick test_render_json_shape ] );
+      ( "prune",
+        [ Alcotest.test_case "dct dividend" `Slow test_prune_dct ] );
+      ( "mine",
+        [ Alcotest.test_case "static discard" `Slow test_rank_static_discard ] );
+    ]

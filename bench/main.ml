@@ -652,6 +652,90 @@ let check_bench () =
   Printf.printf "  ok: %d proved, pruning pays a positive ALUT and register dividend\n"
     total_proved
 
+(* --- Torture harness ----------------------------------------------------------------- *)
+
+(* Two legs.  The clean leg times generator + oracle throughput over the
+   default 200-program campaign and asserts the run agrees everywhere
+   and is byte-identical serial vs parallel.  The fault leg injects a
+   known translation fault so the oracle has real divergences to
+   classify and the shrinker real work to do, giving the artifact
+   non-trivial class counts and shrink ratios. *)
+let torture_bench () =
+  section "Torture harness: co-simulation throughput, divergences, shrink ratios";
+  let jobs = Exec.Pool.default_jobs () in
+  let count = Torture.Fuzz.default_count in
+  let t0 = Unix.gettimeofday () in
+  let serial = Torture.Fuzz.run ~jobs:1 ~seed:42L ~count () in
+  let serial_dt = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let clean = Torture.Fuzz.run ~jobs ~seed:42L ~count () in
+  let dt = Unix.gettimeofday () -. t0 in
+  if Torture.Fuzz.render_json clean <> Torture.Fuzz.render_json serial then begin
+    Printf.eprintf "  DETERMINISM VIOLATION: %d-domain fuzz report differs from serial\n" jobs;
+    exit 1
+  end;
+  if clean.Torture.Fuzz.r_findings <> [] then begin
+    prerr_endline "  FAIL: clean torture run diverged; see `inca fuzz --seed 42`";
+    exit 1
+  end;
+  let pps = float_of_int count /. dt in
+  Printf.printf
+    "  clean: %d programs, serial %.2fs, %d domain(s) %.2fs (%.2fx), %.1f programs/sec\n"
+    count serial_dt jobs dt (serial_dt /. dt) pps;
+  Printf.printf "  clean: all strategies agree (%d baseline cycles simulated)\n"
+    clean.Torture.Fuzz.r_baseline_cycles;
+  (* fault leg: drop p0's first write to chan1 — a deterministic
+     translation bug the differential oracle must catch *)
+  let faults =
+    [ Faults.Fault.Drop_stream_write
+        { fproc = "p0"; stream = "chan1"; select = Faults.Fault.Nth 0 } ]
+  in
+  let fcount = 12 in
+  let t0 = Unix.gettimeofday () in
+  let faulty = Torture.Fuzz.run ~jobs ~seed:42L ~count:fcount ~faults () in
+  let fdt = Unix.gettimeofday () -. t0 in
+  print_string (Torture.Fuzz.render faulty);
+  if faulty.Torture.Fuzz.r_findings = [] then begin
+    prerr_endline "  FAIL: injected fault produced no divergence";
+    exit 1
+  end;
+  let ratios =
+    List.map
+      (fun (f : Torture.Fuzz.finding) ->
+        let s = f.Torture.Fuzz.f_stats in
+        ( s.Torture.Shrink.orig_lines,
+          s.Torture.Shrink.min_lines,
+          float_of_int s.Torture.Shrink.orig_lines
+          /. float_of_int (max 1 s.Torture.Shrink.min_lines) ))
+      faulty.Torture.Fuzz.r_findings
+  in
+  let mean_ratio =
+    List.fold_left (fun a (_, _, r) -> a +. r) 0.0 ratios
+    /. float_of_int (List.length ratios)
+  in
+  Printf.printf "  fault leg: %d/%d divergent in %.2fs, mean shrink ratio %.1fx\n"
+    (List.length faulty.Torture.Fuzz.r_findings)
+    fcount fdt mean_ratio;
+  let oc = open_out "BENCH_torture.json" in
+  Printf.fprintf oc
+    "{\"count\": %d, \"jobs\": %d, \"serial_wall_seconds\": %.3f, \
+     \"wall_seconds\": %.3f, \"programs_per_second\": %.1f, \
+     \"baseline_cycles\": %d, \"fault_count\": %d, \"fault_wall_seconds\": %.3f, \
+     \"mean_shrink_ratio\": %.2f, \"shrinks\": [%s], \"clean_report\": %s, \
+     \"fault_report\": %s}\n"
+    count jobs serial_dt dt pps clean.Torture.Fuzz.r_baseline_cycles fcount fdt
+    mean_ratio
+    (String.concat ", "
+       (List.map
+          (fun (o, m, r) ->
+            Printf.sprintf
+              "{\"orig_lines\": %d, \"min_lines\": %d, \"ratio\": %.2f}" o m r)
+          ratios))
+    (Torture.Fuzz.render_json clean)
+    (Torture.Fuzz.render_json faulty);
+  close_out oc;
+  print_endline "  wrote BENCH_torture.json"
+
 (* --- Bechamel micro-benchmarks ------------------------------------------------------ *)
 
 let bechamel () =
@@ -738,6 +822,7 @@ let artifacts =
     ("campaign-smoke", campaign_smoke);
     ("mine", mine_bench);
     ("check", check_bench);
+    ("torture", torture_bench);
     ("bechamel", bechamel);
   ]
 

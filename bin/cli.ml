@@ -159,10 +159,20 @@ type testbench = {
   watchdog : int option;
 }
 
+(* The engine's cycle budget, overridable per-invocation or fleet-wide
+   through the environment (CI sets INCA_MAX_CYCLES to keep wedged runs
+   bounded).  Shared by simulate, campaign and fuzz so the knob cannot
+   drift between subcommands. *)
+let max_cycles_arg ?(default = 1_000_000) () =
+  Arg.(
+    value
+    & opt int default
+    & info [ "max-cycles" ]
+        ~env:(Cmd.Env.info "INCA_MAX_CYCLES")
+        ~doc:"Cycle budget for every simulated run.")
+
 let testbench_args =
-  let cycles_arg =
-    Arg.(value & opt int 1_000_000 & info [ "max-cycles" ] ~doc:"Cycle budget.")
-  in
+  let cycles_arg = max_cycles_arg () in
   let vcd_arg =
     Arg.(
       value

@@ -9,6 +9,7 @@
      inca campaign [app.c] --jobs 4   # fault-injection sweep + coverage report
      inca mine app.c --top 5          # mine invariants, rank by mutant kills
      inca check app.c                 # scheduler invariant lint
+     inca fuzz --seed 42 --count 200  # differential torture test + auto-shrink
 
    Flag plumbing shared between subcommands (strategy selection,
    testbench stimulus, sweep caps, --jobs) lives in {!Cli}.
@@ -131,7 +132,11 @@ let simulate_cmd =
         List.iter (fun (p, s) -> Printf.printf "  %s blocked in state %d\n" p s) blocked
     | Sim.Engine.Livelock spinning ->
         Printf.printf "LIVELOCK detected by watchdog after %d cycles:\n" e.Sim.Engine.cycles;
-        List.iter (fun (p, s) -> Printf.printf "  %s spinning in state %d\n" p s) spinning
+        List.iter (fun (p, s) -> Printf.printf "  %s spinning in state %d\n" p s) spinning;
+        (* scripting contract: a watchdog trip names the livelocked
+           processes on stderr alongside the nonzero exit *)
+        Printf.eprintf "watchdog: livelocked process(es): %s\n"
+          (String.concat ", " (List.map fst spinning))
     | Sim.Engine.Out_of_cycles ->
         Printf.printf "still running after %d cycles\n" e.Sim.Engine.cycles
     | Sim.Engine.Sim_error m -> Printf.printf "simulation error: %s\n" m);
@@ -249,7 +254,7 @@ let campaign_cmd =
   let runs_arg =
     Arg.(value & flag & info [ "runs" ] ~doc:"Print the classification of every mutant run.")
   in
-  let run file stimulus budget watchdog max_mutants jobs json_out show_runs =
+  let run file stimulus budget watchdog max_mutants jobs json_out show_runs max_cycles =
     let workloads =
       match file with
       | None -> Campaign.bundled ()
@@ -267,10 +272,26 @@ let campaign_cmd =
             };
           ]
     in
+    (* --max-cycles / INCA_MAX_CYCLES bounds the unfaulted reference run
+       of every workload (mutant budgets are derived from it by
+       [config.budget]) *)
+    let workloads =
+      List.map
+        (fun (w : Campaign.workload) ->
+          { w with Campaign.options = { w.Campaign.options with Core.Driver.max_cycles } })
+        workloads
+    in
     let config =
       { Campaign.default_config with Campaign.budget; watchdog; max_mutants; jobs }
     in
-    let r = Campaign.run ~config workloads in
+    let r =
+      try Campaign.run ~config workloads
+      with Invalid_argument msg ->
+        (* e.g. a --max-cycles budget the unfaulted reference run cannot
+           finish in — a usage error, not an internal one *)
+        prerr_endline msg;
+        exit 1
+    in
     print_endline (Campaign.render r);
     if show_runs then begin
       print_endline "\nper-mutant classification:";
@@ -320,7 +341,7 @@ let campaign_cmd =
           instrumented (non-baseline) strategy.")
     Term.(
       const run $ file_arg $ Cli.stimulus_args $ Cli.budget_arg $ Cli.sweep_watchdog_arg
-      $ max_mutants_arg $ Cli.jobs_arg $ json_arg $ runs_arg)
+      $ max_mutants_arg $ Cli.jobs_arg $ json_arg $ runs_arg $ Cli.max_cycles_arg ())
 
 (* --- mine ------------------------------------------------------------------------- *)
 
@@ -400,6 +421,82 @@ let mine_cmd =
         (const run $ Cli.file_arg $ strategy_arg $ top_arg $ json_arg $ emit_arg
        $ Cli.stimulus_args $ max_candidates_arg $ max_mutants_arg $ Cli.budget_arg
        $ Cli.jobs_arg))
+
+(* --- fuzz ------------------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int64 42L & info [ "seed" ] ~doc:"Run seed; every program derives from it.")
+  in
+  let count_arg =
+    Arg.(
+      value
+      & opt int Torture.Fuzz.default_count
+      & info [ "count" ] ~doc:"Number of programs to generate and check.")
+  in
+  let fuel_arg =
+    Arg.(
+      value
+      & opt int Torture.Fuzz.default_fuel
+      & info [ "fuel" ] ~doc:"Generator size budget per program.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt string Torture.Corpus.default_dir
+      & info [ "corpus-dir" ]
+          ~doc:"Directory shrunk reproducers are written to (one per divergence class).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~doc:"Also write the report as JSON to $(docv)." ~docv:"PATH")
+  in
+  let watchdog_arg =
+    Arg.(
+      value
+      & opt int Torture.Oracle.default_watchdog
+      & info [ "watchdog" ]
+          ~doc:"Live-lock watchdog window for every circuit run, in cycles.")
+  in
+  let run seed count fuel jobs max_cycles watchdog corpus_dir json_out =
+    let r =
+      Torture.Fuzz.run ?jobs ~seed ~count ~fuel ~max_cycles ~watchdog ~corpus_dir ()
+    in
+    print_string (Torture.Fuzz.render r);
+    (match json_out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Torture.Fuzz.render_json r);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    (* scripting contract: any divergence fails the run; each one has
+       already been shrunk and written to the corpus directory *)
+    if r.Torture.Fuzz.r_findings = [] then 0
+    else begin
+      Printf.eprintf "%d divergent program(s); shrunk reproducer(s) in %s\n"
+        (List.length r.Torture.Fuzz.r_findings)
+        corpus_dir;
+      1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Torture-test the whole toolchain: generate seeded random InCA-C programs, run \
+          each through software simulation (golden) and the cycle-accurate circuit under \
+          every assertion-synthesis strategy, and compare outputs, assertion fires, \
+          static-analysis verdicts and cycle ratios.  Every divergence is delta-debugged \
+          to a minimal reproducer.  The report is byte-identical across runs and --jobs \
+          values.  Exits 1 when any divergence is found.")
+    Term.(
+      const run $ seed_arg $ count_arg $ fuel_arg $ Cli.jobs_arg
+      $ Cli.max_cycles_arg ~default:Torture.Oracle.default_max_cycles ()
+      $ watchdog_arg $ corpus_arg $ json_arg)
 
 (* --- check ------------------------------------------------------------------------ *)
 
@@ -491,7 +588,7 @@ let main =
     (Cmd.info "inca" ~version:"1.0.0" ~doc)
     [
       compile_cmd; instrument_cmd; vhdl_cmd; simulate_cmd; swsim_cmd; campaign_cmd;
-      mine_cmd; check_cmd;
+      mine_cmd; check_cmd; fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

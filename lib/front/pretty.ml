@@ -43,14 +43,42 @@ let prec_of_binop = function
   | Add | Sub -> 9
   | Mul | Div | Mod -> 10
 
+(* The parser folds unary minus over a literal into a single negative
+   literal.  Printing must apply the same normalization to negation
+   chains, or [-(-3)] reparses as [3] and printing is not a fixpoint. *)
+let rec fold_neg (x : expr) =
+  match x.e with
+  | Int n -> Some n
+  | Unop (Neg, a) -> Option.map Int64.neg (fold_neg a)
+  | _ -> None
+
+(* A literal whose recorded type differs from the one elaboration
+   assigns to its bare spelling (e.g. the [int64]-typed [0] synthesized
+   by condition coercion) must print with an explicit cast, otherwise
+   reparsing retypes it and inserts casts elsewhere in the expression. *)
+let literal_needs_cast ~ty n =
+  match ty with
+  | Tint (_, (W8 | W16 | W32 | W64)) -> not (equal_ty ty (Typecheck.literal_type n))
+  | Tint (_, W1) | Tbool | Tvoid | Tarray _ -> false
+
+let pp_literal ppf ~ty n =
+  let bare ppf n =
+    if Int64.compare n 0L < 0 then Fmt.pf ppf "(%Ld)" n else Fmt.pf ppf "%Ld" n
+  in
+  if literal_needs_cast ~ty n then Fmt.pf ppf "(%s)%a" (string_of_ty ty) bare n
+  else bare ppf n
+
 let rec pp_expr ?(prec = 0) ppf (x : expr) =
   match x.e with
-  | Int n ->
-      if Int64.compare n 0L < 0 then Fmt.pf ppf "(%Ld)" n else Fmt.pf ppf "%Ld" n
+  | Int n -> pp_literal ppf ~ty:x.ety n
   | Bool true -> Fmt.string ppf "true"
   | Bool false -> Fmt.string ppf "false"
   | Var v -> Fmt.string ppf v
   | Index (a, i) -> Fmt.pf ppf "%s[%a]" a (pp_expr ~prec:0) i
+  | Unop (Neg, a) when fold_neg a <> None -> (
+      match fold_neg a with
+      | Some n -> pp_literal ppf ~ty:x.ety (Int64.neg n)
+      | None -> assert false)
   | Unop (op, a) -> Fmt.pf ppf "%s%a" (string_of_unop op) (pp_expr ~prec:11) a
   | Binop (op, a, b) ->
       let p = prec_of_binop op in

@@ -16,6 +16,12 @@ val common_type : Loc.t -> Ast.ty -> Ast.ty -> Ast.ty
 
 val is_scalar : Ast.ty -> bool
 
+(** The type elaboration assigns a bare integer literal: [int32] when
+    the value fits, [int64] otherwise.  Exposed for the pretty-printer,
+    which must annotate literals carrying any other type so that
+    reparsing reconstructs it. *)
+val literal_type : int64 -> Ast.ty
+
 (** Elaborate a whole program (idempotent).
     @raise Error on type errors, duplicate names, bad stream/array
     declarations. *)

@@ -88,7 +88,12 @@ type _ Effect.t +=
 
 (* --- Per-process environments ------------------------------------------ *)
 
-type binding = Scalar of int64 ref | Arr of int64 array
+(* Each cell carries its declared scalar/element type: stores
+   canonicalize to it, exactly as a hardware register of that width
+   would.  Ordinary assignments are already canonical (elaboration
+   inserts casts), but a [stream_read] into a narrower or differently
+   signed lvalue converts here — same as the circuit datapath. *)
+type binding = Scalar of ty * int64 ref | Arr of ty * int64 array
 
 type scope = (string, binding) Hashtbl.t
 
@@ -122,11 +127,11 @@ let rec eval rt scopes (x : expr) : int64 =
   | Bool b -> Value.of_bool b
   | Var name -> (
       match lookup scopes name with
-      | Scalar r -> !r
+      | Scalar (_, r) -> !r
       | Arr _ -> raise (Runtime (Printf.sprintf "array %s used as scalar" name)))
   | Index (name, idx) -> (
       match lookup scopes name with
-      | Arr a ->
+      | Arr (_, a) ->
           let i = Int64.to_int (eval rt scopes idx) in
           if i < 0 || i >= Array.length a then
             raise
@@ -160,25 +165,19 @@ let assign rt scopes lv v =
   match lv with
   | Lvar name -> (
       match lookup scopes name with
-      | Scalar r -> r := v
+      | Scalar (ty, r) -> r := Value.wrap_ty ty v
       | Arr _ -> raise (Runtime (Printf.sprintf "cannot assign to array %s" name)))
   | Lindex (name, idx) -> (
       match lookup scopes name with
-      | Arr a ->
+      | Arr (ty, a) ->
           let i = Int64.to_int (eval rt scopes idx) in
           if i < 0 || i >= Array.length a then
             raise
               (Runtime
                  (Printf.sprintf "array index %d out of bounds for %s[%d]" i name
                     (Array.length a)))
-          else a.(i) <- v
+          else a.(i) <- Value.wrap_ty ty v
       | Scalar _ -> raise (Runtime (Printf.sprintf "%s is not an array" name)))
-
-let lvalue_type scopes lv loc =
-  (* after elaboration lvalue types are consistent; recover for wrapping *)
-  ignore loc;
-  ignore scopes;
-  ignore lv
 
 let observe rt ev = match rt.obs with Some f -> f ev | None -> ()
 
@@ -198,10 +197,10 @@ and exec_stmt rt pname scopes st =
   | Decl (ty, name, init) -> (
       let top = match scopes with sc :: _ -> sc | [] -> assert false in
       match ty with
-      | Tarray (_, n) -> Hashtbl.replace top name (Arr (Array.make n 0L))
+      | Tarray (elem, n) -> Hashtbl.replace top name (Arr (elem, Array.make n 0L))
       | _ ->
           let v = match init with Some e -> eval rt scopes e | None -> 0L in
-          Hashtbl.replace top name (Scalar (ref v));
+          Hashtbl.replace top name (Scalar (ty, ref v));
           if init <> None then
             observe rt (Obs_scalar { oproc = pname; oloc = st.sloc; ovar = name; value = v }))
   | Assign (lv, e) ->
@@ -242,7 +241,7 @@ and exec_stmt rt pname scopes st =
         (match ivar with
         | Some v -> (
             match (try Some (lookup scopes' v) with Runtime _ -> None) with
-            | Some (Scalar r) ->
+            | Some (Scalar (_, r)) ->
                 observe rt
                   (Obs_scalar { oproc = pname; oloc = st.sloc; ovar = v; value = !r })
             | Some (Arr _) | None -> ())
@@ -279,7 +278,7 @@ and exec_stmt rt pname scopes st =
   | Const_array (elem, name, values) ->
       let top = match scopes with sc :: _ -> sc | [] -> assert false in
       Hashtbl.replace top name
-        (Arr (Array.of_list (List.map (Value.wrap_ty elem) values)))
+        (Arr (elem, Array.of_list (List.map (Value.wrap_ty elem) values)))
 
 (* --- Cooperative scheduler over effect handlers ------------------------- *)
 
@@ -360,7 +359,7 @@ let run ?(cfg = default_config) (prog : program) : result =
         List.iter
           (fun (name, ty) ->
             let v = try List.assoc name bindings with Not_found -> 0L in
-            Hashtbl.replace top name (Scalar (ref (Value.wrap_ty ty v))))
+            Hashtbl.replace top name (Scalar (ty, ref (Value.wrap_ty ty v))))
           p.params;
         exec_stmts rt p.pname [ top ] p.body
       in

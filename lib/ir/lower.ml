@@ -372,6 +372,12 @@ let lower_proc ?(mirrors = []) ?(mem_ports = 1) (prog : program) (p : proc) : Ir
           | Decl (Tarray (elem, n), name, _) when List.mem_assoc name mirrors ->
               let copy = List.assoc name mirrors in
               [ stmt; { stmt with s = Decl (Tarray (elem, n), copy, None) } ]
+          | Const_array (elem, name, values) when List.mem_assoc name mirrors ->
+              (* a tapped ROM replicates as a second ROM with the same
+                 image: there are no stores to mirror, the replica just
+                 provides the tap's dedicated read port *)
+              let copy = List.assoc name mirrors in
+              [ stmt; { stmt with s = Const_array (elem, copy, values) } ]
           | _ -> [ stmt ])
         p.body
   in

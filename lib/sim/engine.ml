@@ -469,7 +469,10 @@ let step_seq t (p : pr) =
       | Ir.Sread { dst; stream } ->
           let f = fifo t stream in
           if Fifo.can_pop f then begin
-            write dst (Fifo.pop f);
+            (* wrap to the destination register's width here, not just at
+               overlay commit: same-state consumers (taps) read the
+               overlay value *)
+            write dst (Value.wrap_ty p.reg_ty.(dst) (Fifo.pop f));
             t.progressed <- true;
             run_taps ~phase:`Success;
             if commit_overlay p overlay then t.progressed <- true;
@@ -610,7 +613,7 @@ let step_pipe t (p : pr) (rt : pipe_rt) =
             if guard_passes ~read g then
               match g.Ir.i with
               | Ir.Sread { dst; stream } ->
-                  write dst (Fifo.pop (fifo t stream));
+                  write dst (Value.wrap_ty p.reg_ty.(dst) (Fifo.pop (fifo t stream)));
                   t.progressed <- true
               | Ir.Swrite { stream; v } ->
                   Fifo.push (fifo t stream)

@@ -1,0 +1,98 @@
+(** Regression-corpus storage — see {!Corpus} interface. *)
+
+type entry = {
+  name : string;
+  classes : string list;
+  seed : int64 option;
+  fuel : int option;
+  source : string;
+}
+
+let default_dir = "examples/torture"
+
+let header e =
+  let b = Buffer.create 128 in
+  Buffer.add_string b ("// torture reproducer: " ^ e.name ^ "\n");
+  Buffer.add_string b ("// classes: " ^ String.concat " " e.classes ^ "\n");
+  (match (e.seed, e.fuel) with
+  | Some s, Some f ->
+      Buffer.add_string b (Printf.sprintf "// seed: %Ld fuel: %d\n" s f)
+  | Some s, None -> Buffer.add_string b (Printf.sprintf "// seed: %Ld\n" s)
+  | None, _ -> ());
+  Buffer.contents b
+
+let save ~dir e =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (e.name ^ ".inca") in
+  let oc = open_out path in
+  output_string oc (header e);
+  output_string oc "\n";
+  output_string oc e.source;
+  close_out oc;
+  path
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let lines = String.split_on_char '\n' text in
+  let strip_prefix p s =
+    if String.length s >= String.length p && String.sub s 0 (String.length p) = p
+    then Some (String.sub s (String.length p) (String.length s - String.length p))
+    else None
+  in
+  let name = ref None and classes = ref [] and seed = ref None and fuel = ref None in
+  let body = ref [] in
+  List.iter
+    (fun line ->
+      match strip_prefix "// torture reproducer: " line with
+      | Some n -> name := Some (String.trim n)
+      | None -> (
+          match strip_prefix "// classes: " line with
+          | Some cs ->
+              classes :=
+                List.filter (fun s -> s <> "") (String.split_on_char ' ' cs)
+          | None -> (
+              match strip_prefix "// seed: " line with
+              | Some rest ->
+                  (try
+                     Scanf.sscanf rest "%Ld fuel: %d" (fun s f ->
+                         seed := Some s;
+                         fuel := Some f)
+                   with _ -> (
+                     try Scanf.sscanf rest "%Ld" (fun s -> seed := Some s)
+                     with _ -> ()))
+              | None -> body := line :: !body)))
+    lines;
+  let name =
+    match !name with
+    | Some n -> n
+    | None -> failwith (path ^ ": not a torture corpus file (missing header)")
+  in
+  (* drop the blank separator line the writer emits before the program *)
+  let body = List.rev !body in
+  let body = match body with "" :: rest -> rest | _ -> body in
+  { name; classes = !classes; seed = !seed; fuel = !fuel;
+    source = String.concat "\n" body }
+
+let files dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".inca")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+
+let replay ?max_cycles ?watchdog path =
+  match Front.Typecheck.parse_and_check ~file:path (load path).source with
+  | exception e ->
+      Error (Printf.sprintf "%s: does not parse: %s" path (Printexc.to_string e))
+  | prog -> (
+      let o = Oracle.check ?max_cycles ?watchdog prog in
+      match o.Oracle.divergences with
+      | [] -> Ok ()
+      | ds ->
+          Error
+            (Printf.sprintf "%s: diverges again (%s)" path
+               (String.concat ", " (List.map Oracle.class_key ds))))

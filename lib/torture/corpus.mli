@@ -1,0 +1,41 @@
+(** The checked-in regression corpus of shrunk reproducers.
+
+    Every divergence the fuzzer finds is auto-shrunk and written here as
+    a plain [.inca] program whose header comments record where it came
+    from (class keys, seed, fuel, shrink ratio).  The lexer skips
+    comments, so a corpus file is parsed and replayed exactly like any
+    other example.
+
+    Replay semantics: a committed corpus entry documents a divergence
+    that has since been {e fixed} — replay runs the full differential
+    oracle and demands agreement, so a regression resurfacing the old
+    divergence fails the suite with its original class key.  A file
+    freshly written by a failing [inca fuzz] run still diverges, of
+    course; it becomes a committed entry once the underlying bug is
+    repaired. *)
+
+type entry = {
+  name : string;  (** file stem, e.g. ["stream-read-narrowing"] *)
+  classes : string list;  (** oracle class keys recorded at discovery *)
+  seed : int64 option;  (** generator seed, when machine-found *)
+  fuel : int option;
+  source : string;  (** the program text, header comments excluded *)
+}
+
+val default_dir : string
+(** ["examples/torture"], relative to the repo root. *)
+
+(** [save ~dir e] writes [dir/<name>.inca] (creating [dir] if needed)
+    and returns the path.  Deterministic: same entry, same bytes. *)
+val save : dir:string -> entry -> string
+
+(** Parse a corpus file back into an entry.
+    @raise Failure on a file without a torture header. *)
+val load : string -> entry
+
+(** Sorted [.inca] paths under a corpus directory ([] if absent). *)
+val files : string -> string list
+
+(** Replay one corpus file through the oracle: [Ok ()] when every
+    execution agrees, [Error msg] naming the class keys otherwise. *)
+val replay : ?max_cycles:int -> ?watchdog:int -> string -> (unit, string) result

@@ -1,0 +1,418 @@
+(** Seeded random InCA-C program generator.  See {!Gen} interface for
+    the shape contract; everything here is a pure function of the seed
+    threaded through {!Rng}.  Evaluation order matters wherever the rng
+    is consumed, so lists are built with the explicitly-ordered
+    {!tabulate} instead of [List.init]. *)
+
+open Front.Ast
+
+let max_iters = 12
+
+(* Left-to-right [List.init]: the closure consumes the rng, so the call
+   order must be the list order, which [List.init] does not guarantee. *)
+let tabulate n f =
+  let rec go i = if i >= n then [] else let x = f i in x :: go (i + 1) in
+  go 0
+
+(* --- generation environment -------------------------------------------- *)
+
+type scope = {
+  rng : Rng.t;
+  mutable scalars : (string * ty) list;  (** in-scope scalar variables *)
+  mutable arrays : (string * ty * int) list;  (** name, element type, size *)
+  mutable fuel : int;  (** statement budget left for this process *)
+  mutable fresh : int;  (** fresh-name counter *)
+  iters : int;  (** main-loop trip count of the pipeline *)
+}
+
+let fresh sc prefix =
+  let n = sc.fresh in
+  sc.fresh <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+let spend sc = sc.fuel <- sc.fuel - 1
+
+(* Run [f] in a child lexical scope: declarations made inside do not
+   leak into statements generated after it. *)
+let scoped sc f =
+  let scalars = sc.scalars and arrays = sc.arrays in
+  let r = f () in
+  sc.scalars <- scalars;
+  sc.arrays <- arrays;
+  r
+
+let scalar_types =
+  [
+    Tint (Signed, W8); Tint (Unsigned, W8);
+    Tint (Signed, W16); Tint (Unsigned, W16);
+    Tint (Signed, W32); Tint (Unsigned, W32);
+    Tint (Signed, W64); Tint (Unsigned, W64);
+  ]
+
+let pick_type sc = Rng.choose sc.rng scalar_types
+
+(* Untyped expression nodes: elaboration recomputes every type and
+   inserts the casts, so the generator only has to respect scoping and
+   the scalar/array discipline. *)
+let mk e = mk_expr Tvoid e
+
+let mk_int64 n = mk (Int n)
+
+(* Literals biased toward width edges — exactly where narrowed
+   datapaths, sign extension and canonicalization bugs live (the
+   paper's Figure 3 literal is 2^32). *)
+let edge_literals =
+  [ 0L; 1L; 2L; 7L; 8L; 15L; 127L; 128L; 255L; 256L; 32767L; 65535L;
+    2147483647L; -1L; -2L; -128L; -32768L; 4294967295L; 4294967296L ]
+
+let literal sc =
+  if Rng.chance sc.rng ~pct:40 then mk_int64 (Rng.choose sc.rng edge_literals)
+  else mk_int64 (Int64.of_int (Rng.int sc.rng 33 - 8))
+
+(* --- expressions -------------------------------------------------------- *)
+
+let arith_ops = [ Add; Sub; Mul; Band; Bor; Bxor ]
+let cmp_ops = [ Lt; Le; Gt; Ge; Eq; Ne ]
+
+(* A random integer-valued expression of bounded [depth] over the
+   in-scope scalars.  Division and modulo get odd-ized divisors
+   ([e | 1]) so no evaluation ever traps; shift amounts are constants in
+   [0, 7] so they are in range at every operand width. *)
+let rec int_expr sc depth =
+  let leaf () =
+    match sc.scalars with
+    | [] -> literal sc
+    | vars ->
+        if Rng.chance sc.rng ~pct:65 then
+          let name, _ = Rng.choose sc.rng vars in
+          mk (Var name)
+        else literal sc
+  in
+  if depth <= 0 then leaf ()
+  else
+    match Rng.int sc.rng 10 with
+    | 0 | 1 | 2 ->
+        let op = Rng.choose sc.rng arith_ops in
+        let a = int_expr sc (depth - 1) in
+        let b = int_expr sc (depth - 1) in
+        mk (Binop (op, a, b))
+    | 3 ->
+        (* division that cannot trap: divisor forced odd, hence nonzero *)
+        let op = if Rng.bool sc.rng then Div else Mod in
+        let a = int_expr sc (depth - 1) in
+        let divisor = mk (Binop (Bor, int_expr sc (depth - 1), mk_int64 1L)) in
+        mk (Binop (op, a, divisor))
+    | 4 ->
+        let op = if Rng.bool sc.rng then Shl else Shr in
+        let a = int_expr sc (depth - 1) in
+        mk (Binop (op, a, mk_int64 (Int64.of_int (Rng.int sc.rng 8))))
+    | 5 ->
+        let op = if Rng.bool sc.rng then Neg else Bnot in
+        mk (Unop (op, int_expr sc (depth - 1)))
+    | 6 ->
+        let ty = pick_type sc in
+        mk (Cast (ty, int_expr sc (depth - 1)))
+    | 7 -> (
+        match sc.arrays with
+        | [] -> leaf ()
+        | arrays ->
+            let name, _, size = Rng.choose sc.rng arrays in
+            (* size is a power of two: masking keeps every index legal *)
+            let idx =
+              mk (Binop (Band, int_expr sc (depth - 1), mk_int64 (Int64.of_int (size - 1))))
+            in
+            mk (Index (name, idx)))
+    | _ -> leaf ()
+
+let cmp sc depth =
+  let a = int_expr sc depth in
+  let b = int_expr sc depth in
+  mk (Binop (Rng.choose sc.rng cmp_ops, a, b))
+
+let bool_expr sc depth =
+  if depth > 0 && Rng.chance sc.rng ~pct:25 then
+    let op = if Rng.bool sc.rng then Land else Lor in
+    let a = cmp sc (depth - 1) in
+    let b = cmp sc (depth - 1) in
+    mk (Binop (op, a, b))
+  else cmp sc depth
+
+(* --- statements --------------------------------------------------------- *)
+
+let masked_index sc size =
+  let e = int_expr sc 1 in
+  mk (Binop (Band, e, mk_int64 (Int64.of_int (size - 1))))
+
+(* Loop counters (names i0, k.., w..) are never reassigned: stores to
+   them would change trip counts and break the stream balance the
+   testbench derivation relies on. *)
+let writable_scalars sc =
+  List.filter (fun (n, _) -> String.length n > 0 && n.[0] = 'v') sc.scalars
+
+(* ROMs (named rom..) are const: only plain arrays (a..) are stored to. *)
+let writable_arrays sc =
+  List.filter (fun (n, _, _) -> String.length n > 0 && n.[0] = 'a') sc.arrays
+
+let assign_stmt sc =
+  let writable = writable_scalars sc in
+  let arrays = writable_arrays sc in
+  let use_array = arrays <> [] && (writable = [] || Rng.chance sc.rng ~pct:30) in
+  if use_array then begin
+    let name, _, size = Rng.choose sc.rng arrays in
+    let idx = masked_index sc size in
+    let rhs = int_expr sc 2 in
+    Some (mk_stmt (Assign (Lindex (name, idx), rhs)))
+  end
+  else
+    match writable with
+    | [] -> None
+    | _ ->
+        let name, _ = Rng.choose sc.rng writable in
+        let rhs = int_expr sc 2 in
+        Some (mk_stmt (Assign (Lvar name, rhs)))
+
+(* An assertion: mostly true-by-construction shapes (masked ranges,
+   induction bounds), sometimes an arbitrary comparison whose truth the
+   oracle arbitrates between software and hardware. *)
+let assertion sc =
+  let cond =
+    match Rng.int sc.rng 4 with
+    | 0 ->
+        (* (e & m) <= m : true at every width and signedness *)
+        let m = Int64.of_int (Rng.choose sc.rng [ 7; 15; 63; 255 ]) in
+        let e = int_expr sc 1 in
+        mk (Binop (Le, mk (Binop (Band, e, mk_int64 m)), mk_int64 m))
+    | 1 when List.mem_assoc "i0" sc.scalars ->
+        (* induction variable stays under its bound *)
+        mk (Binop (Lt, mk (Var "i0"), mk_int64 (Int64.of_int sc.iters)))
+    | 2 -> bool_expr sc 1
+    | _ ->
+        (* (e & m) >= 0 : masked value is a small non-negative *)
+        let m = Int64.of_int (Rng.choose sc.rng [ 3; 7; 31 ]) in
+        let e = int_expr sc 1 in
+        mk (Binop (Ge, mk (Binop (Band, e, mk_int64 m)), mk_int64 0L))
+  in
+  mk_stmt (Assert (cond, ""))
+
+let decl sc =
+  let ty = pick_type sc in
+  let name = fresh sc "v" in
+  let init = if Rng.chance sc.rng ~pct:80 then Some (int_expr sc 2) else None in
+  sc.scalars <- (name, ty) :: sc.scalars;
+  mk_stmt (Decl (ty, name, init))
+
+let array_decl sc =
+  let size = Rng.choose sc.rng [ 4; 8; 16 ] in
+  let elt = Rng.choose sc.rng [ Tint (Signed, W32); Tint (Unsigned, W16); Tint (Signed, W16) ] in
+  let name = fresh sc "a" in
+  sc.arrays <- (name, elt, size) :: sc.arrays;
+  mk_stmt (Decl (Tarray (elt, size), name, None))
+
+let rom_decl sc =
+  let size = Rng.choose sc.rng [ 4; 8 ] in
+  let elt = Rng.choose sc.rng [ Tint (Signed, W32); Tint (Signed, W16) ] in
+  let name = fresh sc "rom" in
+  let values = tabulate size (fun _ -> Int64.of_int (Rng.int sc.rng 512 - 128)) in
+  sc.arrays <- (name, elt, size) :: sc.arrays;
+  mk_stmt (Const_array (elt, name, values))
+
+(* Statements with no stream traffic (for loop bodies and branches).
+   [depth] bounds control-structure nesting. *)
+let rec compute_stmt sc depth =
+  let simple () =
+    match assign_stmt sc with Some st -> st | None -> decl sc
+  in
+  match
+    Rng.weighted sc.rng
+      [ (45, `Assign); (14, `Decl); (12, `Assert); (10, `If); (6, `For);
+        (4, `While); (4, `Array); (3, `Rom) ]
+  with
+  | `Assign -> simple ()
+  | `Decl -> decl sc
+  | `Assert -> assertion sc
+  | `Array -> array_decl sc
+  | `Rom -> rom_decl sc
+  | `If when depth > 0 ->
+      let cond = bool_expr sc 2 in
+      let then_ = scoped sc (fun () -> compute_block sc (depth - 1) (1 + Rng.int sc.rng 2)) in
+      let else_ =
+        if Rng.bool sc.rng then
+          scoped sc (fun () -> compute_block sc (depth - 1) (1 + Rng.int sc.rng 2))
+        else []
+      in
+      mk_stmt (If (cond, then_, else_))
+  | `For when depth > 0 ->
+      let ivar = fresh sc "k" in
+      let trips = 2 + Rng.int sc.rng 3 in
+      let body =
+        scoped sc (fun () ->
+            sc.scalars <- (ivar, Tint (Signed, W32)) :: sc.scalars;
+            compute_block sc (depth - 1) (1 + Rng.int sc.rng 2))
+      in
+      let header =
+        {
+          init = Some (mk_stmt (Decl (Tint (Signed, W32), ivar, Some (mk_int64 0L))));
+          cond = mk (Binop (Lt, mk (Var ivar), mk_int64 (Int64.of_int trips)));
+          step =
+            Some (mk_stmt (Assign (Lvar ivar, mk (Binop (Add, mk (Var ivar), mk_int64 1L)))));
+          pipelined = false;
+        }
+      in
+      mk_stmt (For (header, body))
+  | `While when depth > 0 ->
+      (* bounded countdown: structurally terminating *)
+      let cvar = fresh sc "w" in
+      let start = 2 + Rng.int sc.rng 4 in
+      let body =
+        scoped sc (fun () ->
+            sc.scalars <- (cvar, Tint (Signed, W32)) :: sc.scalars;
+            compute_block sc (depth - 1) (Rng.int sc.rng 2)
+            @ [ mk_stmt (Assign (Lvar cvar, mk (Binop (Sub, mk (Var cvar), mk_int64 1L)))) ])
+      in
+      mk_stmt
+        (Block
+           [
+             mk_stmt (Decl (Tint (Signed, W32), cvar, Some (mk_int64 (Int64.of_int start))));
+             mk_stmt (While (mk (Binop (Gt, mk (Var cvar), mk_int64 0L)), body));
+           ])
+  | `If | `For | `While -> simple ()
+
+and compute_block sc depth n =
+  let rec go i =
+    if i >= n || sc.fuel <= 0 then []
+    else begin
+      spend sc;
+      let st = compute_stmt sc depth in
+      st :: go (i + 1)
+    end
+  in
+  match go 0 with [] -> [ assertion sc ] | stmts -> stmts
+
+(* --- processes ---------------------------------------------------------- *)
+
+(* One pipeline stage: declarations, then a main loop that reads one
+   value from [input], computes, and writes one value to [output] per
+   iteration, then an optional epilogue assertion.  [aux] (if given)
+   receives conditional extra traffic — it is drained by the testbench,
+   so its write count need not balance anything. *)
+let gen_proc sc ~name ~input ~output ~aux =
+  let prologue =
+    tabulate
+      (1 + Rng.int sc.rng 2)
+      (fun _ ->
+        match Rng.weighted sc.rng [ (6, `Decl); (2, `Array); (1, `Rom) ] with
+        | `Decl -> decl sc
+        | `Array -> array_decl sc
+        | `Rom -> rom_decl sc)
+  in
+  let xvar = fresh sc "v" in
+  let xty = pick_type sc in
+  let decl_x = mk_stmt (Decl (xty, xvar, None)) in
+  sc.scalars <- (xvar, xty) :: sc.scalars;
+  let ivar = "i0" in
+  let loop_body, pipelined =
+    scoped sc (fun () ->
+        sc.scalars <- (ivar, Tint (Signed, W32)) :: sc.scalars;
+        let read = mk_stmt (Stream_read (Lvar xvar, input)) in
+        let body_depth = if sc.fuel > 6 then 2 else 1 in
+        let compute = compute_block sc body_depth (1 + Rng.int sc.rng 3) in
+        let aux_traffic =
+          match aux with
+          | Some s when Rng.chance sc.rng ~pct:60 ->
+              let w = mk_stmt (Stream_write (s, int_expr sc 2)) in
+              if Rng.bool sc.rng then
+                let c = bool_expr sc 1 in
+                [ mk_stmt (If (c, [ w ], [])) ]
+              else [ w ]
+          | _ -> []
+        in
+        let write = mk_stmt (Stream_write (output, int_expr sc 2)) in
+        let body = (read :: compute) @ aux_traffic @ [ write ] in
+        (* pipeline only straight-line bodies: control flow inside a
+           modulo-scheduled loop is outside the subset the scheduler
+           handles profitably *)
+        let straight_line =
+          List.for_all
+            (fun st ->
+              match st.s with If _ | For _ | While _ | Block _ -> false | _ -> true)
+            body
+        in
+        let pipelined =
+          straight_line && List.length body <= 6 && Rng.chance sc.rng ~pct:50
+        in
+        (body, pipelined))
+  in
+  let header =
+    {
+      init = Some (mk_stmt (Decl (Tint (Signed, W32), ivar, Some (mk_int64 0L))));
+      cond = mk (Binop (Lt, mk (Var ivar), mk_int64 (Int64.of_int sc.iters)));
+      step = Some (mk_stmt (Assign (Lvar ivar, mk (Binop (Add, mk (Var ivar), mk_int64 1L)))));
+      pipelined;
+    }
+  in
+  let main_loop = mk_stmt (For (header, loop_body)) in
+  let epilogue = if Rng.chance sc.rng ~pct:40 then [ assertion sc ] else [] in
+  {
+    pname = name;
+    kind = Hardware;
+    params = [];
+    body = prologue @ [ decl_x; main_loop ] @ epilogue;
+    ploc = Front.Loc.none;
+  }
+
+(* --- whole programs ----------------------------------------------------- *)
+
+let stream_elem_types =
+  [ Tint (Signed, W16); Tint (Unsigned, W16); Tint (Signed, W32); Tint (Unsigned, W32);
+    Tint (Signed, W64); Tint (Unsigned, W8) ]
+
+let generate ~seed ~fuel =
+  let rng = Rng.make seed in
+  let nprocs = 1 + Rng.int rng 3 in
+  let iters = 4 + Rng.int rng (max_iters - 3) in
+  let streams =
+    tabulate (nprocs + 1) (fun i ->
+        {
+          sname = Printf.sprintf "chan%d" i;
+          elem = Rng.choose rng stream_elem_types;
+          depth = 2 + Rng.int rng 15;
+        })
+  in
+  let aux =
+    if Rng.chance rng ~pct:35 then
+      Some { sname = "aux0"; elem = Tint (Signed, W32); depth = 2 + Rng.int rng 7 }
+    else None
+  in
+  let aux_owner = match aux with Some _ -> Rng.int rng nprocs | None -> -1 in
+  let procs =
+    tabulate nprocs (fun i ->
+        let sc =
+          {
+            rng = Rng.split rng;
+            scalars = [];
+            arrays = [];
+            fuel = Stdlib.max 2 fuel;
+            fresh = 0;
+            iters;
+          }
+        in
+        gen_proc sc
+          ~name:(Printf.sprintf "p%d" i)
+          ~input:(Printf.sprintf "chan%d" i)
+          ~output:(Printf.sprintf "chan%d" (i + 1))
+          ~aux:(if i = aux_owner then Option.map (fun s -> s.sname) aux else None))
+  in
+  let prog =
+    {
+      streams = (streams @ match aux with Some s -> [ s ] | None -> []);
+      externs = [];
+      procs;
+    }
+  in
+  Front.Typecheck.elaborate prog
+
+(* Per-program seed: mix the run seed with the index through the
+   splitmix64 chain so adjacent indices get decorrelated streams. *)
+let program_seed ~run_seed ~index =
+  let r = Rng.make (Int64.add run_seed (Int64.mul 0x100000001B3L (Int64.of_int index))) in
+  Rng.next r

@@ -1,0 +1,34 @@
+(** Seeded random InCA-C program generator (Csmith-style, but
+    always-well-typed by construction).
+
+    Emits a pipeline of 1-3 hardware processes connected by streams:
+    the first reads the testbench feed stream, each stage transforms
+    values with random scalar arithmetic, arrays/ROMs, nested and
+    optionally pipelined loops, and hardware assertions, and the last
+    writes the drained output stream.  Stream reads and writes are
+    balanced across the chain (every stage moves exactly [iters] values)
+    so generated programs cannot deadlock on stream topology alone —
+    any hang the oracle sees is the toolchain's doing, or a shrink
+    artifact the watchdog classifies.
+
+    Programs use no process parameters and no extern functions, so
+    {!Mine.Trace.auto_options} derives a complete testbench from the
+    program text alone: that keeps shrunk reproducers self-contained.
+
+    Generation is a pure function of [seed]: identical seeds yield
+    byte-identical programs on every platform and domain count. *)
+
+(** [generate ~seed ~fuel] returns an elaborated (type-checked)
+    program.  [fuel] scales the statement/expression budget: 4 is
+    trivial straight-line code, 8 (the [inca fuzz] default) mixes
+    loops, arrays and assertions, 16+ produces dense nests. *)
+val generate : seed:int64 -> fuel:int -> Front.Ast.program
+
+(** The derived seed of program [index] within a run seeded [run_seed]
+    — exposed so a divergence report can name the exact seed that
+    regenerates its program. *)
+val program_seed : run_seed:int64 -> index:int -> int64
+
+(** Number of values each generated pipeline stage moves; bounded so
+    the auto-testbench ramp (48 values) always suffices. *)
+val max_iters : int

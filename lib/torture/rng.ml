@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random stream for the torture generator
+    (splitmix64; see {!Rng} interface for why it is hand-rolled). *)
+
+type t = { mutable state : int64 }
+
+let make seed = { state = seed }
+
+(* splitmix64 (Steele, Lea & Flood): one 64-bit multiply-xor-shift chain
+   per output word.  Passes BigCrush; more than enough to diversify
+   generated programs, and trivially stable across platforms. *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int";
+  (* take the high bits through a mod: n is tiny (grammar fan-out), so
+     modulo bias is irrelevant next to determinism *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let chance t ~pct = int t 100 < pct
+
+let choose t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.choose: empty"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let weighted t pairs =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 pairs in
+  if total <= 0 then invalid_arg "Rng.weighted";
+  let k = int t total in
+  let rec pick k = function
+    | [] -> invalid_arg "Rng.weighted: unreachable"
+    | (w, v) :: rest -> if k < w then v else pick (k - w) rest
+  in
+  pick k pairs
+
+let split t = make (next t)

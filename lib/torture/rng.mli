@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random stream for the torture generator.
+
+    A splitmix64 generator implemented locally so that a seeded fuzz run
+    is byte-identical across OCaml versions, platforms and [--jobs]
+    values — [Stdlib.Random]'s algorithm is not part of its interface,
+    ours is.  Every generated program is a pure function of its seed. *)
+
+type t
+
+val make : int64 -> t
+
+(** The next raw 64-bit word of the stream. *)
+val next : t -> int64
+
+(** Uniform integer in [\[0, n)].  @raise Invalid_argument when [n <= 0]. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** [chance t ~pct] is true [pct] percent of the time. *)
+val chance : t -> pct:int -> bool
+
+(** Uniform choice from a non-empty list. *)
+val choose : t -> 'a list -> 'a
+
+(** Weighted choice: [(weight, value)] pairs, weights positive. *)
+val weighted : t -> (int * 'a) list -> 'a
+
+(** An independent child stream: deterministically derived, advancing
+    the parent once.  Used to give program [i] of a run its own seed. *)
+val split : t -> t

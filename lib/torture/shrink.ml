@@ -1,0 +1,264 @@
+(** Delta-debugging shrinker — see {!Shrink} interface. *)
+
+open Front.Ast
+
+type stats = {
+  attempts : int;
+  accepted : int;
+  orig_lines : int;
+  min_lines : int;
+}
+
+let line_count prog =
+  let s = Front.Pretty.program_to_string prog in
+  String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s
+
+let drop_nth n l = List.filteri (fun i _ -> i <> n) l
+
+(* --- Indexed statement traversal ---------------------------------------- *)
+
+(* Statements are addressed by DFS pre-order position across all process
+   bodies (for-header init/step statements are not addressed — they are
+   part of the header's printed shape).  [edit] returns the replacement
+   list: [[]] deletes, children unwrap.  Returns [None] when [n] is out
+   of range or [edit] declines. *)
+let stmt_edit prog n (edit : stmt -> stmt list option) : program option =
+  let k = ref (-1) in
+  let applied = ref false in
+  let rec go_stmts stmts = List.concat_map go_stmt stmts
+  and go_stmt st =
+    incr k;
+    if !k = n then
+      match edit st with
+      | Some repl ->
+          applied := true;
+          repl
+      | None -> [ st ]
+    else
+      match st.s with
+      | If (c, t, f) -> [ { st with s = If (c, go_stmts t, go_stmts f) } ]
+      | While (c, b) -> [ { st with s = While (c, go_stmts b) } ]
+      | For (h, b) -> [ { st with s = For (h, go_stmts b) } ]
+      | Block b -> [ { st with s = Block (go_stmts b) } ]
+      | Decl _ | Assign _ | Assert _ | Stream_read _ | Stream_write _
+      | Return _ | Tapstmt _ | Const_array _ ->
+          [ st ]
+  in
+  let procs = List.map (fun p -> { p with body = go_stmts p.body }) prog.procs in
+  if !applied then Some { prog with procs } else None
+
+let count_stmts prog =
+  let k = ref 0 in
+  let rec go st =
+    incr k;
+    match st.s with
+    | If (_, t, f) ->
+        List.iter go t;
+        List.iter go f
+    | While (_, b) | For (_, b) | Block b -> List.iter go b
+    | Decl _ | Assign _ | Assert _ | Stream_read _ | Stream_write _ | Return _
+    | Tapstmt _ | Const_array _ ->
+        ()
+  in
+  List.iter (fun p -> List.iter go p.body) prog.procs;
+  !k
+
+(* --- Indexed expression traversal --------------------------------------- *)
+
+(* Expressions are addressed by DFS pre-order position: statements in
+   program order (descending into for-header init/step), then within
+   each expression parent-before-children, left to right.  [f] maps the
+   addressed node to its replacement; children of a replaced node are
+   not re-visited. *)
+let expr_map prog (f : int -> expr -> expr) : program * int =
+  let k = ref (-1) in
+  let rec go_e (x : expr) =
+    incr k;
+    let y = f !k x in
+    if y != x then y
+    else
+      match x.e with
+      | Int _ | Bool _ | Var _ -> x
+      | Index (a, i) -> { x with e = Index (a, go_e i) }
+      | Unop (op, a) -> { x with e = Unop (op, go_e a) }
+      | Binop (op, a, b) ->
+          let a' = go_e a in
+          let b' = go_e b in
+          { x with e = Binop (op, a', b') }
+      | Cast (t, a) -> { x with e = Cast (t, go_e a) }
+      | Call (g, args) -> { x with e = Call (g, List.map go_e args) }
+  in
+  let go_lv = function Lvar v -> Lvar v | Lindex (a, i) -> Lindex (a, go_e i) in
+  let rec go_s st = { st with s = go_sn st.s }
+  and go_sn = function
+    | Decl (ty, nm, Some e) -> Decl (ty, nm, Some (go_e e))
+    | Decl _ as s -> s
+    | Assign (lv, e) ->
+        let lv' = go_lv lv in
+        Assign (lv', go_e e)
+    | If (c, t, fl) -> If (go_e c, List.map go_s t, List.map go_s fl)
+    | While (c, b) -> While (go_e c, List.map go_s b)
+    | For (h, b) ->
+        let init = Option.map go_s h.init in
+        let cond = go_e h.cond in
+        let step = Option.map go_s h.step in
+        For ({ h with init; cond; step }, List.map go_s b)
+    | Assert (c, txt) -> Assert (go_e c, txt)
+    | Stream_read (lv, s) -> Stream_read (go_lv lv, s)
+    | Stream_write (s, e) -> Stream_write (s, go_e e)
+    | Return (Some e) -> Return (Some (go_e e))
+    | Block b -> Block (List.map go_s b)
+    | (Return None | Tapstmt _ | Const_array _) as s -> s
+  in
+  let procs = List.map (fun p -> { p with body = List.map go_s p.body }) prog.procs in
+  ({ prog with procs }, !k + 1)
+
+let count_exprs prog = snd (expr_map prog (fun _ x -> x))
+
+let get_expr prog n =
+  let found = ref None in
+  ignore
+    (expr_map prog (fun i x ->
+         if i = n && !found = None then found := Some x;
+         x));
+  !found
+
+let replace_expr prog n repl =
+  fst (expr_map prog (fun i x -> if i = n then repl else x))
+
+(* Reduction candidates for one node, strongest first: the literal [0],
+   then each immediate operand.  Literal nodes are already minimal. *)
+let expr_candidates (x : expr) =
+  match x.e with
+  | Int _ | Bool _ -> []
+  | _ ->
+      let zero = { x with e = Int 0L } in
+      let children =
+        match x.e with
+        | Int _ | Bool _ | Var _ -> []
+        | Index (_, i) -> [ i ]
+        | Unop (_, a) | Cast (_, a) -> [ a ]
+        | Binop (_, a, b) -> [ a; b ]
+        | Call (_, args) -> args
+      in
+      zero :: children
+
+let delete_stmt prog n = stmt_edit prog n (fun _ -> Some [])
+
+let unwrap_stmt st =
+  match st.s with
+  | If (_, t, fl) -> Some (t @ fl)
+  | While (_, b) | For (_, b) | Block b -> Some b
+  | Decl _ | Assign _ | Assert _ | Stream_read _ | Stream_write _ | Return _
+  | Tapstmt _ | Const_array _ ->
+      None
+
+(* --- The greedy fixpoint loop ------------------------------------------- *)
+
+(* Strictly decreasing size measure: statement count, then expression
+   count, then printed length.  Acceptance requires a strict decrease,
+   which makes the greedy loop terminate even though printing can
+   re-expand a substitution (a typed literal reparses as a cast). *)
+let measure prog =
+  ( count_stmts prog,
+    count_exprs prog,
+    String.length (Front.Pretty.program_to_string prog) )
+
+let shrink ?(max_attempts = 20_000) ~keep prog0 =
+  let attempts = ref 0 and accepted = ref 0 in
+  let budget () = !attempts < max_attempts in
+  let cur = ref prog0 in
+  (* Candidates go back through print → parse → elaborate, exactly like
+     the oracle's own re-injection: the accepted program is well-typed
+     and its printed form is what [keep] judged. *)
+  let try_cand cand =
+    if not (budget ()) then None
+    else begin
+      incr attempts;
+      match
+        Front.Typecheck.parse_and_check (Front.Pretty.program_to_string cand)
+      with
+      | exception _ -> None
+      | p ->
+          if compare (measure p) (measure !cur) < 0 && keep p then begin
+            incr accepted;
+            Some p
+          end
+          else None
+    end
+  in
+  let changed = ref true in
+  while !changed && budget () do
+    changed := false;
+    (* 1. whole processes *)
+    let i = ref 0 in
+    while !i < List.length !cur.procs && List.length !cur.procs > 1 && budget ()
+    do
+      match try_cand { !cur with procs = drop_nth !i !cur.procs } with
+      | Some p ->
+          cur := p;
+          changed := true
+      | None -> incr i
+    done;
+    (* 2. stream declarations (a still-referenced stream fails the
+       re-elaboration gate and is rejected for free) *)
+    let i = ref 0 in
+    while !i < List.length !cur.streams && budget () do
+      match try_cand { !cur with streams = drop_nth !i !cur.streams } with
+      | Some p ->
+          cur := p;
+          changed := true
+      | None -> incr i
+    done;
+    (* 3. statement deletion *)
+    let i = ref 0 in
+    while !i < count_stmts !cur && budget () do
+      match stmt_edit !cur !i (fun _ -> Some []) with
+      | None -> incr i
+      | Some cand -> (
+          match try_cand cand with
+          | Some p ->
+              cur := p;
+              changed := true (* indices shifted: retry the same slot *)
+          | None -> incr i)
+    done;
+    (* 4. control unwrapping *)
+    let i = ref 0 in
+    while !i < count_stmts !cur && budget () do
+      match stmt_edit !cur !i unwrap_stmt with
+      | None -> incr i
+      | Some cand -> (
+          match try_cand cand with
+          | Some p ->
+              cur := p;
+              changed := true
+          | None -> incr i)
+    done;
+    (* 5. expression reduction *)
+    let i = ref 0 in
+    while !i < count_exprs !cur && budget () do
+      let reduced =
+        match get_expr !cur !i with
+        | None -> None
+        | Some x ->
+            List.fold_left
+              (fun acc repl ->
+                match acc with
+                | Some _ -> acc
+                | None -> try_cand (replace_expr !cur !i repl))
+              None (expr_candidates x)
+      in
+      match reduced with
+      | Some p ->
+          cur := p;
+          changed := true (* the slot now holds the replacement: retry *)
+      | None -> incr i
+    done
+  done;
+  ( !cur,
+    {
+      attempts = !attempts;
+      accepted = !accepted;
+      orig_lines = line_count prog0;
+      min_lines = line_count !cur;
+    } )

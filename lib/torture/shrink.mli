@@ -1,0 +1,49 @@
+(** Auto-shrinker: delta-debugging a divergent program to a minimal
+    reproducer.
+
+    Greedy fixpoint over a deterministic transformation schedule —
+    whole-process removal, stream removal, statement deletion, control
+    unwrapping (a loop or conditional replaced by its body), and
+    expression reduction (a node replaced by [0] or by one of its own
+    operands).  Every candidate is re-injected through the printer,
+    parser and type checker before the [keep] predicate sees it, so a
+    shrunk program is well-typed by construction and its printed form is
+    exactly what was tested.
+
+    The result is 1-minimal with respect to the schedule: no single
+    further transformation step preserves [keep].  Shrinking is
+    deterministic — same input program and predicate, same output. *)
+
+type stats = {
+  attempts : int;  (** candidates proposed (including rejected ones) *)
+  accepted : int;  (** candidates that kept the behaviour *)
+  orig_lines : int;  (** printed line count before shrinking *)
+  min_lines : int;  (** printed line count of the result *)
+}
+
+(** Printed line count of a program — the corpus budget metric. *)
+val line_count : Front.Ast.program -> int
+
+(** Number of statements addressable by {!delete_stmt} (DFS pre-order
+    across all process bodies). *)
+val count_stmts : Front.Ast.program -> int
+
+(** [delete_stmt p n] removes the [n]-th addressable statement, or
+    returns [None] when [n] is out of range.  This is exactly the
+    shrinker's own statement-deletion step, exposed so the test suite
+    can check 1-minimality: on a fully shrunk program, no single
+    deletion that survives re-elaboration may preserve the
+    divergence. *)
+val delete_stmt : Front.Ast.program -> int -> Front.Ast.program option
+
+(** [shrink ~keep p] reduces [p] while [keep] holds.  [keep] receives
+    only candidates that survive print → parse → elaborate; it should
+    return [true] when the candidate still exhibits the divergence being
+    minimized (same oracle class keys, typically).  [p] itself is
+    assumed to satisfy [keep].  [max_attempts] bounds predicate calls
+    (default 20_000) so shrinking always terminates promptly. *)
+val shrink :
+  ?max_attempts:int ->
+  keep:(Front.Ast.program -> bool) ->
+  Front.Ast.program ->
+  Front.Ast.program * stats

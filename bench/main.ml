@@ -595,8 +595,8 @@ let mine_bench () =
 let check_bench () =
   section "Static verification: assertion classes and the --prune-proved dividend";
   let strategy = Driver.parallelized in
-  Printf.printf "  %-8s %9s %7s %9s %8s %7s %7s %11s\n" "app" "asserts" "proved"
-    "violated" "unknown" "aluts" "regs" "fmax(MHz)";
+  Printf.printf "  %-8s %9s %7s %9s %8s %7s %7s %7s %11s\n" "app" "asserts" "proved"
+    "violated" "unknown" "pruned" "aluts" "regs" "fmax(MHz)";
   let rows =
     List.map
       (fun (w : Campaign.workload) ->
@@ -618,26 +618,27 @@ let check_bench () =
         let fmax_d =
           pruned.Driver.timing.Timing.fmax_mhz -. base.Driver.timing.Timing.fmax_mhz
         in
-        Printf.printf "  %-8s %9d %7d %9d %8d %+7d %+7d %+11.1f\n" name (p + v + u) p v u
-          alut_d reg_d fmax_d;
-        (name, p + v + u, p, v, u, alut_d, reg_d, fmax_d))
+        let ps = pruned.Driver.pruned in
+        Printf.printf "  %-8s %9d %7d %9d %8d %7d %+7d %+7d %+11.1f\n" name (p + v + u)
+          p v u ps.Driver.absint_pruned alut_d reg_d fmax_d;
+        (name, p + v + u, p, v, u, alut_d, reg_d, fmax_d, ps))
       (Campaign.bundled ())
   in
-  let total_proved = List.fold_left (fun acc (_, _, p, _, _, _, _, _) -> acc + p) 0 rows in
+  let total_proved = List.fold_left (fun acc (_, _, p, _, _, _, _, _, _) -> acc + p) 0 rows in
   let dividend =
-    List.exists (fun (_, _, p, _, _, a, rg, _) -> p > 0 && a > 0 && rg > 0) rows
+    List.exists (fun (_, _, p, _, _, a, rg, _, _) -> p > 0 && a > 0 && rg > 0) rows
   in
   let oc = open_out "BENCH_check.json" in
   Printf.fprintf oc
     "{\"strategy\": \"parallelized\", \"total_proved\": %d, \"apps\": [%s]}\n" total_proved
     (String.concat ", "
        (List.map
-          (fun (name, n, p, v, u, a, rg, f) ->
+          (fun (name, n, p, v, u, a, rg, f, (ps : Driver.prune_stats)) ->
             Printf.sprintf
               "{\"name\": \"%s\", \"assertions\": %d, \"proved\": %d, \"violated\": %d, \
-               \"unknown\": %d, \"alut_delta\": %d, \"reg_delta\": %d, \
-               \"fmax_delta_mhz\": %.2f}"
-              name n p v u a rg f)
+               \"unknown\": %d, \"pruned_absint\": %d, \"pruned_induction\": %d, \
+               \"alut_delta\": %d, \"reg_delta\": %d, \"fmax_delta_mhz\": %.2f}"
+              name n p v u ps.Driver.absint_pruned ps.Driver.induction_pruned a rg f)
           rows));
   close_out oc;
   print_endline "  wrote BENCH_check.json";
@@ -651,6 +652,155 @@ let check_bench () =
   end;
   Printf.printf "  ok: %d proved, pruning pays a positive ALUT and register dividend\n"
     total_proved
+
+(* --- Bounded model checking ----------------------------------------------------------- *)
+
+(* Prove the examples corpus with the netlist-level BMC: bounded search
+   to depth 8 plus 4-induction, every counterexample replayed through
+   the cycle-accurate simulator before it counts.  Self-gating: the
+   sweep must confirm at least one genuine violation (mine_demo's
+   negative-feed underflow) and prove at least one assertion by
+   induction that the abstract interpreter leaves Unknown (prove_demo's
+   masked nibble), and pruning the induction-proved checkers must save
+   both ALUTs and registers.  The JSON artifact carries counts and
+   solver statistics only — no wall-clock — and is asserted
+   byte-identical serial vs parallel. *)
+let prove_bench () =
+  section "BMC: bounded proofs, k-induction, counterexample replay";
+  let read_file path =
+    if not (Sys.file_exists path) then
+      failwith (path ^ " not found (run from the project root)");
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let depth = 8 and induction = 4 in
+  let files = [ "mine_demo.c"; "prove_demo.c"; "dct.c"; "fir.c" ] in
+  let jobs = Exec.Pool.default_jobs () in
+  let prove_file ~jobs name =
+    let prog = elab ~file:name (read_file (Filename.concat "examples" name)) in
+    let f = Core.Verify.front_of prog in
+    let absint = Analysis.Absint.analyze prog in
+    let results =
+      List.map
+        (fun (o : _ Exec.Pool.outcome) ->
+          match o.Exec.Pool.value with
+          | Ok r -> r
+          | Error m -> failwith (name ^ ": prove worker failed: " ^ m))
+        (Exec.Pool.map ~jobs
+           (fun id ->
+             fst (Core.Verify.check_target ~depth ~induction f ~absint id))
+           (Core.Verify.target_ids f))
+    in
+    {
+      Analysis.Verdict.p_depth = depth;
+      p_induction = induction;
+      p_results = results;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let reports = List.map (fun n -> (n, prove_file ~jobs n)) files in
+  let dt = Unix.gettimeofday () -. t0 in
+  List.iter
+    (fun (name, r) ->
+      let serial = prove_file ~jobs:1 name in
+      if
+        Analysis.Verdict.render_json ~file:name r
+        <> Analysis.Verdict.render_json ~file:name serial
+      then begin
+        Printf.eprintf
+          "  DETERMINISM VIOLATION: %s prove report differs from serial\n" name;
+        exit 1
+      end)
+    reports;
+  Printf.printf "  %-14s %7s %9s %8s %8s %10s\n" "file" "proved" "violated"
+    "bounded" "unknown" "conflicts";
+  List.iter
+    (fun (name, r) ->
+      let p, v, b, u = Analysis.Verdict.tally r in
+      Printf.printf "  %-14s %7d %9d %8d %8d %10d\n" name p v b u
+        (Analysis.Verdict.conflicts r))
+    reports;
+  let tp, tv, tb, tu =
+    List.fold_left
+      (fun (p, v, b, u) (_, r) ->
+        let p', v', b', u' = Analysis.Verdict.tally r in
+        (p + p', v + v', b + b', u + u'))
+      (0, 0, 0, 0) reports
+  in
+  let sum f =
+    List.fold_left
+      (fun acc (_, r) ->
+        List.fold_left (fun a pr -> a + f pr) acc r.Analysis.Verdict.p_results)
+      0 reports
+  in
+  let conflicts = sum (fun pr -> pr.Analysis.Verdict.pr_conflicts) in
+  let decisions = sum (fun pr -> pr.Analysis.Verdict.pr_decisions) in
+  let propagations = sum (fun pr -> pr.Analysis.Verdict.pr_propagations) in
+  Printf.printf
+    "  %d assertions: %d proved, %d violated, %d bounded, %d unknown\n"
+    (tp + tv + tb + tu) tp tv tb tu;
+  Printf.printf "  solver: %d conflicts, %d decisions in %.2fs (%.0f conflicts/sec)\n"
+    conflicts decisions dt
+    (float_of_int conflicts /. dt);
+  let has cls r =
+    List.exists (fun pr -> cls pr.Analysis.Verdict.pr_class) r.Analysis.Verdict.p_results
+  in
+  if
+    not
+      (has (function Analysis.Verdict.Bviolated _ -> true | _ -> false)
+         (List.assoc "mine_demo.c" reports))
+  then begin
+    prerr_endline "  FAIL: mine_demo's underflow was not confirmed Violated";
+    exit 1
+  end;
+  if
+    not
+      (has (function Analysis.Verdict.Bproved _ -> true | _ -> false)
+         (List.assoc "prove_demo.c" reports))
+  then begin
+    prerr_endline "  FAIL: no prove_demo assertion was proved by induction";
+    exit 1
+  end;
+  (* the induction dividend: prune what induction proved and price it *)
+  let demo =
+    elab ~file:"prove_demo.c" (read_file "examples/prove_demo.c")
+  in
+  let rep, _ = Core.Verify.prove ~depth ~induction demo in
+  let keys = Core.Verify.induction_proved_keys rep in
+  let base = Driver.compile ~strategy:Driver.parallelized demo in
+  let pruned =
+    Driver.compile ~strategy:Driver.parallelized ~induction_proved:keys demo
+  in
+  let alut_d = base.Driver.area.Area.aluts - pruned.Driver.area.Area.aluts in
+  let reg_d =
+    base.Driver.area.Area.registers - pruned.Driver.area.Area.registers
+  in
+  Printf.printf
+    "  induction dividend: %d checker(s) pruned, %+d ALUTs, %+d registers\n"
+    (List.length keys) (-alut_d) (-reg_d);
+  if keys = [] || alut_d <= 0 || reg_d <= 0 then begin
+    prerr_endline
+      "  FAIL: pruning the induction-proved checkers saved no ALUTs/registers";
+    exit 1
+  end;
+  let oc = open_out "BENCH_prove.json" in
+  Printf.fprintf oc
+    "{\"depth\": %d, \"induction\": %d, \"proved\": %d, \"violated\": %d, \
+     \"bounded\": %d, \"unknown\": %d, \"conflicts\": %d, \"decisions\": %d, \
+     \"propagations\": %d, \"induction_pruned\": %d, \"alut_delta\": %d, \
+     \"reg_delta\": %d, \"files\": [%s]}\n"
+    depth induction tp tv tb tu conflicts decisions propagations
+    (List.length keys) alut_d reg_d
+    (String.concat ", "
+       (List.map
+          (fun (name, r) ->
+            Printf.sprintf "{\"name\": \"%s\", \"report\": %s}" name
+              (String.trim (Analysis.Verdict.render_json ~file:name r)))
+          reports));
+  close_out oc;
+  print_endline "  wrote BENCH_prove.json"
 
 (* --- Torture harness ----------------------------------------------------------------- *)
 
@@ -822,6 +972,7 @@ let artifacts =
     ("campaign-smoke", campaign_smoke);
     ("mine", mine_bench);
     ("check", check_bench);
+    ("prove", prove_bench);
     ("torture", torture_bench);
     ("bechamel", bechamel);
   ]

@@ -31,6 +31,11 @@ let report (c : Core.Driver.compiled) =
         info.Core.Assertion.text)
     c.Core.Driver.table;
   Printf.printf "failure channels: %d\n" (List.length c.Core.Driver.plan.Core.Share.streams);
+  (let pr = c.Core.Driver.pruned in
+   if pr.Core.Driver.absint_pruned > 0 || pr.Core.Driver.induction_pruned > 0 then
+     Printf.printf "pruned checkers: %d (%d absint-proved, %d induction-proved)\n"
+       (pr.Core.Driver.absint_pruned + pr.Core.Driver.induction_pruned)
+       pr.Core.Driver.absint_pruned pr.Core.Driver.induction_pruned);
   Printf.printf "\nEP2S180 utilization:\n";
   Printf.printf "  ALUTs        %7d (%.2f%%)\n" a.Rtl.Area.aluts
     (100.0 *. float_of_int a.Rtl.Area.aluts /. 143520.0);
@@ -57,9 +62,29 @@ let report (c : Core.Driver.compiled) =
 (* --- compile ------------------------------------------------------------------- *)
 
 let compile_cmd =
-  let run file sel prune =
+  let prune_induction_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "prune-induction" ]
+          ~doc:
+            "Also run the bounded model checker and prune every assertion proved by \
+             k-induction up to $(docv) (0 disables).  Reported separately from the \
+             absint-proved count."
+          ~docv:"K")
+  in
+  let run file sel prune prune_ind =
     Cli.or_static_violation @@ fun () ->
-    let c = Cli.load ~prune_proved:prune sel file in
+    let src = Cli.read_file file in
+    let prog = Front.Typecheck.parse_and_check ~file:(Filename.basename file) src in
+    let _, strategy = Cli.apply_sel sel in
+    let induction_proved =
+      if prune_ind <= 0 then []
+      else
+        let rep, _ = Core.Verify.prove ~induction:prune_ind prog in
+        Core.Verify.induction_proved_keys rep
+    in
+    let c = Core.Driver.compile ~strategy ~prune_proved:prune ~induction_proved prog in
     report c;
     match Core.Driver.static_diags c with
     | [] -> `Ok 0
@@ -69,7 +94,10 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile and print an area/timing report")
-    Term.(ret (const run $ Cli.file_arg $ Cli.strategy_args () $ Cli.prune_arg))
+    Term.(
+      ret
+        (const run $ Cli.file_arg $ Cli.strategy_args () $ Cli.prune_arg
+        $ prune_induction_arg))
 
 (* --- instrument ---------------------------------------------------------------- *)
 
@@ -461,9 +489,21 @@ let fuzz_cmd =
       & info [ "watchdog" ]
           ~doc:"Live-lock watchdog window for every circuit run, in cycles.")
   in
-  let run seed count fuel jobs max_cycles watchdog corpus_dir json_out =
+  let bmc_depth_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "bmc-depth" ]
+          ~doc:
+            "Cross-check every statically proved assertion against the bounded model \
+             checker to this depth; a replay-confirmed counterexample for a proved \
+             assertion is a proved-fired:bmc divergence."
+          ~docv:"K")
+  in
+  let run seed count fuel jobs max_cycles watchdog bmc_depth corpus_dir json_out =
     let r =
-      Torture.Fuzz.run ?jobs ~seed ~count ~fuel ~max_cycles ~watchdog ~corpus_dir ()
+      Torture.Fuzz.run ?jobs ~seed ~count ~fuel ~max_cycles ~watchdog ?bmc_depth
+        ~corpus_dir ()
     in
     print_string (Torture.Fuzz.render r);
     (match json_out with
@@ -496,7 +536,7 @@ let fuzz_cmd =
     Term.(
       const run $ seed_arg $ count_arg $ fuel_arg $ Cli.jobs_arg
       $ Cli.max_cycles_arg ~default:Torture.Oracle.default_max_cycles ()
-      $ watchdog_arg $ corpus_arg $ json_arg)
+      $ watchdog_arg $ bmc_depth_arg $ corpus_arg $ json_arg)
 
 (* --- check ------------------------------------------------------------------------ *)
 
@@ -582,13 +622,173 @@ let check_cmd =
           invariants.  Exits 1 when any error-severity finding is reported.")
     Term.(ret (const run $ paths_arg $ Cli.strategy_args () $ json_arg))
 
+(* --- prove ------------------------------------------------------------------------ *)
+
+let prove_cmd =
+  let paths_arg =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"PATH"
+          ~doc:
+            "InCA-C source files or directories (a directory expands to its *.c files, \
+             sorted).")
+  in
+  let depth_arg =
+    Arg.(
+      value
+      & opt int 12
+      & info [ "depth" ] ~doc:"Cycles to unroll the design (the bound of the search).")
+  in
+  let induction_arg =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "induction" ]
+          ~doc:
+            "Maximum k tried for the k-induction unbounded proof of assertions the \
+             bounded search could not violate; 0 disables induction.")
+  in
+  let assertion_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "assertion" ] ~doc:"Check only the assertion with this id." ~docv:"ID")
+  in
+  let conflict_arg =
+    Arg.(
+      value
+      & opt int 200_000
+      & info [ "conflict-limit" ]
+          ~doc:"Solver conflict budget per SAT query; exhausted queries report unknown.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit each report as a deterministic JSON document (one line per file), \
+             byte-identical across --jobs values.")
+  in
+  let run paths depth induction assertion conflict_limit jobs json =
+    let files =
+      List.concat_map
+        (fun p ->
+          if Sys.is_directory p then
+            Sys.readdir p |> Array.to_list
+            |> List.filter (fun f -> Filename.check_suffix f ".c")
+            |> List.sort compare
+            |> List.map (Filename.concat p)
+          else [ p ])
+        paths
+    in
+    let prove_file path =
+      let file = Filename.basename path in
+      match Front.Typecheck.parse_and_check ~file (Cli.read_file path) with
+      | exception Front.Typecheck.Error (m, loc) | (exception Front.Parser.Error (m, loc))
+      | (exception Front.Lexer.Error (m, loc)) ->
+          Printf.eprintf "%s:%d:%d: %s\n" file loc.Front.Loc.line loc.Front.Loc.col m;
+          `Error
+      | prog -> (
+          match Core.Verify.front_of prog with
+          | exception e ->
+              Printf.eprintf "%s: compilation failed: %s\n" file (Printexc.to_string e);
+              `Error
+          | f ->
+              let absint = Analysis.Absint.analyze prog in
+              let ids = Core.Verify.target_ids f in
+              let ids =
+                match assertion with
+                | Some a -> List.filter (( = ) a) ids
+                | None -> ids
+              in
+              let outcomes =
+                Exec.Pool.map ?jobs
+                  (fun id ->
+                    Core.Verify.check_target ~depth ~induction ~conflict_limit f
+                      ~absint id)
+                  ids
+              in
+              let results, extra =
+                List.fold_left2
+                  (fun (rs, ds) id (o : _ Exec.Pool.outcome) ->
+                    match o.Exec.Pool.value with
+                    | Ok (r, d) ->
+                        (r :: rs, match d with Some d -> d :: ds | None -> ds)
+                    | Error m ->
+                        let info = List.assoc id f.Core.Driver.f_table in
+                        ( {
+                            Analysis.Verdict.pr_id = id;
+                            pr_proc = info.Core.Assertion.aproc;
+                            pr_loc = info.Core.Assertion.aloc;
+                            pr_text = info.Core.Assertion.text;
+                            pr_class =
+                              Analysis.Verdict.Bunknown ("worker failed: " ^ m);
+                            pr_reach = Analysis.Verdict.Breach_unknown m;
+                            pr_dead_lint = false;
+                            pr_conflicts = 0;
+                            pr_decisions = 0;
+                            pr_propagations = 0;
+                          }
+                          :: rs,
+                          ds ))
+                  ([], []) ids outcomes
+              in
+              let results = List.rev results in
+              let rep =
+                { Analysis.Verdict.p_depth = depth; p_induction = induction;
+                  p_results = results }
+              in
+              let diags =
+                Analysis.Diag.order
+                  (List.filter_map Analysis.Verdict.diag_of results @ List.rev extra)
+              in
+              if json then print_endline (Analysis.Verdict.render_json ~file rep)
+              else begin
+                let s = Rtl.Netlist.summarize (Core.Driver.finish f).Core.Driver.netlist in
+                Printf.printf
+                  "%s: %d modules, %d primitives, %d sequential state bits\n" file
+                  s.Rtl.Netlist.n_modules s.Rtl.Netlist.n_prims
+                  (Rtl.Netlist.state_bits (Core.Driver.finish f).Core.Driver.netlist);
+                print_string (Analysis.Verdict.render ~file rep);
+                List.iter (fun d -> print_endline (Analysis.Diag.to_string d)) diags
+              end;
+              if
+                List.exists
+                  (fun (r : Analysis.Verdict.presult) ->
+                    match r.Analysis.Verdict.pr_class with
+                    | Analysis.Verdict.Bviolated _ -> true
+                    | _ -> false)
+                  results
+              then `Violated
+              else `Ok)
+    in
+    let statuses = List.map prove_file files in
+    if List.mem `Error statuses then 2
+    else if List.mem `Violated statuses then 1
+    else 0
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:
+         "Bounded model checking of the synthesized design: bit-blast the scheduled \
+          FSMDs, stream FIFOs and block RAMs into an AIG, unroll to --depth cycles and \
+          classify every assertion as proved (k-induction), violated (with a \
+          cycle-accurate counterexample replayed through the simulator), bounded, or \
+          unknown.  Also reports checker reachability (cover).  Exits 1 when any \
+          replay-confirmed violation is found, 2 on compile errors.")
+    Term.(
+      const run $ paths_arg $ depth_arg $ induction_arg $ assertion_arg $ conflict_arg
+      $ Cli.jobs_arg $ json_arg)
+
 let main =
   let doc = "in-circuit assertion synthesis for high-level synthesis" in
   Cmd.group
     (Cmd.info "inca" ~version:"1.0.0" ~doc)
     [
       compile_cmd; instrument_cmd; vhdl_cmd; simulate_cmd; swsim_cmd; campaign_cmd;
-      mine_cmd; check_cmd; fuzz_cmd;
+      mine_cmd; check_cmd; fuzz_cmd; prove_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

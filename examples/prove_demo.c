@@ -1,0 +1,50 @@
+/* Model-checking demo: an assertion the abstract interpreter cannot
+   prove but k-induction can.
+
+   The masked nibble obviously satisfies nib <= 15 — but the interval
+   domain only bounds a bitwise AND when both operands are known
+   non-negative, and x comes straight off a stream, so it may be any
+   int32.  `inca check` therefore reports the assertion UNKNOWN and
+   --prune-proved keeps its checker in silicon.
+
+   The bounded model checker sees through the bit mask: after blasting,
+   bits 4..63 of nib are structurally zero, so the checker's fire
+   literal is constant false in every reachable (indeed, every
+   syntactic) state and the 1-induction step discharges it.  Try:
+
+     dune exec bin/inca.exe -- check examples/prove_demo.c     # unknown
+     dune exec bin/inca.exe -- prove examples/prove_demo.c    # proved
+     dune exec bin/inca.exe -- compile examples/prove_demo.c --prune-induction 2
+
+   The last command shows the area dividend: the induction proof
+   removes the checker hardware exactly like an absint proof would,
+   and the compile report accounts the two prune sources separately.
+
+   The second assertion keeps an honest checker in the design: the
+   bounded search can reach it (the tap executes from cycle one) but
+   neither verifier can prove it for all inputs, because it is simply
+   false for large enough feeds — yet no violation exists within small
+   depths since the accumulator needs many samples to overflow the
+   bound.  It documents the three-way split: proved / bounded /
+   violated are different claims. */
+
+stream int32 nib_in depth 16;
+stream int32 nib_out depth 16;
+
+process hw nibble(int32 rounds) {
+  int32 i;
+  int32 total;
+  total = 0;
+  for (i = 0; i < rounds; i = i + 1) {
+    int32 x;
+    int32 nib;
+    x = stream_read(nib_in);
+    nib = x & 15;
+    /* absint: unknown (x may be negative); BMC: proved by 1-induction */
+    assert(nib <= 15);
+    total = total + nib;
+    /* holds to any small depth, but not inductively: total grows */
+    assert(total <= 1000000);
+    stream_write(nib_out, nib);
+  }
+}

@@ -1,0 +1,193 @@
+(** Netlist-level verification verdicts — the shared vocabulary between
+    the BMC engine ({!Bmc.Prove}, which sits above this library), the
+    [inca prove] CLI and the bench harness.
+
+    The classification deliberately mirrors {!Absint}'s
+    proved/violated/unknown triple so the two verifiers can be
+    cross-checked mechanically, but it is richer: a bounded result
+    carries its depth, a violation carries the replay status of its
+    counterexample, and reachability of the checker's fire condition is
+    reported separately (the cover-style dual of proving).
+
+    Diagnostic codes (continuing {!Diag}'s INCA-A/L/S families):
+
+    - [INCA-B001]  assertion violated; counterexample replayed in the
+                   cycle-accurate simulator
+    - [INCA-B002]  assertion proved for all executions by k-induction
+                   (prunable hardware, like INCA-A002)
+    - [INCA-B003]  assertion holds to the unrolled depth only
+    - [INCA-B004]  checker unreachable to the unrolled depth (dead
+                   hardware; cross-checked against lint L105)
+    - [INCA-B005]  assertion outside the BMC fragment (pipelined loop,
+                   extern call, non-scalar free value)
+    - [INCA-B006]  solver found a candidate violation the simulator
+                   replay did not confirm (a model/engine divergence —
+                   report it as a bug) *)
+
+module Loc = Front.Loc
+
+type pclass =
+  | Bviolated of int  (** fire cycle of the replayed counterexample *)
+  | Bproved of int    (** inductive at this k *)
+  | Bbounded of int   (** no violation within this many cycles *)
+  | Bunknown of string
+
+type breach =
+  | Breachable of int      (** first cycle the tap can execute *)
+  | Bunreachable of int    (** tap cannot execute within this depth *)
+  | Breach_unknown of string
+
+type presult = {
+  pr_id : int;
+  pr_proc : string;
+  pr_loc : Loc.t;
+  pr_text : string;        (** source text of the condition *)
+  pr_class : pclass;
+  pr_reach : breach;
+  pr_dead_lint : bool;     (** also flagged dead by lint L105 *)
+  pr_conflicts : int;
+  pr_decisions : int;
+  pr_propagations : int;
+}
+
+type report = {
+  p_depth : int;
+  p_induction : int;
+  p_results : presult list;  (** assertion id order *)
+}
+
+let class_name = function
+  | Bviolated _ -> "violated"
+  | Bproved _ -> "proved"
+  | Bbounded _ -> "bounded"
+  | Bunknown _ -> "unknown"
+
+let tally rep =
+  List.fold_left
+    (fun (p, v, b, u) r ->
+      match r.pr_class with
+      | Bproved _ -> (p + 1, v, b, u)
+      | Bviolated _ -> (p, v + 1, b, u)
+      | Bbounded _ -> (p, v, b + 1, u)
+      | Bunknown _ -> (p, v, b, u + 1))
+    (0, 0, 0, 0) rep.p_results
+
+let conflicts rep = List.fold_left (fun a r -> a + r.pr_conflicts) 0 rep.p_results
+
+let diag_of (r : presult) : Diag.t option =
+  match r.pr_class with
+  | Bviolated c ->
+      Some
+        (Diag.error ~code:"INCA-B001" ~proc:r.pr_proc r.pr_loc
+           (Printf.sprintf
+              "assertion \"%s\" violated: counterexample fires at cycle %d and replays \
+               in the cycle-accurate simulator"
+              r.pr_text c))
+  | Bproved k ->
+      Some
+        (Diag.info ~code:"INCA-B002" ~proc:r.pr_proc r.pr_loc
+           (Printf.sprintf
+              "assertion \"%s\" proved by %d-induction; --prune-proved removes its checker"
+              r.pr_text k))
+  | Bbounded _ -> (
+      match r.pr_reach with
+      | Bunreachable d ->
+          Some
+            (Diag.warning ~code:"INCA-B004" ~proc:r.pr_proc r.pr_loc
+               (Printf.sprintf
+                  "checker for \"%s\" is unreachable to depth %d%s" r.pr_text d
+                  (if r.pr_dead_lint then " (lint L105 agrees: dead assertion)" else "")))
+      | _ -> None)
+  | Bunknown msg ->
+      let fragment =
+        (* fragment exclusions carry their construct in the message *)
+        let has s =
+          let n = String.length s and m = String.length msg in
+          let rec go i = i + n <= m && (String.sub msg i n = s || go (i + 1)) in
+          go 0
+        in
+        has "outside the BMC fragment" || has "free variable"
+        || has "non-scalar"
+      in
+      if fragment then
+        Some
+          (Diag.info ~code:"INCA-B005" ~proc:r.pr_proc r.pr_loc
+             (Printf.sprintf "assertion \"%s\" outside the BMC fragment: %s" r.pr_text msg))
+      else None
+
+(** The replay-divergence diagnostic: a SAT witness the engine refused.
+    Kept separate from {!diag_of} because the caller downgrades the
+    verdict to [Bunknown] when this happens. *)
+let replay_divergence ~proc ~loc ~text msg =
+  Diag.error ~code:"INCA-B006" ~proc loc
+    (Printf.sprintf
+       "counterexample for \"%s\" did not replay in the simulator (%s) — BMC model and \
+        engine disagree; please report this"
+       text msg)
+
+let render ~file rep =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun r ->
+      let detail =
+        match r.pr_class with
+        | Bviolated c -> Printf.sprintf "violated at cycle %d (replayed)" c
+        | Bproved k -> Printf.sprintf "proved by %d-induction" k
+        | Bbounded d -> Printf.sprintf "holds to depth %d" d
+        | Bunknown m -> "unknown: " ^ m
+      in
+      let reach =
+        match r.pr_reach with
+        | Breachable c -> Printf.sprintf "reachable at cycle %d" c
+        | Bunreachable d ->
+            Printf.sprintf "UNREACHABLE to depth %d%s" d
+              (if r.pr_dead_lint then ", L105 dead" else "")
+        | Breach_unknown _ -> "reachability unknown"
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%s:%d:%d: #%d [%s]: assert(%s): %s; %s\n" r.pr_loc.Loc.file
+           r.pr_loc.Loc.line r.pr_loc.Loc.col r.pr_id r.pr_proc r.pr_text detail reach))
+    rep.p_results;
+  let p, v, bd, u = tally rep in
+  Buffer.add_string b
+    (Printf.sprintf
+       "%s: %d assertion%s to depth %d (induction %d): %d proved, %d violated, %d \
+        bounded, %d unknown (%d conflicts)\n"
+       file
+       (List.length rep.p_results)
+       (if List.length rep.p_results = 1 then "" else "s")
+       rep.p_depth rep.p_induction p v bd u (conflicts rep));
+  Buffer.contents b
+
+let render_json ~file rep =
+  let str s = Printf.sprintf "\"%s\"" (Diag.json_escape s) in
+  let result (r : presult) =
+    let cls =
+      match r.pr_class with
+      | Bviolated c -> Printf.sprintf "\"class\": \"violated\", \"fire_cycle\": %d" c
+      | Bproved k -> Printf.sprintf "\"class\": \"proved\", \"induction_k\": %d" k
+      | Bbounded d -> Printf.sprintf "\"class\": \"bounded\", \"depth\": %d" d
+      | Bunknown m -> Printf.sprintf "\"class\": \"unknown\", \"reason\": %s" (str m)
+    in
+    let reach =
+      match r.pr_reach with
+      | Breachable c -> Printf.sprintf "{\"reachable\": true, \"cycle\": %d}" c
+      | Bunreachable d ->
+          Printf.sprintf "{\"reachable\": false, \"depth\": %d, \"l105_dead\": %b}" d
+            r.pr_dead_lint
+      | Breach_unknown m -> Printf.sprintf "{\"reachable\": null, \"reason\": %s}" (str m)
+    in
+    Printf.sprintf
+      "{\"id\": %d, \"proc\": %s, \"line\": %d, \"col\": %d, \"text\": %s, %s, \
+       \"reach\": %s, \"conflicts\": %d, \"decisions\": %d, \"propagations\": %d}"
+      r.pr_id (str r.pr_proc) r.pr_loc.Loc.line r.pr_loc.Loc.col (str r.pr_text) cls
+      reach r.pr_conflicts r.pr_decisions r.pr_propagations
+  in
+  let p, v, bd, u = tally rep in
+  Printf.sprintf
+    "{\"file\": %s, \"depth\": %d, \"induction\": %d, \"assertions\": [%s], \"summary\": \
+     {\"proved\": %d, \"violated\": %d, \"bounded\": %d, \"unknown\": %d, \
+     \"conflicts\": %d}}"
+    (str file) rep.p_depth rep.p_induction
+    (String.concat ", " (List.map result rep.p_results))
+    p v bd u (conflicts rep)

@@ -1,0 +1,68 @@
+(** Shared classification for netlist-level (BMC / k-induction) proof
+    results: the INCA-B diagnostic family, plus text and JSON renderers
+    used by [inca prove] and the bench harness.
+
+    This module is pure data + rendering: the analysis library does not
+    depend on the solver.  {!Bmc.Prove} results are mapped into
+    {!presult} by [Core.Verify].
+
+    Codes: INCA-B001 violated+replayed (error), B002 proved by
+    k-induction (info), B003 bounded only, B004 unreachable to depth
+    (warning, cross-referenced with lint L105), B005 outside the BMC
+    fragment (info), B006 counterexample failed replay (error). *)
+
+module Loc = Front.Loc
+
+type pclass =
+  | Bviolated of int  (** fire cycle of the replayed counterexample *)
+  | Bproved of int    (** inductive at this k *)
+  | Bbounded of int   (** no violation within this many cycles *)
+  | Bunknown of string
+
+type breach =
+  | Breachable of int      (** first cycle the tap can execute *)
+  | Bunreachable of int    (** tap cannot execute within this depth *)
+  | Breach_unknown of string
+
+type presult = {
+  pr_id : int;
+  pr_proc : string;
+  pr_loc : Loc.t;
+  pr_text : string;
+  pr_class : pclass;
+  pr_reach : breach;
+  pr_dead_lint : bool;     (** also flagged dead by lint L105 *)
+  pr_conflicts : int;
+  pr_decisions : int;
+  pr_propagations : int;
+}
+
+type report = {
+  p_depth : int;
+  p_induction : int;
+  p_results : presult list;  (** assertion id order *)
+}
+
+val class_name : pclass -> string
+
+(** (proved, violated, bounded, unknown) *)
+val tally : report -> int * int * int * int
+
+(** total solver conflicts across all assertions *)
+val conflicts : report -> int
+
+(** The INCA-B diagnostic for one result, when it warrants one
+    (violations, induction proofs, unreachable checkers, fragment
+    exclusions).  Plain bounded results produce none. *)
+val diag_of : presult -> Diag.t option
+
+(** INCA-B006: the solver produced a candidate violation that the
+    cycle-accurate replay did not confirm. *)
+val replay_divergence :
+  proc:string -> loc:Loc.t -> text:string -> string -> Diag.t
+
+(** Human-readable report, one line per assertion plus a summary. *)
+val render : file:string -> report -> string
+
+(** Deterministic single-line JSON document (no timing data). *)
+val render_json : file:string -> report -> string

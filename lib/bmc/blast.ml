@@ -1,0 +1,287 @@
+(** Bit-blasting of InCA-C scalar semantics into an AIG.
+
+    Mirrors {!Interp.Value} exactly: every value is a 64-literal vector
+    (LSB first) in *canonical form* — truncated to its type's width and
+    then sign- or zero-extended, the same invariant Value maintains on
+    [int64]s.  Operations take raw canonical operands (which, as in the
+    engine, may be canonical at a *different* register type than the
+    operation type) and re-canonicalize the result at the operation
+    type, so the blasted circuit computes bit-for-bit what
+    [Value.binop]/[unop]/[cast] compute.  Division runs at full 64-bit
+    precision like [Int64.div]; the divisor-is-zero condition is
+    reported to the caller, which either excludes those traces (the
+    datapath raises [Sim_failure]) or muxes the result to zero (the
+    checker's [eval_slots] catches the exception and yields 0). *)
+
+open Front.Ast
+module A = Aig
+
+type vec = Aig.lit array  (* length 64, LSB first *)
+
+let width = 64
+
+let const (n : int64) : vec =
+  Array.init width (fun i ->
+      if Int64.logand (Int64.shift_right_logical n i) 1L = 1L then A.tru else A.fls)
+
+let zero = const 0L
+let one = const 1L
+
+(** Fresh vector of [w] free input bits, canonicalized per [s]. *)
+let inputs g s w : vec =
+  let bits = Array.init w (fun _ -> A.new_input g) in
+  Array.init width (fun i ->
+      if i < w then bits.(i)
+      else match s with Unsigned -> A.fls | Signed -> bits.(w - 1))
+
+(** Concrete value of a vector under an AIG evaluator. *)
+let eval_vec (e : Aig.lit -> bool) (v : vec) : int64 =
+  let r = ref 0L in
+  for i = width - 1 downto 0 do
+    r := Int64.logor (Int64.shift_left !r 1) (if e v.(i) then 1L else 0L)
+  done;
+  !r
+
+(* --- canonicalization ------------------------------------------------------ *)
+
+(** [Value.wrap]: truncate to [w] bits, then sign/zero-extend. *)
+let wrap _g s w (v : vec) : vec =
+  if w >= width then Array.copy v
+  else
+    Array.init width (fun i ->
+        if i < w then v.(i)
+        else match s with Unsigned -> A.fls | Signed -> v.(w - 1))
+
+let or_reduce g (v : vec) : Aig.lit = Array.fold_left (A.mk_or g) A.fls v
+
+(** [Value.to_bool]: any nonzero bit. *)
+let to_bool = or_reduce
+
+let of_bool_lit (l : Aig.lit) : vec =
+  Array.init width (fun i -> if i = 0 then l else A.fls)
+
+(** [Value.wrap_ty]. *)
+let wrap_ty g ty (v : vec) : vec =
+  match ty with
+  | Tint (s, w) -> wrap g s (bits_of_width w) v
+  | Tbool -> of_bool_lit (to_bool g v)
+  | Tarray _ | Tvoid -> invalid_arg "Blast.wrap_ty: not a scalar type"
+
+let ite g (c : Aig.lit) (a : vec) (b : vec) : vec =
+  Array.init width (fun i -> A.mk_mux g c a.(i) b.(i))
+
+(* --- equality and comparison ----------------------------------------------- *)
+
+let eq g (a : vec) (b : vec) : Aig.lit =
+  let r = ref A.tru in
+  for i = 0 to width - 1 do
+    r := A.mk_and g !r (A.mk_iff g a.(i) b.(i))
+  done;
+  !r
+
+(** [a] equals the constant [n]. *)
+let eq_const g (a : vec) (n : int64) : Aig.lit = eq g a (const n)
+
+let is_zero g (a : vec) : Aig.lit = A.neg (or_reduce g a)
+
+(* Unsigned less-than over [n] bits: NOT carry-out of a + ~b + 1. *)
+let ult_n g n (a : vec) (b : vec) : Aig.lit =
+  let carry = ref A.tru in
+  for i = 0 to n - 1 do
+    let bi = A.neg b.(i) in
+    (* carry' = (a & bi) | (carry & (a ^ bi)) *)
+    carry :=
+      A.mk_or g (A.mk_and g a.(i) bi) (A.mk_and g !carry (A.mk_xor g a.(i) bi))
+  done;
+  A.neg !carry
+
+let ult g a b = ult_n g width a b
+
+let slt g (a : vec) (b : vec) : Aig.lit =
+  let sa = a.(width - 1) and sb = b.(width - 1) in
+  A.mk_or g
+    (A.mk_and g sa (A.neg sb))
+    (A.mk_and g (A.mk_iff g sa sb) (ult g a b))
+
+(* --- arithmetic ------------------------------------------------------------ *)
+
+(* Ripple-carry a + b + cin over the low [n] bits; upper bits are
+   whatever [fill] makes of them (callers re-wrap). *)
+let add_n g n (a : vec) (b : vec) (cin : Aig.lit) : vec =
+  let r = Array.make width A.fls in
+  let carry = ref cin in
+  for i = 0 to n - 1 do
+    let axb = A.mk_xor g a.(i) b.(i) in
+    r.(i) <- A.mk_xor g axb !carry;
+    carry := A.mk_or g (A.mk_and g a.(i) b.(i)) (A.mk_and g !carry axb)
+  done;
+  r
+
+let add64 g a b = add_n g width a b A.fls
+
+let not_vec g (a : vec) : vec =
+  ignore g;
+  Array.map A.neg a
+
+let sub64 g a b = add_n g width a (not_vec g b) A.tru
+
+let neg64 g a = add_n g width (not_vec g a) zero A.tru
+
+(* Truncated multiply: only the low [n] bits of the product. *)
+let mul_n g n (a : vec) (b : vec) : vec =
+  let acc = ref (Array.make width A.fls) in
+  for i = 0 to n - 1 do
+    if b.(i) <> A.fls then begin
+      (* (a << i) & b.(i), confined to the low n bits *)
+      let addend = Array.make width A.fls in
+      for j = i to n - 1 do
+        addend.(j) <- A.mk_and g b.(i) a.(j - i)
+      done;
+      acc := add_n g n !acc addend A.fls
+    end
+  done;
+  !acc
+
+(* Unsigned 64/64 restoring division.  The remainder accumulator needs
+   65 bits ((r << 1) | bit can reach 2^65 - 1 before the subtract). *)
+let udivrem g (a : vec) (b : vec) : vec * vec =
+  let n = width + 1 in
+  let r = Array.make n A.fls in
+  let b' = Array.append (Array.copy b) [| A.fls |] in
+  let q = Array.make width A.fls in
+  let rr = ref r in
+  for i = width - 1 downto 0 do
+    (* r = (r << 1) | a.(i) *)
+    let shifted = Array.make n A.fls in
+    for j = 1 to n - 1 do
+      shifted.(j) <- !rr.(j - 1)
+    done;
+    shifted.(0) <- a.(i);
+    (* ge = shifted >= b' (n-bit unsigned) *)
+    let ge = A.neg (ult_n g n shifted b') in
+    (* r = ge ? shifted - b' : shifted *)
+    let diff =
+      let carry = ref A.tru in
+      Array.init n (fun j ->
+          let bj = A.neg b'.(j) in
+          let s = A.mk_xor g (A.mk_xor g shifted.(j) bj) !carry in
+          carry :=
+            A.mk_or g
+              (A.mk_and g shifted.(j) bj)
+              (A.mk_and g !carry (A.mk_xor g shifted.(j) bj));
+          s)
+    in
+    rr := Array.init n (fun j -> A.mk_mux g ge diff.(j) shifted.(j));
+    q.(i) <- ge
+  done;
+  (q, Array.sub !rr 0 width)
+
+(* Signed division/remainder with C semantics (truncation toward zero,
+   remainder takes the dividend's sign) — what Int64.div/rem do. *)
+let sdivrem g (a : vec) (b : vec) : vec * vec =
+  let na = a.(width - 1) and nb = b.(width - 1) in
+  let abs_a = ite g na (neg64 g a) a and abs_b = ite g nb (neg64 g b) b in
+  let q_u, r_u = udivrem g abs_a abs_b in
+  let q = ite g (A.mk_xor g na nb) (neg64 g q_u) q_u in
+  let r = ite g na (neg64 g r_u) r_u in
+  (q, r)
+
+(* --- shifts ---------------------------------------------------------------- *)
+
+(* The engine masks the shift amount with 63 (Value.binop), so six
+   amount bits drive a barrel shifter. *)
+let shift_left_64 g (a : vec) (amt : vec) : vec =
+  let cur = ref (Array.copy a) in
+  for k = 0 to 5 do
+    let sh = 1 lsl k in
+    cur :=
+      Array.init width (fun i ->
+          let shifted = if i >= sh then !cur.(i - sh) else A.fls in
+          A.mk_mux g amt.(k) shifted !cur.(i))
+  done;
+  !cur
+
+let shift_right_64 g ~(fill : Aig.lit) (a : vec) (amt : vec) : vec =
+  let cur = ref (Array.copy a) in
+  for k = 0 to 5 do
+    let sh = 1 lsl k in
+    cur :=
+      Array.init width (fun i ->
+          let shifted = if i + sh < width then !cur.(i + sh) else fill in
+          A.mk_mux g amt.(k) shifted !cur.(i))
+  done;
+  !cur
+
+(* --- Value.binop / unop / cast --------------------------------------------- *)
+
+let of_bool_ v = of_bool_lit v
+
+(** [binop g ~div_zero op ty a b] blasts [Value.binop op ty a b] on
+    canonical operand vectors.  For [Div]/[Mod] the result is muxed to
+    zero when the divisor is zero — the checker's [eval_slots] semantics
+    — and [div_zero] (if given) receives the divisor-is-zero literal so
+    the datapath caller can exclude those traces (where the engine
+    raises instead). *)
+let binop g ?(div_zero : (Aig.lit -> unit) option) (op : binop) (ty : ty) (a : vec)
+    (b : vec) : vec =
+  let s =
+    match ty with Tint (s, _) -> s | Tbool -> Unsigned
+    | _ -> invalid_arg "Blast.binop: not a scalar type"
+  in
+  let w =
+    match ty with Tint (_, w) -> bits_of_width w | Tbool -> 1
+    | _ -> invalid_arg "Blast.binop"
+  in
+  let arith v = wrap g s w v in
+  match op with
+  | Add -> arith (add_n g (min w width) a b A.fls)
+  | Sub -> arith (add_n g (min w width) a (not_vec g b) A.tru)
+  | Mul -> arith (mul_n g (min w width) a b)
+  | Div | Mod ->
+      let z = is_zero g b in
+      (match div_zero with Some f -> f z | None -> ());
+      let q, r = match s with Signed -> sdivrem g a b | Unsigned -> udivrem g a b in
+      let res = arith (if op = Div then q else r) in
+      ite g z zero res
+  | Band -> arith (Array.init width (fun i -> A.mk_and g a.(i) b.(i)))
+  | Bor -> arith (Array.init width (fun i -> A.mk_or g a.(i) b.(i)))
+  | Bxor -> arith (Array.init width (fun i -> A.mk_xor g a.(i) b.(i)))
+  | Shl ->
+      let amt = Array.sub b 0 6 in
+      arith (shift_left_64 g a amt)
+  | Shr ->
+      let amt = Array.sub b 0 6 in
+      let shifted =
+        match s with
+        | Signed -> shift_right_64 g ~fill:a.(width - 1) a amt
+        | Unsigned ->
+            (* Value masks the operand to the operation width first *)
+            let masked =
+              Array.init width (fun i -> if i < w then a.(i) else A.fls)
+            in
+            shift_right_64 g ~fill:A.fls masked amt
+      in
+      arith shifted
+  | Lt -> of_bool_ (match s with Signed -> slt g a b | Unsigned -> ult g a b)
+  | Le -> of_bool_ (A.neg (match s with Signed -> slt g b a | Unsigned -> ult g b a))
+  | Gt -> of_bool_ (match s with Signed -> slt g b a | Unsigned -> ult g b a)
+  | Ge -> of_bool_ (A.neg (match s with Signed -> slt g a b | Unsigned -> ult g a b))
+  | Eq -> of_bool_ (eq g a b)
+  | Ne -> of_bool_ (A.neg (eq g a b))
+  | Land -> of_bool_ (A.mk_and g (to_bool g a) (to_bool g b))
+  | Lor -> of_bool_ (A.mk_or g (to_bool g a) (to_bool g b))
+
+let unop g (op : unop) (ty : ty) (a : vec) : vec =
+  match op with
+  | Neg -> wrap_ty g ty (neg64 g a)
+  | Bnot -> wrap_ty g ty (not_vec g a)
+  | Lnot -> of_bool_lit (A.neg (to_bool g a))
+
+(** [Value.cast]: re-wrap the canonical bits at the destination type
+    (the source type only mattered for producing canonical form). *)
+let cast g ~(from_ty : ty) ~(to_ty : ty) (a : vec) : vec =
+  ignore from_ty;
+  match to_ty with
+  | Tbool -> of_bool_lit (to_bool g a)
+  | Tint (s, w) -> wrap g s (bits_of_width w) a
+  | _ -> invalid_arg "Blast.cast: not a scalar cast"

@@ -1,0 +1,96 @@
+(** Tseitin encoding of AIG cones into a {!Sat} solver.
+
+    One SAT variable per AIG node, created lazily: only the cone of the
+    literals the caller actually asserts or assumes is encoded, and new
+    AIG nodes built after a [solve] call are encoded on demand — this is
+    what makes depth-by-depth BMC unrolling incremental.  The encoding
+    is the standard three-clause AND gate:
+
+      v <-> a /\ b   ~~>   (~v \/ a) (~v \/ b) (v \/ ~a \/ ~b)
+
+    with a single pinned variable for the constant-true node. *)
+
+type t = {
+  aig : Aig.t;
+  solver : Sat.t;
+  mutable map : int array;  (* AIG node -> SAT var, -1 if not yet encoded *)
+}
+
+let create aig solver =
+  let map = Array.make (max 16 (Aig.num_nodes aig)) (-1) in
+  (* pin the constant node *)
+  let v = Sat.new_var solver in
+  Sat.add_clause solver [ Sat.pos v ];
+  map.(0) <- v;
+  { aig; solver; map }
+
+let ensure_map t n =
+  let cap = Array.length t.map in
+  if n > cap then begin
+    let m = Array.make (max n (2 * cap)) (-1) in
+    Array.blit t.map 0 m 0 cap;
+    t.map <- m
+  end
+
+(* SAT literal of an already-encoded AIG literal. *)
+let sat_lit_of t (l : Aig.lit) : Sat.lit =
+  let v = t.map.(Aig.node_of l) in
+  if Aig.compl_of l then Sat.negl v else Sat.pos v
+
+(** SAT literal for AIG literal [l], encoding its cone as needed. *)
+let lit t (l : Aig.lit) : Sat.lit =
+  ensure_map t (Aig.num_nodes t.aig);
+  let stack = ref [ Aig.node_of l ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | n :: rest ->
+        if t.map.(n) <> -1 then stack := rest
+        else if Aig.is_input t.aig (2 * n) then begin
+          t.map.(n) <- Sat.new_var t.solver;
+          stack := rest
+        end
+        else begin
+          let f0 = t.aig.Aig.fan0.(n) and f1 = t.aig.Aig.fan1.(n) in
+          let n0 = Aig.node_of f0 and n1 = Aig.node_of f1 in
+          let missing = [] in
+          let missing = if t.map.(n0) = -1 then n0 :: missing else missing in
+          let missing = if t.map.(n1) = -1 then n1 :: missing else missing in
+          if missing <> [] then stack := missing @ !stack
+          else begin
+            let v = Sat.new_var t.solver in
+            t.map.(n) <- v;
+            let a = sat_lit_of t f0 and b = sat_lit_of t f1 in
+            Sat.add_clause t.solver [ Sat.negl v; a ];
+            Sat.add_clause t.solver [ Sat.negl v; b ];
+            Sat.add_clause t.solver [ Sat.pos v; Sat.neg a; Sat.neg b ];
+            stack := rest
+          end
+        end
+  done;
+  sat_lit_of t l
+
+(** Assert [l] as a unit clause (encoding its cone). *)
+let assert_lit t (l : Aig.lit) = Sat.add_clause t.solver [ lit t l ]
+
+(** Model value of an AIG literal after [Sat].  AIG inputs outside the
+    encoded cone default to false, matching {!Sat.value}. *)
+let model_value t (l : Aig.lit) : bool =
+  let n = Aig.node_of l in
+  let base =
+    if n < Array.length t.map && t.map.(n) <> -1 then Sat.value t.solver t.map.(n)
+    else if n = 0 then true
+    else false
+  in
+  base <> Aig.compl_of l
+
+(** Evaluator of the whole AIG under the SAT model's input values
+    (inputs outside the solved cone read false).  Witness extraction
+    uses this rather than {!model_value} so that literals outside the
+    encoded cone — e.g. the push condition of a stream that never
+    reaches the violated checker — still evaluate consistently with the
+    inputs the solver chose: the witness is then exactly the trace the
+    deterministic replay will follow. *)
+let concrete_evaluator t : Aig.lit -> bool =
+  Aig.evaluator t.aig (fun n ->
+      n < Array.length t.map && t.map.(n) <> -1 && Sat.value t.solver t.map.(n))

@@ -73,6 +73,17 @@ let strategy_id s =
     (mode_id s.mode) s.replicate (share_id s.share) s.nabort s.mem_ports
     (match s.checker_latency with Some l -> string_of_int l | None -> "auto")
 
+(** How many assertions each static verifier removed from the program
+    before checker synthesis (the [--prune-proved] accounting).  The two
+    numbers are disjoint: an assertion proved by both counts once, under
+    the abstract interpreter. *)
+type prune_stats = {
+  absint_pruned : int;     (** proved by {!Analysis.Absint} *)
+  induction_pruned : int;  (** proved by BMC k-induction *)
+}
+
+let no_pruning = { absint_pruned = 0; induction_pruned = 0 }
+
 type compiled = {
   strategy : strategy;
   source : program;             (** the original (elaborated) program *)
@@ -88,6 +99,7 @@ type compiled = {
   timing : Rtl.Timing.estimate;
   vhdl : string;
   notification_source : string;
+  pruned : prune_stats;
 }
 
 let hw_procs prog = List.filter (fun p -> p.kind = Hardware) prog.procs
@@ -107,16 +119,51 @@ type front = {
   f_ir : Ir.program_ir;  (* lowered + optimized, before fault injection *)
   f_checkers : Checker.t list;
   f_notification_source : string;
+  f_pruned : prune_stats;
 }
 
 exception Static_violation of Analysis.Absint.verdict list
+
+(* Remove the assertions identified by (proc, loc, text) keys; returns
+   the rewritten program and how many assert statements were dropped. *)
+let prune_asserts (prog : program) (keys : (string * Loc.t * string) list) :
+    program * int =
+  if keys = [] then (prog, 0)
+  else begin
+    let dropped = ref 0 in
+    let prog' =
+      {
+        prog with
+        procs =
+          List.map
+            (fun (p : proc) ->
+              if p.kind <> Hardware then p
+              else
+                {
+                  p with
+                  body =
+                    map_stmts
+                      (fun st ->
+                        match st.s with
+                        | Assert (_, text)
+                          when List.mem (p.pname, st.sloc, text) keys ->
+                            incr dropped;
+                            []
+                        | _ -> [ st ])
+                      p.body;
+                })
+            prog.procs;
+      }
+    in
+    (prog', !dropped)
+  end
 
 (* Drop assertions the abstract interpreter proved can never fire, so
    no checker hardware is synthesized for them (the [--prune-proved]
    path).  Statically violated assertions abort the compile instead:
    building hardware whose checker fires on every execution is a source
    bug, and the verdict carries a concrete witness. *)
-let prune_statically_proved (prog : program) : program =
+let prune_statically_proved (prog : program) : program * int =
   let r = Analysis.Absint.analyze prog in
   let violated =
     List.filter
@@ -134,34 +181,22 @@ let prune_statically_proved (prog : program) : program =
         | _ -> None)
       r.Analysis.Absint.verdicts
   in
-  if proved = [] then prog
-  else
-    {
-      prog with
-      procs =
-        List.map
-          (fun (p : proc) ->
-            if p.kind <> Hardware then p
-            else
-              {
-                p with
-                body =
-                  map_stmts
-                    (fun st ->
-                      match st.s with
-                      | Assert (_, text)
-                        when List.mem (p.pname, st.sloc, text) proved ->
-                          []
-                      | _ -> [ st ])
-                    p.body;
-              })
-          prog.procs;
-    }
+  prune_asserts prog proved
 
 (** Run the fault-independent compile prefix: assertion synthesis,
-    lowering, IR optimization, and checker synthesis. *)
-let front ?(strategy = optimized) ?(prune_proved = false) (prog : program) : front =
-  let prog = if prune_proved then prune_statically_proved prog else prog in
+    lowering, IR optimization, and checker synthesis.
+    [induction_proved] names assertions (by proc, location and source
+    text) that BMC k-induction proved can never fire; they are pruned
+    like Absint-proved ones, after the Absint pass so an assertion both
+    verifiers prove is accounted to Absint. *)
+let front ?(strategy = optimized) ?(prune_proved = false)
+    ?(induction_proved : (string * Loc.t * string) list = []) (prog : program) :
+    front =
+  let prog, nabs =
+    if prune_proved then prune_statically_proved prog else (prog, 0)
+  in
+  let prog, nind = prune_asserts prog induction_proved in
+  let pruned = { absint_pruned = nabs; induction_pruned = nind } in
   let asserts = Assertion.extract prog in
   let plan =
     match strategy.mode with
@@ -225,6 +260,7 @@ let front ?(strategy = optimized) ?(prune_proved = false) (prog : program) : fro
     f_ir = ir;
     f_checkers = checkers;
     f_notification_source = notification_source;
+    f_pruned = pruned;
   }
 
 (** Finish a compile from a (possibly cached, possibly shared) [front]:
@@ -277,16 +313,19 @@ let finish ?(faults : Faults.Fault.t list = []) (f : front) : compiled =
     timing;
     vhdl;
     notification_source = f.f_notification_source;
+    pruned = f.f_pruned;
   }
 
 (** Compile an elaborated program under [strategy], optionally injecting
     hardware-translation [faults] (Section 5.1). *)
-let compile ?strategy ?prune_proved ?faults (prog : program) : compiled =
-  finish ?faults (front ?strategy ?prune_proved prog)
+let compile ?strategy ?prune_proved ?induction_proved ?faults (prog : program) :
+    compiled =
+  finish ?faults (front ?strategy ?prune_proved ?induction_proved prog)
 
 (** Parse, type-check and compile from source text. *)
-let compile_source ?strategy ?prune_proved ?faults ?file src =
-  compile ?strategy ?prune_proved ?faults (Front.Typecheck.parse_and_check ?file src)
+let compile_source ?strategy ?prune_proved ?induction_proved ?faults ?file src =
+  compile ?strategy ?prune_proved ?induction_proved ?faults
+    (Front.Typecheck.parse_and_check ?file src)
 
 (* --- Simulation ------------------------------------------------------------- *)
 
@@ -317,8 +356,11 @@ type sim_result = {
 }
 
 (** Run the compiled design in the cycle-accurate simulator with the
-    notification function attached to the failure channels. *)
-let simulate ?(options = default_sim_options) (c : compiled) : sim_result =
+    notification function attached to the failure channels.  [on_tap]
+    (if given) observes every tap execution as [f cycle id values] — the
+    hook the BMC equivalence tests use to compare predicted and actual
+    fire schedules. *)
+let simulate ?(options = default_sim_options) ?on_tap (c : compiled) : sim_result =
   let notify =
     Notify.make ~table:c.table ~decode:c.plan.Share.decode ~nabort:c.strategy.nabort
   in
@@ -335,6 +377,7 @@ let simulate ?(options = default_sim_options) (c : compiled) : sim_result =
       host_poll_interval =
         (match c.strategy.share with `Dma -> 32 | `Per_proc | `Shared _ -> 1);
       watchdog = options.watchdog;
+      on_tap;
     }
   in
   let engine =

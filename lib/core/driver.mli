@@ -51,6 +51,16 @@ val all_strategies : (string * strategy) list
     as the strategy half of the {!Exec.Cache} compile-cache key. *)
 val strategy_id : strategy -> string
 
+(** How many assertions each static verifier removed before checker
+    synthesis (the [--prune-proved] accounting).  Disjoint counts: an
+    assertion proved by both is accounted to the abstract interpreter. *)
+type prune_stats = {
+  absint_pruned : int;     (** proved by {!Analysis.Absint} *)
+  induction_pruned : int;  (** proved by BMC k-induction *)
+}
+
+val no_pruning : prune_stats
+
 type compiled = {
   strategy : strategy;
   source : Front.Ast.program;        (** the original (elaborated) program *)
@@ -66,6 +76,7 @@ type compiled = {
   timing : Rtl.Timing.estimate;
   vhdl : string;
   notification_source : string;      (** generated C (Figure 2) *)
+  pruned : prune_stats;
 }
 
 val hw_procs : Front.Ast.program -> Front.Ast.proc list
@@ -84,6 +95,7 @@ type front = {
   f_ir : Ir.program_ir;  (** lowered + optimized, before fault injection *)
   f_checkers : Checker.t list;
   f_notification_source : string;
+  f_pruned : prune_stats;
 }
 
 (** Raised (only under [~prune_proved:true]) when the abstract
@@ -95,10 +107,17 @@ exception Static_violation of Analysis.Absint.verdict list
     [false]) first runs the {!Analysis.Absint} verifier and drops every
     statically proved assertion before instrumentation, so no checker
     hardware is synthesized for it; a statically violated assertion
-    raises {!Static_violation} instead.  The compile cache never passes
-    this flag — a pruned front must not be served for an unpruned
-    request. *)
-val front : ?strategy:strategy -> ?prune_proved:bool -> Front.Ast.program -> front
+    raises {!Static_violation} instead.  [induction_proved] names
+    assertions (proc, location, source text) that BMC k-induction proved
+    unreachable-to-fire; they are pruned the same way, accounted
+    separately in [f_pruned].  {!Exec.Cache} keys on both knobs — a
+    pruned front must not be served for an unpruned request. *)
+val front :
+  ?strategy:strategy ->
+  ?prune_proved:bool ->
+  ?induction_proved:(string * Front.Loc.t * string) list ->
+  Front.Ast.program ->
+  front
 
 (** Finish a compile from a (possibly cached, possibly shared) front:
     inject [faults] into the lowered IR, then schedule, generate RTL and
@@ -112,6 +131,7 @@ val finish : ?faults:Faults.Fault.t list -> front -> compiled
 val compile :
   ?strategy:strategy ->
   ?prune_proved:bool ->
+  ?induction_proved:(string * Front.Loc.t * string) list ->
   ?faults:Faults.Fault.t list ->
   Front.Ast.program ->
   compiled
@@ -120,6 +140,7 @@ val compile :
 val compile_source :
   ?strategy:strategy ->
   ?prune_proved:bool ->
+  ?induction_proved:(string * Front.Loc.t * string) list ->
   ?faults:Faults.Fault.t list ->
   ?file:string ->
   string ->
@@ -150,8 +171,14 @@ type sim_result = {
 }
 
 (** Run the compiled design in the cycle-accurate simulator with the
-    notification function attached to the failure channels. *)
-val simulate : ?options:sim_options -> compiled -> sim_result
+    notification function attached to the failure channels.  [on_tap]
+    observes every tap execution as [f cycle id values] (see
+    {!Sim.Engine.config}). *)
+val simulate :
+  ?options:sim_options ->
+  ?on_tap:(int -> int -> int64 array -> unit) ->
+  compiled ->
+  sim_result
 
 (** Software simulation of the *original* program (assertions run as
     plain ANSI-C asserts on the CPU) — the Impulse-C desktop-simulation

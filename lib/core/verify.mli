@@ -1,0 +1,59 @@
+(** Netlist-level assertion verification: BMC + k-induction over the
+    synthesized design ({!Bmc}), with solver witnesses replayed through
+    {!Sim.Engine} before anything is reported Violated.  Results use the
+    shared {!Analysis.Verdict} classification (INCA-B codes). *)
+
+module Loc = Front.Loc
+module Verdict = Analysis.Verdict
+
+(** The strategy BMC compiles under: parallelized checkers, NABORT. *)
+val strategy : Driver.strategy
+
+val front_of : Front.Ast.program -> Driver.front
+
+(** (streams read, streams written) anywhere in the program, in
+    first-occurrence order — the auto-testbench role classification. *)
+val stream_roles : Front.Ast.program -> string list * string list
+
+(** The symbolic-model configuration for a front: feeds/drains from the
+    source's stream roles, every process parameter free, tap conditions
+    from the synthesized checkers. *)
+val model_config : Driver.front -> Bmc.Model.config
+
+type replay_outcome =
+  | Confirmed of int  (** fire cycle observed in the engine *)
+  | Refuted of string
+
+(** Replay a solver witness through the cycle-accurate simulator;
+    [Confirmed c] means assertion [id]'s tap fired with a false
+    condition at engine cycle [c]. *)
+val replay : Driver.front -> id:int -> Bmc.Prove.witness -> replay_outcome
+
+(** Check one assertion end to end (BMC, optional induction, replay,
+    lint-L105 cross-reference).  The second component is the INCA-B006
+    divergence diagnostic when a witness failed replay.  Pure apart from
+    solver allocation: sweeps run it per-assertion on {!Exec.Pool}. *)
+val check_target :
+  ?depth:int ->
+  ?induction:int ->
+  ?conflict_limit:int ->
+  Driver.front ->
+  absint:Analysis.Absint.result ->
+  int ->
+  Verdict.presult * Analysis.Diag.t option
+
+(** Assertion ids of a front, in {!Assertion.extract} order. *)
+val target_ids : Driver.front -> int list
+
+(** Prove every assertion sequentially; returns the report plus ordered
+    diagnostics (INCA-B001/2/4/5/6 as applicable). *)
+val prove :
+  ?depth:int ->
+  ?induction:int ->
+  ?conflict_limit:int ->
+  Front.Ast.program ->
+  Verdict.report * Analysis.Diag.t list
+
+(** (proc, loc, text) keys of the induction-proved assertions of a
+    report — feed these to {!Driver.front}'s [?induction_proved]. *)
+val induction_proved_keys : Verdict.report -> (string * Loc.t * string) list

@@ -27,18 +27,34 @@ let table : (string, Driver.front) Hashtbl.t = Hashtbl.create 64
 let hit_count = Atomic.make 0
 let miss_count = Atomic.make 0
 
-(** The cache key: a digest of the pretty-printed program and
-    {!Core.Driver.strategy_id} — content identity, not physical
-    identity, so re-parsed or re-instrumented copies of the same
-    program still hit. *)
-let key ~(strategy : Driver.strategy) (prog : Front.Ast.program) =
+(* The induction-pruned assertion set is part of the front's identity:
+   a front compiled with checkers pruned by a k-induction proof must
+   never be served for a request without that pruning (and vice versa),
+   exactly like the strategy fields. *)
+let pruned_id (induction_proved : (string * Front.Loc.t * string) list) =
+  String.concat "\x01"
+    (List.map
+       (fun (p, (loc : Front.Loc.t), text) ->
+         Printf.sprintf "%s:%d:%d:%s" p loc.Front.Loc.line loc.Front.Loc.col text)
+       induction_proved)
+
+(** The cache key: a digest of the pretty-printed program, the
+    {!Core.Driver.strategy_id} and the induction-pruned assertion set —
+    content identity, not physical identity, so re-parsed or
+    re-instrumented copies of the same program still hit. *)
+let key ?(induction_proved = []) ~(strategy : Driver.strategy)
+    (prog : Front.Ast.program) =
   Digest.to_hex
     (Digest.string
-       (Driver.strategy_id strategy ^ "\x00" ^ Front.Pretty.program_to_string prog))
+       (Driver.strategy_id strategy ^ "\x00"
+       ^ pruned_id induction_proved
+       ^ "\x00"
+       ^ Front.Pretty.program_to_string prog))
 
 (** Memoized {!Core.Driver.front}. *)
-let front ?(strategy = Driver.optimized) (prog : Front.Ast.program) : Driver.front =
-  let k = key ~strategy prog in
+let front ?(strategy = Driver.optimized) ?(induction_proved = [])
+    (prog : Front.Ast.program) : Driver.front =
+  let k = key ~induction_proved ~strategy prog in
   let cached =
     Mutex.lock lock;
     let r = Hashtbl.find_opt table k in
@@ -51,7 +67,7 @@ let front ?(strategy = Driver.optimized) (prog : Front.Ast.program) : Driver.fro
       f
   | None ->
       Atomic.incr miss_count;
-      let f = Driver.front ~strategy prog in
+      let f = Driver.front ~strategy ~induction_proved prog in
       Mutex.lock lock;
       let f =
         match Hashtbl.find_opt table k with
@@ -65,8 +81,9 @@ let front ?(strategy = Driver.optimized) (prog : Front.Ast.program) : Driver.fro
 
 (** [Driver.compile] through the cache: the fault-independent prefix is
     memoized, fault injection and scheduling run per call. *)
-let compile ?strategy ?faults (prog : Front.Ast.program) : Driver.compiled =
-  Driver.finish ?faults (front ?strategy prog)
+let compile ?strategy ?induction_proved ?faults (prog : Front.Ast.program) :
+    Driver.compiled =
+  Driver.finish ?faults (front ?strategy ?induction_proved prog)
 
 let stats () = { hits = Atomic.get hit_count; misses = Atomic.get miss_count }
 

@@ -9,18 +9,29 @@
 
 type stats = { hits : int; misses : int }
 
-(** The cache key for a (program, strategy) pair (exposed for tests). *)
-val key : strategy:Core.Driver.strategy -> Front.Ast.program -> string
+(** The cache key for a (program, strategy, induction-pruned set)
+    triple (exposed for tests).  The pruned assertion keys are part of
+    the front's identity: a front with checkers removed by a
+    k-induction proof must never be served for an unpruned request. *)
+val key :
+  ?induction_proved:(string * Front.Loc.t * string) list ->
+  strategy:Core.Driver.strategy ->
+  Front.Ast.program ->
+  string
 
 (** Memoized {!Core.Driver.front}: physically the same front for equal
-    (program, strategy) content. *)
+    (program, strategy, induction-pruned set) content. *)
 val front :
-  ?strategy:Core.Driver.strategy -> Front.Ast.program -> Core.Driver.front
+  ?strategy:Core.Driver.strategy ->
+  ?induction_proved:(string * Front.Loc.t * string) list ->
+  Front.Ast.program ->
+  Core.Driver.front
 
 (** [Driver.compile] through the cache: the fault-independent prefix is
     memoized, fault injection and scheduling run per call. *)
 val compile :
   ?strategy:Core.Driver.strategy ->
+  ?induction_proved:(string * Front.Loc.t * string) list ->
   ?faults:Faults.Fault.t list ->
   Front.Ast.program ->
   Core.Driver.compiled

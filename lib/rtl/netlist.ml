@@ -42,3 +42,60 @@ let count_prims (m : module_) = List.length m.prims
 let fold f acc (d : t) =
   let acc = List.fold_left (fun acc m -> List.fold_left f acc m.prims) acc d.modules in
   List.fold_left f acc d.fifos
+
+type summary = {
+  n_modules : int;
+  n_prims : int;
+  n_fus : int;          (** functional units, multiplicity included *)
+  reg_bits : int;       (** architectural register bits (banks) *)
+  fsm_states : int;     (** summed over all controllers *)
+  bram_bits : int;
+  n_fifos : int;
+  fifo_bits : int;
+  n_pipes : int;
+}
+
+(** Size the design for reporting: how much sequential state the model
+    checker must encode, and how much combinational structure sits in
+    front of it.  [state_bits] below is the quantity that bounds BMC
+    unrolling cost per cycle. *)
+let summarize (d : t) : summary =
+  let init =
+    { n_modules = List.length d.modules; n_prims = 0; n_fus = 0; reg_bits = 0;
+      fsm_states = 0; bram_bits = 0; n_fifos = 0; fifo_bits = 0; n_pipes = 0 }
+  in
+  fold
+    (fun s p ->
+      let s = { s with n_prims = s.n_prims + 1 } in
+      match p with
+      | Fu f -> { s with n_fus = s.n_fus + f.fu_count }
+      | Regbank r -> { s with reg_bits = s.reg_bits + (r.width * r.count) }
+      | Mux _ -> s
+      | Fsm f -> { s with fsm_states = s.fsm_states + f.states }
+      | Bram b -> { s with bram_bits = s.bram_bits + (b.width * b.depth) }
+      | Fifo f ->
+          { s with n_fifos = s.n_fifos + 1;
+            fifo_bits = s.fifo_bits + (f.width * f.depth) }
+      | Pipe_ctrl _ -> { s with n_pipes = s.n_pipes + 1 })
+    init d
+
+(* ceil(log2 n) for state encoding; 0 states still needs no bits *)
+let bits_for n =
+  if n <= 1 then 0
+  else
+    let rec go b c = if c >= n then b else go (b + 1) (c * 2) in
+    go 1 2
+
+(** Total sequential state bits of the design: registers, FSM state
+    encodings, FIFO payloads and occupancy counters, BRAM contents. *)
+let state_bits (d : t) : int =
+  fold
+    (fun acc p ->
+      match p with
+      | Regbank r -> acc + (r.width * r.count)
+      | Fsm f -> acc + bits_for f.states
+      | Bram b -> acc + (b.width * b.depth)
+      | Fifo f -> acc + (f.width * f.depth) + bits_for (f.depth + 1)
+      | Fu _ | Mux _ -> acc
+      | Pipe_ctrl p -> acc + p.depth (* one valid bit per stage *))
+    0 d

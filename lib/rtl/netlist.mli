@@ -35,3 +35,23 @@ val count_prims : module_ -> int
 
 (** Fold over every primitive in the design, FIFOs included. *)
 val fold : ('a -> prim -> 'a) -> 'a -> t -> 'a
+
+type summary = {
+  n_modules : int;
+  n_prims : int;
+  n_fus : int;          (** functional units, multiplicity included *)
+  reg_bits : int;       (** architectural register bits (banks) *)
+  fsm_states : int;     (** summed over all controllers *)
+  bram_bits : int;
+  n_fifos : int;
+  fifo_bits : int;
+  n_pipes : int;
+}
+
+(** Size the design for reporting (used by [inca prove] and the bench). *)
+val summarize : t -> summary
+
+(** Total sequential state bits: registers, FSM encodings, FIFO payload
+    and occupancy, BRAM contents — the quantity that bounds per-cycle
+    BMC unrolling cost. *)
+val state_bits : t -> int

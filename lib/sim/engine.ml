@@ -71,12 +71,17 @@ type config = {
           spinning loop (the Triple-DES hang of Section 5.1) keeps the
           FSM busy, so it never trips the no-activity {!Hang} detector
           and would otherwise burn the whole cycle budget. *)
+  on_tap : (int -> int -> int64 array -> unit) option;
+      (** external tap observer, called as [f cycle id values] on every
+          tap execution before the checkers evaluate — lets a model
+          checker compare its predicted fire schedule against the
+          engine cycle for cycle *)
 }
 
 let default_config =
   { max_cycles = 1_000_000; feeds = []; drains = []; handlers = []; hw_models = [];
     params = []; timing_checks = []; trace = false; host_poll_interval = 1;
-    watchdog = None }
+    watchdog = None; on_tap = None }
 
 (* --- Results ---------------------------------------------------------------- *)
 
@@ -337,6 +342,7 @@ let wrap_stream t name v =
    discharge timing assertions anchored at it. *)
 let deliver_tap t (id : int) (values : int64 array) =
   t.tap_count <- t.tap_count + 1;
+  (match t.cfg.on_tap with Some f -> f t.cycle id values | None -> ());
   List.iter
     (fun c ->
       if c.cid = id then

@@ -61,6 +61,11 @@ type config = {
           push/pop, no tap event, no register/memory value change, no
           process halting.  Catches spinning loops (the Triple-DES hang)
           in thousands rather than millions of cycles. *)
+  on_tap : (int -> int -> int64 array -> unit) option;
+      (** external tap observer, called as [f cycle id values] on every
+          tap execution before the checkers evaluate — lets a model
+          checker compare its predicted fire schedule against the
+          engine cycle for cycle *)
 }
 
 val default_config : config

@@ -38,10 +38,14 @@ val default_fuel : int  (** 8 *)
 
 (** Run the campaign.  [faults] are injected into every circuit compile
     — the torture tests use a known translation fault to produce a
-    deterministic divergence.  [corpus_dir] writes each finding's shrunk
-    reproducer as a corpus file (first finding per class signature;
-    later duplicates are reported but not written).  [shrink_attempts]
-    bounds the shrinker's candidate budget per finding. *)
+    deterministic divergence.  [bmc_depth] arms the oracle's
+    Absint-vs-BMC cross-check (see {!Oracle.check}); it participates in
+    the shrinker's keep predicate, so a [proved-fired:bmc] reproducer
+    stays a BMC disagreement all the way down.  [corpus_dir] writes each
+    finding's shrunk reproducer as a corpus file (first finding per
+    class signature; later duplicates are reported but not written).
+    [shrink_attempts] bounds the shrinker's candidate budget per
+    finding. *)
 val run :
   ?jobs:int ->
   ?seed:int64 ->
@@ -50,6 +54,7 @@ val run :
   ?max_cycles:int ->
   ?watchdog:int ->
   ?faults:Faults.Fault.t list ->
+  ?bmc_depth:int ->
   ?shrink_attempts:int ->
   ?corpus_dir:string ->
   unit ->

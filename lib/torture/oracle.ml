@@ -173,8 +173,39 @@ let check_strategy ~options ~sw ~golden_drained ~proved ~faults ~prog
           in
           (proved_div @ divs, cycles))
 
+(* Absint-vs-BMC cross-check: an assertion the abstract interpreter
+   proved must not have a replay-confirmed counterexample — both
+   verifiers over-approximate the same {!Interp} semantics, so a
+   disagreement here is a real compiler/verifier bug, not stimulus
+   luck.  Only meaningful on the unfaulted design (BMC models the
+   original lowering), and only Violated counts: the bounded checker
+   legitimately reports proved assertions as bounded/unknown. *)
+let bmc_cross_check ~depth ~proved ~(absint : Analysis.Absint.result) prog =
+  match Core.Verify.front_of prog with
+  | exception e ->
+      [ { dclass = Crash; strategy = "bmc"; detail = exn_detail "bmc front" e } ]
+  | f ->
+      List.concat_map
+        (fun id ->
+          match Core.Verify.check_target ~depth ~induction:0 f ~absint id with
+          | exception e ->
+              [ { dclass = Crash; strategy = "bmc";
+                  detail = exn_detail (Printf.sprintf "bmc #%d" id) e } ]
+          | r, _ -> (
+              match r.Analysis.Verdict.pr_class with
+              | Analysis.Verdict.Bviolated c ->
+                  [ { dclass = Proved_fired; strategy = "bmc";
+                      detail =
+                        Printf.sprintf
+                          "absint-proved assertion #%d violated by BMC at cycle \
+                           %d (replay confirmed)"
+                          id c } ]
+              | _ -> []))
+        proved
+
 let check ?(strategies = default_strategies) ?(faults = [])
-    ?(max_cycles = default_max_cycles) ?(watchdog = default_watchdog) prog =
+    ?(max_cycles = default_max_cycles) ?(watchdog = default_watchdog) ?bmc_depth
+    prog =
   (* Re-inject through the printer and parser: real locations, and the
      corpus reproducer is byte-for-byte what was checked. *)
   let source = Front.Pretty.program_to_string prog in
@@ -205,12 +236,18 @@ let check ?(strategies = default_strategies) ?(faults = [])
       let proved =
         match analysis with Some a -> proved_ids a | None -> []
       in
+      let bmc_div =
+        match (bmc_depth, analysis) with
+        | Some depth, Some absint when proved <> [] && faults = [] ->
+            bmc_cross_check ~depth ~proved ~absint prog
+        | _ -> []
+      in
       match Driver.compile ~strategy:Driver.baseline ~faults prog with
       | exception e ->
           {
             source;
             divergences =
-              analysis_div
+              analysis_div @ bmc_div
               @ [ { dclass = Crash; strategy = "baseline";
                     detail = exn_detail "compile" e } ];
             baseline_cycles = None;
@@ -259,7 +296,7 @@ let check ?(strategies = default_strategies) ?(faults = [])
             (* the golden run itself crashed: nothing differential left *)
             {
               source;
-              divergences = analysis_div @ sw_div;
+              divergences = analysis_div @ bmc_div @ sw_div;
               baseline_cycles = None;
             }
           else
@@ -294,7 +331,7 @@ let check ?(strategies = default_strategies) ?(faults = [])
             {
               source;
               divergences =
-                analysis_div @ sw_proved_div
+                analysis_div @ bmc_div @ sw_proved_div
                 @ List.concat_map (fun (_, (divs, _)) -> divs) per_strategy
                 @ ratio_div;
               baseline_cycles;

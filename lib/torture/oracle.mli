@@ -63,12 +63,19 @@ val default_watchdog : int  (** 500 *)
     deterministic divergence on demand.  [max_cycles] bounds every
     circuit run and [watchdog] arms the live-lock detector, so a
     generator- or shrinker-induced livelock degrades to a classified
-    {!Hang}/{!Cycle_blowup} instead of wedging the process.  Never
-    raises: toolchain failures classify as {!Crash}. *)
+    {!Hang}/{!Cycle_blowup} instead of wedging the process.
+    [bmc_depth] additionally cross-checks every Absint-proved assertion
+    against the bounded model checker to that depth: a replay-confirmed
+    BMC counterexample for a proved assertion is a {!Proved_fired}
+    divergence with strategy ["bmc"] — a genuine verifier bug, since
+    both sides over-approximate the same semantics.  (Skipped under
+    fault injection: BMC models the unfaulted design.)  Never raises:
+    toolchain failures classify as {!Crash}. *)
 val check :
   ?strategies:(string * Core.Driver.strategy) list ->
   ?faults:Faults.Fault.t list ->
   ?max_cycles:int ->
   ?watchdog:int ->
+  ?bmc_depth:int ->
   Front.Ast.program ->
   outcome

@@ -463,14 +463,16 @@ let timing_demo () =
 
 (* --- Fault-injection campaign -------------------------------------------------------- *)
 
-(* One timed sweep at a given job count, from a cold compile cache so
-   the hit/miss split is a property of the sweep and not of whoever ran
-   before us. *)
-let timed_campaign ~jobs workloads =
-  Exec.Cache.reset ();
+(* One timed sweep at a given job count and evaluation mode, from a
+   cold in-memory compile cache so the hit/miss split is a property of
+   the sweep and not of whoever ran before us.  The disk tier (when
+   INCA_CACHE_DIR is set) is deliberately left alone: its cross-run
+   hits are exactly what the artifact reports. *)
+let timed_campaign ~mode ~jobs workloads =
+  Exec.Cache.reset_memory ();
   let t0 = Unix.gettimeofday () in
   let n = ref 0 in
-  let config = { Campaign.default_config with Campaign.jobs = Some jobs } in
+  let config = { Campaign.default_config with Campaign.mode; jobs = Some jobs } in
   let report = Campaign.run ~config ~progress:(fun _ -> incr n) workloads in
   let dt = Unix.gettimeofday () -. t0 in
   (report, !n, dt, Exec.Cache.stats ())
@@ -479,28 +481,59 @@ let campaign_bench () =
   section "Fault-injection campaign: assertion coverage and sweep throughput";
   let workloads = Campaign.bundled () in
   let jobs = Exec.Pool.default_jobs () in
-  let serial_report, n, serial_dt, _serial_stats = timed_campaign ~jobs:1 workloads in
-  let report, _, dt, stats = timed_campaign ~jobs workloads in
+  (* A/B at the same job count: from-reset (compile + simulate every
+     mutant from cycle zero) vs fork-point (restore the pre-activation
+     snapshot).  Classification must agree exactly. *)
+  let reset_report, n, reset_dt, _ =
+    timed_campaign ~mode:Campaign.From_reset ~jobs workloads
+  in
+  let serial_report, _, serial_dt, _ =
+    timed_campaign ~mode:Campaign.Fork ~jobs:1 workloads
+  in
+  let report, _, dt, stats = timed_campaign ~mode:Campaign.Fork ~jobs workloads in
   print_endline (Campaign.render report);
   if Campaign.render_json report <> Campaign.render_json serial_report then begin
     Printf.eprintf "  DETERMINISM VIOLATION: %d-domain report differs from serial\n" jobs;
     exit 1
   end;
+  if Campaign.render_classes report <> Campaign.render_classes reset_report then begin
+    prerr_endline
+      "  INVARIANT VIOLATION: fork-point classification differs from from-reset";
+    exit 1
+  end;
   let mps = float_of_int n /. dt in
+  let reset_mps = float_of_int n /. reset_dt in
   let speedup = serial_dt /. dt in
-  Printf.printf "  %d mutant runs: serial %.2fs, %d domain(s) %.2fs (%.2fx), %.1f mutants/sec\n"
+  let fork_speedup = reset_dt /. dt in
+  Printf.printf
+    "  %d mutant runs: serial %.2fs, %d domain(s) %.2fs (%.2fx), %.1f mutants/sec\n"
     n serial_dt jobs dt speedup mps;
+  Printf.printf
+    "  from-reset: %.2fs (%.1f mutants/sec); fork-point is %.2fx faster \
+     (classifications identical)\n"
+    reset_dt reset_mps fork_speedup;
   Printf.printf "  compile cache: %d hits / %d misses per sweep (reports byte-identical)\n"
     stats.Exec.Cache.hits stats.Exec.Cache.misses;
-  (* machine-readable artifact: throughput, parallel speedup and cache
-     effectiveness plus the full report (per-strategy detection counts
-     and mean cycles-to-detection) *)
+  (match Exec.Cache.dir () with
+  | Some dir ->
+      Printf.printf "  disk store (%s): %d hits / %d misses this sweep\n" dir
+        stats.Exec.Cache.disk_hits stats.Exec.Cache.disk_misses
+  | None -> ());
+  (* machine-readable artifact: throughput, parallel speedup, the
+     fork-vs-reset split and cache effectiveness (memory and disk
+     tiers) plus the full report (per-strategy detection counts and
+     mean cycles-to-detection) *)
   let oc = open_out "BENCH_campaign.json" in
   Printf.fprintf oc
     "{\"mutant_runs\": %d, \"elapsed_seconds\": %.3f, \"serial_wall_seconds\": %.3f, \
      \"wall_seconds\": %.3f, \"jobs\": %d, \"speedup\": %.3f, \"mutants_per_second\": %.1f, \
-     \"cache_hits\": %d, \"cache_misses\": %d, \"report\": %s}\n"
-    n dt serial_dt dt jobs speedup mps stats.Exec.Cache.hits stats.Exec.Cache.misses
+     \"from_reset_wall_seconds\": %.3f, \"from_reset_mutants_per_second\": %.1f, \
+     \"fork_speedup_vs_reset\": %.3f, \"pruned_static\": %d, \
+     \"cache_hits\": %d, \"cache_misses\": %d, \"disk_hits\": %d, \"disk_misses\": %d, \
+     \"report\": %s}\n"
+    n dt serial_dt dt jobs speedup mps reset_dt reset_mps fork_speedup
+    report.Campaign.pruned_static stats.Exec.Cache.hits stats.Exec.Cache.misses
+    stats.Exec.Cache.disk_hits stats.Exec.Cache.disk_misses
     (Campaign.render_json report);
   close_out oc;
   print_endline "  wrote BENCH_campaign.json"
@@ -517,7 +550,7 @@ let campaign_smoke () =
     prerr_endline "  no bundled FIR workload";
     exit 1
   end;
-  Exec.Cache.reset ();
+  Exec.Cache.reset_memory ();
   let config =
     { Campaign.default_config with Campaign.max_mutants = Some 8; jobs = None }
   in
@@ -539,7 +572,7 @@ let campaign_smoke () =
    ranks each against at most 10 mutants. *)
 let mine_bench () =
   section "Assertion mining: invariants ranked by mutant kills";
-  Exec.Cache.reset ();
+  Exec.Cache.reset_memory ();
   let jobs = Exec.Pool.default_jobs () in
   let t0 = Unix.gettimeofday () in
   let config =
@@ -835,18 +868,37 @@ let torture_bench () =
   Printf.printf "  clean: all strategies agree (%d baseline cycles simulated)\n"
     clean.Torture.Fuzz.r_baseline_cycles;
   (* fault leg: drop p0's first write to chan1 — a deterministic
-     translation bug the differential oracle must catch *)
+     translation bug the differential oracle must catch.  A/B'd
+     between from-reset (inject the fault into a separate compile and
+     simulate every leg from cycle zero) and the fork-point path
+     (padded design, arm the pad at its first activation, trimmed
+     budget); the divergence classes must agree. *)
   let faults =
     [ Faults.Fault.Drop_stream_write
         { fproc = "p0"; stream = "chan1"; select = Faults.Fault.Nth 0 } ]
   in
   let fcount = 12 in
   let t0 = Unix.gettimeofday () in
+  let faulty_reset =
+    Torture.Fuzz.run ~jobs ~seed:42L ~count:fcount ~faults ~from_reset:true ()
+  in
+  let frdt = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
   let faulty = Torture.Fuzz.run ~jobs ~seed:42L ~count:fcount ~faults () in
   let fdt = Unix.gettimeofday () -. t0 in
   print_string (Torture.Fuzz.render faulty);
   if faulty.Torture.Fuzz.r_findings = [] then begin
     prerr_endline "  FAIL: injected fault produced no divergence";
+    exit 1
+  end;
+  let classes_of (r : Torture.Fuzz.report) =
+    List.map
+      (fun (f : Torture.Fuzz.finding) -> (f.Torture.Fuzz.f_index, f.Torture.Fuzz.f_classes))
+      r.Torture.Fuzz.r_findings
+  in
+  if classes_of faulty <> classes_of faulty_reset then begin
+    prerr_endline
+      "  INVARIANT VIOLATION: fork-point fault classes differ from from-reset";
     exit 1
   end;
   let ratios =
@@ -863,18 +915,21 @@ let torture_bench () =
     List.fold_left (fun a (_, _, r) -> a +. r) 0.0 ratios
     /. float_of_int (List.length ratios)
   in
-  Printf.printf "  fault leg: %d/%d divergent in %.2fs, mean shrink ratio %.1fx\n"
+  Printf.printf
+    "  fault leg: %d/%d divergent in %.2fs (from-reset %.2fs, fork-point %.2fx \
+     faster, classes identical), mean shrink ratio %.1fx\n"
     (List.length faulty.Torture.Fuzz.r_findings)
-    fcount fdt mean_ratio;
+    fcount fdt frdt (frdt /. fdt) mean_ratio;
   let oc = open_out "BENCH_torture.json" in
   Printf.fprintf oc
     "{\"count\": %d, \"jobs\": %d, \"serial_wall_seconds\": %.3f, \
      \"wall_seconds\": %.3f, \"programs_per_second\": %.1f, \
      \"baseline_cycles\": %d, \"fault_count\": %d, \"fault_wall_seconds\": %.3f, \
+     \"fault_from_reset_wall_seconds\": %.3f, \"fault_fork_speedup\": %.3f, \
      \"mean_shrink_ratio\": %.2f, \"shrinks\": [%s], \"clean_report\": %s, \
      \"fault_report\": %s}\n"
     count jobs serial_dt dt pps clean.Torture.Fuzz.r_baseline_cycles fcount fdt
-    mean_ratio
+    frdt (frdt /. fdt) mean_ratio
     (String.concat ", "
        (List.map
           (fun (o, m, r) ->

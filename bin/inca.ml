@@ -282,7 +282,30 @@ let campaign_cmd =
   let runs_arg =
     Arg.(value & flag & info [ "runs" ] ~doc:"Print the classification of every mutant run.")
   in
-  let run file stimulus budget watchdog max_mutants jobs json_out show_runs max_cycles =
+  let from_reset_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "from-reset" ]
+          ~doc:
+            "Compile and simulate every mutant from cycle zero instead of restoring the \
+             fork-point snapshot taken just before its fault site first activates (the \
+             split-simulation fast path).  Classification is identical in both modes; \
+             use for A/B timing or as an escape hatch.")
+  in
+  let classes_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "classes" ]
+          ~doc:
+            "Print the per-mutant classification map (one tab-separated \
+             workload/strategy/fault/class line per mutant).  Byte-identical between \
+             fork-point and --from-reset evaluation; CI diffs the two to gate the \
+             invariant.")
+  in
+  let run file stimulus budget watchdog max_mutants jobs json_out show_runs from_reset
+      show_classes max_cycles =
     let workloads =
       match file with
       | None -> Campaign.bundled ()
@@ -310,7 +333,14 @@ let campaign_cmd =
         workloads
     in
     let config =
-      { Campaign.default_config with Campaign.budget; watchdog; max_mutants; jobs }
+      {
+        Campaign.default_config with
+        Campaign.mode = (if from_reset then Campaign.From_reset else Campaign.Fork);
+        budget;
+        watchdog;
+        max_mutants;
+        jobs;
+      }
     in
     let r =
       try Campaign.run ~config workloads
@@ -320,7 +350,8 @@ let campaign_cmd =
         prerr_endline msg;
         exit 1
     in
-    print_endline (Campaign.render r);
+    if show_classes then print_string (Campaign.render_classes r)
+    else print_endline (Campaign.render r);
     if show_runs then begin
       print_endline "\nper-mutant classification:";
       List.iter
@@ -342,6 +373,14 @@ let campaign_cmd =
         output_char oc '\n';
         close_out oc;
         Printf.printf "wrote %s\n" path
+    | None -> ());
+    (* disk-store effectiveness on stderr, so scripted report diffs
+       (stdout) stay byte-identical between cold and warm runs *)
+    (match Exec.Cache.dir () with
+    | Some dir ->
+        let s = Exec.Cache.stats () in
+        Printf.eprintf "cache: %d disk hit(s), %d disk miss(es) (%s)\n"
+          s.Exec.Cache.disk_hits s.Exec.Cache.disk_misses dir
     | None -> ());
     (* scripting contract: nonzero when a mutant silently escaped an
        instrumented strategy (the baseline control has no assertions, so
@@ -369,7 +408,8 @@ let campaign_cmd =
           instrumented (non-baseline) strategy.")
     Term.(
       const run $ file_arg $ Cli.stimulus_args $ Cli.budget_arg $ Cli.sweep_watchdog_arg
-      $ max_mutants_arg $ Cli.jobs_arg $ json_arg $ runs_arg $ Cli.max_cycles_arg ())
+      $ max_mutants_arg $ Cli.jobs_arg $ json_arg $ runs_arg $ from_reset_arg
+      $ classes_arg $ Cli.max_cycles_arg ())
 
 (* --- mine ------------------------------------------------------------------------- *)
 
@@ -537,6 +577,86 @@ let fuzz_cmd =
       const run $ seed_arg $ count_arg $ fuel_arg $ Cli.jobs_arg
       $ Cli.max_cycles_arg ~default:Torture.Oracle.default_max_cycles ()
       $ watchdog_arg $ bmc_depth_arg $ corpus_arg $ json_arg)
+
+(* --- cache ------------------------------------------------------------------------ *)
+
+let cache_cmd =
+  let stats_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "stats" ]
+          ~doc:"Print store entry count, total bytes and this process's hit counters \
+                (the default action).")
+  in
+  let gc_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "gc" ]
+          ~doc:"Evict least-recently-used entries until at most $(b,--max-bytes) remain.")
+  in
+  let max_bytes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-bytes" ] ~doc:"Size bound for $(b,--gc), in bytes." ~docv:"N")
+  in
+  let clear_arg =
+    Arg.(value & flag & info [ "clear" ] ~doc:"Delete every entry in the store.")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ]
+          ~doc:"Operate on this store directory instead of $(b,INCA_CACHE_DIR)."
+          ~docv:"DIR")
+  in
+  let print_stats () =
+    match Exec.Cache.disk_stats () with
+    | None -> ()
+    | Some d ->
+        Printf.printf "store: %s\n"
+          (match Exec.Cache.dir () with Some p -> p | None -> "?");
+        Printf.printf "entries: %d\n" d.Exec.Cache.entries;
+        Printf.printf "bytes: %d\n" d.Exec.Cache.bytes;
+        let s = Exec.Cache.stats () in
+        Printf.printf
+          "this process: %d memory hits, %d misses; %d disk hits, %d disk misses\n"
+          s.Exec.Cache.hits s.Exec.Cache.misses s.Exec.Cache.disk_hits
+          s.Exec.Cache.disk_misses
+  in
+  let run dir _stats gc max_bytes clear =
+    (match dir with Some _ -> Exec.Cache.set_dir dir | None -> ());
+    match Exec.Cache.dir () with
+    | None ->
+        `Error
+          ( false,
+            "no cache directory configured; set INCA_CACHE_DIR or pass --dir" )
+    | Some _ ->
+        if clear then begin
+          Exec.Cache.clear_disk ();
+          print_endline "cleared"
+        end;
+        (match (gc, max_bytes) with
+        | true, Some n -> Printf.printf "evicted %d entr(ies)\n" (Exec.Cache.gc ~max_bytes:n)
+        | true, None ->
+            prerr_endline "cache: --gc requires --max-bytes";
+            exit 1
+        | false, _ -> ());
+        print_stats ();
+        `Ok 0
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect and manage the on-disk compile/snapshot store.  The store is enabled \
+          by the $(b,INCA_CACHE_DIR) environment variable (or $(b,--dir)) and persists \
+          compiled fronts and campaign baseline snapshots across processes; entries are \
+          keyed by content digest and bound to the producing binary, so a stale or \
+          corrupt entry reads as a miss, never an error.")
+    Term.(ret (const run $ dir_arg $ stats_arg $ gc_arg $ max_bytes_arg $ clear_arg))
 
 (* --- check ------------------------------------------------------------------------ *)
 
@@ -788,7 +908,7 @@ let main =
     (Cmd.info "inca" ~version:"1.0.0" ~doc)
     [
       compile_cmd; instrument_cmd; vhdl_cmd; simulate_cmd; swsim_cmd; campaign_cmd;
-      mine_cmd; check_cmd; fuzz_cmd; prove_cmd;
+      mine_cmd; check_cmd; fuzz_cmd; prove_cmd; cache_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

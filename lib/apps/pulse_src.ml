@@ -1,0 +1,83 @@
+(** Pulse-statistics monitor in InCA-C.
+
+    The split-stream stress shape, and a realistic one: a long
+    data-dependent scan over the input stream (thousands of shared
+    prefix cycles, with the loop's own bound comparison as the only
+    fault site), followed by a short site-rich summary block — BRAM
+    band stores, stream writes, small loops — that first executes only
+    after the scan completes, plus a saturation error path the nominal
+    stimulus never takes.  Every summary-block mutant shares the whole
+    scan as its simulation prefix, so fork-point evaluation replays a
+    few hundred cycles where from-reset re-simulates the full run; the
+    error-path mutants never activate at all and cost the fork path
+    nothing.  This is the campaign shape the split-stream optimization
+    exists for, and the bench A/B measures its dividend on it. *)
+
+let source () =
+  {|
+stream int32 pulse_in depth 16;
+stream int32 stats_out depth 16;
+
+process hw pulse(int32 n) {
+  int32 band[8];
+  int32 i; int32 j; int32 k;
+  int32 acc; int32 peak; int32 over; int32 energy;
+  acc = 0; peak = 0; over = 0; energy = 0;
+  /* phase 1: the long scan — no stores, no stream writes, one loop */
+  for (i = 0; i < n; i = i + 1) {
+    int32 x;
+    x = stream_read(pulse_in);
+    acc = acc + x;
+    if (x > peak) {
+      peak = x;
+    }
+    if (x > 3600) {
+      over = over + 1;
+    }
+    energy = energy + ((x * x) >> 8);
+    assert(acc >= 0);
+  }
+  /* phase 2: the summary block — every fault site below first
+     activates only after the whole scan has run */
+  assert(peak <= 4095);
+  assert(over <= n);
+  for (j = 0; j < 8; j = j + 1) {
+    band[j] = acc + ((peak - energy) * j) + over;
+  }
+  for (k = 0; k < 8; k = k + 1) {
+    int32 v;
+    v = band[k] + (peak >> 1);
+    stream_write(stats_out, v);
+  }
+  int32 csum[4];
+  int32 t;
+  for (t = 0; t < 4; t = t + 1) {
+    int32 u; int32 u1;
+    u = t + t;
+    u1 = u + 1;
+    csum[t] = band[u] - band[u1];
+  }
+  int32 c0; int32 c3;
+  c0 = csum[0];
+  c3 = csum[3];
+  stream_write(stats_out, c0 + c3);
+  stream_write(stats_out, (acc >> 4) + over);
+  stream_write(stats_out, energy - peak);
+  /* saturation report: input-dependent, never taken by the nominal
+     12-bit stimulus — its mutants never activate */
+  if (peak > 100000) {
+    stream_write(stats_out, 0 - peak);
+    stream_write(stats_out, 0 - over);
+  }
+}
+|}
+
+(** Nominal 12-bit sensor trace: a deterministic sawtooth with a sparse
+    spike train (every 97th sample crosses the 3600 threshold), peak
+    strictly below 4096 so the saturation path stays cold. *)
+let test_signal n =
+  Array.init n (fun i ->
+      if i mod 97 = 0 then 3800 + (i mod 200) else (i * 37 + 11) mod 3400)
+
+let to_stream (samples : int array) =
+  Array.to_list (Array.map Int64.of_int samples)

@@ -1,0 +1,14 @@
+(** Pulse-statistics monitor in InCA-C: a long data-dependent scan over
+    the input stream followed by a short site-rich summary block and a
+    never-taken saturation path.  The bundled workload whose fault
+    sites share a long simulation prefix — the shape fork-point mutant
+    evaluation exists for.  Reads [pulse_in], writes [stats_out];
+    process [pulse], parameter [n]. *)
+
+val source : unit -> string
+
+(** Deterministic nominal stimulus: [n] 12-bit samples, sawtooth plus a
+    sparse spike train, peak < 4096. *)
+val test_signal : int -> int array
+
+val to_stream : int array -> int64 list

@@ -355,12 +355,18 @@ type sim_result = {
   failed_assertions : int list;  (** assertion ids in failure order *)
 }
 
-(** Run the compiled design in the cycle-accurate simulator with the
-    notification function attached to the failure channels.  [on_tap]
-    (if given) observes every tap execution as [f cycle id values] — the
-    hook the BMC equivalence tests use to compare predicted and actual
-    fire schedules. *)
-let simulate ?(options = default_sim_options) ?on_tap (c : compiled) : sim_result =
+(** A prepared simulation: the engine plus the per-run notification
+    state its failure channels feed.  Splitting {!simulate} this way
+    lets the fault campaign drive the engine directly — [run_until] to a
+    fork point, [snapshot], [restore] into a fresh session per mutant —
+    and still collect messages through the normal notification path. *)
+type session = {
+  ses_engine : Sim.Engine.t;
+  ses_notify : Notify.t;
+}
+
+let prepare ?(options = default_sim_options) ?on_tap ?on_site (c : compiled) :
+    session =
   let notify =
     Notify.make ~table:c.table ~decode:c.plan.Share.decode ~nabort:c.strategy.nabort
   in
@@ -378,18 +384,32 @@ let simulate ?(options = default_sim_options) ?on_tap (c : compiled) : sim_resul
         (match c.strategy.share with `Dma -> 32 | `Per_proc | `Shared _ -> 1);
       watchdog = options.watchdog;
       on_tap;
+      on_site;
     }
   in
   let engine =
-    Sim.Engine.simulate ~cfg ~streams:c.ir.Ir.streams ~fsmds:c.fsmds
+    Sim.Engine.create ~cfg ~streams:c.ir.Ir.streams ~fsmds:c.fsmds
       ~checkers:(List.map (fun (ck : Checker.t) -> ck.Checker.engine) c.checkers)
       ()
   in
+  { ses_engine = engine; ses_notify = notify }
+
+(** Package an engine result with the session's notification state. *)
+let session_result (s : session) (engine : Sim.Engine.result) : sim_result =
   {
     engine;
-    messages = Notify.messages notify;
-    failed_assertions = Notify.failures notify;
+    messages = Notify.messages s.ses_notify;
+    failed_assertions = Notify.failures s.ses_notify;
   }
+
+(** Run the compiled design in the cycle-accurate simulator with the
+    notification function attached to the failure channels.  [on_tap]
+    (if given) observes every tap execution as [f cycle id values] — the
+    hook the BMC equivalence tests use to compare predicted and actual
+    fire schedules. *)
+let simulate ?(options = default_sim_options) ?on_tap (c : compiled) : sim_result =
+  let s = prepare ~options ?on_tap c in
+  session_result s (Sim.Engine.run s.ses_engine)
 
 (** Software simulation of the *original* program (assertions run as
     plain ANSI-C asserts on the CPU) — the Impulse-C desktop-simulation

@@ -180,6 +180,25 @@ val simulate :
   compiled ->
   sim_result
 
+(** A prepared simulation: the engine plus the per-run notification
+    state its failure channels feed.  The fault campaign drives the
+    engine directly ({!Sim.Engine.run_until} / [snapshot] / [restore] /
+    [arm]) and packages the result with {!session_result};
+    {!simulate} is [prepare] + [Sim.Engine.run] + [session_result]. *)
+type session = {
+  ses_engine : Sim.Engine.t;
+  ses_notify : Notify.t;
+}
+
+val prepare :
+  ?options:sim_options ->
+  ?on_tap:(int -> int -> int64 array -> unit) ->
+  ?on_site:(int -> int -> unit) ->
+  compiled ->
+  session
+
+val session_result : session -> Sim.Engine.result -> sim_result
+
 (** Software simulation of the *original* program (assertions run as
     plain ANSI-C asserts on the CPU) — the Impulse-C desktop-simulation
     path the paper contrasts against.  [observer] (if given) receives

@@ -15,6 +15,7 @@
 module Driver = Core.Driver
 module Engine = Sim.Engine
 module Fault = Faults.Fault
+module Prefilter = Faults.Prefilter
 
 (* --- workloads ---------------------------------------------------------- *)
 
@@ -33,7 +34,7 @@ let workload ~name ?file ~feeds ~drains ~params source =
     options = { Driver.default_sim_options with Driver.feeds; drains; params };
   }
 
-(** The four bundled case-study applications, sized so a full sweep
+(** The five bundled case-study applications, sized so a full sweep
     stays interactive. *)
 let bundled () =
   let fir =
@@ -73,11 +74,34 @@ let bundled () =
         [ ("edge", [ ("width", Int64.of_int w); ("height", Int64.of_int h) ]) ]
       (Apps.Edge_src.demo_source ())
   in
-  [ fir; dct; des; edge ]
+  let pulse =
+    let n = 4096 in
+    let signal = Apps.Pulse_src.test_signal n in
+    workload ~name:"pulse"
+      ~feeds:[ ("pulse_in", Apps.Pulse_src.to_stream signal) ]
+      ~drains:[ "stats_out" ]
+      ~params:[ ("pulse", [ ("n", Int64.of_int n) ]) ]
+      (Apps.Pulse_src.source ())
+  in
+  [ fir; dct; des; edge; pulse ]
 
 (* --- configuration ------------------------------------------------------ *)
 
+(** How mutants are evaluated.  [Fork] (the default) compiles one
+    padded design per (workload, strategy), runs the unfaulted baseline
+    once to record when each fault site first activates, and evaluates
+    each mutant by restoring the engine snapshot taken just before its
+    site's first activation — skipping both the per-mutant compile and
+    the shared simulation prefix.  [From_reset] is the escape hatch:
+    compile and simulate every mutant from cycle zero, exactly the
+    pre-split-stream behaviour.  Both modes produce the same
+    classification for every mutant (CI diffs the {!render_classes}
+    maps); cycle counts may legitimately differ because padding
+    perturbs the schedule. *)
+type mode = Fork | From_reset
+
 type config = {
+  mode : mode;
   strategies : (string * Driver.strategy) list;
   budget : int option;
       (** per-mutant cycle budget; [None] = 4x the unfaulted baseline
@@ -102,7 +126,7 @@ let default_strategies =
   List.filter (fun (name, _) -> name <> "carte") Driver.all_strategies
 
 let default_config =
-  { strategies = default_strategies; budget = None; watchdog = None;
+  { mode = Fork; strategies = default_strategies; budget = None; watchdog = None;
     max_mutants = None; jobs = None }
 
 (* --- classification ----------------------------------------------------- *)
@@ -166,6 +190,9 @@ type report = {
   site_count : int;  (** mutants swept per strategy (after any cap) *)
   dropped : int;  (** sites dropped by [max_mutants] *)
   kind_counts : (string * int) list;  (** sites per fault kind *)
+  pruned_static : int;
+      (** mutant runs the static pre-filter proved equivalent or dead
+          and classified [Benign] without simulating *)
   runs : run list;
   summaries : strategy_summary list;
 }
@@ -276,6 +303,177 @@ let attempt_mutant ~budget ~watchdog (w : workload) strategy fault =
   let c = Exec.Cache.compile ~strategy ~faults:[ fault ] w.program in
   Driver.simulate ~options c
 
+(* --- fork-point evaluation ---------------------------------------------- *)
+
+(* Sentinel for "this site never activates under the workload". *)
+let never = max_int
+
+(* Fork-mode evaluation context for one (workload, strategy): the
+   all-sites-padded design compiled once, the neutral-baseline result,
+   the first-activation cycle of every site, and a snapshot taken just
+   before each distinct activation cycle.  Immutable after
+   construction; worker domains share it and only mutate their own
+   freshly prepared engines. *)
+type fork_ctx = {
+  fc_compiled : Driver.compiled;
+  fc_sites : Fault.site list;
+  fc_options : Driver.sim_options;  (** per-mutant budget + watchdog *)
+  fc_first_act : int array;  (** indexed by [Fault.s_index]; [never] = inactive *)
+  fc_snaps : (int * Engine.snapshot) list;
+  fc_base : Driver.sim_result;  (** the neutral padded baseline run *)
+}
+
+(* What the disk tier persists per (workload, strategy): everything
+   derivable only by simulating.  The padded compile itself is covered
+   by the front cache; re-running [Driver.finish] per process is cheap
+   relative to the baseline replays this skips. *)
+type base_bundle = {
+  bb_first_act : int array;
+  bb_snaps : (int * Engine.snapshot) list;
+  bb_base : Driver.sim_result;
+}
+
+let bundle_key (w : workload) strategy ~budget ~watchdog =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Exec.Cache.key ~strategy w.program);
+  Buffer.add_char b '\x00';
+  Buffer.add_string b w.wname;
+  List.iter
+    (fun (s, vs) ->
+      Printf.bprintf b "|f:%s" s;
+      List.iter (fun v -> Printf.bprintf b ",%Ld" v) vs)
+    w.options.Driver.feeds;
+  List.iter (fun s -> Printf.bprintf b "|d:%s" s) w.options.Driver.drains;
+  List.iter
+    (fun (p, kvs) ->
+      Printf.bprintf b "|p:%s" p;
+      List.iter (fun (k, v) -> Printf.bprintf b ",%s=%Ld" k v) kvs)
+    w.options.Driver.params;
+  Printf.bprintf b "|b:%d|w:%d|v1" budget watchdog;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* The activation cycles needing a snapshot: one per distinct
+   first-activation cycle of any padded site (independent of the
+   [max_mutants] cap, so a cached bundle serves every cap). *)
+let snapshot_cycles (sites : Fault.site list) (first_act : int array) =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (s : Fault.site) ->
+         let c = first_act.(s.Fault.s_index) in
+         if s.Fault.s_padded && c <> never then Some c else None)
+       sites)
+
+(* Build the fork context for one (workload, strategy) serially, before
+   the pool starts.  [None] = fall back to the legacy from-reset path
+   for every site of this pair: the padded neutral baseline must finish
+   and match the golden output (it always should — every pad is an
+   identity when unarmed — but a safety valve beats a wrong report). *)
+let build_fork_ctx (w : workload) strategy ~budget ~watchdog ~cfg_budget
+    ~cfg_watchdog ~golden : fork_ctx option =
+  let front = Exec.Cache.front ~strategy w.program in
+  let inst = Fault.instrument_all front.Driver.f_ir in
+  let compiled = Driver.finish { front with Driver.f_ir = inst.Fault.ip_prog } in
+  let nsites = List.length inst.Fault.ip_sites in
+  (* Pass-1 cap: generous, derived from the *unpadded* baseline; the
+     pads inflate the schedule but stay far inside 4x + slack. *)
+  let probe_options =
+    { w.options with Driver.max_cycles = budget; watchdog = Some watchdog }
+  in
+  let key = bundle_key w strategy ~budget ~watchdog in
+  let valid (bb : base_bundle) =
+    Array.length bb.bb_first_act = nsites
+    && bb.bb_base.Driver.engine.Engine.outcome = Engine.Finished
+    && List.for_all
+         (fun c -> List.mem_assoc c bb.bb_snaps)
+         (snapshot_cycles inst.Fault.ip_sites bb.bb_first_act)
+  in
+  let bundle =
+    match (Exec.Cache.load_blob ~kind:"campaign-base" ~key : base_bundle option) with
+    | Some bb when valid bb -> Some bb
+    | _ ->
+        (* pass 1: neutral baseline, recording first activations *)
+        let first_act = Array.make nsites never in
+        let on_site cycle idx =
+          if idx >= 0 && idx < nsites && first_act.(idx) = never then
+            first_act.(idx) <- cycle
+        in
+        let ses = Driver.prepare ~options:probe_options ~on_site compiled in
+        let base = Driver.session_result ses (Engine.run ses.Driver.ses_engine) in
+        if base.Driver.engine.Engine.outcome <> Engine.Finished then None
+        else begin
+          (* pass 2: replay once, snapshotting at each activation cycle *)
+          let wanted = snapshot_cycles inst.Fault.ip_sites first_act in
+          let ses2 = Driver.prepare ~options:probe_options compiled in
+          let snaps =
+            List.filter_map
+              (fun c ->
+                match Engine.run_until ses2.Driver.ses_engine ~cycle:c with
+                | None -> Some (c, Engine.snapshot ses2.Driver.ses_engine)
+                | Some _ -> None)
+              wanted
+          in
+          if List.length snaps <> List.length wanted then None
+          else begin
+            let bb = { bb_first_act = first_act; bb_snaps = snaps; bb_base = base } in
+            Exec.Cache.store_blob ~kind:"campaign-base" ~key bb;
+            Some bb
+          end
+        end
+  in
+  match bundle with
+  | None -> None
+  | Some bb ->
+      if
+        not
+          (drained_equal ~drains:w.options.Driver.drains golden
+             bb.bb_base.Driver.engine.Engine.drained)
+      then None
+      else begin
+        (* Budget for armed mutants: same 4x-the-baseline-plus-slack
+           shape as the legacy path, but relative to the *padded*
+           baseline, so the pads' schedule inflation cannot push a
+           finishing mutant over the budget boundary.  An explicit
+           [config.budget] is honoured as-is in both modes. *)
+        let base_cycles = bb.bb_base.Driver.engine.Engine.cycles in
+        let fork_budget =
+          match cfg_budget with
+          | Some b -> b
+          | None -> (4 * base_cycles) + 2000
+        in
+        let fork_watchdog =
+          match cfg_watchdog with
+          | Some n -> n
+          | None -> Stdlib.max 200 (fork_budget / 20)
+        in
+        let fc_options =
+          {
+            w.options with
+            Driver.max_cycles = fork_budget;
+            watchdog = Some fork_watchdog;
+          }
+        in
+        Some
+          {
+            fc_compiled = compiled;
+            fc_sites = inst.Fault.ip_sites;
+            fc_options;
+            fc_first_act = bb.bb_first_act;
+            fc_snaps = bb.bb_snaps;
+            fc_base = bb.bb_base;
+          }
+      end
+
+(* One fork-point mutant run, on a worker domain: fresh engine and
+   notification state, restore the pre-activation snapshot, arm exactly
+   this site's pad registers, run to completion. *)
+let fork_attempt (ctx : fork_ctx) (site : Fault.site) : Driver.sim_result =
+  let c = ctx.fc_first_act.(site.Fault.s_index) in
+  let snap = List.assoc c ctx.fc_snaps in
+  let ses = Driver.prepare ~options:ctx.fc_options ctx.fc_compiled in
+  Engine.restore ses.Driver.ses_engine snap;
+  Engine.arm ses.Driver.ses_engine [ (site.Fault.s_proc, site.Fault.s_arm) ];
+  Driver.session_result ses (Engine.run ses.Driver.ses_engine)
+
 (* Classify a pool outcome against the golden output; pure bookkeeping,
    run on the coordinating domain in job order. *)
 let classify ~golden (w : workload) sname fault
@@ -345,14 +543,27 @@ let summarize strategies runs =
     is byte-identical for every job count.  [progress] (if given) is
     called once per classified mutant run, on the calling domain, in
     deterministic (serial) order. *)
+(* How one mutant gets its result.  [Pruned]: the static pre-filter
+   proved it equivalent to the baseline (or its site dead) — no
+   simulation, classified [Benign].  [Baseline_equiv]: the site never
+   activates under the workload, so the mutant's run *is* the recorded
+   neutral-baseline run.  [Simulate]: run it on a worker domain, via
+   the fork-point restore or the legacy from-reset path. *)
+type disposition =
+  | Pruned
+  | Baseline_equiv of Driver.sim_result
+  | Simulate of (unit -> Driver.sim_result)
+
 let run ?(config = default_config) ?progress (workloads : workload list) : report =
   let dropped = ref 0 in
   let site_count = ref 0 in
+  let pruned_static = ref 0 in
   let kind_tbl = Hashtbl.create 8 in
   (* Serial per-workload prep: warm the compile cache for every
      strategy (so worker domains only ever hit), enumerate and cap the
-     fault sites, record the golden output and derive the cycle
-     budget. *)
+     fault sites, run the static pre-filter, record the golden output,
+     derive the cycle budget, and (fork mode) build the padded design,
+     site-activity record and pre-activation snapshots per strategy. *)
   let prepped =
     List.map
       (fun w ->
@@ -373,6 +584,14 @@ let run ?(config = default_config) ?progress (workloads : workload list) : repor
             let k = Fault.kind_name f in
             Hashtbl.replace kind_tbl k (1 + (try Hashtbl.find kind_tbl k with Not_found -> 0)))
           sites;
+        (* The pre-filter analyzes the baseline IR the sites were
+           enumerated on; its verdicts are input-independent, so they
+           apply identically in both modes — the classification-
+           identity gate depends on that. *)
+        let verdicts =
+          let base_front = Exec.Cache.front ~strategy:Driver.baseline w.program in
+          Prefilter.verdicts base_front.Driver.f_ir sites
+        in
         let golden = golden_drained w in
         let base_cycles = unfaulted_cycles w in
         let budget =
@@ -381,37 +600,99 @@ let run ?(config = default_config) ?progress (workloads : workload list) : repor
         let watchdog =
           match config.watchdog with Some n -> n | None -> Stdlib.max 200 (budget / 20)
         in
-        (w, sites, golden, budget, watchdog))
+        let fork_ctxs =
+          match config.mode with
+          | From_reset -> []
+          | Fork ->
+              List.filter_map
+                (fun (sname, strategy) ->
+                  match
+                    build_fork_ctx w strategy ~budget ~watchdog
+                      ~cfg_budget:config.budget ~cfg_watchdog:config.watchdog
+                      ~golden
+                  with
+                  | Some ctx -> Some (sname, ctx)
+                  | None -> None)
+                config.strategies
+        in
+        (w, sites, verdicts, golden, budget, watchdog, fork_ctxs))
       workloads
   in
-  (* One job per (workload, strategy, site), flattened in the serial
-     sweep order: workload outermost, then strategy, then site. *)
-  let mutant_jobs =
+  (* One mutant per (workload, strategy, site), flattened in the serial
+     sweep order: workload outermost, then strategy, then site.  Each
+     carries its disposition; only [Simulate] ones go to the pool, so
+     the result list stays in canonical order for every job count. *)
+  let mutants =
     List.concat_map
-      (fun (w, sites, golden, budget, watchdog) ->
+      (fun (w, sites, verdicts, golden, budget, watchdog, fork_ctxs) ->
         List.concat_map
           (fun (sname, strategy) ->
-            List.map
-              (fun fault -> (w, sname, strategy, fault, golden, budget, watchdog))
-              sites)
+            let ctx = List.assoc_opt sname fork_ctxs in
+            List.map2
+              (fun fault verdict ->
+                let legacy () =
+                  Simulate (fun () -> attempt_mutant ~budget ~watchdog w strategy fault)
+                in
+                let disp =
+                  match (verdict : Prefilter.verdict) with
+                  | Prefilter.Equivalent | Prefilter.Dead -> Pruned
+                  | Prefilter.Unknown -> (
+                      match ctx with
+                      | None -> legacy ()
+                      | Some ctx -> (
+                          match
+                            List.find_opt
+                              (fun (s : Fault.site) -> s.Fault.s_fault = fault)
+                              ctx.fc_sites
+                          with
+                          | Some site when site.Fault.s_padded ->
+                              let act = ctx.fc_first_act.(site.Fault.s_index) in
+                              if act = never then Baseline_equiv ctx.fc_base
+                              else if List.mem_assoc act ctx.fc_snaps then
+                                Simulate (fun () -> fork_attempt ctx site)
+                              else legacy ()
+                          | _ -> legacy ()))
+                in
+                (w, sname, fault, golden, disp))
+              sites verdicts)
           config.strategies)
       prepped
   in
   let fns =
     Array.of_list
-      (List.map
-         (fun (w, _, strategy, fault, _, budget, watchdog) () ->
-           attempt_mutant ~budget ~watchdog w strategy fault)
-         mutant_jobs)
+      (List.filter_map
+         (function _, _, _, _, Simulate f -> Some f | _ -> None)
+         mutants)
   in
   let outcomes = Exec.Pool.run ?jobs:config.jobs ~retries:1 fns in
+  let next_sim = ref 0 in
   let runs =
-    List.mapi
-      (fun i (w, sname, _, fault, golden, _, _) ->
-        let r = classify ~golden w sname fault outcomes.(i) in
+    List.map
+      (fun ((w : workload), sname, fault, golden, disp) ->
+        let r =
+          match disp with
+          | Pruned ->
+              incr pruned_static;
+              {
+                workload = w.wname;
+                strategy = sname;
+                fault;
+                outcome = Benign;
+                detail = No_detail;
+                cycles = 0;
+                retried = false;
+              }
+          | Baseline_equiv base ->
+              classify ~golden w sname fault
+                { Exec.Pool.value = Ok base; attempts = 1 }
+          | Simulate _ ->
+              let o = outcomes.(!next_sim) in
+              incr next_sim;
+              classify ~golden w sname fault o
+        in
         (match progress with Some f -> f r | None -> ());
         r)
-      mutant_jobs
+      mutants
   in
   let kind_counts =
     List.filter_map
@@ -425,6 +706,7 @@ let run ?(config = default_config) ?progress (workloads : workload list) : repor
     site_count = !site_count;
     dropped = !dropped;
     kind_counts;
+    pruned_static = !pruned_static;
     runs;
     summaries = summarize config.strategies runs;
   }
@@ -463,6 +745,9 @@ let render (r : report) : string =
     (String.concat ", "
        (List.map (fun (k, n) -> Printf.sprintf "%s %d" k n) r.kind_counts))
     (if r.dropped > 0 then Printf.sprintf "; %d sites dropped by cap" r.dropped else "");
+  if r.pruned_static > 0 then
+    p "pruned: %d mutant runs proved equivalent/dead statically (not simulated)"
+      r.pruned_static;
   p "";
   p "%-14s %7s %7s %6s %7s %7s %7s %9s %14s" "strategy" "mutants" "assert" "hang"
     "silent" "benign" "budget" "detected" "mean-det-cyc";
@@ -487,6 +772,26 @@ let render (r : report) : string =
               (fun (_, det) -> Printf.sprintf "%12s" (Printf.sprintf "%d/%d" det sites))
               per_strategy)))
     (kind_matrix r);
+  Buffer.contents b
+
+(** The classification map: one line per mutant run, [workload TAB
+    strategy TAB fault TAB class], in canonical sweep order.  This is
+    the fork-vs-from-reset invariant surface: the two modes must
+    produce byte-identical maps (cycle counts and details may differ —
+    padding legitimately perturbs the schedule).  CI diffs this. *)
+let render_classes (r : report) : string =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (run : run) ->
+      Buffer.add_string b run.workload;
+      Buffer.add_char b '\t';
+      Buffer.add_string b run.strategy;
+      Buffer.add_char b '\t';
+      Buffer.add_string b (Fault.describe run.fault);
+      Buffer.add_char b '\t';
+      Buffer.add_string b (class_name run.outcome);
+      Buffer.add_char b '\n')
+    r.runs;
   Buffer.contents b
 
 (* Hand-rolled JSON (no JSON library in the dependency set). *)
@@ -516,6 +821,7 @@ let render_json (r : report) : string =
          fld "workloads" (arr (List.map str r.workloads));
          fld "sites" (string_of_int r.site_count);
          fld "dropped" (string_of_int r.dropped);
+         fld "pruned_static" (string_of_int r.pruned_static);
          fld "kinds"
            (obj (List.map (fun (k, n) -> fld k (string_of_int n)) r.kind_counts));
          fld "strategies"

@@ -24,11 +24,22 @@ val workload :
   string ->
   workload
 
-(** The four bundled case-study applications (FIR, DCT, Triple-DES,
-    edge detection), sized so a full sweep stays interactive. *)
+(** The five bundled case-study applications (FIR, DCT, Triple-DES,
+    edge detection, pulse statistics), sized so a full sweep stays
+    interactive. *)
 val bundled : unit -> workload list
 
+(** How mutants are evaluated.  [Fork] (the default) compiles one
+    padded design per (workload, strategy), records when each fault
+    site first activates in a single unfaulted baseline run, and
+    evaluates each mutant from the engine snapshot taken just before
+    its site's first activation.  [From_reset] compiles and simulates
+    every mutant from cycle zero (the escape hatch, and the reference
+    the CI classification-identity gate compares against). *)
+type mode = Fork | From_reset
+
 type config = {
+  mode : mode;
   strategies : (string * Core.Driver.strategy) list;
   budget : int option;
       (** per-mutant cycle budget; [None] = 4x the unfaulted baseline
@@ -105,6 +116,10 @@ type report = {
   site_count : int;  (** mutants swept per strategy (after any cap) *)
   dropped : int;  (** sites dropped by [max_mutants] *)
   kind_counts : (string * int) list;  (** sites per fault kind *)
+  pruned_static : int;
+      (** mutant runs the static pre-filter ({!Faults.Prefilter})
+          proved equivalent or dead and classified [Benign] without
+          simulating *)
   runs : run list;
   summaries : strategy_summary list;
 }
@@ -128,6 +143,12 @@ val kind_matrix : report -> (string * int * (string * int) list) list
 
 (** The human-readable coverage table. *)
 val render : report -> string
+
+(** The classification map: one [workload TAB strategy TAB fault TAB
+    class] line per mutant run, in canonical sweep order.  Byte-
+    identical between [Fork] and [From_reset] modes (CI-gated); cycle
+    counts and details may legitimately differ. *)
+val render_classes : report -> string
 
 (** The same report as a JSON document (machine-readable). *)
 val render_json : report -> string

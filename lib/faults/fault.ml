@@ -387,3 +387,265 @@ let sites (prog : Ir.program_ir) : t list =
         in
         narrow @ rfw @ stream_faults @ loops)
     prog.Ir.procs
+
+(* --- Padded instrumentation (split-stream evaluation) ---------------------- *)
+
+(* For fork-point mutant evaluation the campaign compiles ONE design per
+   (workload, strategy) with every fault site padded simultaneously,
+   instead of one design per mutant.  Each pad is parameterized by fresh
+   origin-named registers the program never writes; with all parameters
+   at their reset value 0 every pad is an arithmetic identity, so the
+   padded design behaves exactly like the original — and arming a single
+   site (patching its registers) reproduces the corresponding legacy
+   rewrite's semantics.  A marker tap (id [marker_base] + site index)
+   placed ahead of each site reports first-activation cycles through
+   {!Sim.Engine}'s [on_site] hook. *)
+
+type site = {
+  s_index : int;  (** global site index; marker id = base + index *)
+  s_fault : t;    (** the equivalent legacy single-site fault *)
+  s_proc : string;
+  s_arm : (string * int64) list;
+      (** origin-name register bindings (within [s_proc]) arming this
+          mutant in the padded design *)
+  s_padded : bool;
+      (** false when the site could not be padded (e.g. an already-
+          guarded instruction): evaluate it via the legacy path *)
+}
+
+type instrumented = {
+  ip_prog : Ir.program_ir;  (** the padded program (all pads neutral) *)
+  ip_sites : site list;     (** in {!sites} enumeration order *)
+}
+
+let default_marker_base = 1_000_000
+
+let instrument_all ?(marker_base = default_marker_base) (prog : Ir.program_ir) :
+    instrumented =
+  let gidx = ref 0 in
+  let sites_acc = ref [] in
+  let stream_width s =
+    match List.find_opt (fun (d : stream_decl) -> d.sname = s) prog.Ir.streams with
+    | Some { elem = Tint (_, w); _ } -> bits_of_width w
+    | Some { elem = Tbool; _ } -> 1
+    | Some _ | None -> 32
+  in
+  let stream_elem s =
+    match List.find_opt (fun (d : stream_decl) -> d.sname = s) prog.Ir.streams with
+    | Some d -> d.elem
+    | None -> int32_t
+  in
+  let procs =
+    List.map
+      (fun (p : Ir.proc_ir) ->
+        if p.Ir.kind <> Hardware then p
+        else begin
+          let fproc = p.Ir.name in
+          let next_reg =
+            ref (List.fold_left (fun acc (r, _) -> Stdlib.max acc (r + 1)) 0 p.Ir.regs)
+          in
+          let new_regs = ref [] in
+          let fresh ?origin rty =
+            let r = !next_reg in
+            incr next_reg;
+            new_regs := (r, { Ir.rty; origin }) :: !new_regs;
+            r
+          in
+          let add_site fault arm padded =
+            let i = !gidx in
+            incr gidx;
+            sites_acc :=
+              { s_index = i; s_fault = fault; s_proc = fproc; s_arm = arm;
+                s_padded = padded }
+              :: !sites_acc;
+            i
+          in
+          let marker (g : Ir.ginst) idx =
+            { g with Ir.i = Ir.Tap { id = marker_base + idx; args = [] } }
+          in
+          (* 1. narrow compares: dst = (a & ~fm) `op` (b & ~fm); fm = 0
+             leaves both operands intact, fm = ~mask reproduces the
+             mask_bits-bit comparison of Figure 3 (masked operands are
+             non-negative, so the original signedness is equivalent to
+             the legacy unsigned compare). *)
+          let nc = ref 0 in
+          let body =
+            map_segments
+              (fun insts ->
+                List.concat_map
+                  (fun (g : Ir.ginst) ->
+                    match g.Ir.i with
+                    | Ir.Bin { dst; op; a; b; ty } when is_wide_compare g.Ir.i ->
+                        let k = !nc in
+                        incr nc;
+                        let mask_bits = 5 in
+                        let fault = Narrow_compare { fproc; select = Nth k; mask_bits } in
+                        let pname = Printf.sprintf "__fault_nc_%d" k in
+                        let mask = Int64.sub (Int64.shift_left 1L mask_bits) 1L in
+                        let idx = add_site fault [ (pname, Int64.lognot mask) ] true in
+                        let fm = fresh ~origin:pname ty in
+                        let m = fresh ty and ta = fresh ty and tb = fresh ty in
+                        [
+                          marker g idx;
+                          { g with Ir.i = Ir.Un { dst = m; op = Bnot; a = Ir.Reg fm; ty } };
+                          { g with Ir.i = Ir.Bin { dst = ta; op = Band; a; b = Ir.Reg m; ty } };
+                          { g with Ir.i = Ir.Bin { dst = tb; op = Band; a = b; b = Ir.Reg m; ty } };
+                          { g with Ir.i = Ir.Bin { dst; op; a = Ir.Reg ta; b = Ir.Reg tb; ty } };
+                        ]
+                    | _ -> [ g ])
+                  insts)
+              p.Ir.body
+          in
+          (* 2. read-for-write: the store and a shadow load guarded on a
+             flag register; fw = 0 stores (original), fw = 1 loads only
+             (the Triple-DES mistranslation). *)
+          let rfw = ref 0 in
+          let body =
+            map_segments
+              (fun insts ->
+                List.concat_map
+                  (fun (g : Ir.ginst) ->
+                    match g.Ir.i with
+                    | Ir.Store { mem; addr; v } when is_app_store p mem ->
+                        let k = !rfw in
+                        incr rfw;
+                        let fault = Read_for_write { fproc; select = Nth k } in
+                        if g.Ir.guard <> None then begin
+                          ignore (add_site fault [] false);
+                          [ g ]
+                        end
+                        else begin
+                          let pname = Printf.sprintf "__fault_rfw_%d" k in
+                          let idx = add_site fault [ (pname, 1L) ] true in
+                          let fw = fresh ~origin:pname Tbool in
+                          let elem =
+                            match Ir.find_mem p mem with
+                            | Some m -> m.Ir.elem
+                            | None -> int32_t
+                          in
+                          let dead = fresh elem in
+                          [
+                            marker g idx;
+                            { Ir.i = Ir.Store { mem; addr; v }; guard = Some (fw, false) };
+                            { Ir.i = Ir.Load { dst = dead; mem; addr }; guard = Some (fw, true) };
+                          ]
+                        end
+                    | _ -> [ g ])
+                  insts)
+              body
+          in
+          (* 3. stream writes: one pad group {or-mask, and-mask, enable}
+             per write serves all three faults of the occurrence
+             (stuck-at-1, stuck-at-0, dropped write). *)
+          let body =
+            List.fold_left
+              (fun body (d : stream_decl) ->
+                let occ = ref 0 in
+                map_segments
+                  (fun insts ->
+                    List.concat_map
+                      (fun (g : Ir.ginst) ->
+                        match g.Ir.i with
+                        | Ir.Swrite { stream = s; v } when s = d.sname ->
+                            let k = !occ in
+                            incr occ;
+                            let bit = Stdlib.max 1 (stream_width s / 2) - 1 in
+                            let f1 =
+                              Stuck_stream_bit
+                                { fproc; stream = s; select = Nth k; bit; stuck_to = true }
+                            and f0 =
+                              Stuck_stream_bit
+                                { fproc; stream = s; select = Nth k; bit = 0;
+                                  stuck_to = false }
+                            and fd = Drop_stream_write { fproc; stream = s; select = Nth k } in
+                            if g.Ir.guard <> None then begin
+                              ignore (add_site f1 [] false);
+                              ignore (add_site f0 [] false);
+                              ignore (add_site fd [] false);
+                              [ g ]
+                            end
+                            else begin
+                              let base = Printf.sprintf "__fault_sw_%s_%d" s k in
+                              let n_or = base ^ "_or"
+                              and n_and = base ^ "_and"
+                              and n_en = base ^ "_en" in
+                              let i1 =
+                                add_site f1 [ (n_or, Int64.shift_left 1L bit) ] true
+                              in
+                              let i0 = add_site f0 [ (n_and, 1L) ] true in
+                              let id_ = add_site fd [ (n_en, 1L) ] true in
+                              let elem = stream_elem s in
+                              let om = fresh ~origin:n_or elem in
+                              let am = fresh ~origin:n_and elem in
+                              let en = fresh ~origin:n_en Tbool in
+                              let t1 = fresh elem and m2 = fresh elem and t2 = fresh elem in
+                              [
+                                marker g i1;
+                                marker g i0;
+                                marker g id_;
+                                { g with
+                                  Ir.i = Ir.Bin { dst = t1; op = Bor; a = v; b = Ir.Reg om; ty = elem } };
+                                { g with
+                                  Ir.i = Ir.Un { dst = m2; op = Bnot; a = Ir.Reg am; ty = elem } };
+                                { g with
+                                  Ir.i =
+                                    Ir.Bin
+                                      { dst = t2; op = Band; a = Ir.Reg t1; b = Ir.Reg m2; ty = elem } };
+                                { Ir.i = Ir.Swrite { stream = s; v = Ir.Reg t2 };
+                                  guard = Some (en, false) };
+                              ]
+                            end
+                        | _ -> [ g ])
+                      insts)
+                  body)
+              body prog.Ir.streams
+          in
+          (* 4. loop bounds: the trip-count comparison reads bound + dr;
+             dr = 0 is exact, ±1 reproduces the off-by-one translations.
+             The adjusted bound is materialized even for immediate bounds
+             so arming never changes the schedule. *)
+          let loop = ref 0 in
+          let body =
+            map_loop_conds
+              (fun cond cond_insts ->
+                let k = !loop in
+                incr loop;
+                let rewritten = ref false in
+                List.concat_map
+                  (fun (g : Ir.ginst) ->
+                    match g.Ir.i with
+                    | Ir.Bin { dst; op = (Lt | Le | Gt | Ge) as op; a; b; ty }
+                      when (not !rewritten) && dst = cond ->
+                        rewritten := true;
+                        let fplus = Loop_bound_off_by_one { fproc; select = Nth k; delta = 1L }
+                        and fminus =
+                          Loop_bound_off_by_one { fproc; select = Nth k; delta = -1L }
+                        in
+                        if g.Ir.guard <> None then begin
+                          ignore (add_site fplus [] false);
+                          ignore (add_site fminus [] false);
+                          [ g ]
+                        end
+                        else begin
+                          let pname = Printf.sprintf "__fault_loop_%d" k in
+                          let ip = add_site fplus [ (pname, 1L) ] true in
+                          let im = add_site fminus [ (pname, -1L) ] true in
+                          let dr = fresh ~origin:pname ty in
+                          let td = fresh ty in
+                          [
+                            marker g ip;
+                            marker g im;
+                            { g with
+                              Ir.i = Ir.Bin { dst = td; op = Add; a = b; b = Ir.Reg dr; ty } };
+                            { g with Ir.i = Ir.Bin { dst; op; a; b = Ir.Reg td; ty } };
+                          ]
+                        end
+                    | _ -> [ g ])
+                  cond_insts)
+              body
+          in
+          { p with Ir.body; regs = p.Ir.regs @ List.rev !new_regs }
+        end)
+      prog.Ir.procs
+  in
+  { ip_prog = { prog with Ir.procs }; ip_sites = List.rev !sites_acc }

@@ -50,3 +50,62 @@ val apply_all : t list -> Mir.Ir.program_ir -> Mir.Ir.program_ir
     all hardware processes.  Enumerate on the baseline-strategy IR — the
     ordinals are stable under the instrumented strategies. *)
 val sites : Mir.Ir.program_ir -> t list
+
+(** {2 Traversal helpers}
+
+    Exposed for {!Prefilter}, which must number fault sites in exactly
+    the order the rewriters and {!sites} do. *)
+
+(** Rewrite every straight-line instruction segment of a body, in the
+    shared traversal order all site counting uses. *)
+val map_segments :
+  (Mir.Ir.ginst list -> Mir.Ir.ginst list) -> Mir.Ir.body -> Mir.Ir.body
+
+(** Rewrite every loop's condition block, pre-order. *)
+val map_loop_conds :
+  (Mir.Ir.reg -> Mir.Ir.ginst list -> Mir.Ir.ginst list) ->
+  Mir.Ir.body ->
+  Mir.Ir.body
+
+(** The narrow-compare site predicate (64-bit ordering comparison). *)
+val is_wide_compare : Mir.Ir.inst -> bool
+
+(** True when [mem] is an application store target (not a replica
+    mirror added by the optimizer). *)
+val is_app_store : Mir.Ir.proc_ir -> string -> bool
+
+(** {2 Padded instrumentation (split-stream evaluation)}
+
+    For fork-point mutant evaluation the campaign compiles one design
+    per (workload, strategy) with {e every} fault site padded
+    simultaneously, instead of one design per mutant.  Each pad is
+    parameterized by fresh origin-named registers the program never
+    writes: with all parameters at their reset value 0 every pad is an
+    arithmetic identity (the padded design behaves exactly like the
+    original), and arming a single site — patching its registers via
+    {!Sim.Engine.arm} — reproduces the corresponding legacy rewrite's
+    semantics.  A marker tap placed ahead of each site reports
+    first-activation cycles through the engine's [on_site] hook. *)
+
+type site = {
+  s_index : int;  (** global site index; marker id = base + index *)
+  s_fault : t;    (** the equivalent legacy single-site fault *)
+  s_proc : string;
+  s_arm : (string * int64) list;
+      (** origin-name register bindings (within [s_proc]) arming this
+          mutant in the padded design *)
+  s_padded : bool;
+      (** false when the site could not be padded (e.g. an already-
+          guarded instruction): evaluate it via the legacy path *)
+}
+
+type instrumented = {
+  ip_prog : Mir.Ir.program_ir;  (** the padded program, all pads neutral *)
+  ip_sites : site list;         (** in {!sites} enumeration order *)
+}
+
+val default_marker_base : int
+
+(** Pad every fault site of the program at once.  [ip_sites] lists the
+    sites in the exact order (and count) of {!sites} on the same IR. *)
+val instrument_all : ?marker_base:int -> Mir.Ir.program_ir -> instrumented

@@ -1,0 +1,388 @@
+(** Static mutant pre-filter.
+
+    Before the campaign simulates a mutant, a forward abstract
+    interpretation of the (unfaulted) baseline IR — over the same
+    interval x constancy x parity domain the assertion verifier uses —
+    tries to prove the mutant can never diverge from the baseline:
+
+    - {b Equivalent}: the rewrite is an arithmetic identity on every
+      value that can reach the site.  A narrow-compare pad is an
+      identity when both operands provably fit the mask ([v & mask = v]
+      for [0 <= v <= mask]); a stuck-at-1 bit is an identity when the
+      written value provably has the bit set (bit 0 via parity, higher
+      bits via constancy), and dually for stuck-at-0.
+    - {b Dead}: the site is statically unreachable (a branch or loop
+      whose condition the domain decides), so the mutant never
+      activates and behaves exactly like the baseline.
+    - {b Unknown}: simulate it.
+
+    Soundness: streams and extern calls are treated as unconstrained
+    (top), memories as a flow-insensitive join of their ROM image, the
+    power-on zero fill and every stored value, and loops run to a
+    widened fixpoint — so the abstract reachability and value sets
+    over-approximate every concrete run under every workload feed.
+    FIFO back-pressure only ever {e removes} concrete executions, so it
+    cannot defeat the over-approximation.  The analysis is input-
+    independent and runs identically in fork-point and from-reset
+    campaign modes, which the CI classification-identity gate relies
+    on. *)
+
+module Ir = Mir.Ir
+module D = Analysis.Domain
+open Front.Ast
+
+type verdict = Equivalent | Dead | Unknown
+
+let verdict_name = function
+  | Equivalent -> "equivalent"
+  | Dead -> "dead"
+  | Unknown -> "unknown"
+
+(* --- Site observations ------------------------------------------------------ *)
+
+(* What the interpreter records at each syntactic fault site: whether
+   any abstractly-reachable state executes it, and the join of the
+   operand values it sees there. *)
+type obs = { mutable visited : bool; mutable a : D.t; mutable b : D.t }
+
+let fresh_obs () = { visited = false; a = D.Bot; b = D.Bot }
+
+(* Per-process observation tables, keyed exactly like the rewriters
+   select sites: wide compares / app stores by their occurrence index in
+   [Fault.map_segments] order, stream writes by (stream, per-stream
+   occurrence), loops by pre-order index in [Fault.map_loop_conds]
+   order. *)
+type proc_obs = {
+  cmp : (int, obs) Hashtbl.t;
+  stores : (int, obs) Hashtbl.t;
+  swrites : (string * int, obs) Hashtbl.t;
+  loops : (int, obs) Hashtbl.t;
+}
+
+(* Tags attach an observation cell to a syntactic instruction by
+   physical identity: the numbering pre-pass walks the body with the
+   same traversal the rewriters use, and the interpreter — which visits
+   in execution order, possibly many times — looks its cell back up.
+   Bodies are small, so association lists are fine. *)
+type tags = {
+  mutable by_ginst : (Ir.ginst * obs) list;
+  mutable by_loop : (Ir.ginst list * obs) list;  (* keyed by cond_insts *)
+}
+
+let number_proc (p : Ir.proc_ir) : proc_obs * tags =
+  let po =
+    {
+      cmp = Hashtbl.create 8;
+      stores = Hashtbl.create 8;
+      swrites = Hashtbl.create 8;
+      loops = Hashtbl.create 8;
+    }
+  in
+  let tags = { by_ginst = []; by_loop = [] } in
+  let ncmp = ref 0 and nstore = ref 0 in
+  let sw_counts : (string, int ref) Hashtbl.t = Hashtbl.create 4 in
+  let tag_ginst g o = tags.by_ginst <- (g, o) :: tags.by_ginst in
+  let seg insts =
+    List.iter
+      (fun (g : Ir.ginst) ->
+        if Fault.is_wide_compare g.Ir.i then begin
+          let o = fresh_obs () in
+          Hashtbl.replace po.cmp !ncmp o;
+          incr ncmp;
+          tag_ginst g o
+        end
+        else
+          match g.Ir.i with
+          | Ir.Store { mem; _ } when Fault.is_app_store p mem ->
+              let o = fresh_obs () in
+              Hashtbl.replace po.stores !nstore o;
+              incr nstore;
+              tag_ginst g o
+          | Ir.Swrite { stream; _ } ->
+              let c =
+                match Hashtbl.find_opt sw_counts stream with
+                | Some c -> c
+                | None ->
+                    let c = ref 0 in
+                    Hashtbl.add sw_counts stream c;
+                    c
+              in
+              let o = fresh_obs () in
+              Hashtbl.replace po.swrites (stream, !c) o;
+              incr c;
+              tag_ginst g o
+          | _ -> ())
+      insts;
+    insts
+  in
+  ignore (Fault.map_segments seg p.Ir.body);
+  let nloop = ref 0 in
+  let loop_f _cond cond_insts =
+    let k = !nloop in
+    incr nloop;
+    (* An empty cond block is physically the shared [] — but such a
+       loop has no rewriteable bound, hence no site to observe. *)
+    if cond_insts <> [] then begin
+      let o = fresh_obs () in
+      Hashtbl.replace po.loops k o;
+      tags.by_loop <- (cond_insts, o) :: tags.by_loop
+    end;
+    cond_insts
+  in
+  ignore (Fault.map_loop_conds loop_f p.Ir.body);
+  (po, tags)
+
+(* --- Abstract interpreter --------------------------------------------------- *)
+
+(* The default only matters for registers missing from the allocation
+   list (which well-formed IR does not produce). *)
+let widest_ty = Tint (Signed, W64)
+
+let analyze_proc (streams : stream_decl list) (p : Ir.proc_ir) : proc_obs =
+  let po, tags = number_proc p in
+  let nregs = List.fold_left (fun m (r, _) -> Stdlib.max m (r + 1)) 1 p.Ir.regs in
+  let reg_ty = Array.make nregs widest_ty in
+  List.iter (fun (r, (info : Ir.reg_info)) -> reg_ty.(r) <- info.Ir.rty) p.Ir.regs;
+  let elem_ty stream =
+    match List.find_opt (fun (s : stream_decl) -> s.sname = stream) streams with
+    | Some s -> s.elem
+    | None -> widest_ty
+  in
+  (* Flow-insensitive memory summary: power-on zero fill, the ROM
+     image, and every stored value, joined. *)
+  let mems : (string, D.t ref) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (m : Ir.mem) ->
+      let init =
+        match m.Ir.rom_init with
+        | None -> D.const 0L
+        | Some image ->
+            let v = List.fold_left (fun acc x -> D.join acc (D.const x)) D.Bot image in
+            (* slots past the image keep the zero fill *)
+            if List.length image < m.Ir.length then D.join v (D.const 0L) else v
+      in
+      Hashtbl.replace mems m.Ir.mname (ref init))
+    p.Ir.mems;
+  let mem_cell m =
+    match Hashtbl.find_opt mems m with Some r -> !r | None -> D.top
+  in
+  let mem_store m v =
+    match Hashtbl.find_opt mems m with Some r -> r := D.join !r v | None -> ()
+  in
+  let ev regs = function Ir.Reg r -> regs.(r) | Ir.Imm n -> D.const n in
+  (* The engine wraps a committed write to the register's declared type,
+     but same-state readers observe the raw result — join both views. *)
+  let assign regs ~weak dst v =
+    let v = D.join v (D.cast ~to_ty:reg_ty.(dst) v) in
+    regs.(dst) <- (if weak then D.join regs.(dst) v else v)
+  in
+  let find_tag g = List.find_opt (fun (g0, _) -> g0 == g) tags.by_ginst in
+  let record regs (g : Ir.ginst) =
+    match find_tag g with
+    | None -> ()
+    | Some (_, o) ->
+        o.visited <- true;
+        (match g.Ir.i with
+        | Ir.Bin { a; b; _ } ->
+            o.a <- D.join o.a (ev regs a);
+            o.b <- D.join o.b (ev regs b)
+        | Ir.Swrite { stream; v } ->
+            (* bit faults apply to the value as wrapped onto the wire *)
+            o.a <- D.join o.a (D.cast ~to_ty:(elem_ty stream) (ev regs v))
+        | _ -> ())
+  in
+  let exec_ginst regs (g : Ir.ginst) =
+    let guard =
+      match g.Ir.guard with
+      | None -> `Run
+      | Some (gr, want) -> (
+          match D.truth regs.(gr) with
+          | D.True -> if want then `Run else `Skip
+          | D.False -> if want then `Skip else `Run
+          | D.Maybe -> `Maybe)
+    in
+    if guard <> `Skip then begin
+      let weak = guard = `Maybe in
+      record regs g;
+      match g.Ir.i with
+      | Ir.Bin { dst; op; a; b; ty } ->
+          assign regs ~weak dst (D.binop op ty (ev regs a) (ev regs b))
+      | Ir.Un { dst; op; a; ty } -> assign regs ~weak dst (D.unop op ty (ev regs a))
+      | Ir.Copy { dst; src; ty } ->
+          assign regs ~weak dst (D.cast ~to_ty:ty (ev regs src))
+      | Ir.Castop { dst; src; to_ty; _ } ->
+          assign regs ~weak dst (D.cast ~to_ty (ev regs src))
+      | Ir.Load { dst; mem; _ } -> assign regs ~weak dst (mem_cell mem)
+      | Ir.Store { mem; v; _ } -> mem_store mem (ev regs v)
+      | Ir.Sread { dst; stream } ->
+          assign regs ~weak dst (D.top_of_ty (elem_ty stream))
+      | Ir.Swrite _ -> ()
+      | Ir.Extcall { dst; _ } -> assign regs ~weak dst D.top
+      | Ir.Tap _ -> ()
+    end
+  in
+  let join_regs a b = Array.map2 D.join a b in
+  let widen_regs old next = Array.mapi (fun i o -> D.widen reg_ty.(i) o next.(i)) old in
+  let equal_regs a b =
+    try Array.for_all2 D.equal a b with Invalid_argument _ -> false
+  in
+  let join_state a b =
+    match (a, b) with
+    | None, s | s, None -> s
+    | Some x, Some y -> Some (join_regs x y)
+  in
+  let rec exec_body st body = List.fold_left exec_item st body
+  and exec_item st item =
+    match st with
+    | None -> None
+    | Some regs -> (
+        match item with
+        | Ir.Straight insts ->
+            List.iter (exec_ginst regs) insts;
+            st
+        | Ir.If_else { cond_insts; cond; then_; else_ } ->
+            List.iter (exec_ginst regs) cond_insts;
+            let tr = D.truth regs.(cond) in
+            let st_t =
+              if tr <> D.False then exec_body (Some (Array.copy regs)) then_
+              else None
+            in
+            let st_e =
+              if tr <> D.True then exec_body (Some (Array.copy regs)) else_
+              else None
+            in
+            join_state st_t st_e
+        | Ir.Loop { cond_insts; cond; body; step_insts; _ } ->
+            let loop_obs =
+              List.find_opt (fun (key, _) -> key == cond_insts) tags.by_loop
+            in
+            let head = ref (Array.copy regs) in
+            let exit_st = ref None in
+            let iters = ref 0 in
+            let continue_ = ref true in
+            (* Widening after a few precise rounds drives the head to
+               the domain's type bounds, so this terminates; the count
+               cap is pure defense. *)
+            while !continue_ && !iters < 64 do
+              incr iters;
+              let s = Array.copy !head in
+              List.iter (exec_ginst s) cond_insts;
+              (match loop_obs with
+              | Some (_, o) -> o.visited <- true
+              | None -> ());
+              exit_st := join_state !exit_st (Some (Array.copy s));
+              match D.truth s.(cond) with
+              | D.False -> continue_ := false
+              | D.True | D.Maybe -> (
+                  match exec_body (Some s) body with
+                  | None -> continue_ := false
+                  | Some s2 ->
+                      List.iter (exec_ginst s2) step_insts;
+                      let joined = join_regs !head s2 in
+                      let next =
+                        if !iters >= 3 then widen_regs !head joined else joined
+                      in
+                      if equal_regs next !head then continue_ := false
+                      else head := next)
+            done;
+            if !iters >= 64 then begin
+              (* did not converge (should be unreachable): run one
+                 all-top round so inner observations over-approximate *)
+              let s = Array.map (fun _ -> D.top) !head in
+              List.iter (exec_ginst s) cond_insts;
+              (match loop_obs with
+              | Some (_, o) -> o.visited <- true
+              | None -> ());
+              ignore (exec_body (Some (Array.copy s)) body);
+              exit_st := join_state !exit_st (Some s)
+            end;
+            !exit_st)
+  in
+  let init = Array.init nregs (fun _ -> D.const 0L) in
+  ignore (exec_body (Some init) p.Ir.body);
+  po
+
+(* --- Verdicts --------------------------------------------------------------- *)
+
+let bit_provably_set (v : D.t) bit =
+  match v with
+  | D.Bot -> false
+  | D.Itv i -> (
+      (bit = 0 && i.D.parity = D.Podd)
+      ||
+      match D.const_value v with
+      | Some c -> Int64.logand c (Int64.shift_left 1L bit) <> 0L
+      | None -> false)
+
+let bit_provably_clear (v : D.t) bit =
+  match v with
+  | D.Bot -> false
+  | D.Itv i -> (
+      (bit = 0 && i.D.parity = D.Peven)
+      ||
+      match D.const_value v with
+      | Some c -> Int64.logand c (Int64.shift_left 1L bit) = 0L
+      | None -> false)
+
+let verdict_for (po : proc_obs) (f : Fault.t) : verdict =
+  let dead_unless_visited tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some o when not o.visited -> Dead
+    | _ -> Unknown
+  in
+  match f with
+  | Fault.Narrow_compare { select = Fault.Nth k; mask_bits; _ } -> (
+      match Hashtbl.find_opt po.cmp k with
+      | None -> Unknown
+      | Some o ->
+          if not o.visited then Dead
+          else
+            (* 0 <= v <= mask implies v & mask = v at any operand type *)
+            let mask = Int64.sub (Int64.shift_left 1L mask_bits) 1L in
+            let range = D.join (D.const 0L) (D.const mask) in
+            if D.leq o.a range && D.leq o.b range then Equivalent else Unknown)
+  | Fault.Read_for_write { select = Fault.Nth k; _ } ->
+      dead_unless_visited po.stores k
+  | Fault.Stuck_stream_bit { stream; select = Fault.Nth k; bit; stuck_to; _ } -> (
+      match Hashtbl.find_opt po.swrites (stream, k) with
+      | None -> Unknown
+      | Some o ->
+          if not o.visited then Dead
+          else if
+            if stuck_to then bit_provably_set o.a bit
+            else bit_provably_clear o.a bit
+          then Equivalent
+          else Unknown)
+  | Fault.Drop_stream_write { stream; select = Fault.Nth k; _ } ->
+      dead_unless_visited po.swrites (stream, k)
+  | Fault.Loop_bound_off_by_one { select = Fault.Nth k; _ } ->
+      dead_unless_visited po.loops k
+  | _ -> Unknown (* [All] selectors: not single-site, never pruned *)
+
+let fproc_of = function
+  | Fault.Narrow_compare { fproc; _ }
+  | Fault.Read_for_write { fproc; _ }
+  | Fault.Stuck_stream_bit { fproc; _ }
+  | Fault.Drop_stream_write { fproc; _ }
+  | Fault.Loop_bound_off_by_one { fproc; _ } ->
+      fproc
+
+let verdicts (prog : Ir.program_ir) (faults : Fault.t list) : verdict list =
+  let cache : (string, proc_obs) Hashtbl.t = Hashtbl.create 4 in
+  let obs_for pname =
+    match Hashtbl.find_opt cache pname with
+    | Some po -> Some po
+    | None -> (
+        match List.find_opt (fun (p : Ir.proc_ir) -> p.Ir.name = pname) prog.Ir.procs with
+        | None -> None
+        | Some p ->
+            let po = analyze_proc prog.Ir.streams p in
+            Hashtbl.replace cache pname po;
+            Some po)
+  in
+  List.map
+    (fun f ->
+      match obs_for (fproc_of f) with
+      | None -> Unknown
+      | Some po -> verdict_for po f)
+    faults

@@ -1,0 +1,22 @@
+(** Static mutant pre-filter: a forward abstract interpretation of the
+    baseline IR (interval x constancy x parity, the {!Analysis.Domain}
+    the assertion verifier uses) that proves fault sites equivalent to
+    the unfaulted design or statically dead, so the campaign can skip
+    simulating them.  Sound over-approximation: streams and extern
+    calls are unconstrained, memories are flow-insensitive joins, loops
+    reach a widened fixpoint — a verdict other than [Unknown] holds for
+    every workload.  Input-independent, so fork-point and from-reset
+    campaign modes prune identically. *)
+
+type verdict =
+  | Equivalent  (** the rewrite is an identity on every reachable value *)
+  | Dead        (** the site is statically unreachable *)
+  | Unknown     (** could diverge: simulate it *)
+
+val verdict_name : verdict -> string
+
+(** One verdict per fault, in order.  [prog] must be the same
+    (baseline-strategy) IR the faults were enumerated on by
+    {!Fault.sites}: occurrence indices are matched against that IR's
+    site numbering. *)
+val verdicts : Mir.Ir.program_ir -> Fault.t list -> verdict list

@@ -138,7 +138,8 @@ let mine ?(config = default_config) ~name ?options (prog : Front.Ast.program) : 
   let static_dropped, survivors = List.partition statically_proved survivors in
   let ccfg =
     {
-      Campaign.strategies = [ config.strategy ];
+      Campaign.mode = Campaign.default_config.Campaign.mode;
+      strategies = [ config.strategy ];
       budget = config.budget;
       watchdog = config.watchdog;
       max_mutants = config.max_mutants;

@@ -84,3 +84,16 @@ let commit t =
 (** Direct (testbench) access, no port accounting. *)
 let peek t i = t.data.(wrap_addr t (Int64.of_int i))
 let poke t i v = t.data.(wrap_addr t (Int64.of_int i)) <- v
+
+(** Deep copy (for engine snapshots). *)
+let copy t = { t with data = Array.copy t.data }
+
+(** Overwrite [t]'s state with [saved]'s; [saved] is left untouched. *)
+let restore t ~saved =
+  Array.blit saved.data 0 t.data 0 (Array.length t.data);
+  t.staged <- saved.staged;
+  t.accesses_this_cycle <- saved.accesses_this_cycle;
+  t.port_violations <- saved.port_violations;
+  t.reads <- saved.reads;
+  t.writes <- saved.writes;
+  t.wild_accesses <- saved.wild_accesses

@@ -45,3 +45,10 @@ val commit : t -> unit
 val peek : t -> int -> int64
 
 val poke : t -> int -> int64 -> unit
+
+(** Deep copy (engine snapshots). *)
+val copy : t -> t
+
+(** Overwrite a live RAM's state from a saved copy; the copy is left
+    untouched, so one snapshot can seed many restores. *)
+val restore : t -> saved:t -> unit

@@ -76,12 +76,22 @@ type config = {
           tap execution before the checkers evaluate — lets a model
           checker compare its predicted fire schedule against the
           engine cycle for cycle *)
+  on_site : (int -> int -> unit) option;
+      (** fault-site activity observer, called as [f cycle site] when a
+          marker tap (id >= {!marker_base}) executes.  Markers are pure
+          probes: they bypass the checkers, the timing machinery and the
+          watchdog's tap accounting entirely *)
 }
 
 let default_config =
   { max_cycles = 1_000_000; feeds = []; drains = []; handlers = []; hw_models = [];
     params = []; timing_checks = []; trace = false; host_poll_interval = 1;
-    watchdog = None; on_tap = None }
+    watchdog = None; on_tap = None; on_site = None }
+
+(* Tap ids at or above this base are fault-site activity markers, not
+   assertions.  Kept far above any real assertion id; Ir.validate
+   enforces program-wide uniqueness either way. *)
+let marker_base = 1_000_000
 
 (* --- Results ---------------------------------------------------------------- *)
 
@@ -341,6 +351,15 @@ let wrap_stream t name v =
 (* Tap event: run the checkers listening on this tap id, and arm /
    discharge timing assertions anchored at it. *)
 let deliver_tap t (id : int) (values : int64 array) =
+  if id >= marker_base then begin
+    (* site-activity marker: observe and return.  Must not count as a
+       tap event (a marker inside a spin loop would otherwise defeat the
+       live-lock watchdog) and must not touch checkers or deadlines. *)
+    match t.cfg.on_site with
+    | Some f -> f t.cycle (id - marker_base)
+    | None -> ()
+  end
+  else begin
   t.tap_count <- t.tap_count + 1;
   (match t.cfg.on_tap with Some f -> f t.cycle id values | None -> ());
   List.iter
@@ -367,6 +386,7 @@ let deliver_tap t (id : int) (values : int64 array) =
     (fun (tc : timing_check) ->
       if tc.from_tap = id then t.deadlines <- t.deadlines @ [ (tc, t.cycle + tc.budget) ])
     t.cfg.timing_checks
+  end
 
 (* --- Sequential state execution ---------------------------------------------- *)
 
@@ -544,7 +564,10 @@ let eval_issue_insts t (p : pr) (insts : Ir.ginst list) =
         exec_plain ~read ~write
           ~write_delayed:(fun _ _ _ -> ())
           ~bram:(fun m -> raise (Sim_failure ("memory op at issue: " ^ m)))
-          ~tap:(fun _ _ -> ())
+            (* real taps are pure latches and never scheduled at issue
+               time, but loop-site activity markers do live in the
+               condition block — let those through *)
+          ~tap:(fun id vs -> if id >= marker_base then deliver_tap t id vs)
           ~models:[] g)
     insts;
   if commit_overlay p overlay then t.progressed <- true;
@@ -703,16 +726,20 @@ let blocked_info t =
     (fun p -> match p.mode with Halted -> None | _ -> Some (p.fsmd.Fsmd.proc.Ir.name, p.state))
     t.procs
 
-let run (t : t) : result =
-  t.pipe_stats <-
-    Array.make (total_pipes t)
-      { ps_proc = ""; ii_static = 0; depth_static = 0; issues = 0; ii_measured = 0.0;
-        latency_measured = 0 };
-  let outcome = ref None in
-  (try
-     while !outcome = None do
-       if t.cycle >= t.cfg.max_cycles then outcome := Some Out_of_cycles
-       else begin
+(* Allocate the pipe-stats table once; [run] after a {!restore} (or a
+   second [run_until] leg) must keep the restored contents. *)
+let ensure_pipe_stats t =
+  if Array.length t.pipe_stats <> total_pipes t then
+    t.pipe_stats <-
+      Array.make (total_pipes t)
+        { ps_proc = ""; ii_static = 0; depth_static = 0; issues = 0; ii_measured = 0.0;
+          latency_measured = 0 }
+
+(* Execute one full clock cycle; sets [outcome] when the cycle decides
+   the run.  The cycle counter advances unconditionally at the end, so
+   [result.cycles] counts executed cycles exactly as before. *)
+let exec_cycle (t : t) (outcome : outcome option ref) =
+  begin
          t.activity <- false;
          t.progressed <- false;
          let taps_before = t.tap_count in
@@ -853,11 +880,30 @@ let run (t : t) : result =
            end
          end;
          t.cycle <- t.cycle + 1
-       end
-     done
-   with
+  end
+
+let run_loop t ~stop (outcome : outcome option ref) =
+  try
+    while !outcome = None && not (stop ()) do
+      if t.cycle >= t.cfg.max_cycles then outcome := Some Out_of_cycles
+      else exec_cycle t outcome
+    done
+  with
   | Sim_failure msg -> outcome := Some (Sim_error msg)
-  | Abort_sim msg -> outcome := Some (Aborted msg));
+  | Abort_sim msg -> outcome := Some (Aborted msg)
+
+(** Run forward until the start of [cycle] (exclusive: cycles
+    [0..cycle-1] have executed and committed).  Returns [Some outcome]
+    if the design terminated first, [None] when paused at the target —
+    the state is then exactly the start-of-cycle state a later {!run}
+    continues from. *)
+let run_until (t : t) ~cycle : outcome option =
+  ensure_pipe_stats t;
+  let outcome = ref None in
+  run_loop t ~stop:(fun () -> t.cycle >= cycle) outcome;
+  !outcome
+
+let collect (t : t) (outcome : outcome) : result =
   let drained =
     Hashtbl.fold (fun s acc l -> (s, List.rev !acc) :: l) t.drained []
     |> List.sort compare
@@ -890,7 +936,7 @@ let run (t : t) : result =
     |> List.sort compare
   in
   {
-    outcome = (match !outcome with Some o -> o | None -> Finished);
+    outcome;
     cycles = t.cycle;
     drained;
     host_log = List.rev t.host_log;
@@ -902,6 +948,230 @@ let run (t : t) : result =
     timing_violations = List.rev t.timing_violations;
     vcd = (match t.tracer with Some (tr, _) -> Some (Trace.to_vcd tr) | None -> None);
   }
+
+let run (t : t) : result =
+  ensure_pipe_stats t;
+  let outcome = ref None in
+  run_loop t ~stop:(fun () -> false) outcome;
+  collect t (match !outcome with Some o -> o | None -> Finished)
+
+let current_cycle t = t.cycle
+
+(* --- Snapshots ----------------------------------------------------------------- *)
+
+(* A deep, closure-free copy of all mutable engine state, suitable for
+   Marshal (the campaign persists baseline snapshots in the artifact
+   store).  Hash tables are flattened to sorted assoc lists so equal
+   states produce structurally equal snapshots; the live [pipe_rt] is
+   referenced by its index in the owning process's pipe table. *)
+type iter_snap = {
+  isn_snapshot : int64 array;
+  isn_ctx : (Ir.reg * int64) list;
+  isn_cyc : int;
+  isn_issued_at : int;
+  isn_pending : (Ir.reg * int64 * int) list;
+}
+
+type pipe_snap = {
+  psn_pipe : int;  (** index into the process's [Fsmd.pipes] *)
+  psn_countdown : int;
+  psn_done_issuing : bool;
+  psn_inflight : iter_snap list;
+  psn_issue_times : int list;
+  psn_latencies : int list;
+  psn_final_writes : (Ir.reg * int64) list;
+  psn_stats_idx : int;
+}
+
+type mode_snap = Snap_seq | Snap_pipe of pipe_snap | Snap_halted
+
+type proc_snap = {
+  sp_regs : int64 array;
+  sp_state : int;
+  sp_mode : mode_snap;
+  sp_brams : (string * Bram.t) list;  (** deep copies *)
+  sp_ext_pending : (Ir.reg * int64 * int) list;
+  sp_entry_taps_fired : bool;
+}
+
+type snapshot = {
+  sn_cycle : int;
+  sn_activity : bool;
+  sn_progressed : bool;
+  sn_last_progress : int;
+  sn_tap_count : int;
+  sn_pending_failures : (int * string * int64) list;
+  sn_host_log : string list;
+  sn_fifos : (string * Fifo.t) list;  (** deep copies *)
+  sn_drained : (string * int64 list) list;  (** newest first, as stored *)
+  sn_feeds_left : (string * int64 list) list;
+  sn_procs : proc_snap list;  (** in [t.procs] order *)
+  sn_pipe_stats : pipe_stats array;
+  sn_deadlines : (timing_check * int) list;
+  sn_timing_violations : (string * int) list;
+}
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let snapshot (t : t) : snapshot =
+  let snap_iter (it : iter) =
+    {
+      isn_snapshot = Array.copy it.snapshot;
+      isn_ctx = sorted_bindings it.ctx;
+      isn_cyc = it.cyc;
+      isn_issued_at = it.issued_at;
+      isn_pending = it.pending;
+    }
+  in
+  let snap_proc (p : pr) =
+    let sp_mode =
+      match p.mode with
+      | Seq -> Snap_seq
+      | Halted -> Snap_halted
+      | Pipe rt ->
+          let idx = ref (-1) in
+          Array.iteri (fun i q -> if q == rt.pipe then idx := i) p.fsmd.Fsmd.pipes;
+          Snap_pipe
+            {
+              psn_pipe = !idx;
+              psn_countdown = rt.countdown;
+              psn_done_issuing = rt.done_issuing;
+              psn_inflight = List.map snap_iter rt.inflight;
+              psn_issue_times = rt.issue_times;
+              psn_latencies = rt.latencies;
+              psn_final_writes = sorted_bindings rt.final_writes;
+              psn_stats_idx = rt.stats_idx;
+            }
+    in
+    {
+      sp_regs = Array.copy p.regs;
+      sp_state = p.state;
+      sp_mode;
+      sp_brams =
+        Hashtbl.fold (fun n b acc -> (n, Bram.copy b) :: acc) p.brams []
+        |> List.sort compare;
+      sp_ext_pending = p.ext_pending;
+      sp_entry_taps_fired = p.entry_taps_fired;
+    }
+  in
+  {
+    sn_cycle = t.cycle;
+    sn_activity = t.activity;
+    sn_progressed = t.progressed;
+    sn_last_progress = t.last_progress;
+    sn_tap_count = t.tap_count;
+    sn_pending_failures = t.pending_failures;
+    sn_host_log = t.host_log;
+    sn_fifos =
+      Hashtbl.fold (fun n f acc -> (n, Fifo.copy f) :: acc) t.fifos []
+      |> List.sort compare;
+    sn_drained =
+      Hashtbl.fold (fun s acc l -> (s, !acc) :: l) t.drained [] |> List.sort compare;
+    sn_feeds_left =
+      Hashtbl.fold (fun s vs l -> (s, !vs) :: l) t.feeds_left [] |> List.sort compare;
+    sn_procs = List.map snap_proc t.procs;
+    sn_pipe_stats = Array.copy t.pipe_stats;
+    sn_deadlines = t.deadlines;
+    sn_timing_violations = t.timing_violations;
+  }
+
+(* Restoring never aliases snapshot-owned arrays or tables, so one
+   snapshot can seed any number of runs. *)
+let restore (t : t) (s : snapshot) =
+  t.cycle <- s.sn_cycle;
+  t.activity <- s.sn_activity;
+  t.progressed <- s.sn_progressed;
+  t.last_progress <- s.sn_last_progress;
+  t.tap_count <- s.sn_tap_count;
+  t.pending_failures <- s.sn_pending_failures;
+  t.host_log <- s.sn_host_log;
+  List.iter (fun (n, saved) -> Fifo.restore (fifo t n) ~saved) s.sn_fifos;
+  List.iter
+    (fun (n, l) ->
+      match Hashtbl.find_opt t.drained n with
+      | Some r -> r := l
+      | None -> Hashtbl.replace t.drained n (ref l))
+    s.sn_drained;
+  Hashtbl.reset t.feeds_left;
+  List.iter (fun (n, l) -> Hashtbl.replace t.feeds_left n (ref l)) s.sn_feeds_left;
+  (if List.length t.procs <> List.length s.sn_procs then
+     raise (Sim_failure "snapshot restore: process count mismatch"));
+  List.iter2
+    (fun (p : pr) (sp : proc_snap) ->
+      (if Array.length p.regs <> Array.length sp.sp_regs then
+         raise (Sim_failure "snapshot restore: register file mismatch"));
+      Array.blit sp.sp_regs 0 p.regs 0 (Array.length p.regs);
+      p.state <- sp.sp_state;
+      (p.mode <-
+         (match sp.sp_mode with
+         | Snap_seq -> Seq
+         | Snap_halted -> Halted
+         | Snap_pipe ps ->
+             let pipe = p.fsmd.Fsmd.pipes.(ps.psn_pipe) in
+             let final_writes = Hashtbl.create 16 in
+             List.iter (fun (r, v) -> Hashtbl.replace final_writes r v) ps.psn_final_writes;
+             Pipe
+               {
+                 pipe;
+                 countdown = ps.psn_countdown;
+                 done_issuing = ps.psn_done_issuing;
+                 inflight =
+                   List.map
+                     (fun isn ->
+                       let ctx = Hashtbl.create 8 in
+                       List.iter (fun (r, v) -> Hashtbl.replace ctx r v) isn.isn_ctx;
+                       {
+                         snapshot = Array.copy isn.isn_snapshot;
+                         ctx;
+                         cyc = isn.isn_cyc;
+                         issued_at = isn.isn_issued_at;
+                         pending = isn.isn_pending;
+                       })
+                     ps.psn_inflight;
+                 issue_times = ps.psn_issue_times;
+                 latencies = ps.psn_latencies;
+                 final_writes;
+                 stats_idx = ps.psn_stats_idx;
+               }));
+      List.iter (fun (n, saved) -> Bram.restore (Hashtbl.find p.brams n) ~saved) sp.sp_brams;
+      p.ext_pending <- sp.sp_ext_pending;
+      p.entry_taps_fired <- sp.sp_entry_taps_fired)
+    t.procs s.sn_procs;
+  t.pipe_stats <- Array.copy s.sn_pipe_stats;
+  t.deadlines <- s.sn_deadlines;
+  t.timing_violations <- s.sn_timing_violations
+
+(* Patch named registers in place (same binding shape as [cfg.params]).
+   Used to arm padded fault sites after a restore: the fault registers
+   are never written by the program, but pipelined iterations in flight
+   hold frozen register copies — patch those too. *)
+let arm (t : t) (params : (string * (string * int64) list) list) =
+  List.iter
+    (fun (p : pr) ->
+      match List.assoc_opt p.fsmd.Fsmd.proc.Ir.name params with
+      | None -> ()
+      | Some bindings ->
+          List.iter
+            (fun (r, (info : Ir.reg_info)) ->
+              match info.Ir.origin with
+              | Some name -> (
+                  match List.assoc_opt name bindings with
+                  | Some v ->
+                      let v' = Value.wrap_ty info.Ir.rty v in
+                      p.regs.(r) <- v';
+                      (match p.mode with
+                      | Pipe rt ->
+                          List.iter
+                            (fun it ->
+                              if r < Array.length it.snapshot then it.snapshot.(r) <- v';
+                              Hashtbl.remove it.ctx r)
+                            rt.inflight
+                      | _ -> ())
+                  | None -> ())
+              | None -> ())
+            p.fsmd.Fsmd.proc.Ir.regs)
+    t.procs
 
 (** Convenience: build and run in one call. *)
 let simulate ?cfg ~streams ~fsmds ?(checkers = []) () =

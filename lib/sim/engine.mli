@@ -66,9 +66,17 @@ type config = {
           tap execution before the checkers evaluate — lets a model
           checker compare its predicted fire schedule against the
           engine cycle for cycle *)
+  on_site : (int -> int -> unit) option;
+      (** fault-site activity observer, called as [f cycle site] when a
+          marker tap with id [marker_base + site] executes.  Markers
+          bypass checkers, deadlines and the watchdog's tap count. *)
 }
 
 val default_config : config
+
+(** Tap ids at or above this base are fault-site activity markers, not
+    assertions; they are invisible to checkers and statistics. *)
+val marker_base : int
 
 type pipe_stats = {
   ps_proc : string;
@@ -120,6 +128,35 @@ val create :
 
 (** Run to completion (or hang / abort / cycle budget). *)
 val run : t -> result
+
+(** Run forward until the start of [cycle] (cycles [0..cycle-1] have
+    executed and committed).  Returns [Some outcome] if the design
+    terminated first, [None] when paused at the target; a later {!run}
+    (or {!run_until}) continues from exactly that state. *)
+val run_until : t -> cycle:int -> outcome option
+
+(** Cycles executed so far. *)
+val current_cycle : t -> int
+
+(** A deep, closure-free copy of all mutable engine state — safe to
+    [Marshal] and to restore any number of times.  Snapshots only make
+    sense against an engine built from the same streams/FSMDs/config
+    shape (tracing engines are not supported). *)
+type snapshot
+
+val snapshot : t -> snapshot
+
+(** Overwrite the engine's state with the snapshot's.  The snapshot is
+    never aliased: one snapshot can seed many runs.
+    @raise Sim_failure on a shape mismatch (wrong design). *)
+val restore : t -> snapshot -> unit
+
+(** [arm t params] patches named registers in place, using the same
+    [(process, (origin_name, value) list)] binding shape as
+    [cfg.params].  Pipelined iterations in flight have their frozen
+    register copies patched too — intended for fault-pad registers,
+    which the program itself never writes. *)
+val arm : t -> (string * (string * int64) list) list -> unit
 
 (** [simulate] = {!create} + {!run}. *)
 val simulate :

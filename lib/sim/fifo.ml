@@ -53,3 +53,16 @@ let commit f =
 
 (** Values still enqueued (visible ones first). *)
 let contents f = List.of_seq (Queue.to_seq f.q) @ List.of_seq (Queue.to_seq f.staged)
+
+(** Deep copy (for engine snapshots). *)
+let copy f = { f with q = Queue.copy f.q; staged = Queue.copy f.staged }
+
+(** Overwrite [f]'s state with [saved]'s; [saved] is left untouched. *)
+let restore f ~saved =
+  Queue.clear f.q;
+  Queue.iter (fun v -> Queue.add v f.q) saved.q;
+  Queue.clear f.staged;
+  Queue.iter (fun v -> Queue.add v f.staged) saved.staged;
+  f.pushes <- saved.pushes;
+  f.pops <- saved.pops;
+  f.max_occupancy <- saved.max_occupancy

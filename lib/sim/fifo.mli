@@ -43,3 +43,10 @@ val commit : t -> unit
 
 (** Values still enqueued, oldest first (committed before staged). *)
 val contents : t -> int64 list
+
+(** Deep copy (engine snapshots). *)
+val copy : t -> t
+
+(** Overwrite a live FIFO's state from a saved copy; the copy is left
+    untouched, so one snapshot can seed many restores. *)
+val restore : t -> saved:t -> unit

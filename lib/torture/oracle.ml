@@ -2,6 +2,7 @@
 
 module Driver = Core.Driver
 module Engine = Sim.Engine
+module Fault = Faults.Fault
 
 type dclass =
   | Output_mismatch
@@ -76,23 +77,102 @@ let proved_ids (analysis : Analysis.Absint.result) =
          if v.vclass = Analysis.Absint.Proved then [ i ] else [])
        analysis.verdicts)
 
+(* How one circuit leg carries its faults.  [Legacy] injects them into
+   the lowered IR and simulates from reset — the original path, kept
+   for fault-free legs, multi-fault lists (sequential [Fault.apply_all]
+   renumbers later sites) and faults with no enumerated twin.  [Padded]
+   is the campaign's fork-point path: the all-sites-padded design
+   compiled once, the fault realized by arming its pad at the site's
+   first activation instead of re-simulating the shared prefix under a
+   separate mutant compile. *)
+type leg =
+  | Legacy of Driver.compiled
+  | Padded of { p_compiled : Driver.compiled; p_site : Fault.site }
+
+let compile_leg ~from_reset ~faults ~strategy prog =
+  match faults with
+  | [] -> Legacy (Driver.compile ~strategy prog)
+  | _ when from_reset -> Legacy (Driver.compile ~strategy ~faults prog)
+  | [ fault ] -> (
+      let front = Driver.front ~strategy prog in
+      let inst = Fault.instrument_all front.Driver.f_ir in
+      match
+        List.find_opt
+          (fun (s : Fault.site) -> s.Fault.s_padded && s.Fault.s_fault = fault)
+          inst.Fault.ip_sites
+      with
+      | Some site ->
+          Padded
+            {
+              p_compiled =
+                Driver.finish { front with Driver.f_ir = inst.Fault.ip_prog };
+              p_site = site;
+            }
+      | None -> Legacy (Driver.finish ~faults front))
+  | _ -> Legacy (Driver.compile ~strategy ~faults prog)
+
+(* Simulate one leg; returns the result plus the cycle budget actually
+   applied (for the Out_of_cycles detail).  A padded leg runs the
+   unarmed design once, recording when the armed site first activates;
+   if it never does, arming could not change anything the run executed,
+   so the unarmed run *is* the faulted run.  Otherwise the shared
+   prefix is replayed to the activation cycle, the pad armed there, and
+   the run finished under a budget trimmed to the cycle-ratio bound —
+   past [ratio_bound]x the unarmed cycles + slack the classification is
+   Cycle_blowup either way, so simulating on to [max_cycles] buys
+   nothing but wall-clock. *)
+let simulate_leg ~options leg : Driver.sim_result * int =
+  match leg with
+  | Legacy c -> (Driver.simulate ~options c, options.Driver.max_cycles)
+  | Padded { p_compiled = c; p_site = site } -> (
+      let act = ref (-1) in
+      let on_site cycle idx =
+        if idx = site.Fault.s_index && !act < 0 then act := cycle
+      in
+      let ses = Driver.prepare ~options ~on_site c in
+      let base = Driver.session_result ses (Engine.run ses.Driver.ses_engine) in
+      if !act < 0 then (base, options.Driver.max_cycles)
+      else
+        let budget =
+          match base.Driver.engine.Engine.outcome with
+          | Engine.Finished ->
+              min options.Driver.max_cycles
+                ((ratio_bound * base.Driver.engine.Engine.cycles) + ratio_slack)
+          | _ -> options.Driver.max_cycles
+        in
+        let options = { options with Driver.max_cycles = budget } in
+        let arm ses =
+          Engine.arm ses.Driver.ses_engine [ (site.Fault.s_proc, site.Fault.s_arm) ]
+        in
+        let ses = Driver.prepare ~options c in
+        match Engine.run_until ses.Driver.ses_engine ~cycle:!act with
+        | None ->
+            arm ses;
+            (Driver.session_result ses (Engine.run ses.Driver.ses_engine), budget)
+        | Some _ ->
+            (* unreachable — the unarmed run got past this cycle — but
+               arming from reset is always a faithful fallback *)
+            let ses = Driver.prepare ~options c in
+            arm ses;
+            (Driver.session_result ses (Engine.run ses.Driver.ses_engine), budget))
+
 (* One strategy's circuit run compared against the golden software run.
    Returns the divergences it alone exhibits plus its finished cycle
    count (for the ratio check, applied by the caller). *)
-let check_strategy ~options ~sw ~golden_drained ~proved ~faults ~prog
+let check_strategy ~options ~sw ~golden_drained ~proved ~from_reset ~faults ~prog
     (sname, strategy) =
-  match Driver.compile ~strategy ~faults prog with
+  match compile_leg ~from_reset ~faults ~strategy prog with
   | exception e ->
       ( [ { dclass = Crash; strategy = sname;
             detail = exn_detail "compile" e } ],
         None )
-  | c -> (
-      match Driver.simulate ~options c with
+  | leg -> (
+      match simulate_leg ~options leg with
       | exception e ->
           ( [ { dclass = Crash; strategy = sname;
                 detail = exn_detail "simulate" e } ],
             None )
-      | r ->
+      | r, budget ->
           let eng = r.Driver.engine in
           let fired_proved =
             List.filter (fun id -> List.mem id proved) r.Driver.failed_assertions
@@ -164,7 +244,7 @@ let check_strategy ~options ~sw ~golden_drained ~proved ~faults ~prog
                   ( [ { dclass = Cycle_blowup; strategy = sname;
                         detail =
                           Printf.sprintf "still running at the %d-cycle budget"
-                            options.Driver.max_cycles } ],
+                            budget } ],
                     None )
             | Engine.Sim_error m ->
                 ( [ { dclass = Crash; strategy = sname;
@@ -203,7 +283,7 @@ let bmc_cross_check ~depth ~proved ~(absint : Analysis.Absint.result) prog =
               | _ -> []))
         proved
 
-let check ?(strategies = default_strategies) ?(faults = [])
+let check ?(strategies = default_strategies) ?(faults = []) ?(from_reset = false)
     ?(max_cycles = default_max_cycles) ?(watchdog = default_watchdog) ?bmc_depth
     prog =
   (* Re-inject through the printer and parser: real locations, and the
@@ -242,7 +322,9 @@ let check ?(strategies = default_strategies) ?(faults = [])
             bmc_cross_check ~depth ~proved ~absint prog
         | _ -> []
       in
-      match Driver.compile ~strategy:Driver.baseline ~faults prog with
+      (* Faults never reach the golden software run, so the compile
+         backing it stays unfaulted. *)
+      match Driver.compile ~strategy:Driver.baseline prog with
       | exception e ->
           {
             source;
@@ -303,7 +385,9 @@ let check ?(strategies = default_strategies) ?(faults = [])
             let per_strategy =
               List.map
                 (fun s ->
-                  (s, check_strategy ~options ~sw ~golden_drained ~proved ~faults ~prog s))
+                  ( s,
+                    check_strategy ~options ~sw ~golden_drained ~proved ~from_reset
+                      ~faults ~prog s ))
                 strategies
             in
             let baseline_cycles =

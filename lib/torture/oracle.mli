@@ -69,11 +69,23 @@ val default_watchdog : int  (** 500 *)
     BMC counterexample for a proved assertion is a {!Proved_fired}
     divergence with strategy ["bmc"] — a genuine verifier bug, since
     both sides over-approximate the same semantics.  (Skipped under
-    fault injection: BMC models the unfaulted design.)  Never raises:
-    toolchain failures classify as {!Crash}. *)
+    fault injection: BMC models the unfaulted design.)
+
+    A single fault with an enumerated padded twin is evaluated through
+    the campaign's fork-point path: compile the all-sites-padded design
+    once, run it unarmed to find the site's first activation, then
+    replay the shared prefix with the pad armed under a cycle budget
+    trimmed to the ratio bound.  [from_reset] (default [false]) is the
+    escape hatch: inject every fault into a separate compile and
+    simulate from cycle zero, the pre-split-stream behaviour.  The
+    divergence classes agree between the two paths (details such as
+    cycle counts may differ — padding perturbs the schedule).
+
+    Never raises: toolchain failures classify as {!Crash}. *)
 val check :
   ?strategies:(string * Core.Driver.strategy) list ->
   ?faults:Faults.Fault.t list ->
+  ?from_reset:bool ->
   ?max_cycles:int ->
   ?watchdog:int ->
   ?bmc_depth:int ->

@@ -141,6 +141,100 @@ let test_cache_compile_equals_driver_compile () =
   check tint "identical ALUTs" direct.Driver.area.Rtl.Area.aluts
     cached.Driver.area.Rtl.Area.aluts
 
+(* --- disk tier ----------------------------------------------------------- *)
+
+let with_disk_cache f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "inca-cache-test-%d-%.0f" (Unix.getpid ())
+         (Unix.gettimeofday () *. 1e6))
+  in
+  Cache.set_dir (Some dir);
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.clear_disk ();
+      (try Sys.rmdir dir with _ -> ());
+      Cache.set_dir None;
+      Cache.reset_memory ())
+    (fun () -> f dir)
+
+let test_disk_cache_warm_hit_across_processes () =
+  (* entries are keyed by the producing executable's digest; dropping
+     the in-memory tier is exactly what a new process of this binary
+     sees, so a second "process" must warm-start from disk *)
+  with_disk_cache (fun _dir ->
+      let prog = elab cache_source in
+      Cache.reset_memory ();
+      ignore (Cache.front ~strategy:Driver.optimized prog);
+      let s = Cache.stats () in
+      check tint "cold run misses the disk too" 1 s.Cache.disk_misses;
+      (match Cache.disk_stats () with
+      | Some d -> check tbool "entry persisted" true (d.Cache.entries >= 1)
+      | None -> Alcotest.fail "disk tier should be enabled");
+      Cache.reset_memory ();
+      ignore (Cache.front ~strategy:Driver.optimized prog);
+      let s = Cache.stats () in
+      check tint "warm run loads from disk" 1 s.Cache.disk_hits;
+      check tint "no disk miss on the warm run" 0 s.Cache.disk_misses)
+
+let test_disk_cache_blob_roundtrip () =
+  with_disk_cache (fun _dir ->
+      Cache.reset_memory ();
+      Cache.store_blob ~kind:"test" ~key:"k1" [ 1; 2; 3 ];
+      check tbool "blob round-trips" true
+        (Cache.load_blob ~kind:"test" ~key:"k1" = Some [ 1; 2; 3 ]);
+      check tbool "absent blob is a miss, not an error" true
+        (Cache.load_blob ~kind:"test" ~key:"absent" = (None : int list option)))
+
+let test_disk_cache_corruption_is_a_miss () =
+  with_disk_cache (fun dir ->
+      Cache.reset_memory ();
+      Cache.store_blob ~kind:"test" ~key:"victim" "payload";
+      (* truncate the entry mid-header *)
+      let path =
+        match Sys.readdir dir |> Array.to_list with
+        | [ one ] -> Filename.concat dir one
+        | files ->
+            List.find
+              (fun f -> Filename.check_suffix f ".bin")
+              (List.map (Filename.concat dir) files)
+      in
+      let oc = open_out_gen [ Open_wronly; Open_trunc ] 0o644 path in
+      output_string oc "INCA";
+      close_out oc;
+      check tbool "truncated entry reads as a miss" true
+        (Cache.load_blob ~kind:"test" ~key:"victim" = (None : string option));
+      (* overwrite with garbage of plausible length *)
+      let oc = open_out_bin path in
+      output_string oc (String.make 256 '\xff');
+      close_out oc;
+      check tbool "garbage entry reads as a miss" true
+        (Cache.load_blob ~kind:"test" ~key:"victim" = (None : string option)))
+
+let test_disk_cache_gc_and_clear () =
+  with_disk_cache (fun _dir ->
+      Cache.reset_memory ();
+      for i = 1 to 8 do
+        Cache.store_blob ~kind:"test"
+          ~key:(Printf.sprintf "k%d" i)
+          (String.make 1024 'x')
+      done;
+      let before =
+        match Cache.disk_stats () with Some d -> d | None -> Alcotest.fail "enabled"
+      in
+      check tint "eight entries" 8 before.Cache.entries;
+      let removed = Cache.gc ~max_bytes:(before.Cache.bytes / 2) in
+      check tbool "gc evicted something" true (removed > 0);
+      let after =
+        match Cache.disk_stats () with Some d -> d | None -> Alcotest.fail "enabled"
+      in
+      check tbool "gc respects the byte bound" true
+        (after.Cache.bytes <= before.Cache.bytes / 2);
+      Cache.clear_disk ();
+      match Cache.disk_stats () with
+      | Some d -> check tint "clear empties the store" 0 d.Cache.entries
+      | None -> Alcotest.fail "enabled")
+
 (* --- end-to-end determinism ---------------------------------------------- *)
 
 (* dune runtest runs tests from the test dir; dune exec from the root —
@@ -194,6 +288,15 @@ let () =
             test_cache_distinct_fronts_per_strategy;
           Alcotest.test_case "compile equals Driver.compile" `Quick
             test_cache_compile_equals_driver_compile;
+        ] );
+      ( "disk",
+        [
+          Alcotest.test_case "warm hit across processes" `Quick
+            test_disk_cache_warm_hit_across_processes;
+          Alcotest.test_case "blob round-trip" `Quick test_disk_cache_blob_roundtrip;
+          Alcotest.test_case "corruption is a miss" `Quick
+            test_disk_cache_corruption_is_a_miss;
+          Alcotest.test_case "gc and clear" `Quick test_disk_cache_gc_and_clear;
         ] );
       ( "determinism",
         [

@@ -428,6 +428,43 @@ let test_campaign_render_and_json () =
   check tbool "json quotes classes" true
     (has_sub ~sub:"\"class\"" json)
 
+(* Fork-point evaluation must classify every mutant exactly like the
+   from-reset path, at every job count — the whole optimization rests
+   on this invariant (CI gates it on the bundled workloads too). *)
+let test_campaign_fork_matches_from_reset () =
+  let w = micro_workload () in
+  let classes mode jobs =
+    let config =
+      { Campaign.default_config with Campaign.mode; jobs = Some jobs }
+    in
+    Campaign.render_classes (Campaign.run ~config [ w ])
+  in
+  let reset = classes Campaign.From_reset 1 in
+  check tbool "classification map is non-empty" true (String.length reset > 0);
+  List.iter
+    (fun jobs ->
+      check tbool
+        (Printf.sprintf "fork jobs=%d matches from-reset" jobs)
+        true
+        (classes Campaign.Fork jobs = reset))
+    [ 1; 4 ]
+
+let test_campaign_static_prefilter_prunes () =
+  (* micro's stream write is [buf[i % 4] * 2] — always even — so the
+     stuck-at-0 bit-0 mutant is provably an identity and must be
+     pruned (classified Benign without simulating), in both modes *)
+  let w = micro_workload () in
+  let run_mode mode =
+    Campaign.run ~config:{ Campaign.default_config with Campaign.mode } [ w ]
+  in
+  let fork = run_mode Campaign.Fork in
+  let reset = run_mode Campaign.From_reset in
+  check tbool "some mutants pruned statically" true (fork.Campaign.pruned_static > 0);
+  check tint "both modes prune identically" fork.Campaign.pruned_static
+    reset.Campaign.pruned_static;
+  check tbool "json reports the pruned count" true
+    (has_sub ~sub:"\"pruned_static\"" (Campaign.render_json fork))
+
 (* --- notification routing ------------------------------------------------------ *)
 
 let two_proc_source =
@@ -520,6 +557,10 @@ let () =
           Alcotest.test_case "detection monotone" `Quick test_campaign_detection_monotone;
           Alcotest.test_case "cap is round-robin" `Quick test_campaign_cap_round_robin;
           Alcotest.test_case "render + json" `Quick test_campaign_render_and_json;
+          Alcotest.test_case "fork matches from-reset" `Quick
+            test_campaign_fork_matches_from_reset;
+          Alcotest.test_case "static pre-filter prunes" `Quick
+            test_campaign_static_prefilter_prunes;
         ] );
       ( "notify",
         [

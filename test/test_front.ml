@@ -353,6 +353,7 @@ let bundled_app_sources () =
     ("dct", Apps.Dct_src.source ());
     ("des3", Apps.Des_src.demo_source ());
     ("edge", Apps.Edge_src.demo_source ());
+    ("pulse", Apps.Pulse_src.source ());
   ]
 
 let test_roundtrip_bundled_apps () =

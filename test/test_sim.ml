@@ -118,6 +118,87 @@ let run ?(feeds = []) ?(drains = []) ?(params = []) ?(hw_models = [])
     ~options:{ Core.Driver.feeds; drains; params; hw_models; max_cycles; timing_checks = []; trace = false; watchdog = None }
     compiled
 
+(* --- Snapshot / restore --------------------------------------------------------- *)
+
+(* A design exercising everything a snapshot must capture: a BRAM, a
+   pipelined loop with in-flight iterations, stream state, and an
+   assertion tap. *)
+let snapshot_src =
+  {| stream int32 inp depth 8; stream int32 out depth 8;
+     process hw main(int32 n) {
+       int32 acc[4];
+       int32 i;
+       #pragma pipeline
+       for (i = 0; i < n; i = i + 1) {
+         int32 x;
+         x = stream_read(inp);
+         assert(x < 1000);
+         acc[i % 4] = acc[i % 4] + x;
+         stream_write(out, acc[i % 4]);
+       }
+     } |}
+
+let snapshot_options n =
+  {
+    Core.Driver.default_sim_options with
+    Core.Driver.feeds = [ ("inp", List.init n (fun i -> Int64.of_int (i + 3))) ];
+    drains = [ "out" ];
+    params = [ ("main", [ ("n", Int64.of_int n) ]) ];
+    max_cycles = 100_000;
+  }
+
+let same_result (a : Engine.result) (b : Engine.result) =
+  a.Engine.outcome = b.Engine.outcome
+  && a.Engine.cycles = b.Engine.cycles
+  && a.Engine.drained = b.Engine.drained
+  && a.Engine.fifo_stats = b.Engine.fifo_stats
+  && a.Engine.tap_events = b.Engine.tap_events
+  && a.Engine.host_log = b.Engine.host_log
+
+let test_snapshot_restore_roundtrip () =
+  let n = 24 in
+  let c = compile snapshot_src Core.Driver.optimized in
+  let options = snapshot_options n in
+  let reference =
+    let ses = Core.Driver.prepare ~options c in
+    Engine.run ses.Core.Driver.ses_engine
+  in
+  check tbool "reference run finishes" true
+    (reference.Engine.outcome = Engine.Finished);
+  let mid = reference.Engine.cycles / 2 in
+  let ses = Core.Driver.prepare ~options c in
+  let e = ses.Core.Driver.ses_engine in
+  check tbool "paused mid-run" true (Engine.run_until e ~cycle:mid = None);
+  check tint "paused at the requested cycle" mid (Engine.current_cycle e);
+  let snap = Engine.snapshot e in
+  (* run the engine to completion, corrupting all post-[mid] state... *)
+  let first = Engine.run e in
+  check tbool "continuation equals the uninterrupted run" true
+    (same_result reference first);
+  (* ...then rewind and replay: every field must match again *)
+  Engine.restore e snap;
+  check tint "restore rewinds the clock" mid (Engine.current_cycle e);
+  let second = Engine.run e in
+  check tbool "replay after restore equals the uninterrupted run" true
+    (same_result reference second)
+
+let test_snapshot_is_deep () =
+  let n = 16 in
+  let c = compile snapshot_src Core.Driver.baseline in
+  let options = snapshot_options n in
+  let ses = Core.Driver.prepare ~options c in
+  let e = ses.Core.Driver.ses_engine in
+  ignore (Engine.run_until e ~cycle:5);
+  let snap = Engine.snapshot e in
+  (* mutating the live engine must not leak into the snapshot *)
+  ignore (Engine.run e);
+  Engine.restore e snap;
+  check tint "snapshot unaffected by later simulation" 5 (Engine.current_cycle e);
+  let r = Engine.run e in
+  check tbool "replay still completes" true (r.Engine.outcome = Engine.Finished)
+
+(* --- Engine basics (cont.) ------------------------------------------------------ *)
+
 let test_engine_basic_dataflow () =
   let c =
     compile
@@ -763,6 +844,11 @@ let () =
           Alcotest.test_case "port accounting" `Quick test_bram_port_accounting;
           Alcotest.test_case "ROM init" `Quick test_bram_init;
           Alcotest.test_case "mirror write port" `Quick test_bram_mirror_write_no_port;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "restore round-trip" `Quick test_snapshot_restore_roundtrip;
+          Alcotest.test_case "deep copy" `Quick test_snapshot_is_deep;
         ] );
       ( "engine",
         [

@@ -492,7 +492,7 @@ let campaign_bench () =
   in
   let report, _, dt, stats = timed_campaign ~mode:Campaign.Fork ~jobs workloads in
   print_endline (Campaign.render report);
-  if Campaign.render_json report <> Campaign.render_json serial_report then begin
+  if Json.to_string (Campaign.json_of report) <> Json.to_string (Campaign.json_of serial_report) then begin
     Printf.eprintf "  DETERMINISM VIOLATION: %d-domain report differs from serial\n" jobs;
     exit 1
   end;
@@ -534,7 +534,7 @@ let campaign_bench () =
     n dt serial_dt dt jobs speedup mps reset_dt reset_mps fork_speedup
     report.Campaign.pruned_static stats.Exec.Cache.hits stats.Exec.Cache.misses
     stats.Exec.Cache.disk_hits stats.Exec.Cache.disk_misses
-    (Campaign.render_json report);
+    (Json.to_string (Campaign.json_of report));
   close_out oc;
   print_endline "  wrote BENCH_campaign.json"
 
@@ -613,7 +613,8 @@ let mine_bench () =
     "{\"elapsed_seconds\": %.3f, \"survivors\": %d, \"marginal_detections\": %d, \
      \"jobs\": %d, \"cache_hits\": %d, \"cache_misses\": %d, \"workloads\": [%s]}\n"
     dt total_survivors total_marginal jobs stats.Exec.Cache.hits stats.Exec.Cache.misses
-    (String.concat ", " (List.map (Mine.Rank.render_json ~top:5) results));
+    (String.concat ", "
+       (List.map (fun r -> Json.to_string (Mine.Rank.json_of ~top:5 r)) results));
   close_out oc;
   print_endline "  wrote BENCH_mine.json"
 
@@ -739,8 +740,8 @@ let prove_bench () =
     (fun (name, r) ->
       let serial = prove_file ~jobs:1 name in
       if
-        Analysis.Verdict.render_json ~file:name r
-        <> Analysis.Verdict.render_json ~file:name serial
+        Json.to_string (Analysis.Verdict.json_of ~file:name r)
+        <> Json.to_string (Analysis.Verdict.json_of ~file:name serial)
       then begin
         Printf.eprintf
           "  DETERMINISM VIOLATION: %s prove report differs from serial\n" name;
@@ -830,7 +831,7 @@ let prove_bench () =
        (List.map
           (fun (name, r) ->
             Printf.sprintf "{\"name\": \"%s\", \"report\": %s}" name
-              (String.trim (Analysis.Verdict.render_json ~file:name r)))
+              (String.trim (Json.to_string (Analysis.Verdict.json_of ~file:name r))))
           reports));
   close_out oc;
   print_endline "  wrote BENCH_prove.json"
@@ -853,7 +854,7 @@ let torture_bench () =
   let t0 = Unix.gettimeofday () in
   let clean = Torture.Fuzz.run ~jobs ~seed:42L ~count () in
   let dt = Unix.gettimeofday () -. t0 in
-  if Torture.Fuzz.render_json clean <> Torture.Fuzz.render_json serial then begin
+  if Json.to_string (Torture.Fuzz.json_of clean) <> Json.to_string (Torture.Fuzz.json_of serial) then begin
     Printf.eprintf "  DETERMINISM VIOLATION: %d-domain fuzz report differs from serial\n" jobs;
     exit 1
   end;
@@ -936,10 +937,109 @@ let torture_bench () =
             Printf.sprintf
               "{\"orig_lines\": %d, \"min_lines\": %d, \"ratio\": %.2f}" o m r)
           ratios))
-    (Torture.Fuzz.render_json clean)
-    (Torture.Fuzz.render_json faulty);
+    (Json.to_string (Torture.Fuzz.json_of clean))
+    (Json.to_string (Torture.Fuzz.json_of faulty));
   close_out oc;
   print_endline "  wrote BENCH_torture.json"
+
+(* --- Serve daemon: job throughput, shard-merge determinism, warm cache ------------- *)
+
+let serve_bench () =
+  section "Serve daemon: jobs/sec warm vs cold, shard determinism, cache reuse";
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "inca-bench-%d.sock" (Unix.getpid ()))
+  in
+  Exec.Cache.reset_memory ();
+  let t = Serve.Server.start ~socket () in
+  let submit job =
+    match Serve.Server.request ~socket job with
+    | Ok (report, cache) -> (report, cache)
+    | Error e ->
+        Printf.eprintf "  SERVE FAILURE: %s\n" e;
+        Serve.Server.stop t;
+        exit 1
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* check-job throughput: the first request compiles cold, repeats hit
+     the daemon's in-process cache *)
+  let check_job =
+    Core.Job.Check
+      {
+        Core.Job.k_sources =
+          [ Core.Job.Text { name = "fir.c"; text = Apps.Fir_src.source () } ];
+        k_strategy = "optimized";
+        k_nabort = false;
+        k_ndebug = false;
+      }
+  in
+  let (cold_rep, _), cold_dt = timed (fun () -> submit check_job) in
+  let warm_n = 5 in
+  let warm_reps, warm_dt =
+    timed (fun () -> List.init warm_n (fun _ -> submit check_job))
+  in
+  List.iter
+    (fun (r, _) ->
+      if Core.Report.to_string r <> Core.Report.to_string cold_rep then begin
+        prerr_endline "  DETERMINISM VIOLATION: warm check report differs from cold";
+        Serve.Server.stop t;
+        exit 1
+      end)
+    warm_reps;
+  let warm_jps = float_of_int warm_n /. warm_dt in
+  let warm_speedup = cold_dt /. (warm_dt /. float_of_int warm_n) in
+  Printf.printf "  check job: cold %.3fs, warm %.1f jobs/sec (%.1fx)\n" cold_dt
+    warm_jps warm_speedup;
+  (* shard-merge determinism over the socket: the same campaign sharded
+     across the pool and forced serial must serialize identically *)
+  let campaign_job jobs =
+    Core.Job.Campaign
+      {
+        Core.Job.a_source =
+          Some (Core.Job.Text { name = "fir.c"; text = Apps.Fir_src.source () });
+        a_stimulus = Core.Job.empty_stimulus;
+        a_budget = None;
+        a_watchdog = None;
+        a_max_mutants = Some 8;
+        a_jobs = jobs;
+        a_from_reset = false;
+        a_max_cycles = 1_000_000;
+      }
+  in
+  let (par_rep, _), par_dt = timed (fun () -> submit (campaign_job None)) in
+  let (ser_rep, _), _ = timed (fun () -> submit (campaign_job (Some 1))) in
+  if Core.Report.to_string par_rep <> Core.Report.to_string ser_rep then begin
+    prerr_endline
+      "  DETERMINISM VIOLATION: sharded campaign report differs from --jobs 1";
+    Serve.Server.stop t;
+    exit 1
+  end;
+  print_endline "  sharded campaign report is byte-identical to --jobs 1";
+  (* cache reuse: resubmitting the same campaign must hit the warm store *)
+  let (_, cache), _ = timed (fun () -> submit (campaign_job None)) in
+  if cache.Serve.Proto.cd_memory_hits + cache.Serve.Proto.cd_disk_hits = 0 then begin
+    prerr_endline "  CACHE VIOLATION: resubmitted campaign hit the cache zero times";
+    Serve.Server.stop t;
+    exit 1
+  end;
+  Printf.printf "  resubmitted campaign: %d memory hit(s), %d disk hit(s)\n"
+    cache.Serve.Proto.cd_memory_hits cache.Serve.Proto.cd_disk_hits;
+  Serve.Server.stop t;
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\"check_cold_seconds\": %.3f, \"check_warm_jobs_per_second\": %.1f, \
+     \"check_warm_speedup\": %.3f, \"campaign_seconds\": %.3f, \
+     \"shard_determinism\": \"ok\", \"campaign_memory_hits\": %d, \
+     \"campaign_disk_hits\": %d}\n"
+    cold_dt warm_jps warm_speedup par_dt cache.Serve.Proto.cd_memory_hits
+    cache.Serve.Proto.cd_disk_hits;
+  close_out oc;
+  print_endline "  wrote BENCH_serve.json"
 
 (* --- Bechamel micro-benchmarks ------------------------------------------------------ *)
 
@@ -1029,6 +1129,7 @@ let artifacts =
     ("check", check_bench);
     ("prove", prove_bench);
     ("torture", torture_bench);
+    ("serve", serve_bench);
     ("bechamel", bechamel);
   ]
 

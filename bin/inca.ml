@@ -10,6 +10,15 @@
      inca mine app.c --top 5          # mine invariants, rank by mutant kills
      inca check app.c                 # scheduler invariant lint
      inca fuzz --seed 42 --count 200  # differential torture test + auto-shrink
+     inca serve --socket inca.sock    # batch verification daemon
+     inca submit --socket inca.sock job.json
+     inca jobs                        # print the job/report protocol schema
+
+   The verification subcommands (compile, check, prove, campaign, mine,
+   fuzz) are thin adapters: each builds a {!Core.Job}, hands it to
+   {!Serve.Sched.run}, and renders the resulting {!Core.Report} — the
+   same path every daemon request takes, so [--json] output and a
+   served job's report are the same bytes.
 
    Flag plumbing shared between subcommands (strategy selection,
    testbench stimulus, sweep caps, --jobs) lives in {!Cli}.
@@ -20,44 +29,38 @@
 
 open Cmdliner
 
-let report (c : Core.Driver.compiled) =
-  let a = c.Core.Driver.area in
-  let t = c.Core.Driver.timing in
-  Printf.printf "assertions: %d\n" (List.length c.Core.Driver.asserts);
-  List.iter
-    (fun (id, (info : Core.Assertion.info)) ->
-      Printf.printf "  #%d %s:%d in %s: %s\n" id info.Core.Assertion.aloc.Front.Loc.file
-        info.Core.Assertion.aloc.Front.Loc.line info.Core.Assertion.aproc
-        info.Core.Assertion.text)
-    c.Core.Driver.table;
-  Printf.printf "failure channels: %d\n" (List.length c.Core.Driver.plan.Core.Share.streams);
-  (let pr = c.Core.Driver.pruned in
-   if pr.Core.Driver.absint_pruned > 0 || pr.Core.Driver.induction_pruned > 0 then
-     Printf.printf "pruned checkers: %d (%d absint-proved, %d induction-proved)\n"
-       (pr.Core.Driver.absint_pruned + pr.Core.Driver.induction_pruned)
-       pr.Core.Driver.absint_pruned pr.Core.Driver.induction_pruned);
-  Printf.printf "\nEP2S180 utilization:\n";
-  Printf.printf "  ALUTs        %7d (%.2f%%)\n" a.Rtl.Area.aluts
-    (100.0 *. float_of_int a.Rtl.Area.aluts /. 143520.0);
-  Printf.printf "  registers    %7d (%.2f%%)\n" a.Rtl.Area.registers
-    (100.0 *. float_of_int a.Rtl.Area.registers /. 143520.0);
-  Printf.printf "  RAM bits     %7d (%.2f%%)\n" a.Rtl.Area.ram_bits
-    (100.0 *. float_of_int a.Rtl.Area.ram_bits /. 9383040.0);
-  Printf.printf "  interconnect %7d (%.2f%%)\n" a.Rtl.Area.interconnect
-    (100.0 *. float_of_int a.Rtl.Area.interconnect /. 536440.0);
-  Printf.printf "  DSP 18x18    %7d\n" a.Rtl.Area.dsps;
-  Printf.printf "\ntiming: fmax %.1f MHz (logic %.2f ns + routing %.2f ns)\n"
-    t.Rtl.Timing.fmax_mhz t.Rtl.Timing.logic_ns t.Rtl.Timing.route_ns;
-  List.iter
-    (fun (f : Hls.Fsmd.t) ->
-      Printf.printf "process %s: %d states, %d pipelined loop(s)\n"
-        f.Hls.Fsmd.proc.Mir.Ir.name (Hls.Fsmd.num_states f)
-        (Array.length f.Hls.Fsmd.pipes);
-      Array.iter
-        (fun (p : Hls.Fsmd.pipe) ->
-          Printf.printf "  pipeline: II=%d, depth=%d\n" p.Hls.Fsmd.ii p.Hls.Fsmd.depth)
-        f.Hls.Fsmd.pipes)
-    c.Core.Driver.fsmds
+let stimulus_of (st : Cli.stimulus) =
+  { Core.Job.feeds = st.Cli.feeds; drains = st.Cli.drains; params = st.Cli.params }
+
+let expand_dirs paths =
+  List.concat_map
+    (fun p ->
+      if Sys.is_directory p then
+        Sys.readdir p |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".c")
+        |> List.sort compare
+        |> List.map (Filename.concat p)
+      else [ p ])
+    paths
+
+(* The standard rendering of a scheduled job: the full report envelope
+   on stdout under --json (valid JSON with "error" set even on
+   failure), the human text plus an stderr error line otherwise. *)
+let finish ~json (o : Serve.Sched.outcome) =
+  let rep = o.Serve.Sched.sc_report in
+  if json then print_endline (Core.Report.to_string rep)
+  else begin
+    print_string o.Serve.Sched.sc_text;
+    match rep.Core.Report.error with Some m -> prerr_endline m | None -> ()
+  end;
+  rep.Core.Report.exit_code
+
+let write_report path (rep : Core.Report.t) =
+  let oc = open_out path in
+  output_string oc (Core.Report.to_string rep);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 (* --- compile ------------------------------------------------------------------- *)
 
@@ -73,31 +76,29 @@ let compile_cmd =
              absint-proved count."
           ~docv:"K")
   in
-  let run file sel prune prune_ind =
-    Cli.or_static_violation @@ fun () ->
-    let src = Cli.read_file file in
-    let prog = Front.Typecheck.parse_and_check ~file:(Filename.basename file) src in
-    let _, strategy = Cli.apply_sel sel in
-    let induction_proved =
-      if prune_ind <= 0 then []
-      else
-        let rep, _ = Core.Verify.prove ~induction:prune_ind prog in
-        Core.Verify.induction_proved_keys rep
-    in
-    let c = Core.Driver.compile ~strategy ~prune_proved:prune ~induction_proved prog in
-    report c;
-    match Core.Driver.static_diags c with
-    | [] -> `Ok 0
-    | diags ->
-        List.iter (fun d -> prerr_endline (Analysis.Diag.to_string d)) diags;
-        `Error (false, "scheduler invariant violations")
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the area/timing report as a JSON report envelope.")
+  in
+  let run file (sel : Cli.strategy_sel) prune prune_ind json =
+    finish ~json
+      (Serve.Sched.run
+         (Core.Job.Compile
+            {
+              Core.Job.c_source = Core.Job.Path file;
+              c_strategy = sel.Cli.sname;
+              c_nabort = sel.Cli.nabort;
+              c_ndebug = sel.Cli.ndebug;
+              c_prune_proved = prune;
+              c_prune_induction = prune_ind;
+            }))
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile and print an area/timing report")
     Term.(
-      ret
-        (const run $ Cli.file_arg $ Cli.strategy_args () $ Cli.prune_arg
-        $ prune_induction_arg))
+      const run $ Cli.file_arg $ Cli.strategy_args () $ Cli.prune_arg
+      $ prune_induction_arg $ json_arg)
 
 (* --- instrument ---------------------------------------------------------------- *)
 
@@ -245,18 +246,6 @@ let swsim_cmd =
 
 (* --- campaign --------------------------------------------------------------------- *)
 
-(* Derive a usable testbench when the user gives none: feed every
-   purely-read stream a ramp, drain every purely-written stream, and
-   default every unset process parameter to 32 (sized to the ramp).
-   The policy lives in {!Mine.Trace} so mining and campaigning share
-   the same default stimulus. *)
-let auto_stimulus prog (st : Cli.stimulus) =
-  let o =
-    Mine.Trace.auto_options ~feeds:st.Cli.feeds ~drains:st.Cli.drains ~params:st.Cli.params
-      prog
-  in
-  (o.Core.Driver.feeds, o.Core.Driver.drains, o.Core.Driver.params)
-
 let campaign_cmd =
   let file_arg =
     Arg.(
@@ -277,7 +266,8 @@ let campaign_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "json" ] ~doc:"Also write the report as JSON to $(docv)." ~docv:"PATH")
+      & info [ "json" ]
+          ~doc:"Also write the report envelope as JSON to $(docv)." ~docv:"PATH")
   in
   let runs_arg =
     Arg.(value & flag & info [ "runs" ] ~doc:"Print the classification of every mutant run.")
@@ -306,74 +296,43 @@ let campaign_cmd =
   in
   let run file stimulus budget watchdog max_mutants jobs json_out show_runs from_reset
       show_classes max_cycles =
-    let workloads =
-      match file with
-      | None -> Campaign.bundled ()
-      | Some path ->
-          let src = Cli.read_file path in
-          let name = Filename.remove_extension (Filename.basename path) in
-          let prog = Front.Typecheck.parse_and_check ~file:(Filename.basename path) src in
-          let feeds, drains, params = auto_stimulus prog stimulus in
-          [
-            {
-              Campaign.wname = name;
-              program = prog;
-              options =
-                { Core.Driver.default_sim_options with Core.Driver.feeds; drains; params };
-            };
-          ]
+    let o =
+      Serve.Sched.run
+        (Core.Job.Campaign
+           {
+             Core.Job.a_source = Option.map (fun p -> Core.Job.Path p) file;
+             a_stimulus = stimulus_of stimulus;
+             a_budget = budget;
+             a_watchdog = watchdog;
+             a_max_mutants = max_mutants;
+             a_jobs = jobs;
+             a_from_reset = from_reset;
+             a_max_cycles = max_cycles;
+           })
     in
-    (* --max-cycles / INCA_MAX_CYCLES bounds the unfaulted reference run
-       of every workload (mutant budgets are derived from it by
-       [config.budget]) *)
-    let workloads =
-      List.map
-        (fun (w : Campaign.workload) ->
-          { w with Campaign.options = { w.Campaign.options with Core.Driver.max_cycles } })
-        workloads
-    in
-    let config =
-      {
-        Campaign.default_config with
-        Campaign.mode = (if from_reset then Campaign.From_reset else Campaign.Fork);
-        budget;
-        watchdog;
-        max_mutants;
-        jobs;
-      }
-    in
-    let r =
-      try Campaign.run ~config workloads
-      with Invalid_argument msg ->
-        (* e.g. a --max-cycles budget the unfaulted reference run cannot
-           finish in — a usage error, not an internal one *)
-        prerr_endline msg;
-        exit 1
-    in
-    if show_classes then print_string (Campaign.render_classes r)
-    else print_endline (Campaign.render r);
-    if show_runs then begin
-      print_endline "\nper-mutant classification:";
-      List.iter
-        (fun (run : Campaign.run) ->
-          let detail = Campaign.detail_string run.Campaign.detail in
-          Printf.printf "  %-10s %-13s %-42s %-9s %6d cyc%s%s\n" run.Campaign.workload
-            run.Campaign.strategy
-            (Faults.Fault.describe run.Campaign.fault)
-            (Campaign.class_name run.Campaign.outcome)
-            run.Campaign.cycles
-            (if detail <> "" then "  " ^ detail else "")
-            (if run.Campaign.retried then "  [retried]" else ""))
-        r.Campaign.runs
-    end;
-    (match json_out with
-    | Some path ->
-        let oc = open_out path in
-        output_string oc (Campaign.render_json r);
-        output_char oc '\n';
-        close_out oc;
-        Printf.printf "wrote %s\n" path
-    | None -> ());
+    let rep = o.Serve.Sched.sc_report in
+    (match o.Serve.Sched.sc_result with
+    | Some (Serve.Sched.R_campaign r) ->
+        if show_classes then print_string (Campaign.render_classes r)
+        else print_endline (Campaign.render r);
+        if show_runs then begin
+          print_endline "\nper-mutant classification:";
+          List.iter
+            (fun (run : Campaign.run) ->
+              let detail = Campaign.detail_string run.Campaign.detail in
+              Printf.printf "  %-10s %-13s %-42s %-9s %6d cyc%s%s\n" run.Campaign.workload
+                run.Campaign.strategy
+                (Faults.Fault.describe run.Campaign.fault)
+                (Campaign.class_name run.Campaign.outcome)
+                run.Campaign.cycles
+                (if detail <> "" then "  " ^ detail else "")
+                (if run.Campaign.retried then "  [retried]" else ""))
+            r.Campaign.runs
+        end
+    | _ -> ());
+    (* the report envelope on disk even on failure, so scripted --json
+       consumers always get {"schema_version": …, "error": …} *)
+    (match json_out with Some path -> write_report path rep | None -> ());
     (* disk-store effectiveness on stderr, so scripted report diffs
        (stdout) stay byte-identical between cold and warm runs *)
     (match Exec.Cache.dir () with
@@ -385,19 +344,8 @@ let campaign_cmd =
     (* scripting contract: nonzero when a mutant silently escaped an
        instrumented strategy (the baseline control has no assertions, so
        its silent corruptions are expected and don't count) *)
-    let escapes =
-      List.filter
-        (fun (run : Campaign.run) ->
-          run.Campaign.strategy <> "baseline"
-          && run.Campaign.outcome = Campaign.Silent_corruption)
-        r.Campaign.runs
-    in
-    if escapes = [] then 0
-    else begin
-      Printf.eprintf "%d mutant(s) silently escaped an instrumented strategy\n"
-        (List.length escapes);
-      1
-    end
+    (match rep.Core.Report.error with Some m -> prerr_endline m | None -> ());
+    rep.Core.Report.exit_code
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -426,7 +374,9 @@ let mine_cmd =
     Arg.(value & opt int 10 & info [ "top" ] ~doc:"Report the $(docv) best candidates." ~docv:"N")
   in
   let json_arg =
-    Arg.(value & flag & info [ "json" ] ~doc:"Print the ranking as JSON instead of text.")
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the ranking as a JSON report envelope instead of text.")
   in
   let emit_arg =
     Arg.(
@@ -446,37 +396,20 @@ let mine_cmd =
   in
   let max_mutants_arg = Cli.max_mutants_arg ~doc:"Fault-site cap per ranking sweep." in
   let run file strategy top json emit stimulus max_candidates max_mutants budget jobs =
-    let src = Cli.read_file file in
-    let name = Filename.remove_extension (Filename.basename file) in
-    let prog = Front.Typecheck.parse_and_check ~file:(Filename.basename file) src in
-    let options =
-      Mine.Trace.auto_options ~feeds:stimulus.Cli.feeds ~drains:stimulus.Cli.drains
-        ~params:stimulus.Cli.params prog
-    in
-    let config =
-      { Mine.Rank.strategy; max_candidates; max_mutants; budget; watchdog = None; jobs }
-    in
-    match Mine.Rank.mine ~config ~name ~options prog with
-    | r ->
-        if json then print_endline (Mine.Rank.render_json ~top r)
-        else print_string (Mine.Rank.render ~top r);
-        if emit then begin
-          match Mine.Infer.inject prog (Mine.Rank.top_candidates ~top r) with
-          | Some (instrumented, _) ->
-              print_endline "\n/* --- source instrumented with mined assertions --- */";
-              print_string instrumented
-          | None -> prerr_endline "could not inject the top candidates together"
-        end;
-        `Ok 0
-    | exception Invalid_argument m ->
-        (* keep the --json contract on the failure path too: scripted
-           consumers always get a parseable document on stdout *)
-        if json then begin
-          Printf.printf "{\"name\": \"%s\", \"error\": \"%s\"}\n"
-            (Analysis.Diag.json_escape name) (Analysis.Diag.json_escape m);
-          `Ok 1
-        end
-        else `Error (false, m)
+    finish ~json
+      (Serve.Sched.run
+         (Core.Job.Mine
+            {
+              Core.Job.m_source = Core.Job.Path file;
+              m_strategy = fst strategy;
+              m_stimulus = stimulus_of stimulus;
+              m_top = top;
+              m_max_candidates = max_candidates;
+              m_max_mutants = max_mutants;
+              m_budget = budget;
+              m_jobs = jobs;
+              m_emit = emit;
+            }))
   in
   Cmd.v
     (Cmd.info "mine"
@@ -485,10 +418,9 @@ let mine_cmd =
           templates over multiple derived stimuli), inject the survivors as in-circuit \
           assertions, and rank them by fault-detection power with area/fmax cost")
     Term.(
-      ret
-        (const run $ Cli.file_arg $ strategy_arg $ top_arg $ json_arg $ emit_arg
-       $ Cli.stimulus_args $ max_candidates_arg $ max_mutants_arg $ Cli.budget_arg
-       $ Cli.jobs_arg))
+      const run $ Cli.file_arg $ strategy_arg $ top_arg $ json_arg $ emit_arg
+      $ Cli.stimulus_args $ max_candidates_arg $ max_mutants_arg $ Cli.budget_arg
+      $ Cli.jobs_arg)
 
 (* --- fuzz ------------------------------------------------------------------------- *)
 
@@ -520,7 +452,8 @@ let fuzz_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "json" ] ~doc:"Also write the report as JSON to $(docv)." ~docv:"PATH")
+      & info [ "json" ]
+          ~doc:"Also write the report envelope as JSON to $(docv)." ~docv:"PATH")
   in
   let watchdog_arg =
     Arg.(
@@ -541,28 +474,27 @@ let fuzz_cmd =
           ~docv:"K")
   in
   let run seed count fuel jobs max_cycles watchdog bmc_depth corpus_dir json_out =
-    let r =
-      Torture.Fuzz.run ?jobs ~seed ~count ~fuel ~max_cycles ~watchdog ?bmc_depth
-        ~corpus_dir ()
+    let o =
+      Serve.Sched.run
+        (Core.Job.Fuzz
+           {
+             Core.Job.z_seed = seed;
+             z_count = Some count;
+             z_fuel = Some fuel;
+             z_max_cycles = Some max_cycles;
+             z_watchdog = Some watchdog;
+             z_bmc_depth = bmc_depth;
+             z_corpus_dir = Some corpus_dir;
+             z_jobs = jobs;
+           })
     in
-    print_string (Torture.Fuzz.render r);
-    (match json_out with
-    | Some path ->
-        let oc = open_out path in
-        output_string oc (Torture.Fuzz.render_json r);
-        output_char oc '\n';
-        close_out oc;
-        Printf.printf "wrote %s\n" path
-    | None -> ());
+    let rep = o.Serve.Sched.sc_report in
+    print_string o.Serve.Sched.sc_text;
+    (match json_out with Some path -> write_report path rep | None -> ());
     (* scripting contract: any divergence fails the run; each one has
        already been shrunk and written to the corpus directory *)
-    if r.Torture.Fuzz.r_findings = [] then 0
-    else begin
-      Printf.eprintf "%d divergent program(s); shrunk reproducer(s) in %s\n"
-        (List.length r.Torture.Fuzz.r_findings)
-        corpus_dir;
-      1
-    end
+    (match rep.Core.Report.error with Some m -> prerr_endline m | None -> ());
+    rep.Core.Report.exit_code
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -676,61 +608,20 @@ let check_cmd =
       & flag
       & info [ "json" ]
           ~doc:
-            "Emit each report as a JSON document (one line per file).  The output is \
-             valid JSON even when parsing or compilation fails.")
+            "Emit one JSON report envelope covering every file.  The output is valid \
+             JSON even when parsing or compilation fails.")
   in
-  let run paths sel json =
-    let files =
-      List.concat_map
-        (fun p ->
-          if Sys.is_directory p then
-            Sys.readdir p |> Array.to_list
-            |> List.filter (fun f -> Filename.check_suffix f ".c")
-            |> List.sort compare
-            |> List.map (Filename.concat p)
-          else [ p ])
-        paths
-    in
-    let _, strategy = Cli.apply_sel sel in
-    let share_bits =
-      match strategy.Core.Driver.share with
-      | `Shared n -> Some n
-      | `Per_proc | `Dma -> None
-    in
-    let check_file path =
-      let file = Filename.basename path in
-      let rep =
-        match Front.Typecheck.parse_and_check ~file (Cli.read_file path) with
-        | prog -> (
-            let rep =
-              Analysis.Check.report_of ?share_bits
-                ~replicate:strategy.Core.Driver.replicate prog
-            in
-            (* the compiler-side half: FSMD scheduler invariants and
-               lowered-IR well-formedness under the selected strategy *)
-            match Core.Driver.compile ~strategy prog with
-            | c -> Analysis.Check.add_diags rep (Core.Driver.static_diags c)
-            | exception e ->
-                Analysis.Check.add_diags rep
-                  [
-                    Analysis.Diag.error ~code:"INCA-S003" Front.Loc.none
-                      ("compilation failed: " ^ Printexc.to_string e);
-                  ])
-        | exception Front.Typecheck.Error (m, loc) ->
-            Analysis.Check.failure_report ~code:"INCA-P002" loc m
-        | exception Front.Parser.Error (m, loc) ->
-            Analysis.Check.failure_report ~code:"INCA-P001" loc m
-        | exception Front.Lexer.Error (m, loc) ->
-            Analysis.Check.failure_report ~code:"INCA-P001" loc m
-        | exception Sys_error m ->
-            Analysis.Check.failure_report ~code:"INCA-P001" Front.Loc.none m
-      in
-      if json then print_endline (Analysis.Check.render_json ~file rep)
-      else print_string (Analysis.Check.render ~file rep);
-      Analysis.Check.failed rep
-    in
-    let failed = List.fold_left (fun acc f -> check_file f || acc) false files in
-    `Ok (if failed then 1 else 0)
+  let run paths (sel : Cli.strategy_sel) json =
+    finish ~json
+      (Serve.Sched.run
+         (Core.Job.Check
+            {
+              Core.Job.k_sources =
+                List.map (fun p -> Core.Job.Path p) (expand_dirs paths);
+              k_strategy = sel.Cli.sname;
+              k_nabort = sel.Cli.nabort;
+              k_ndebug = sel.Cli.ndebug;
+            }))
   in
   Cmd.v
     (Cmd.info "check"
@@ -740,7 +631,7 @@ let check_cmd =
           (BRAM port contention, status-channel overflow, uninitialized reads, undrained \
           streams, dead assertions), and check the scheduled design against FSMD and IR \
           invariants.  Exits 1 when any error-severity finding is reported.")
-    Term.(ret (const run $ paths_arg $ Cli.strategy_args () $ json_arg))
+    Term.(const run $ paths_arg $ Cli.strategy_args () $ json_arg)
 
 (* --- prove ------------------------------------------------------------------------ *)
 
@@ -788,106 +679,22 @@ let prove_cmd =
       & flag
       & info [ "json" ]
           ~doc:
-            "Emit each report as a deterministic JSON document (one line per file), \
+            "Emit one deterministic JSON report envelope covering every file, \
              byte-identical across --jobs values.")
   in
   let run paths depth induction assertion conflict_limit jobs json =
-    let files =
-      List.concat_map
-        (fun p ->
-          if Sys.is_directory p then
-            Sys.readdir p |> Array.to_list
-            |> List.filter (fun f -> Filename.check_suffix f ".c")
-            |> List.sort compare
-            |> List.map (Filename.concat p)
-          else [ p ])
-        paths
-    in
-    let prove_file path =
-      let file = Filename.basename path in
-      match Front.Typecheck.parse_and_check ~file (Cli.read_file path) with
-      | exception Front.Typecheck.Error (m, loc) | (exception Front.Parser.Error (m, loc))
-      | (exception Front.Lexer.Error (m, loc)) ->
-          Printf.eprintf "%s:%d:%d: %s\n" file loc.Front.Loc.line loc.Front.Loc.col m;
-          `Error
-      | prog -> (
-          match Core.Verify.front_of prog with
-          | exception e ->
-              Printf.eprintf "%s: compilation failed: %s\n" file (Printexc.to_string e);
-              `Error
-          | f ->
-              let absint = Analysis.Absint.analyze prog in
-              let ids = Core.Verify.target_ids f in
-              let ids =
-                match assertion with
-                | Some a -> List.filter (( = ) a) ids
-                | None -> ids
-              in
-              let outcomes =
-                Exec.Pool.map ?jobs
-                  (fun id ->
-                    Core.Verify.check_target ~depth ~induction ~conflict_limit f
-                      ~absint id)
-                  ids
-              in
-              let results, extra =
-                List.fold_left2
-                  (fun (rs, ds) id (o : _ Exec.Pool.outcome) ->
-                    match o.Exec.Pool.value with
-                    | Ok (r, d) ->
-                        (r :: rs, match d with Some d -> d :: ds | None -> ds)
-                    | Error m ->
-                        let info = List.assoc id f.Core.Driver.f_table in
-                        ( {
-                            Analysis.Verdict.pr_id = id;
-                            pr_proc = info.Core.Assertion.aproc;
-                            pr_loc = info.Core.Assertion.aloc;
-                            pr_text = info.Core.Assertion.text;
-                            pr_class =
-                              Analysis.Verdict.Bunknown ("worker failed: " ^ m);
-                            pr_reach = Analysis.Verdict.Breach_unknown m;
-                            pr_dead_lint = false;
-                            pr_conflicts = 0;
-                            pr_decisions = 0;
-                            pr_propagations = 0;
-                          }
-                          :: rs,
-                          ds ))
-                  ([], []) ids outcomes
-              in
-              let results = List.rev results in
-              let rep =
-                { Analysis.Verdict.p_depth = depth; p_induction = induction;
-                  p_results = results }
-              in
-              let diags =
-                Analysis.Diag.order
-                  (List.filter_map Analysis.Verdict.diag_of results @ List.rev extra)
-              in
-              if json then print_endline (Analysis.Verdict.render_json ~file rep)
-              else begin
-                let s = Rtl.Netlist.summarize (Core.Driver.finish f).Core.Driver.netlist in
-                Printf.printf
-                  "%s: %d modules, %d primitives, %d sequential state bits\n" file
-                  s.Rtl.Netlist.n_modules s.Rtl.Netlist.n_prims
-                  (Rtl.Netlist.state_bits (Core.Driver.finish f).Core.Driver.netlist);
-                print_string (Analysis.Verdict.render ~file rep);
-                List.iter (fun d -> print_endline (Analysis.Diag.to_string d)) diags
-              end;
-              if
-                List.exists
-                  (fun (r : Analysis.Verdict.presult) ->
-                    match r.Analysis.Verdict.pr_class with
-                    | Analysis.Verdict.Bviolated _ -> true
-                    | _ -> false)
-                  results
-              then `Violated
-              else `Ok)
-    in
-    let statuses = List.map prove_file files in
-    if List.mem `Error statuses then 2
-    else if List.mem `Violated statuses then 1
-    else 0
+    finish ~json
+      (Serve.Sched.run
+         (Core.Job.Prove
+            {
+              Core.Job.p_sources =
+                List.map (fun p -> Core.Job.Path p) (expand_dirs paths);
+              p_depth = depth;
+              p_induction = induction;
+              p_assertion = assertion;
+              p_conflict_limit = conflict_limit;
+              p_jobs = jobs;
+            }))
   in
   Cmd.v
     (Cmd.info "prove"
@@ -902,13 +709,117 @@ let prove_cmd =
       const run $ paths_arg $ depth_arg $ induction_arg $ assertion_arg $ conflict_arg
       $ Cli.jobs_arg $ json_arg)
 
+(* --- serve ------------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~doc:"Unix socket path." ~docv:"PATH")
+
+let serve_cmd =
+  let run socket jobs =
+    match Serve.Server.start ~socket ?jobs () with
+    | exception Failure m ->
+        prerr_endline m;
+        1
+    | t ->
+        let stop _ = Serve.Server.signal_stop t in
+        (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop)
+         with Invalid_argument _ -> ());
+        (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+         with Invalid_argument _ -> ());
+        Printf.eprintf "inca serve: listening on %s\n%!" socket;
+        (* idle interruptibly: a signal wakes the sleep and its handler
+           runs here, on the main thread, before we join the accept loop *)
+        while not (Serve.Server.stopping t) do
+          try Unix.sleepf 0.5 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        done;
+        Serve.Server.wait t;
+        0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the batch verification daemon: accept newline-delimited JSON jobs \
+          (compile, check, prove, campaign, mine, fuzz) over a Unix socket, schedule \
+          them on the shared worker pool — campaign and mine jobs are sharded by \
+          workload x strategy x fault site and merged deterministically — and stream \
+          progress events followed by the report envelope.  The in-process and on-disk \
+          compile caches stay warm across jobs; stop with SIGINT/SIGTERM.  See \
+          $(b,inca jobs) for the protocol schema.")
+    Term.(const run $ socket_arg $ Cli.jobs_arg)
+
+let jobs_cmd =
+  let run () =
+    print_endline (Json.to_string (Serve.Proto.describe ()));
+    0
+  in
+  Cmd.v
+    (Cmd.info "jobs"
+       ~doc:
+         "Print the machine-readable protocol schema of $(b,inca serve): the request \
+          and event envelopes, the report envelope, and the fields of every job kind.")
+    Term.(const run $ const ())
+
+let submit_cmd =
+  let job_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"JOBFILE"
+          ~doc:"Job JSON (an envelope or a bare job object); reads stdin when omitted.")
+  in
+  let run socket jobfile =
+    let text =
+      match jobfile with
+      | Some p -> Cli.read_file p
+      | None -> In_channel.input_all stdin
+    in
+    match Json.parse text with
+    | Error e ->
+        prerr_endline e;
+        3
+    | Ok j -> (
+        match Serve.Proto.decode_request j with
+        | Error e ->
+            prerr_endline e;
+            3
+        | Ok req -> (
+            let on_progress ~seq ~label ~data:_ =
+              Printf.eprintf "[%d] %s\n%!" seq label
+            in
+            match
+              Serve.Server.request ~socket ~id:req.Serve.Proto.req_id ~on_progress
+                req.Serve.Proto.req_job
+            with
+            | Error e ->
+                prerr_endline e;
+                3
+            | Ok (report, cache) ->
+                (* stderr so the stdout envelope diffs clean against a
+                   cold CLI run *)
+                Printf.eprintf "cache: %d memory hit(s), %d disk hit(s)\n"
+                  cache.Serve.Proto.cd_memory_hits cache.Serve.Proto.cd_disk_hits;
+                print_endline (Core.Report.to_string report);
+                report.Core.Report.exit_code))
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit one job to a running $(b,inca serve) daemon and print the report \
+          envelope on stdout (progress events and cache counters go to stderr).  Exits \
+          with the report's exit code, or 3 on connection/protocol errors.")
+    Term.(const run $ socket_arg $ job_arg)
+
 let main =
   let doc = "in-circuit assertion synthesis for high-level synthesis" in
   Cmd.group
     (Cmd.info "inca" ~version:"1.0.0" ~doc)
     [
       compile_cmd; instrument_cmd; vhdl_cmd; simulate_cmd; swsim_cmd; campaign_cmd;
-      mine_cmd; check_cmd; fuzz_cmd; prove_cmd; cache_cmd;
+      mine_cmd; check_cmd; fuzz_cmd; prove_cmd; cache_cmd; serve_cmd; jobs_cmd;
+      submit_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -63,43 +63,52 @@ let render ~file rep =
        (if failed rep then "check FAILED" else "check passed"));
   Buffer.contents b
 
-let render_json ~file rep =
-  let str s = Printf.sprintf "\"%s\"" (Diag.json_escape s) in
+let json_of ~file rep : Json.t =
   let assertion (vd : Absint.verdict) =
     let loc = vd.Absint.vloc in
+    (* "text" directly followed by "class" is a documented (and
+       CI-grepped) stability point of the assertion object. *)
     let base =
       [
-        Printf.sprintf "\"proc\": %s" (str vd.Absint.vproc);
-        Printf.sprintf "\"line\": %d" loc.Loc.line;
-        Printf.sprintf "\"col\": %d" loc.Loc.col;
-        Printf.sprintf "\"text\": %s" (str vd.Absint.vtext);
-        Printf.sprintf "\"class\": %s" (str (Absint.class_name vd.Absint.vclass));
+        ("proc", Json.Str vd.Absint.vproc);
+        ("line", Json.int loc.Loc.line);
+        ("col", Json.int loc.Loc.col);
+        ("text", Json.Str vd.Absint.vtext);
+        ("class", Json.Str (Absint.class_name vd.Absint.vclass));
       ]
     in
     let witness =
       match vd.Absint.vclass with
       | Absint.Violated ((_ :: _) as w) ->
           [
-            Printf.sprintf "\"witness\": {%s}"
-              (String.concat ", "
-                 (List.map (fun (x, v) -> Printf.sprintf "%s: \"%Ld\"" (str x) v) w));
+            ( "witness",
+              Json.Obj (List.map (fun (x, v) -> (x, Json.Str (Int64.to_string v))) w) );
           ]
       | _ -> []
     in
-    "{" ^ String.concat ", " (base @ witness) ^ "}"
+    Json.Obj (base @ witness)
   in
   let p, v, u = tally rep in
   let errors = List.length (List.filter (fun d -> d.Diag.severity = Diag.Error) rep.diags) in
   let warnings =
     List.length (List.filter (fun d -> d.Diag.severity = Diag.Warning) rep.diags)
   in
-  Printf.sprintf
-    "{\"file\": %s, \"ok\": %b, \"assertions\": [%s], \"diagnostics\": [%s], \"summary\": \
-     {\"proved\": %d, \"violated\": %d, \"unknown\": %d, \"errors\": %d, \"warnings\": %d}}"
-    (str file) (not (failed rep))
-    (String.concat ", " (List.map assertion rep.verdicts))
-    (String.concat ", " (List.map Diag.json_of rep.diags))
-    p v u errors warnings
+  Json.Obj
+    [
+      ("file", Json.Str file);
+      ("ok", Json.Bool (not (failed rep)));
+      ("assertions", Json.list assertion rep.verdicts);
+      ("diagnostics", Json.list Diag.json_of rep.diags);
+      ( "summary",
+        Json.Obj
+          [
+            ("proved", Json.int p);
+            ("violated", Json.int v);
+            ("unknown", Json.int u);
+            ("errors", Json.int errors);
+            ("warnings", Json.int warnings);
+          ] );
+    ]
 
 let failure_report ~code loc message =
   { verdicts = []; diags = [ Diag.error ~code loc message ] }

@@ -27,9 +27,10 @@ val failed : report -> bool
 
 val render : file:string -> report -> string
 
-(** Valid JSON whatever the report contents.  Assertion objects carry
-    ["text"] directly followed by ["class"]. *)
-val render_json : file:string -> report -> string
+(** The report as a JSON payload (the [inca check] entry in a
+    {!Core.Report} envelope).  Valid whatever the report contents;
+    assertion objects carry ["text"] directly followed by ["class"]. *)
+val json_of : file:string -> report -> Json.t
 
 (** A report for a source that failed to parse or typecheck: one
     error-severity diagnostic with [code] (INCA-P001 / INCA-P002). *)

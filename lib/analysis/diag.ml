@@ -44,36 +44,18 @@ let to_string d =
     Printf.sprintf "%s:%d:%d: %s %s%s: %s" d.loc.Loc.file d.loc.Loc.line d.loc.Loc.col
       (severity_name d.severity) d.code proc d.message
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let json_of d =
-  let str s = Printf.sprintf "\"%s\"" (json_escape s) in
-  let fields =
-    [
-      Printf.sprintf "\"severity\": %s" (str (severity_name d.severity));
-      Printf.sprintf "\"code\": %s" (str d.code);
-    ]
+let json_of d : Json.t =
+  Json.Obj
+    ([
+       ("severity", Json.Str (severity_name d.severity));
+       ("code", Json.Str d.code);
+     ]
     @ (if d.loc = Loc.none then []
        else
          [
-           Printf.sprintf "\"file\": %s" (str d.loc.Loc.file);
-           Printf.sprintf "\"line\": %d" d.loc.Loc.line;
-           Printf.sprintf "\"col\": %d" d.loc.Loc.col;
+           ("file", Json.Str d.loc.Loc.file);
+           ("line", Json.int d.loc.Loc.line);
+           ("col", Json.int d.loc.Loc.col);
          ])
-    @ (match d.dproc with Some p -> [ Printf.sprintf "\"proc\": %s" (str p) ] | None -> [])
-    @ [ Printf.sprintf "\"message\": %s" (str d.message) ]
-  in
-  "{" ^ String.concat ", " fields ^ "}"
+    @ (match d.dproc with Some p -> [ ("proc", Json.Str p) ] | None -> [])
+    @ [ ("message", Json.Str d.message) ])

@@ -41,9 +41,5 @@ val has_errors : t list -> bool
     renders as the design-wide form [severity CODE: message]. *)
 val to_string : t -> string
 
-(** Minimal JSON string escaping (shared by every JSON renderer in the
-    analysis layer). *)
-val json_escape : string -> string
-
 (** One finding as a JSON object. *)
-val json_of : t -> string
+val json_of : t -> Json.t

@@ -159,35 +159,59 @@ let render ~file rep =
        rep.p_depth rep.p_induction p v bd u (conflicts rep));
   Buffer.contents b
 
-let render_json ~file rep =
-  let str s = Printf.sprintf "\"%s\"" (Diag.json_escape s) in
+let json_of ~file rep : Json.t =
   let result (r : presult) =
+    (* "text" directly followed by "class" is a documented (and
+       CI-grepped) stability point of the assertion object. *)
     let cls =
       match r.pr_class with
-      | Bviolated c -> Printf.sprintf "\"class\": \"violated\", \"fire_cycle\": %d" c
-      | Bproved k -> Printf.sprintf "\"class\": \"proved\", \"induction_k\": %d" k
-      | Bbounded d -> Printf.sprintf "\"class\": \"bounded\", \"depth\": %d" d
-      | Bunknown m -> Printf.sprintf "\"class\": \"unknown\", \"reason\": %s" (str m)
+      | Bviolated c -> [ ("class", Json.Str "violated"); ("fire_cycle", Json.int c) ]
+      | Bproved k -> [ ("class", Json.Str "proved"); ("induction_k", Json.int k) ]
+      | Bbounded d -> [ ("class", Json.Str "bounded"); ("depth", Json.int d) ]
+      | Bunknown m -> [ ("class", Json.Str "unknown"); ("reason", Json.Str m) ]
     in
     let reach =
       match r.pr_reach with
-      | Breachable c -> Printf.sprintf "{\"reachable\": true, \"cycle\": %d}" c
+      | Breachable c -> Json.Obj [ ("reachable", Json.Bool true); ("cycle", Json.int c) ]
       | Bunreachable d ->
-          Printf.sprintf "{\"reachable\": false, \"depth\": %d, \"l105_dead\": %b}" d
-            r.pr_dead_lint
-      | Breach_unknown m -> Printf.sprintf "{\"reachable\": null, \"reason\": %s}" (str m)
+          Json.Obj
+            [
+              ("reachable", Json.Bool false);
+              ("depth", Json.int d);
+              ("l105_dead", Json.Bool r.pr_dead_lint);
+            ]
+      | Breach_unknown m -> Json.Obj [ ("reachable", Json.Null); ("reason", Json.Str m) ]
     in
-    Printf.sprintf
-      "{\"id\": %d, \"proc\": %s, \"line\": %d, \"col\": %d, \"text\": %s, %s, \
-       \"reach\": %s, \"conflicts\": %d, \"decisions\": %d, \"propagations\": %d}"
-      r.pr_id (str r.pr_proc) r.pr_loc.Loc.line r.pr_loc.Loc.col (str r.pr_text) cls
-      reach r.pr_conflicts r.pr_decisions r.pr_propagations
+    Json.Obj
+      ([
+         ("id", Json.int r.pr_id);
+         ("proc", Json.Str r.pr_proc);
+         ("line", Json.int r.pr_loc.Loc.line);
+         ("col", Json.int r.pr_loc.Loc.col);
+         ("text", Json.Str r.pr_text);
+       ]
+      @ cls
+      @ [
+          ("reach", reach);
+          ("conflicts", Json.int r.pr_conflicts);
+          ("decisions", Json.int r.pr_decisions);
+          ("propagations", Json.int r.pr_propagations);
+        ])
   in
   let p, v, bd, u = tally rep in
-  Printf.sprintf
-    "{\"file\": %s, \"depth\": %d, \"induction\": %d, \"assertions\": [%s], \"summary\": \
-     {\"proved\": %d, \"violated\": %d, \"bounded\": %d, \"unknown\": %d, \
-     \"conflicts\": %d}}"
-    (str file) rep.p_depth rep.p_induction
-    (String.concat ", " (List.map result rep.p_results))
-    p v bd u (conflicts rep)
+  Json.Obj
+    [
+      ("file", Json.Str file);
+      ("depth", Json.int rep.p_depth);
+      ("induction", Json.int rep.p_induction);
+      ("assertions", Json.list result rep.p_results);
+      ( "summary",
+        Json.Obj
+          [
+            ("proved", Json.int p);
+            ("violated", Json.int v);
+            ("bounded", Json.int bd);
+            ("unknown", Json.int u);
+            ("conflicts", Json.int (conflicts rep));
+          ] );
+    ]

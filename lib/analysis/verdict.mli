@@ -64,5 +64,6 @@ val replay_divergence :
 (** Human-readable report, one line per assertion plus a summary. *)
 val render : file:string -> report -> string
 
-(** Deterministic single-line JSON document (no timing data). *)
-val render_json : file:string -> report -> string
+(** The report as a deterministic JSON payload (no timing data) — the
+    [inca prove] entry in a {!Core.Report} envelope. *)
+val json_of : file:string -> report -> Json.t

@@ -1,0 +1,303 @@
+type source =
+  | Path of string
+  | Text of { name : string; text : string }
+
+type stimulus = {
+  feeds : (string * int64 list) list;
+  drains : string list;
+  params : (string * (string * int64) list) list;
+}
+
+let empty_stimulus = { feeds = []; drains = []; params = [] }
+
+type compile_params = {
+  c_source : source;
+  c_strategy : string;
+  c_nabort : bool;
+  c_ndebug : bool;
+  c_prune_proved : bool;
+  c_prune_induction : int;
+}
+
+type check_params = {
+  k_sources : source list;
+  k_strategy : string;
+  k_nabort : bool;
+  k_ndebug : bool;
+}
+
+type prove_params = {
+  p_sources : source list;
+  p_depth : int;
+  p_induction : int;
+  p_assertion : int option;
+  p_conflict_limit : int;
+  p_jobs : int option;
+}
+
+type campaign_params = {
+  a_source : source option;
+  a_stimulus : stimulus;
+  a_budget : int option;
+  a_watchdog : int option;
+  a_max_mutants : int option;
+  a_jobs : int option;
+  a_from_reset : bool;
+  a_max_cycles : int;
+}
+
+type mine_params = {
+  m_source : source;
+  m_strategy : string;
+  m_stimulus : stimulus;
+  m_top : int;
+  m_max_candidates : int;
+  m_max_mutants : int option;
+  m_budget : int option;
+  m_jobs : int option;
+  m_emit : bool;
+}
+
+type fuzz_params = {
+  z_seed : int64;
+  z_count : int option;
+  z_fuel : int option;
+  z_max_cycles : int option;
+  z_watchdog : int option;
+  z_bmc_depth : int option;
+  z_corpus_dir : string option;
+  z_jobs : int option;
+}
+
+type t =
+  | Compile of compile_params
+  | Check of check_params
+  | Prove of prove_params
+  | Campaign of campaign_params
+  | Mine of mine_params
+  | Fuzz of fuzz_params
+
+let kind = function
+  | Compile _ -> "compile"
+  | Check _ -> "check"
+  | Prove _ -> "prove"
+  | Campaign _ -> "campaign"
+  | Mine _ -> "mine"
+  | Fuzz _ -> "fuzz"
+
+(* --- encoding ------------------------------------------------------------ *)
+
+let source_json = function
+  | Path p -> Json.Obj [ ("path", Json.Str p) ]
+  | Text { name; text } -> Json.Obj [ ("name", Json.Str name); ("text", Json.Str text) ]
+
+let stimulus_fields st =
+  [
+    ("feeds", Json.Obj (List.map (fun (s, vs) -> (s, Json.list Json.i64 vs)) st.feeds));
+    ("drains", Json.list Json.str st.drains);
+    ( "params",
+      Json.Obj
+        (List.map
+           (fun (proc, kvs) ->
+             (proc, Json.Obj (List.map (fun (k, v) -> (k, Json.i64 v)) kvs)))
+           st.params) );
+  ]
+
+(* [None] encodes as an absent field; the decoders treat absent and
+   null alike, so both round-trip. *)
+let opt_field k f = function Some v -> [ (k, f v) ] | None -> []
+
+let to_json t : Json.t =
+  let kinded fields = Json.Obj (("kind", Json.Str (kind t)) :: fields) in
+  match t with
+  | Compile c ->
+      kinded
+        [
+          ("source", source_json c.c_source);
+          ("strategy", Json.Str c.c_strategy);
+          ("nabort", Json.Bool c.c_nabort);
+          ("ndebug", Json.Bool c.c_ndebug);
+          ("prune_proved", Json.Bool c.c_prune_proved);
+          ("prune_induction", Json.int c.c_prune_induction);
+        ]
+  | Check k ->
+      kinded
+        [
+          ("sources", Json.list source_json k.k_sources);
+          ("strategy", Json.Str k.k_strategy);
+          ("nabort", Json.Bool k.k_nabort);
+          ("ndebug", Json.Bool k.k_ndebug);
+        ]
+  | Prove p ->
+      kinded
+        ([
+           ("sources", Json.list source_json p.p_sources);
+           ("depth", Json.int p.p_depth);
+           ("induction", Json.int p.p_induction);
+         ]
+        @ opt_field "assertion" Json.int p.p_assertion
+        @ [ ("conflict_limit", Json.int p.p_conflict_limit) ]
+        @ opt_field "jobs" Json.int p.p_jobs)
+  | Campaign a ->
+      kinded
+        (opt_field "source" source_json a.a_source
+        @ stimulus_fields a.a_stimulus
+        @ opt_field "budget" Json.int a.a_budget
+        @ opt_field "watchdog" Json.int a.a_watchdog
+        @ opt_field "max_mutants" Json.int a.a_max_mutants
+        @ opt_field "jobs" Json.int a.a_jobs
+        @ [ ("from_reset", Json.Bool a.a_from_reset); ("max_cycles", Json.int a.a_max_cycles) ])
+  | Mine m ->
+      kinded
+        ([ ("source", source_json m.m_source); ("strategy", Json.Str m.m_strategy) ]
+        @ stimulus_fields m.m_stimulus
+        @ [ ("top", Json.int m.m_top); ("max_candidates", Json.int m.m_max_candidates) ]
+        @ opt_field "max_mutants" Json.int m.m_max_mutants
+        @ opt_field "budget" Json.int m.m_budget
+        @ opt_field "jobs" Json.int m.m_jobs
+        @ [ ("emit", Json.Bool m.m_emit) ])
+  | Fuzz z ->
+      kinded
+        ([ ("seed", Json.i64 z.z_seed) ]
+        @ opt_field "count" Json.int z.z_count
+        @ opt_field "fuel" Json.int z.z_fuel
+        @ opt_field "max_cycles" Json.int z.z_max_cycles
+        @ opt_field "watchdog" Json.int z.z_watchdog
+        @ opt_field "bmc_depth" Json.int z.z_bmc_depth
+        @ opt_field "corpus_dir" Json.str z.z_corpus_dir
+        @ opt_field "jobs" Json.int z.z_jobs)
+
+(* --- decoding ------------------------------------------------------------ *)
+
+exception Decode of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Decode m)) fmt
+
+let field j k = match Json.member k j with Some Json.Null -> None | v -> v
+
+let req j k = match field j k with Some v -> v | None -> fail "missing field %S" k
+
+let dec_str k v = match Json.get_str v with Some s -> s | None -> fail "%S must be a string" k
+let dec_int k v = match Json.get_int v with Some n -> n | None -> fail "%S must be an integer" k
+let dec_i64 k v = match Json.get_i64 v with Some n -> n | None -> fail "%S must be an integer" k
+let dec_bool k v = match Json.get_bool v with Some b -> b | None -> fail "%S must be a boolean" k
+let dec_list k v = match Json.get_list v with Some l -> l | None -> fail "%S must be an array" k
+let dec_obj k v = match Json.get_obj v with Some o -> o | None -> fail "%S must be an object" k
+
+let get dec dflt j k = match field j k with Some v -> dec k v | None -> dflt
+let get_opt dec j k = match field j k with Some v -> Some (dec k v) | None -> None
+
+let dec_source k v =
+  match (Json.member "path" v, Json.member "name" v, Json.member "text" v) with
+  | Some p, _, _ -> Path (dec_str "path" p)
+  | None, Some name, Some text -> Text { name = dec_str "name" name; text = dec_str "text" text }
+  | _ -> fail "%S must be {\"path\": ...} or {\"name\": ..., \"text\": ...}" k
+
+let dec_sources j k =
+  match field j k with
+  | None -> fail "missing field %S" k
+  | Some v -> List.map (dec_source k) (dec_list k v)
+
+let dec_stimulus j =
+  let feeds =
+    match field j "feeds" with
+    | None -> []
+    | Some v ->
+        List.map
+          (fun (s, vs) -> (s, List.map (dec_i64 s) (dec_list s vs)))
+          (dec_obj "feeds" v)
+  in
+  let drains =
+    match field j "drains" with
+    | None -> []
+    | Some v -> List.map (dec_str "drains") (dec_list "drains" v)
+  in
+  let params =
+    match field j "params" with
+    | None -> []
+    | Some v ->
+        List.map
+          (fun (proc, kvs) ->
+            (proc, List.map (fun (k, v) -> (k, dec_i64 k v)) (dec_obj proc kvs)))
+          (dec_obj "params" v)
+  in
+  { feeds; drains; params }
+
+let of_json j : (t, string) result =
+  match
+    match Json.get_obj j with
+    | None -> fail "a job must be a JSON object"
+    | Some _ -> (
+        let kind = dec_str "kind" (req j "kind") in
+        match kind with
+        | "compile" ->
+            Compile
+              {
+                c_source = dec_source "source" (req j "source");
+                c_strategy = get dec_str "optimized" j "strategy";
+                c_nabort = get dec_bool false j "nabort";
+                c_ndebug = get dec_bool false j "ndebug";
+                c_prune_proved = get dec_bool false j "prune_proved";
+                c_prune_induction = get dec_int 0 j "prune_induction";
+              }
+        | "check" ->
+            Check
+              {
+                k_sources = dec_sources j "sources";
+                k_strategy = get dec_str "optimized" j "strategy";
+                k_nabort = get dec_bool false j "nabort";
+                k_ndebug = get dec_bool false j "ndebug";
+              }
+        | "prove" ->
+            Prove
+              {
+                p_sources = dec_sources j "sources";
+                p_depth = get dec_int 12 j "depth";
+                p_induction = get dec_int 4 j "induction";
+                p_assertion = get_opt dec_int j "assertion";
+                p_conflict_limit = get dec_int 200_000 j "conflict_limit";
+                p_jobs = get_opt dec_int j "jobs";
+              }
+        | "campaign" ->
+            Campaign
+              {
+                a_source = Option.map (dec_source "source") (field j "source");
+                a_stimulus = dec_stimulus j;
+                a_budget = get_opt dec_int j "budget";
+                a_watchdog = get_opt dec_int j "watchdog";
+                a_max_mutants = get_opt dec_int j "max_mutants";
+                a_jobs = get_opt dec_int j "jobs";
+                a_from_reset = get dec_bool false j "from_reset";
+                a_max_cycles = get dec_int 1_000_000 j "max_cycles";
+              }
+        | "mine" ->
+            Mine
+              {
+                m_source = dec_source "source" (req j "source");
+                m_strategy = get dec_str "parallelized" j "strategy";
+                m_stimulus = dec_stimulus j;
+                m_top = get dec_int 10 j "top";
+                m_max_candidates = get dec_int 12 j "max_candidates";
+                m_max_mutants = get_opt dec_int j "max_mutants";
+                m_budget = get_opt dec_int j "budget";
+                m_jobs = get_opt dec_int j "jobs";
+                m_emit = get dec_bool false j "emit";
+              }
+        | "fuzz" ->
+            Fuzz
+              {
+                z_seed = get dec_i64 42L j "seed";
+                z_count = get_opt dec_int j "count";
+                z_fuel = get_opt dec_int j "fuel";
+                z_max_cycles = get_opt dec_int j "max_cycles";
+                z_watchdog = get_opt dec_int j "watchdog";
+                z_bmc_depth = get_opt dec_int j "bmc_depth";
+                z_corpus_dir = get_opt dec_str j "corpus_dir";
+                z_jobs = get_opt dec_int j "jobs";
+              }
+        | k ->
+            fail "unknown job kind %S (expected compile, check, prove, campaign, mine or fuzz)"
+              k)
+  with
+  | t -> Ok t
+  | exception Decode m -> Error m

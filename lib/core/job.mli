@@ -1,0 +1,104 @@
+(** The unified job vocabulary: one typed description per verification
+    task the toolchain can run, with a versioned JSON codec.
+
+    Every entry point — the [inca] subcommands, the [inca serve]
+    daemon, the bench harness — constructs a {!t} and hands it to the
+    scheduler ([Serve.Sched]); the result always comes back as a
+    {!Report.t}.  The codec is the wire format of the serve protocol,
+    so it is round-trip tested ([of_json (to_json j) = Ok j]) and
+    tolerant of unknown fields (decoders look up known keys and ignore
+    the rest). *)
+
+(** Where a job's InCA-C source comes from.  [Path] is resolved by the
+    scheduler when the job runs (relative to its working directory);
+    [Text] carries the source inline, the form a remote client uses. *)
+type source =
+  | Path of string
+  | Text of { name : string; text : string }
+
+(** Shared testbench stimulus (campaign/mine).  Empty lists mean
+    "derive automatically" — ramp feeds for purely-read streams,
+    drains for purely-written ones, parameters defaulted to 32. *)
+type stimulus = {
+  feeds : (string * int64 list) list;
+  drains : string list;
+  params : (string * (string * int64) list) list;
+}
+
+val empty_stimulus : stimulus
+
+type compile_params = {
+  c_source : source;
+  c_strategy : string;  (** strategy name; resolved when the job runs *)
+  c_nabort : bool;
+  c_ndebug : bool;
+  c_prune_proved : bool;
+  c_prune_induction : int;  (** 0 disables *)
+}
+
+type check_params = {
+  k_sources : source list;
+  k_strategy : string;
+  k_nabort : bool;
+  k_ndebug : bool;
+}
+
+type prove_params = {
+  p_sources : source list;
+  p_depth : int;
+  p_induction : int;
+  p_assertion : int option;
+  p_conflict_limit : int;
+  p_jobs : int option;
+}
+
+type campaign_params = {
+  a_source : source option;  (** [None] sweeps the bundled workloads *)
+  a_stimulus : stimulus;
+  a_budget : int option;
+  a_watchdog : int option;
+  a_max_mutants : int option;
+  a_jobs : int option;
+  a_from_reset : bool;
+  a_max_cycles : int;
+}
+
+type mine_params = {
+  m_source : source;
+  m_strategy : string;
+  m_stimulus : stimulus;
+  m_top : int;
+  m_max_candidates : int;
+  m_max_mutants : int option;
+  m_budget : int option;
+  m_jobs : int option;
+  m_emit : bool;  (** include the instrumented source in the report *)
+}
+
+type fuzz_params = {
+  z_seed : int64;
+  z_count : int option;  (** [None] = {!Torture.Fuzz.default_count} *)
+  z_fuel : int option;
+  z_max_cycles : int option;
+  z_watchdog : int option;
+  z_bmc_depth : int option;
+  z_corpus_dir : string option;  (** [None] = don't write reproducers *)
+  z_jobs : int option;
+}
+
+type t =
+  | Compile of compile_params
+  | Check of check_params
+  | Prove of prove_params
+  | Campaign of campaign_params
+  | Mine of mine_params
+  | Fuzz of fuzz_params
+
+(** "compile" / "check" / "prove" / "campaign" / "mine" / "fuzz". *)
+val kind : t -> string
+
+val to_json : t -> Json.t
+
+(** Decode a job object.  Unknown fields are ignored; missing optional
+    fields take the CLI's defaults.  Errors name the offending field. *)
+val of_json : Json.t -> (t, string) result

@@ -1,0 +1,60 @@
+let schema_version = 1
+
+type t = {
+  kind : string;
+  exit_code : int;
+  payload : Json.t;
+  error : string option;
+}
+
+let make ~kind ?(exit_code = 0) payload = { kind; exit_code; payload; error = None }
+
+let fail ~kind ?(exit_code = 1) ?(payload = Json.Obj []) msg =
+  { kind; exit_code; payload; error = Some msg }
+
+let ok t = t.error = None && t.exit_code = 0
+
+let to_json t : Json.t =
+  Json.Obj
+    ([
+       ("schema_version", Json.int schema_version);
+       ("kind", Json.Str t.kind);
+       ("exit_code", Json.int t.exit_code);
+     ]
+    @ (match t.error with Some m -> [ ("error", Json.Str m) ] | None -> [])
+    @ [ ("report", t.payload) ])
+
+let of_json j : (t, string) result =
+  match Json.get_obj j with
+  | None -> Error "a report must be a JSON object"
+  | Some _ -> (
+      match Json.member "schema_version" j with
+      | None -> Error "missing \"schema_version\" field"
+      | Some v -> (
+          match Json.get_int v with
+          | None -> Error "\"schema_version\" must be an integer"
+          | Some n when n <> schema_version ->
+              Error
+                (Printf.sprintf
+                   "schema_version mismatch: peer speaks version %d, this build speaks \
+                    version %d"
+                   n schema_version)
+          | Some _ -> (
+              match Option.bind (Json.member "kind" j) Json.get_str with
+              | None -> Error "missing or non-string \"kind\" field"
+              | Some kind ->
+                  let exit_code =
+                    match Option.bind (Json.member "exit_code" j) Json.get_int with
+                    | Some n -> n
+                    | None -> 0
+                  in
+                  let payload =
+                    match Json.member "report" j with Some p -> p | None -> Json.Obj []
+                  in
+                  let error = Option.bind (Json.member "error" j) Json.get_str in
+                  Ok { kind; exit_code; payload; error })))
+
+let to_string t = Json.to_string (to_json t)
+
+let of_string s =
+  match Json.parse s with Error e -> Error e | Ok j -> of_json j

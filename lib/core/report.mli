@@ -1,0 +1,39 @@
+(** The unified result envelope: every toolchain entry point — each
+    [inca] subcommand's [--json] output, the serve daemon's responses,
+    the bench artifacts — renders results as exactly one {!t}.
+
+    The wire shape is versioned: [to_json] writes ["schema_version"]
+    first, and [of_json] rejects an envelope whose version it does not
+    speak with a clear diagnostic (never a parse crash).  Unknown
+    fields are ignored, so the format can grow compatibly. *)
+
+(** The version this build reads and writes. *)
+val schema_version : int
+
+type t = {
+  kind : string;  (** the {!Job.kind} that produced the report *)
+  exit_code : int;  (** what the CLI adapter exits with *)
+  payload : Json.t;  (** the subcommand-specific report body *)
+  error : string option;  (** set when the job failed outright *)
+}
+
+val make : kind:string -> ?exit_code:int -> Json.t -> t
+
+(** A failure envelope: [exit_code] defaults to 1, [payload] to an
+    empty object.  Renders as [{"schema_version":…, "error":…}]. *)
+val fail : kind:string -> ?exit_code:int -> ?payload:Json.t -> string -> t
+
+val ok : t -> bool
+
+val to_json : t -> Json.t
+
+(** Decode an envelope.  Requires ["schema_version"] to be present and
+    equal to {!schema_version}; a mismatch is reported as such, not as
+    a shape error.  Tolerates unknown fields. *)
+val of_json : Json.t -> (t, string) result
+
+(** [to_json] rendered on a single line (no trailing newline). *)
+val to_string : t -> string
+
+(** Parse then [of_json]. *)
+val of_string : string -> (t, string) result

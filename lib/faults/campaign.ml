@@ -537,12 +537,6 @@ let summarize strategies runs =
       })
     strategies
 
-(** Sweep every enumerated fault site of every workload under every
-    strategy.  Mutant runs execute on an {!Exec.Pool} of worker domains
-    ([config.jobs]); results are collected by job index, so the report
-    is byte-identical for every job count.  [progress] (if given) is
-    called once per classified mutant run, on the calling domain, in
-    deterministic (serial) order. *)
 (* How one mutant gets its result.  [Pruned]: the static pre-filter
    proved it equivalent to the baseline (or its site dead) — no
    simulation, classified [Benign].  [Baseline_equiv]: the site never
@@ -554,10 +548,32 @@ type disposition =
   | Baseline_equiv of Driver.sim_result
   | Simulate of (unit -> Driver.sim_result)
 
-let run ?(config = default_config) ?progress (workloads : workload list) : report =
+(* --- sharding ------------------------------------------------------------ *)
+
+(* One schedulable unit of a campaign: a single (workload, strategy,
+   fault site) mutant, carrying everything its evaluation needs so a
+   shard can run on any worker domain — or any scheduler — without
+   touching shared mutable state. *)
+type shard = {
+  sh_workload : workload;
+  sh_strategy : string;
+  sh_fault : Fault.t;
+  sh_golden : (string * int64 list) list;
+  sh_disp : disposition;
+}
+
+type plan = {
+  pl_workloads : string list;
+  pl_strategies : (string * Driver.strategy) list;
+  pl_site_count : int;
+  pl_dropped : int;
+  pl_kind_counts : (string * int) list;
+  pl_shards : shard array;
+}
+
+let plan ?(config = default_config) (workloads : workload list) : plan =
   let dropped = ref 0 in
   let site_count = ref 0 in
-  let pruned_static = ref 0 in
   let kind_tbl = Hashtbl.create 8 in
   (* Serial per-workload prep: warm the compile cache for every
      strategy (so worker domains only ever hit), enumerate and cap the
@@ -658,42 +674,6 @@ let run ?(config = default_config) ?progress (workloads : workload list) : repor
           config.strategies)
       prepped
   in
-  let fns =
-    Array.of_list
-      (List.filter_map
-         (function _, _, _, _, Simulate f -> Some f | _ -> None)
-         mutants)
-  in
-  let outcomes = Exec.Pool.run ?jobs:config.jobs ~retries:1 fns in
-  let next_sim = ref 0 in
-  let runs =
-    List.map
-      (fun ((w : workload), sname, fault, golden, disp) ->
-        let r =
-          match disp with
-          | Pruned ->
-              incr pruned_static;
-              {
-                workload = w.wname;
-                strategy = sname;
-                fault;
-                outcome = Benign;
-                detail = No_detail;
-                cycles = 0;
-                retried = false;
-              }
-          | Baseline_equiv base ->
-              classify ~golden w sname fault
-                { Exec.Pool.value = Ok base; attempts = 1 }
-          | Simulate _ ->
-              let o = outcomes.(!next_sim) in
-              incr next_sim;
-              classify ~golden w sname fault o
-        in
-        (match progress with Some f -> f r | None -> ());
-        r)
-      mutants
-  in
   let kind_counts =
     List.filter_map
       (fun k ->
@@ -702,14 +682,106 @@ let run ?(config = default_config) ?progress (workloads : workload list) : repor
         "loop-off-by-one" ]
   in
   {
-    workloads = List.map (fun w -> w.wname) workloads;
-    site_count = !site_count;
-    dropped = !dropped;
-    kind_counts;
-    pruned_static = !pruned_static;
-    runs;
-    summaries = summarize config.strategies runs;
+    pl_workloads = List.map (fun w -> w.wname) workloads;
+    pl_strategies = config.strategies;
+    pl_site_count = !site_count;
+    pl_dropped = !dropped;
+    pl_kind_counts = kind_counts;
+    pl_shards =
+      Array.of_list
+        (List.map
+           (fun (w, sname, fault, golden, disp) ->
+             {
+               sh_workload = w;
+               sh_strategy = sname;
+               sh_fault = fault;
+               sh_golden = golden;
+               sh_disp = disp;
+             })
+           mutants);
   }
+
+let shard_count (p : plan) = Array.length p.pl_shards
+
+let shard_label (p : plan) i =
+  let s = p.pl_shards.(i) in
+  Printf.sprintf "%s/%s/%s" s.sh_workload.wname s.sh_strategy (Fault.describe s.sh_fault)
+
+(* Evaluate one shard.  Safe to call from any worker domain: pruned
+   shards classify [Benign] without simulating, baseline-equivalent
+   shards reuse the recorded neutral run, and the rest simulate. *)
+let eval_shard (p : plan) i : run =
+  let s = p.pl_shards.(i) in
+  match s.sh_disp with
+  | Pruned ->
+      {
+        workload = s.sh_workload.wname;
+        strategy = s.sh_strategy;
+        fault = s.sh_fault;
+        outcome = Benign;
+        detail = No_detail;
+        cycles = 0;
+        retried = false;
+      }
+  | Baseline_equiv base ->
+      classify ~golden:s.sh_golden s.sh_workload s.sh_strategy s.sh_fault
+        { Exec.Pool.value = Ok base; attempts = 1 }
+  | Simulate f ->
+      classify ~golden:s.sh_golden s.sh_workload s.sh_strategy s.sh_fault
+        { Exec.Pool.value = Ok (f ()); attempts = 1 }
+
+(* The run for a shard whose evaluation crashed (after the pool's
+   retry): same classification a crashed mutant got on the legacy
+   path — silent corruption with the crash message. *)
+let crash_run (p : plan) i msg : run =
+  let s = p.pl_shards.(i) in
+  classify ~golden:s.sh_golden s.sh_workload s.sh_strategy s.sh_fault
+    { Exec.Pool.value = Error msg; attempts = 1 }
+
+let with_retry (r : run) ~attempts = if attempts > 1 then { r with retried = true } else r
+
+(* Merge shard results (in shard-index order) into the report.  The
+   merge is pure bookkeeping, so a report assembled from any scheduler
+   is byte-identical to the serial sweep's as long as [runs] is in
+   index order. *)
+let merge (p : plan) (runs : run list) : report =
+  let pruned_static =
+    Array.fold_left
+      (fun n s -> match s.sh_disp with Pruned -> n + 1 | _ -> n)
+      0 p.pl_shards
+  in
+  {
+    workloads = p.pl_workloads;
+    site_count = p.pl_site_count;
+    dropped = p.pl_dropped;
+    kind_counts = p.pl_kind_counts;
+    pruned_static;
+    runs;
+    summaries = summarize p.pl_strategies runs;
+  }
+
+(** Sweep every enumerated fault site of every workload under every
+    strategy: plan, evaluate every shard on an {!Exec.Pool} of worker
+    domains ([config.jobs]), merge in shard-index order — so the report
+    is byte-identical for every job count.  [progress] (if given) is
+    called once per classified mutant run, on the calling domain, in
+    deterministic (shard-index) order. *)
+let run ?(config = default_config) ?progress (workloads : workload list) : report =
+  let p = plan ~config workloads in
+  let fns = Array.init (shard_count p) (fun i () -> eval_shard p i) in
+  let outcomes = Exec.Pool.run ?jobs:config.jobs ~retries:1 fns in
+  let out = ref [] in
+  for i = 0 to shard_count p - 1 do
+    let o = outcomes.(i) in
+    let r =
+      match o.Exec.Pool.value with
+      | Ok r -> with_retry r ~attempts:o.Exec.Pool.attempts
+      | Error m -> with_retry (crash_run p i m) ~attempts:o.Exec.Pool.attempts
+    in
+    (match progress with Some f -> f r | None -> ());
+    out := r :: !out
+  done;
+  merge p (List.rev !out)
 
 (* --- rendering ---------------------------------------------------------- *)
 
@@ -794,71 +866,43 @@ let render_classes (r : report) : string =
     r.runs;
   Buffer.contents b
 
-(* Hand-rolled JSON (no JSON library in the dependency set). *)
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let render_json (r : report) : string =
-  let b = Buffer.create 8192 in
-  let str s = Printf.sprintf "\"%s\"" (json_escape s) in
-  let obj fields = "{" ^ String.concat ", " fields ^ "}" in
-  let fld k v = Printf.sprintf "%s: %s" (str k) v in
-  let arr items = "[" ^ String.concat ", " items ^ "]" in
-  Buffer.add_string b
-    (obj
-       [
-         fld "workloads" (arr (List.map str r.workloads));
-         fld "sites" (string_of_int r.site_count);
-         fld "dropped" (string_of_int r.dropped);
-         fld "pruned_static" (string_of_int r.pruned_static);
-         fld "kinds"
-           (obj (List.map (fun (k, n) -> fld k (string_of_int n)) r.kind_counts));
-         fld "strategies"
-           (arr
-              (List.map
-                 (fun s ->
-                   obj
-                     [
-                       fld "strategy" (str s.strategy);
-                       fld "mutants" (string_of_int s.mutants);
-                       fld "detected_by_assertion" (string_of_int s.by_assertion);
-                       fld "hang_detected" (string_of_int s.by_hang);
-                       fld "silent_corruption" (string_of_int s.silent);
-                       fld "benign" (string_of_int s.benign);
-                       fld "budget_exceeded" (string_of_int s.over_budget);
-                       fld "detected" (string_of_int (detected_of_summary s));
-                       fld "mean_detection_cycles"
-                         (match s.mean_detection_cycles with
-                         | Some m -> Printf.sprintf "%.1f" m
-                         | None -> "null");
-                     ])
-                 r.summaries));
-         fld "runs"
-           (arr
-              (List.map
-                 (fun run ->
-                   obj
-                     [
-                       fld "workload" (str run.workload);
-                       fld "strategy" (str run.strategy);
-                       fld "fault" (str (Fault.describe run.fault));
-                       fld "kind" (str (Fault.kind_name run.fault));
-                       fld "class" (str (class_name run.outcome));
-                       fld "detail" (str (detail_string run.detail));
-                       fld "cycles" (string_of_int run.cycles);
-                       fld "retried" (if run.retried then "true" else "false");
-                     ])
-                 r.runs));
-       ]);
-  Buffer.contents b
+let json_of (r : report) : Json.t =
+  Json.Obj
+    [
+      ("workloads", Json.list Json.str r.workloads);
+      ("sites", Json.int r.site_count);
+      ("dropped", Json.int r.dropped);
+      ("pruned_static", Json.int r.pruned_static);
+      ("kinds", Json.Obj (List.map (fun (k, n) -> (k, Json.int n)) r.kind_counts));
+      ( "strategies",
+        Json.list
+          (fun s ->
+            Json.Obj
+              [
+                ("strategy", Json.Str s.strategy);
+                ("mutants", Json.int s.mutants);
+                ("detected_by_assertion", Json.int s.by_assertion);
+                ("hang_detected", Json.int s.by_hang);
+                ("silent_corruption", Json.int s.silent);
+                ("benign", Json.int s.benign);
+                ("budget_exceeded", Json.int s.over_budget);
+                ("detected", Json.int (detected_of_summary s));
+                ("mean_detection_cycles", Json.opt Json.float s.mean_detection_cycles);
+              ])
+          r.summaries );
+      ( "runs",
+        Json.list
+          (fun (run : run) ->
+            Json.Obj
+              [
+                ("workload", Json.Str run.workload);
+                ("strategy", Json.Str run.strategy);
+                ("fault", Json.Str (Fault.describe run.fault));
+                ("kind", Json.Str (Fault.kind_name run.fault));
+                ("class", Json.Str (class_name run.outcome));
+                ("detail", Json.Str (detail_string run.detail));
+                ("cycles", Json.int run.cycles);
+                ("retried", Json.Bool run.retried);
+              ])
+          r.runs );
+    ]

@@ -1,0 +1,67 @@
+(** The toolchain's single JSON vocabulary.
+
+    Every machine-readable artifact — subcommand [--json] output, the
+    serve protocol, bench artifacts — is a {!t} printed by
+    {!to_string}, so formatting decisions (separator style, escaping,
+    number rendering) are made exactly once and every report stays
+    byte-deterministic.  Integers are [int64] because fuzz seeds use
+    the full splitmix64 range.
+
+    The printer emits single-line documents in the repo's historical
+    style: [", "] between fields/elements and [": "] after keys. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int64
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- constructors -------------------------------------------------------- *)
+
+val int : int -> t
+val i64 : int64 -> t
+val str : string -> t
+val bool : bool -> t
+val float : float -> t
+val list : ('a -> t) -> 'a list -> t
+
+(** [None] becomes [Null]. *)
+val opt : ('a -> t) -> 'a option -> t
+
+(* --- printing ------------------------------------------------------------ *)
+
+(** Escape for inclusion between double quotes: quote, backslash,
+    newline and tab as two-character escapes, other control bytes as
+    [\uXXXX]. *)
+val escape : string -> string
+
+val to_buffer : Buffer.t -> t -> unit
+
+(** Deterministic single-line rendering. *)
+val to_string : t -> string
+
+(* --- parsing ------------------------------------------------------------- *)
+
+(** Parse one JSON document (surrounding whitespace allowed).  Errors
+    carry the byte offset of the failure.  Numbers without a fraction
+    or exponent parse as [Int]; others as [Float].  [\uXXXX] escapes
+    decode to UTF-8. *)
+val parse : string -> (t, string) result
+
+(* --- accessors ----------------------------------------------------------- *)
+
+(** Field lookup; [None] when absent or not an object.  Unknown fields
+    in the input are simply never looked up, which is what makes every
+    decoder in the toolchain tolerant of schema extensions. *)
+val member : string -> t -> t option
+
+val get_str : t -> string option
+val get_int : t -> int option
+val get_i64 : t -> int64 option
+val get_bool : t -> bool option
+val get_float : t -> float option
+val get_list : t -> t list option
+val get_obj : t -> (string * t) list option

@@ -71,7 +71,8 @@ let detected_set (r : Campaign.report) =
     r.Campaign.runs
   |> List.sort_uniq compare
 
-let mine ?(config = default_config) ~name ?options (prog : Front.Ast.program) : result =
+let mine ?(config = default_config) ?progress ~name ?options (prog : Front.Ast.program) :
+    result =
   let base_options =
     match options with Some o -> o | None -> Trace.auto_options prog
   in
@@ -167,7 +168,7 @@ let mine ?(config = default_config) ~name ?options (prog : Front.Ast.program) : 
             | rep, comp ->
                 let det = detected_set rep in
                 let newly = List.filter (fun d -> not (List.mem d base_set)) det in
-                Some
+                let s =
                   {
                     candidate = c;
                     kills = List.length det;
@@ -185,6 +186,9 @@ let mine ?(config = default_config) ~name ?options (prog : Front.Ast.program) : 
                       -. base_c.Driver.timing.Rtl.Timing.fmax_mhz;
                     source = src;
                   }
+                in
+                (match progress with Some f -> f s | None -> ());
+                Some s
             | exception _ -> None))
       survivors
   in
@@ -247,53 +251,33 @@ let render ?(top = max_int) (r : result) : string =
   if r.scored = [] then p "(no candidate survived)";
   Buffer.contents b
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let render_json ?(top = max_int) (r : result) : string =
-  let str s = Printf.sprintf "\"%s\"" (json_escape s) in
-  let obj fields = "{" ^ String.concat ", " fields ^ "}" in
-  let fld k v = Printf.sprintf "%s: %s" (str k) v in
-  let arr items = "[" ^ String.concat ", " items ^ "]" in
-  obj
+let json_of ?(top = max_int) (r : result) : Json.t =
+  Json.Obj
     [
-      fld "name" (str r.rname);
-      fld "strategy" (str r.strategy_name);
-      fld "stimuli" (arr (List.map str r.stimuli));
-      fld "inferred" (string_of_int r.inferred);
-      fld "kept" (string_of_int r.capped);
-      fld "static_proved" (string_of_int r.static_proved);
-      fld "survivors" (string_of_int r.survivors);
-      fld "mutants" (string_of_int r.mutants);
-      fld "base_detected" (string_of_int r.base_detected);
-      fld "ranking"
-        (arr
-           (List.map
-              (fun s ->
-                obj
-                  [
-                    fld "uid" (string_of_int s.candidate.Infer.uid);
-                    fld "invariant" (str (Infer.describe s.candidate));
-                    fld "kind" (str (Infer.template_kind s.candidate.Infer.template));
-                    fld "kills" (string_of_int s.kills);
-                    fld "marginal" (string_of_int s.marginal);
-                    fld "newly_detected" (arr (List.map str s.newly_detected));
-                    fld "mutants" (string_of_int s.mutants);
-                    fld "alut_delta" (string_of_int s.alut_delta);
-                    fld "reg_delta" (string_of_int s.reg_delta);
-                    fld "fmax_delta_mhz" (Printf.sprintf "%.2f" s.fmax_delta_mhz);
-                  ])
-              (take top r.scored)));
+      ("name", Json.Str r.rname);
+      ("strategy", Json.Str r.strategy_name);
+      ("stimuli", Json.list Json.str r.stimuli);
+      ("inferred", Json.int r.inferred);
+      ("kept", Json.int r.capped);
+      ("static_proved", Json.int r.static_proved);
+      ("survivors", Json.int r.survivors);
+      ("mutants", Json.int r.mutants);
+      ("base_detected", Json.int r.base_detected);
+      ( "ranking",
+        Json.list
+          (fun s ->
+            Json.Obj
+              [
+                ("uid", Json.int s.candidate.Infer.uid);
+                ("invariant", Json.Str (Infer.describe s.candidate));
+                ("kind", Json.Str (Infer.template_kind s.candidate.Infer.template));
+                ("kills", Json.int s.kills);
+                ("marginal", Json.int s.marginal);
+                ("newly_detected", Json.list Json.str s.newly_detected);
+                ("mutants", Json.int s.mutants);
+                ("alut_delta", Json.int s.alut_delta);
+                ("reg_delta", Json.int s.reg_delta);
+                ("fmax_delta_mhz", Json.float s.fmax_delta_mhz);
+              ])
+          (take top r.scored) );
     ]

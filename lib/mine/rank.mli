@@ -54,12 +54,15 @@ type result = {
 
 (** Trace, infer, filter, score, rank.  [options] is the base stimulus
     (defaults to {!Trace.auto_options}); it must pass software
-    simulation, else [Invalid_argument] is raised.
+    simulation, else [Invalid_argument] is raised.  [progress] (if
+    given) is called once per scored candidate, on the calling domain,
+    in candidate order (before ranking).
 
     Ranking is deterministic: marginal kills desc, total kills desc,
     area delta asc, uid asc. *)
 val mine :
   ?config:config ->
+  ?progress:(scored -> unit) ->
   name:string ->
   ?options:Core.Driver.sim_options ->
   Front.Ast.program ->
@@ -71,5 +74,6 @@ val top_candidates : ?top:int -> result -> Infer.candidate list
 (** Human-readable ranking table, trimmed to [top] rows. *)
 val render : ?top:int -> result -> string
 
-(** The same report as a JSON document. *)
-val render_json : ?top:int -> result -> string
+(** The report as a JSON payload (the [inca mine] entry in a
+    {!Core.Report} envelope), trimmed to [top] ranking rows. *)
+val json_of : ?top:int -> result -> Json.t

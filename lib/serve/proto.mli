@@ -1,0 +1,47 @@
+(** The [inca serve] wire protocol: newline-delimited JSON over a Unix
+    socket.  One request line in, a stream of event lines out — zero or
+    more [progress] events followed by exactly one terminal [report]
+    (the {!Core.Report} envelope plus cache-hit counters) or [error].
+
+    Two request forms are accepted:
+
+    - the envelope: [{"schema_version": 1, "id": "…", "job": {…}}],
+      with ["schema_version"] required;
+    - a bare job object [{"kind": "check", …}] — the form a human types
+      into [socat]/[nc]; ["schema_version"] is validated only when
+      present.
+
+    A version mismatch is rejected with a diagnostic naming both
+    versions, never a parse crash; unknown fields are ignored
+    everywhere. *)
+
+type request = {
+  req_id : string;  (** echoed on every event; ["-"] when absent *)
+  req_job : Core.Job.t;
+}
+
+(** Cache effectiveness of one job: hits observed while it ran. *)
+type cache_delta = { cd_memory_hits : int; cd_disk_hits : int }
+
+type event =
+  | Progress of { seq : int; label : string; data : Json.t }
+  | Done of { report : Core.Report.t; cache : cache_delta }
+  | Failed of { message : string }
+      (** a request-level failure (undecodable request); job-level
+          failures arrive as a [Done] whose report carries [error] *)
+
+(** The id to echo when a request cannot be decoded. *)
+val request_id : Json.t -> string
+
+val decode_request : Json.t -> (request, string) result
+
+(** One event as a protocol line (no trailing newline). *)
+val encode_event : id:string -> event -> string
+
+(** Client side: decode one event line into (id, event). *)
+val decode_event : string -> (string * event, string) result
+
+(** The machine-readable protocol description printed by [inca jobs]:
+    schema version, request/event envelopes, and the fields of every
+    job kind. *)
+val describe : unit -> Json.t

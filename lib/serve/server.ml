@@ -1,0 +1,237 @@
+type t = {
+  sv_socket : string;
+  sv_fd : Unix.file_descr;
+  sv_stop_r : Unix.file_descr;
+  sv_stop_w : Unix.file_descr;
+  sv_jobs : int option;
+  sv_stopping : bool Atomic.t;
+  mutable sv_thread : Thread.t option;
+}
+
+(* Replace a stale socket file; refuse to clobber a live daemon. *)
+let claim_socket path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect probe (Unix.ADDR_UNIX path) with
+    | () ->
+        Unix.close probe;
+        failwith (Printf.sprintf "%s is already in use by a running daemon" path)
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+        Unix.close probe;
+        (try Unix.unlink path with Unix.Unix_error _ -> ())
+    | exception e ->
+        Unix.close probe;
+        raise e
+  end
+
+(* Write [line ^ "\n"] whole; flip [ok] off instead of raising when the
+   client has gone away, so the job still runs to completion. *)
+let send_line fd ok line =
+  if !ok then begin
+    let b = Bytes.of_string (line ^ "\n") in
+    let n = Bytes.length b in
+    let off = ref 0 in
+    try
+      while !off < n do
+        let w = Unix.write fd b !off (n - !off) in
+        if w <= 0 then raise Exit;
+        off := !off + w
+      done
+    with
+    | Exit -> ok := false
+    | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF | Unix.ENOTCONN), _, _)
+      ->
+        ok := false
+  end
+
+let handle_line t conn ok line =
+  let line = String.trim line in
+  if line <> "" then begin
+    let send e = send_line conn ok (Proto.encode_event ~id:(fst e) (snd e)) in
+    match Json.parse line with
+    | Error e -> send ("-", Proto.Failed { message = e })
+    | Ok j -> (
+        let id = Proto.request_id j in
+        match Proto.decode_request j with
+        | Error e -> send (id, Proto.Failed { message = e })
+        | Ok req ->
+            let before = Exec.Cache.stats () in
+            let seq = ref 0 in
+            let progress ~label ~data =
+              let e = Proto.Progress { seq = !seq; label; data } in
+              incr seq;
+              send (id, e)
+            in
+            let outcome = Sched.run ~progress ?default_jobs:t.sv_jobs req.Proto.req_job in
+            let after = Exec.Cache.stats () in
+            let cache =
+              {
+                Proto.cd_memory_hits = after.Exec.Cache.hits - before.Exec.Cache.hits;
+                cd_disk_hits = after.Exec.Cache.disk_hits - before.Exec.Cache.disk_hits;
+              }
+            in
+            send (id, Proto.Done { report = outcome.Sched.sc_report; cache }))
+  end
+
+(* Read protocol lines off one connection until EOF or stop. *)
+let handle_conn t conn =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let ok = ref true in
+  let closed = ref false in
+  while not !closed do
+    match Unix.select [ conn; t.sv_stop_r ] [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+        if List.mem t.sv_stop_r ready then closed := true
+        else begin
+          let n =
+            try Unix.read conn chunk 0 (Bytes.length chunk) with
+            | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0
+          in
+          if n = 0 then closed := true
+          else begin
+            Buffer.add_subbytes buf chunk 0 n;
+            (* process every complete line accumulated so far *)
+            let s = Buffer.contents buf in
+            let rec drain start =
+              match String.index_from_opt s start '\n' with
+              | None ->
+                  Buffer.clear buf;
+                  Buffer.add_string buf (String.sub s start (String.length s - start))
+              | Some nl ->
+                  handle_line t conn ok (String.sub s start (nl - start));
+                  drain (nl + 1)
+            in
+            drain 0
+          end
+        end
+  done
+
+let accept_loop t =
+  let running = ref true in
+  while !running do
+    match Unix.select [ t.sv_fd; t.sv_stop_r ] [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+        if List.mem t.sv_stop_r ready then running := false
+        else begin
+          match Unix.accept t.sv_fd with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | conn, _ ->
+              (* one connection at a time: requests are serialized at
+                 the job level, parallel inside the job *)
+              (try handle_conn t conn with _ -> ());
+              (try Unix.close conn with Unix.Unix_error _ -> ())
+        end
+  done
+
+let start ~socket ?jobs () =
+  claim_socket socket;
+  (* writing to a disconnected client must not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX socket);
+     Unix.listen fd 8
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let stop_r, stop_w = Unix.pipe () in
+  let t =
+    { sv_socket = socket; sv_fd = fd; sv_stop_r = stop_r; sv_stop_w = stop_w;
+      sv_jobs = jobs; sv_stopping = Atomic.make false; sv_thread = None }
+  in
+  t.sv_thread <- Some (Thread.create accept_loop t);
+  t
+
+(* The stop byte is never drained, so every select in flight — accept
+   loop and connection readers alike — stays ready once signalled. *)
+let signal_stop t =
+  Atomic.set t.sv_stopping true;
+  try ignore (Unix.write t.sv_stop_w (Bytes.of_string "x") 0 1)
+  with Unix.Unix_error _ -> ()
+
+let stopping t = Atomic.get t.sv_stopping
+
+let cleanup t =
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    [ t.sv_fd; t.sv_stop_r; t.sv_stop_w ];
+  try Unix.unlink t.sv_socket with Unix.Unix_error _ | Sys_error _ -> ()
+
+let wait t =
+  (match t.sv_thread with Some th -> Thread.join th | None -> ());
+  t.sv_thread <- None;
+  cleanup t
+
+let stop t =
+  signal_stop t;
+  wait t
+
+(* --- client --------------------------------------------------------------- *)
+
+let request ~socket ?(id = "-") ?on_progress (job : Core.Job.t) =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+  match
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    let line =
+      Json.to_string
+        (Json.Obj
+           [
+             ("schema_version", Json.int Core.Report.schema_version);
+             ("id", Json.Str id);
+             ("job", Core.Job.to_json job);
+           ])
+      ^ "\n"
+    in
+    let b = Bytes.of_string line in
+    let off = ref 0 in
+    while !off < Bytes.length b do
+      off := !off + Unix.write fd b !off (Bytes.length b - !off)
+    done;
+    let buf = Buffer.create 4096 in
+    let chunk = Bytes.create 4096 in
+    let result = ref None in
+    while !result = None do
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n = 0 then result := Some (Error "connection closed before a report arrived")
+      else begin
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        let rec drain start =
+          if !result <> None then ()
+          else
+            match String.index_from_opt s start '\n' with
+            | None ->
+                Buffer.clear buf;
+                Buffer.add_string buf (String.sub s start (String.length s - start))
+            | Some nl ->
+                let l = String.trim (String.sub s start (nl - start)) in
+                (if l <> "" then
+                   match Proto.decode_event l with
+                   | Error e -> result := Some (Error ("protocol error: " ^ e))
+                   | Ok (_, Proto.Progress { seq; label; data }) ->
+                       (match on_progress with
+                       | Some f -> f ~seq ~label ~data
+                       | None -> ())
+                   | Ok (_, Proto.Done { report; cache }) ->
+                       result := Some (Ok (report, cache))
+                   | Ok (_, Proto.Failed { message }) -> result := Some (Error message));
+                drain (nl + 1)
+        in
+        drain 0
+      end
+    done;
+    Option.get !result
+  with
+  | r ->
+      finally ();
+      r
+  | exception Unix.Unix_error (e, fn, _) ->
+      finally ();
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  | exception Sys_error m ->
+      finally ();
+      Error m

@@ -1,0 +1,46 @@
+(** The [inca serve] daemon: a Unix-socket server speaking the
+    {!Proto} protocol, plus the matching client used by [inca submit]
+    and the tests.
+
+    Connections are accepted sequentially and each request runs to
+    completion before the next is read — job-level serialization is
+    what makes sharded campaign output byte-identical to the CLI; the
+    parallelism lives {e inside} a job, on {!Exec.Pool}.  A malformed
+    request gets an [error] event and the connection stays up; a client
+    that disconnects mid-job does not kill the daemon or abort the job
+    (it runs to completion, keeping the on-disk cache consistent). *)
+
+type t
+
+(** Bind [socket] and start the accept loop on a background thread.
+    A stale socket file (no listener behind it) is replaced; a live one
+    raises [Failure].  [jobs] is the default worker count for jobs that
+    leave their [jobs] field unset. *)
+val start : socket:string -> ?jobs:int -> unit -> t
+
+(** Ask the accept loop to exit after the in-flight request (async-
+    signal-safe: usable from a signal handler). *)
+val signal_stop : t -> unit
+
+(** Whether {!signal_stop} has been called.  The CLI's foreground loop
+    polls this instead of parking in [Thread.join] — a thread blocked in
+    [join] never reaches an OCaml safepoint, so a signal handler would
+    never run. *)
+val stopping : t -> bool
+
+(** Join the accept loop and remove the socket file. *)
+val wait : t -> unit
+
+(** [signal_stop] then [wait]. *)
+val stop : t -> unit
+
+(** Client: submit one job and block until the terminal event.
+    [on_progress] sees each progress event as it streams in.  Returns
+    the report and the daemon's cache-hit delta for the job, or a
+    connection/protocol error. *)
+val request :
+  socket:string ->
+  ?id:string ->
+  ?on_progress:(seq:int -> label:string -> data:Json.t -> unit) ->
+  Core.Job.t ->
+  (Core.Report.t * Proto.cache_delta, string) result

@@ -196,47 +196,36 @@ let render r =
       r.r_baseline_cycles;
   Buffer.contents b
 
-let render_json r =
-  let esc = Analysis.Diag.json_escape in
-  let b = Buffer.create 1024 in
-  Printf.bprintf b
-    "{\"seed\": %Ld, \"count\": %d, \"fuel\": %d, \"max_cycles\": %d, \
-     \"watchdog\": %d, \"divergent\": %d, \"baseline_cycles\": %d"
-    r.r_seed r.r_count r.r_fuel r.r_max_cycles r.r_watchdog
-    (List.length r.r_findings)
-    r.r_baseline_cycles;
-  Buffer.add_string b ", \"classes\": {";
-  List.iteri
-    (fun i (k, n) ->
-      if i > 0 then Buffer.add_string b ", ";
-      Printf.bprintf b "\"%s\": %d" (esc k) n)
-    r.r_classes;
-  Buffer.add_string b "}, \"findings\": [";
-  List.iteri
-    (fun i f ->
-      if i > 0 then Buffer.add_string b ", ";
-      Printf.bprintf b
-        "{\"index\": %d, \"seed\": %Ld, \"classes\": [%s], \"details\": [%s], \
-         \"orig_lines\": %d, \"min_lines\": %d, \"shrink_attempts\": %d, \
-         \"corpus\": %s, \"source\": \"%s\"}"
-        f.f_index f.f_seed
-        (String.concat ", "
-           (List.map (fun k -> "\"" ^ esc k ^ "\"") f.f_classes))
-        (String.concat ", "
-           (List.map
-              (fun (k, d) ->
-                Printf.sprintf "{\"class\": \"%s\", \"detail\": \"%s\"}" (esc k)
-                  (esc d))
-              f.f_details))
-        f.f_stats.Shrink.orig_lines f.f_stats.Shrink.min_lines
-        f.f_stats.Shrink.attempts
-        (match f.f_corpus with
-        | Some p -> "\"" ^ esc (Filename.basename p) ^ "\""
-        | None -> "null")
-        (esc (Front.Pretty.program_to_string f.f_shrunk)))
-    r.r_findings;
-  Buffer.add_string b "]}";
-  Buffer.contents b
+let json_of r : Json.t =
+  let finding f =
+    Json.Obj
+      [
+        ("index", Json.int f.f_index);
+        ("seed", Json.i64 f.f_seed);
+        ("classes", Json.list Json.str f.f_classes);
+        ( "details",
+          Json.list
+            (fun (k, d) -> Json.Obj [ ("class", Json.Str k); ("detail", Json.Str d) ])
+            f.f_details );
+        ("orig_lines", Json.int f.f_stats.Shrink.orig_lines);
+        ("min_lines", Json.int f.f_stats.Shrink.min_lines);
+        ("shrink_attempts", Json.int f.f_stats.Shrink.attempts);
+        ("corpus", Json.opt (fun p -> Json.Str (Filename.basename p)) f.f_corpus);
+        ("source", Json.Str (Front.Pretty.program_to_string f.f_shrunk));
+      ]
+  in
+  Json.Obj
+    [
+      ("seed", Json.i64 r.r_seed);
+      ("count", Json.int r.r_count);
+      ("fuel", Json.int r.r_fuel);
+      ("max_cycles", Json.int r.r_max_cycles);
+      ("watchdog", Json.int r.r_watchdog);
+      ("divergent", Json.int (List.length r.r_findings));
+      ("baseline_cycles", Json.int r.r_baseline_cycles);
+      ("classes", Json.Obj (List.map (fun (k, n) -> (k, Json.int n)) r.r_classes));
+      ("findings", Json.list finding r.r_findings);
+    ]
 
 let workloads r =
   List.map

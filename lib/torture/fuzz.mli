@@ -66,8 +66,9 @@ val run :
 (** Human-readable summary. *)
 val render : report -> string
 
-(** Deterministic JSON document (no timings, no absolute paths). *)
-val render_json : report -> string
+(** Deterministic JSON payload (no timings, no absolute paths) — the
+    [inca fuzz] entry in a {!Core.Report} envelope. *)
+val json_of : report -> Json.t
 
 (** Each finding's shrunk reproducer as a fault-injection campaign
     workload (testbench derived with {!Mine.Trace.auto_options}), so a

@@ -365,7 +365,7 @@ let test_lint_dead_assertion () =
 
 let test_render_json_shape () =
   let r = Check.report_of (elab violated_src) in
-  let js = Check.render_json ~file:"test.c" r in
+  let js = Json.to_string (Check.json_of ~file:"test.c" r) in
   check tbool "json has class violated" true
     (let needle = "\"class\": \"violated\"" in
      let rec find i =

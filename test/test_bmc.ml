@@ -554,7 +554,7 @@ let test_prove_deterministic_across_jobs () =
     in
     { Verdict.p_depth = 8; p_induction = 4; p_results = results }
   in
-  let render r = Verdict.render_json ~file:"prove_demo.c" r in
+  let render r = Json.to_string (Verdict.json_of ~file:"prove_demo.c" r) in
   check tstr "1-domain pool matches sequential" (render seq) (render (pooled 1));
   check tstr "4-domain pool matches sequential" (render seq) (render (pooled 4))
 

@@ -262,7 +262,7 @@ let test_campaign_parallel_byte_identical () =
       { Campaign.default_config with Campaign.max_mutants = Some 6; jobs = Some jobs }
     in
     let r = Campaign.run ~config workloads in
-    (Campaign.render r, Campaign.render_json r)
+    (Campaign.render r, Json.to_string (Campaign.json_of r))
   in
   let ser_txt, ser_json = sweep 1 in
   let par_txt, par_json = sweep 4 in

@@ -422,7 +422,7 @@ let test_campaign_render_and_json () =
     (has_sub ~sub:"baseline" table && has_sub ~sub:"optimized" table);
   check tbool "table has the kind matrix" true
     (has_sub ~sub:"assertion coverage by fault kind" table);
-  let json = Campaign.render_json r in
+  let json = Json.to_string (Campaign.json_of r) in
   check tbool "json has runs" true (has_sub ~sub:"\"runs\"" json);
   check tbool "json has strategies" true (has_sub ~sub:"\"strategies\"" json);
   check tbool "json quotes classes" true
@@ -463,7 +463,7 @@ let test_campaign_static_prefilter_prunes () =
   check tint "both modes prune identically" fork.Campaign.pruned_static
     reset.Campaign.pruned_static;
   check tbool "json reports the pruned count" true
-    (has_sub ~sub:"\"pruned_static\"" (Campaign.render_json fork))
+    (has_sub ~sub:"\"pruned_static\"" (Json.to_string (Campaign.json_of fork)))
 
 (* --- notification routing ------------------------------------------------------ *)
 

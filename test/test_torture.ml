@@ -185,7 +185,7 @@ let test_corpus_replay () =
 (* --- fuzz campaign -------------------------------------------------------- *)
 
 let test_fuzz_byte_identical_across_jobs () =
-  let run jobs = Fuzz.render_json (Fuzz.run ~jobs ~seed:42L ~count:20 ()) in
+  let run jobs = Json.to_string (Fuzz.json_of (Fuzz.run ~jobs ~seed:42L ~count:20 ())) in
   let serial = run 1 in
   check tstr "serial rerun is byte-identical" serial (run 1);
   check tstr "4-domain report is byte-identical to serial" serial (run 4)

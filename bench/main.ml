@@ -468,11 +468,13 @@ let timing_demo () =
    the sweep and not of whoever ran before us.  The disk tier (when
    INCA_CACHE_DIR is set) is deliberately left alone: its cross-run
    hits are exactly what the artifact reports. *)
-let timed_campaign ~mode ~jobs workloads =
+let timed_campaign ?(prune_hangs = true) ~mode ~jobs workloads =
   Exec.Cache.reset_memory ();
   let t0 = Unix.gettimeofday () in
   let n = ref 0 in
-  let config = { Campaign.default_config with Campaign.mode; jobs = Some jobs } in
+  let config =
+    { Campaign.default_config with Campaign.mode; jobs = Some jobs; prune_hangs }
+  in
   let report = Campaign.run ~config ~progress:(fun _ -> incr n) workloads in
   let dt = Unix.gettimeofday () -. t0 in
   (report, !n, dt, Exec.Cache.stats ())
@@ -491,6 +493,13 @@ let campaign_bench () =
     timed_campaign ~mode:Campaign.Fork ~jobs:1 workloads
   in
   let report, _, dt, stats = timed_campaign ~mode:Campaign.Fork ~jobs workloads in
+  (* Hang pruning A/B: the same sweep with the liveness prefilter off
+     must simulate every provably hanging mutant to the same class.
+     Pruning may only change *how* a hang is established, never what
+     the campaign concludes. *)
+  let noprune_report, _, noprune_dt, _ =
+    timed_campaign ~prune_hangs:false ~mode:Campaign.Fork ~jobs workloads
+  in
   print_endline (Campaign.render report);
   if Json.to_string (Campaign.json_of report) <> Json.to_string (Campaign.json_of serial_report) then begin
     Printf.eprintf "  DETERMINISM VIOLATION: %d-domain report differs from serial\n" jobs;
@@ -499,6 +508,20 @@ let campaign_bench () =
   if Campaign.render_classes report <> Campaign.render_classes reset_report then begin
     prerr_endline
       "  INVARIANT VIOLATION: fork-point classification differs from from-reset";
+    exit 1
+  end;
+  if Campaign.render_classes report <> Campaign.render_classes noprune_report then begin
+    prerr_endline
+      "  INVARIANT VIOLATION: hang pruning changed the classification map";
+    exit 1
+  end;
+  if report.Campaign.pruned_hang = 0 then begin
+    prerr_endline
+      "  FAIL: liveness prefilter proved no bundled mutant certainly hanging";
+    exit 1
+  end;
+  if noprune_report.Campaign.pruned_hang <> 0 then begin
+    prerr_endline "  INVARIANT VIOLATION: --no-prune sweep still pruned mutants";
     exit 1
   end;
   let mps = float_of_int n /. dt in
@@ -512,6 +535,10 @@ let campaign_bench () =
     "  from-reset: %.2fs (%.1f mutants/sec); fork-point is %.2fx faster \
      (classifications identical)\n"
     reset_dt reset_mps fork_speedup;
+  Printf.printf
+    "  liveness prefilter: %d hang-class mutant runs pruned (sweep %.2fs vs %.2fs \
+     unpruned; classifications identical)\n"
+    report.Campaign.pruned_hang dt noprune_dt;
   Printf.printf "  compile cache: %d hits / %d misses per sweep (reports byte-identical)\n"
     stats.Exec.Cache.hits stats.Exec.Cache.misses;
   (match Exec.Cache.dir () with
@@ -528,11 +555,13 @@ let campaign_bench () =
     "{\"mutant_runs\": %d, \"elapsed_seconds\": %.3f, \"serial_wall_seconds\": %.3f, \
      \"wall_seconds\": %.3f, \"jobs\": %d, \"speedup\": %.3f, \"mutants_per_second\": %.1f, \
      \"from_reset_wall_seconds\": %.3f, \"from_reset_mutants_per_second\": %.1f, \
-     \"fork_speedup_vs_reset\": %.3f, \"pruned_static\": %d, \
+     \"fork_speedup_vs_reset\": %.3f, \"pruned_static\": %d, \"pruned_hang\": %d, \
+     \"no_prune_wall_seconds\": %.3f, \
      \"cache_hits\": %d, \"cache_misses\": %d, \"disk_hits\": %d, \"disk_misses\": %d, \
      \"report\": %s}\n"
     n dt serial_dt dt jobs speedup mps reset_dt reset_mps fork_speedup
-    report.Campaign.pruned_static stats.Exec.Cache.hits stats.Exec.Cache.misses
+    report.Campaign.pruned_static report.Campaign.pruned_hang noprune_dt
+    stats.Exec.Cache.hits stats.Exec.Cache.misses
     stats.Exec.Cache.disk_hits stats.Exec.Cache.disk_misses
     (Json.to_string (Campaign.json_of report));
   close_out oc;
@@ -629,12 +658,18 @@ let mine_bench () =
 let check_bench () =
   section "Static verification: assertion classes and the --prune-proved dividend";
   let strategy = Driver.parallelized in
-  Printf.printf "  %-8s %9s %7s %9s %8s %7s %7s %7s %11s\n" "app" "asserts" "proved"
-    "violated" "unknown" "pruned" "aluts" "regs" "fmax(MHz)";
+  Printf.printf "  %-8s %9s %7s %9s %8s %7s %7s %7s %11s %13s\n" "app" "asserts" "proved"
+    "violated" "unknown" "pruned" "aluts" "regs" "fmax(MHz)" "liveness";
   let rows =
     List.map
       (fun (w : Campaign.workload) ->
         let name = w.Campaign.wname and prog = w.Campaign.program in
+        let opts = w.Campaign.options in
+        let live =
+          Analysis.Live.analyze ~params:opts.Driver.params
+            ~feeds:(List.map (fun (s, vs) -> (s, List.length vs)) opts.Driver.feeds)
+            ~drains:opts.Driver.drains prog
+        in
         let r = Analysis.Absint.analyze prog in
         let p, v, u =
           List.fold_left
@@ -653,26 +688,46 @@ let check_bench () =
           pruned.Driver.timing.Timing.fmax_mhz -. base.Driver.timing.Timing.fmax_mhz
         in
         let ps = pruned.Driver.pruned in
-        Printf.printf "  %-8s %9d %7d %9d %8d %7d %+7d %+7d %+11.1f\n" name (p + v + u)
-          p v u ps.Driver.absint_pruned alut_d reg_d fmax_d;
-        (name, p + v + u, p, v, u, alut_d, reg_d, fmax_d, ps))
+        Printf.printf "  %-8s %9d %7d %9d %8d %7d %+7d %+7d %+11.1f %13s\n" name
+          (p + v + u) p v u ps.Driver.absint_pruned alut_d reg_d fmax_d
+          (Analysis.Live.class_name live);
+        (name, p + v + u, p, v, u, alut_d, reg_d, fmax_d, ps, live))
       (Campaign.bundled ())
   in
-  let total_proved = List.fold_left (fun acc (_, _, p, _, _, _, _, _, _) -> acc + p) 0 rows in
+  let total_proved =
+    List.fold_left (fun acc (_, _, p, _, _, _, _, _, _, _) -> acc + p) 0 rows
+  in
   let dividend =
-    List.exists (fun (_, _, p, _, _, a, rg, _, _) -> p > 0 && a > 0 && rg > 0) rows
+    List.exists (fun (_, _, p, _, _, a, rg, _, _, _) -> p > 0 && a > 0 && rg > 0) rows
+  in
+  let liveness_proved =
+    List.length
+      (List.filter
+         (fun (_, _, _, _, _, _, _, _, _, l) ->
+           match l with Analysis.Live.Deadlock_free _ -> true | _ -> false)
+         rows)
+  in
+  let false_deadlocks =
+    List.filter_map
+      (fun (name, _, _, _, _, _, _, _, _, l) ->
+        match l with Analysis.Live.Deadlock _ -> Some name | _ -> None)
+      rows
   in
   let oc = open_out "BENCH_check.json" in
   Printf.fprintf oc
-    "{\"strategy\": \"parallelized\", \"total_proved\": %d, \"apps\": [%s]}\n" total_proved
+    "{\"strategy\": \"parallelized\", \"total_proved\": %d, \"liveness_proved\": %d, \
+     \"apps\": [%s]}\n"
+    total_proved liveness_proved
     (String.concat ", "
        (List.map
-          (fun (name, n, p, v, u, a, rg, f, (ps : Driver.prune_stats)) ->
+          (fun (name, n, p, v, u, a, rg, f, (ps : Driver.prune_stats), live) ->
             Printf.sprintf
               "{\"name\": \"%s\", \"assertions\": %d, \"proved\": %d, \"violated\": %d, \
                \"unknown\": %d, \"pruned_absint\": %d, \"pruned_induction\": %d, \
-               \"alut_delta\": %d, \"reg_delta\": %d, \"fmax_delta_mhz\": %.2f}"
-              name n p v u ps.Driver.absint_pruned ps.Driver.induction_pruned a rg f)
+               \"alut_delta\": %d, \"reg_delta\": %d, \"fmax_delta_mhz\": %.2f, \
+               \"liveness\": \"%s\"}"
+              name n p v u ps.Driver.absint_pruned ps.Driver.induction_pruned a rg f
+              (Analysis.Live.class_name live))
           rows));
   close_out oc;
   print_endline "  wrote BENCH_check.json";
@@ -684,8 +739,19 @@ let check_bench () =
     prerr_endline "  FAIL: pruning the proved assertions saved no ALUTs/registers";
     exit 1
   end;
-  Printf.printf "  ok: %d proved, pruning pays a positive ALUT and register dividend\n"
-    total_proved
+  if false_deadlocks <> [] then begin
+    Printf.eprintf "  FAIL: liveness analyzer claims a false deadlock on: %s\n"
+      (String.concat ", " false_deadlocks);
+    exit 1
+  end;
+  if liveness_proved = 0 then begin
+    prerr_endline "  FAIL: no bundled app was proved deadlock-free";
+    exit 1
+  end;
+  Printf.printf
+    "  ok: %d proved, pruning pays a positive ALUT and register dividend; \
+     %d/%d apps proved deadlock-free\n"
+    total_proved liveness_proved (List.length rows)
 
 (* --- Bounded model checking ----------------------------------------------------------- *)
 
@@ -976,6 +1042,9 @@ let serve_bench () =
         k_strategy = "optimized";
         k_nabort = false;
         k_ndebug = false;
+        k_only = None;
+        k_ignore = None;
+        k_watchdog = None;
       }
   in
   let (cold_rep, _), cold_dt = timed (fun () -> submit check_job) in
@@ -1009,6 +1078,7 @@ let serve_bench () =
         a_jobs = jobs;
         a_from_reset = false;
         a_max_cycles = 1_000_000;
+        a_prune_hangs = true;
       }
   in
   let (par_rep, _), par_dt = timed (fun () -> submit (campaign_job None)) in

@@ -152,11 +152,32 @@ let stimulus_args =
   in
   Term.(const mk $ feeds_arg $ drains_arg $ params_arg)
 
+(* [--watchdog] accepts a cycle count or "auto", which resolves to the
+   liveness analyzer's proved completion bound after the program is
+   loaded (see {!resolve_watchdog}). *)
+type watchdog_spec = Cycles of int | Auto
+
+let watchdog_conv : watchdog_spec Arg.conv =
+  let parse = function
+    | "auto" -> Ok Auto
+    | s -> (
+        match int_of_string_opt s with
+        | Some n -> Ok (Cycles n)
+        | None ->
+            Error
+              (`Msg (Printf.sprintf "bad watchdog %S (expected a cycle count or \"auto\")" s)))
+  in
+  let print ppf = function
+    | Auto -> Format.pp_print_string ppf "auto"
+    | Cycles n -> Format.pp_print_int ppf n
+  in
+  Arg.conv (parse, print)
+
 type testbench = {
   stimulus : stimulus;
   max_cycles : int;
   vcd : string option;
-  watchdog : int option;
+  watchdog : watchdog_spec option;
 }
 
 (* The engine's cycle budget, overridable per-invocation or fleet-wide
@@ -183,11 +204,13 @@ let testbench_args =
   let watchdog_arg =
     Arg.(
       value
-      & opt (some int) None
-      & info [ "watchdog" ]
+      & opt (some watchdog_conv) None
+      & info [ "watchdog" ] ~docv:"N|auto"
           ~doc:
             "Live-lock watchdog window: stop after N cycles without forward progress \
-             (stream push/pop, tap event, or a register/memory value change).")
+             (stream push/pop, tap event, or a register/memory value change).  \
+             $(b,auto) uses the liveness analyzer's proved completion bound as the \
+             window, or leaves the watchdog off when liveness is not proved.")
   in
   let mk stimulus max_cycles vcd watchdog = { stimulus; max_cycles; vcd; watchdog } in
   Term.(const mk $ stimulus_args $ cycles_arg $ vcd_arg $ watchdog_arg)
@@ -201,8 +224,17 @@ let sim_options_of (tb : testbench) =
     max_cycles = tb.max_cycles;
     timing_checks = [];
     trace = tb.vcd <> None;
-    watchdog = tb.watchdog;
+    watchdog = (match tb.watchdog with Some (Cycles n) -> Some n | Some Auto | None -> None);
   }
+
+(* Resolve [--watchdog auto] against the statically proved completion
+   bound of [prog] ([Cycles n] passes through).  Returns the window plus
+   whether the analyzer chose it, so the caller can report the bound. *)
+let resolve_watchdog (tb : testbench) (prog : Front.Ast.program) : int option * bool =
+  match tb.watchdog with
+  | Some Auto -> (Core.Driver.auto_watchdog ~options:(sim_options_of tb) prog, true)
+  | Some (Cycles n) -> (Some n, false)
+  | None -> (None, false)
 
 (* --- sweep flags shared by campaign and mine ------------------------------- *)
 
@@ -235,3 +267,38 @@ let jobs_arg =
     value
     & opt (some int) None
     & info [ "j"; "jobs" ] ~env:(Cmd.Env.info "INCA_JOBS") ~docv:"N" ~doc)
+
+(* --- diagnostic-code filters (check) --------------------------------------- *)
+
+(* Shared by [inca check] and any future lint-bearing subcommand, so a
+   CI leg can gate on exactly one code family:
+     inca check --only INCA-L106,INCA-L107 examples/ *)
+let code_filter_args =
+  let only_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "only" ] ~docv:"CODE,..."
+          ~doc:
+            "Keep only diagnostics with these comma-separated codes (e.g. \
+             INCA-L106,INCA-L107).  Assertion verdict lines are unaffected; the \
+             summary and exit status follow the filtered set.")
+  in
+  let ignore_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "ignore" ] ~docv:"CODE,..."
+          ~doc:"Drop diagnostics with these comma-separated codes.")
+  in
+  Term.(const (fun only ignore -> (only, ignore)) $ only_arg $ ignore_arg)
+
+let check_watchdog_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "watchdog" ] ~docv:"N"
+        ~doc:
+          "Watchdog window to measure against the proved completion bound: warns \
+           (INCA-L109) when the window is below the bound, notes (INCA-L110) when the \
+           design provably finishes inside it.")

@@ -143,7 +143,15 @@ let simulate_cmd =
   let run file sel prune (tb : Cli.testbench) =
     Cli.or_static_violation @@ fun () ->
     let c = Cli.load ~prune_proved:prune sel file in
-    let r = Core.Driver.simulate ~options:(Cli.sim_options_of tb) c in
+    let options = Cli.sim_options_of tb in
+    let wd, from_auto = Cli.resolve_watchdog tb c.Core.Driver.source in
+    if from_auto then
+      (* stderr, so scripted stdout comparisons stay stable *)
+      (match wd with
+      | Some k -> Printf.eprintf "watchdog: auto window %d cycles (proved completion bound)\n" k
+      | None -> Printf.eprintf "watchdog: auto requested but liveness not proved; watchdog off\n");
+    let options = { options with Core.Driver.watchdog = wd } in
+    let r = Core.Driver.simulate ~options c in
     let e = r.Core.Driver.engine in
     (match (tb.Cli.vcd, e.Sim.Engine.vcd) with
     | Some path, Some contents ->
@@ -158,7 +166,9 @@ let simulate_cmd =
     | Sim.Engine.Aborted m -> Printf.printf "aborted after %d cycles: %s\n" e.Sim.Engine.cycles m
     | Sim.Engine.Hang blocked ->
         Printf.printf "HANG after %d cycles:\n" e.Sim.Engine.cycles;
-        List.iter (fun (p, s) -> Printf.printf "  %s blocked in state %d\n" p s) blocked
+        List.iter
+          (fun line -> Printf.printf "  %s\n" line)
+          (Sim.Engine.describe_blocked c.Core.Driver.fsmds blocked)
     | Sim.Engine.Livelock spinning ->
         Printf.printf "LIVELOCK detected by watchdog after %d cycles:\n" e.Sim.Engine.cycles;
         List.iter (fun (p, s) -> Printf.printf "  %s spinning in state %d\n" p s) spinning;
@@ -294,8 +304,18 @@ let campaign_cmd =
              fork-point and --from-reset evaluation; CI diffs the two to gate the \
              invariant.")
   in
+  let no_prune_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "no-prune" ]
+          ~doc:
+            "Simulate mutants the liveness pre-filter proves certainly blocking instead \
+             of classifying them hang statically.  The classification map is \
+             byte-identical either way; CI diffs the two to gate the invariant.")
+  in
   let run file stimulus budget watchdog max_mutants jobs json_out show_runs from_reset
-      show_classes max_cycles =
+      show_classes max_cycles no_prune =
     let o =
       Serve.Sched.run
         (Core.Job.Campaign
@@ -308,6 +328,7 @@ let campaign_cmd =
              a_jobs = jobs;
              a_from_reset = from_reset;
              a_max_cycles = max_cycles;
+             a_prune_hangs = not no_prune;
            })
     in
     let rep = o.Serve.Sched.sc_report in
@@ -357,7 +378,7 @@ let campaign_cmd =
     Term.(
       const run $ file_arg $ Cli.stimulus_args $ Cli.budget_arg $ Cli.sweep_watchdog_arg
       $ max_mutants_arg $ Cli.jobs_arg $ json_arg $ runs_arg $ from_reset_arg
-      $ classes_arg $ Cli.max_cycles_arg ())
+      $ classes_arg $ Cli.max_cycles_arg () $ no_prune_arg)
 
 (* --- mine ------------------------------------------------------------------------- *)
 
@@ -611,7 +632,7 @@ let check_cmd =
             "Emit one JSON report envelope covering every file.  The output is valid \
              JSON even when parsing or compilation fails.")
   in
-  let run paths (sel : Cli.strategy_sel) json =
+  let run paths (sel : Cli.strategy_sel) json (only, ignore_) watchdog =
     finish ~json
       (Serve.Sched.run
          (Core.Job.Check
@@ -621,6 +642,9 @@ let check_cmd =
               k_strategy = sel.Cli.sname;
               k_nabort = sel.Cli.nabort;
               k_ndebug = sel.Cli.ndebug;
+              k_only = only;
+              k_ignore = ignore_;
+              k_watchdog = watchdog;
             }))
   in
   Cmd.v
@@ -631,7 +655,9 @@ let check_cmd =
           (BRAM port contention, status-channel overflow, uninitialized reads, undrained \
           streams, dead assertions), and check the scheduled design against FSMD and IR \
           invariants.  Exits 1 when any error-severity finding is reported.")
-    Term.(const run $ paths_arg $ Cli.strategy_args () $ json_arg)
+    Term.(
+      const run $ paths_arg $ Cli.strategy_args () $ json_arg $ Cli.code_filter_args
+      $ Cli.check_watchdog_arg)
 
 (* --- prove ------------------------------------------------------------------------ *)
 

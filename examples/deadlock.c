@@ -1,0 +1,35 @@
+/* A provably deadlocking two-stage pipeline, kept in the tree as the
+   liveness analyzer's canary: the producer pushes 8 tokens but the
+   consumer pops 9, so the consumer's last stream_read blocks forever
+   on every execution.  `inca check` flags it:
+
+     dune exec bin/inca.exe -- check examples/deadlock.c
+       error INCA-L106: the design deadlocks on every execution ...
+
+   CI runs `check --only INCA-L106,INCA-L107` over examples/ and
+   requires exactly this file to fail; a bundled app being flagged (a
+   false deadlock claim) or this file passing (a missed certain
+   deadlock) both break the leg. */
+
+stream int32 work depth 4;
+stream int32 done depth 4;
+
+process hw producer() {
+  int32 i;
+  for (i = 0; i < 8; i = i + 1) {
+    stream_write(work, i * 3);
+  }
+}
+
+process hw consumer() {
+  int32 i;
+  int32 acc;
+  acc = 0;
+  /* off-by-one against the producer: reads one token too many */
+  for (i = 0; i < 9; i = i + 1) {
+    int32 x;
+    x = stream_read(work);
+    acc = acc + x;
+    stream_write(done, acc);
+  }
+}

@@ -1,0 +1,329 @@
+(** Process–stream channel graph — see {!Chan} interface. *)
+
+open Front.Ast
+
+(* --- token-rate summaries ------------------------------------------------- *)
+
+type rate = { rmin : int; rmax : int option }
+
+let zero_rate = { rmin = 0; rmax = Some 0 }
+
+let rate_add a b =
+  {
+    rmin = a.rmin + b.rmin;
+    rmax =
+      (match (a.rmax, b.rmax) with
+      | Some x, Some y -> Some (x + y)
+      | _ -> None);
+  }
+
+let rate_branch a b =
+  {
+    rmin = min a.rmin b.rmin;
+    rmax =
+      (match (a.rmax, b.rmax) with
+      | Some x, Some y -> Some (max x y)
+      | _ -> None);
+  }
+
+let rate_scale (b : Bound.t) r =
+  match b with
+  | Bound.Exact n -> { rmin = r.rmin * n; rmax = Option.map (fun x -> x * n) r.rmax }
+  | Bound.At_most n -> { rmin = 0; rmax = Option.map (fun x -> x * n) r.rmax }
+  | Bound.Unknown ->
+      { rmin = 0; rmax = (if r.rmax = Some 0 then Some 0 else None) }
+
+let rate_to_string r =
+  match r.rmax with
+  | Some x when x = r.rmin -> string_of_int x
+  | Some x -> Printf.sprintf "%d..%d" r.rmin x
+  | None -> Printf.sprintf "%d..*" r.rmin
+
+module SM = Map.Make (String)
+
+type dir = R | W
+
+(* reads/writes per stream over one full activation of [body] *)
+let rates_of ?(env = []) body =
+  let rec of_list stmts =
+    List.fold_left (fun acc st -> merge_add acc (of_stmt st)) SM.empty stmts
+  and merge_add a b =
+    SM.merge
+      (fun _ l r ->
+        match (l, r) with
+        | Some (lr, lw), Some (rr, rw) -> Some (rate_add lr rr, rate_add lw rw)
+        | Some v, None | None, Some v -> Some v
+        | None, None -> None)
+      a b
+  and merge_branch a b =
+    SM.merge
+      (fun _ l r ->
+        let def = (zero_rate, zero_rate) in
+        let lr, lw = Option.value ~default:def l in
+        let rr, rw = Option.value ~default:def r in
+        Some (rate_branch lr rr, rate_branch lw rw))
+      a b
+  and scale b m = SM.map (fun (r, w) -> (rate_scale b r, rate_scale b w)) m
+  and one dir s =
+    let r = { rmin = 1; rmax = Some 1 } in
+    SM.singleton s (match dir with R -> (r, zero_rate) | W -> (zero_rate, r))
+  and of_stmt st =
+    match st.s with
+    | Stream_read (_, s) -> one R s
+    | Stream_write (s, _) -> one W s
+    | If (_, t, f) -> merge_branch (of_list t) (of_list f)
+    | While (_, b) -> scale Bound.Unknown (of_list b)
+    | For (h, b) -> scale (Bound.of_for ~env h b) (of_list b)
+    | Block b -> of_list b
+    | Decl _ | Assign _ | Assert _ | Return _ | Tapstmt _ | Const_array _ ->
+        SM.empty
+  in
+  of_list body
+
+type summary = {
+  cstream : string;
+  cdepth : int;
+  writers : (string * rate) list;  (** producing process, writes per activation *)
+  readers : (string * rate) list;  (** consuming process, reads per activation *)
+}
+
+let summarize ?(params = []) (prog : program) : summary list =
+  let per_proc =
+    List.map
+      (fun (p : proc) ->
+        let env = Option.value ~default:[] (List.assoc_opt p.pname params) in
+        let m = rates_of ~env p.body in
+        (* a [return] can cut any suffix of the activation short: the
+           guaranteed minimum drops to zero, the maximum stands *)
+        let has_return = ref false in
+        iter_stmts
+          (fun st -> match st.s with Return _ -> has_return := true | _ -> ())
+          p.body;
+        let m =
+          if !has_return then
+            SM.map (fun (r, w) -> ({ r with rmin = 0 }, { w with rmin = 0 })) m
+          else m
+        in
+        (p.pname, m))
+      prog.procs
+  in
+  List.map
+    (fun (sd : stream_decl) ->
+      let writers, readers =
+        List.fold_left
+          (fun (ws, rs) (pname, m) ->
+            match SM.find_opt sd.sname m with
+            | None -> (ws, rs)
+            | Some (r, w) ->
+                ( (if w <> zero_rate then (pname, w) :: ws else ws),
+                  if r <> zero_rate then (pname, r) :: rs else rs ))
+          ([], []) per_proc
+      in
+      {
+        cstream = sd.sname;
+        cdepth = sd.depth;
+        writers = List.rev writers;
+        readers = List.rev readers;
+      })
+    prog.streams
+
+(* --- exact channel-op traces ---------------------------------------------- *)
+
+type op =
+  | Read of string * int   (** stream, per-stream syntactic read-site index *)
+  | Write of string * int  (** stream, per-stream syntactic write-site index *)
+  | Assert_op
+  | Trap  (** a statement that might abort (division, array indexing)
+              before the next channel op *)
+
+type trace = { t_ops : op list; t_work : int }
+
+type loop_info =
+  | For_loop of for_header * stmt list
+  | While_loop of expr * stmt list
+
+(* all loops of [p], in the same pre-order the IR-level fault rewriters
+   count them *)
+let loop_headers (p : proc) : loop_info list =
+  let acc = ref [] in
+  iter_stmts
+    (fun st ->
+      match st.s with
+      | For (h, b) -> acc := For_loop (h, b) :: !acc
+      | While (c, b) -> acc := While_loop (c, b) :: !acc
+      | _ -> ())
+    p.body;
+  List.rev !acc
+
+exception Not_exact of string
+
+let not_exact fmt = Printf.ksprintf (fun m -> raise (Not_exact m)) fmt
+
+exception Returned
+
+let max_trace_ops = 1 lsl 17
+
+let rec expr_nodes (e : expr) =
+  match e.e with
+  | Int _ | Bool _ | Var _ -> 1
+  | Index (_, i) -> 1 + expr_nodes i
+  | Unop (_, a) | Cast (_, a) -> 1 + expr_nodes a
+  | Binop (_, a, b) -> 1 + expr_nodes a + expr_nodes b
+  | Call (_, args) -> 1 + List.fold_left (fun n a -> n + expr_nodes a) 0 args
+
+(* does evaluating [e] risk an abort the trace must flag?  Division by a
+   divisor not provably nonzero, or an array index not provably in
+   bounds of a known-length array. *)
+let rec trap_risk ~env ~lens (e : expr) =
+  let sub = trap_risk ~env ~lens in
+  match e.e with
+  | Int _ | Bool _ | Var _ -> false
+  | Index (a, i) ->
+      sub i
+      ||
+      (match (Bound.closed_const ~env i, List.assoc_opt a lens) with
+      | Some v, Some len ->
+          Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int len) >= 0
+      | _ -> true)
+  | Unop (_, a) | Cast (_, a) -> sub a
+  | Binop ((Div | Mod), a, b) -> (
+      sub a || sub b
+      ||
+      match Bound.closed_const ~env b with
+      | Some v -> Int64.equal v 0L
+      | None -> true)
+  | Binop (_, a, b) -> sub a || sub b
+  | Call (_, args) -> List.exists sub args
+
+let trace ?(env = []) ?trips_override (prog : program) (p : proc) :
+    (trace, string) result =
+  (* syntactic numbering pre-passes: per-stream read/write site indices
+     and the global pre-order loop index, keyed by physical statement *)
+  let wsites = ref [] and rsites = ref [] and loops = ref [] in
+  let wcount : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let rcount : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let nloops = ref 0 in
+  iter_stmts
+    (fun st ->
+      match st.s with
+      | Stream_write (s, _) ->
+          let n = Option.value ~default:0 (Hashtbl.find_opt wcount s) in
+          Hashtbl.replace wcount s (n + 1);
+          wsites := (st, n) :: !wsites
+      | Stream_read (_, s) ->
+          let n = Option.value ~default:0 (Hashtbl.find_opt rcount s) in
+          Hashtbl.replace rcount s (n + 1);
+          rsites := (st, n) :: !rsites
+      | For _ | While _ ->
+          loops := (st, !nloops) :: !loops;
+          incr nloops
+      | _ -> ())
+    p.body;
+  let lens =
+    List.map (fun (a, _, n) -> (a, n)) (arrays_declared p.body)
+    @ List.filter_map
+        (fun (x, ty) ->
+          match ty with Tarray (_, n) -> Some (x, n) | _ -> None)
+        p.params
+    @ List.filter_map
+        (fun st ->
+          match st.s with
+          | Const_array (_, x, vs) -> Some (x, List.length vs)
+          | _ -> None)
+        (let acc = ref [] in
+         iter_stmts (fun st -> acc := st :: !acc) p.body;
+         List.rev !acc)
+  in
+  let latency name =
+    match find_extern prog name with Some x -> x.xlatency | None -> 0
+  in
+  let rec call_latency (e : expr) =
+    match e.e with
+    | Int _ | Bool _ | Var _ -> 0
+    | Index (_, i) -> call_latency i
+    | Unop (_, a) | Cast (_, a) -> call_latency a
+    | Binop (_, a, b) -> call_latency a + call_latency b
+    | Call (f, args) ->
+        latency f + List.fold_left (fun n a -> n + call_latency a) 0 args
+  in
+  let ops = ref [] and nops = ref 0 and work = ref 0 in
+  let emit op =
+    incr nops;
+    if !nops > max_trace_ops then not_exact "trace exceeds %d ops" max_trace_ops;
+    ops := op :: !ops
+  in
+  let charge (e : expr) = work := !work + (3 * expr_nodes e) + call_latency e in
+  let trap e = if trap_risk ~env ~lens e then emit Trap in
+  let has_ops body =
+    let hit = ref false in
+    iter_stmts
+      (fun st ->
+        match st.s with
+        | Stream_read _ | Stream_write _ | Assert _ | Return _ -> hit := true
+        | _ -> ())
+      body;
+    !hit
+  in
+  let rec exec_list stmts = List.iter exec stmts
+  and exec st =
+    work := !work + 6;
+    match st.s with
+    | Decl (_, _, init) -> Option.iter (fun e -> charge e; trap e) init
+    | Const_array _ -> ()
+    | Assign (lv, e) ->
+        charge e;
+        trap e;
+        (match lv with Lindex (_, i) -> (charge i; trap i) | Lvar _ -> ())
+    | Assert (c, _) ->
+        charge c;
+        trap c;
+        emit Assert_op
+    | Stream_read (lv, s) ->
+        (match lv with Lindex (_, i) -> (charge i; trap i) | Lvar _ -> ());
+        emit (Read (s, List.assq st !rsites))
+    | Stream_write (s, e) ->
+        charge e;
+        trap e;
+        emit (Write (s, List.assq st !wsites))
+    | Tapstmt (_, args) -> List.iter charge args
+    | Return _ -> raise Returned
+    | Block b -> exec_list b
+    | If (c, t, f) ->
+        charge c;
+        trap c;
+        if has_ops t || has_ops f then
+          not_exact "channel op under a data-dependent branch";
+        (* op-free: execution order is irrelevant, charge the larger side *)
+        let w0 = !work in
+        exec_list t;
+        let wt = !work in
+        work := w0;
+        exec_list f;
+        work := max wt !work
+    | While (c, _) ->
+        charge c;
+        not_exact "while loop (no static trip count)"
+    | For (h, body) -> (
+        charge h.cond;
+        let trips =
+          match Bound.of_for ~env h body with
+          | Bound.Exact n -> n
+          | (Bound.At_most _ | Bound.Unknown) as b ->
+              not_exact "loop bound is %s" (Bound.to_string b)
+        in
+        let trips =
+          match trips_override with
+          | Some (idx, forced) when List.assq st !loops = idx -> max 0 forced
+          | _ -> trips
+        in
+        Option.iter exec h.init;
+        for _ = 1 to trips do
+          exec_list body;
+          Option.iter exec h.step;
+          work := !work + (3 * expr_nodes h.cond)
+        done)
+  in
+  match exec_list p.body with
+  | () -> Ok { t_ops = List.rev !ops; t_work = !work }
+  | exception Returned -> Ok { t_ops = List.rev !ops; t_work = !work }
+  | exception Not_exact m -> Error (Printf.sprintf "%s: %s" p.pname m)

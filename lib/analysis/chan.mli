@@ -1,0 +1,64 @@
+(** The process–stream channel graph with SDF-style token-rate
+    summaries and, when every loop bound is proved, exact per-process
+    channel-op traces.
+
+    Rates count stream reads/writes per full activation of a process,
+    folded structurally: branches take the min/max envelope, [for]
+    loops multiply by their {!Bound}, [while] loops force the pessimal
+    [0..*] range.  Traces expand the same AST into the exact sequence
+    of channel operations one activation performs — the input {!Live}
+    feeds to its token network and {!Faults.Prefilter} perturbs to
+    prove hang-class mutants hang. *)
+
+(** [rmin] guaranteed, [rmax] possible ([None] = unbounded). *)
+type rate = { rmin : int; rmax : int option }
+
+val rate_to_string : rate -> string
+
+type summary = {
+  cstream : string;
+  cdepth : int;
+  writers : (string * rate) list;  (** producing process, writes per activation *)
+  readers : (string * rate) list;  (** consuming process, reads per activation *)
+}
+
+(** One summary per declared stream, in declaration order.  [params]
+    maps process names to parameter bindings used for trip counts. *)
+val summarize :
+  ?params:(string * (string * int64) list) list ->
+  Front.Ast.program ->
+  summary list
+
+(** One channel operation.  Site indices are per-stream {e syntactic}
+    occurrence numbers in pre-order — the same numbering the fault
+    rewriters use — so a trace op can be matched against a fault site.
+    [Trap] flags a statement that might abort (division, array index)
+    and is only consulted by divergence-region soundness checks. *)
+type op =
+  | Read of string * int
+  | Write of string * int
+  | Assert_op
+  | Trap
+
+type trace = {
+  t_ops : op list;
+  t_work : int;  (** generous statement-cycle estimate, see {!Live} *)
+}
+
+type loop_info =
+  | For_loop of Front.Ast.for_header * Front.Ast.stmt list
+  | While_loop of Front.Ast.expr * Front.Ast.stmt list
+
+(** All loops of the process in fault-site pre-order. *)
+val loop_headers : Front.Ast.proc -> loop_info list
+
+(** Exact trace of one activation, or [Error why] when any loop bound,
+    branch, or op count prevents exactness.  [trips_override] forces
+    the pre-order [idx]-th loop to run exactly [n] iterations (the
+    off-by-one mutant's trip count). *)
+val trace :
+  ?env:(string * int64) list ->
+  ?trips_override:int * int ->
+  Front.Ast.program ->
+  Front.Ast.proc ->
+  (trace, string) result

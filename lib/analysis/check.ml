@@ -2,6 +2,7 @@ module Loc = Front.Loc
 
 type report = {
   verdicts : Absint.verdict list;
+  liveness : Live.verdict;
   diags : Diag.t list;
 }
 
@@ -23,14 +24,40 @@ let diag_of_verdict (v : Absint.verdict) =
               v.Absint.vtext))
   | Absint.Unknown -> None
 
-let report_of ?share_bits ?replicate prog =
+let report_of ?share_bits ?replicate ?watchdog prog =
   let r = Absint.analyze prog in
-  let diags =
-    List.filter_map diag_of_verdict r.Absint.verdicts @ Lint.run ?share_bits ?replicate prog r
+  let summaries = Chan.summarize prog in
+  (* [check] has no testbench, so model the standard harness: a stream
+     written in-design but read by no process is assumed externally
+     drained (its absence is INCA-L104's finding, not a certain
+     deadlock).  Streams read but never written still make the verdict
+     [Unknown] — never a false [Deadlock]. *)
+  let drains =
+    List.filter_map
+      (fun (s : Chan.summary) ->
+        if s.Chan.writers <> [] && s.Chan.readers = [] then Some s.Chan.cstream
+        else None)
+      summaries
   in
-  { verdicts = r.Absint.verdicts; diags = Diag.order diags }
+  let liveness = Live.analyze ~drains prog in
+  let diags =
+    List.filter_map diag_of_verdict r.Absint.verdicts
+    @ Lint.run ?share_bits ?replicate prog r
+    @ Lint.liveness ?watchdog liveness summaries
+  in
+  { verdicts = r.Absint.verdicts; liveness; diags = Diag.order diags }
 
 let add_diags rep diags = { rep with diags = Diag.order (rep.diags @ diags) }
+
+(* Keep a diagnostic when its code passes both filters; [only = None]
+   and [ignore = None] are the identity.  Verdict lines are not
+   diagnostics and always survive. *)
+let filter_codes ?only ?ignore rep =
+  let keep (d : Diag.t) =
+    (match only with Some cs -> List.mem d.Diag.code cs | None -> true)
+    && match ignore with Some cs -> not (List.mem d.Diag.code cs) | None -> true
+  in
+  { rep with diags = List.filter keep rep.diags }
 
 let tally rep =
   List.fold_left
@@ -55,6 +82,8 @@ let render ~file rep =
            vd.Absint.vproc vd.Absint.vtext))
     rep.verdicts;
   List.iter (fun d -> Buffer.add_string b (Diag.to_string d ^ "\n")) rep.diags;
+  Buffer.add_string b
+    (Printf.sprintf "%s: liveness: %s\n" file (Live.verdict_to_string rep.liveness));
   Buffer.add_string b
     (Printf.sprintf "%s: %d assertion%s: %d proved, %d violated, %d unknown; %s\n" file
        (p + v + u)
@@ -98,6 +127,13 @@ let json_of ~file rep : Json.t =
       ("file", Json.Str file);
       ("ok", Json.Bool (not (failed rep)));
       ("assertions", Json.list assertion rep.verdicts);
+      ( "liveness",
+        Json.Obj
+          ([ ("class", Json.Str (Live.class_name rep.liveness)) ]
+          @ (match rep.liveness with
+            | Live.Deadlock_free k -> [ ("cycle_bound", Json.int k) ]
+            | Live.Deadlock w -> [ ("witness", Json.Str (Live.witness_to_string w)) ]
+            | Live.Unknown why -> [ ("why", Json.Str why) ])) );
       ("diagnostics", Json.list Diag.json_of rep.diags);
       ( "summary",
         Json.Obj
@@ -111,4 +147,8 @@ let json_of ~file rep : Json.t =
     ]
 
 let failure_report ~code loc message =
-  { verdicts = []; diags = [ Diag.error ~code loc message ] }
+  {
+    verdicts = [];
+    liveness = Live.Unknown "source failed to parse or typecheck";
+    diags = [ Diag.error ~code loc message ];
+  }

@@ -5,14 +5,30 @@
 
 type report = {
   verdicts : Absint.verdict list;
+  liveness : Live.verdict;
   diags : Diag.t list;
 }
 
 (** Analyze and lint one program.  [share_bits]/[replicate] describe the
-    instrumentation strategy (see {!Lint.run}). *)
-val report_of : ?share_bits:int -> ?replicate:bool -> Front.Ast.program -> report
+    instrumentation strategy (see {!Lint.run}); [watchdog] is the
+    configured watchdog window for the INCA-L109/L110 budget lints.
+    The {!Live} verdict is computed without testbench feeds, so a
+    design with externally fed streams reports liveness [Unknown]. *)
+val report_of :
+  ?share_bits:int ->
+  ?replicate:bool ->
+  ?watchdog:int ->
+  Front.Ast.program ->
+  report
 
 val add_diags : report -> Diag.t list -> report
+
+(** Restrict the report's diagnostics to [only] (when given) minus
+    [ignore]; assertion verdicts are unaffected.  [failed] and the
+    rendered summary follow the filtered set, so a CI leg can gate on
+    exactly one code family. *)
+val filter_codes :
+  ?only:string list -> ?ignore:string list -> report -> report
 
 (** INCA-A001 (error) for a violated verdict with its witness, INCA-A002
     (info) for a proved one, [None] for unknown. *)

@@ -10,6 +10,11 @@
     - [INCA-L103]  variable read before initialization
     - [INCA-L104]  stream written but never read by any process
     - [INCA-L105]  dead assertion (subsumed by an earlier one)
+    - [INCA-L106]  proved deadlock: rate mismatch / read past last write
+    - [INCA-L107]  proved deadlock: circular wait between processes
+    - [INCA-L108]  unbounded producer feeding bounded-rate consumers
+    - [INCA-L109]  watchdog window below the proved completion bound
+    - [INCA-L110]  watchdog window provably redundant (design completes)
     - [INCA-S001]  FSMD invariant violation (post-schedule)
     - [INCA-S002]  IR well-formedness violation (post-lowering)
     - [INCA-P001]  parse/lex error

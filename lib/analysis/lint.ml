@@ -157,6 +157,93 @@ let dead_assertions (r : Absint.result) =
            text by))
     r.Absint.dead
 
+(* L106/L107: the liveness verdict found a deadlock witness — a rate
+   mismatch or starved reader (L106) or a circular wait (L107). *)
+let deadlock_verdict (verdict : Live.verdict) =
+  match verdict with
+  | Live.Deadlock_free _ | Live.Unknown _ -> []
+  | Live.Deadlock w ->
+      let code, what =
+        match w.Live.w_reason with
+        | Live.Circular_wait -> ("INCA-L107", "circular wait")
+        | Live.Rate_mismatch -> ("INCA-L106", "token-rate mismatch")
+        | Live.Read_past_last_write -> ("INCA-L106", "read past the last write")
+      in
+      [
+        Diag.error ~code Loc.none
+          (Printf.sprintf
+             "the design deadlocks on every execution (%s): %s" what
+             (String.concat ", "
+                (List.map
+                   (fun (b : Live.blocked) ->
+                     Printf.sprintf "%s blocks %s stream \"%s\"" b.Live.b_proc
+                       (match b.Live.b_dir with
+                       | `Read -> "reading"
+                       | `Write -> "writing")
+                       b.Live.b_stream)
+                   w.Live.w_blocked)));
+      ]
+
+(* L108: a producer whose write rate is unbounded (an uncounted loop)
+   feeds a stream whose every consumer has a bounded read rate: the
+   bounded-depth FIFO must eventually fill and block the producer. *)
+let unbounded_producers (summaries : Chan.summary list) =
+  List.concat_map
+    (fun (s : Chan.summary) ->
+      if
+        s.Chan.readers <> []
+        && List.for_all (fun (_, r) -> r.Chan.rmax <> None) s.Chan.readers
+      then
+        List.filter_map
+          (fun (w, r) ->
+            if r.Chan.rmax = None then
+              Some
+                (Diag.warning ~code:"INCA-L108" ~proc:w Loc.none
+                   (Printf.sprintf
+                      "process \"%s\" writes stream \"%s\" from an unbounded loop \
+                       (%s writes per activation) but its consumers read at most %s; \
+                       the %d-deep FIFO will fill and block the producer"
+                      w s.Chan.cstream
+                      (Chan.rate_to_string r)
+                      (String.concat "+"
+                         (List.map (fun (_, r) -> Chan.rate_to_string r) s.Chan.readers))
+                      s.Chan.cdepth))
+            else None)
+          s.Chan.writers
+      else [])
+    summaries
+
+(* L109/L110: a configured watchdog window measured against the proved
+   completion bound.  A window shorter than the bound can expire while
+   the design is still legitimately making (slow) progress; a window at
+   least the bound can never fire on this design at all. *)
+let watchdog_budget ~watchdog (verdict : Live.verdict) =
+  match (watchdog, verdict) with
+  | Some w, Live.Deadlock_free k when w < k ->
+      [
+        Diag.warning ~code:"INCA-L109" Loc.none
+          (Printf.sprintf
+             "watchdog window %d is provably insufficient: the design is \
+              deadlock-free but only proved to finish within %d cycles, so the \
+              watchdog may report a live-lock on a healthy run"
+             w k);
+      ]
+  | Some w, Live.Deadlock_free k ->
+      [
+        Diag.info ~code:"INCA-L110" Loc.none
+          (Printf.sprintf
+             "watchdog window %d is provably redundant: the design finishes \
+              within %d cycles on every execution, so the watchdog can never fire"
+             w k);
+      ]
+  | _ -> []
+
+let liveness ?watchdog (verdict : Live.verdict) (summaries : Chan.summary list) =
+  Diag.order
+    (deadlock_verdict verdict
+    @ unbounded_producers summaries
+    @ watchdog_budget ~watchdog verdict)
+
 let run ?share_bits ?(replicate = true) (prog : program) (r : Absint.result) =
   Diag.order
     (bram_contention ~replicate prog

@@ -19,6 +19,18 @@
       still-active assertion on every path, so it can never be the
       first to fire.
 
+    Liveness codes (from {!Live} and {!Chan}, see [liveness]):
+    - [INCA-L106] (error) — the liveness verdict is a proved deadlock
+      from a token-rate mismatch or a read past the last write.
+    - [INCA-L107] (error) — a proved deadlock whose blocked processes
+      wait on each other in a cycle.
+    - [INCA-L108] (warning) — an unbounded-rate producer feeds a stream
+      whose consumers all have bounded read rates; the FIFO must fill.
+    - [INCA-L109] (warning) — the configured watchdog window is smaller
+      than the proved completion bound (a false live-lock is possible).
+    - [INCA-L110] (info) — the watchdog window is at least the proved
+      completion bound, so it can never fire on this design.
+
     [share_bits] is the width of the shared status stream when the
     compile strategy shares one channel across assertions ([None]
     disables L102).  [replicate] states whether the strategy replicates
@@ -30,3 +42,9 @@ val run :
   Front.Ast.program ->
   Absint.result ->
   Diag.t list
+
+(** The INCA-L106..L110 family over a {!Live} verdict and the {!Chan}
+    channel-graph summaries; [watchdog] is the configured window, when
+    one is known. *)
+val liveness :
+  ?watchdog:int -> Live.verdict -> Chan.summary list -> Diag.t list

@@ -1,0 +1,236 @@
+(** Static liveness verdicts — see {!Live} interface. *)
+
+open Front.Ast
+
+type blocked = { b_proc : string; b_dir : [ `Read | `Write ]; b_stream : string }
+
+type reason = Rate_mismatch | Circular_wait | Read_past_last_write
+
+type witness = { w_blocked : blocked list; w_reason : reason }
+
+type verdict = Deadlock_free of int | Deadlock of witness | Unknown of string
+
+let reason_to_string = function
+  | Rate_mismatch -> "rate mismatch"
+  | Circular_wait -> "circular wait"
+  | Read_past_last_write -> "read past last write"
+
+let witness_to_string w =
+  Printf.sprintf "%s: %s"
+    (reason_to_string w.w_reason)
+    (String.concat ", "
+       (List.map
+          (fun b ->
+            Printf.sprintf "%s blocked %s %s" b.b_proc
+              (match b.b_dir with `Read -> "reading" | `Write -> "writing")
+              b.b_stream)
+          w.w_blocked))
+
+let verdict_to_string = function
+  | Deadlock_free k -> Printf.sprintf "deadlock-free within %d cycles" k
+  | Deadlock w -> "deadlock: " ^ witness_to_string w
+  | Unknown why -> "unknown: " ^ why
+
+let class_name = function
+  | Deadlock_free _ -> "deadlock_free"
+  | Deadlock _ -> "deadlock"
+  | Unknown _ -> "unknown"
+
+(* --- the token network ---------------------------------------------------- *)
+
+type proc_state = { ps_proc : string; ps_pos : int; ps_done : bool }
+
+type net_outcome = Completed | Stuck of witness
+
+(* Exact token-counting execution of the channel network.  Values are
+   irrelevant to progress, and with at most one in-design writer and
+   one in-design reader per stream the network is a Kahn network over
+   bounded FIFOs: its final stuck-or-finished state is independent of
+   the schedule, so one round-robin run decides liveness for every
+   interleaving the engine could produce. *)
+let run_network ~(streams : stream_decl list) ~(feeds : (string * int) list)
+    ~(drains : string list) (traces : (string * Chan.op list) list) :
+    (net_outcome * proc_state list, string) result =
+  let exception Refuse of string in
+  try
+    let writer_of : (string, string) Hashtbl.t = Hashtbl.create 8 in
+    let reader_of : (string, string) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (pname, ops) ->
+        List.iter
+          (fun (op : Chan.op) ->
+            match op with
+            | Chan.Write (s, _) -> (
+                match Hashtbl.find_opt writer_of s with
+                | Some p when p <> pname ->
+                    raise (Refuse (Printf.sprintf "stream %s has two writers" s))
+                | _ -> Hashtbl.replace writer_of s pname)
+            | Chan.Read (s, _) -> (
+                match Hashtbl.find_opt reader_of s with
+                | Some p when p <> pname ->
+                    raise (Refuse (Printf.sprintf "stream %s has two readers" s))
+                | _ -> Hashtbl.replace reader_of s pname)
+            | Chan.Assert_op | Chan.Trap -> ())
+          ops)
+      traces;
+    List.iter
+      (fun (sd : stream_decl) ->
+        let s = sd.sname in
+        let fed = List.mem_assoc s feeds and drained = List.mem s drains in
+        if fed && Hashtbl.mem writer_of s then
+          raise (Refuse (Printf.sprintf "stream %s is both fed and written" s));
+        if drained && Hashtbl.mem reader_of s then
+          raise (Refuse (Printf.sprintf "stream %s is both drained and read" s));
+        if Hashtbl.mem reader_of s && (not fed) && not (Hashtbl.mem writer_of s)
+        then
+          raise
+            (Refuse (Printf.sprintf "stream %s is read but fed externally" s)))
+      streams;
+    let depth_of = List.map (fun (sd : stream_decl) -> (sd.sname, sd.depth)) streams in
+    let fifo : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    let feed_rem : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    List.iter (fun (s, n) -> Hashtbl.replace feed_rem s n) feeds;
+    let level s = Option.value ~default:0 (Hashtbl.find_opt fifo s) in
+    let procs =
+      Array.of_list (List.map (fun (p, ops) -> (p, Array.of_list ops)) traces)
+    in
+    let pos = Array.make (Array.length procs) 0 in
+    let is_done i = pos.(i) >= Array.length (snd procs.(i)) in
+    let can_fire (op : Chan.op) =
+      match op with
+      | Chan.Assert_op | Chan.Trap -> true
+      | Chan.Read (s, _) ->
+          level s > 0 || Option.value ~default:0 (Hashtbl.find_opt feed_rem s) > 0
+      | Chan.Write (s, _) ->
+          List.mem s drains
+          || level s < Option.value ~default:0 (List.assoc_opt s depth_of)
+    in
+    let fire (op : Chan.op) =
+      match op with
+      | Chan.Assert_op | Chan.Trap -> ()
+      | Chan.Read (s, _) ->
+          if level s > 0 then Hashtbl.replace fifo s (level s - 1)
+          else
+            Hashtbl.replace feed_rem s
+              (Option.value ~default:0 (Hashtbl.find_opt feed_rem s) - 1)
+      | Chan.Write (s, _) ->
+          if not (List.mem s drains) then Hashtbl.replace fifo s (level s + 1)
+    in
+    let progressed = ref true in
+    while !progressed do
+      progressed := false;
+      Array.iteri
+        (fun i (_, ops) ->
+          (* drain every currently-fireable op of this process before
+             moving on; the final state is schedule-independent *)
+          let continue = ref true in
+          while (not (is_done i)) && !continue do
+            let op = ops.(pos.(i)) in
+            if can_fire op then (
+              fire op;
+              pos.(i) <- pos.(i) + 1;
+              progressed := true)
+            else continue := false
+          done)
+        procs
+    done;
+    let states =
+      Array.to_list
+        (Array.mapi
+           (fun i (p, _) -> { ps_proc = p; ps_pos = pos.(i); ps_done = is_done i })
+           procs)
+    in
+    if List.for_all (fun ps -> ps.ps_done) states then Ok (Completed, states)
+    else
+      let blocked =
+        Array.to_list
+          (Array.mapi
+             (fun i (p, ops) ->
+               if is_done i then None
+               else
+                 match ops.(pos.(i)) with
+                 | Chan.Read (s, _) -> Some { b_proc = p; b_dir = `Read; b_stream = s }
+                 | Chan.Write (s, _) -> Some { b_proc = p; b_dir = `Write; b_stream = s }
+                 | Chan.Assert_op | Chan.Trap -> None)
+             procs)
+        |> List.filter_map Fun.id
+      in
+      let blocked_names = List.map (fun b -> b.b_proc) blocked in
+      let done_proc p =
+        List.exists (fun ps -> ps.ps_proc = p && ps.ps_done) states
+      in
+      (* wait-for edges among the blocked processes *)
+      let waits_on b =
+        match b.b_dir with
+        | `Read -> (
+            match Hashtbl.find_opt writer_of b.b_stream with
+            | Some w when List.mem w blocked_names -> Some w
+            | _ -> None)
+        | `Write -> (
+            match Hashtbl.find_opt reader_of b.b_stream with
+            | Some r when List.mem r blocked_names -> Some r
+            | _ -> None)
+      in
+      let edges = List.filter_map (fun b -> Option.map (fun t -> (b.b_proc, t)) (waits_on b)) blocked in
+      let rec on_cycle seen p =
+        match List.assoc_opt p edges with
+        | None -> false
+        | Some q -> List.mem q seen || on_cycle (p :: seen) q
+      in
+      let circular = List.exists (fun (p, _) -> on_cycle [ p ] p) edges in
+      let starved =
+        List.exists
+          (fun b ->
+            b.b_dir = `Read
+            &&
+            let supply_gone =
+              Option.value ~default:0 (Hashtbl.find_opt feed_rem b.b_stream) = 0
+            in
+            supply_gone
+            &&
+            match Hashtbl.find_opt writer_of b.b_stream with
+            | Some w -> done_proc w
+            | None -> not (List.mem_assoc b.b_stream feeds))
+          blocked
+      in
+      let reason =
+        if circular then Circular_wait
+        else if starved then Read_past_last_write
+        else Rate_mismatch
+      in
+      Ok (Stuck { w_blocked = blocked; w_reason = reason }, states)
+  with Refuse m -> Error m
+
+(* --- whole-design analysis ------------------------------------------------ *)
+
+(* Cycle budget for a proved-complete design: every cycle of a live run
+   makes progress on some process's statement work, so the sum of the
+   per-process work estimates (each statement generously priced at
+   [6 + 3*nodes] cycles plus extern latencies in Chan) bounds the
+   run length; feed pumping and host polling ride on the slack. *)
+let cycle_bound (traces : (string * Chan.trace) list) ~(feeds : (string * int) list) =
+  let work = List.fold_left (fun acc (_, t) -> acc + t.Chan.t_work) 0 traces in
+  let tokens = List.fold_left (fun acc (_, n) -> acc + n) 0 feeds in
+  (2 * work) + (8 * tokens) + (64 * List.length traces) + 4096
+
+let analyze ?(params = []) ?(feeds = []) ?(drains = []) (prog : program) :
+    verdict =
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | (p : proc) :: rest -> (
+        let env = Option.value ~default:[] (List.assoc_opt p.pname params) in
+        match Chan.trace ~env prog p with
+        | Ok t -> collect ((p.pname, t) :: acc) rest
+        | Error m -> Error m)
+  in
+  match collect [] prog.procs with
+  | Error m -> Unknown m
+  | Ok traces -> (
+      let feeds = List.map (fun (s, n) -> (s, max 0 n)) feeds in
+      match
+        run_network ~streams:prog.streams ~feeds ~drains
+          (List.map (fun (p, t) -> (p, t.Chan.t_ops)) traces)
+      with
+      | Error m -> Unknown m
+      | Ok (Completed, _) -> Deadlock_free (cycle_bound traces ~feeds)
+      | Ok (Stuck w, _) -> Deadlock w)

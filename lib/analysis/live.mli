@@ -1,0 +1,66 @@
+(** Static liveness: deadlock-freedom and progress for the elaborated
+    multi-process design.
+
+    {!Chan} gives each process an exact channel-op trace (when every
+    loop bound is proved by {!Bound}); this module runs the resulting
+    token network — at most one in-design writer and one reader per
+    stream, blocking reads and depth-bounded blocking writes, exactly
+    the engine's FIFO discipline — to a schedule-independent final
+    state (a Kahn network argument).  The verdict is NABORT-sound in
+    the same sense as {!Absint}: [Deadlock_free] is only claimed when
+    every loop bound, every rate, and the whole op schedule is proved,
+    and the accompanying cycle bound [k] over-approximates the run
+    length so a watchdog window of [k] can never falsely fire. *)
+
+type blocked = {
+  b_proc : string;
+  b_dir : [ `Read | `Write ];
+  b_stream : string;
+}
+
+type reason =
+  | Rate_mismatch         (** produced and consumed token counts disagree *)
+  | Circular_wait         (** blocked processes wait on each other in a cycle *)
+  | Read_past_last_write  (** a reader outlives its channel's supply *)
+
+type witness = { w_blocked : blocked list; w_reason : reason }
+
+type verdict =
+  | Deadlock_free of int  (** completes; the int is a sound cycle budget *)
+  | Deadlock of witness
+  | Unknown of string     (** why the analysis gave up *)
+
+val reason_to_string : reason -> string
+val witness_to_string : witness -> string
+val verdict_to_string : verdict -> string
+
+(** "deadlock_free" / "deadlock" / "unknown" (stable report surface). *)
+val class_name : verdict -> string
+
+(** Final state of one process in the token network. *)
+type proc_state = { ps_proc : string; ps_pos : int; ps_done : bool }
+
+type net_outcome = Completed | Stuck of witness
+
+(** Run the token network over explicit per-process op traces.  [feeds]
+    maps externally fed streams to their total token count; [drains]
+    names externally drained streams (writes never block).  [Error]
+    when the network shape puts the outcome beyond this analysis (two
+    writers, fed-and-written, read-but-never-fed, ...). *)
+val run_network :
+  streams:Front.Ast.stream_decl list ->
+  feeds:(string * int) list ->
+  drains:string list ->
+  (string * Chan.op list) list ->
+  (net_outcome * proc_state list, string) result
+
+(** Whole-design verdict.  [params] maps process names to parameter
+    bindings (testbench [--param]); [feeds]/[drains] as above.  Without
+    a feed entry, a stream that is read but never written in-design
+    makes the verdict [Unknown] — never a false [Deadlock]. *)
+val analyze :
+  ?params:(string * (string * int64) list) list ->
+  ?feeds:(string * int) list ->
+  ?drains:string list ->
+  Front.Ast.program ->
+  verdict

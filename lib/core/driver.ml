@@ -349,6 +349,21 @@ let default_sim_options =
   { feeds = []; drains = []; params = []; hw_models = []; max_cycles = 1_000_000;
     timing_checks = []; trace = false; watchdog = None }
 
+(* The window behind [--watchdog auto]: the liveness analyzer's proved
+   completion bound under this stimulus, or [None] when nothing is
+   proved (the watchdog then stays off rather than guessing).  The bound
+   is in channel-op work units, not engine cycles, but it over-
+   approximates both (every engine cycle makes progress or the engine's
+   own deadlock detector fires first), so it is safe as a progress
+   window. *)
+let auto_watchdog ~(options : sim_options) (prog : program) : int option =
+  let feeds = List.map (fun (s, vs) -> (s, List.length vs)) options.feeds in
+  match
+    Analysis.Live.analyze ~params:options.params ~feeds ~drains:options.drains prog
+  with
+  | Analysis.Live.Deadlock_free k -> Some k
+  | Analysis.Live.Deadlock _ | Analysis.Live.Unknown _ -> None
+
 type sim_result = {
   engine : Sim.Engine.result;
   messages : string list;        (** notification output, ANSI format *)

@@ -164,6 +164,13 @@ type sim_options = {
 
 val default_sim_options : sim_options
 
+(** The window behind [--watchdog auto]: {!Analysis.Live.analyze}'s
+    proved completion bound for [prog] under the stimulus in [options]
+    ([feeds] taken as token counts), or [None] when liveness is not
+    proved — the caller should then leave the watchdog off rather than
+    guess a window. *)
+val auto_watchdog : options:sim_options -> Front.Ast.program -> int option
+
 type sim_result = {
   engine : Sim.Engine.result;
   messages : string list;        (** notification output, ANSI format *)

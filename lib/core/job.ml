@@ -24,6 +24,9 @@ type check_params = {
   k_strategy : string;
   k_nabort : bool;
   k_ndebug : bool;
+  k_only : string list option;
+  k_ignore : string list option;
+  k_watchdog : int option;
 }
 
 type prove_params = {
@@ -44,6 +47,7 @@ type campaign_params = {
   a_jobs : int option;
   a_from_reset : bool;
   a_max_cycles : int;
+  a_prune_hangs : bool;
 }
 
 type mine_params = {
@@ -122,12 +126,15 @@ let to_json t : Json.t =
         ]
   | Check k ->
       kinded
-        [
-          ("sources", Json.list source_json k.k_sources);
-          ("strategy", Json.Str k.k_strategy);
-          ("nabort", Json.Bool k.k_nabort);
-          ("ndebug", Json.Bool k.k_ndebug);
-        ]
+        ([
+           ("sources", Json.list source_json k.k_sources);
+           ("strategy", Json.Str k.k_strategy);
+           ("nabort", Json.Bool k.k_nabort);
+           ("ndebug", Json.Bool k.k_ndebug);
+         ]
+        @ opt_field "only" (Json.list Json.str) k.k_only
+        @ opt_field "ignore" (Json.list Json.str) k.k_ignore
+        @ opt_field "watchdog" Json.int k.k_watchdog)
   | Prove p ->
       kinded
         ([
@@ -146,7 +153,11 @@ let to_json t : Json.t =
         @ opt_field "watchdog" Json.int a.a_watchdog
         @ opt_field "max_mutants" Json.int a.a_max_mutants
         @ opt_field "jobs" Json.int a.a_jobs
-        @ [ ("from_reset", Json.Bool a.a_from_reset); ("max_cycles", Json.int a.a_max_cycles) ])
+        @ [
+            ("from_reset", Json.Bool a.a_from_reset);
+            ("max_cycles", Json.int a.a_max_cycles);
+            ("prune_hangs", Json.Bool a.a_prune_hangs);
+          ])
   | Mine m ->
       kinded
         ([ ("source", source_json m.m_source); ("strategy", Json.Str m.m_strategy) ]
@@ -186,6 +197,8 @@ let dec_obj k v = match Json.get_obj v with Some o -> o | None -> fail "%S must 
 
 let get dec dflt j k = match field j k with Some v -> dec k v | None -> dflt
 let get_opt dec j k = match field j k with Some v -> Some (dec k v) | None -> None
+
+let dec_codes k v = List.map (dec_str k) (dec_list k v)
 
 let dec_source k v =
   match (Json.member "path" v, Json.member "name" v, Json.member "text" v) with
@@ -247,6 +260,9 @@ let of_json j : (t, string) result =
                 k_strategy = get dec_str "optimized" j "strategy";
                 k_nabort = get dec_bool false j "nabort";
                 k_ndebug = get dec_bool false j "ndebug";
+                k_only = get_opt dec_codes j "only";
+                k_ignore = get_opt dec_codes j "ignore";
+                k_watchdog = get_opt dec_int j "watchdog";
               }
         | "prove" ->
             Prove
@@ -269,6 +285,7 @@ let of_json j : (t, string) result =
                 a_jobs = get_opt dec_int j "jobs";
                 a_from_reset = get dec_bool false j "from_reset";
                 a_max_cycles = get dec_int 1_000_000 j "max_cycles";
+                a_prune_hangs = get dec_bool true j "prune_hangs";
               }
         | "mine" ->
             Mine

@@ -41,6 +41,13 @@ type check_params = {
   k_strategy : string;
   k_nabort : bool;
   k_ndebug : bool;
+  k_only : string list option;
+      (** keep only diagnostics with these codes ([--only]); [None] = all *)
+  k_ignore : string list option;
+      (** drop diagnostics with these codes ([--ignore]) *)
+  k_watchdog : int option;
+      (** configured watchdog window, measured against the proved
+          completion bound (INCA-L109/L110) *)
 }
 
 type prove_params = {
@@ -61,6 +68,9 @@ type campaign_params = {
   a_jobs : int option;
   a_from_reset : bool;
   a_max_cycles : int;
+  a_prune_hangs : bool;
+      (** let the liveness pre-filter classify provably blocking
+          mutants without simulating them (default [true]) *)
 }
 
 type mine_params = {

@@ -117,6 +117,12 @@ type config = {
           {!Exec.Pool.default_jobs} ([INCA_JOBS] or all cores);
           [Some 1] runs serially without spawning any domain.  The
           report is byte-identical for every job count. *)
+  prune_hangs : bool;
+      (** let the liveness pre-filter ({!Prefilter.hang_verdicts})
+          classify provably blocking mutants [Hang_detected] without
+          simulating them; [false] simulates every such mutant (the
+          reference the CI classification-identity gate compares
+          against) *)
 }
 
 (** Every canonical strategy except the carte transport flavour (the
@@ -127,7 +133,7 @@ let default_strategies =
 
 let default_config =
   { mode = Fork; strategies = default_strategies; budget = None; watchdog = None;
-    max_mutants = None; jobs = None }
+    max_mutants = None; jobs = None; prune_hangs = true }
 
 (* --- classification ----------------------------------------------------- *)
 
@@ -193,6 +199,9 @@ type report = {
   pruned_static : int;
       (** mutant runs the static pre-filter proved equivalent or dead
           and classified [Benign] without simulating *)
+  pruned_hang : int;
+      (** mutant runs the liveness pre-filter proved certainly blocking
+          and classified [Hang_detected] without simulating *)
   runs : run list;
   summaries : strategy_summary list;
 }
@@ -539,12 +548,17 @@ let summarize strategies runs =
 
 (* How one mutant gets its result.  [Pruned]: the static pre-filter
    proved it equivalent to the baseline (or its site dead) — no
-   simulation, classified [Benign].  [Baseline_equiv]: the site never
-   activates under the workload, so the mutant's run *is* the recorded
-   neutral-baseline run.  [Simulate]: run it on a worker domain, via
-   the fork-point restore or the legacy from-reset path. *)
+   simulation, classified [Benign].  [Pruned_hang]: the liveness
+   pre-filter proved the mutant blocks the channel network on every
+   execution before any divergent write, assertion or trap — no
+   simulation, classified [Hang_detected] with the static witness.
+   [Baseline_equiv]: the site never activates under the workload, so
+   the mutant's run *is* the recorded neutral-baseline run.
+   [Simulate]: run it on a worker domain, via the fork-point restore or
+   the legacy from-reset path. *)
 type disposition =
   | Pruned
+  | Pruned_hang of string
   | Baseline_equiv of Driver.sim_result
   | Simulate of (unit -> Driver.sim_result)
 
@@ -608,6 +622,19 @@ let plan ?(config = default_config) (workloads : workload list) : plan =
           let base_front = Exec.Cache.front ~strategy:Driver.baseline w.program in
           Prefilter.verdicts base_front.Driver.f_ir sites
         in
+        (* The liveness pre-filter works on the AST and the workload's
+           stimulus (token counts, not values), so — like the value
+           pre-filter — its verdicts are identical in both modes. *)
+        let hangs =
+          if config.prune_hangs then
+            Prefilter.hang_verdicts ~params:w.options.Driver.params
+              ~feeds:
+                (List.map
+                   (fun (s, vs) -> (s, List.length vs))
+                   w.options.Driver.feeds)
+              ~drains:w.options.Driver.drains w.program sites
+          else List.map (fun _ -> Prefilter.Hang_unknown) sites
+        in
         let golden = golden_drained w in
         let base_cycles = unfaulted_cycles w in
         let budget =
@@ -631,7 +658,7 @@ let plan ?(config = default_config) (workloads : workload list) : plan =
                   | None -> None)
                 config.strategies
         in
-        (w, sites, verdicts, golden, budget, watchdog, fork_ctxs))
+        (w, sites, verdicts, hangs, golden, budget, watchdog, fork_ctxs))
       workloads
   in
   (* One mutant per (workload, strategy, site), flattened in the serial
@@ -640,12 +667,12 @@ let plan ?(config = default_config) (workloads : workload list) : plan =
      the result list stays in canonical order for every job count. *)
   let mutants =
     List.concat_map
-      (fun (w, sites, verdicts, golden, budget, watchdog, fork_ctxs) ->
+      (fun (w, sites, verdicts, hangs, golden, budget, watchdog, fork_ctxs) ->
         List.concat_map
           (fun (sname, strategy) ->
             let ctx = List.assoc_opt sname fork_ctxs in
             List.map2
-              (fun fault verdict ->
+              (fun (fault, hang) verdict ->
                 let legacy () =
                   Simulate (fun () -> attempt_mutant ~budget ~watchdog w strategy fault)
                 in
@@ -653,24 +680,27 @@ let plan ?(config = default_config) (workloads : workload list) : plan =
                   match (verdict : Prefilter.verdict) with
                   | Prefilter.Equivalent | Prefilter.Dead -> Pruned
                   | Prefilter.Unknown -> (
-                      match ctx with
-                      | None -> legacy ()
-                      | Some ctx -> (
-                          match
-                            List.find_opt
-                              (fun (s : Fault.site) -> s.Fault.s_fault = fault)
-                              ctx.fc_sites
-                          with
-                          | Some site when site.Fault.s_padded ->
-                              let act = ctx.fc_first_act.(site.Fault.s_index) in
-                              if act = never then Baseline_equiv ctx.fc_base
-                              else if List.mem_assoc act ctx.fc_snaps then
-                                Simulate (fun () -> fork_attempt ctx site)
-                              else legacy ()
-                          | _ -> legacy ()))
+                      match (hang : Prefilter.hang_verdict) with
+                      | Prefilter.Certain_hang witness -> Pruned_hang witness
+                      | Prefilter.Hang_unknown -> (
+                          match ctx with
+                          | None -> legacy ()
+                          | Some ctx -> (
+                              match
+                                List.find_opt
+                                  (fun (s : Fault.site) -> s.Fault.s_fault = fault)
+                                  ctx.fc_sites
+                              with
+                              | Some site when site.Fault.s_padded ->
+                                  let act = ctx.fc_first_act.(site.Fault.s_index) in
+                                  if act = never then Baseline_equiv ctx.fc_base
+                                  else if List.mem_assoc act ctx.fc_snaps then
+                                    Simulate (fun () -> fork_attempt ctx site)
+                                  else legacy ()
+                              | _ -> legacy ())))
                 in
                 (w, sname, fault, golden, disp))
-              sites verdicts)
+              (List.combine sites hangs) verdicts)
           config.strategies)
       prepped
   in
@@ -723,6 +753,16 @@ let eval_shard (p : plan) i : run =
         cycles = 0;
         retried = false;
       }
+  | Pruned_hang witness ->
+      {
+        workload = s.sh_workload.wname;
+        strategy = s.sh_strategy;
+        fault = s.sh_fault;
+        outcome = Hang_detected;
+        detail = Message ("statically proved hang: " ^ witness);
+        cycles = 0;
+        retried = false;
+      }
   | Baseline_equiv base ->
       classify ~golden:s.sh_golden s.sh_workload s.sh_strategy s.sh_fault
         { Exec.Pool.value = Ok base; attempts = 1 }
@@ -750,12 +790,18 @@ let merge (p : plan) (runs : run list) : report =
       (fun n s -> match s.sh_disp with Pruned -> n + 1 | _ -> n)
       0 p.pl_shards
   in
+  let pruned_hang =
+    Array.fold_left
+      (fun n s -> match s.sh_disp with Pruned_hang _ -> n + 1 | _ -> n)
+      0 p.pl_shards
+  in
   {
     workloads = p.pl_workloads;
     site_count = p.pl_site_count;
     dropped = p.pl_dropped;
     kind_counts = p.pl_kind_counts;
     pruned_static;
+    pruned_hang;
     runs;
     summaries = summarize p.pl_strategies runs;
   }
@@ -820,6 +866,10 @@ let render (r : report) : string =
   if r.pruned_static > 0 then
     p "pruned: %d mutant runs proved equivalent/dead statically (not simulated)"
       r.pruned_static;
+  if r.pruned_hang > 0 then
+    p "pruned: %d mutant runs proved certainly hanging statically (classified hang, \
+       not simulated)"
+      r.pruned_hang;
   p "";
   p "%-14s %7s %7s %6s %7s %7s %7s %9s %14s" "strategy" "mutants" "assert" "hang"
     "silent" "benign" "budget" "detected" "mean-det-cyc";
@@ -873,6 +923,7 @@ let json_of (r : report) : Json.t =
       ("sites", Json.int r.site_count);
       ("dropped", Json.int r.dropped);
       ("pruned_static", Json.int r.pruned_static);
+      ("pruned_hang", Json.int r.pruned_hang);
       ("kinds", Json.Obj (List.map (fun (k, n) -> (k, Json.int n)) r.kind_counts));
       ( "strategies",
         Json.list

@@ -54,6 +54,11 @@ type config = {
           {!Exec.Pool.default_jobs} ([INCA_JOBS] or all cores);
           [Some 1] runs serially without spawning any domain.  The
           report is byte-identical for every job count. *)
+  prune_hangs : bool;
+      (** let the liveness pre-filter ({!Faults.Prefilter.hang_verdicts})
+          classify provably blocking mutants [Hang_detected] without
+          simulating them; [false] simulates every such mutant.  The
+          classification map is byte-identical either way (CI-gated). *)
 }
 
 (** Every strategy of {!Core.Driver.all_strategies} except the carte
@@ -120,6 +125,9 @@ type report = {
       (** mutant runs the static pre-filter ({!Faults.Prefilter})
           proved equivalent or dead and classified [Benign] without
           simulating *)
+  pruned_hang : int;
+      (** mutant runs the liveness pre-filter proved certainly blocking
+          and classified [Hang_detected] without simulating *)
   runs : run list;
   summaries : strategy_summary list;
 }

@@ -367,6 +367,143 @@ let fproc_of = function
   | Fault.Loop_bound_off_by_one { fproc; _ } ->
       fproc
 
+(* --- Hang-class verdicts ----------------------------------------------------- *)
+
+module Chan = Analysis.Chan
+module Live = Analysis.Live
+module Bound = Analysis.Bound
+
+type hang_verdict = Certain_hang of string | Hang_unknown
+
+(* No channel op of [ops] in [\[lo, hi)] writes a token, checks an
+   assertion, or risks a trap.  Reads are fine: the tokens a divergent
+   read consumes never influence whether the network blocks. *)
+let clean_region (ops : Chan.op array) lo hi =
+  let ok = ref true in
+  for i = lo to hi - 1 do
+    match ops.(i) with
+    | Chan.Write _ | Chan.Assert_op | Chan.Trap -> ok := false
+    | Chan.Read _ -> ()
+  done;
+  !ok
+
+let lcp_len (a : Chan.op array) (b : Chan.op array) =
+  let n = Stdlib.min (Array.length a) (Array.length b) in
+  let i = ref 0 in
+  while !i < n && a.(!i) = b.(!i) do
+    incr i
+  done;
+  !i
+
+(* Re-run the token network with [fproc]'s trace replaced by
+   [mutant_ops], and decide whether the stuck state is a {e certain}
+   hang: the faulted process's executed divergence (ops past the
+   longest common prefix with its baseline trace, strictly before its
+   block point) must be write-, assert- and trap-free, so the mutant
+   run is observationally the baseline run right up to the global
+   block — the engine can only report a hang. *)
+let judge_mutant ~streams ~feeds ~drains ~base_traces ~fproc ~mutant_ops =
+  let mutant_traces =
+    List.map
+      (fun (p, ops) -> if p = fproc then (p, mutant_ops) else (p, ops))
+      base_traces
+  in
+  match Live.run_network ~streams ~feeds ~drains mutant_traces with
+  | Error _ | Ok (Live.Completed, _) -> Hang_unknown
+  | Ok (Live.Stuck w, states) -> (
+      match List.find_opt (fun s -> s.Live.ps_proc = fproc) states with
+      | None -> Hang_unknown
+      | Some ps ->
+          let base = Array.of_list (List.assoc fproc base_traces) in
+          let mut = Array.of_list mutant_ops in
+          let lcp = lcp_len base mut in
+          (* a completed faulted process ran its whole divergent tail *)
+          let hi = if ps.Live.ps_done then Array.length mut else ps.Live.ps_pos in
+          if hi > lcp && not (clean_region mut lcp hi) then Hang_unknown
+          else Certain_hang (Live.witness_to_string w))
+
+let hang_verdicts ~(params : (string * (string * int64) list) list)
+    ~(feeds : (string * int) list) ~(drains : string list)
+    (prog : program) (faults : Fault.t list) : hang_verdict list =
+  let unknown_all () = List.map (fun _ -> Hang_unknown) faults in
+  let feeds = List.map (fun (s, n) -> (s, Stdlib.max 0 n)) feeds in
+  let env_of pname = Option.value ~default:[] (List.assoc_opt pname params) in
+  let base =
+    let rec collect acc = function
+      | [] -> Some (List.rev acc)
+      | (p : proc) :: rest -> (
+          match Chan.trace ~env:(env_of p.pname) prog p with
+          | Ok t -> collect ((p.pname, t.Chan.t_ops) :: acc) rest
+          | Error _ -> None)
+    in
+    collect [] prog.procs
+  in
+  match base with
+  | None -> unknown_all ()
+  | Some base_traces ->
+      (* the unfaulted network must provably complete: every certain-hang
+         argument is relative to a baseline run that finishes *)
+      let base_completes =
+        match Live.run_network ~streams:prog.streams ~feeds ~drains base_traces with
+        | Ok (Live.Completed, _) -> true
+        | _ -> false
+      in
+      if not base_completes then unknown_all ()
+      else
+        let judge (f : Fault.t) : hang_verdict =
+          match f with
+          | Fault.Drop_stream_write { fproc; stream; select = Fault.Nth k; _ } -> (
+              match List.assoc_opt fproc base_traces with
+              | None -> Hang_unknown
+              | Some ops ->
+                  (* the guard suppresses only the pushes: the process
+                     computes baseline values throughout, so the prune
+                     is sound exactly when the dropped tokens are a
+                     suffix of the stream's write sequence (readers then
+                     consume a value-prefix of the baseline's tokens) *)
+                  let first_drop = ref (-1) and kept_after = ref false in
+                  List.iteri
+                    (fun i op ->
+                      match op with
+                      | Chan.Write (s, j) when s = stream ->
+                          if j = k then (if !first_drop < 0 then first_drop := i)
+                          else if !first_drop >= 0 then kept_after := true
+                      | _ -> ())
+                    ops;
+                  if !first_drop < 0 || !kept_after then Hang_unknown
+                  else
+                    let mutant_ops =
+                      List.filter
+                        (fun op ->
+                          match op with
+                          | Chan.Write (s, j) -> not (s = stream && j = k)
+                          | _ -> true)
+                        ops
+                    in
+                    judge_mutant ~streams:prog.streams ~feeds ~drains
+                      ~base_traces ~fproc ~mutant_ops)
+          | Fault.Loop_bound_off_by_one { fproc; select = Fault.Nth k; delta } -> (
+              match List.find_opt (fun (p : proc) -> p.pname = fproc) prog.procs with
+              | None -> Hang_unknown
+              | Some p -> (
+                  let env = env_of fproc in
+                  match List.nth_opt (Chan.loop_headers p) k with
+                  | Some (Chan.For_loop (h, body)) -> (
+                      match
+                        (Bound.of_for ~env h body, Bound.shifted_trips ~env ~delta h body)
+                      with
+                      | Bound.Exact t0, Some t1 when t1 <> t0 -> (
+                          match Chan.trace ~env ~trips_override:(k, t1) prog p with
+                          | Error _ -> Hang_unknown
+                          | Ok mt ->
+                              judge_mutant ~streams:prog.streams ~feeds ~drains
+                                ~base_traces ~fproc ~mutant_ops:mt.Chan.t_ops)
+                      | _ -> Hang_unknown)
+                  | _ -> Hang_unknown))
+          | _ -> Hang_unknown
+        in
+        List.map judge faults
+
 let verdicts (prog : Ir.program_ir) (faults : Fault.t list) : verdict list =
   let cache : (string, proc_obs) Hashtbl.t = Hashtbl.create 4 in
   let obs_for pname =

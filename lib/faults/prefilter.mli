@@ -20,3 +20,29 @@ val verdict_name : verdict -> string
     {!Fault.sites}: occurrence indices are matched against that IR's
     site numbering. *)
 val verdicts : Mir.Ir.program_ir -> Fault.t list -> verdict list
+
+(** The liveness pre-filter: [Certain_hang] proves a mutant blocks the
+    token network on every execution {e without} having first written a
+    divergent token, fired an assertion, or risked a trap — so the
+    engine can only classify it as a hang, and the campaign may record
+    that class without simulating.
+
+    The proof perturbs the baseline {!Analysis.Chan} traces exactly the
+    way the fault rewrites the lowered design (a drop-write removes the
+    site's pushes; a loop-off-by-one shifts the compare bound and
+    re-expands the loop) and re-runs the {!Analysis.Live} token
+    network.  It requires the unfaulted network to provably complete,
+    and checks the faulted process's executed divergence is free of
+    writes, assertions and traps, so every process observes baseline
+    values right up to the global block.  [Hang_unknown] means
+    simulate; it is the verdict for every fault kind that perturbs
+    values rather than token counts. *)
+type hang_verdict = Certain_hang of string | Hang_unknown
+
+val hang_verdicts :
+  params:(string * (string * int64) list) list ->
+  feeds:(string * int) list ->
+  drains:string list ->
+  Front.Ast.program ->
+  Fault.t list ->
+  hang_verdict list

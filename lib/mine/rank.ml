@@ -145,6 +145,7 @@ let mine ?(config = default_config) ?progress ~name ?options (prog : Front.Ast.p
       watchdog = config.watchdog;
       max_mutants = config.max_mutants;
       jobs = config.jobs;
+      prune_hangs = Campaign.default_config.Campaign.prune_hangs;
     }
   in
   let sweep p nm =

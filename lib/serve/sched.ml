@@ -222,7 +222,7 @@ let do_check ?progress (k : Job.check_params) : outcome =
           | prog -> (
               let rep =
                 Analysis.Check.report_of ?share_bits ~replicate:strategy.Driver.replicate
-                  prog
+                  ?watchdog:k.k_watchdog prog
               in
               (* the compiler-side half: FSMD scheduler invariants and
                  lowered-IR well-formedness under the selected strategy;
@@ -242,6 +242,10 @@ let do_check ?progress (k : Job.check_params) : outcome =
           | exception Front.Lexer.Error (m, loc) ->
               Analysis.Check.failure_report ~code:"INCA-P001" loc m)
     in
+    (* --only/--ignore restrict diagnostics (and therefore the exit
+       status) after every producer has contributed, including the
+       compiler-side invariant checks *)
+    let rep = Analysis.Check.filter_codes ?only:k.k_only ?ignore:k.k_ignore rep in
     (match progress with
     | Some f ->
         f ~label:("file " ^ file)
@@ -465,6 +469,7 @@ let do_campaign ?progress ?default_jobs (a : Job.campaign_params) : outcome =
       watchdog = a.a_watchdog;
       max_mutants = a.a_max_mutants;
       jobs;
+      prune_hangs = a.a_prune_hangs;
     }
   in
   (* The sharded evaluation path: plan serially, evaluate every

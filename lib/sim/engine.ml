@@ -726,6 +726,38 @@ let blocked_info t =
     (fun p -> match p.mode with Halted -> None | _ -> Some (p.fsmd.Fsmd.proc.Ir.name, p.state))
     t.procs
 
+(* --- blocked-channel attribution ------------------------------------------- *)
+
+(* Which channel op a stalled FSMD state is waiting on.  A state can
+   only block on a stream read (empty FIFO) or a stream write (full
+   FIFO); scan its ops for the first one.  Lets hang reports name the
+   channel, not just a state id. *)
+let blocked_channel (f : Fsmd.t) (state : int) : (string * [ `Read | `Write ]) option =
+  if state < 0 || state >= Array.length f.Fsmd.states then None
+  else
+    List.find_map
+      (fun (g : Ir.ginst) ->
+        match g.Ir.i with
+        | Ir.Sread { stream; _ } -> Some (stream, `Read)
+        | Ir.Swrite { stream; _ } -> Some (stream, `Write)
+        | _ -> None)
+      f.Fsmd.states.(state).Fsmd.ops
+
+let describe_blocked (fsmds : Fsmd.t list) (blocked : (string * int) list) : string list =
+  List.map
+    (fun (proc, state) ->
+      let fallback = Printf.sprintf "%s blocked in state %d" proc state in
+      match List.find_opt (fun (f : Fsmd.t) -> f.Fsmd.proc.Ir.name = proc) fsmds with
+      | None -> fallback
+      | Some f -> (
+          match blocked_channel f state with
+          | Some (s, `Read) ->
+              Printf.sprintf "%s blocked reading stream \"%s\" (state %d)" proc s state
+          | Some (s, `Write) ->
+              Printf.sprintf "%s blocked writing stream \"%s\" (state %d)" proc s state
+          | None -> fallback))
+    blocked
+
 (* Allocate the pipe-stats table once; [run] after a {!restore} (or a
    second [run_until] leg) must keep the restored contents. *)
 let ensure_pipe_stats t =

@@ -129,6 +129,17 @@ val create :
 (** Run to completion (or hang / abort / cycle budget). *)
 val run : t -> result
 
+(** Which channel op FSMD state [state] waits on: the first stream
+    read/write among the state's ops, or [None] for a state that cannot
+    block on a channel.  Hang reports use it to name the blocking
+    channel instead of a bare state id. *)
+val blocked_channel : Hls.Fsmd.t -> int -> (string * [ `Read | `Write ]) option
+
+(** One "proc blocked reading stream \"s\" (state N)" line per blocked
+    (process, state) pair of a {!Hang} outcome, falling back to the bare
+    state id when the state holds no channel op. *)
+val describe_blocked : Hls.Fsmd.t list -> (string * int) list -> string list
+
 (** Run forward until the start of [cycle] (cycles [0..cycle-1] have
     executed and committed).  Returns [Some outcome] if the design
     terminated first, [None] when paused at the target; a later {!run}

@@ -9,6 +9,7 @@ type dclass =
   | Spurious_fire
   | Missed_abort
   | Proved_fired
+  | Liveness_unsound
   | Hang
   | Cycle_blowup
   | Crash
@@ -20,6 +21,7 @@ let class_name = function
   | Spurious_fire -> "spurious-fire"
   | Missed_abort -> "missed-abort"
   | Proved_fired -> "proved-fired"
+  | Liveness_unsound -> "liveness-unsound"
   | Hang -> "hang"
   | Cycle_blowup -> "cycle-blowup"
   | Crash -> "crash"
@@ -158,9 +160,37 @@ let simulate_leg ~options leg : Driver.sim_result * int =
 
 (* One strategy's circuit run compared against the golden software run.
    Returns the divergences it alone exhibits plus its finished cycle
-   count (for the ratio check, applied by the caller). *)
-let check_strategy ~options ~sw ~golden_drained ~proved ~from_reset ~faults ~prog
-    (sname, strategy) =
+   count (for the ratio check, applied by the caller).  [live] is the
+   static liveness verdict of the unfaulted design: on a fault-free leg
+   the circuit outcome must not contradict it — a proved deadlock-free
+   design that hangs (or a certain-deadlock design that finishes) is a
+   {!Liveness_unsound} finding against the analyzer itself. *)
+let check_strategy ~options ~sw ~golden_drained ~proved ~live ~from_reset ~faults
+    ~prog (sname, strategy) =
+  let live_unsound mk =
+    if faults <> [] then []
+    else
+      match mk live with
+      | Some detail -> [ { dclass = Liveness_unsound; strategy = sname; detail } ]
+      | None -> []
+  in
+  let unsound_on_hang what =
+    live_unsound (function
+      | Analysis.Live.Deadlock_free k ->
+          Some
+            (Printf.sprintf
+               "analyzer proved deadlock-free (bound %d) but the circuit %s" k what)
+      | _ -> None)
+  in
+  let unsound_on_finish =
+    live_unsound (function
+      | Analysis.Live.Deadlock w ->
+          Some
+            ("analyzer claimed certain deadlock ("
+            ^ Analysis.Live.witness_to_string w
+            ^ ") but the circuit finished")
+      | _ -> None)
+  in
   match compile_leg ~from_reset ~faults ~strategy prog with
   | exception e ->
       ( [ { dclass = Crash; strategy = sname;
@@ -174,6 +204,10 @@ let check_strategy ~options ~sw ~golden_drained ~proved ~from_reset ~faults ~pro
             None )
       | r, budget ->
           let eng = r.Driver.engine in
+          let fsmds =
+            match leg with
+            | Legacy c | Padded { p_compiled = c; _ } -> c.Driver.fsmds
+          in
           let fired_proved =
             List.filter (fun id -> List.mem id proved) r.Driver.failed_assertions
           in
@@ -230,7 +264,10 @@ let check_strategy ~options ~sw ~golden_drained ~proved ~from_reset ~faults ~pro
                 if sw_stuck sw then ([], None)
                 else
                   ( [ { dclass = Hang; strategy = sname;
-                        detail = "circuit deadlock: " ^ spin_procs blocked } ],
+                        detail =
+                          "circuit deadlock: "
+                          ^ String.concat "; "
+                              (Engine.describe_blocked fsmds blocked) } ],
                     None )
             | Engine.Livelock spinning ->
                 if sw_stuck sw then ([], None)
@@ -251,7 +288,14 @@ let check_strategy ~options ~sw ~golden_drained ~proved ~from_reset ~faults ~pro
                       detail = "simulator error: " ^ m } ],
                   None )
           in
-          (proved_div @ divs, cycles))
+          let live_divs =
+            match eng.Engine.outcome with
+            | Engine.Finished -> unsound_on_finish
+            | Engine.Hang _ -> unsound_on_hang "deadlocked"
+            | Engine.Livelock _ -> unsound_on_hang "live-locked (watchdog)"
+            | Engine.Aborted _ | Engine.Out_of_cycles | Engine.Sim_error _ -> []
+          in
+          (proved_div @ live_divs @ divs, cycles))
 
 (* Absint-vs-BMC cross-check: an assertion the abstract interpreter
    proved must not have a replay-confirmed counterexample — both
@@ -316,6 +360,22 @@ let check ?(strategies = default_strategies) ?(faults = []) ?(from_reset = false
       let proved =
         match analysis with Some a -> proved_ids a | None -> []
       in
+      (* Static liveness verdict of the unfaulted design under this
+         stimulus: cross-checked against what actually happens in both
+         executions (a wrong claim in either direction is a
+         Liveness_unsound divergence, a bug in the analyzer). *)
+      let live, live_div =
+        match
+          Analysis.Live.analyze ~params:options.Driver.params
+            ~feeds:(List.map (fun (s, vs) -> (s, List.length vs)) options.Driver.feeds)
+            ~drains:options.Driver.drains prog
+        with
+        | v -> (v, [])
+        | exception e ->
+            ( Analysis.Live.Unknown "liveness analyzer crashed",
+              [ { dclass = Crash; strategy = "";
+                  detail = exn_detail "liveness" e } ] )
+      in
       let bmc_div =
         match (bmc_depth, analysis) with
         | Some depth, Some absint when proved <> [] && faults = [] ->
@@ -329,7 +389,7 @@ let check ?(strategies = default_strategies) ?(faults = []) ?(from_reset = false
           {
             source;
             divergences =
-              analysis_div @ bmc_div
+              analysis_div @ live_div @ bmc_div
               @ [ { dclass = Crash; strategy = "baseline";
                     detail = exn_detail "compile" e } ];
             baseline_cycles = None;
@@ -373,12 +433,32 @@ let check ?(strategies = default_strategies) ?(faults = []) ?(from_reset = false
                      a.Analysis.Absint.verdicts)
             | _ -> []
           in
+          (* The interpreter is ground truth for the program's own
+             semantics: a deadlock there refutes [Deadlock_free];
+             completion refutes [Deadlock].  ([Fuel_exhausted] proves
+             nothing in either direction.) *)
+          let sw_live_div =
+            match (live, sw.Interp.outcome) with
+            | Analysis.Live.Deadlock_free k, Interp.Deadlocked _ ->
+                [ { dclass = Liveness_unsound; strategy = "";
+                    detail =
+                      Printf.sprintf
+                        "analyzer proved deadlock-free (bound %d) but software \
+                         simulation deadlocked" k } ]
+            | Analysis.Live.Deadlock w, Interp.Completed ->
+                [ { dclass = Liveness_unsound; strategy = "";
+                    detail =
+                      "analyzer claimed certain deadlock ("
+                      ^ Analysis.Live.witness_to_string w
+                      ^ ") but software simulation completed" } ]
+            | _ -> []
+          in
           let golden_drained = sw.Interp.drained in
           if sw_div <> [] then
             (* the golden run itself crashed: nothing differential left *)
             {
               source;
-              divergences = analysis_div @ bmc_div @ sw_div;
+              divergences = analysis_div @ live_div @ bmc_div @ sw_div;
               baseline_cycles = None;
             }
           else
@@ -386,8 +466,8 @@ let check ?(strategies = default_strategies) ?(faults = []) ?(from_reset = false
               List.map
                 (fun s ->
                   ( s,
-                    check_strategy ~options ~sw ~golden_drained ~proved ~from_reset
-                      ~faults ~prog s ))
+                    check_strategy ~options ~sw ~golden_drained ~proved ~live
+                      ~from_reset ~faults ~prog s ))
                 strategies
             in
             let baseline_cycles =
@@ -415,7 +495,7 @@ let check ?(strategies = default_strategies) ?(faults = []) ?(from_reset = false
             {
               source;
               divergences =
-                analysis_div @ bmc_div @ sw_proved_div
+                analysis_div @ live_div @ bmc_div @ sw_proved_div @ sw_live_div
                 @ List.concat_map (fun (_, (divs, _)) -> divs) per_strategy
                 @ ratio_div;
               baseline_cycles;

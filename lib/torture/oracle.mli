@@ -22,6 +22,11 @@ type dclass =
   | Spurious_fire    (** circuit assertion fired; software run was clean *)
   | Missed_abort     (** software aborted on an assertion; circuit finished *)
   | Proved_fired     (** an assertion {!Analysis.Absint} proved still fired *)
+  | Liveness_unsound
+      (** {!Analysis.Live}'s verdict contradicts reality: a proved
+          deadlock-free design deadlocked (in software simulation or in
+          any circuit strategy's fault-free run), or a claimed certain
+          deadlock completed.  Always a bug in the liveness analyzer. *)
   | Hang             (** one side hangs or live-locks while the other completes *)
   | Cycle_blowup     (** circuit ran past the cycle budget or ratio bound *)
   | Crash            (** toolchain exception, simulator error, interp error *)

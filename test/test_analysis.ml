@@ -432,6 +432,247 @@ let test_rank_static_discard () =
   check tbool "statically proved candidates are dropped" true
     (r.Mine.Rank.static_proved >= 1)
 
+(* --- liveness: Bound / Chan / Live and the INCA-L1xx lint family --------- *)
+
+module Live = Analysis.Live
+module Chan = Analysis.Chan
+module Bound = Analysis.Bound
+
+let proc_named prog name =
+  List.find (fun (p : Ast.proc) -> p.Ast.pname = name) prog.Ast.procs
+
+(* Matched rates: prod pushes 8 tokens on a, cons pops all 8 and pushes
+   8 on the externally drained b. *)
+let matched_src =
+  {|
+stream int32 a depth 4;
+stream int32 b depth 4;
+process hw prod() {
+  int32 i;
+  for (i = 0; i < 8; i = i + 1) {
+    stream_write(a, i * 3);
+  }
+}
+process hw cons() {
+  int32 i;
+  for (i = 0; i < 8; i = i + 1) {
+    int32 x;
+    x = stream_read(a);
+    stream_write(b, x + 1);
+  }
+}
+|}
+
+(* The committed canary, inline: the consumer reads one token too many. *)
+let starved_src =
+  {|
+stream int32 a depth 4;
+stream int32 b depth 4;
+process hw prod() {
+  int32 i;
+  for (i = 0; i < 8; i = i + 1) {
+    stream_write(a, i);
+  }
+}
+process hw cons() {
+  int32 i;
+  for (i = 0; i < 9; i = i + 1) {
+    int32 x;
+    x = stream_read(a);
+    stream_write(b, x);
+  }
+}
+|}
+
+(* Each process reads the other's output before producing its own:
+   both block on their first read forever. *)
+let circular_src =
+  {|
+stream int32 ab depth 4;
+stream int32 ba depth 4;
+process hw pa() {
+  int32 i;
+  for (i = 0; i < 4; i = i + 1) {
+    int32 x;
+    x = stream_read(ba);
+    stream_write(ab, x + 1);
+  }
+}
+process hw pb() {
+  int32 i;
+  for (i = 0; i < 4; i = i + 1) {
+    int32 x;
+    x = stream_read(ab);
+    stream_write(ba, x + 1);
+  }
+}
+|}
+
+let test_bound_of_for () =
+  let prog = elab matched_src in
+  match Chan.loop_headers (proc_named prog "prod") with
+  | [ Chan.For_loop (h, body) ] ->
+      check tbool "closed loop is Exact 8" true (Bound.of_for h body = Bound.Exact 8);
+      (* the off-by-one fault shifts the compare's bound operand, so the
+         mutant trip count comes from the shifted bound, not trips+-1 *)
+      check tbool "+1 shifts to 9" true (Bound.shifted_trips ~delta:1L h body = Some 9);
+      check tbool "-1 shifts to 7" true (Bound.shifted_trips ~delta:(-1L) h body = Some 7)
+  | _ -> Alcotest.fail "expected exactly one for loop"
+
+let test_bound_param_env () =
+  let prog =
+    elab
+      "stream int32 o depth 4;\n\
+       process hw p(int32 n) {\n\
+      \  int32 i;\n\
+      \  for (i = 0; i < n; i = i + 1) {\n\
+      \    stream_write(o, i);\n\
+      \  }\n\
+       }\n"
+  in
+  match Chan.loop_headers (proc_named prog "p") with
+  | [ Chan.For_loop (h, body) ] ->
+      check tbool "open bound is not Exact" true
+        (match Bound.of_for h body with Bound.Exact _ -> false | _ -> true);
+      check tbool "param env closes it" true
+        (Bound.of_for ~env:[ ("n", 6L) ] h body = Bound.Exact 6)
+  | _ -> Alcotest.fail "expected exactly one for loop"
+
+let test_chan_trace_exact () =
+  let prog = elab matched_src in
+  match Chan.trace prog (proc_named prog "prod") with
+  | Error e -> Alcotest.fail ("trace failed: " ^ e)
+  | Ok t ->
+      check tint "8 ops" 8 (List.length t.Chan.t_ops);
+      check tbool "all writes of a, site 0" true
+        (List.for_all (fun op -> op = Chan.Write ("a", 0)) t.Chan.t_ops);
+      (match Chan.trace ~trips_override:(0, 5) prog (proc_named prog "prod") with
+      | Ok t5 -> check tint "trips override forces 5" 5 (List.length t5.Chan.t_ops)
+      | Error e -> Alcotest.fail ("override trace failed: " ^ e))
+
+let test_live_deadlock_free () =
+  match Live.analyze ~drains:[ "b" ] (elab matched_src) with
+  | Live.Deadlock_free k -> check tbool "cycle bound positive" true (k > 0)
+  | v -> Alcotest.fail ("expected Deadlock_free, got " ^ Live.verdict_to_string v)
+
+let test_live_read_past_last_write () =
+  match Live.analyze ~drains:[ "b" ] (elab starved_src) with
+  | Live.Deadlock w ->
+      check tbool "reason is starvation" true (w.Live.w_reason = Live.Read_past_last_write);
+      check tbool "witness names the blocked reader" true
+        (List.exists
+           (fun (b : Live.blocked) -> b.Live.b_proc = "cons" && b.Live.b_stream = "a")
+           w.Live.w_blocked)
+  | v -> Alcotest.fail ("expected Deadlock, got " ^ Live.verdict_to_string v)
+
+let test_live_circular_wait () =
+  match Live.analyze (elab circular_src) with
+  | Live.Deadlock w ->
+      check tbool "reason is a cycle" true (w.Live.w_reason = Live.Circular_wait);
+      check tint "both processes blocked" 2 (List.length w.Live.w_blocked)
+  | v -> Alcotest.fail ("expected Deadlock, got " ^ Live.verdict_to_string v)
+
+let test_live_external_feed_unknown () =
+  (* a stream read but never written in-design must make the verdict
+     Unknown (the testbench may feed it) — never a false Deadlock *)
+  let src =
+    "stream int32 xin depth 4;\n\
+     stream int32 o depth 4;\n\
+     process hw p() {\n\
+    \  int32 i;\n\
+    \  for (i = 0; i < 4; i = i + 1) {\n\
+    \    int32 x;\n\
+    \    x = stream_read(xin);\n\
+    \    stream_write(o, x);\n\
+    \  }\n\
+     }\n"
+  in
+  (match Live.analyze ~drains:[ "o" ] (elab src) with
+  | Live.Unknown _ -> ()
+  | v -> Alcotest.fail ("expected Unknown, got " ^ Live.verdict_to_string v));
+  (* with the feed declared, the same design proves out *)
+  match Live.analyze ~feeds:[ ("xin", 4) ] ~drains:[ "o" ] (elab src) with
+  | Live.Deadlock_free _ -> ()
+  | v -> Alcotest.fail ("expected Deadlock_free, got " ^ Live.verdict_to_string v)
+
+let test_lint_liveness_deadlock_codes () =
+  let starved = diags starved_src in
+  check tbool "L106 present" true (has_code "INCA-L106" starved);
+  check tbool "L106 is an error" true (severity_of "INCA-L106" starved = Diag.Error);
+  let circular = diags circular_src in
+  check tbool "L107 present" true (has_code "INCA-L107" circular);
+  check tbool "L107 is an error" true (severity_of "INCA-L107" circular = Diag.Error);
+  let clean = diags matched_src in
+  check tbool "no deadlock codes on a live design" false
+    (has_code "INCA-L106" clean || has_code "INCA-L107" clean)
+
+let test_lint_watchdog_budget () =
+  let rep w = Check.report_of ?watchdog:w (elab matched_src) in
+  let bound =
+    match (rep None).Check.liveness with
+    | Live.Deadlock_free k -> k
+    | v -> Alcotest.fail ("expected Deadlock_free, got " ^ Live.verdict_to_string v)
+  in
+  let tight = (rep (Some (bound - 1))).Check.diags in
+  check tbool "L109 when the window is below the bound" true (has_code "INCA-L109" tight);
+  check tbool "L109 is a warning" true (severity_of "INCA-L109" tight = Diag.Warning);
+  let roomy = (rep (Some bound)).Check.diags in
+  check tbool "L110 when the design finishes inside the window" true
+    (has_code "INCA-L110" roomy);
+  check tbool "L110 is informational" true (severity_of "INCA-L110" roomy = Diag.Info);
+  check tbool "no watchdog lints without --watchdog" false
+    (has_code "INCA-L109" (rep None).Check.diags
+    || has_code "INCA-L110" (rep None).Check.diags)
+
+let test_check_filter_codes () =
+  let rep = Check.report_of (elab starved_src) in
+  check tbool "unfiltered report fails on L106" true (Check.failed rep);
+  let only = Check.filter_codes ~only:[ "INCA-L104" ] rep in
+  check tbool "--only keeps just that family" true
+    (List.for_all (fun d -> d.Diag.code = "INCA-L104") only.Check.diags
+    && only.Check.diags <> []);
+  check tbool "exit status follows the filtered set" false (Check.failed only);
+  let ignored = Check.filter_codes ~ignore:[ "INCA-L106" ] rep in
+  check tbool "--ignore drops the code" false (has_code "INCA-L106" ignored.Check.diags);
+  check tbool "other diags survive --ignore" true (ignored.Check.diags <> []);
+  check tbool "verdict lines are untouched" true
+    (only.Check.verdicts = rep.Check.verdicts
+    && ignored.Check.verdicts = rep.Check.verdicts)
+
+(* NABORT-soundness on real designs: the analyzer must never claim a
+   certain deadlock for a workload that actually runs to completion. *)
+let test_live_no_false_deadlock_bundled () =
+  List.iter
+    (fun (w : Campaign.workload) ->
+      let o = w.Campaign.options in
+      match
+        Live.analyze ~params:o.Driver.params
+          ~feeds:(List.map (fun (s, vs) -> (s, List.length vs)) o.Driver.feeds)
+          ~drains:o.Driver.drains w.Campaign.program
+      with
+      | Live.Deadlock wtn ->
+          Alcotest.fail
+            (Printf.sprintf "false deadlock on bundled %s: %s" w.Campaign.wname
+               (Live.witness_to_string wtn))
+      | Live.Deadlock_free _ | Live.Unknown _ -> ())
+    (Campaign.bundled ())
+
+let test_live_examples_canary () =
+  let dir = Filename.dirname (example "examples/fir.c") in
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".c" then
+        let rep =
+          Check.report_of (Typecheck.parse_and_check ~file:f (read_file (Filename.concat dir f)))
+        in
+        match rep.Check.liveness with
+        | Live.Deadlock _ ->
+            if f <> "deadlock.c" then Alcotest.fail ("false deadlock on examples/" ^ f)
+        | Live.Deadlock_free _ | Live.Unknown _ ->
+            if f = "deadlock.c" then
+              Alcotest.fail "examples/deadlock.c must be reported as a certain deadlock")
+    (Sys.readdir dir)
+
 let () =
   Alcotest.run "analysis"
     [
@@ -463,6 +704,24 @@ let () =
           Alcotest.test_case "L103 uninit read" `Quick test_lint_uninit_read;
           Alcotest.test_case "L104 undrained stream" `Quick test_lint_undrained_stream;
           Alcotest.test_case "L105 dead assertion" `Quick test_lint_dead_assertion;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "bound of closed for" `Quick test_bound_of_for;
+          Alcotest.test_case "bound closes under params" `Quick test_bound_param_env;
+          Alcotest.test_case "exact channel trace" `Quick test_chan_trace_exact;
+          Alcotest.test_case "matched rates prove out" `Quick test_live_deadlock_free;
+          Alcotest.test_case "read past last write" `Quick test_live_read_past_last_write;
+          Alcotest.test_case "circular wait" `Quick test_live_circular_wait;
+          Alcotest.test_case "external feed is unknown" `Quick
+            test_live_external_feed_unknown;
+          Alcotest.test_case "L106/L107 deadlock lints" `Quick
+            test_lint_liveness_deadlock_codes;
+          Alcotest.test_case "L109/L110 watchdog budget" `Quick test_lint_watchdog_budget;
+          Alcotest.test_case "--only/--ignore filters" `Quick test_check_filter_codes;
+          Alcotest.test_case "no false deadlock on bundled apps" `Slow
+            test_live_no_false_deadlock_bundled;
+          Alcotest.test_case "examples canary" `Slow test_live_examples_canary;
         ] );
       ( "report",
         [ Alcotest.test_case "json shape" `Quick test_render_json_shape ] );

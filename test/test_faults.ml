@@ -449,6 +449,59 @@ let test_campaign_fork_matches_from_reset () =
         (classes Campaign.Fork jobs = reset))
     [ 1; 4 ]
 
+(* The liveness pre-filter: the micro workload feeds exactly n=4 tokens,
+   so the +1 loop mutant blocks reading a 5th token on every execution
+   (provable), while the -1 mutant completes with short output (not a
+   hang, must stay unproved). *)
+let test_prefilter_hang_verdicts () =
+  let w = micro_workload () in
+  let faults = Campaign.enumerate w in
+  let o = w.Campaign.options in
+  let verdicts =
+    Faults.Prefilter.hang_verdicts ~params:o.Driver.params
+      ~feeds:(List.map (fun (s, vs) -> (s, List.length vs)) o.Driver.feeds)
+      ~drains:o.Driver.drains w.Campaign.program faults
+  in
+  check tint "one verdict per fault" (List.length faults) (List.length verdicts);
+  List.iter2
+    (fun f v ->
+      match f with
+      | Fault.Loop_bound_off_by_one { delta; _ } when delta > 0L ->
+          check tbool
+            ("+1 loop mutant proved hanging: " ^ Fault.describe f)
+            true
+            (match v with Faults.Prefilter.Certain_hang _ -> true | _ -> false)
+      | Fault.Loop_bound_off_by_one _ ->
+          (* -1 truncates: completes with short output, not a hang *)
+          check tbool
+            ("-1 loop mutant not claimed: " ^ Fault.describe f)
+            true (v = Faults.Prefilter.Hang_unknown)
+      | _ -> ())
+    faults verdicts;
+  check tbool "at least one hang proved" true
+    (List.exists
+       (function Faults.Prefilter.Certain_hang _ -> true | _ -> false)
+       verdicts)
+
+(* Pruning may only skip simulations, never change a classification:
+   the map must be byte-identical with the pre-filter on and off. *)
+let test_campaign_prune_hangs_identity () =
+  let w = micro_workload () in
+  let run prune =
+    Campaign.run
+      ~config:{ Campaign.default_config with Campaign.prune_hangs = prune }
+      [ w ]
+  in
+  let pruned = run true and simulated = run false in
+  check tbool "pre-filter proves at least one hang" true
+    (pruned.Campaign.pruned_hang > 0);
+  check tint "nothing pruned when disabled" 0 simulated.Campaign.pruned_hang;
+  check Alcotest.string "classification map is byte-identical"
+    (Campaign.render_classes simulated)
+    (Campaign.render_classes pruned);
+  check tbool "json reports the pruned count" true
+    (has_sub ~sub:"\"pruned_hang\"" (Json.to_string (Campaign.json_of pruned)))
+
 let test_campaign_static_prefilter_prunes () =
   (* micro's stream write is [buf[i % 4] * 2] — always even — so the
      stuck-at-0 bit-0 mutant is provably an identity and must be
@@ -559,6 +612,9 @@ let () =
           Alcotest.test_case "render + json" `Quick test_campaign_render_and_json;
           Alcotest.test_case "fork matches from-reset" `Quick
             test_campaign_fork_matches_from_reset;
+          Alcotest.test_case "hang verdicts on micro" `Quick test_prefilter_hang_verdicts;
+          Alcotest.test_case "hang pruning preserves classes" `Quick
+            test_campaign_prune_hangs_identity;
           Alcotest.test_case "static pre-filter prunes" `Quick
             test_campaign_static_prefilter_prunes;
         ] );

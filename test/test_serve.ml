@@ -65,10 +65,15 @@ let gen_job =
               })
           gen_source gen_name (triple bool bool bool);
         map3
-          (fun srcs strat (a, b) ->
+          (fun srcs (strat, only, ign) ((a, b), w) ->
             Job.Check
-              { Job.k_sources = srcs; k_strategy = strat; k_nabort = a; k_ndebug = b })
-          (small_list gen_source) gen_name (pair bool bool)
+              {
+                Job.k_sources = srcs; k_strategy = strat; k_nabort = a; k_ndebug = b;
+                k_only = only; k_ignore = ign; k_watchdog = w;
+              })
+          (small_list gen_source)
+          (triple gen_name (opt (small_list gen_name)) (opt (small_list gen_name)))
+          (pair (pair bool bool) (opt small_nat))
         |> map (fun j -> j);
         map3
           (fun srcs (d, i, c) (a, j) ->
@@ -80,16 +85,17 @@ let gen_job =
           (small_list gen_source) (triple small_nat small_nat small_nat)
           (pair (opt small_nat) (opt small_nat));
         map3
-          (fun src st ((b, w, m, j), (fr, mc)) ->
+          (fun src st ((b, w, m, j), ((fr, mc), ph)) ->
             Job.Campaign
               {
                 Job.a_source = src; a_stimulus = st; a_budget = b; a_watchdog = w;
                 a_max_mutants = m; a_jobs = j; a_from_reset = fr; a_max_cycles = mc;
+                a_prune_hangs = ph;
               })
           (opt gen_source) gen_stimulus
           (pair
              (quad (opt small_nat) (opt small_nat) (opt small_nat) (opt small_nat))
-             (pair bool small_nat));
+             (pair (pair bool small_nat) bool));
         map3
           (fun (src, strat) st ((t, c), (m, b, j, e)) ->
             Job.Mine
@@ -240,6 +246,7 @@ let campaign_job ~jobs =
       a_jobs = jobs;
       a_from_reset = false;
       a_max_cycles = 1_000_000;
+      a_prune_hangs = true;
     }
 
 (* the scheduled campaign payload is byte-for-byte the library's own
@@ -286,6 +293,75 @@ let test_sched_campaign_matches_library () =
     "one progress event per mutant run"
     (List.length direct.Campaign.runs)
     (List.length !events)
+
+(* a certainly-deadlocking two-process design (the examples/deadlock.c
+   shape): INCA-L106 error, used to exercise the check code filters *)
+let starved_source =
+  "stream int32 a depth 4;\n\
+   stream int32 b depth 4;\n\
+   process hw prod() {\n\
+  \  int32 i;\n\
+  \  for (i = 0; i < 8; i = i + 1) {\n\
+  \    stream_write(a, i);\n\
+  \  }\n\
+   }\n\
+   process hw cons() {\n\
+  \  int32 i;\n\
+  \  for (i = 0; i < 9; i = i + 1) {\n\
+  \    int32 x;\n\
+  \    x = stream_read(a);\n\
+  \    stream_write(b, x);\n\
+  \  }\n\
+   }\n"
+
+let filtered_check_job ~only ~ignore_ =
+  Job.Check
+    {
+      Job.k_sources =
+        [
+          Job.Text { name = "fir.c"; text = fir_source () };
+          Job.Text { name = "starved.c"; text = starved_source };
+        ];
+      k_strategy = "optimized";
+      k_nabort = false;
+      k_ndebug = false;
+      k_only = only;
+      k_ignore = ignore_;
+      k_watchdog = None;
+    }
+
+let test_sched_check_filters_and_determinism () =
+  let run job = Serve.Sched.run job in
+  let unfiltered = run (filtered_check_job ~only:None ~ignore_:None) in
+  Alcotest.(check int) "deadlock fails the check" 1
+    unfiltered.Serve.Sched.sc_report.Report.exit_code;
+  (* the scheduled check is deterministic: identical text and envelope
+     on every run *)
+  let again = run (filtered_check_job ~only:None ~ignore_:None) in
+  Alcotest.(check string) "rendered text is byte-identical"
+    unfiltered.Serve.Sched.sc_text again.Serve.Sched.sc_text;
+  Alcotest.(check string) "report envelope is byte-identical"
+    (Report.to_string unfiltered.Serve.Sched.sc_report)
+    (Report.to_string again.Serve.Sched.sc_report);
+  (* --only the liveness family: still fails (L106 is kept), and no
+     other code appears in the rendered output *)
+  let only =
+    run (filtered_check_job ~only:(Some [ "INCA-L106"; "INCA-L107" ]) ~ignore_:None)
+  in
+  Alcotest.(check int) "liveness-only leg still fails" 1
+    only.Serve.Sched.sc_report.Report.exit_code;
+  Alcotest.(check bool) "L106 survives --only" true
+    (contains ~sub:"INCA-L106" only.Serve.Sched.sc_text);
+  Alcotest.(check bool) "L103 filtered by --only" false
+    (contains ~sub:"INCA-L103" only.Serve.Sched.sc_text);
+  (* --ignore the deadlock code: the error disappears and check passes *)
+  let ignored =
+    run (filtered_check_job ~only:None ~ignore_:(Some [ "INCA-L106" ]))
+  in
+  Alcotest.(check int) "ignoring the deadlock code passes" 0
+    ignored.Serve.Sched.sc_report.Report.exit_code;
+  Alcotest.(check bool) "L106 dropped by --ignore" false
+    (contains ~sub:"INCA-L106" ignored.Serve.Sched.sc_text)
 
 let test_sched_failures_are_reports () =
   (* missing file: a failure report, not an exception *)
@@ -343,6 +419,9 @@ let check_job =
       k_strategy = "optimized";
       k_nabort = false;
       k_ndebug = false;
+      k_only = None;
+      k_ignore = None;
+      k_watchdog = None;
     }
 
 let raw_connect socket =
@@ -474,6 +553,8 @@ let () =
         [
           Alcotest.test_case "campaign payload = library report" `Quick
             test_sched_campaign_matches_library;
+          Alcotest.test_case "check filters + determinism" `Quick
+            test_sched_check_filters_and_determinism;
           Alcotest.test_case "failures are reports" `Quick
             test_sched_failures_are_reports;
         ] );
